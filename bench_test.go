@@ -1,0 +1,377 @@
+// Package fremont's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (regenerating the same rows the paper
+// reports), plus ablation benchmarks for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks report custom metrics alongside wall time: discovered
+// counts, simulated completion times, and packets offered to the network,
+// so shape comparisons against the paper drop out of the bench output.
+package fremont_test
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/core"
+	"fremont/internal/experiments"
+	"fremont/internal/explorer"
+	"fremont/internal/journal"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/netsim/pkt"
+)
+
+const benchSeed = 1993
+
+// BenchmarkTable2_JournalStorage populates a journal at the paper's
+// class-B example scale (16k interfaces, 192 gateways, 192 subnets) and
+// measures per-record storage.
+func BenchmarkTable2_JournalStorage(b *testing.B) {
+	var r experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2()
+	}
+	f := r.Footprint
+	b.ReportMetric(float64(f.PerInterface()), "B/interface")
+	b.ReportMetric(float64(f.PerGateway()), "B/gateway")
+	b.ReportMetric(float64(f.PerSubnet()), "B/subnet")
+	b.ReportMetric(float64(f.Total())/(1<<20), "MB-total")
+}
+
+// BenchmarkTable4_ModuleCharacteristics measures each module's completion
+// time and offered network load on the standard topologies.
+func BenchmarkTable4_ModuleCharacteristics(b *testing.B) {
+	var r experiments.Table4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table4(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.TimeToComplete.Seconds(), row.Module+"-sim-sec")
+	}
+}
+
+// BenchmarkTable5_InterfaceDiscovery reruns the department-subnet
+// discovery comparison (simulating over a day of network time per
+// iteration).
+func BenchmarkTable5_InterfaceDiscovery(b *testing.B) {
+	var r experiments.Table5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table5(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(float64(row.Interfaces), row.Module+"-"+shortNote(row.Note))
+	}
+}
+
+func shortNote(n string) string {
+	switch n {
+	case "Run for 30 min":
+		return "30m"
+	case "Run for 24 hours":
+		return "24h"
+	case "Subnets with gateways identified":
+		return "gw-subnets"
+	default:
+		return "found"
+	}
+}
+
+// BenchmarkTable6_SubnetDiscovery reruns the campus-wide subnet discovery
+// comparison.
+func BenchmarkTable6_SubnetDiscovery(b *testing.B) {
+	var r experiments.Table6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table6(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(float64(row.Subnets), row.Module+"-"+shortNote(row.Comment))
+	}
+}
+
+// BenchmarkTable7_FullDiscovery measures a complete discovery pass over
+// the campus (every module plus correlation).
+func BenchmarkTable7_FullDiscovery(b *testing.B) {
+	var r experiments.Table7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table7(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.IfacesWithIP), "interfaces")
+	b.ReportMetric(float64(r.Gateways), "gateways")
+	b.ReportMetric(float64(r.Subnets), "subnets")
+}
+
+// BenchmarkTable8_Analysis measures the fault-injection scenario: days of
+// simulated watching plus the analysis programs.
+func BenchmarkTable8_Analysis(b *testing.B) {
+	var r experiments.Table8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table8(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Problems)), "findings")
+}
+
+// BenchmarkFigure2_Topology measures extraction and rendering of the
+// discovered network structure.
+func BenchmarkFigure2_Topology(b *testing.B) {
+	var r experiments.Figure2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure2(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Topology.Gateways)), "gateways")
+	b.ReportMetric(float64(len(r.Topology.Subnets)), "subnets")
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblation_IndexVsScan compares the Journal's AVL-indexed lookups
+// (the paper's design) against a linear scan of all records.
+func BenchmarkAblation_IndexVsScan(b *testing.B) {
+	j := journal.New()
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		j.StoreInterface(journal.IfaceObs{IP: pkt.IP(i), Source: journal.SrcICMP, At: at})
+	}
+	b.Run("avl-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recs := j.Interfaces(journal.Query{ByIP: pkt.IP(i % n), HasIP: true})
+			if len(recs) != 1 {
+				b.Fatal("lookup failed")
+			}
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		all := j.Interfaces(journal.Query{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			want := pkt.IP(i % n)
+			found := false
+			for _, r := range all {
+				if r.IP == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("scan failed")
+			}
+		}
+	})
+}
+
+// tracerouteAblation runs traceroute over the campus with the given
+// parameters and reports subnets found and packets spent.
+func tracerouteAblation(b *testing.B, p explorer.Params) {
+	b.Helper()
+	var subnets, packets int
+	var simTime time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := campus.DefaultConfig()
+		cfg.Seed = benchSeed
+		cfg.Chatter = false
+		cfg.Liveness = false
+		sys := core.NewSystem(cfg)
+		sys.Advance(5 * time.Minute)
+		if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.RunModule(explorer.Tracerouter{}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subnets = len(rep.Subnets)
+		packets = rep.PacketsSent
+		simTime = rep.Elapsed()
+	}
+	b.ReportMetric(float64(subnets), "subnets")
+	b.ReportMetric(float64(packets), "packets")
+	b.ReportMetric(simTime.Seconds(), "sim-sec")
+}
+
+// BenchmarkAblation_TracerouteAddrs compares the paper's three-address
+// probing per subnet against a single host-zero probe: completeness per
+// packet.
+func BenchmarkAblation_TracerouteAddrs(b *testing.B) {
+	b.Run("3-addresses", func(b *testing.B) {
+		tracerouteAblation(b, explorer.Params{TraceAddrsPerSubnet: 3})
+	})
+	b.Run("1-address", func(b *testing.B) {
+		tracerouteAblation(b, explorer.Params{TraceAddrsPerSubnet: 1})
+	})
+}
+
+// BenchmarkAblation_TracerouteParallelism compares the paper's 80
+// outstanding probes against a serial trace — the wall-clock payoff of the
+// "continues to send packets towards as yet unreached destinations"
+// design.
+func BenchmarkAblation_TracerouteParallelism(b *testing.B) {
+	b.Run("parallel-80", func(b *testing.B) {
+		tracerouteAblation(b, explorer.Params{TraceMaxParallel: 80})
+	})
+	b.Run("serial", func(b *testing.B) {
+		tracerouteAblation(b, explorer.Params{TraceMaxParallel: 1, TraceAddrsPerSubnet: 3})
+	})
+}
+
+// BenchmarkAblation_ClueDirectedTraceroute compares RIP-clue-directed
+// targeting (the Journal feed) against blindly sweeping every possible
+// /24 of the class B network.
+func BenchmarkAblation_ClueDirectedTraceroute(b *testing.B) {
+	b.Run("clue-directed", func(b *testing.B) {
+		tracerouteAblation(b, explorer.Params{})
+	})
+	b.Run("blind-sweep", func(b *testing.B) {
+		var all []pkt.Subnet
+		for third := 0; third < 255; third++ {
+			all = append(all, pkt.SubnetOf(pkt.IPv4(128, 138, byte(third), 0), pkt.MaskBits(24)))
+		}
+		tracerouteAblation(b, explorer.Params{Subnets: all})
+	})
+}
+
+// BenchmarkAblation_BcastVsSeq compares broadcast ping against sequential
+// ping on the same dense subnet: time versus completeness.
+func BenchmarkAblation_BcastVsSeq(b *testing.B) {
+	run := func(b *testing.B, m explorer.Module, p explorer.Params) {
+		var found int
+		var simTime time.Duration
+		for i := 0; i < b.N; i++ {
+			cfg := campus.DefaultConfig()
+			cfg.Seed = benchSeed
+			cfg.Liveness = false // isolate the collision-vs-time tradeoff
+			cfg.Chatter = false
+			sys := core.NewDepartmentSystem(cfg)
+			sys.Advance(5 * time.Minute)
+			rep, err := sys.RunModule(m, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			found = len(rep.Interfaces)
+			simTime = rep.Elapsed()
+		}
+		b.ReportMetric(float64(found), "interfaces")
+		b.ReportMetric(simTime.Seconds(), "sim-sec")
+	}
+	b.Run("broadcast", func(b *testing.B) {
+		run(b, explorer.BroadcastPing{}, explorer.Params{})
+	})
+	b.Run("sequential", func(b *testing.B) {
+		cfg := campus.DefaultConfig()
+		sn := pkt.SubnetOf(pkt.IPv4(128, 138, 238, 0), pkt.MaskBits(24))
+		_ = cfg
+		run(b, explorer.SeqPing{}, explorer.Params{RangeLo: sn.FirstHost(), RangeHi: sn.LastHost()})
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// seconds per wall second on the full campus with RIP churning.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := campus.DefaultConfig()
+	cfg.Seed = benchSeed
+	cfg.Chatter = false
+	cfg.Liveness = false
+	c := campus.Build(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Net.Run(time.Minute)
+	}
+	b.ReportMetric(60, "sim-sec/op")
+}
+
+// BenchmarkAblation_MultiVantage measures the paper's multi-location
+// traceroute idea: "Running this module from multiple locations in the
+// network will acquire more complete information about the router
+// interface addresses."
+func BenchmarkAblation_MultiVantage(b *testing.B) {
+	run := func(b *testing.B, vantages int) {
+		var gwIfaces int
+		for i := 0; i < b.N; i++ {
+			cfg := campus.DefaultConfig()
+			cfg.Seed = benchSeed
+			cfg.Chatter = false
+			cfg.Liveness = false
+			sys := core.NewSystem(cfg)
+			// Per the paper's premise, gateways that do not accept
+			// host-zero packets leave their far-side interfaces invisible
+			// from a single vantage point.
+			for _, gw := range sys.Campus.Gateways {
+				gw.TreatsHostZeroAsSelf = false
+			}
+			sys.Advance(5 * time.Minute)
+			if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.RunModule(explorer.Tracerouter{}, explorer.Params{}); err != nil {
+				b.Fatal(err)
+			}
+			if vantages > 1 {
+				// A host on a far, healthy department subnet.
+				for _, sn := range sys.Campus.Live {
+					if sn.Addr == sys.Campus.Backbone.Addr || sn.Addr == sys.Campus.CSSubnet.Addr ||
+						sys.Campus.SilentBehind[sn.Addr] {
+						continue
+					}
+					if ifc := sys.Campus.Net.IfaceByIP(sn.Addr + 10); ifc != nil {
+						if _, err := sys.RunModuleOn(ifc.Node, explorer.Tracerouter{}, explorer.Params{}); err != nil {
+							b.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+			if _, err := sys.Correlate(); err != nil {
+				b.Fatal(err)
+			}
+			// Count interfaces of firmly-identified gateways (host-zero
+			// responders are tagged questionable).
+			gws, err := sys.Sink.Gateways()
+			if err != nil {
+				b.Fatal(err)
+			}
+			firm := map[journal.ID]bool{}
+			for _, gw := range gws {
+				if !gw.Questionable {
+					firm[gw.ID] = true
+				}
+			}
+			recs, err := sys.Sink.Interfaces(journal.Query{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gwIfaces = 0
+			for _, r := range recs {
+				if firm[r.Gateway] {
+					gwIfaces++
+				}
+			}
+		}
+		b.ReportMetric(float64(gwIfaces), "gw-interfaces")
+	}
+	b.Run("one-vantage", func(b *testing.B) { run(b, 1) })
+	b.Run("two-vantages", func(b *testing.B) { run(b, 2) })
+}

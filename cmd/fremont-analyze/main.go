@@ -1,0 +1,44 @@
+// Command fremont-analyze runs Fremont's analysis programs against a
+// Journal Server: subnet mask conflicts, MAC/IP address conflicts
+// (duplicate assignments, hardware changes, proxy ARP), stale addresses,
+// and promiscuous RIP hosts — the paper's Table 8 problem classes.
+//
+// Usage:
+//
+//	fremont-analyze -journal localhost:4741 [-stale-after 168h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fremont/internal/analysis"
+	"fremont/internal/jclient"
+)
+
+func main() {
+	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
+	staleAfter := flag.Duration("stale-after", 7*24*time.Hour, "flag addresses unverified for this long")
+	flag.Parse()
+
+	c, err := jclient.Dial(*journalAddr)
+	if err != nil {
+		log.Fatalf("fremont-analyze: %v", err)
+	}
+	defer c.Close()
+
+	problems, err := analysis.Run(c, analysis.Config{Now: time.Now(), StaleAfter: *staleAfter})
+	if err != nil {
+		log.Fatalf("fremont-analyze: %v", err)
+	}
+	if len(problems) == 0 {
+		fmt.Println("no problems found")
+		return
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	fmt.Printf("%d problem(s) found\n", len(problems))
+}

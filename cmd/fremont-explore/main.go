@@ -1,0 +1,109 @@
+// Command fremont-explore runs Explorer Modules against the simulated
+// campus, recording discoveries either in an in-process Journal or — the
+// deployment the paper describes — in a remote Journal Server over TCP
+// (see fremontd).
+//
+// Usage:
+//
+//	fremont-explore -list
+//	fremont-explore -module SeqPing [-seed 1993]
+//	fremont-explore -module RIPwatch -journal localhost:4741 -duration 2m
+//	fremont-explore -manager          # one Discovery Manager batch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fremont/internal/core"
+	"fremont/internal/experiments"
+	"fremont/internal/explorer"
+	"fremont/internal/jclient"
+	"fremont/internal/netsim/campus"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the Explorer Modules (the paper's Table 3)")
+	module := flag.String("module", "", "module to run (see -list)")
+	managerRun := flag.Bool("manager", false, "run one Discovery Manager batch instead of a single module")
+	journalAddr := flag.String("journal", "", "Journal Server address (empty = in-process journal)")
+	seed := flag.Int64("seed", 1993, "simulation seed")
+	duration := flag.Duration("duration", 0, "watch duration for passive modules")
+	unprivileged := flag.Bool("unprivileged", false, "withhold system privileges (disables the NIT-based modules)")
+	history := flag.String("history", "", "Discovery Manager startup/history file")
+	verbose := flag.Bool("v", false, "log module progress")
+	flag.Parse()
+
+	if *list {
+		experiments.Table3().Write(os.Stdout)
+		fmt.Println("\nextensions (paper's Future Work):")
+		for _, m := range explorer.Extensions() {
+			info := m.Info()
+			fmt.Printf("  %-10s %-10s %-22s %s\n", info.SourceProtocol, info.Name, info.Inputs, info.Outputs)
+		}
+		return
+	}
+	if *module == "" && !*managerRun {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = *seed
+	sys := core.NewSystem(cfg)
+	sys.Privileged = !*unprivileged
+	if *verbose {
+		sys.Log = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+	if *journalAddr != "" {
+		c, err := jclient.Dial(*journalAddr)
+		if err != nil {
+			log.Fatalf("fremont-explore: %v", err)
+		}
+		defer c.Close()
+		if err := c.Ping(); err != nil {
+			log.Fatalf("fremont-explore: journal server: %v", err)
+		}
+		sys.Sink = c
+		fmt.Printf("recording to journal server at %s\n", *journalAddr)
+	}
+	sys.Advance(5 * time.Minute) // let the campus settle
+
+	if *managerRun {
+		mgr := sys.NewManager(*history)
+		if *history != "" {
+			if err := mgr.LoadHistory(); err != nil {
+				log.Fatalf("fremont-explore: history: %v", err)
+			}
+		}
+		reports, err := sys.RunManagerBatch(mgr)
+		if err != nil {
+			log.Fatalf("fremont-explore: manager: %v", err)
+		}
+		for _, rep := range reports {
+			fmt.Println(rep)
+		}
+		return
+	}
+
+	m := explorer.ByName(*module)
+	if m == nil {
+		log.Fatalf("fremont-explore: unknown module %q (try -list)", *module)
+	}
+	params := explorer.Params{Duration: *duration}
+	if m.Info().Name == "DNS" {
+		params.Network = sys.Network()
+		params.DNSServer = sys.Campus.DNSServerIP
+	}
+	rep, err := sys.RunModule(m, params)
+	if err != nil {
+		log.Fatalf("fremont-explore: %v", err)
+	}
+	fmt.Println(rep)
+	for _, note := range rep.Notes {
+		fmt.Printf("  note: %s\n", note)
+	}
+}

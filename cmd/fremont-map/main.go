@@ -1,0 +1,44 @@
+// Command fremont-map exports the network structure recorded in the
+// Journal — the paper's Figure 2 — in SunNet-Manager-style records,
+// Graphviz DOT, or as an ASCII tree.
+//
+// Usage:
+//
+//	fremont-map -journal localhost:4741 -format dot > campus.dot
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"fremont/internal/jclient"
+	"fremont/internal/present"
+)
+
+func main() {
+	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
+	format := flag.String("format", "ascii", "output format: ascii, dot, or snm")
+	flag.Parse()
+
+	c, err := jclient.Dial(*journalAddr)
+	if err != nil {
+		log.Fatalf("fremont-map: %v", err)
+	}
+	defer c.Close()
+
+	topo, err := present.ExtractTopology(c)
+	if err != nil {
+		log.Fatalf("fremont-map: %v", err)
+	}
+	switch *format {
+	case "dot":
+		topo.WriteDOT(os.Stdout)
+	case "snm":
+		topo.WriteSNM(os.Stdout)
+	case "ascii":
+		topo.WriteASCII(os.Stdout)
+	default:
+		log.Fatalf("fremont-map: unknown format %q", *format)
+	}
+}

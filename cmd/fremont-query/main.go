@@ -1,0 +1,65 @@
+// Command fremont-query is the interface browser: it interrogates a
+// Journal Server and presents interface data at the paper's three levels
+// of detail, or dumps the whole Journal.
+//
+// Usage:
+//
+//	fremont-query -journal localhost:4741 -dump
+//	fremont-query -journal localhost:4741 -level 1 -network 128.138.0.0/16
+//	fremont-query -journal localhost:4741 -level 2 -subnet 128.138.238.0/24
+//	fremont-query -journal localhost:4741 -level 3 -ip 128.138.238.5
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/present"
+)
+
+func main() {
+	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
+	dump := flag.Bool("dump", false, "dump every record")
+	level := flag.Int("level", 0, "presentation level (1, 2, or 3)")
+	network := flag.String("network", "", "network for level 1 (e.g. 128.138.0.0/16)")
+	subnet := flag.String("subnet", "", "subnet for level 2 (e.g. 128.138.238.0/24)")
+	ipStr := flag.String("ip", "", "interface address for level 3")
+	flag.Parse()
+
+	c, err := jclient.Dial(*journalAddr)
+	if err != nil {
+		log.Fatalf("fremont-query: %v", err)
+	}
+	defer c.Close()
+
+	now := time.Now()
+	switch {
+	case *dump:
+		err = present.Dump(os.Stdout, c)
+	case *level == 1:
+		var sn pkt.Subnet
+		if sn, err = pkt.ParseSubnet(*network); err == nil {
+			err = present.Level1(os.Stdout, c, sn, now)
+		}
+	case *level == 2:
+		var sn pkt.Subnet
+		if sn, err = pkt.ParseSubnet(*subnet); err == nil {
+			err = present.Level2(os.Stdout, c, sn, now)
+		}
+	case *level == 3:
+		var ip pkt.IP
+		if ip, err = pkt.ParseIP(*ipStr); err == nil {
+			err = present.Level3(os.Stdout, c, ip)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("fremont-query: %v", err)
+	}
+}

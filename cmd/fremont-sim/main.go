@@ -1,0 +1,103 @@
+// Command fremont-sim regenerates the paper's evaluation: every table and
+// figure, run against the simulated University-of-Colorado-like campus.
+//
+// Usage:
+//
+//	fremont-sim -all                 # every table and figure
+//	fremont-sim -table 5 -seed 1993  # one table
+//	fremont-sim -figure 2 -format dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fremont/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-8)")
+	figure := flag.Int("figure", 0, "regenerate one figure (2)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	seed := flag.Int64("seed", 1993, "simulation seed")
+	format := flag.String("format", "ascii", "figure 2 format: ascii, dot, or snm")
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(n int) {
+		switch n {
+		case 1:
+			experiments.Table1().Write(os.Stdout)
+		case 2:
+			experiments.Table2().Table().Write(os.Stdout)
+		case 3:
+			experiments.Table3().Write(os.Stdout)
+		case 4:
+			r, err := experiments.Table4(*seed)
+			check(err)
+			r.Table().Write(os.Stdout)
+		case 5:
+			r, err := experiments.Table5(*seed)
+			check(err)
+			r.Table().Write(os.Stdout)
+		case 6:
+			r, err := experiments.Table6(*seed)
+			check(err)
+			r.Table().Write(os.Stdout)
+		case 7:
+			r, err := experiments.Table7(*seed)
+			check(err)
+			r.Table().Write(os.Stdout)
+		case 8:
+			r, err := experiments.Table8(*seed)
+			check(err)
+			r.Table().Write(os.Stdout)
+		default:
+			log.Fatalf("fremont-sim: no table %d", n)
+		}
+		fmt.Println()
+	}
+
+	if *all {
+		for n := 1; n <= 8; n++ {
+			run(n)
+		}
+		printFigure2(*seed, *format)
+		return
+	}
+	if *table != 0 {
+		run(*table)
+	}
+	if *figure != 0 {
+		if *figure != 2 {
+			log.Fatalf("fremont-sim: no figure %d", *figure)
+		}
+		printFigure2(*seed, *format)
+	}
+}
+
+func printFigure2(seed int64, format string) {
+	r, err := experiments.Figure2(seed)
+	check(err)
+	fmt.Println("Figure 2: Discovered subnet topology")
+	switch format {
+	case "dot":
+		fmt.Print(r.DOT)
+	case "snm":
+		fmt.Print(r.SNM)
+	default:
+		fmt.Print(r.ASCII)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("fremont-sim: %v", err)
+	}
+}

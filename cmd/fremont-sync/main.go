@@ -1,0 +1,61 @@
+// Command fremont-sync replicates Journal contents between Journal
+// Servers — the paper's multi-site deployment: "the system can be
+// replicated at multiple sites, exploring different networks, and sharing
+// information among the replicated components."
+//
+// Usage:
+//
+//	fremont-sync -from siteA:4741 -to siteB:4741 [-since 24h] [-both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/replicate"
+)
+
+func main() {
+	from := flag.String("from", "", "source Journal Server address")
+	to := flag.String("to", "", "destination Journal Server address")
+	since := flag.Duration("since", 0, "only records modified within this window (0 = everything)")
+	both := flag.Bool("both", false, "bidirectional exchange")
+	flag.Parse()
+
+	if *from == "" || *to == "" {
+		flag.Usage()
+		log.Fatal("fremont-sync: -from and -to are required")
+	}
+	src, err := jclient.Dial(*from)
+	if err != nil {
+		log.Fatalf("fremont-sync: %v", err)
+	}
+	defer src.Close()
+	dst, err := jclient.Dial(*to)
+	if err != nil {
+		log.Fatalf("fremont-sync: %v", err)
+	}
+	defer dst.Close()
+
+	var cutoff time.Time
+	if *since > 0 {
+		cutoff = time.Now().Add(-*since)
+	}
+	if *both {
+		ab, ba, err := replicate.Exchange(src, dst, cutoff)
+		if err != nil {
+			log.Fatalf("fremont-sync: %v", err)
+		}
+		fmt.Printf("%s -> %s: %s\n", *from, *to, ab)
+		fmt.Printf("%s -> %s: %s\n", *to, *from, ba)
+		return
+	}
+	rep, err := replicate.Pull(dst, src, cutoff)
+	if err != nil {
+		log.Fatalf("fremont-sync: %v", err)
+	}
+	fmt.Println(rep)
+}

@@ -1,0 +1,51 @@
+// Command fremontd runs the Fremont Journal Server: it owns the in-memory
+// Journal, serializes Store/Update requests from Explorer Modules, answers
+// Get queries from presentation and analysis programs, and writes the
+// Journal to disk periodically and at termination.
+//
+// Usage:
+//
+//	fremontd [-listen :4741] [-snapshot journal.snap] [-snapshot-interval 5m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fremont/internal/jserver"
+)
+
+func main() {
+	listen := flag.String("listen", ":4741", "TCP address to serve the Journal protocol on")
+	snapshot := flag.String("snapshot", "", "path for periodic Journal snapshots (empty disables persistence)")
+	interval := flag.Duration("snapshot-interval", 5*time.Minute, "how often to write snapshots")
+	flag.Parse()
+
+	srv := jserver.New(nil)
+	srv.SnapshotPath = *snapshot
+	srv.SnapshotInterval = *interval
+	if err := srv.LoadSnapshot(); err != nil {
+		log.Fatalf("fremontd: load snapshot: %v", err)
+	}
+	if n := srv.Journal().NumInterfaces(); n > 0 {
+		log.Printf("fremontd: restored %d interfaces, %d gateways, %d subnets",
+			n, srv.Journal().NumGateways(), srv.Journal().NumSubnets())
+	}
+	if err := srv.Listen(*listen); err != nil {
+		log.Fatalf("fremontd: listen: %v", err)
+	}
+	fmt.Printf("fremontd: journal server on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("fremontd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("fremontd: close: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+// Distributed journal: Fremont's components talk over real sockets. A
+// Journal Server runs in one goroutine (it could be another machine);
+// Explorer Modules exploring the simulated campus record their findings
+// through the TCP client; a presentation query reads them back. This is
+// the deployment the paper describes — "all modules communicate via BSD
+// sockets, [so] there are no restrictions about the physical location of
+// individual modules" — plus its snapshot persistence across a restart.
+//
+//	go run ./examples/distributed-journal
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fremont/internal/core"
+	"fremont/internal/explorer"
+	"fremont/internal/jclient"
+	"fremont/internal/jserver"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/present"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "fremont-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "journal.snap")
+
+	// Start the Journal Server (fremontd does exactly this).
+	srv := jserver.New(nil)
+	srv.SnapshotPath = snap
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("journal server listening on %s\n", srv.Addr())
+
+	// The exploring site: a Fremont host on the simulated campus, storing
+	// over TCP instead of in process.
+	client, err := jclient.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 23
+	sys := core.NewDepartmentSystem(cfg)
+	sys.Sink = client
+	sys.Advance(5 * time.Minute)
+
+	for _, m := range []explorer.Module{explorer.EtherHostProbe{}, explorer.RIPwatch{}} {
+		p := explorer.Params{Duration: 2 * time.Minute}
+		rep, err := sys.RunModule(m, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+	}
+	client.Close()
+
+	// Stop the server; it writes its final snapshot.
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server stopped; journal snapshot written")
+
+	// Restart: a new server restores the journal, and a presentation
+	// client reads the discoveries back over the wire.
+	srv2 := jserver.New(nil)
+	srv2.SnapshotPath = snap
+	if err := srv2.LoadSnapshot(); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv2.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv2.Close()
+	fmt.Printf("restarted journal server on %s\n\n", srv2.Addr())
+
+	reader, err := jclient.Dial(srv2.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+	if err := present.Level2(os.Stdout, reader, sys.Campus.CSSubnet, sys.Now()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Problem detection: the paper's Table 8 scenario. A department wire with
+// planted faults — a duplicate IP assignment, a mid-run hardware change,
+// two hosts with wrong subnet masks, a promiscuous RIP host, a machine
+// silently removed from the network, and a proxy-ARP device — is watched
+// and probed for a few simulated days, and the analysis programs name each
+// culprit from the Journal's time-stamped records.
+//
+//	go run ./examples/problem-detection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fremont/internal/analysis"
+	"fremont/internal/core"
+	"fremont/internal/explorer"
+	"fremont/internal/netsim/campus"
+)
+
+func main() {
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 11
+	cfg.InjectFaults = true
+	sys := core.NewDepartmentSystem(cfg)
+	f := sys.Campus.Faults
+
+	fmt.Println("planted faults:")
+	fmt.Printf("  duplicate address:  %s\n", f.DuplicateIP)
+	fmt.Printf("  hardware change:    %s (at +%v)\n", f.HardwareChangeIP, f.HardwareChangeAt)
+	fmt.Printf("  wrong masks:        %v\n", f.WrongMaskIPs)
+	fmt.Printf("  promiscuous RIP:    %s\n", f.PromiscuousIP)
+	fmt.Printf("  removed host:       %s (at +%v)\n", f.RemovedIP, f.RemovedAt)
+	fmt.Printf("  proxy-ARP range:    %v\n", f.ProxyARPRange)
+	fmt.Println()
+
+	// Two days of passive ARP watching straddle the hardware change and
+	// the removal; the probe sweeps collect MACs, masks and RIP sources.
+	steps := []struct {
+		name string
+		m    explorer.Module
+		p    explorer.Params
+	}{
+		{"watching ARP for 48h", explorer.ARPwatch{}, explorer.Params{Duration: 48 * time.Hour}},
+		{"sweeping the wire", explorer.EtherHostProbe{}, explorer.Params{}},
+		{"asking for masks", explorer.SubnetMasks{}, explorer.Params{}},
+		{"watching RIP", explorer.RIPwatch{}, explorer.Params{Duration: 3 * time.Minute}},
+	}
+	for _, s := range steps {
+		fmt.Printf("%s...\n", s.name)
+		if _, err := sys.RunModule(s.m, s.p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Let three more days pass with short daily watches, so the removed
+	// host's record visibly stops being verified.
+	for day := 0; day < 3; day++ {
+		sys.Advance(22 * time.Hour)
+		if _, err := sys.RunModule(explorer.ARPwatch{}, explorer.Params{Duration: 2 * time.Hour}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	problems, err := sys.Analyze(analysis.Config{StaleAfter: 3 * 24 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalysis found %d problem(s):\n", len(problems))
+	for _, p := range problems {
+		fmt.Printf("  %s\n", p)
+	}
+}

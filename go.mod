@@ -1,0 +1,3 @@
+module fremont
+
+go 1.22

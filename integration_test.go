@@ -1,0 +1,235 @@
+// End-to-end integration tests: the full Fremont deployment with real TCP
+// between components — Explorer Modules on the simulated campus recording
+// through the Journal Server protocol, analysis and presentation reading
+// back over the wire, snapshots surviving a server restart, and two sites
+// exchanging Journals.
+package fremont_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fremont/internal/analysis"
+	"fremont/internal/core"
+	"fremont/internal/explorer"
+	"fremont/internal/jclient"
+	"fremont/internal/jserver"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/present"
+	"fremont/internal/replicate"
+)
+
+func startServer(t *testing.T, snapshot string) (*jserver.Server, *jclient.Client) {
+	t.Helper()
+	srv := jserver.New(nil)
+	srv.SnapshotPath = snapshot
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := jclient.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return srv, c
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "journal.snap")
+	srv, client := startServer(t, snap)
+
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 501
+	cfg.CSHosts = 20
+	cfg.InjectFaults = true
+	sys := core.NewDepartmentSystem(cfg)
+	sys.Sink = client // every module write crosses the TCP boundary
+	sys.Advance(5 * time.Minute)
+
+	// Make sure somebody ARPs for the duplicated address during the watch
+	// (both claimants answer; the tap records both MACs). Chatter would
+	// get there eventually; this makes the test deterministic.
+	dupIP := sys.Campus.Faults.DuplicateIP
+	for i := 1; i <= 2; i++ {
+		delay := time.Duration(i) * 25 * time.Minute // past the ARP cache TTL
+		sys.Campus.Net.Sched.After(delay, func() {
+			sys.Campus.Fremont.FlushARP()
+			u := &pkt.UDPPacket{SrcPort: 1, DstPort: 9}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dupIP, TTL: 30}
+			_ = sys.Campus.Fremont.SendIP(h, u.Encode(sys.Campus.FremontIP, dupIP))
+		})
+	}
+
+	// A realistic monitoring day: watch, sweep, ask, listen.
+	steps := []struct {
+		m explorer.Module
+		p explorer.Params
+	}{
+		{explorer.ARPwatch{}, explorer.Params{Duration: time.Hour}},
+		{explorer.EtherHostProbe{}, explorer.Params{}},
+		{explorer.SubnetMasks{}, explorer.Params{}},
+		{explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}},
+		{explorer.TrafficWatch{}, explorer.Params{Duration: 10 * time.Minute}},
+	}
+	for _, s := range steps {
+		if _, err := sys.RunModule(s.m, s.p); err != nil {
+			t.Fatalf("%s: %v", s.m.Info().Name, err)
+		}
+	}
+
+	// The mask-conflict and promiscuous-RIP faults must be visible through
+	// the TCP client.
+	problems, err := analysis.Run(client, analysis.Config{Now: sys.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[analysis.ProblemKind]bool{}
+	for _, p := range problems {
+		kinds[p.Kind] = true
+	}
+	for _, want := range []analysis.ProblemKind{
+		analysis.ProblemMaskConflict,
+		analysis.ProblemPromiscuousRIP,
+		analysis.ProblemDuplicateAddr,
+	} {
+		if !kinds[want] {
+			t.Errorf("problem %s not visible over TCP (have %v)", want, kinds)
+		}
+	}
+
+	// Presentation over the wire.
+	var buf bytes.Buffer
+	if err := present.Level2(&buf, client, sys.Campus.CSSubnet, sys.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "yes") { // the RIP source column
+		t.Errorf("level 2 over TCP lost the RIP flag:\n%s", buf.String())
+	}
+
+	// Snapshot + restart: nothing lost.
+	wantIfaces := srv.Journal().NumInterfaces()
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := jserver.New(nil)
+	srv2.SnapshotPath = snap
+	if err := srv2.LoadSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := srv2.Journal().NumInterfaces(); got != wantIfaces {
+		t.Fatalf("restart lost records: %d vs %d", got, wantIfaces)
+	}
+}
+
+func TestTwoSitesExchangeJournals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Site A explores its department; site B explores another (different
+	// seed → different wire). After an exchange, each journal holds both
+	// sites' discoveries.
+	explore := func(seed int64) *core.System {
+		cfg := campus.DefaultConfig()
+		cfg.Seed = seed
+		cfg.CSHosts = 10
+		cfg.Chatter = false
+		cfg.Liveness = false
+		sys := core.NewDepartmentSystem(cfg)
+		sys.Advance(5 * time.Minute)
+		if _, err := sys.RunModule(explorer.EtherHostProbe{}, explorer.Params{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a := explore(502)
+	b := explore(503)
+
+	na, nb := a.J.NumInterfaces(), b.J.NumInterfaces()
+	if na == 0 || nb == 0 {
+		t.Fatal("sites discovered nothing")
+	}
+	if _, _, err := replicate.Exchange(a.Sink, b.Sink, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	// Same campus addressing (both simulate 128.138.238.0/24), so records
+	// merge rather than add; each side must now know at least as much as
+	// the larger site.
+	max := na
+	if nb > max {
+		max = nb
+	}
+	if a.J.NumInterfaces() < max || b.J.NumInterfaces() < max {
+		t.Fatalf("exchange lost information: a=%d b=%d (pre: %d, %d)",
+			a.J.NumInterfaces(), b.J.NumInterfaces(), na, nb)
+	}
+}
+
+func TestManagerAdaptsOverSimulatedWeeks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Drive the Discovery Manager through repeated batches over simulated
+	// weeks. Modules that stop being fruitful must back off toward their
+	// maximum intervals.
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 504
+	cfg.CSHosts = 10
+	cfg.Chatter = false
+	cfg.Liveness = false
+	sys := core.NewDepartmentSystem(cfg)
+	sys.Advance(5 * time.Minute)
+	mgr := sys.NewManager("")
+
+	batches := 0
+	for i := 0; i < 40; i++ {
+		if _, err := sys.RunManagerBatch(mgr); err != nil {
+			t.Fatal(err)
+		}
+		batches++
+		next, ok := mgr.NextDue()
+		if !ok {
+			break
+		}
+		if d := next.Sub(sys.Now()); d > 0 {
+			sys.Advance(d + time.Minute)
+		}
+		if sys.Now().Sub(time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)) > 40*24*time.Hour {
+			break
+		}
+	}
+	if batches < 5 {
+		t.Fatalf("only %d batches ran", batches)
+	}
+	// On a static department, repeat sweeps find nothing new: the probe
+	// modules must have backed off beyond their minimum intervals.
+	backedOff := 0
+	for _, name := range []string{"SeqPing", "EtherHostProbe", "SubnetMasks"} {
+		st := mgr.State(name)
+		if st == nil || st.Runs < 2 {
+			continue
+		}
+		if st.Interval > explorer.ByName(name).Info().MinInterval {
+			backedOff++
+		}
+	}
+	if backedOff == 0 {
+		t.Fatal("no probe module backed off on a static network")
+	}
+	// Sanity: the journal stabilized (no runaway growth).
+	if n := sys.J.NumInterfaces(); n > 60 {
+		t.Fatalf("journal grew to %d interfaces on a 13-machine wire", n)
+	}
+}

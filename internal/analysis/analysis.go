@@ -1,0 +1,307 @@
+// Package analysis implements Fremont's analysis programs: the passes over
+// Journal data that uncover the paper's Table 8 problem classes —
+//
+//   - IP addresses no longer in use
+//   - hardware changes
+//   - inconsistent network masks
+//   - duplicate address assignments
+//   - promiscuous RIP hosts
+//
+// plus the proxy-ARP/multi-homing disambiguation the text describes.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// ProblemKind classifies a finding.
+type ProblemKind string
+
+// The Table 8 problem classes.
+const (
+	ProblemStaleAddress   ProblemKind = "ip-address-no-longer-in-use"
+	ProblemHardwareChange ProblemKind = "hardware-change"
+	ProblemMaskConflict   ProblemKind = "inconsistent-network-mask"
+	ProblemDuplicateAddr  ProblemKind = "duplicate-address-assignment"
+	ProblemPromiscuousRIP ProblemKind = "promiscuous-rip-host"
+	ProblemProxyARP       ProblemKind = "proxy-arp-or-multihomed"
+)
+
+// Problem is one finding.
+type Problem struct {
+	Kind    ProblemKind
+	Subnet  pkt.Subnet // zero when not subnet-scoped
+	IPs     []pkt.IP
+	MACs    []pkt.MAC
+	Details string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("[%s] %s", p.Kind, p.Details)
+}
+
+// Config tunes the analyses.
+type Config struct {
+	// Now is the reference time for staleness (required).
+	Now time.Time
+	// StaleAfter marks interfaces unverified for this long as candidates
+	// for address reclamation (default 7 days).
+	StaleAfter time.Duration
+	// OverlapSlack: two records for one IP whose verification windows
+	// overlap by more than this are a duplicate assignment rather than a
+	// hardware change (default 1 minute).
+	OverlapSlack time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.StaleAfter == 0 {
+		c.StaleAfter = 7 * 24 * time.Hour
+	}
+	if c.OverlapSlack == 0 {
+		c.OverlapSlack = time.Minute
+	}
+}
+
+// Run executes every analysis and returns findings sorted by kind then
+// address.
+func Run(sink journal.Sink, cfg Config) ([]Problem, error) {
+	cfg.defaults()
+	recs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return nil, err
+	}
+	subnets, err := sink.Subnets()
+	if err != nil {
+		return nil, err
+	}
+	var out []Problem
+	out = append(out, MaskConflicts(recs, subnets)...)
+	out = append(out, AddressConflicts(recs, cfg)...)
+	out = append(out, StaleAddresses(recs, cfg)...)
+	out = append(out, PromiscuousRIP(recs)...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		li, lj := pkt.IP(0), pkt.IP(0)
+		if len(out[i].IPs) > 0 {
+			li = out[i].IPs[0]
+		}
+		if len(out[j].IPs) > 0 {
+			lj = out[j].IPs[0]
+		}
+		return li < lj
+	})
+	return out, nil
+}
+
+// MaskConflicts "lists subnet mask conflicts for all of the interfaces in
+// the same network. With this information we can identify hosts that are
+// not configured properly for a subnetted environment."
+func MaskConflicts(recs []*journal.InterfaceRec, subnets []*journal.SubnetRec) []Problem {
+	// Group masked interfaces by the subnet they land on under the
+	// majority interpretation (journal subnets first, /24 fallback).
+	subnetOf := func(ip pkt.IP) pkt.Subnet {
+		for _, sn := range subnets {
+			if sn.Subnet.Mask != 0 && sn.Subnet.Contains(ip) {
+				return sn.Subnet
+			}
+		}
+		return pkt.SubnetOf(ip, pkt.MaskBits(24))
+	}
+	groups := map[pkt.IP][]*journal.InterfaceRec{}
+	for _, rec := range recs {
+		if rec.Mask == 0 {
+			continue
+		}
+		groups[subnetOf(rec.IP).Addr] = append(groups[subnetOf(rec.IP).Addr], rec)
+	}
+	addrs := make([]pkt.IP, 0, len(groups))
+	for a := range groups {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	var out []Problem
+	for _, addr := range addrs {
+		group := groups[addr]
+		masks := map[pkt.Mask][]pkt.IP{}
+		for _, rec := range group {
+			masks[rec.Mask] = append(masks[rec.Mask], rec.IP)
+		}
+		if len(masks) < 2 {
+			continue
+		}
+		// Majority mask is presumed right; the minority are the problem.
+		var majority pkt.Mask
+		for m, ips := range masks {
+			if len(ips) > len(masks[majority]) {
+				majority = m
+			}
+		}
+		for m, ips := range masks {
+			if m == majority {
+				continue
+			}
+			sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+			out = append(out, Problem{
+				Kind:   ProblemMaskConflict,
+				Subnet: subnetOf(ips[0]),
+				IPs:    ips,
+				Details: fmt.Sprintf("subnet %s: %d interface(s) claim mask %s while %d claim %s",
+					subnetOf(ips[0]), len(ips), m, len(masks[majority]), majority),
+			})
+		}
+	}
+	return out
+}
+
+// AddressConflicts "lists the possible conflicts between MAC layer and
+// network layer addresses": duplicate IP assignments (two MACs answering
+// for one address at overlapping times), hardware changes (sequential
+// MACs), and one MAC carrying several addresses on a wire (proxy ARP, a
+// gateway, or a reconfiguration).
+func AddressConflicts(recs []*journal.InterfaceRec, cfg Config) []Problem {
+	cfg.defaults()
+	var out []Problem
+
+	// Same IP, multiple MACs.
+	byIP := map[pkt.IP][]*journal.InterfaceRec{}
+	for _, rec := range recs {
+		if !rec.MAC.IsZero() {
+			byIP[rec.IP] = append(byIP[rec.IP], rec)
+		}
+	}
+	ips := make([]pkt.IP, 0, len(byIP))
+	for ip := range byIP {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		group := byIP[ip]
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool {
+			return group[i].MACStamp.Discovered.Before(group[j].MACStamp.Discovered)
+		})
+		for i := 1; i < len(group); i++ {
+			prev, cur := group[i-1], group[i]
+			macs := []pkt.MAC{prev.MAC, cur.MAC}
+			// Overlapping verification windows mean both machines were
+			// alive with the address at once: a duplicate assignment.
+			// Strictly sequential sightings mean the hardware changed.
+			overlap := prev.Stamp.Verified.Sub(cur.Stamp.Discovered)
+			if overlap > cfg.OverlapSlack {
+				out = append(out, Problem{
+					Kind: ProblemDuplicateAddr, IPs: []pkt.IP{ip}, MACs: macs,
+					Details: fmt.Sprintf("%s claimed by both %s and %s (seen concurrently for %v)",
+						ip, prev.MAC, cur.MAC, overlap.Round(time.Second)),
+				})
+			} else {
+				out = append(out, Problem{
+					Kind: ProblemHardwareChange, IPs: []pkt.IP{ip}, MACs: macs,
+					Details: fmt.Sprintf("%s moved from %s (last verified %s) to %s (first seen %s)",
+						ip, prev.MAC, prev.Stamp.Verified.Format(time.RFC3339),
+						cur.MAC, cur.Stamp.Discovered.Format(time.RFC3339)),
+				})
+			}
+		}
+	}
+
+	// Same MAC, multiple IPs on one wire (under /24 grouping): proxy ARP,
+	// a reconfigured system, or a multi-addressed interface. (The same MAC
+	// on different subnets is gateway evidence and handled by correlate.)
+	byMAC := map[pkt.MAC][]*journal.InterfaceRec{}
+	for _, rec := range recs {
+		if !rec.MAC.IsZero() {
+			byMAC[rec.MAC] = append(byMAC[rec.MAC], rec)
+		}
+	}
+	macs := make([]pkt.MAC, 0, len(byMAC))
+	for m := range byMAC {
+		macs = append(macs, m)
+	}
+	sort.Slice(macs, func(i, j int) bool {
+		for k := range macs[i] {
+			if macs[i][k] != macs[j][k] {
+				return macs[i][k] < macs[j][k]
+			}
+		}
+		return false
+	})
+	for _, mac := range macs {
+		group := byMAC[mac]
+		bySubnet := map[pkt.IP][]pkt.IP{}
+		for _, rec := range group {
+			sn := pkt.SubnetOf(rec.IP, pkt.MaskBits(24)).Addr
+			bySubnet[sn] = append(bySubnet[sn], rec.IP)
+		}
+		for _, addrs := range bySubnet {
+			if len(addrs) < 2 {
+				continue
+			}
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			out = append(out, Problem{
+				Kind: ProblemProxyARP, IPs: addrs, MACs: []pkt.MAC{mac},
+				Details: fmt.Sprintf("%s answers for %d addresses on one wire (proxy ARP device, or reconfigured host)",
+					mac, len(addrs)),
+			})
+		}
+	}
+	return out
+}
+
+// StaleAddresses finds interfaces whose records have stopped being
+// verified: "we can see when hosts have been removed from the network ...
+// A network manager can observe this, and then contact the owner of the
+// missing host to verify that the network address can be reused." DNS-only
+// verification is ignored, per the presentation program's rule.
+func StaleAddresses(recs []*journal.InterfaceRec, cfg Config) []Problem {
+	cfg.defaults()
+	var out []Problem
+	for _, rec := range recs {
+		// Only flag interfaces that were genuinely observed on the wire at
+		// some point (ARP or ICMP evidence).
+		if rec.Sources&(journal.SrcARP|journal.SrcICMP) == 0 {
+			continue
+		}
+		age := cfg.Now.Sub(rec.Stamp.Verified)
+		if age > cfg.StaleAfter {
+			out = append(out, Problem{
+				Kind: ProblemStaleAddress, IPs: []pkt.IP{rec.IP},
+				Details: fmt.Sprintf("%s (%s) not verified for %v — address may be reusable",
+					rec.IP, nameOr(rec), age.Round(time.Hour)),
+			})
+		}
+	}
+	return out
+}
+
+// PromiscuousRIP reports hosts RIPwatch flagged for rebroadcasting learned
+// routes.
+func PromiscuousRIP(recs []*journal.InterfaceRec) []Problem {
+	var out []Problem
+	for _, rec := range recs {
+		if rec.RIPPromiscuous {
+			out = append(out, Problem{
+				Kind: ProblemPromiscuousRIP, IPs: []pkt.IP{rec.IP},
+				Details: fmt.Sprintf("%s (%s) promiscuously re-advertises learned RIP routes",
+					rec.IP, nameOr(rec)),
+			})
+		}
+	}
+	return out
+}
+
+func nameOr(rec *journal.InterfaceRec) string {
+	if rec.Name != "" {
+		return rec.Name
+	}
+	return "unnamed"
+}

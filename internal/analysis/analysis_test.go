@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func mac(b byte) pkt.MAC { return pkt.MAC{8, 0, 0x20, 0, 0, b} }
+
+func countKind(ps []Problem, k ProblemKind) int {
+	n := 0
+	for _, p := range ps {
+		if p.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMaskConflicts(t *testing.T) {
+	j := journal.New()
+	// Three hosts on one /24; one claims /16.
+	for i := 1; i <= 2; i++ {
+		j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, byte(i)),
+			HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcICMP, At: t0})
+	}
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 3),
+		HasMask: true, Mask: pkt.MaskBits(16), Source: journal.SrcICMP, At: t0})
+	ps, err := Run(journal.Local{J: j}, Config{Now: t0.Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKind(ps, ProblemMaskConflict) != 1 {
+		t.Fatalf("mask conflicts = %d, want 1 (%v)", countKind(ps, ProblemMaskConflict), ps)
+	}
+	var found *Problem
+	for i := range ps {
+		if ps[i].Kind == ProblemMaskConflict {
+			found = &ps[i]
+		}
+	}
+	if len(found.IPs) != 1 || found.IPs[0] != pkt.IPv4(10, 0, 1, 3) {
+		t.Fatalf("wrong culprit: %+v", found)
+	}
+}
+
+func TestNoMaskConflictWhenConsistent(t *testing.T) {
+	j := journal.New()
+	for i := 1; i <= 5; i++ {
+		j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, byte(i)),
+			HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcICMP, At: t0})
+	}
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0})
+	if countKind(ps, ProblemMaskConflict) != 0 {
+		t.Fatalf("false mask conflict: %v", ps)
+	}
+}
+
+func TestDuplicateAddressDetection(t *testing.T) {
+	j := journal.New()
+	ip := pkt.IPv4(10, 0, 1, 66)
+	// Two MACs answering for one IP with overlapping lifetimes.
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(2), Source: journal.SrcARP, At: t0.Add(10 * time.Minute)})
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: journal.SrcARP, At: t0.Add(20 * time.Minute)})
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0.Add(time.Hour)})
+	if countKind(ps, ProblemDuplicateAddr) != 1 {
+		t.Fatalf("duplicate-address findings = %d, want 1 (%v)", countKind(ps, ProblemDuplicateAddr), ps)
+	}
+	if countKind(ps, ProblemHardwareChange) != 0 {
+		t.Fatalf("overlapping sightings misread as hardware change: %v", ps)
+	}
+}
+
+func TestHardwareChangeDetection(t *testing.T) {
+	j := journal.New()
+	ip := pkt.IPv4(10, 0, 1, 20)
+	// MAC 1 seen for a while, then silence, then MAC 2 takes over.
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: journal.SrcARP, At: t0.Add(24 * time.Hour)})
+	j.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(2), Source: journal.SrcARP, At: t0.Add(72 * time.Hour)})
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0.Add(80 * time.Hour)})
+	if countKind(ps, ProblemHardwareChange) != 1 {
+		t.Fatalf("hardware changes = %d, want 1 (%v)", countKind(ps, ProblemHardwareChange), ps)
+	}
+	if countKind(ps, ProblemDuplicateAddr) != 0 {
+		t.Fatalf("sequential sightings misread as duplicate: %v", ps)
+	}
+}
+
+func TestStaleAddressDetection(t *testing.T) {
+	j := journal.New()
+	// Verified long ago by ARP.
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 5), HasMAC: true, MAC: mac(5),
+		Source: journal.SrcARP, At: t0})
+	// Fresh host.
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 6), HasMAC: true, MAC: mac(6),
+		Source: journal.SrcARP, At: t0.Add(13 * 24 * time.Hour)})
+	// DNS-only record: never flagged (DNS data is "not necessarily
+	// current" anyway).
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 7), Name: "ghost.example",
+		Source: journal.SrcDNS, At: t0})
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0.Add(14 * 24 * time.Hour)})
+	stale := countKind(ps, ProblemStaleAddress)
+	if stale != 1 {
+		t.Fatalf("stale addresses = %d, want 1 (%v)", stale, ps)
+	}
+	for _, p := range ps {
+		if p.Kind == ProblemStaleAddress && p.IPs[0] != pkt.IPv4(10, 0, 1, 5) {
+			t.Fatalf("wrong host flagged stale: %+v", p)
+		}
+	}
+}
+
+func TestPromiscuousRIPDetection(t *testing.T) {
+	j := journal.New()
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 30), RIPSource: true,
+		RIPPromiscuous: true, Source: journal.SrcRIP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 1), RIPSource: true,
+		Source: journal.SrcRIP, At: t0})
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0})
+	if countKind(ps, ProblemPromiscuousRIP) != 1 {
+		t.Fatalf("promiscuous findings = %d, want 1", countKind(ps, ProblemPromiscuousRIP))
+	}
+}
+
+func TestProxyARPDetection(t *testing.T) {
+	j := journal.New()
+	// One MAC claims three addresses on one wire.
+	for i := 50; i <= 52; i++ {
+		j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, byte(i)),
+			HasMAC: true, MAC: mac(7), Source: journal.SrcARP, At: t0})
+	}
+	ps, _ := Run(journal.Local{J: j}, Config{Now: t0})
+	if countKind(ps, ProblemProxyARP) != 1 {
+		t.Fatalf("proxy-ARP findings = %d, want 1 (%v)", countKind(ps, ProblemProxyARP), ps)
+	}
+}
+
+func TestCleanJournalHasNoFindings(t *testing.T) {
+	j := journal.New()
+	for i := 1; i <= 20; i++ {
+		j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, byte(i)), HasMAC: true,
+			MAC: mac(byte(i)), HasMask: true, Mask: pkt.MaskBits(24),
+			Source: journal.SrcARP | journal.SrcICMP, At: t0})
+	}
+	ps, err := Run(journal.Local{J: j}, Config{Now: t0.Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatalf("clean journal produced findings: %v", ps)
+	}
+}

@@ -1,0 +1,292 @@
+// Package avl implements a height-balanced (AVL) binary search tree with
+// ordered iteration and range scans.
+//
+// The Fremont Journal Server indexes its interface records by Ethernet
+// address, IP address, and DNS name, and its subnet records by subnet
+// address, exactly as described in the paper ("The data records for
+// interfaces are indexed by three AVL trees ... An AVL tree is also used to
+// index subnet records by subnet address. This allows quick access to
+// individual data records, as well as access to ranges of records.").
+//
+// The tree is generic over the key type; ordering is supplied by a
+// comparison function with the usual cmp semantics (<0, 0, >0).
+package avl
+
+// Tree is an AVL tree mapping keys of type K to values of type V.
+// The zero value is not usable; construct with New.
+//
+// Tree is not safe for concurrent use; the Journal Server serializes all
+// access (updates are serialized by design, per the paper).
+type Tree[K any, V any] struct {
+	root *node[K, V]
+	size int
+	cmp  func(a, b K) int
+}
+
+type node[K any, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	height      int8
+}
+
+// New returns an empty tree ordered by cmp.
+func New[K any, V any](cmp func(a, b K) int) *Tree[K, V] {
+	return &Tree[K, V]{cmp: cmp}
+}
+
+// Len reports the number of entries in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key, and whether it was present.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		c := t.cmp(key, n.key)
+		switch {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key. It reports whether the key
+// was newly inserted (true) or replaced an existing entry (false).
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	var inserted bool
+	t.root, inserted = t.insert(t.root, key, val)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *Tree[K, V]) insert(n *node[K, V], key K, val V) (*node[K, V], bool) {
+	if n == nil {
+		return &node[K, V]{key: key, val: val, height: 1}, true
+	}
+	c := t.cmp(key, n.key)
+	var inserted bool
+	switch {
+	case c < 0:
+		n.left, inserted = t.insert(n.left, key, val)
+	case c > 0:
+		n.right, inserted = t.insert(n.right, key, val)
+	default:
+		n.val = val
+		return n, false
+	}
+	if inserted {
+		n = rebalance(n)
+	}
+	return n, inserted
+}
+
+// Delete removes the entry under key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	var deleted bool
+	t.root, deleted = t.remove(t.root, key)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) remove(n *node[K, V], key K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	c := t.cmp(key, n.key)
+	var deleted bool
+	switch {
+	case c < 0:
+		n.left, deleted = t.remove(n.left, key)
+	case c > 0:
+		n.right, deleted = t.remove(n.right, key)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.key, n.val = succ.key, succ.val
+		n.right, _ = t.remove(n.right, succ.key)
+	}
+	if deleted {
+		n = rebalance(n)
+	}
+	return n, deleted
+}
+
+// Min returns the smallest key and its value. ok is false if the tree is
+// empty.
+func (t *Tree[K, V]) Min() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value. ok is false if the tree is
+// empty.
+func (t *Tree[K, V]) Max() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ascend calls fn for every entry in ascending key order until fn returns
+// false or the entries are exhausted.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K any, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// AscendRange calls fn in ascending order for every entry with
+// lo <= key < hi, until fn returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(key K, val V) bool) {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K, V]) ascendRange(n *node[K, V], lo, hi K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if t.cmp(n.key, lo) >= 0 {
+		if !t.ascendRange(n.left, lo, hi, fn) {
+			return false
+		}
+		if t.cmp(n.key, hi) < 0 {
+			if !fn(n.key, n.val) {
+				return false
+			}
+		}
+	}
+	if t.cmp(n.key, hi) < 0 {
+		return t.ascendRange(n.right, lo, hi, fn)
+	}
+	return true
+}
+
+// Height returns the height of the tree (0 for an empty tree). Exposed so
+// tests can verify the AVL balance guarantee.
+func (t *Tree[K, V]) Height() int { return int(height(t.root)) }
+
+// checkInvariants walks the tree verifying ordering and balance; it returns
+// false at the first violation. Used by tests (via the export_test shim).
+func (t *Tree[K, V]) checkInvariants() bool {
+	ok := true
+	var walk func(n *node[K, V]) int8
+	walk = func(n *node[K, V]) int8 {
+		if n == nil {
+			return 0
+		}
+		lh, rh := walk(n.left), walk(n.right)
+		if n.height != max8(lh, rh)+1 {
+			ok = false
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			ok = false
+		}
+		if n.left != nil && t.cmp(n.left.key, n.key) >= 0 {
+			ok = false
+		}
+		if n.right != nil && t.cmp(n.right.key, n.key) <= 0 {
+			ok = false
+		}
+		return max8(lh, rh) + 1
+	}
+	walk(t.root)
+	return ok
+}
+
+func height[K any, V any](n *node[K, V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func max8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func update[K any, V any](n *node[K, V]) {
+	n.height = max8(height(n.left), height(n.right)) + 1
+}
+
+func balanceFactor[K any, V any](n *node[K, V]) int8 {
+	return height(n.left) - height(n.right)
+}
+
+func rotateRight[K any, V any](n *node[K, V]) *node[K, V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	update(n)
+	update(l)
+	return l
+}
+
+func rotateLeft[K any, V any](n *node[K, V]) *node[K, V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	update(n)
+	update(r)
+	return r
+}
+
+func rebalance[K any, V any](n *node[K, V]) *node[K, V] {
+	update(n)
+	switch bf := balanceFactor(n); {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}

@@ -1,0 +1,311 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, string](intCmp)
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree reported ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported deletion")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported ok")
+	}
+	if tr.Height() != 0 {
+		t.Fatalf("Height() = %d, want 0", tr.Height())
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New[int, string](intCmp)
+	if !tr.Put(5, "five") {
+		t.Fatal("first Put reported replacement")
+	}
+	if tr.Put(5, "FIVE") {
+		t.Fatal("second Put of same key reported insertion")
+	}
+	v, ok := tr.Get(5)
+	if !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q,%v; want FIVE,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 100; i++ {
+		tr.Put(i, i*10)
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len() = %d, want 50", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants violated after deletions")
+	}
+}
+
+func TestDeleteInternalNodes(t *testing.T) {
+	// Delete nodes that have two children (forces successor replacement).
+	tr := New[int, int](intCmp)
+	keys := []int{50, 25, 75, 10, 30, 60, 90, 5, 15, 28, 35}
+	for _, k := range keys {
+		tr.Put(k, k)
+	}
+	for _, k := range []int{25, 50, 75} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if !tr.CheckInvariants() {
+			t.Fatalf("invariants violated after deleting %d", k)
+		}
+	}
+	want := []int{5, 10, 15, 28, 30, 35, 60, 90}
+	var got []int
+	tr.Ascend(func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New[int, int](intCmp)
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(1000)
+	for _, k := range perm {
+		tr.Put(k, k)
+	}
+	prev := -1
+	count := 0
+	tr.Ascend(func(k, v int) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k {
+			t.Fatalf("value mismatch: key %d has value %d", k, v)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != 1000 {
+		t.Fatalf("visited %d entries, want 1000", count)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 100; i++ {
+		tr.Put(i, i)
+	}
+	count := 0
+	tr.Ascend(func(k, _ int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d entries, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 100; i++ {
+		tr.Put(i, i)
+	}
+	var got []int
+	tr.AscendRange(25, 30, func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{25, 26, 27, 28, 29}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendRangeEmpty(t *testing.T) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 10; i++ {
+		tr.Put(i*10, i)
+	}
+	called := false
+	tr.AscendRange(41, 49, func(int, int) bool { called = true; return true })
+	if called {
+		t.Fatal("AscendRange visited entries in an empty range")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int, string](intCmp)
+	for _, k := range []int{42, 7, 99, 13} {
+		tr.Put(k, "v")
+	}
+	if k, _, _ := tr.Min(); k != 7 {
+		t.Fatalf("Min = %d, want 7", k)
+	}
+	if k, _, _ := tr.Max(); k != 99 {
+		t.Fatalf("Max = %d, want 99", k)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[int, int](intCmp)
+	// Sequential insertion is the worst case for a naive BST.
+	for i := 0; i < 1<<14; i++ {
+		tr.Put(i, i)
+	}
+	// AVL guarantees height <= 1.44*log2(n+2); for n=16384 that's ~21.
+	if h := tr.Height(); h > 21 {
+		t.Fatalf("Height = %d for 16384 sequential keys; tree is not balanced", h)
+	}
+	if !tr.CheckInvariants() {
+		t.Fatal("invariants violated after sequential insert")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, int](strings.Compare)
+	words := []string{"boulder", "denver", "aspen", "vail", "golden"}
+	for i, w := range words {
+		tr.Put(w, i)
+	}
+	var got []string
+	tr.Ascend(func(k string, _ int) bool { got = append(got, k); return true })
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("string keys not sorted: %v", got)
+	}
+}
+
+// TestQuickInvariants is a property test: any sequence of random inserts and
+// deletes leaves the tree balanced, ordered, and agreeing with a reference
+// map.
+func TestQuickInvariants(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New[int16, int](func(a, b int16) int { return int(a) - int(b) })
+		ref := map[int16]int{}
+		for i, op := range ops {
+			if op%2 == 0 {
+				tr.Put(op, i)
+				ref[op] = i
+			} else {
+				d := tr.Delete(op)
+				_, had := ref[op]
+				if d != had {
+					return false
+				}
+				delete(ref, op)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tr.CheckInvariants()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAscendMatchesSortedKeys(t *testing.T) {
+	f := func(keys []int32) bool {
+		tr := New[int32, bool](func(a, b int32) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		})
+		uniq := map[int32]bool{}
+		for _, k := range keys {
+			tr.Put(k, true)
+			uniq[k] = true
+		}
+		want := make([]int32, 0, len(uniq))
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := make([]int32, 0, tr.Len())
+		tr.Ascend(func(k int32, _ bool) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, b.N)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	tr := New[int, int](intCmp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int](intCmp)
+	for i := 0; i < 1<<16; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & (1<<16 - 1))
+	}
+}

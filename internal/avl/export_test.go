@@ -1,0 +1,4 @@
+package avl
+
+// CheckInvariants exposes the internal invariant checker to tests.
+func (t *Tree[K, V]) CheckInvariants() bool { return t.checkInvariants() }

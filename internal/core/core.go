@@ -1,0 +1,167 @@
+// Package core wires the Fremont system together: a Journal (in-process or
+// behind a Journal Server), the Discovery Manager, the Explorer Modules,
+// and a substrate for them to explore. It is the public face used by the
+// command-line tools, the examples, and the evaluation harness.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fremont/internal/analysis"
+	"fremont/internal/correlate"
+	"fremont/internal/explorer"
+	"fremont/internal/journal"
+	"fremont/internal/manager"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+	"fremont/internal/present"
+	"fremont/internal/simstack"
+)
+
+// System is one Fremont deployment on a simulated campus: the Fremont host
+// runs Explorer Modules under the virtual clock, recording into a Journal.
+type System struct {
+	Campus *campus.Campus
+	J      *journal.Journal
+	Sink   journal.Sink
+
+	// Privileged enables the NIT-based modules (ARPwatch, RIPwatch).
+	Privileged bool
+
+	// Log receives module progress lines; nil discards.
+	Log func(format string, args ...any)
+}
+
+// NewSystem deploys Fremont on a freshly built campus with an in-process
+// Journal.
+func NewSystem(cfg campus.Config) *System {
+	c := campus.Build(cfg)
+	j := journal.New()
+	return &System{Campus: c, J: j, Sink: journal.Local{J: j}, Privileged: true}
+}
+
+// NewDepartmentSystem deploys Fremont on just the measured department wire
+// (economical for day-long passive runs).
+func NewDepartmentSystem(cfg campus.Config) *System {
+	c := campus.BuildDepartment(cfg)
+	j := journal.New()
+	return &System{Campus: c, J: j, Sink: journal.Local{J: j}, Privileged: true}
+}
+
+// Network returns the campus class B network number.
+func (s *System) Network() pkt.Subnet {
+	return pkt.SubnetOf(s.Campus.Backbone.Addr, pkt.MaskBits(16))
+}
+
+// Now returns the campus's virtual wall-clock time.
+func (s *System) Now() time.Time { return s.Campus.Net.Now() }
+
+// Advance runs the simulation for d of virtual time.
+func (s *System) Advance(d time.Duration) { s.Campus.Net.Run(d) }
+
+// AdvanceToHour runs the simulation until the virtual wall clock next
+// reads the given hour (0-23) — how the evaluation schedules module runs
+// at the times of day their results depend on.
+func (s *System) AdvanceToHour(hour int) {
+	now := s.Now()
+	d := time.Duration(((hour-now.Hour())%24+24)%24) * time.Hour
+	// Land at the top of the hour.
+	d -= time.Duration(now.Minute())*time.Minute + time.Duration(now.Second())*time.Second
+	if d <= 0 {
+		d += 24 * time.Hour
+	}
+	s.Advance(d)
+}
+
+// run spawns fn as a simulation process on host and advances the
+// simulation until it completes (bounded by maxSim).
+func (s *System) run(name string, host *netsim.Node, maxSim time.Duration, fn func(st *simstack.Stack)) error {
+	done := false
+	s.Campus.Net.Sched.Spawn(name, func(p *sim.Proc) {
+		st := simstack.New(host, p, s.Privileged)
+		fn(st)
+		done = true
+	})
+	deadline := s.Campus.Net.Sched.Now() + maxSim
+	for !done && s.Campus.Net.Sched.Now() < deadline {
+		s.Advance(time.Minute)
+	}
+	if !done {
+		return fmt.Errorf("core: %s did not finish within %v of simulated time", name, maxSim)
+	}
+	return nil
+}
+
+// RunModule executes one Explorer Module on the Fremont host, advancing
+// the simulation until it finishes (allowing up to a simulated week).
+func (s *System) RunModule(m explorer.Module, params explorer.Params) (*explorer.Report, error) {
+	return s.RunModuleOn(s.Campus.Fremont, m, params)
+}
+
+// RunModuleOn executes a module from another vantage point — the paper's
+// multi-location idea: "Because it will receive ICMP Time Exceeded
+// messages from only the single closest interface on the routers along
+// the traced path, the Traceroute module will only discover half the
+// interfaces traversed. Running this module from multiple locations in
+// the network will acquire more complete information about the router
+// interface addresses." Both vantage points share this system's Journal.
+func (s *System) RunModuleOn(host *netsim.Node, m explorer.Module, params explorer.Params) (*explorer.Report, error) {
+	var rep *explorer.Report
+	var err error
+	runErr := s.run("module:"+m.Info().Name, host, 8*24*time.Hour, func(st *simstack.Stack) {
+		rep, err = m.Run(&explorer.Context{Stack: st, Journal: s.Sink, Params: params, Log: s.Log})
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return rep, err
+}
+
+// NewManager builds a Discovery Manager bound to this system's Journal and
+// campus (DNS server, network number).
+func (s *System) NewManager(historyPath string) *manager.Manager {
+	return manager.New(s.Sink, manager.Config{
+		Network:     s.Network(),
+		DNSServer:   s.Campus.DNSServerIP,
+		Privileged:  s.Privileged,
+		Correlate:   true,
+		HistoryPath: historyPath,
+		Log:         s.Log,
+	})
+}
+
+// RunManagerBatch executes one Discovery Manager batch (all due modules
+// plus a correlation pass), advancing the simulation until it completes.
+func (s *System) RunManagerBatch(mgr *manager.Manager) ([]*explorer.Report, error) {
+	var reps []*explorer.Report
+	var err error
+	runErr := s.run("manager", s.Campus.Fremont, 8*24*time.Hour, func(st *simstack.Stack) {
+		reps, err = mgr.RunDue(st)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return reps, err
+}
+
+// Correlate runs one cross-correlation pass over the Journal.
+func (s *System) Correlate() (correlate.Report, error) {
+	return correlate.Run(s.Sink, s.Now())
+}
+
+// Analyze runs the Table 8 problem analyses.
+func (s *System) Analyze(cfg analysis.Config) ([]analysis.Problem, error) {
+	if cfg.Now.IsZero() {
+		cfg.Now = s.Now()
+	}
+	return analysis.Run(s.Sink, cfg)
+}
+
+// Topology extracts the discovered gateway/subnet structure for export
+// (Figure 2).
+func (s *System) Topology() (*present.Topology, error) {
+	return present.ExtractTopology(s.Sink)
+}

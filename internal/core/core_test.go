@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/analysis"
+	"fremont/internal/explorer"
+	"fremont/internal/journal"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/netsim/pkt"
+)
+
+func deptCfg(seed int64) campus.Config {
+	cfg := campus.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Chatter = false
+	cfg.Liveness = false
+	return cfg
+}
+
+func TestAdvanceToHour(t *testing.T) {
+	sys := NewDepartmentSystem(deptCfg(201))
+	sys.AdvanceToHour(14)
+	if h := sys.Now().Hour(); h != 14 {
+		t.Fatalf("hour = %d, want 14", h)
+	}
+	// Asking for the hour we're at must advance a full day, not zero.
+	before := sys.Now()
+	sys.AdvanceToHour(14)
+	if d := sys.Now().Sub(before); d < 23*time.Hour || d > 25*time.Hour {
+		t.Fatalf("re-advancing to same hour moved %v, want ~24h", d)
+	}
+	sys.AdvanceToHour(9)
+	if h := sys.Now().Hour(); h != 9 {
+		t.Fatalf("hour = %d, want 9", h)
+	}
+}
+
+func TestRunModuleAndAnalyze(t *testing.T) {
+	sys := NewDepartmentSystem(deptCfg(202))
+	sys.Advance(5 * time.Minute)
+	rep, err := sys.RunModule(explorer.EtherHostProbe{}, explorer.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Interfaces) < 40 {
+		t.Fatalf("found %d interfaces", len(rep.Interfaces))
+	}
+	if sys.J.NumInterfaces() != len(rep.Interfaces) {
+		t.Fatalf("journal %d vs report %d", sys.J.NumInterfaces(), len(rep.Interfaces))
+	}
+	ps, err := sys.Analyze(analysis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatalf("clean department produced findings: %v", ps)
+	}
+}
+
+func TestNetworkNumber(t *testing.T) {
+	sys := NewDepartmentSystem(deptCfg(203))
+	want := pkt.SubnetOf(pkt.IPv4(128, 138, 0, 0), pkt.MaskBits(16))
+	if sys.Network() != want {
+		t.Fatalf("Network() = %v, want %v", sys.Network(), want)
+	}
+}
+
+// TestMultiVantageTraceroute verifies the paper's observation: one vantage
+// point sees only the near-side interface of each gateway; adding a second
+// vantage point on the far side of the network fills in interfaces the
+// first could never see.
+func TestMultiVantageTraceroute(t *testing.T) {
+	cfg := deptCfg(204)
+	sys := NewSystem(cfg)
+	// The paper's premise — traceroute "will only discover half the
+	// interfaces traversed" — holds on networks whose gateways do not
+	// accept host-zero packets (common in the era); model that here so
+	// the far sides are genuinely invisible from one vantage.
+	for _, gw := range sys.Campus.Gateways {
+		gw.TreatsHostZeroAsSelf = false
+	}
+	sys.Advance(5 * time.Minute)
+
+	// RIP clues first (as the manager would).
+	if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunModule(explorer.Tracerouter{}, explorer.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	// Count interfaces belonging to firmly-identified gateways (the
+	// host-zero responders are tagged questionable and excluded).
+	countGatewayIfaces := func() int {
+		gws, _ := sys.Sink.Gateways()
+		firm := map[journal.ID]bool{}
+		for _, gw := range gws {
+			if !gw.Questionable {
+				firm[gw.ID] = true
+			}
+		}
+		recs, _ := sys.Sink.Interfaces(journal.Query{})
+		n := 0
+		for _, r := range recs {
+			if firm[r.Gateway] {
+				n++
+			}
+		}
+		return n
+	}
+	single := countGatewayIfaces()
+
+	// Second vantage point: a host on a healthy department subnet far
+	// from the CS wire.
+	var vantage *netsim.Node
+	for _, sn := range sys.Campus.Live {
+		if sn.Addr == sys.Campus.Backbone.Addr || sn.Addr == sys.Campus.CSSubnet.Addr ||
+			sys.Campus.SilentBehind[sn.Addr] {
+			continue
+		}
+		if ifc := sys.Campus.Net.IfaceByIP(sn.Addr + 10); ifc != nil {
+			vantage = ifc.Node
+		}
+	}
+	if vantage == nil {
+		t.Fatal("no far vantage host found")
+	}
+	if _, err := sys.RunModuleOn(vantage, explorer.Tracerouter{}, explorer.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Correlate(); err != nil {
+		t.Fatal(err)
+	}
+	double := countGatewayIfaces()
+	if double <= single {
+		t.Fatalf("second vantage added nothing: %d -> %d gateway interfaces", single, double)
+	}
+	t.Logf("gateway interfaces: %d from one vantage, %d from two", single, double)
+}
+
+func TestManagerBatchViaFacade(t *testing.T) {
+	cfg := deptCfg(205)
+	cfg.CSHosts = 8
+	sys := NewDepartmentSystem(cfg)
+	sys.Advance(5 * time.Minute)
+	mgr := sys.NewManager("")
+	reports, err := sys.RunManagerBatch(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 8 {
+		t.Fatalf("reports = %d, want 8", len(reports))
+	}
+	topo, err := sys.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Subnets) == 0 {
+		t.Fatal("no topology extracted")
+	}
+}
+
+func TestUnprivilegedSystemSkipsTaps(t *testing.T) {
+	sys := NewDepartmentSystem(deptCfg(206))
+	sys.Privileged = false
+	if _, err := sys.RunModule(explorer.ARPwatch{}, explorer.Params{Duration: time.Minute}); err == nil {
+		t.Fatal("ARPwatch ran without privileges")
+	}
+	// The manager simply never schedules the watchers.
+	mgr := sys.NewManager("")
+	reports, err := sys.RunManagerBatch(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if rep.Module == "ARPwatch" || rep.Module == "RIPwatch" {
+			t.Fatalf("unprivileged manager ran %s", rep.Module)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package correlate implements the Discovery Manager's cross-correlation
+// pass: comparing information discovered by different Explorer Modules to
+// form a more complete network picture. "The fact that the same Ethernet
+// address is observed by two ARP modules running on different subnets is
+// not significant until that information is written into the Journal. Only
+// then, because of the common storage, can that gateway be discovered."
+package correlate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Report summarizes one correlation pass.
+type Report struct {
+	// GatewaysFromMAC counts gateways inferred from one MAC appearing with
+	// addresses on multiple subnets.
+	GatewaysFromMAC int
+	// GatewaysFromName counts gateways inferred from one DNS name carrying
+	// addresses on multiple subnets.
+	GatewaysFromName int
+	// SubnetLinks counts gateway→subnet attachments added.
+	SubnetLinks int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("correlate: %d gateways from MACs, %d from names, %d subnet links",
+		r.GatewaysFromMAC, r.GatewaysFromName, r.SubnetLinks)
+}
+
+// Run performs one cross-correlation pass over the Journal.
+func Run(sink journal.Sink, now time.Time) (Report, error) {
+	var rep Report
+	recs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return rep, err
+	}
+	subnets, err := sink.Subnets()
+	if err != nil {
+		return rep, err
+	}
+
+	// Resolve an address to its subnet, preferring journal knowledge, then
+	// the record's own mask, then the /24 convention.
+	subnetOf := func(rec *journal.InterfaceRec) pkt.Subnet {
+		for _, sn := range subnets {
+			if sn.Subnet.Mask != 0 && sn.Subnet.Contains(rec.IP) {
+				return sn.Subnet
+			}
+		}
+		if rec.Mask != 0 {
+			return pkt.SubnetOf(rec.IP, rec.Mask)
+		}
+		return pkt.SubnetOf(rec.IP, pkt.MaskBits(24))
+	}
+
+	// Same MAC on different subnets → one machine with multiple
+	// interfaces: a gateway. (Same MAC with several addresses on the SAME
+	// subnet is proxy ARP or a reconfiguration — the analysis programs
+	// flag it; it is NOT gateway evidence.)
+	byMAC := map[pkt.MAC][]*journal.InterfaceRec{}
+	for _, rec := range recs {
+		if !rec.MAC.IsZero() {
+			byMAC[rec.MAC] = append(byMAC[rec.MAC], rec)
+		}
+	}
+	macs := make([]pkt.MAC, 0, len(byMAC))
+	for mac := range byMAC {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool { return macLess(macs[i], macs[j]) })
+	for _, mac := range macs {
+		group := byMAC[mac]
+		if len(group) < 2 {
+			continue
+		}
+		bySubnet := map[pkt.IP]*journal.InterfaceRec{}
+		for _, rec := range group {
+			bySubnet[subnetOf(rec).Addr] = rec
+		}
+		if len(bySubnet) < 2 {
+			continue
+		}
+		var ips []pkt.IP
+		var sns []pkt.Subnet
+		for _, rec := range group {
+			ips = append(ips, rec.IP)
+			sns = appendSubnetUnique(sns, subnetOf(rec))
+		}
+		sortIPs(ips)
+		if _, err := sink.StoreGateway(journal.GatewayObs{
+			IfaceIPs: ips, Subnets: sns,
+			Source: journal.SrcCorrelation, At: now,
+		}); err != nil {
+			return rep, err
+		}
+		rep.GatewaysFromMAC++
+		rep.SubnetLinks += len(sns)
+	}
+
+	// Same DNS name (or alias) on addresses in different subnets — the
+	// name evidence may have come from the DNS module while the addresses
+	// came from ping sweeps on different wires.
+	byName := map[string][]*journal.InterfaceRec{}
+	for _, rec := range recs {
+		for _, name := range append([]string{rec.Name}, rec.Aliases...) {
+			if name != "" {
+				byName[name] = append(byName[name], rec)
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		if len(group) < 2 {
+			continue
+		}
+		bySubnet := map[pkt.IP]bool{}
+		var ips []pkt.IP
+		var sns []pkt.Subnet
+		for _, rec := range group {
+			sn := subnetOf(rec)
+			bySubnet[sn.Addr] = true
+			ips = append(ips, rec.IP)
+			sns = appendSubnetUnique(sns, sn)
+		}
+		if len(bySubnet) < 2 {
+			continue
+		}
+		sortIPs(ips)
+		if _, err := sink.StoreGateway(journal.GatewayObs{
+			IfaceIPs: ips, Subnets: sns,
+			Source: journal.SrcCorrelation, At: now,
+		}); err != nil {
+			return rep, err
+		}
+		rep.GatewaysFromName++
+		rep.SubnetLinks += len(sns)
+	}
+
+	// Attach gateways to the subnets their member interfaces live on (the
+	// interface may have been discovered after the gateway record).
+	gws, err := sink.Gateways()
+	if err != nil {
+		return rep, err
+	}
+	for _, gw := range gws {
+		var missing []pkt.Subnet
+		var memberIPs []pkt.IP
+		for _, ifID := range gw.Ifaces {
+			for _, rec := range recs {
+				if rec.ID == ifID {
+					memberIPs = append(memberIPs, rec.IP)
+					sn := subnetOf(rec)
+					if !subnetIn(gw.Subnets, sn) {
+						missing = append(missing, sn)
+					}
+				}
+			}
+		}
+		if len(missing) > 0 && len(memberIPs) > 0 {
+			sortIPs(memberIPs)
+			if _, err := sink.StoreGateway(journal.GatewayObs{
+				IfaceIPs: memberIPs[:1], Subnets: missing,
+				Source: journal.SrcCorrelation, At: now,
+			}); err != nil {
+				return rep, err
+			}
+			rep.SubnetLinks += len(missing)
+		}
+	}
+	return rep, nil
+}
+
+func macLess(a, b pkt.MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func sortIPs(ips []pkt.IP) {
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+}
+
+func appendSubnetUnique(s []pkt.Subnet, v pkt.Subnet) []pkt.Subnet {
+	for _, x := range s {
+		if x.Addr == v.Addr {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func subnetIn(s []pkt.Subnet, v pkt.Subnet) bool {
+	for _, x := range s {
+		if x.Addr == v.Addr {
+			return true
+		}
+	}
+	return false
+}

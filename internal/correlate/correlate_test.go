@@ -1,0 +1,114 @@
+package correlate
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func mac(b byte) pkt.MAC { return pkt.MAC{8, 0, 0x20, 0, 0, b} }
+
+func TestGatewayFromSharedMAC(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	// Two ARPwatch runs on different subnets saw the same Ethernet
+	// address.
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 1), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 2, 1), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	rep, err := Run(sink, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GatewaysFromMAC != 1 {
+		t.Fatalf("GatewaysFromMAC = %d, want 1", rep.GatewaysFromMAC)
+	}
+	gws := j.Gateways()
+	if len(gws) != 1 || len(gws[0].Ifaces) != 2 {
+		t.Fatalf("gateways = %+v", gws)
+	}
+	if len(gws[0].Subnets) != 2 {
+		t.Fatalf("gateway subnets = %v", gws[0].Subnets)
+	}
+}
+
+func TestSharedMACOnOneSubnetIsNotGateway(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	// Proxy ARP: one MAC answering for several addresses on the SAME wire.
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 50), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 51), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	rep, err := Run(sink, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GatewaysFromMAC != 0 {
+		t.Fatal("proxy-ARP pattern misread as gateway")
+	}
+	if len(j.Gateways()) != 0 {
+		t.Fatal("gateway record created for same-subnet MAC sharing")
+	}
+}
+
+func TestGatewayFromSharedName(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	// Ping found two addresses; DNS later named both "engr-gw".
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 1), Name: "engr-gw.colorado.edu",
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcICMP | journal.SrcDNS, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 2, 1), Name: "engr-gw.colorado.edu",
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcICMP | journal.SrcDNS, At: t0})
+	rep, err := Run(sink, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GatewaysFromName != 1 {
+		t.Fatalf("GatewaysFromName = %d, want 1", rep.GatewaysFromName)
+	}
+}
+
+func TestCorrelationIsIdempotent(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 1, 1), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 2, 1), HasMAC: true, MAC: mac(9),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP, At: t0})
+	if _, err := Run(sink, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sink, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(j.Gateways()); n != 1 {
+		t.Fatalf("after two passes, gateways = %d, want 1 (merge, not duplicate)", n)
+	}
+}
+
+func TestAttachGatewayToMemberSubnets(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	// Traceroute saw a gateway interface but never attached its own wire.
+	j.StoreSubnet(journal.SubnetObs{Subnet: pkt.SubnetOf(pkt.IPv4(10, 0, 3, 0), pkt.MaskBits(24)),
+		Source: journal.SrcRIP, At: t0})
+	j.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 3, 1)},
+		Source: journal.SrcTraceroute, At: t0})
+	// Strip: the gateway record has no subnets yet.
+	if gws := j.Gateways(); len(gws[0].Subnets) != 0 {
+		t.Fatalf("precondition: gateway already has subnets %v", gws[0].Subnets)
+	}
+	if _, err := Run(sink, t0); err != nil {
+		t.Fatal(err)
+	}
+	gws := j.Gateways()
+	if len(gws) != 1 || len(gws[0].Subnets) != 1 || gws[0].Subnets[0].Addr != pkt.IPv4(10, 0, 3, 0) {
+		t.Fatalf("gateway not attached to member subnet: %+v", gws)
+	}
+}

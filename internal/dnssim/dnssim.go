@@ -1,0 +1,197 @@
+// Package dnssim implements an authoritative Domain Name System server
+// that runs as a node in the simulated network, speaking the real DNS wire
+// format from package pkt.
+//
+// Fremont's DNS Explorer Module discovers interfaces and gateways by
+// walking a network's reverse (in-addr.arpa) zone with zone transfers and
+// cross-matching names and addresses. This server provides the zones to
+// walk, including the data-quality pathologies the paper reports: stale
+// entries for machines that no longer exist, hosts missing from the name
+// service, and gateway naming conventions ("names which differ only by
+// '-gw' or similar").
+//
+// Substitution note: real zone transfers run over TCP; the simulator
+// carries them in (arbitrarily large) UDP responses to an AXFR-type query.
+// The discovery logic — issue AXFR at a zone cut, collect RRs, recurse —
+// is unchanged.
+package dnssim
+
+import (
+	"sort"
+	"strings"
+
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+)
+
+// Zone is one authoritative zone (forward or reverse).
+type Zone struct {
+	Origin  string // e.g. "cs.colorado.edu" or "138.128.in-addr.arpa"
+	records []pkt.DNSRR
+	byName  map[string][]int
+}
+
+// NewZone creates an empty zone rooted at origin.
+func NewZone(origin string) *Zone {
+	return &Zone{Origin: canon(origin), byName: map[string][]int{}}
+}
+
+func canon(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// Add appends a resource record to the zone.
+func (z *Zone) Add(rr pkt.DNSRR) {
+	rr.Name = canon(rr.Name)
+	rr.Class = pkt.DNSClassIN
+	if rr.TTL == 0 {
+		rr.TTL = 86400
+	}
+	z.byName[rr.Name] = append(z.byName[rr.Name], len(z.records))
+	z.records = append(z.records, rr)
+}
+
+// AddA adds an address record.
+func (z *Zone) AddA(name string, ip pkt.IP) {
+	z.Add(pkt.DNSRR{Name: name, Type: pkt.DNSTypeA, A: ip})
+}
+
+// AddPTR adds a reverse pointer record for ip.
+func (z *Zone) AddPTR(ip pkt.IP, target string) {
+	z.Add(pkt.DNSRR{Name: pkt.ReverseName(ip), Type: pkt.DNSTypePTR, Targ: canon(target)})
+}
+
+// AddCNAME adds an alias record.
+func (z *Zone) AddCNAME(alias, target string) {
+	z.Add(pkt.DNSRR{Name: alias, Type: pkt.DNSTypeCNAME, Targ: canon(target)})
+}
+
+// AddNS adds a name-server record.
+func (z *Zone) AddNS(name, target string) {
+	z.Add(pkt.DNSRR{Name: name, Type: pkt.DNSTypeNS, Targ: canon(target)})
+}
+
+// Len returns the number of records in the zone.
+func (z *Zone) Len() int { return len(z.records) }
+
+// contains reports whether name falls inside the zone.
+func (z *Zone) contains(name string) bool {
+	name = canon(name)
+	return name == z.Origin || strings.HasSuffix(name, "."+z.Origin)
+}
+
+// lookup returns records matching name and qtype (ANY matches all types).
+func (z *Zone) lookup(name string, qtype uint16) []pkt.DNSRR {
+	var out []pkt.DNSRR
+	for _, idx := range z.byName[canon(name)] {
+		rr := z.records[idx]
+		if qtype == pkt.DNSTypeANY || rr.Type == qtype {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// transfer returns every record at or below name, sorted by owner name —
+// the zone-transfer view the DNS Explorer Module walks.
+func (z *Zone) transfer(name string) []pkt.DNSRR {
+	name = canon(name)
+	var out []pkt.DNSRR
+	for _, rr := range z.records {
+		if rr.Name == name || strings.HasSuffix(rr.Name, "."+name) {
+			out = append(out, rr)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Server is the authoritative server. Attach it to a simulated node to
+// serve queries on UDP port 53.
+type Server struct {
+	zones []*Zone
+
+	// QueriesServed and RecordsServed count load, for the Table 4
+	// network-load measurements ("The network load is noticeable while the
+	// module does zone transfers").
+	QueriesServed int
+	RecordsServed int
+
+	// RefuseAXFR models servers that disallow zone transfers entirely.
+	RefuseAXFR bool
+	// RefuseAXFRZones refuses transfers only at the named cuts (e.g.
+	// refuse the whole-network zone but allow per-subnet transfers —
+	// which is what forces the DNS module's recursive descent).
+	RefuseAXFRZones map[string]bool
+}
+
+// NewServer creates a server with no zones.
+func NewServer() *Server { return &Server{} }
+
+// AddZone makes the server authoritative for z.
+func (s *Server) AddZone(z *Zone) { s.zones = append(s.zones, z) }
+
+// Zones returns the zones the server is authoritative for.
+func (s *Server) Zones() []*Zone { return s.zones }
+
+// zoneFor picks the most specific zone containing name.
+func (s *Server) zoneFor(name string) *Zone {
+	var best *Zone
+	for _, z := range s.zones {
+		if z.contains(name) {
+			if best == nil || len(z.Origin) > len(best.Origin) {
+				best = z
+			}
+		}
+	}
+	return best
+}
+
+// Attach registers the server's UDP handler on node port 53.
+func (s *Server) Attach(node *netsim.Node) {
+	node.RegisterUDPService(pkt.PortDNS, func(nd *netsim.Node, src pkt.IP, srcPort uint16, dst pkt.IP, payload []byte) {
+		q, err := pkt.DecodeDNS(payload)
+		if err != nil || q.Response || len(q.Question) == 0 {
+			return
+		}
+		resp := s.Answer(q)
+		raw, err := resp.Encode()
+		if err != nil {
+			return
+		}
+		u := &pkt.UDPPacket{SrcPort: pkt.PortDNS, DstPort: srcPort, Payload: raw}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: dst, Dst: src, TTL: 30}
+		_ = nd.SendIP(h, u.Encode(dst, src))
+	})
+}
+
+// Answer produces the response message for a query (exported for direct
+// unit testing without a network).
+func (s *Server) Answer(q *pkt.DNSMessage) *pkt.DNSMessage {
+	s.QueriesServed++
+	resp := &pkt.DNSMessage{ID: q.ID, Response: true, AA: true, RD: q.RD, Question: q.Question}
+	qu := q.Question[0]
+	zone := s.zoneFor(qu.Name)
+	if zone == nil {
+		resp.Rcode = pkt.DNSRcodeRefused
+		return resp
+	}
+	switch qu.Type {
+	case pkt.DNSTypeAXFR:
+		if s.RefuseAXFR || s.RefuseAXFRZones[strings.ToLower(strings.TrimSuffix(qu.Name, "."))] {
+			resp.Rcode = pkt.DNSRcodeRefused
+			return resp
+		}
+		resp.Answer = zone.transfer(qu.Name)
+	default:
+		resp.Answer = zone.lookup(qu.Name, qu.Type)
+		if len(resp.Answer) == 0 {
+			if len(zone.transfer(qu.Name)) == 0 {
+				resp.Rcode = pkt.DNSRcodeNXName
+			}
+			// else: empty answer for an existing subtree (NOERROR).
+		}
+	}
+	s.RecordsServed += len(resp.Answer)
+	return resp
+}

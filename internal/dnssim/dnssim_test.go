@@ -1,0 +1,225 @@
+package dnssim
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+func ip(t testing.TB, s string) pkt.IP {
+	t.Helper()
+	v, err := pkt.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func testZones(t testing.TB) (*Zone, *Zone) {
+	fwd := NewZone("cs.colorado.edu")
+	rev := NewZone("138.128.in-addr.arpa")
+	hosts := map[string]string{
+		"anchor.cs.colorado.edu": "128.138.238.5",
+		"piper.cs.colorado.edu":  "128.138.238.6",
+		"bruno.cs.colorado.edu":  "128.138.243.140",
+	}
+	for name, addr := range hosts {
+		a, err := pkt.ParseIP(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd.AddA(name, a)
+		rev.AddPTR(a, name)
+	}
+	// A gateway with two interfaces and a -gw naming convention.
+	fwd.AddA("engr-gw.colorado.edu", pkt.IPv4(128, 138, 238, 1))
+	fwd.AddA("engr-gw.colorado.edu", pkt.IPv4(128, 138, 243, 1))
+	rev.AddPTR(pkt.IPv4(128, 138, 238, 1), "engr-gw.colorado.edu")
+	rev.AddPTR(pkt.IPv4(128, 138, 243, 1), "engr-gw.colorado.edu")
+	return fwd, rev
+}
+
+func TestZoneLookup(t *testing.T) {
+	fwd, _ := testZones(t)
+	s := NewServer()
+	s.AddZone(fwd)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "anchor.cs.colorado.edu", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	resp := s.Answer(q)
+	if resp.Rcode != pkt.DNSRcodeOK || len(resp.Answer) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Answer[0].A != ip(t, "128.138.238.5") {
+		t.Fatalf("A = %s", resp.Answer[0].A)
+	}
+}
+
+func TestZoneLookupCaseInsensitive(t *testing.T) {
+	fwd, _ := testZones(t)
+	s := NewServer()
+	s.AddZone(fwd)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "Anchor.CS.Colorado.EDU", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	if resp := s.Answer(q); len(resp.Answer) != 1 {
+		t.Fatalf("case-insensitive lookup failed: %+v", resp)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	fwd, _ := testZones(t)
+	s := NewServer()
+	s.AddZone(fwd)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "nosuch.cs.colorado.edu", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	if resp := s.Answer(q); resp.Rcode != pkt.DNSRcodeNXName {
+		t.Fatalf("rcode = %d, want NXDOMAIN", resp.Rcode)
+	}
+}
+
+func TestRefusedOutsideZones(t *testing.T) {
+	fwd, _ := testZones(t)
+	s := NewServer()
+	s.AddZone(fwd)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "example.com", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	if resp := s.Answer(q); resp.Rcode != pkt.DNSRcodeRefused {
+		t.Fatalf("rcode = %d, want REFUSED", resp.Rcode)
+	}
+}
+
+func TestReverseZoneTransfer(t *testing.T) {
+	_, rev := testZones(t)
+	s := NewServer()
+	s.AddZone(rev)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "138.128.in-addr.arpa", Type: pkt.DNSTypeAXFR, Class: pkt.DNSClassIN}}}
+	resp := s.Answer(q)
+	if len(resp.Answer) != 5 {
+		t.Fatalf("transfer returned %d records, want 5", len(resp.Answer))
+	}
+	for i := 1; i < len(resp.Answer); i++ {
+		if resp.Answer[i-1].Name > resp.Answer[i].Name {
+			t.Fatal("transfer records not sorted by owner")
+		}
+	}
+}
+
+func TestSubtreeTransfer(t *testing.T) {
+	// AXFR at a deeper cut returns only that subtree (the recursive
+	// descent Census-style walk).
+	_, rev := testZones(t)
+	s := NewServer()
+	s.AddZone(rev)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "238.138.128.in-addr.arpa", Type: pkt.DNSTypeAXFR, Class: pkt.DNSClassIN}}}
+	resp := s.Answer(q)
+	if len(resp.Answer) != 3 { // .5, .6, .1 on subnet 238
+		t.Fatalf("subtree transfer returned %d records, want 3", len(resp.Answer))
+	}
+}
+
+func TestRefuseAXFR(t *testing.T) {
+	_, rev := testZones(t)
+	s := NewServer()
+	s.AddZone(rev)
+	s.RefuseAXFR = true
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "138.128.in-addr.arpa", Type: pkt.DNSTypeAXFR, Class: pkt.DNSClassIN}}}
+	if resp := s.Answer(q); resp.Rcode != pkt.DNSRcodeRefused {
+		t.Fatalf("rcode = %d, want REFUSED", resp.Rcode)
+	}
+}
+
+func TestMultipleARecordsForGateway(t *testing.T) {
+	fwd, _ := testZones(t)
+	s := NewServer()
+	s.AddZone(fwd)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "engr-gw.colorado.edu", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	// engr-gw is outside cs.colorado.edu — need its own zone.
+	if resp := s.Answer(q); resp.Rcode != pkt.DNSRcodeRefused {
+		t.Fatalf("expected refusal outside zone, got %+v", resp)
+	}
+	top := NewZone("colorado.edu")
+	top.AddA("engr-gw.colorado.edu", pkt.IPv4(128, 138, 238, 1))
+	top.AddA("engr-gw.colorado.edu", pkt.IPv4(128, 138, 243, 1))
+	s.AddZone(top)
+	resp := s.Answer(q)
+	if len(resp.Answer) != 2 {
+		t.Fatalf("gateway A lookup returned %d records, want 2", len(resp.Answer))
+	}
+}
+
+func TestMostSpecificZoneWins(t *testing.T) {
+	top := NewZone("colorado.edu")
+	top.AddA("x.cs.colorado.edu", pkt.IPv4(1, 1, 1, 1)) // stale copy in parent
+	sub := NewZone("cs.colorado.edu")
+	sub.AddA("x.cs.colorado.edu", pkt.IPv4(2, 2, 2, 2))
+	s := NewServer()
+	s.AddZone(top)
+	s.AddZone(sub)
+	q := &pkt.DNSMessage{ID: 1, Question: []pkt.DNSQuestion{
+		{Name: "x.cs.colorado.edu", Type: pkt.DNSTypeA, Class: pkt.DNSClassIN}}}
+	resp := s.Answer(q)
+	if len(resp.Answer) != 1 || resp.Answer[0].A != pkt.IPv4(2, 2, 2, 2) {
+		t.Fatalf("child zone not preferred: %+v", resp.Answer)
+	}
+}
+
+func TestServerOverSimulatedNetwork(t *testing.T) {
+	n := netsim.New(31)
+	sn, _ := pkt.ParseSubnet("128.138.238.0/24")
+	seg := n.NewSegment("seg", sn)
+	server := n.NewNode("ns")
+	server.AddIface(seg, ip(t, "128.138.238.2"), pkt.MaskBits(24))
+	client := n.NewNode("client")
+	client.AddIface(seg, ip(t, "128.138.238.3"), pkt.MaskBits(24))
+
+	_, rev := testZones(t)
+	s := NewServer()
+	s.AddZone(rev)
+	s.Attach(server)
+
+	conn, err := client.OpenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answers []pkt.DNSRR
+	n.Sched.Spawn("query", func(p *sim.Proc) {
+		q := &pkt.DNSMessage{ID: 77, RD: true, Question: []pkt.DNSQuestion{
+			{Name: "138.128.in-addr.arpa", Type: pkt.DNSTypeAXFR, Class: pkt.DNSClassIN}}}
+		raw, err := q.Encode()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := conn.Send(ip(t, "128.138.238.2"), pkt.PortDNS, raw); err != nil {
+			t.Error(err)
+			return
+		}
+		ev, ok := conn.Recv(p, 10*time.Second)
+		if !ok {
+			t.Error("no DNS response over the wire")
+			return
+		}
+		resp, err := pkt.DecodeDNS(ev.Payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if resp.ID != 77 || !resp.Response {
+			t.Errorf("bad response header: %+v", resp)
+		}
+		answers = resp.Answer
+	})
+	n.Run(15 * time.Second)
+	if len(answers) != 5 {
+		t.Fatalf("zone transfer over wire returned %d records, want 5", len(answers))
+	}
+	if s.QueriesServed != 1 {
+		t.Fatalf("QueriesServed = %d", s.QueriesServed)
+	}
+}

@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section against the simulated campus. Each experiment returns
+// structured results (for the shape tests and benchmarks) plus a rendered
+// text table (for cmd/fremont-sim and EXPERIMENTS.md).
+//
+// Absolute numbers depend on the simulation substrate; what must match the
+// paper is the shape: who wins, by roughly what factor, where the losses
+// come from. See EXPERIMENTS.md for the side-by-side record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// timeBase is the virtual epoch used for synthetic journal timestamps.
+func timeBase() time.Time {
+	return time.Date(1993, time.January, 25, 8, 0, 0, 0, time.UTC)
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+func pct(part, total int) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", int(float64(part)/float64(total)*100+0.5))
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fremont/internal/analysis"
+)
+
+const testSeed = 1993
+
+func TestTable1And3Schema(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 5 {
+		t.Fatalf("Table 1 rows = %d, want 5", len(t1.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 8 {
+		t.Fatalf("Table 3 rows = %d, want 8 modules", len(t3.Rows))
+	}
+	out := t3.String()
+	for _, m := range []string{"ARPwatch", "EtherHostProbe", "SeqPing", "BroadcastPing",
+		"SubnetMasks", "Traceroute", "RIPwatch", "DNS"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("Table 3 missing %s", m)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2()
+	f := r.Footprint
+	if f.Interfaces < 16384 || f.Gateways != 192 || f.Subnets != 192 {
+		t.Fatalf("counts: %+v", f)
+	}
+	// Shape: interface records cost the most, the whole journal stays
+	// small enough to hold in memory with ease.
+	if f.PerInterface() <= f.PerGateway() {
+		t.Errorf("interface records (%d B) should outweigh gateway records (%d B)",
+			f.PerInterface(), f.PerGateway())
+	}
+	if f.Total() > 16<<20 {
+		t.Errorf("journal total %.1f MB; paper shape is 'a few megabytes'", float64(f.Total())/(1<<20))
+	}
+	t.Log("\n" + r.Table().String())
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Table4(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Table4Row{}
+	for _, row := range r.Rows {
+		rows[row.Module] = row
+	}
+	// Passive modules generate no traffic.
+	for _, m := range []string{"ARPwatch", "RIPwatch"} {
+		if rows[m].PacketRate != 0 {
+			t.Errorf("%s packet rate = %f, want 0", m, rows[m].PacketRate)
+		}
+	}
+	// Rate ceilings from the paper.
+	if rate := rows["EtherHostProbe"].PacketRate; rate > 4.5 {
+		t.Errorf("EtherHostProbe rate %.2f > 4 pkts/sec", rate)
+	}
+	if rate := rows["SeqPing"].PacketRate; rate > 1.2 {
+		t.Errorf("SeqPing rate %.2f > ~0.5-1 pkts/sec", rate)
+	}
+	if rate := rows["Traceroute"].PacketRate; rate > 8.5 {
+		t.Errorf("Traceroute rate %.2f > 8 pkts/sec", rate)
+	}
+	// Completion-time shape: broadcast ping is fast (~20s); seqping over a
+	// /24 takes ~9-18 min; traceroute over the campus takes minutes.
+	if d := rows["BroadcastPing"].TimeToComplete.Minutes(); d > 2 {
+		t.Errorf("BroadcastPing took %.1f min, want well under a minute or two", d)
+	}
+	if d := rows["SeqPing"].TimeToComplete.Minutes(); d < 8 || d > 25 {
+		t.Errorf("SeqPing took %.1f min, want 9-18", d)
+	}
+	if d := rows["Traceroute"].TimeToComplete.Minutes(); d < 2 || d > 30 {
+		t.Errorf("Traceroute took %.1f min, want 5-20", d)
+	}
+	t.Log("\n" + r.Table().String())
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Table5(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table().String())
+	if r.Total < 50 || r.Total > 60 {
+		t.Fatalf("DNS total = %d, want ≈56", r.Total)
+	}
+	byRow := map[string]int{}
+	for _, row := range r.Rows {
+		byRow[row.Module+"/"+row.Note] = row.Interfaces
+	}
+	a30 := byRow["ARPwatch/Run for 30 min"]
+	a24 := byRow["ARPwatch/Run for 24 hours"]
+	ehp := byRow["EtherHostProbe/Not all hosts up when run"]
+	bp := byRow["BrdcastPing/Collisions"]
+	sp := byRow["SeqPing/Not all hosts up when run"]
+	dns := byRow["DNS/Not necessarily current"]
+
+	// The paper's ordering: DNS ≥ EtherHostProbe > BrdcastPing > SeqPing,
+	// and ARPwatch grows substantially from 30 minutes to 24 hours.
+	if dns != r.Total {
+		t.Errorf("DNS found %d, want the full %d", dns, r.Total)
+	}
+	if !(ehp > bp && bp > sp) {
+		t.Errorf("ordering broken: EHP=%d BP=%d SP=%d (want EHP > BP > SP)", ehp, bp, sp)
+	}
+	if a24 <= a30 {
+		t.Errorf("ARPwatch did not grow: 30min=%d 24h=%d", a30, a24)
+	}
+	// Rough bands (paper: 61%, 89%, 86%, 75%, 70%).
+	band := func(name string, n, lo, hi int) {
+		pctV := n * 100 / r.Total
+		if pctV < lo || pctV > hi {
+			t.Errorf("%s = %d (%d%%), want %d-%d%%", name, n, pctV, lo, hi)
+		}
+	}
+	band("ARPwatch/30min", a30, 40, 80)
+	band("ARPwatch/24h", a24, 75, 98)
+	band("EtherHostProbe", ehp, 72, 98)
+	band("BrdcastPing", bp, 60, 88)
+	band("SeqPing", sp, 55, 82)
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Table6(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table().String())
+	if r.Total != 111 {
+		t.Fatalf("live subnets = %d, want 111", r.Total)
+	}
+	byRow := map[string]int{}
+	for _, row := range r.Rows {
+		byRow[row.Module+"/"+row.Comment] = row.Subnets
+	}
+	rip := byRow["RIPwatch/Nearly all subnets advertised"]
+	tr := byRow["Traceroute/Gateway software problems"]
+	dns := byRow["DNS/Not all hosts name served"]
+	gwsub := byRow["DNS/Subnets with gateways identified"]
+
+	if rip != 111 {
+		t.Errorf("RIPwatch found %d subnets, want all 111", rip)
+	}
+	if !(dns < rip && tr < dns) {
+		t.Errorf("ordering broken: RIP=%d DNS=%d TR=%d (want RIP > DNS > TR)", rip, dns, tr)
+	}
+	// Bands around the paper's 77%, 84%, 43%.
+	if tr < 75 || tr > 95 {
+		t.Errorf("Traceroute = %d, want ≈86", tr)
+	}
+	if dns < 88 || dns > 98 {
+		t.Errorf("DNS subnets = %d, want ≈93", dns)
+	}
+	if gwsub < 40 || gwsub > 55 {
+		t.Errorf("DNS gateway-linked subnets = %d, want ≈48", gwsub)
+	}
+	if r.DNSGateways < 25 || r.DNSGateways > 36 {
+		t.Errorf("DNS gateways = %d, want ≈31", r.DNSGateways)
+	}
+}
+
+func TestTable7Coverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Table7(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table().String())
+	if r.IfacesWithIP == 0 || r.Gateways == 0 || r.Subnets == 0 {
+		t.Fatalf("coverage empty: %+v", r)
+	}
+	if r.SubnetsLinked*2 < r.Subnets {
+		t.Errorf("only %d/%d subnets linked to gateways", r.SubnetsLinked, r.Subnets)
+	}
+	if r.IfacesWithMask == 0 {
+		t.Error("no masks discovered")
+	}
+	if r.IfacesWithName == 0 {
+		t.Error("no names attached")
+	}
+}
+
+func TestTable8Problems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Table8(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table().String())
+	want := []analysis.ProblemKind{
+		analysis.ProblemStaleAddress,
+		analysis.ProblemHardwareChange,
+		analysis.ProblemMaskConflict,
+		analysis.ProblemDuplicateAddr,
+		analysis.ProblemPromiscuousRIP,
+		analysis.ProblemProxyARP,
+	}
+	for _, kind := range want {
+		if r.Detected[kind] == 0 {
+			t.Errorf("injected problem %s not detected", kind)
+		}
+	}
+	// The right hosts are implicated.
+	foundStale := false
+	for _, p := range r.Problems {
+		if p.Kind == analysis.ProblemStaleAddress {
+			for _, ip := range p.IPs {
+				if ip == r.Faults.RemovedIP {
+					foundStale = true
+				}
+			}
+		}
+	}
+	if !foundStale {
+		t.Errorf("removed host %s not among stale findings", r.Faults.RemovedIP)
+	}
+}
+
+func TestFigure2Topology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Figure2(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Topology.Subnets) < 100 {
+		t.Fatalf("topology has %d subnets", len(r.Topology.Subnets))
+	}
+	if len(r.Topology.Gateways) < 40 {
+		t.Fatalf("topology has %d gateways", len(r.Topology.Gateways))
+	}
+	if !strings.Contains(r.DOT, "graph fremont") {
+		t.Error("DOT export malformed")
+	}
+	if !strings.Contains(r.SNM, "element router") {
+		t.Error("SNM export malformed")
+	}
+	if !strings.Contains(r.ASCII, "128.138.238.0/24") {
+		t.Error("ASCII export missing the CS subnet")
+	}
+}

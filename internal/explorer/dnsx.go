@@ -1,0 +1,410 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// DNSExplorer walks a network's reverse (in-addr.arpa) domain with zone
+// transfers, Census-style, and mines the name/address pairs for gateways:
+// multiple addresses for one name, multiple names for one address with
+// matches within the groups, and "-gw"-style naming conventions. It also
+// invokes an ICMP mask request against one of the first hosts discovered
+// (usually a name server, "increasing the likelihood that the returned
+// mask is correct") to learn how to allocate interfaces to subnets, and
+// records each subnet's host count and highest/lowest assigned addresses.
+//
+// Storage frugality follows the paper: "we do not record a name/address
+// pair if it is the only information that we have involving an interface"
+// — names are stored only for interfaces some other module already found,
+// or for gateway members.
+type DNSExplorer struct{}
+
+// Info implements Module.
+func (DNSExplorer) Info() Info {
+	return Info{
+		Name:           "DNS",
+		SourceProtocol: "DNS",
+		Inputs:         "Network number",
+		Outputs:        "Intfs. per gateway",
+		MinInterval:    2 * 24 * time.Hour,
+		MaxInterval:    14 * 24 * time.Hour,
+	}
+}
+
+// gwNameSuffixes are the naming conventions the gateway heuristic accepts.
+var gwNameSuffixes = []string{"-gw", "-gate", "-gateway", "-router", "gw"}
+
+// Run implements Module. Params.Network (the network number to walk) and
+// Params.DNSServer are required.
+func (m DNSExplorer) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	network := ctx.Params.Network
+	if network.Addr.IsZero() {
+		ifc, err := primaryIface(st)
+		if err != nil {
+			return nil, err
+		}
+		network = pkt.SubnetOf(ifc.IP, ifc.IP.DefaultMask())
+	}
+	server := ctx.Params.DNSServer
+	if server.IsZero() {
+		return nil, fmt.Errorf("dns explorer: no name server configured")
+	}
+
+	conn, err := st.OpenUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resolver := &resolver{conn: conn, server: server, st: st}
+
+	// Phase one: zone transfers down the reverse domain.
+	addrNames, err := m.walkReverse(resolver, network, rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(addrNames) == 0 {
+		rep.Notes = append(rep.Notes, "reverse zone walk returned nothing")
+		rep.Finished = st.Now()
+		return rep, nil
+	}
+
+	// Mask discovery: ask one of the first hosts found (prefer an
+	// apparent name server) for the subnet mask.
+	mask := m.discoverMask(ctx, addrNames, network)
+	ctx.logf("dns: using subnet mask %s for %s", mask, network)
+
+	// Phase two ("CPU intensive"): cross-match names and addresses.
+	nameAddrs := map[string][]pkt.IP{}
+	for addr, names := range addrNames {
+		for _, n := range names {
+			nameAddrs[n] = append(nameAddrs[n], addr)
+		}
+	}
+	// Confirm multi-address names with forward A queries (about 10
+	// packets/sec of query load — the paper's "high" network load phase).
+	names := make([]string, 0, len(nameAddrs))
+	for n := range nameAddrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	gap := rate(10, ctx.Params.RateLimit)
+	for _, n := range names {
+		for _, rr := range resolver.query(n, pkt.DNSTypeA) {
+			if rr.Type == pkt.DNSTypeA && network.Contains(rr.A) {
+				nameAddrs[n] = appendIPUnique(nameAddrs[n], rr.A)
+			}
+		}
+		st.Sleep(gap)
+	}
+
+	now := st.Now()
+	gateways := 0
+	isGatewayMember := map[pkt.IP]bool{}
+	for _, n := range names {
+		addrs := nameAddrs[n]
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		multi := len(addrs) > 1
+		convention := hasGatewaySuffix(n)
+		if !multi && !convention {
+			continue
+		}
+		var snList []pkt.Subnet
+		for _, a := range addrs {
+			snList = append(snList, pkt.SubnetOf(a, mask))
+			isGatewayMember[a] = true
+		}
+		// A lone "-gw" name with a single address is the paper's
+		// "weaker heuristic": record it, tagged questionable. Multiple
+		// addresses are strong evidence.
+		if _, err := ctx.Journal.StoreGateway(journal.GatewayObs{
+			IfaceIPs: addrs, Subnets: snList,
+			Questionable: !multi && convention,
+			Source:       journal.SrcDNS, At: now,
+		}); err == nil {
+			rep.Stored++
+			gateways++
+		}
+	}
+
+	// Subnet occupancy summaries.
+	type occ struct {
+		count  int
+		lo, hi pkt.IP
+	}
+	bySubnet := map[pkt.IP]*occ{}
+	allAddrs := newIPSet()
+	for addr := range addrNames {
+		allAddrs.add(addr)
+		snAddr := pkt.SubnetOf(addr, mask).Addr
+		o := bySubnet[snAddr]
+		if o == nil {
+			o = &occ{lo: addr, hi: addr}
+			bySubnet[snAddr] = o
+		}
+		o.count++
+		if addr < o.lo {
+			o.lo = addr
+		}
+		if addr > o.hi {
+			o.hi = addr
+		}
+	}
+	subnets := newIPSet()
+	for snAddr := range bySubnet {
+		subnets.add(snAddr)
+	}
+	for _, snAddr := range subnets.sorted() {
+		o := bySubnet[snAddr]
+		if _, err := ctx.Journal.StoreSubnet(journal.SubnetObs{
+			Subnet:    pkt.Subnet{Addr: snAddr, Mask: mask},
+			HostCount: o.count, LoAddr: o.lo, HiAddr: o.hi,
+			Source: journal.SrcDNS, At: now,
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+
+	// Names for interfaces other modules already discovered, and for
+	// gateway members; everything else stays out of the Journal ("readily
+	// available from the DNS").
+	for _, addr := range allAddrs.sorted() {
+		names := addrNames[addr]
+		sort.Strings(names)
+		known := isGatewayMember[addr]
+		if !known {
+			recs, err := ctx.Journal.Interfaces(journal.Query{ByIP: addr, HasIP: true})
+			if err == nil && len(recs) > 0 {
+				known = true
+			}
+		}
+		if !known {
+			continue
+		}
+		for _, n := range names {
+			if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+				IP: addr, Name: n, Source: journal.SrcDNS, At: now,
+			}); err == nil {
+				rep.Stored++
+			}
+		}
+	}
+
+	rep.Interfaces = allAddrs.sorted()
+	rep.Subnets = subnets.sorted()
+	rep.Gateways = gateways
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}
+
+// walkReverse collects address→names for the network, via an AXFR at the
+// network-level reverse zone, descending per-subnet when the server
+// refuses the big transfer.
+func (m DNSExplorer) walkReverse(r *resolver, network pkt.Subnet, rep *Report) (map[pkt.IP][]string, error) {
+	out := map[pkt.IP][]string{}
+	collect := func(rrs []pkt.DNSRR) {
+		for _, rr := range rrs {
+			if rr.Type != pkt.DNSTypePTR {
+				continue
+			}
+			if addr, ok := pkt.ParseReverseName(rr.Name); ok && network.Contains(addr) {
+				out[addr] = appendUnique(out[addr], strings.ToLower(rr.Targ))
+			}
+		}
+	}
+	zone := reverseZoneName(network)
+	rrs, rcode := r.transfer(zone)
+	if rcode == pkt.DNSRcodeOK {
+		collect(rrs)
+		return out, nil
+	}
+	if rcode != pkt.DNSRcodeRefused {
+		return nil, fmt.Errorf("dns explorer: zone transfer of %s failed (rcode %d)", zone, rcode)
+	}
+	// Refused at the top: descend one label (Census-style recursive walk).
+	rep.Notes = append(rep.Notes, "network-level transfer refused; descending per-subnet")
+	bits := network.Mask.Bits()
+	if bits >= 24 {
+		return out, nil
+	}
+	for third := 0; third < 256; third++ {
+		sub := pkt.Subnet{Addr: network.Addr + pkt.IP(third<<8), Mask: pkt.MaskBits(24)}
+		if !network.Contains(sub.Addr) {
+			break
+		}
+		rrs, rcode := r.transfer(reverseZoneName(sub))
+		if rcode == pkt.DNSRcodeOK {
+			collect(rrs)
+		}
+	}
+	return out, nil
+}
+
+// discoverMask sends an ICMP mask request to up to three of the first
+// hosts found (name servers first).
+func (m DNSExplorer) discoverMask(ctx *Context, addrNames map[pkt.IP][]string, network pkt.Subnet) pkt.Mask {
+	var candidates []pkt.IP
+	for addr, names := range addrNames {
+		for _, n := range names {
+			if strings.HasPrefix(n, "ns") || strings.Contains(n, "dns") || strings.Contains(n, "piper") {
+				candidates = append(candidates, addr)
+			}
+		}
+	}
+	var rest []pkt.IP
+	for addr := range addrNames {
+		rest = append(rest, addr)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	candidates = append(candidates, rest...)
+
+	conn, err := ctx.Stack.OpenICMP()
+	if err == nil {
+		defer conn.Close()
+		tried := 0
+		for _, dst := range candidates {
+			if tried >= 3 {
+				break
+			}
+			tried++
+			msg := &pkt.ICMPMessage{Type: pkt.ICMPMaskRequest, ID: maskReqID, Seq: uint16(tried)}
+			if err := ctx.Stack.SendICMP(dst, 30, msg); err != nil {
+				continue
+			}
+			deadline := ctx.Stack.Now().Add(3 * time.Second)
+			for {
+				remain := deadline.Sub(ctx.Stack.Now())
+				if remain <= 0 {
+					break
+				}
+				ev, ok := conn.Recv(remain)
+				if !ok {
+					break
+				}
+				if ev.Msg.Type == pkt.ICMPMaskReply && ev.Msg.Mask.Valid() && ev.Msg.Mask != 0 {
+					return ev.Msg.Mask
+				}
+			}
+		}
+	}
+	// Fall back to the campus convention.
+	if network.Mask.Bits() >= 24 {
+		return network.Mask
+	}
+	return pkt.MaskBits(24)
+}
+
+func hasGatewaySuffix(name string) bool {
+	host := name
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		host = name[:i]
+	}
+	for _, suf := range gwNameSuffixes {
+		if strings.HasSuffix(host, suf) && host != suf {
+			return true
+		}
+		if host == suf {
+			return true
+		}
+	}
+	return false
+}
+
+func reverseZoneName(sn pkt.Subnet) string {
+	a, b, c, _ := sn.Addr.Octets()
+	switch {
+	case sn.Mask.Bits() >= 24:
+		return fmt.Sprintf("%d.%d.%d.in-addr.arpa", c, b, a)
+	case sn.Mask.Bits() >= 16:
+		return fmt.Sprintf("%d.%d.in-addr.arpa", b, a)
+	default:
+		return fmt.Sprintf("%d.in-addr.arpa", a)
+	}
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func appendIPUnique(s []pkt.IP, v pkt.IP) []pkt.IP {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// resolver is a minimal stub resolver speaking to one server over the
+// module's UDP socket.
+type resolver struct {
+	conn   UDPConn
+	server pkt.IP
+	st     Stack
+	id     uint16
+}
+
+// exchange sends one query and waits for the matching response.
+func (r *resolver) exchange(name string, qtype uint16) *pkt.DNSMessage {
+	r.id++
+	q := &pkt.DNSMessage{ID: r.id, RD: true, Question: []pkt.DNSQuestion{
+		{Name: name, Type: qtype, Class: pkt.DNSClassIN}}}
+	raw, err := q.Encode()
+	if err != nil {
+		return nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := r.conn.Send(r.server, pkt.PortDNS, raw); err != nil {
+			return nil
+		}
+		deadline := r.st.Now().Add(5 * time.Second)
+		for {
+			remain := deadline.Sub(r.st.Now())
+			if remain <= 0 {
+				break
+			}
+			ev, ok := r.conn.Recv(remain)
+			if !ok {
+				break
+			}
+			resp, err := pkt.DecodeDNS(ev.Payload)
+			if err != nil || !resp.Response || resp.ID != r.id {
+				continue
+			}
+			return resp
+		}
+	}
+	return nil
+}
+
+// query returns answer records (empty on failure).
+func (r *resolver) query(name string, qtype uint16) []pkt.DNSRR {
+	resp := r.exchange(name, qtype)
+	if resp == nil || resp.Rcode != pkt.DNSRcodeOK {
+		return nil
+	}
+	return resp.Answer
+}
+
+// transfer performs an AXFR-style zone walk at name.
+func (r *resolver) transfer(name string) ([]pkt.DNSRR, byte) {
+	resp := r.exchange(name, pkt.DNSTypeAXFR)
+	if resp == nil {
+		return nil, pkt.DNSRcodeNXName
+	}
+	return resp.Answer, resp.Rcode
+}

@@ -1,0 +1,96 @@
+package explorer
+
+import (
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// EtherHostProbe sends a UDP packet to the Echo port of each address in a
+// range, causing the local stack to ARP for each one, and then reads the
+// resulting Ethernet/IP pairs out of the host's own ARP table. It needs no
+// special privileges and no tap — the kernel does the listening. "There is
+// an ARP request broadcast for each address probed, and then two or three
+// additional packets will appear on the network for each responding host.
+// The module limits the rate of generated packets to four per second."
+type EtherHostProbe struct{}
+
+// Info implements Module.
+func (EtherHostProbe) Info() Info {
+	return Info{
+		Name:           "EtherHostProbe",
+		SourceProtocol: "ARP",
+		Inputs:         "IP address",
+		Outputs:        "Enet. & IP address matches (immediately)",
+		MinInterval:    24 * time.Hour,
+		MaxInterval:    7 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module. The range must lie on a directly attached subnet
+// (ARP does not cross gateways).
+func (m EtherHostProbe) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	lo, hi := ctx.Params.RangeLo, ctx.Params.RangeHi
+	if lo.IsZero() || hi.IsZero() {
+		ifc, err := primaryIface(st)
+		if err != nil {
+			return nil, err
+		}
+		sn := ifc.Subnet()
+		lo, hi = sn.FirstHost(), sn.LastHost()
+	}
+	// One probe per second ("1 sec/address", Table 4). Each probe expands
+	// to an ARP broadcast plus the UDP packet, and two or three more
+	// frames per responding host — which is what the module's four
+	// packets-per-second generation cap is about.
+	interval := rate(1, ctx.Params.RateLimit)
+
+	conn, err := st.OpenUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	self := map[pkt.IP]bool{}
+	for _, ifc := range st.Ifaces() {
+		self[ifc.IP] = true
+	}
+
+	for ip := lo; ip <= hi; ip++ {
+		if self[ip] {
+			continue
+		}
+		_ = conn.Send(ip, pkt.PortEcho, []byte("fremont-ehp"))
+		st.Sleep(interval)
+	}
+	// Let stragglers resolve.
+	st.Sleep(3 * time.Second)
+
+	entries, err := st.ARPTable()
+	if err != nil {
+		return nil, err
+	}
+	found := newIPSet()
+	macs := map[pkt.IP]pkt.MAC{}
+	for _, e := range entries {
+		if e.IP >= lo && e.IP <= hi && !self[e.IP] {
+			found.add(e.IP)
+			macs[e.IP] = e.MAC
+		}
+	}
+	for _, ip := range found.sorted() {
+		if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+			IP: ip, HasMAC: true, MAC: macs[ip],
+			Source: journal.SrcARP, At: st.Now(),
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	rep.Interfaces = found.sorted()
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}

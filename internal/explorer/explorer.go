@@ -1,0 +1,261 @@
+// Package explorer implements Fremont's Explorer Modules: the extensible
+// suite of discovery programs, each built on a commonly available protocol
+// or information source (ARP, ICMP, RIP, DNS). Modules are written against
+// the Stack interface below and a journal.Sink, so the same module code
+// runs over the simulated campus network (package netsim via simstack) and
+// could be bound to a real stack.
+//
+// The eight modules of the paper's prototype are here: ARPwatch,
+// EtherHostProbe, SequentialPing, BroadcastPing, SubnetMasks, Traceroute,
+// RIPwatch, and DNS.
+package explorer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// IfaceInfo describes one local interface of the host running a module.
+type IfaceInfo struct {
+	Index int
+	MAC   pkt.MAC
+	IP    pkt.IP
+	Mask  pkt.Mask
+}
+
+// Subnet returns the interface's subnet.
+func (i IfaceInfo) Subnet() pkt.Subnet { return pkt.SubnetOf(i.IP, i.Mask) }
+
+// ICMPEvent is an ICMP message received on a raw socket, with outer IP
+// context.
+type ICMPEvent struct {
+	From pkt.IP
+	To   pkt.IP
+	TTL  byte
+	Msg  *pkt.ICMPMessage
+	At   time.Time
+}
+
+// UDPEvent is a datagram received on a UDP socket.
+type UDPEvent struct {
+	Src     pkt.IP
+	SrcPort uint16
+	Dst     pkt.IP
+	Payload []byte
+	At      time.Time
+}
+
+// ARPEntry is a row of the local host's ARP table.
+type ARPEntry struct {
+	IP  pkt.IP
+	MAC pkt.MAC
+	Age time.Duration
+}
+
+// ICMPConn is a raw ICMP socket. Recv blocks the module (in simulated
+// time) until a message arrives or the timeout elapses; a negative timeout
+// blocks forever.
+type ICMPConn interface {
+	Recv(timeout time.Duration) (ICMPEvent, bool)
+	Close()
+}
+
+// UDPConn is a bound UDP socket.
+type UDPConn interface {
+	// LocalPort reports the bound port (Traceroute matches quoted probes
+	// against it).
+	LocalPort() uint16
+	Send(dst pkt.IP, dport uint16, payload []byte) error
+	SendTTL(dst pkt.IP, dport uint16, payload []byte, ttl byte) error
+	Recv(timeout time.Duration) (UDPEvent, bool)
+	Close()
+}
+
+// Tap is a promiscuous raw-frame tap (the NIT analog). Opening one
+// requires privilege.
+type Tap interface {
+	Recv(timeout time.Duration) ([]byte, bool)
+	Close()
+}
+
+// Stack is a module's view of the host it runs on.
+type Stack interface {
+	// Ifaces lists the host's interfaces.
+	Ifaces() []IfaceInfo
+	// Now returns the current time (virtual time under simulation).
+	Now() time.Time
+	// Sleep suspends the module.
+	Sleep(d time.Duration)
+	// SendICMP transmits an ICMP message to dst with the given TTL.
+	SendICMP(dst pkt.IP, ttl byte, msg *pkt.ICMPMessage) error
+	// OpenICMP opens a raw ICMP socket.
+	OpenICMP() (ICMPConn, error)
+	// OpenUDP binds a UDP socket (port 0 picks an ephemeral port).
+	OpenUDP(port uint16) (UDPConn, error)
+	// ARPTable snapshots the host's ARP cache (how EtherHostProbe reads
+	// its results).
+	ARPTable() ([]ARPEntry, error)
+	// OpenTap opens a promiscuous tap on the segment of the interface with
+	// the given index. Fails without privilege.
+	OpenTap(ifaceIndex int, filter func(raw []byte) bool) (Tap, error)
+	// Privileged reports whether the module was granted system privileges.
+	Privileged() bool
+	// PacketsSent counts frames this host has transmitted (for the
+	// Table 4 network-load measurements).
+	PacketsSent() int
+	// ResetPacketCounter zeroes the PacketsSent baseline, so a harness
+	// running several modules on one stack gets per-module counts.
+	ResetPacketCounter()
+}
+
+// Params direct a module run. Zero values mean "module default" — "Most
+// Explorer Modules, if given no specific direction, will examine the
+// directly connected networks or subnets."
+type Params struct {
+	// Duration bounds passive watchers (ARPwatch, RIPwatch).
+	Duration time.Duration
+	// Range is an inclusive address range for scanning modules.
+	RangeLo, RangeHi pkt.IP
+	// Subnets are targets for BroadcastPing and Traceroute.
+	Subnets []pkt.Subnet
+	// Addresses are targets for the SubnetMasks module.
+	Addresses []pkt.IP
+	// Network is the network the DNS module walks.
+	Network pkt.Subnet
+	// DNSServer is the name server the DNS module queries.
+	DNSServer pkt.IP
+	// RateLimit overrides the module's default packet rate (packets/sec).
+	RateLimit float64
+	// MaxTTL bounds traceroute depth (default 16).
+	MaxTTL int
+	// StopNets makes Traceroute abandon a trace that reaches one of these
+	// networks (the paper stops at the national backbones).
+	StopNets []pkt.Subnet
+	// TraceAddrsPerSubnet overrides Traceroute's three-addresses-per-subnet
+	// probing (for the ablation benchmarks). 0 = the paper's 3.
+	TraceAddrsPerSubnet int
+	// TraceMaxParallel overrides Traceroute's parallel-trace window
+	// (default 80 outstanding). 1 = fully serial.
+	TraceMaxParallel int
+}
+
+// Context carries a module's bindings for one run.
+type Context struct {
+	Stack   Stack
+	Journal journal.Sink
+	Params  Params
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Report summarizes one module run, feeding the Discovery Manager's
+// scheduling decisions and the evaluation tables.
+type Report struct {
+	Module   string
+	Started  time.Time
+	Finished time.Time
+	// PacketsSent is the number of frames the module's host transmitted
+	// during the run (zero for the passive modules).
+	PacketsSent int
+	// Interfaces are the distinct interface addresses found this run.
+	Interfaces []pkt.IP
+	// Subnets are the distinct subnet addresses found this run.
+	Subnets []pkt.IP
+	// Gateways counts distinct gateways identified this run.
+	Gateways int
+	// Stored counts journal observations written.
+	Stored int
+	Notes  []string
+}
+
+// Elapsed returns the run's duration.
+func (r *Report) Elapsed() time.Duration { return r.Finished.Sub(r.Started) }
+
+// PacketRate returns average packets per second offered to the network.
+func (r *Report) PacketRate() float64 {
+	d := r.Elapsed().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.PacketsSent) / d
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d interfaces, %d subnets, %d gateways in %v (%d pkts, %.2f pkt/s)",
+		r.Module, len(r.Interfaces), len(r.Subnets), r.Gateways,
+		r.Elapsed().Round(time.Second), r.PacketsSent, r.PacketRate())
+}
+
+// Info describes a module for the registry (the paper's Table 3) and the
+// Discovery Manager's schedule (Table 4 intervals).
+type Info struct {
+	Name           string
+	SourceProtocol string // "ARP", "ICMP", "RIP", "DNS"
+	Inputs         string
+	Outputs        string
+	Passive        bool
+	NeedsPrivilege bool
+	// Scheduling bounds from Table 4.
+	MinInterval, MaxInterval time.Duration
+}
+
+// Module is one Explorer Module.
+type Module interface {
+	Info() Info
+	Run(ctx *Context) (*Report, error)
+}
+
+// ipSet accumulates distinct addresses in insertion order.
+type ipSet struct {
+	seen map[pkt.IP]bool
+	list []pkt.IP
+}
+
+func newIPSet() *ipSet { return &ipSet{seen: map[pkt.IP]bool{}} }
+
+func (s *ipSet) add(ip pkt.IP) bool {
+	if s.seen[ip] {
+		return false
+	}
+	s.seen[ip] = true
+	s.list = append(s.list, ip)
+	return true
+}
+
+func (s *ipSet) has(ip pkt.IP) bool { return s.seen[ip] }
+func (s *ipSet) len() int           { return len(s.list) }
+
+func (s *ipSet) sorted() []pkt.IP {
+	out := append([]pkt.IP(nil), s.list...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// primaryIface returns the module host's first interface; modules default
+// to exploring its subnet.
+func primaryIface(st Stack) (IfaceInfo, error) {
+	ifaces := st.Ifaces()
+	if len(ifaces) == 0 {
+		return IfaceInfo{}, fmt.Errorf("explorer: host has no interfaces")
+	}
+	return ifaces[0], nil
+}
+
+// rate returns the interval between packets for a module's rate limit.
+func rate(def float64, override float64) time.Duration {
+	pps := def
+	if override > 0 {
+		pps = override
+	}
+	return time.Duration(float64(time.Second) / pps)
+}

@@ -1,0 +1,36 @@
+package explorer
+
+// All returns one instance of each of the prototype's eight Explorer
+// Modules, in the order of the paper's Table 3.
+func All() []Module {
+	return []Module{
+		ARPwatch{},
+		EtherHostProbe{},
+		SeqPing{},
+		BroadcastPing{},
+		SubnetMasks{},
+		Tracerouter{},
+		RIPwatch{},
+		DNSExplorer{},
+	}
+}
+
+// Extensions returns modules implemented from the paper's Future Work
+// section, beyond the prototype's eight: directed RIP probing.
+func Extensions() []Module {
+	return []Module{
+		RIPQuery{},
+		TrafficWatch{},
+	}
+}
+
+// ByName returns the module (prototype or extension) with the given
+// Info().Name, or nil.
+func ByName(name string) Module {
+	for _, m := range append(All(), Extensions()...) {
+		if m.Info().Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package explorer
+
+import (
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// RIPQuery is the directed RIP probing module from the paper's Future Work
+// section: "beyond monitoring RIP advertisements, we plan to use directed
+// probes to discover routing information, via the RIP Request and RIP Poll
+// queries. The major advantage of doing so is that these requests and
+// replies can be routed through a network, thus providing access to
+// routing information on subnets other than just the local subnet."
+//
+// The module unicasts whole-table RIP Requests to known gateway addresses
+// (from Params.Addresses, or every gateway interface in the Journal, or
+// the local wire's RIP sources) and classifies the returned routes the
+// same way RIPwatch does. "A problem, however, is that not all routers use
+// RIP or respond properly" — silence is recorded, not fatal.
+type RIPQuery struct{}
+
+// Info implements Module.
+func (RIPQuery) Info() Info {
+	return Info{
+		Name:           "RIPquery",
+		SourceProtocol: "RIP",
+		Inputs:         "Gateway addresses",
+		Outputs:        "Subnets, Nets (from remote gateways)",
+		MinInterval:    24 * time.Hour,
+		MaxInterval:    7 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module.
+func (m RIPQuery) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	ifc, err := primaryIface(st)
+	if err != nil {
+		return nil, err
+	}
+	localSubnet := ifc.Subnet()
+	localNet := pkt.SubnetOf(ifc.IP, ifc.IP.DefaultMask())
+
+	targets := ctx.Params.Addresses
+	if len(targets) == 0 {
+		// Every interface the Journal believes belongs to a gateway.
+		recs, err := ctx.Journal.Interfaces(journal.Query{})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if r.Gateway != 0 || r.RIPSource {
+				targets = append(targets, r.IP)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		rep.Notes = append(rep.Notes, "no gateway addresses known; nothing to query")
+		rep.Finished = st.Now()
+		return rep, nil
+	}
+
+	conn, err := st.OpenUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	// RFC 1058 whole-table request: one AF_UNSPEC entry with metric 16.
+	req := &pkt.RIPPacket{Command: pkt.RIPRequest,
+		Entries: []pkt.RIPEntry{{Family: 0, Metric: pkt.RIPInfinity}}}
+	reqRaw := req.Encode()
+
+	gap := rate(1, ctx.Params.RateLimit) // gentle: one gateway per second
+
+	responders := newIPSet()
+	subnets := newIPSet()
+	metrics := map[pkt.IP]int{}
+	for _, gw := range targets {
+		if err := conn.Send(gw, pkt.PortRIP, reqRaw); err != nil {
+			continue
+		}
+		deadline := st.Now().Add(3 * time.Second)
+		for {
+			remain := deadline.Sub(st.Now())
+			if remain <= 0 {
+				break
+			}
+			ev, ok := conn.Recv(remain)
+			if !ok {
+				break
+			}
+			resp, err := pkt.DecodeRIP(ev.Payload)
+			if err != nil || resp.Command != pkt.RIPResponse {
+				continue
+			}
+			responders.add(ev.Src)
+			for _, e := range resp.Entries {
+				if e.Family != 2 || e.Metric >= pkt.RIPInfinity {
+					continue
+				}
+				if classify(e.Addr, localSubnet, localNet) == routeHost {
+					continue
+				}
+				subnets.add(e.Addr)
+				if best, ok := metrics[e.Addr]; !ok || int(e.Metric) < best {
+					metrics[e.Addr] = int(e.Metric)
+				}
+			}
+		}
+		st.Sleep(gap)
+	}
+
+	now := st.Now()
+	for _, gw := range responders.sorted() {
+		if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+			IP: gw, RIPSource: true, Source: journal.SrcRIP, At: now,
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	for _, addr := range subnets.sorted() {
+		mask := pkt.Mask(0)
+		if localNet.Contains(addr) {
+			mask = localSubnet.Mask
+		} else {
+			mask = addr.DefaultMask()
+		}
+		if _, err := ctx.Journal.StoreSubnet(journal.SubnetObs{
+			Subnet: pkt.Subnet{Addr: addr, Mask: mask},
+			Metric: metrics[addr],
+			Source: journal.SrcRIP, At: now,
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	if n := len(targets) - responders.len(); n > 0 {
+		rep.Notes = append(rep.Notes, "some gateways did not answer RIP requests")
+	}
+	rep.Interfaces = responders.sorted()
+	rep.Subnets = subnets.sorted()
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}

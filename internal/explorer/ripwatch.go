@@ -1,0 +1,212 @@
+package explorer
+
+import (
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// RIPwatch passively monitors RIP advertisements on the attached subnet,
+// "building a list of hosts, subnets, and networks as they are seen". RIP
+// version 1 carries no masks, so advertised addresses are classified by
+// comparing them with the receiving host's own subnet mask. The module
+// also "attempts to identify those RIP sources that appear to be operating
+// in [the promiscuous] erroneous manner": a source that advertises the
+// local wire's own subnet back onto the wire cannot be a well-behaved
+// (split-horizon) router.
+type RIPwatch struct{}
+
+// Info implements Module.
+func (RIPwatch) Info() Info {
+	return Info{
+		Name:           "RIPwatch",
+		SourceProtocol: "RIP",
+		Inputs:         "none",
+		Outputs:        "Subnets, Nets, Hosts",
+		Passive:        true,
+		NeedsPrivilege: true,
+		MinInterval:    2 * time.Hour,
+		MaxInterval:    7 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module, watching for Params.Duration (default 2 minutes:
+// RIP advertisements repeat every 30 seconds).
+func (m RIPwatch) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	dur := ctx.Params.Duration
+	if dur == 0 {
+		dur = 2 * time.Minute
+	}
+	ifc, err := primaryIface(st)
+	if err != nil {
+		return nil, err
+	}
+	localSubnet := ifc.Subnet()
+	localNet := pkt.SubnetOf(ifc.IP, ifc.IP.DefaultMask())
+
+	tap, err := st.OpenTap(0, func(raw []byte) bool {
+		f, err := pkt.DecodeFrame(raw)
+		if err != nil || f.EtherType != pkt.EtherTypeIPv4 {
+			return false
+		}
+		ip, err := pkt.DecodeIPv4(f.Payload)
+		if err != nil || ip.Header.Protocol != pkt.ProtoUDP {
+			return false
+		}
+		u, err := pkt.DecodeUDP(ip.Payload, ip.Header.Src, ip.Header.Dst)
+		return err == nil && u.DstPort == pkt.PortRIP
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tap.Close()
+
+	subnets := newIPSet()
+	hosts := newIPSet()
+	sources := newIPSet()
+	promiscuous := newIPSet()
+	metrics := map[pkt.IP]int{}
+	srcMACs := map[pkt.IP]pkt.MAC{}
+
+	// The watcher's own wire is a known subnet (split-horizon routers
+	// never advertise it back onto itself, but the receiving host's
+	// interface configuration is authoritative anyway).
+	subnets.add(localSubnet.Addr)
+
+	deadline := st.Now().Add(dur)
+	for {
+		remain := deadline.Sub(st.Now())
+		if remain <= 0 {
+			break
+		}
+		raw, ok := tap.Recv(remain)
+		if !ok {
+			break
+		}
+		f, _ := pkt.DecodeFrame(raw)
+		ipPkt, err := pkt.DecodeIPv4(f.Payload)
+		if err != nil {
+			continue
+		}
+		u, err := pkt.DecodeUDP(ipPkt.Payload, ipPkt.Header.Src, ipPkt.Header.Dst)
+		if err != nil {
+			continue
+		}
+		rp, err := pkt.DecodeRIP(u.Payload)
+		if err != nil || rp.Command != pkt.RIPResponse {
+			continue
+		}
+		src := ipPkt.Header.Src
+		sources.add(src)
+		srcMACs[src] = f.Src
+		for _, e := range rp.Entries {
+			if e.Family != 2 || e.Metric >= pkt.RIPInfinity {
+				continue
+			}
+			switch class := classify(e.Addr, localSubnet, localNet); class {
+			case routeSubnet:
+				if e.Addr == localSubnet.Addr {
+					// A split-horizon router never advertises the wire's
+					// own subnet back onto the wire.
+					promiscuous.add(src)
+					continue
+				}
+				subnets.add(e.Addr)
+				if best, ok := metrics[e.Addr]; !ok || int(e.Metric) < best {
+					metrics[e.Addr] = int(e.Metric)
+				}
+			case routeNetwork:
+				subnets.add(e.Addr)
+				if best, ok := metrics[e.Addr]; !ok || int(e.Metric) < best {
+					metrics[e.Addr] = int(e.Metric)
+				}
+			case routeHost:
+				hosts.add(e.Addr)
+			}
+		}
+	}
+
+	now := st.Now()
+	for _, src := range sources.sorted() {
+		obs := journal.IfaceObs{
+			IP: src, RIPSource: true,
+			RIPPromiscuous: promiscuous.has(src),
+			Source:         journal.SrcRIP, At: now,
+		}
+		if mac, ok := srcMACs[src]; ok && localSubnet.Contains(src) {
+			obs.HasMAC, obs.MAC = true, mac
+		}
+		if _, _, err := ctx.Journal.StoreInterface(obs); err == nil {
+			rep.Stored++
+		}
+	}
+	for _, addr := range subnets.sorted() {
+		// RIP-1 advertisements carry no mask; in-network subnets are
+		// assumed to share the receiver's mask (the paper's comparison
+		// rule), out-of-network addresses keep their classful mask.
+		mask := pkt.Mask(0)
+		if localNet.Contains(addr) {
+			mask = localSubnet.Mask
+		} else {
+			mask = addr.DefaultMask()
+		}
+		if _, err := ctx.Journal.StoreSubnet(journal.SubnetObs{
+			Subnet: pkt.Subnet{Addr: addr, Mask: mask},
+			Metric: metrics[addr],
+			Source: journal.SrcRIP, At: now,
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	for _, h := range hosts.sorted() {
+		if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+			IP: h, Source: journal.SrcRIP, At: now,
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+
+	if n := promiscuous.len(); n > 0 {
+		rep.Notes = append(rep.Notes, "promiscuous RIP sources detected")
+	}
+	rep.Interfaces = append(sources.sorted(), hosts.sorted()...)
+	rep.Subnets = subnets.sorted()
+	rep.PacketsSent = 0 // passive
+	rep.Finished = st.Now()
+	return rep, nil
+}
+
+type routeClass int
+
+const (
+	routeIgnore routeClass = iota
+	routeNetwork
+	routeSubnet
+	routeHost
+)
+
+// classify applies the paper's rule: "routes to networks, subnets, or
+// hosts are determined by comparing the subnet mask of the receiving host
+// to the address being advertised."
+func classify(addr pkt.IP, localSubnet, localNet pkt.Subnet) routeClass {
+	if addr.IsZero() {
+		return routeIgnore
+	}
+	if localNet.Contains(addr) {
+		// Inside our network: subnet route if the host part (under our
+		// mask) is zero, host route otherwise.
+		if pkt.SubnetOf(addr, localSubnet.Mask).Addr == addr {
+			return routeSubnet
+		}
+		return routeHost
+	}
+	// Outside our network: a classful network route if the host part under
+	// the class mask is zero, else a host route.
+	if pkt.SubnetOf(addr, addr.DefaultMask()).Addr == addr {
+		return routeNetwork
+	}
+	return routeHost
+}

@@ -1,0 +1,119 @@
+package explorer
+
+import (
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// SeqPing is the Sequential Ping Explorer Module: ICMP Echo Requests
+// through a range of addresses, one every two seconds, recording operating
+// interfaces. "The Sequential Ping Explorer Module is the simplest and
+// most reliable of the modules, because virtually every host implements
+// the ICMP Echo Request/Reply protocol." Hosts that do not respond to the
+// first pass get exactly one more request.
+type SeqPing struct{}
+
+const seqPingID = 0x5350 // "SP"
+
+// Info implements Module (Table 3/4 rows).
+func (SeqPing) Info() Info {
+	return Info{
+		Name:           "SeqPing",
+		SourceProtocol: "ICMP",
+		Inputs:         "IP address range",
+		Outputs:        "Intf. IP addr.",
+		MinInterval:    2 * 24 * time.Hour,
+		MaxInterval:    14 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module.
+func (m SeqPing) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	lo, hi := ctx.Params.RangeLo, ctx.Params.RangeHi
+	if lo.IsZero() || hi.IsZero() {
+		ifc, err := primaryIface(st)
+		if err != nil {
+			return nil, err
+		}
+		sn := ifc.Subnet()
+		lo, hi = sn.FirstHost(), sn.LastHost()
+	}
+	interval := rate(0.5, ctx.Params.RateLimit) // paper: one request every 2s
+
+	conn, err := st.OpenICMP()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	self := map[pkt.IP]bool{}
+	for _, ifc := range st.Ifaces() {
+		self[ifc.IP] = true
+	}
+
+	found := newIPSet()
+	drainUntil := func(deadline time.Time) {
+		for {
+			remain := deadline.Sub(st.Now())
+			if remain <= 0 {
+				return
+			}
+			ev, ok := conn.Recv(remain)
+			if !ok {
+				return
+			}
+			if ev.Msg.Type == pkt.ICMPEchoReply && ev.Msg.ID == seqPingID {
+				found.add(ev.From)
+			}
+		}
+	}
+
+	sweep := func(targets []pkt.IP, pass uint16) {
+		for _, dst := range targets {
+			msg := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: seqPingID, Seq: pass}
+			if err := st.SendICMP(dst, 30, msg); err == nil {
+				rep.PacketsSent++
+			}
+			drainUntil(st.Now().Add(interval))
+		}
+	}
+
+	var targets []pkt.IP
+	for ip := lo; ip <= hi; ip++ {
+		if !self[ip] {
+			targets = append(targets, ip)
+		}
+	}
+	sweep(targets, 1)
+
+	// "If the module receives no response to a packet after issuing one
+	// request to each destination address, it sends one more request
+	// packet to each destination that did not respond."
+	var missing []pkt.IP
+	for _, ip := range targets {
+		if !found.has(ip) {
+			missing = append(missing, ip)
+		}
+	}
+	if len(missing) > 0 {
+		ctx.logf("seqping: second pass over %d unresponsive addresses", len(missing))
+		sweep(missing, 2)
+	}
+	drainUntil(st.Now().Add(5 * time.Second))
+
+	for _, ip := range found.sorted() {
+		if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+			IP: ip, Source: journal.SrcICMP, At: st.Now(),
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	rep.Interfaces = found.sorted()
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}

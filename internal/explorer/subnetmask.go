@@ -1,0 +1,123 @@
+package explorer
+
+import (
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// SubnetMasks is the ICMP mask request/reply Explorer Module. It asks
+// already-discovered interfaces for their subnet masks — "Fremont uses the
+// collected subnet masks to aid in determining the network structure [and]
+// to detect conflicting subnet masks on different interfaces of a subnet."
+// Mask replies are "not as widely implemented as the echo request/reply",
+// so silence is common and not an error.
+type SubnetMasks struct{}
+
+const maskReqID = 0x534d // "SM"
+
+// Info implements Module.
+func (SubnetMasks) Info() Info {
+	return Info{
+		Name:           "SubnetMasks",
+		SourceProtocol: "ICMP",
+		Inputs:         "IP address",
+		Outputs:        "Subnet Masks",
+		MinInterval:    24 * time.Hour,
+		MaxInterval:    7 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module. Targets come from Params.Addresses; with no
+// direction, the module asks the Journal for interfaces lacking masks.
+func (m SubnetMasks) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	targets := ctx.Params.Addresses
+	if len(targets) == 0 {
+		recs, err := ctx.Journal.Interfaces(journal.Query{})
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			if rec.Mask == 0 {
+				targets = append(targets, rec.IP)
+			}
+		}
+	}
+	interval := rate(0.5, ctx.Params.RateLimit) // paper: 0.5 pkts/sec
+
+	conn, err := st.OpenICMP()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	got := map[pkt.IP]pkt.Mask{}
+	var seq uint16
+	for _, dst := range targets {
+		seq++
+		msg := &pkt.ICMPMessage{Type: pkt.ICMPMaskRequest, ID: maskReqID, Seq: seq}
+		_ = st.SendICMP(dst, 30, msg)
+		deadline := st.Now().Add(interval)
+		for {
+			remain := deadline.Sub(st.Now())
+			if remain <= 0 {
+				break
+			}
+			ev, ok := conn.Recv(remain)
+			if !ok {
+				break
+			}
+			if ev.Msg.Type == pkt.ICMPMaskReply && ev.Msg.ID == maskReqID {
+				got[ev.From] = ev.Msg.Mask
+			}
+		}
+	}
+	// Late replies.
+	for {
+		ev, ok := conn.Recv(2 * time.Second)
+		if !ok {
+			break
+		}
+		if ev.Msg.Type == pkt.ICMPMaskReply && ev.Msg.ID == maskReqID {
+			got[ev.From] = ev.Msg.Mask
+		}
+	}
+
+	found := newIPSet()
+	for ip := range got {
+		found.add(ip)
+	}
+	for _, ip := range found.sorted() {
+		if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+			IP: ip, HasMask: true, Mask: got[ip],
+			Source: journal.SrcICMP, At: st.Now(),
+		}); err == nil {
+			rep.Stored++
+		}
+	}
+	// Negative caching (Future Work): count unanswered requests against
+	// already-known interfaces so the Discovery Manager eventually stops
+	// asking — "a flag to prevent continually retrying discovery of some
+	// datum that we know is unavailable".
+	silent := 0
+	for _, dst := range targets {
+		if !found.has(dst) {
+			if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+				IP: dst, MaskProbeFailed: true,
+				Source: journal.SrcICMP, At: st.Now(),
+			}); err == nil {
+				silent++
+			}
+		}
+	}
+	if silent > 0 {
+		rep.Notes = append(rep.Notes, "mask requests unanswered (negative-cached)")
+	}
+	rep.Interfaces = found.sorted()
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}

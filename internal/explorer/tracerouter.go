@@ -1,0 +1,414 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Tracerouter is the Traceroute Explorer Module: it determines the
+// structure of the network around the running host by tracing UDP probes
+// with increasing TTLs toward each target subnet and collecting the ICMP
+// Time Exceeded messages from the gateways along the path.
+//
+// Per the paper, for each target subnet it probes three addresses — host
+// zero (which any member of the subnet should answer), and the next two —
+// "to maximize the amount of information discovered". Traces run in
+// parallel ("continues to send packets towards as yet unreached
+// destinations while waiting to timeout packets it has sent to other
+// destinations"), at no more than eight packets per second, with a
+// ten-second reply timeout. Routing loops abort a trace, as do two
+// consecutive unanswered TTLs ("gateway software problems" — Table 6's
+// missing 23%) and arrival at a configured stop network (the paper stops
+// at the national backbones).
+type Tracerouter struct{}
+
+const (
+	traceBasePort    = 33434
+	traceTimeout     = 10 * time.Second
+	traceMaxActive   = 80 // "this can result in up to 80 outstanding packets"
+	traceTriesPerHop = 2
+)
+
+// Info implements Module.
+func (Tracerouter) Info() Info {
+	return Info{
+		Name:           "Traceroute",
+		SourceProtocol: "ICMP",
+		Inputs:         "Subnets, Nets, or nothing",
+		Outputs:        "Intfs. per gateway; gateway-subnet links",
+		MinInterval:    2 * 24 * time.Hour,
+		MaxInterval:    14 * 24 * time.Hour,
+	}
+}
+
+type trace struct {
+	subnet  pkt.Subnet
+	dst     pkt.IP
+	ttl     int
+	tries   int
+	sentAt  time.Time
+	waiting bool
+	hops    map[int]pkt.IP // ttl -> time-exceeded sender (gateway near iface)
+	misses  int            // consecutive unanswered TTLs
+	done    bool
+	reached bool
+	final   pkt.IP // the responder that terminated the trace
+	note    string
+}
+
+// Run implements Module.
+func (m Tracerouter) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	maxTTL := ctx.Params.MaxTTL
+	if maxTTL == 0 {
+		maxTTL = 16
+	}
+	gap := rate(8, ctx.Params.RateLimit) // paper: no more than 8 pkts/sec
+	addrsPerSubnet := ctx.Params.TraceAddrsPerSubnet
+	if addrsPerSubnet <= 0 {
+		addrsPerSubnet = 3
+	}
+	maxActive := ctx.Params.TraceMaxParallel
+	if maxActive <= 0 {
+		maxActive = traceMaxActive
+	}
+
+	local := map[pkt.IP]bool{}
+	for _, ifc := range st.Ifaces() {
+		local[ifc.Subnet().Addr] = true
+	}
+
+	// Targets: explicit subnets, else everything the Journal knows about
+	// (RIP clues "used by the traceroute Explorer Module to improve its
+	// performance"), excluding directly attached subnets.
+	targets := ctx.Params.Subnets
+	maskFor := m.maskTable(ctx)
+	if len(targets) == 0 {
+		subnets, err := ctx.Journal.Subnets()
+		if err != nil {
+			return nil, err
+		}
+		for _, sn := range subnets {
+			s := sn.Subnet
+			if s.Mask == 0 {
+				s.Mask = maskFor(s.Addr)
+			}
+			targets = append(targets, s)
+		}
+	}
+
+	var queue []*trace
+	for _, sn := range targets {
+		if local[sn.Addr] {
+			continue
+		}
+		if sn.Mask == 0 {
+			sn.Mask = maskFor(sn.Addr)
+		}
+		// Host zero, plus the next addresses on the subnet (three in the
+		// paper's configuration).
+		for i := 0; i < addrsPerSubnet; i++ {
+			dst := sn.HostZero() + pkt.IP(i)
+			queue = append(queue, &trace{subnet: sn, dst: dst, ttl: 1, hops: map[int]pkt.IP{}})
+		}
+	}
+
+	conn, err := st.OpenUDP(0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	icmp, err := st.OpenICMP()
+	if err != nil {
+		return nil, err
+	}
+	defer icmp.Close()
+	srcPort := conn.LocalPort()
+
+	active := map[pkt.IP]*trace{} // by probe destination (unique per trace)
+	var finished []*trace
+	nextSend := st.Now()
+
+	for len(queue) > 0 || len(active) > 0 {
+		// Admit traces into the window.
+		for len(active) < maxActive && len(queue) > 0 {
+			tr := queue[0]
+			queue = queue[1:]
+			active[tr.dst] = tr
+		}
+
+		// Send one due probe (rate limited).
+		sentOne := false
+		if !st.Now().Before(nextSend) {
+			for _, tr := range sortedTraces(active) {
+				if tr.waiting || tr.done {
+					continue
+				}
+				port := uint16(traceBasePort + tr.ttl)
+				if err := conn.SendTTL(tr.dst, port, []byte("fremont-trace"), byte(tr.ttl)); err != nil {
+					tr.done = true
+					tr.note = "send: " + err.Error()
+					continue
+				}
+				tr.waiting = true
+				tr.tries++
+				tr.sentAt = st.Now()
+				nextSend = st.Now().Add(gap)
+				sentOne = true
+				break
+			}
+		}
+
+		// Harvest replies until the next send slot (or briefly, if
+		// nothing is due).
+		wait := nextSend.Sub(st.Now())
+		if !sentOne && wait < 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		if ev, ok := icmp.Recv(wait); ok {
+			m.handleReply(ev, srcPort, active)
+		}
+
+		// Expire probes and retire traces.
+		now := st.Now()
+		for dst, tr := range active {
+			if tr.waiting && now.Sub(tr.sentAt) >= traceTimeout {
+				tr.waiting = false
+				if tr.tries < traceTriesPerHop {
+					continue // resend same TTL
+				}
+				tr.tries = 0
+				tr.misses++
+				tr.ttl++
+				if tr.misses >= 2 {
+					tr.done = true
+					tr.note = "no response (gateway software problems?)"
+				}
+			}
+			if tr.ttl > maxTTL && !tr.done {
+				tr.done = true
+				tr.note = "max TTL"
+			}
+			for _, stop := range ctx.Params.StopNets {
+				if hop, ok := tr.hops[tr.ttl-1]; ok && stop.Contains(hop) && !tr.done {
+					tr.done = true
+					tr.note = "reached stop network " + stop.String()
+				}
+				// A terminating reply from inside a stop network also
+				// abandons the trace (the responder is a backbone node).
+				if tr.reached && stop.Contains(tr.final) {
+					tr.reached = false
+					tr.done = true
+					tr.note = "reached stop network " + stop.String()
+				}
+			}
+			if tr.done {
+				delete(active, dst)
+				finished = append(finished, tr)
+			}
+		}
+	}
+
+	m.storeResults(ctx, rep, finished, maskFor)
+	rep.PacketsSent = st.PacketsSent()
+	rep.Finished = st.Now()
+	return rep, nil
+}
+
+// maskTable builds a subnet-address → mask resolver from the Journal, with
+// a /24 fallback (the campus convention).
+func (Tracerouter) maskTable(ctx *Context) func(pkt.IP) pkt.Mask {
+	known := map[pkt.IP]pkt.Mask{}
+	if subnets, err := ctx.Journal.Subnets(); err == nil {
+		for _, sn := range subnets {
+			if sn.Subnet.Mask != 0 {
+				known[sn.Subnet.Addr] = sn.Subnet.Mask
+			}
+		}
+	}
+	return func(addr pkt.IP) pkt.Mask {
+		if m, ok := known[pkt.SubnetOf(addr, pkt.MaskBits(24)).Addr]; ok {
+			return m
+		}
+		if m, ok := known[addr]; ok {
+			return m
+		}
+		return pkt.MaskBits(24)
+	}
+}
+
+// handleReply matches an ICMP message to an outstanding probe.
+func (Tracerouter) handleReply(ev ICMPEvent, srcPort uint16, active map[pkt.IP]*trace) {
+	msg := ev.Msg
+	if msg.Type != pkt.ICMPTimeExceeded && msg.Type != pkt.ICMPUnreachable {
+		return
+	}
+	inner, err := pkt.DecodeIPv4Header(msg.Original)
+	if err != nil || inner.Protocol != pkt.ProtoUDP || len(msg.Original) < 24 {
+		return
+	}
+	quotedSrcPort := uint16(msg.Original[20])<<8 | uint16(msg.Original[21])
+	quotedDstPort := uint16(msg.Original[22])<<8 | uint16(msg.Original[23])
+	if quotedSrcPort != srcPort {
+		return // someone else's probe
+	}
+	tr, ok := active[inner.Dst]
+	if !ok || tr.done {
+		return
+	}
+	probeTTL := int(quotedDstPort) - traceBasePort
+	switch msg.Type {
+	case pkt.ICMPTimeExceeded:
+		if probeTTL != tr.ttl {
+			return // stale reply for an earlier TTL
+		}
+		// Routing loop: the same gateway answering consecutive TTLs.
+		if prev, ok := tr.hops[tr.ttl-1]; ok && prev == ev.From {
+			tr.done = true
+			tr.note = "routing loop at " + ev.From.String()
+			return
+		}
+		tr.hops[tr.ttl] = ev.From
+		tr.ttl++
+		tr.tries = 0
+		tr.misses = 0
+		tr.waiting = false
+	case pkt.ICMPUnreachable:
+		switch msg.Code {
+		case pkt.UnreachPort, pkt.UnreachProtocol:
+			// The probe arrived at a machine on (or owning) the target:
+			// "the destination host [sends] either an ICMP Protocol
+			// Unreachable or ICMP Port Unreachable message."
+			tr.reached = true
+			tr.final = ev.From
+			tr.done = true
+		default:
+			// Net/host unreachable: a router had no path. The trace
+			// terminates but the subnet was NOT reached.
+			tr.done = true
+			tr.note = "network unreachable at " + ev.From.String()
+		}
+	}
+}
+
+// storeResults converts finished traces into Journal observations:
+// interfaces for every hop, gateway records with their subnet attachments,
+// and subnet records for reached targets.
+func (Tracerouter) storeResults(ctx *Context, rep *Report, finished []*trace, maskFor func(pkt.IP) pkt.Mask) {
+	now := ctx.Stack.Now()
+	ifaces := newIPSet()
+	subnets := newIPSet()
+	gateways := newIPSet()
+
+	store := func(obs journal.GatewayObs) {
+		if _, err := ctx.Journal.StoreGateway(obs); err == nil {
+			rep.Stored++
+		}
+	}
+
+	reachedSubnet := map[pkt.IP]bool{}
+	for _, tr := range finished {
+		if tr.reached {
+			reachedSubnet[tr.subnet.Addr] = true
+		}
+	}
+
+	for _, tr := range finished {
+		// Order the hops by TTL.
+		ttls := make([]int, 0, len(tr.hops))
+		for t := range tr.hops {
+			ttls = append(ttls, t)
+		}
+		sort.Ints(ttls)
+		var path []pkt.IP
+		for _, t := range ttls {
+			path = append(path, tr.hops[t])
+		}
+
+		for i, hop := range path {
+			ifaces.add(hop)
+			gateways.add(hop)
+			// The hop's own wire...
+			obs := journal.GatewayObs{
+				IfaceIPs: []pkt.IP{hop},
+				Subnets:  []pkt.Subnet{pkt.SubnetOf(hop, maskFor(hop))},
+				Source:   journal.SrcTraceroute, At: now,
+			}
+			// ...plus the shared wire with the next gateway: hop i is
+			// attached to the subnet that hop i+1's near interface lives
+			// on.
+			if i+1 < len(path) {
+				next := path[i+1]
+				obs.Subnets = append(obs.Subnets, pkt.SubnetOf(next, maskFor(next)))
+			}
+			// When a probe to a *specific* address was answered by that
+			// address, the last gateway on the path forwarded it onto the
+			// destination wire — so it is attached to the destination
+			// subnet, even though we never learn its interface address
+			// there ("the Traceroute Explorer Module is able, in some
+			// cases, to determine the subnet to which a gateway is
+			// attached without being able to determine the address of the
+			// interface on that subnet").
+			if i == len(path)-1 && tr.reached && tr.dst != tr.subnet.HostZero() {
+				obs.Subnets = append(obs.Subnets, tr.subnet)
+			}
+			store(obs)
+		}
+		if tr.reached {
+			subnets.add(tr.subnet.Addr)
+			if !tr.final.IsZero() {
+				ifaces.add(tr.final)
+				if tr.dst == tr.subnet.HostZero() {
+					// A machine accepted a routed packet addressed to host
+					// zero of the subnet: probably the far gateway's
+					// interface on the destination wire — "one of those
+					// addresses may actually be the interface address of
+					// the gateway that accepted the packet addressed to
+					// host zero" — but possibly just a host honoring the
+					// old-style broadcast, so the evidence is recorded
+					// with the questionable-quality tag.
+					gateways.add(tr.final)
+					store(journal.GatewayObs{
+						IfaceIPs:     []pkt.IP{tr.final},
+						Subnets:      []pkt.Subnet{tr.subnet},
+						Questionable: true,
+						Source:       journal.SrcTraceroute, At: now,
+					})
+				} else if _, _, err := ctx.Journal.StoreInterface(journal.IfaceObs{
+					IP: tr.final, Source: journal.SrcTraceroute, At: now,
+				}); err == nil {
+					rep.Stored++
+				}
+			}
+			if _, err := ctx.Journal.StoreSubnet(journal.SubnetObs{
+				Subnet: tr.subnet, Source: journal.SrcTraceroute, At: now,
+			}); err == nil {
+				rep.Stored++
+			}
+		} else if tr.note != "" {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s via %s: %s", tr.subnet, tr.dst, tr.note))
+		}
+	}
+
+	rep.Interfaces = ifaces.sorted()
+	rep.Subnets = subnets.sorted()
+	rep.Gateways = gateways.len()
+}
+
+func sortedTraces(active map[pkt.IP]*trace) []*trace {
+	keys := make([]pkt.IP, 0, len(active))
+	for k := range active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*trace, len(keys))
+	for i, k := range keys {
+		out[i] = active[k]
+	}
+	return out
+}

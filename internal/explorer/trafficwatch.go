@@ -1,0 +1,155 @@
+package explorer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// TrafficWatch is the promiscuous traffic monitor from the paper's Future
+// Work section: "A 'promiscuous' mode network traffic monitor would be
+// able to discover all communicating machines in a network. We will use
+// this to extend our system into the discovery of network services."
+//
+// Unlike ARPwatch, which only sees address-resolution exchanges, this
+// module watches every IP frame on the wire: it discovers hosts that
+// communicate exclusively with already-resolved peers (no ARP traffic to
+// observe), remote addresses that converse with local machines, and — via
+// well-known source ports — the services running where. Service
+// observations stay in the run report; the Journal schema records
+// interfaces (the paper's "discovery of network services" was future work
+// for the Journal too).
+type TrafficWatch struct{}
+
+// Info implements Module.
+func (TrafficWatch) Info() Info {
+	return Info{
+		Name:           "TrafficWatch",
+		SourceProtocol: "IP",
+		Inputs:         "none",
+		Outputs:        "Communicating hosts; service ports",
+		Passive:        true,
+		NeedsPrivilege: true,
+		MinInterval:    2 * time.Hour,
+		MaxInterval:    7 * 24 * time.Hour,
+	}
+}
+
+// Run implements Module, watching for Params.Duration (default 10 min).
+func (m TrafficWatch) Run(ctx *Context) (*Report, error) {
+	st := ctx.Stack
+	rep := &Report{Module: m.Info().Name, Started: st.Now()}
+	dur := ctx.Params.Duration
+	if dur == 0 {
+		dur = 10 * time.Minute
+	}
+	ifc, err := primaryIface(st)
+	if err != nil {
+		return nil, err
+	}
+	localSubnet := ifc.Subnet()
+
+	tap, err := st.OpenTap(0, func(raw []byte) bool {
+		f, err := pkt.DecodeFrame(raw)
+		return err == nil && f.EtherType == pkt.EtherTypeIPv4
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tap.Close()
+
+	hosts := newIPSet()
+	macs := map[pkt.IP]pkt.MAC{}
+	type service struct {
+		ip   pkt.IP
+		port uint16
+	}
+	services := map[service]int{}
+
+	deadline := st.Now().Add(dur)
+	for {
+		remain := deadline.Sub(st.Now())
+		if remain <= 0 {
+			break
+		}
+		raw, ok := tap.Recv(remain)
+		if !ok {
+			break
+		}
+		f, _ := pkt.DecodeFrame(raw)
+		ipPkt, err := pkt.DecodeIPv4(f.Payload)
+		if err != nil {
+			continue
+		}
+		src, dst := ipPkt.Header.Src, ipPkt.Header.Dst
+		if !src.IsZero() {
+			hosts.add(src)
+			if localSubnet.Contains(src) && !f.Src.IsBroadcast() {
+				macs[src] = f.Src
+			}
+		}
+		// Unicast destinations are communicating machines too (the
+		// sender evidently believes they exist); broadcasts are not.
+		if !dst.IsZero() && dst != pkt.IP(0xffffffff) &&
+			dst != localSubnet.Broadcast() && dst != localSubnet.HostZero() {
+			hosts.add(dst)
+		}
+		// Service discovery: replies *from* a well-known port reveal a
+		// service running at the source.
+		if ipPkt.Header.Protocol == pkt.ProtoUDP {
+			if u, err := pkt.DecodeUDP(ipPkt.Payload, src, dst); err == nil && u.SrcPort < 1024 {
+				services[service{src, u.SrcPort}]++
+			}
+		}
+	}
+
+	now := st.Now()
+	for _, ip := range hosts.sorted() {
+		obs := journal.IfaceObs{IP: ip, Source: journal.SrcTraffic, At: now}
+		if mac, ok := macs[ip]; ok {
+			obs.HasMAC, obs.MAC = true, mac
+		}
+		if _, _, err := ctx.Journal.StoreInterface(obs); err == nil {
+			rep.Stored++
+		}
+	}
+
+	// Summarize services in the report.
+	keys := make([]service, 0, len(services))
+	for k := range services {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ip != keys[j].ip {
+			return keys[i].ip < keys[j].ip
+		}
+		return keys[i].port < keys[j].port
+	})
+	for _, k := range keys {
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("service: %s port %d (%s, %d packets)", k.ip, k.port, portName(k.port), services[k]))
+	}
+
+	rep.Interfaces = hosts.sorted()
+	rep.PacketsSent = 0 // passive
+	rep.Finished = st.Now()
+	return rep, nil
+}
+
+func portName(p uint16) string {
+	switch p {
+	case pkt.PortEcho:
+		return "echo"
+	case pkt.PortDNS:
+		return "domain"
+	case pkt.PortRIP:
+		return "rip"
+	case 9:
+		return "discard"
+	default:
+		return "?"
+	}
+}

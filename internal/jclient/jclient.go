@@ -1,0 +1,165 @@
+// Package jclient is the Journal Server client library. It implements
+// journal.Sink over a TCP connection, so Explorer Modules, the Discovery
+// Manager, and the presentation/analysis programs can run anywhere on the
+// network.
+package jclient
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// Client is a connection to a Journal Server. Methods are safe for
+// concurrent use (requests are serialized on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ journal.Sink = (*Client)(nil)
+
+// Dial connects to a Journal Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("jclient: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the status byte of the reply.
+func (c *Client) roundTrip(req []byte) (*jwire.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := jwire.WriteFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("jclient: send: %w", err)
+	}
+	resp, err := jwire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("jclient: recv: %w", err)
+	}
+	r := &jwire.Reader{B: resp}
+	if status := r.U8(); status != jwire.StatusOK {
+		return nil, fmt.Errorf("jclient: server error: %s", r.String())
+	}
+	return r, nil
+}
+
+// Ping verifies the server is reachable.
+func (c *Client) Ping() error {
+	var w jwire.Writer
+	w.U8(jwire.OpPing)
+	_, err := c.roundTrip(w.B)
+	return err
+}
+
+// StoreInterface implements journal.Sink.
+func (c *Client) StoreInterface(obs journal.IfaceObs) (journal.ID, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreInterface)
+	jwire.PutIfaceObs(&w, obs)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return 0, false, err
+	}
+	id := r.ID()
+	created := r.Bool()
+	return id, created, r.Err
+}
+
+// StoreGateway implements journal.Sink.
+func (c *Client) StoreGateway(obs journal.GatewayObs) (journal.ID, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreGateway)
+	jwire.PutGatewayObs(&w, obs)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return 0, err
+	}
+	id := r.ID()
+	return id, r.Err
+}
+
+// StoreSubnet implements journal.Sink.
+func (c *Client) StoreSubnet(obs journal.SubnetObs) (journal.ID, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreSubnet)
+	jwire.PutSubnetObs(&w, obs)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return 0, err
+	}
+	id := r.ID()
+	return id, r.Err
+}
+
+// Interfaces implements journal.Sink.
+func (c *Client) Interfaces(q journal.Query) ([]*journal.InterfaceRec, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpGetInterfaces)
+	jwire.PutQuery(&w, q)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.InterfaceRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetInterfaceRec(r))
+	}
+	return out, r.Err
+}
+
+// Gateways implements journal.Sink.
+func (c *Client) Gateways() ([]*journal.GatewayRec, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpGetGateways)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.GatewayRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetGatewayRec(r))
+	}
+	return out, r.Err
+}
+
+// Subnets implements journal.Sink.
+func (c *Client) Subnets() ([]*journal.SubnetRec, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpGetSubnets)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.SubnetRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetSubnetRec(r))
+	}
+	return out, r.Err
+}
+
+// Delete implements journal.Sink.
+func (c *Client) Delete(kind journal.RecordKind, id journal.ID) (bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpDelete)
+	w.U8(byte(kind))
+	w.ID(id)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return false, err
+	}
+	ok := r.Bool()
+	return ok, r.Err
+}

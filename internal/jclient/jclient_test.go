@@ -1,0 +1,100 @@
+package jclient
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// startFakeServer runs a minimal one-connection server with a scripted
+// responder, for exercising client error paths without a real jserver.
+func startFakeServer(t *testing.T, respond func(req []byte) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			req, err := jwire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			resp := respond(req)
+			if resp == nil {
+				return // hang up mid-exchange
+			}
+			if err := jwire.WriteFrame(conn, resp); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestServerErrorSurfaced(t *testing.T) {
+	addr := startFakeServer(t, func(req []byte) []byte {
+		var w jwire.Writer
+		w.U8(jwire.StatusError)
+		w.String("synthetic failure")
+		return w.B
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("server error not surfaced")
+	}
+	if _, _, err := c.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(1, 2, 3, 4)}); err == nil {
+		t.Fatal("store error not surfaced")
+	}
+	if _, err := c.Interfaces(journal.Query{}); err == nil {
+		t.Fatal("query error not surfaced")
+	}
+}
+
+func TestConnectionDropSurfaced(t *testing.T) {
+	addr := startFakeServer(t, func(req []byte) []byte { return nil })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("dropped connection not surfaced")
+	}
+}
+
+func TestTruncatedResponseSurfaced(t *testing.T) {
+	addr := startFakeServer(t, func(req []byte) []byte {
+		// StatusOK but missing the response body for a Get.
+		return []byte{jwire.StatusOK}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Gateways(); err == nil {
+		t.Fatal("truncated response not surfaced")
+	}
+	_ = time.Now // keep imports stable
+}

@@ -1,0 +1,723 @@
+package journal
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"fremont/internal/avl"
+	"fremont/internal/netsim/pkt"
+)
+
+// Journal is the in-memory repository. It is not safe for concurrent use;
+// the Journal Server serializes all access ("the Journal Server ...
+// serializes updates, time-stamps and records the data").
+type Journal struct {
+	ifRecs map[ID]*InterfaceRec
+	gwRecs map[ID]*GatewayRec
+	snRecs map[ID]*SubnetRec
+
+	ifByIP   *avl.Tree[pkt.IP, []ID]
+	ifByMAC  *avl.Tree[pkt.MAC, []ID]
+	ifByName *avl.Tree[string, []ID]
+	snByAddr *avl.Tree[pkt.IP, ID]
+
+	ifList, gwList, snList modList
+
+	nextIface, nextGw, nextSn ID
+
+	// Stats counts journal activity for the evaluation harness.
+	Stats Stats
+}
+
+// Stats counts store outcomes.
+type Stats struct {
+	Stores     int // observations applied
+	NewRecords int
+	Merges     int // observations folded into existing records
+	Conflicts  int // observations that created a conflicting record
+}
+
+func cmpIP(a, b pkt.IP) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpMAC(a, b pkt.MAC) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// New returns an empty journal.
+func New() *Journal {
+	j := &Journal{
+		ifRecs:   map[ID]*InterfaceRec{},
+		gwRecs:   map[ID]*GatewayRec{},
+		snRecs:   map[ID]*SubnetRec{},
+		ifByIP:   avl.New[pkt.IP, []ID](cmpIP),
+		ifByMAC:  avl.New[pkt.MAC, []ID](cmpMAC),
+		ifByName: avl.New[string, []ID](strings.Compare),
+		snByAddr: avl.New[pkt.IP, ID](cmpIP),
+	}
+	j.ifList.init()
+	j.gwList.init()
+	j.snList.init()
+	return j
+}
+
+// NumInterfaces, NumGateways and NumSubnets report record counts.
+func (j *Journal) NumInterfaces() int { return len(j.ifRecs) }
+func (j *Journal) NumGateways() int   { return len(j.gwRecs) }
+func (j *Journal) NumSubnets() int    { return len(j.snRecs) }
+
+// --- Interface observations --------------------------------------------
+
+// IfaceObs is one module's sighting of an interface. Optional fields use
+// Has* flags (a MAC of all zeroes is not a valid sighting).
+type IfaceObs struct {
+	IP             pkt.IP
+	HasMAC         bool
+	MAC            pkt.MAC
+	Name           string
+	HasMask        bool
+	Mask           pkt.Mask
+	RIPSource      bool
+	RIPPromiscuous bool
+	// MaskProbeFailed records a *negative* observation: a mask request to
+	// an already-known interface went unanswered. Negative observations
+	// never create records and never bump verification times.
+	MaskProbeFailed bool
+	Source          Source
+	At              time.Time
+}
+
+// negative reports whether the observation carries no positive evidence of
+// the interface's existence.
+func (o IfaceObs) negative() bool {
+	return o.MaskProbeFailed && !o.HasMAC && !o.HasMask && o.Name == "" &&
+		!o.RIPSource && !o.RIPPromiscuous
+}
+
+// StoreInterface merges an observation into the journal, returning the
+// record ID and whether a new record was created.
+//
+// Identity rules preserve the conflicts the analysis programs look for:
+// an observation whose MAC disagrees with every record already holding its
+// IP creates a NEW record (two hosts with the same network address, or a
+// hardware change — "Multiple Ethernet addresses for a single IP address
+// usually indicates a misconfigured host"), rather than silently
+// overwriting history.
+func (j *Journal) StoreInterface(obs IfaceObs) (ID, bool) {
+	j.Stats.Stores++
+	var candidates []ID
+	if ids, ok := j.ifByIP.Get(obs.IP); ok {
+		candidates = ids
+	}
+	if obs.negative() {
+		// Negative caching: count the failure against the most recently
+		// verified record, if any; never create one.
+		var rec *InterfaceRec
+		for _, id := range candidates {
+			r := j.ifRecs[id]
+			if rec == nil || r.Stamp.Verified.After(rec.Stamp.Verified) {
+				rec = r
+			}
+		}
+		if rec == nil {
+			return 0, false
+		}
+		rec.MaskProbeFails++
+		j.ifList.touch(&rec.list)
+		return rec.ID, false
+	}
+
+	var rec *InterfaceRec
+	if obs.HasMAC {
+		var fillable *InterfaceRec
+		for _, id := range candidates {
+			r := j.ifRecs[id]
+			if r.MAC == obs.MAC {
+				rec = r
+				break
+			}
+			if r.MAC.IsZero() && fillable == nil {
+				fillable = r
+			}
+		}
+		if rec == nil && fillable != nil {
+			rec = fillable
+			rec.MAC = obs.MAC
+			rec.MACStamp = newStamp(obs.At)
+			j.indexMAC(rec)
+		}
+		if rec == nil && len(candidates) > 0 {
+			j.Stats.Conflicts++ // same IP, different hardware: keep both
+		}
+	} else if len(candidates) > 0 {
+		// No MAC in the observation: fold into the most recently verified
+		// record for the address.
+		for _, id := range candidates {
+			r := j.ifRecs[id]
+			if rec == nil || r.Stamp.Verified.After(rec.Stamp.Verified) {
+				rec = r
+			}
+		}
+	}
+
+	created := false
+	if rec == nil {
+		created = true
+		j.Stats.NewRecords++
+		j.nextIface++
+		rec = &InterfaceRec{ID: j.nextIface, IP: obs.IP, Stamp: newStamp(obs.At)}
+		if obs.HasMAC {
+			rec.MAC = obs.MAC
+			rec.MACStamp = newStamp(obs.At)
+			j.indexMAC(rec)
+		}
+		j.ifRecs[rec.ID] = rec
+		j.indexIP(rec)
+		j.ifList.pushBack(&rec.list, rec)
+	} else {
+		j.Stats.Merges++
+	}
+
+	j.mergeIfaceFields(rec, obs)
+	if !created {
+		j.ifList.touch(&rec.list)
+	}
+	return rec.ID, created
+}
+
+func (j *Journal) mergeIfaceFields(rec *InterfaceRec, obs IfaceObs) {
+	at := obs.At
+	rec.Sources |= obs.Source
+	rec.Stamp.verify(at)
+	if obs.HasMAC && rec.MAC == obs.MAC {
+		rec.MACStamp.verify(at)
+	}
+	if obs.Name != "" {
+		name := strings.ToLower(obs.Name)
+		switch {
+		case rec.Name == "":
+			rec.Name = name
+			rec.NameStamp = newStamp(at)
+			j.indexName(rec)
+		case rec.Name == name:
+			rec.NameStamp.verify(at)
+		default:
+			// "multiple names for the same address"
+			if !contains(rec.Aliases, name) {
+				rec.Aliases = append(rec.Aliases, name)
+				rec.NameStamp.change(at)
+				rec.Stamp.change(at)
+			}
+		}
+	}
+	if obs.HasMask {
+		rec.MaskProbeFails = 0 // a reply arrived: clear the negative cache
+		switch {
+		case rec.Mask == 0:
+			rec.Mask = obs.Mask
+			rec.MaskStamp = newStamp(at)
+		case rec.Mask == obs.Mask:
+			rec.MaskStamp.verify(at)
+		default:
+			rec.Mask = obs.Mask
+			rec.MaskStamp.change(at)
+			rec.Stamp.change(at)
+		}
+	}
+	if obs.RIPSource {
+		rec.RIPSource = true
+	}
+	if obs.RIPPromiscuous {
+		rec.RIPPromiscuous = true
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *Journal) indexIP(rec *InterfaceRec) {
+	ids, _ := j.ifByIP.Get(rec.IP)
+	j.ifByIP.Put(rec.IP, append(ids, rec.ID))
+}
+
+func (j *Journal) indexMAC(rec *InterfaceRec) {
+	ids, _ := j.ifByMAC.Get(rec.MAC)
+	j.ifByMAC.Put(rec.MAC, append(ids, rec.ID))
+}
+
+func (j *Journal) indexName(rec *InterfaceRec) {
+	ids, _ := j.ifByName.Get(rec.Name)
+	j.ifByName.Put(rec.Name, append(ids, rec.ID))
+}
+
+// --- Gateway observations ----------------------------------------------
+
+// GatewayObs asserts that a set of interface addresses (and/or subnets)
+// belong to one gateway.
+type GatewayObs struct {
+	IfaceIPs []pkt.IP
+	Subnets  []pkt.Subnet
+	// Questionable marks weak-heuristic evidence (e.g. a lone "-gw" name).
+	Questionable bool
+	Source       Source
+	At           time.Time
+}
+
+// StoreGateway merges gateway evidence. Interfaces named by IP are created
+// if missing; existing gateways sharing any member interface are merged
+// into one record (union of interfaces and subnets) — this is where
+// evidence from Traceroute, DNS and ARP cross-correlation combines into a
+// single gateway picture.
+func (j *Journal) StoreGateway(obs GatewayObs) ID {
+	j.Stats.Stores++
+	var ifaceIDs []ID
+	for _, ip := range obs.IfaceIPs {
+		id, _ := j.StoreInterface(IfaceObs{IP: ip, Source: obs.Source, At: obs.At})
+		ifaceIDs = append(ifaceIDs, id)
+	}
+
+	// Collect every gateway already holding one of these interfaces.
+	var touched []*GatewayRec
+	seen := map[ID]bool{}
+	for _, ifID := range ifaceIDs {
+		if gwID := j.ifRecs[ifID].Gateway; gwID != 0 && !seen[gwID] {
+			seen[gwID] = true
+			touched = append(touched, j.gwRecs[gwID])
+		}
+	}
+
+	var gw *GatewayRec
+	if len(touched) == 0 {
+		j.nextGw++
+		gw = &GatewayRec{ID: j.nextGw, Questionable: obs.Questionable, Stamp: newStamp(obs.At)}
+		j.gwRecs[gw.ID] = gw
+		j.gwList.pushBack(&gw.list, gw)
+		j.Stats.NewRecords++
+	} else {
+		sort.Slice(touched, func(a, b int) bool { return touched[a].ID < touched[b].ID })
+		gw = touched[0]
+		for _, other := range touched[1:] {
+			j.absorbGateway(gw, other, obs.At)
+		}
+		j.Stats.Merges++
+		j.gwList.touch(&gw.list)
+	}
+
+	changed := false
+	for _, ifID := range ifaceIDs {
+		rec := j.ifRecs[ifID]
+		if rec.Gateway != gw.ID {
+			rec.Gateway = gw.ID
+			rec.Stamp.change(obs.At)
+			j.ifList.touch(&rec.list)
+		}
+		if !containsID(gw.Ifaces, ifID) {
+			gw.Ifaces = append(gw.Ifaces, ifID)
+			changed = true
+		}
+	}
+	for _, sn := range obs.Subnets {
+		if !containsSubnet(gw.Subnets, sn) {
+			gw.Subnets = append(gw.Subnets, sn)
+			changed = true
+		}
+		snID := j.ensureSubnet(sn, obs.Source, obs.At)
+		snRec := j.snRecs[snID]
+		if !containsID(snRec.Gateways, gw.ID) {
+			snRec.Gateways = append(snRec.Gateways, gw.ID)
+			snRec.Stamp.change(obs.At)
+			j.snList.touch(&snRec.list)
+		}
+	}
+	gw.Sources |= obs.Source
+	if !obs.Questionable {
+		gw.Questionable = false // strong evidence clears the flag
+	}
+	if changed {
+		gw.Stamp.change(obs.At)
+	} else {
+		gw.Stamp.verify(obs.At)
+	}
+	return gw.ID
+}
+
+// absorbGateway merges src into dst and deletes src.
+func (j *Journal) absorbGateway(dst, src *GatewayRec, at time.Time) {
+	for _, ifID := range src.Ifaces {
+		if !containsID(dst.Ifaces, ifID) {
+			dst.Ifaces = append(dst.Ifaces, ifID)
+		}
+		j.ifRecs[ifID].Gateway = dst.ID
+	}
+	for _, sn := range src.Subnets {
+		if !containsSubnet(dst.Subnets, sn) {
+			dst.Subnets = append(dst.Subnets, sn)
+		}
+	}
+	dst.Sources |= src.Sources
+	dst.Questionable = dst.Questionable && src.Questionable
+	if src.Stamp.Discovered.Before(dst.Stamp.Discovered) {
+		dst.Stamp.Discovered = src.Stamp.Discovered
+	}
+	dst.Stamp.change(at)
+	// Re-point subnet records at the surviving gateway.
+	for _, sn := range j.snRecs {
+		for i, gid := range sn.Gateways {
+			if gid == src.ID {
+				sn.Gateways[i] = dst.ID
+			}
+		}
+		sn.Gateways = dedupIDs(sn.Gateways)
+	}
+	j.gwList.remove(&src.list)
+	delete(j.gwRecs, src.ID)
+}
+
+func containsID(s []ID, v ID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSubnet(s []pkt.Subnet, v pkt.Subnet) bool {
+	for _, x := range s {
+		if x.Addr == v.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupIDs(s []ID) []ID {
+	out := s[:0]
+	seen := map[ID]bool{}
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// --- Subnet observations -----------------------------------------------
+
+// SubnetObs is a sighting of a subnet (from RIP, traceroute, or the DNS
+// occupancy summary). A zero Mask means the mask is not yet known.
+type SubnetObs struct {
+	Subnet     pkt.Subnet
+	GatewayIPs []pkt.IP
+	Metric     int // RIP metric; 0 = not from RIP
+	HostCount  int
+	LoAddr     pkt.IP
+	HiAddr     pkt.IP
+	Source     Source
+	At         time.Time
+}
+
+// StoreSubnet merges a subnet observation.
+func (j *Journal) StoreSubnet(obs SubnetObs) ID {
+	j.Stats.Stores++
+	id := j.ensureSubnet(obs.Subnet, obs.Source, obs.At)
+	rec := j.snRecs[id]
+	changed := false
+	if obs.Subnet.Mask != 0 {
+		if rec.Subnet.Mask == 0 {
+			rec.Subnet.Mask = obs.Subnet.Mask
+			changed = true
+		}
+	}
+	if obs.Metric > 0 && (rec.RIPMetric == 0 || obs.Metric < rec.RIPMetric) {
+		rec.RIPMetric = obs.Metric
+		changed = true
+	}
+	if obs.HostCount > 0 && obs.HostCount != rec.HostCount {
+		rec.HostCount = obs.HostCount
+		rec.LoAddr, rec.HiAddr = obs.LoAddr, obs.HiAddr
+		changed = true
+	}
+	for _, gwIP := range obs.GatewayIPs {
+		gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{gwIP}, Source: obs.Source, At: obs.At})
+		if !containsID(rec.Gateways, gwID) {
+			rec.Gateways = append(rec.Gateways, gwID)
+			changed = true
+		}
+	}
+	rec.Sources |= obs.Source
+	if changed {
+		rec.Stamp.change(obs.At)
+	} else {
+		rec.Stamp.verify(obs.At)
+	}
+	j.snList.touch(&rec.list)
+	return id
+}
+
+func (j *Journal) ensureSubnet(sn pkt.Subnet, src Source, at time.Time) ID {
+	if id, ok := j.snByAddr.Get(sn.Addr); ok {
+		rec := j.snRecs[id]
+		rec.Sources |= src
+		rec.Stamp.verify(at)
+		return id
+	}
+	j.nextSn++
+	rec := &SubnetRec{ID: j.nextSn, Subnet: sn, Sources: src, Stamp: newStamp(at)}
+	j.snRecs[rec.ID] = rec
+	j.snByAddr.Put(sn.Addr, rec.ID)
+	j.snList.pushBack(&rec.list, rec)
+	j.Stats.NewRecords++
+	return rec.ID
+}
+
+// --- Queries ------------------------------------------------------------
+
+// Query selects records. Zero-valued criteria are ignored; multiple
+// criteria are conjunctive. The Get request of the Journal Server protocol
+// carries exactly this struct.
+type Query struct {
+	Kind          RecordKind
+	ByIP          pkt.IP // exact IP (interfaces) or subnet address (subnets)
+	HasIP         bool
+	ByMAC         pkt.MAC
+	HasMAC        bool
+	ByName        string
+	IPLo, IPHi    pkt.IP // half-open range scan on the IP index
+	HasRange      bool
+	ModifiedSince time.Time
+}
+
+// Interfaces returns deep copies of matching interface records, ordered by
+// record ID.
+func (j *Journal) Interfaces(q Query) []*InterfaceRec {
+	var ids []ID
+	switch {
+	case q.HasIP:
+		ids, _ = j.ifByIP.Get(q.ByIP)
+	case q.HasMAC:
+		ids, _ = j.ifByMAC.Get(q.ByMAC)
+	case q.ByName != "":
+		ids, _ = j.ifByName.Get(strings.ToLower(q.ByName))
+	case q.HasRange:
+		j.ifByIP.AscendRange(q.IPLo, q.IPHi, func(_ pkt.IP, bucket []ID) bool {
+			ids = append(ids, bucket...)
+			return true
+		})
+	default:
+		for id := range j.ifRecs {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var out []*InterfaceRec
+	for _, id := range ids {
+		rec, ok := j.ifRecs[id]
+		if !ok {
+			continue
+		}
+		if !q.ModifiedSince.IsZero() && rec.Stamp.Changed.Before(q.ModifiedSince) && rec.Stamp.Verified.Before(q.ModifiedSince) {
+			continue
+		}
+		out = append(out, rec.clone())
+	}
+	return out
+}
+
+// Interface returns a copy of the record with the given ID.
+func (j *Journal) Interface(id ID) (*InterfaceRec, bool) {
+	rec, ok := j.ifRecs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// Gateways returns copies of all gateway records, ordered by ID.
+func (j *Journal) Gateways() []*GatewayRec {
+	ids := make([]ID, 0, len(j.gwRecs))
+	for id := range j.gwRecs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([]*GatewayRec, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, j.gwRecs[id].clone())
+	}
+	return out
+}
+
+// Gateway returns a copy of the record with the given ID.
+func (j *Journal) Gateway(id ID) (*GatewayRec, bool) {
+	rec, ok := j.gwRecs[id]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// Subnets returns copies of all subnet records, ordered by subnet address.
+func (j *Journal) Subnets() []*SubnetRec {
+	var out []*SubnetRec
+	j.snByAddr.Ascend(func(_ pkt.IP, id ID) bool {
+		out = append(out, j.snRecs[id].clone())
+		return true
+	})
+	return out
+}
+
+// SubnetByAddr returns a copy of the subnet record for addr.
+func (j *Journal) SubnetByAddr(addr pkt.IP) (*SubnetRec, bool) {
+	id, ok := j.snByAddr.Get(addr)
+	if !ok {
+		return nil, false
+	}
+	return j.snRecs[id].clone(), true
+}
+
+// RecentlyModified returns up to n records of the given kind, most
+// recently modified last — a walk of the modification-ordered list.
+func (j *Journal) RecentlyModified(kind RecordKind, n int) []any {
+	var l *modList
+	switch kind {
+	case KindInterface:
+		l = &j.ifList
+	case KindGateway:
+		l = &j.gwList
+	case KindSubnet:
+		l = &j.snList
+	default:
+		return nil
+	}
+	all := make([]any, 0, l.len())
+	l.each(func(owner any) bool {
+		all = append(all, owner)
+		return true
+	})
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	// Clone before exposing.
+	out := make([]any, len(all))
+	for i, r := range all {
+		switch rec := r.(type) {
+		case *InterfaceRec:
+			out[i] = rec.clone()
+		case *GatewayRec:
+			out[i] = rec.clone()
+		case *SubnetRec:
+			out[i] = rec.clone()
+		}
+	}
+	return out
+}
+
+// --- Delete -------------------------------------------------------------
+
+// Delete removes a record. Deleting an interface detaches it from its
+// gateway; deleting a gateway detaches its interfaces and subnets.
+func (j *Journal) Delete(kind RecordKind, id ID) bool {
+	switch kind {
+	case KindInterface:
+		rec, ok := j.ifRecs[id]
+		if !ok {
+			return false
+		}
+		if rec.Gateway != 0 {
+			if gw, ok := j.gwRecs[rec.Gateway]; ok {
+				gw.Ifaces = removeID(gw.Ifaces, id)
+			}
+		}
+		j.unindexInterface(rec)
+		j.ifList.remove(&rec.list)
+		delete(j.ifRecs, id)
+		return true
+	case KindGateway:
+		gw, ok := j.gwRecs[id]
+		if !ok {
+			return false
+		}
+		for _, ifID := range gw.Ifaces {
+			if rec, ok := j.ifRecs[ifID]; ok && rec.Gateway == id {
+				rec.Gateway = 0
+			}
+		}
+		for _, sn := range j.snRecs {
+			sn.Gateways = removeID(sn.Gateways, id)
+		}
+		j.gwList.remove(&gw.list)
+		delete(j.gwRecs, id)
+		return true
+	case KindSubnet:
+		sn, ok := j.snRecs[id]
+		if !ok {
+			return false
+		}
+		j.snByAddr.Delete(sn.Subnet.Addr)
+		j.snList.remove(&sn.list)
+		delete(j.snRecs, id)
+		return true
+	}
+	return false
+}
+
+func (j *Journal) unindexInterface(rec *InterfaceRec) {
+	if ids, ok := j.ifByIP.Get(rec.IP); ok {
+		if ids = removeID(ids, rec.ID); len(ids) == 0 {
+			j.ifByIP.Delete(rec.IP)
+		} else {
+			j.ifByIP.Put(rec.IP, ids)
+		}
+	}
+	if !rec.MAC.IsZero() {
+		if ids, ok := j.ifByMAC.Get(rec.MAC); ok {
+			if ids = removeID(ids, rec.ID); len(ids) == 0 {
+				j.ifByMAC.Delete(rec.MAC)
+			} else {
+				j.ifByMAC.Put(rec.MAC, ids)
+			}
+		}
+	}
+	if rec.Name != "" {
+		if ids, ok := j.ifByName.Get(rec.Name); ok {
+			if ids = removeID(ids, rec.ID); len(ids) == 0 {
+				j.ifByName.Delete(rec.Name)
+			} else {
+				j.ifByName.Put(rec.Name, ids)
+			}
+		}
+	}
+}
+
+func removeID(s []ID, v ID) []ID {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,459 @@
+package journal
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func at(minutes int) time.Time { return t0.Add(time.Duration(minutes) * time.Minute) }
+
+func mac(b byte) pkt.MAC { return pkt.MAC{8, 0, 0x20, 0, 0, b} }
+
+func TestStoreInterfaceNew(t *testing.T) {
+	j := New()
+	id, created := j.StoreInterface(IfaceObs{
+		IP: pkt.IPv4(128, 138, 238, 5), HasMAC: true, MAC: mac(1),
+		Source: SrcARP, At: at(0),
+	})
+	if !created || id == 0 {
+		t.Fatalf("StoreInterface = %d, %v", id, created)
+	}
+	rec, ok := j.Interface(id)
+	if !ok {
+		t.Fatal("record not found")
+	}
+	if rec.MAC != mac(1) || rec.Sources != SrcARP {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Stamp.Discovered != at(0) || rec.Stamp.Verified != at(0) {
+		t.Fatalf("stamps = %+v", rec.Stamp)
+	}
+}
+
+func TestVerifyBumpsOnlyVerified(t *testing.T) {
+	j := New()
+	obs := IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true, MAC: mac(1), Source: SrcARP, At: at(0)}
+	id, _ := j.StoreInterface(obs)
+	obs.At = at(60)
+	id2, created := j.StoreInterface(obs)
+	if created || id2 != id {
+		t.Fatalf("re-observation created new record (%d vs %d)", id2, id)
+	}
+	rec, _ := j.Interface(id)
+	if rec.Stamp.Discovered != at(0) {
+		t.Fatal("re-observation moved discovery time")
+	}
+	if rec.Stamp.Verified != at(60) {
+		t.Fatal("re-observation did not bump verification time")
+	}
+	if rec.Stamp.Changed != at(0) {
+		t.Fatal("re-observation of identical data counted as change")
+	}
+}
+
+func TestMACFillsEmptyRecord(t *testing.T) {
+	j := New()
+	// SeqPing saw the address first (no MAC)...
+	id1, _ := j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: SrcICMP, At: at(0)})
+	// ...then ARPwatch supplies the MAC.
+	id2, created := j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true, MAC: mac(7), Source: SrcARP, At: at(5)})
+	if created || id1 != id2 {
+		t.Fatal("MAC observation did not fold into the MAC-less record")
+	}
+	rec, _ := j.Interface(id1)
+	if rec.MAC != mac(7) || rec.Sources != SrcARP|SrcICMP {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.MACStamp.Discovered != at(5) {
+		t.Fatal("MAC field stamp should date from the MAC observation")
+	}
+}
+
+func TestDuplicateAddressCreatesSecondRecord(t *testing.T) {
+	j := New()
+	ip := pkt.IPv4(10, 0, 0, 66)
+	id1, _ := j.StoreInterface(IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: SrcARP, At: at(0)})
+	id2, created := j.StoreInterface(IfaceObs{IP: ip, HasMAC: true, MAC: mac(2), Source: SrcARP, At: at(1)})
+	if !created || id1 == id2 {
+		t.Fatal("conflicting MAC for same IP should create a second record")
+	}
+	recs := j.Interfaces(Query{Kind: KindInterface, ByIP: ip, HasIP: true})
+	if len(recs) != 2 {
+		t.Fatalf("query by IP returned %d records, want 2", len(recs))
+	}
+	if j.Stats.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", j.Stats.Conflicts)
+	}
+}
+
+func TestNameAliases(t *testing.T) {
+	j := New()
+	ip := pkt.IPv4(10, 0, 0, 1)
+	id, _ := j.StoreInterface(IfaceObs{IP: ip, Name: "anchor.cs.colorado.edu", Source: SrcDNS, At: at(0)})
+	j.StoreInterface(IfaceObs{IP: ip, Name: "mailhost.cs.colorado.edu", Source: SrcDNS, At: at(1)})
+	rec, _ := j.Interface(id)
+	if rec.Name != "anchor.cs.colorado.edu" {
+		t.Fatalf("primary name = %q", rec.Name)
+	}
+	if len(rec.Aliases) != 1 || rec.Aliases[0] != "mailhost.cs.colorado.edu" {
+		t.Fatalf("aliases = %v", rec.Aliases)
+	}
+	// Same alias again: no duplicate.
+	j.StoreInterface(IfaceObs{IP: ip, Name: "MAILHOST.cs.colorado.edu", Source: SrcDNS, At: at(2)})
+	rec, _ = j.Interface(id)
+	if len(rec.Aliases) != 1 {
+		t.Fatalf("aliases duplicated: %v", rec.Aliases)
+	}
+}
+
+func TestMaskConflictIsChange(t *testing.T) {
+	j := New()
+	ip := pkt.IPv4(10, 0, 0, 1)
+	id, _ := j.StoreInterface(IfaceObs{IP: ip, HasMask: true, Mask: pkt.MaskBits(24), Source: SrcICMP, At: at(0)})
+	j.StoreInterface(IfaceObs{IP: ip, HasMask: true, Mask: pkt.MaskBits(16), Source: SrcICMP, At: at(10)})
+	rec, _ := j.Interface(id)
+	if rec.Mask != pkt.MaskBits(16) {
+		t.Fatalf("mask = %s", rec.Mask)
+	}
+	if rec.MaskStamp.Changed != at(10) {
+		t.Fatal("mask conflict did not record a change")
+	}
+}
+
+func TestQueryByMACAndName(t *testing.T) {
+	j := New()
+	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 1, 1), HasMAC: true, MAC: mac(9),
+		Name: "gw.cs.colorado.edu", Source: SrcARP, At: at(0)})
+	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 2, 1), HasMAC: true, MAC: mac(9),
+		Source: SrcARP, At: at(1)})
+	byMAC := j.Interfaces(Query{ByMAC: mac(9), HasMAC: true})
+	if len(byMAC) != 2 {
+		t.Fatalf("query by MAC returned %d, want 2 (same MAC on two subnets = gateway clue)", len(byMAC))
+	}
+	byName := j.Interfaces(Query{ByName: "GW.cs.colorado.edu"})
+	if len(byName) != 1 || byName[0].IP != pkt.IPv4(10, 0, 1, 1) {
+		t.Fatalf("query by name returned %+v", byName)
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	j := New()
+	for i := 1; i <= 20; i++ {
+		j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, byte(i)), Source: SrcICMP, At: at(i)})
+	}
+	recs := j.Interfaces(Query{HasRange: true, IPLo: pkt.IPv4(10, 0, 0, 5), IPHi: pkt.IPv4(10, 0, 0, 10)})
+	if len(recs) != 5 {
+		t.Fatalf("range query returned %d, want 5", len(recs))
+	}
+}
+
+func TestQueryModifiedSince(t *testing.T) {
+	j := New()
+	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: SrcICMP, At: at(0)})
+	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 2), Source: SrcICMP, At: at(100)})
+	recs := j.Interfaces(Query{ModifiedSince: at(50)})
+	if len(recs) != 1 || recs[0].IP != pkt.IPv4(10, 0, 0, 2) {
+		t.Fatalf("ModifiedSince returned %d records", len(recs))
+	}
+}
+
+func TestGatewayMergeByInterface(t *testing.T) {
+	j := New()
+	// Traceroute sees interface A of a gateway; DNS sees interfaces A+B.
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)}, Source: SrcTraceroute, At: at(0)})
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)}, Source: SrcDNS, At: at(1)})
+	gws := j.Gateways()
+	if len(gws) != 1 {
+		t.Fatalf("gateways = %d, want 1 (merged)", len(gws))
+	}
+	if len(gws[0].Ifaces) != 2 {
+		t.Fatalf("merged gateway has %d interfaces, want 2", len(gws[0].Ifaces))
+	}
+	if gws[0].Sources != SrcTraceroute|SrcDNS {
+		t.Fatalf("sources = %s", gws[0].Sources)
+	}
+}
+
+func TestGatewayMergeUnifiesTwoRecords(t *testing.T) {
+	j := New()
+	// Two separately discovered gateways turn out to be one machine.
+	g1 := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)}, Source: SrcTraceroute, At: at(0)})
+	g2 := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 2, 1)}, Source: SrcTraceroute, At: at(1)})
+	if g1 == g2 {
+		t.Fatal("distinct interfaces should start as distinct gateways")
+	}
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)}, Source: SrcCorrelation, At: at(2)})
+	gws := j.Gateways()
+	if len(gws) != 1 {
+		t.Fatalf("after unifying evidence, gateways = %d, want 1", len(gws))
+	}
+	// Both interface records must point at the surviving gateway.
+	for _, ip := range []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)} {
+		recs := j.Interfaces(Query{ByIP: ip, HasIP: true})
+		if len(recs) != 1 || recs[0].Gateway != gws[0].ID {
+			t.Fatalf("interface %s gateway = %d, want %d", ip, recs[0].Gateway, gws[0].ID)
+		}
+	}
+}
+
+func TestGatewaySubnetLinks(t *testing.T) {
+	j := New()
+	sn1, _ := pkt.ParseSubnet("10.0.1.0/24")
+	sn2, _ := pkt.ParseSubnet("10.0.2.0/24")
+	gwID := j.StoreGateway(GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)},
+		Subnets:  []pkt.Subnet{sn1, sn2},
+		Source:   SrcTraceroute, At: at(0),
+	})
+	subnets := j.Subnets()
+	if len(subnets) != 2 {
+		t.Fatalf("subnets = %d, want 2", len(subnets))
+	}
+	for _, sn := range subnets {
+		if len(sn.Gateways) != 1 || sn.Gateways[0] != gwID {
+			t.Fatalf("subnet %s gateways = %v", sn.Subnet, sn.Gateways)
+		}
+	}
+}
+
+func TestSubnetMerge(t *testing.T) {
+	j := New()
+	sn, _ := pkt.ParseSubnet("10.0.5.0/24")
+	// RIP sees it first (no mask knowledge in RIP-1 — stored with mask).
+	id1 := j.StoreSubnet(SubnetObs{Subnet: pkt.Subnet{Addr: sn.Addr}, Metric: 3, Source: SrcRIP, At: at(0)})
+	// DNS adds occupancy; ICMP mask module adds the mask.
+	id2 := j.StoreSubnet(SubnetObs{Subnet: sn, HostCount: 42,
+		LoAddr: pkt.IPv4(10, 0, 5, 1), HiAddr: pkt.IPv4(10, 0, 5, 99), Source: SrcDNS, At: at(1)})
+	if id1 != id2 {
+		t.Fatal("subnet observations did not merge")
+	}
+	rec, ok := j.SubnetByAddr(sn.Addr)
+	if !ok {
+		t.Fatal("subnet not found")
+	}
+	if rec.Subnet.Mask != pkt.MaskBits(24) || rec.HostCount != 42 || rec.RIPMetric != 3 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Sources != SrcRIP|SrcDNS {
+		t.Fatalf("sources = %s", rec.Sources)
+	}
+	// A better RIP metric wins; a worse one does not.
+	j.StoreSubnet(SubnetObs{Subnet: sn, Metric: 2, Source: SrcRIP, At: at(2)})
+	j.StoreSubnet(SubnetObs{Subnet: sn, Metric: 9, Source: SrcRIP, At: at(3)})
+	rec, _ = j.SubnetByAddr(sn.Addr)
+	if rec.RIPMetric != 2 {
+		t.Fatalf("RIPMetric = %d, want 2", rec.RIPMetric)
+	}
+}
+
+func TestModificationOrder(t *testing.T) {
+	j := New()
+	for i := 1; i <= 3; i++ {
+		j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, byte(i)), Source: SrcICMP, At: at(i)})
+	}
+	// Touch the first record again: it must move to the tail.
+	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: SrcARP, At: at(10)})
+	recent := j.RecentlyModified(KindInterface, 0)
+	if len(recent) != 3 {
+		t.Fatalf("list has %d entries", len(recent))
+	}
+	last := recent[len(recent)-1].(*InterfaceRec)
+	if last.IP != pkt.IPv4(10, 0, 0, 1) {
+		t.Fatalf("most recently modified = %s, want 10.0.0.1", last.IP)
+	}
+}
+
+func TestDeleteInterface(t *testing.T) {
+	j := New()
+	id, _ := j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true, MAC: mac(1),
+		Name: "x.example", Source: SrcARP, At: at(0)})
+	gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 0, 1)}, Source: SrcDNS, At: at(1)})
+	if !j.Delete(KindInterface, id) {
+		t.Fatal("delete failed")
+	}
+	if j.Delete(KindInterface, id) {
+		t.Fatal("double delete succeeded")
+	}
+	if len(j.Interfaces(Query{ByIP: pkt.IPv4(10, 0, 0, 1), HasIP: true})) != 0 {
+		t.Fatal("deleted record still queryable by IP")
+	}
+	if len(j.Interfaces(Query{ByMAC: mac(1), HasMAC: true})) != 0 {
+		t.Fatal("deleted record still queryable by MAC")
+	}
+	if len(j.Interfaces(Query{ByName: "x.example"})) != 0 {
+		t.Fatal("deleted record still queryable by name")
+	}
+	gw, _ := j.Gateway(gwID)
+	if len(gw.Ifaces) != 0 {
+		t.Fatal("gateway still references deleted interface")
+	}
+}
+
+func TestDeleteGateway(t *testing.T) {
+	j := New()
+	sn, _ := pkt.ParseSubnet("10.0.1.0/24")
+	gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)},
+		Subnets: []pkt.Subnet{sn}, Source: SrcTraceroute, At: at(0)})
+	if !j.Delete(KindGateway, gwID) {
+		t.Fatal("delete failed")
+	}
+	recs := j.Interfaces(Query{ByIP: pkt.IPv4(10, 0, 1, 1), HasIP: true})
+	if recs[0].Gateway != 0 {
+		t.Fatal("interface still points at deleted gateway")
+	}
+	snRec, _ := j.SubnetByAddr(sn.Addr)
+	if len(snRec.Gateways) != 0 {
+		t.Fatal("subnet still references deleted gateway")
+	}
+}
+
+func TestDeleteSubnet(t *testing.T) {
+	j := New()
+	sn, _ := pkt.ParseSubnet("10.0.1.0/24")
+	id := j.StoreSubnet(SubnetObs{Subnet: sn, Source: SrcRIP, At: at(0)})
+	if !j.Delete(KindSubnet, id) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := j.SubnetByAddr(sn.Addr); ok {
+		t.Fatal("deleted subnet still queryable")
+	}
+}
+
+func TestClonesAreIsolated(t *testing.T) {
+	j := New()
+	id, _ := j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: SrcICMP, At: at(0)})
+	rec, _ := j.Interface(id)
+	rec.Name = "mutated"
+	rec.Aliases = append(rec.Aliases, "junk")
+	fresh, _ := j.Interface(id)
+	if fresh.Name == "mutated" || len(fresh.Aliases) != 0 {
+		t.Fatal("journal internals leaked through query results")
+	}
+}
+
+func TestFootprintScales(t *testing.T) {
+	// The paper's sizing example: a 25% full class B (16k interfaces) with
+	// 192 subnets and 192 gateways fits in under four megabytes.
+	j := New()
+	base := pkt.IPv4(128, 138, 0, 0)
+	for i := 0; i < 16384; i++ {
+		ip := base + pkt.IP(i)
+		j.StoreInterface(IfaceObs{IP: ip, HasMAC: true,
+			MAC:  pkt.MAC{8, 0, 0x20, byte(i >> 16), byte(i >> 8), byte(i)},
+			Name: "host" + itoa(i) + ".colorado.edu", Source: SrcARP | SrcDNS, At: at(i % 60)})
+	}
+	for s := 0; s < 192; s++ {
+		sn := pkt.SubnetOf(base+pkt.IP(s*256), pkt.MaskBits(24))
+		j.StoreSubnet(SubnetObs{Subnet: sn, GatewayIPs: []pkt.IP{sn.FirstHost()}, Source: SrcRIP, At: at(s)})
+	}
+	f := j.MeasureFootprint()
+	// 16384 hosts plus the gateway addresses outside the host range.
+	if f.Interfaces < 16384 || f.Subnets != 192 || f.Gateways != 192 {
+		t.Fatalf("counts = %+v", f)
+	}
+	// Modern Go structs are fatter than 1993 C structs, but the shape must
+	// hold: interfaces dominate, and the whole journal is small (< 16 MB
+	// gives us 4x headroom over the paper's 4 MB while preserving shape).
+	if f.PerInterface() <= f.PerGateway() || f.PerGateway() <= f.PerSubnet()/2 {
+		t.Logf("per-record: if=%d gw=%d sn=%d", f.PerInterface(), f.PerGateway(), f.PerSubnet())
+	}
+	if f.Total() > 16<<20 {
+		t.Fatalf("journal footprint %d bytes exceeds 16 MB", f.Total())
+	}
+	t.Logf("footprint: %d interfaces @ %d B, %d gateways @ %d B, %d subnets @ %d B, total %.2f MB",
+		f.Interfaces, f.PerInterface(), f.Gateways, f.PerGateway(), f.Subnets, f.PerSubnet(),
+		float64(f.Total())/(1<<20))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Property test: any interleaving of observations keeps indexes and
+// records consistent.
+func TestQuickIndexConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		j := New()
+		for i, op := range ops {
+			ip := pkt.IPv4(10, 0, byte(op>>8), byte(op))
+			switch op % 3 {
+			case 0:
+				j.StoreInterface(IfaceObs{IP: ip, Source: SrcICMP, At: at(i)})
+			case 1:
+				j.StoreInterface(IfaceObs{IP: ip, HasMAC: true, MAC: mac(byte(op >> 4)), Source: SrcARP, At: at(i)})
+			case 2:
+				recs := j.Interfaces(Query{ByIP: ip, HasIP: true})
+				if len(recs) > 0 {
+					j.Delete(KindInterface, recs[0].ID)
+				}
+			}
+		}
+		// Every record must be findable through the IP index, and every
+		// index entry must point at a live record.
+		all := j.Interfaces(Query{})
+		for _, rec := range all {
+			byIP := j.Interfaces(Query{ByIP: rec.IP, HasIP: true})
+			found := false
+			for _, r := range byIP {
+				if r.ID == rec.ID {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+			if !rec.MAC.IsZero() {
+				byMAC := j.Interfaces(Query{ByMAC: rec.MAC, HasMAC: true})
+				found = false
+				for _, r := range byMAC {
+					if r.ID == rec.ID {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return len(all) == j.NumInterfaces()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStoreInterface(b *testing.B) {
+	j := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.StoreInterface(IfaceObs{IP: pkt.IP(i), HasMAC: true,
+			MAC:    pkt.MAC{8, 0, 0x20, byte(i >> 16), byte(i >> 8), byte(i)},
+			Source: SrcARP, At: t0})
+	}
+}
+
+func BenchmarkQueryByIP(b *testing.B) {
+	j := New()
+	for i := 0; i < 1<<14; i++ {
+		j.StoreInterface(IfaceObs{IP: pkt.IP(i), Source: SrcICMP, At: t0})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Interfaces(Query{ByIP: pkt.IP(i & (1<<14 - 1)), HasIP: true})
+	}
+}

@@ -1,0 +1,61 @@
+package journal
+
+// listNode threads a record onto its kind's modification-ordered list.
+// The paper: "Each record is stored in a linked list for that type of
+// data. The lists are ordered by time of last modification, so that the
+// most recently changed items are at the end of the list."
+type listNode struct {
+	prev, next *listNode
+	owner      any // the record containing this node
+}
+
+// modList is an intrusive doubly-linked list with a sentinel head.
+type modList struct {
+	head listNode
+	n    int
+}
+
+func (l *modList) init() {
+	l.head.prev = &l.head
+	l.head.next = &l.head
+	l.n = 0
+}
+
+// pushBack appends node (most recently modified position).
+func (l *modList) pushBack(node *listNode, owner any) {
+	node.owner = owner
+	node.prev = l.head.prev
+	node.next = &l.head
+	l.head.prev.next = node
+	l.head.prev = node
+	l.n++
+}
+
+// remove unlinks node.
+func (l *modList) remove(node *listNode) {
+	if node.prev == nil {
+		return // not linked
+	}
+	node.prev.next = node.next
+	node.next.prev = node.prev
+	node.prev, node.next = nil, nil
+	l.n--
+}
+
+// touch moves node to the back (record was just modified).
+func (l *modList) touch(node *listNode) {
+	owner := node.owner
+	l.remove(node)
+	l.pushBack(node, owner)
+}
+
+// each walks the list oldest-modified first.
+func (l *modList) each(fn func(owner any) bool) {
+	for n := l.head.next; n != &l.head; n = n.next {
+		if !fn(n.owner) {
+			return
+		}
+	}
+}
+
+func (l *modList) len() int { return l.n }

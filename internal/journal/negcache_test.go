@@ -1,0 +1,110 @@
+package journal
+
+import (
+	"testing"
+
+	"fremont/internal/netsim/pkt"
+)
+
+func TestNegativeObservationDoesNotCreateRecord(t *testing.T) {
+	j := New()
+	id, created := j.StoreInterface(IfaceObs{
+		IP: pkt.IPv4(10, 0, 0, 1), MaskProbeFailed: true,
+		Source: SrcICMP, At: at(0),
+	})
+	if created || id != 0 {
+		t.Fatalf("negative observation created record %d", id)
+	}
+	if j.NumInterfaces() != 0 {
+		t.Fatal("journal grew from a negative observation")
+	}
+}
+
+func TestNegativeObservationCountsAgainstKnownRecord(t *testing.T) {
+	j := New()
+	ip := pkt.IPv4(10, 0, 0, 1)
+	id, _ := j.StoreInterface(IfaceObs{IP: ip, HasMAC: true, MAC: mac(1), Source: SrcARP, At: at(0)})
+	for i := 0; i < 3; i++ {
+		j.StoreInterface(IfaceObs{IP: ip, MaskProbeFailed: true, Source: SrcICMP, At: at(i + 1)})
+	}
+	rec, _ := j.Interface(id)
+	if rec.MaskProbeFails != 3 {
+		t.Fatalf("MaskProbeFails = %d, want 3", rec.MaskProbeFails)
+	}
+	// Crucially, failures must NOT look like verification of existence.
+	if rec.Stamp.Verified != at(0) {
+		t.Fatalf("negative observation bumped Verified to %v", rec.Stamp.Verified)
+	}
+	// A real mask reply clears the negative cache.
+	j.StoreInterface(IfaceObs{IP: ip, HasMask: true, Mask: pkt.MaskBits(24), Source: SrcICMP, At: at(10)})
+	rec, _ = j.Interface(id)
+	if rec.MaskProbeFails != 0 {
+		t.Fatalf("MaskProbeFails = %d after successful reply, want 0", rec.MaskProbeFails)
+	}
+	if rec.Mask != pkt.MaskBits(24) {
+		t.Fatalf("mask = %s", rec.Mask)
+	}
+}
+
+func TestQuestionableGatewayLifecycle(t *testing.T) {
+	j := New()
+	ip1 := pkt.IPv4(10, 0, 1, 1)
+	// Weak evidence: a lone -gw name.
+	gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{ip1}, Questionable: true,
+		Source: SrcDNS, At: at(0)})
+	gw, _ := j.Gateway(gwID)
+	if !gw.Questionable {
+		t.Fatal("weak-heuristic gateway not tagged questionable")
+	}
+	// Re-observing weakly keeps the tag.
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{ip1}, Questionable: true, Source: SrcDNS, At: at(1)})
+	gw, _ = j.Gateway(gwID)
+	if !gw.Questionable {
+		t.Fatal("questionable tag lost on weak re-observation")
+	}
+	// Strong evidence (traceroute) clears it.
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{ip1}, Source: SrcTraceroute, At: at(2)})
+	gw, _ = j.Gateway(gwID)
+	if gw.Questionable {
+		t.Fatal("strong evidence did not clear the questionable tag")
+	}
+}
+
+func TestQuestionableMergeSemantics(t *testing.T) {
+	j := New()
+	// A strong gateway and a questionable one merge into one machine:
+	// the merged record is trusted.
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)},
+		Source: SrcTraceroute, At: at(0)})
+	j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 2, 1)},
+		Questionable: true, Source: SrcDNS, At: at(1)})
+	j.StoreGateway(GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)},
+		Source:   SrcCorrelation, At: at(2)})
+	gws := j.Gateways()
+	if len(gws) != 1 {
+		t.Fatalf("gateways = %d, want 1", len(gws))
+	}
+	if gws[0].Questionable {
+		t.Fatal("merge with strong record left questionable tag set")
+	}
+}
+
+func TestRecentlyModifiedLimit(t *testing.T) {
+	j := New()
+	for i := 1; i <= 10; i++ {
+		j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, byte(i)), Source: SrcICMP, At: at(i)})
+	}
+	recent := j.RecentlyModified(KindInterface, 3)
+	if len(recent) != 3 {
+		t.Fatalf("limit ignored: %d", len(recent))
+	}
+	// The tail is the most recently modified.
+	last := recent[2].(*InterfaceRec)
+	if last.IP != pkt.IPv4(10, 0, 0, 10) {
+		t.Fatalf("tail = %s", last.IP)
+	}
+	if got := j.RecentlyModified(RecordKind(99), 0); got != nil {
+		t.Fatalf("unknown kind returned %v", got)
+	}
+}

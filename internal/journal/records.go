@@ -1,0 +1,226 @@
+// Package journal implements Fremont's Journal: the central repository of
+// discovered network information. Records represent interfaces, gateways,
+// and subnets; every data item carries the date and time of its initial
+// discovery, last change, and last verification, so network changes are
+// easy to track ("we can see when hosts have been removed from the
+// network").
+//
+// As in the paper, interface records are indexed by three AVL trees (by
+// Ethernet address, IP address, and DNS name), subnet records by a fourth,
+// and each record type is additionally threaded onto a linked list ordered
+// by time of last modification, most recent at the tail.
+package journal
+
+import (
+	"fmt"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// Source identifies which information source produced an observation.
+// Cross-correlation and data-quality decisions ("data gathered using the
+// ARP protocol are generally timely and correct, whereas DNS data are older
+// and often subject to data entry errors") key off these bits.
+type Source uint8
+
+const (
+	SrcARP Source = 1 << iota
+	SrcICMP
+	SrcRIP
+	SrcDNS
+	SrcTraceroute
+	SrcCorrelation
+	// SrcTraffic marks observations from the promiscuous traffic monitor
+	// (a Future Work extension module).
+	SrcTraffic
+)
+
+// String lists the set bits.
+func (s Source) String() string {
+	names := []struct {
+		bit  Source
+		name string
+	}{
+		{SrcARP, "arp"}, {SrcICMP, "icmp"}, {SrcRIP, "rip"},
+		{SrcDNS, "dns"}, {SrcTraceroute, "traceroute"}, {SrcCorrelation, "corr"},
+		{SrcTraffic, "traffic"},
+	}
+	out := ""
+	for _, n := range names {
+		if s&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Stamp is the paper's per-data-item timestamp triple.
+type Stamp struct {
+	Discovered time.Time
+	Changed    time.Time
+	Verified   time.Time
+}
+
+// note initializes a stamp at first discovery.
+func newStamp(at time.Time) Stamp {
+	return Stamp{Discovered: at, Changed: at, Verified: at}
+}
+
+// verify bumps the verification time.
+func (s *Stamp) verify(at time.Time) {
+	if at.After(s.Verified) {
+		s.Verified = at
+	}
+}
+
+// change bumps change and verification times.
+func (s *Stamp) change(at time.Time) {
+	s.Changed = at
+	s.verify(at)
+}
+
+// IsZero reports whether the stamp has never been set.
+func (s Stamp) IsZero() bool { return s.Discovered.IsZero() }
+
+// RecordKind discriminates the three record types.
+type RecordKind uint8
+
+const (
+	KindInterface RecordKind = 1
+	KindGateway   RecordKind = 2
+	KindSubnet    RecordKind = 3
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case KindInterface:
+		return "interface"
+	case KindGateway:
+		return "gateway"
+	case KindSubnet:
+		return "subnet"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// ID identifies a record within its kind.
+type ID uint32
+
+// InterfaceRec is the paper's Table 1 record: MAC layer address, network
+// layer address, DNS name, subnet mask, and the gateway to which the
+// interface belongs. Identity fields carry their own stamps.
+type InterfaceRec struct {
+	ID   ID
+	IP   pkt.IP
+	MAC  pkt.MAC // zero if not yet known
+	Name string  // DNS name; empty if unknown
+	Mask pkt.Mask
+	// Aliases collects additional DNS names seen for this address; the DNS
+	// module's gateway heuristics look for matches within these groups.
+	Aliases []string
+	Gateway ID // gateway this interface belongs to (0 = none known)
+
+	// RIPSource marks interfaces observed emitting RIP packets (shown at
+	// the second presentation level). RIPPromiscuous marks sources the
+	// RIPwatch module identified as promiscuously rebroadcasting learned
+	// routes (a Table 8 problem).
+	RIPSource      bool
+	RIPPromiscuous bool
+	// MaskProbeFails counts consecutive unanswered ICMP mask requests —
+	// the paper's negative-caching idea ("a flag to prevent continually
+	// retrying discovery of some datum that we know is unavailable",
+	// "similar to the negative caching concept that has been suggested
+	// for the DNS"). A successful mask reply resets it; the Discovery
+	// Manager stops directing the SubnetMasks module at interfaces that
+	// have failed repeatedly.
+	MaskProbeFails int
+	Sources        Source
+
+	Stamp     Stamp // record-level: any field activity
+	MACStamp  Stamp
+	NameStamp Stamp
+	MaskStamp Stamp
+
+	list listNode
+}
+
+func (r *InterfaceRec) String() string {
+	return fmt.Sprintf("if#%d %s mac=%s name=%q mask=%s src=%s", r.ID, r.IP, r.MAC, r.Name, r.Mask, r.Sources)
+}
+
+// clone returns a deep copy safe to hand outside the journal.
+func (r *InterfaceRec) clone() *InterfaceRec {
+	c := *r
+	c.Aliases = append([]string(nil), r.Aliases...)
+	c.list = listNode{}
+	return &c
+}
+
+// GatewayRec represents a gateway as a collection of interfaces plus the
+// subnets it is known to touch — "the Traceroute Explorer Module is able,
+// in some cases, to determine the subnet to which a gateway is attached
+// without being able to determine the address of the interface on that
+// subnet."
+type GatewayRec struct {
+	ID      ID
+	Ifaces  []ID
+	Subnets []pkt.Subnet
+	// Questionable tags gateways identified only by weak heuristics (a
+	// lone "-gw" name with a single address) — the paper's footnote:
+	// "tagging the resulting entries in the database with a 'questionable
+	// quality' flag". Strong evidence (multiple interfaces, traceroute)
+	// clears it.
+	Questionable bool
+	Sources      Source
+	Stamp        Stamp
+
+	list listNode
+}
+
+func (r *GatewayRec) String() string {
+	return fmt.Sprintf("gw#%d ifaces=%d subnets=%d src=%s", r.ID, len(r.Ifaces), len(r.Subnets), r.Sources)
+}
+
+func (r *GatewayRec) clone() *GatewayRec {
+	c := *r
+	c.Ifaces = append([]ID(nil), r.Ifaces...)
+	c.Subnets = append([]pkt.Subnet(nil), r.Subnets...)
+	c.list = listNode{}
+	return &c
+}
+
+// SubnetRec records a discovered subnet, the gateways attached to it, and
+// the occupancy summary the DNS module reports ("the number of hosts on
+// each subnet and the highest and lowest addresses assigned").
+type SubnetRec struct {
+	ID       ID
+	Subnet   pkt.Subnet // Mask may be 0 when unknown
+	Gateways []ID
+	// Occupancy, from the DNS module.
+	HostCount      int
+	LoAddr, HiAddr pkt.IP
+	// Best (lowest) RIP metric observed for the subnet.
+	RIPMetric int
+	Sources   Source
+	Stamp     Stamp
+
+	list listNode
+}
+
+func (r *SubnetRec) String() string {
+	return fmt.Sprintf("subnet#%d %s gws=%d hosts=%d src=%s", r.ID, r.Subnet, len(r.Gateways), r.HostCount, r.Sources)
+}
+
+func (r *SubnetRec) clone() *SubnetRec {
+	c := *r
+	c.Gateways = append([]ID(nil), r.Gateways...)
+	c.list = listNode{}
+	return &c
+}

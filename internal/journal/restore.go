@@ -1,0 +1,44 @@
+package journal
+
+// Restore functions insert fully-formed records (from a Journal Server
+// snapshot) without merge processing. Records should be restored in
+// modification order, oldest first, so the modification lists rebuild
+// correctly.
+
+// RestoreInterface inserts rec verbatim.
+func (j *Journal) RestoreInterface(rec *InterfaceRec) {
+	r := rec.clone()
+	j.ifRecs[r.ID] = r
+	j.indexIP(r)
+	if !r.MAC.IsZero() {
+		j.indexMAC(r)
+	}
+	if r.Name != "" {
+		j.indexName(r)
+	}
+	j.ifList.pushBack(&r.list, r)
+	if r.ID > j.nextIface {
+		j.nextIface = r.ID
+	}
+}
+
+// RestoreGateway inserts rec verbatim.
+func (j *Journal) RestoreGateway(rec *GatewayRec) {
+	r := rec.clone()
+	j.gwRecs[r.ID] = r
+	j.gwList.pushBack(&r.list, r)
+	if r.ID > j.nextGw {
+		j.nextGw = r.ID
+	}
+}
+
+// RestoreSubnet inserts rec verbatim.
+func (j *Journal) RestoreSubnet(rec *SubnetRec) {
+	r := rec.clone()
+	j.snRecs[r.ID] = r
+	j.snByAddr.Put(r.Subnet.Addr, r.ID)
+	j.snList.pushBack(&r.list, r)
+	if r.ID > j.nextSn {
+		j.nextSn = r.ID
+	}
+}

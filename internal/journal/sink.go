@@ -1,0 +1,47 @@
+package journal
+
+// Sink is the interface Explorer Modules, the Discovery Manager, and the
+// analysis/presentation programs use to talk to a Journal. It is satisfied
+// both by Local (an in-process journal, used by the simulation harness) and
+// by the Journal Server client in package jclient (a TCP connection, used
+// when components are deployed as separate processes — "all modules
+// communicate via BSD sockets, [so] there are no restrictions about the
+// physical location of individual modules").
+type Sink interface {
+	StoreInterface(IfaceObs) (ID, bool, error)
+	StoreGateway(GatewayObs) (ID, error)
+	StoreSubnet(SubnetObs) (ID, error)
+	Interfaces(Query) ([]*InterfaceRec, error)
+	Gateways() ([]*GatewayRec, error)
+	Subnets() ([]*SubnetRec, error)
+	Delete(RecordKind, ID) (bool, error)
+}
+
+// Local adapts an in-process Journal to the Sink interface.
+type Local struct{ J *Journal }
+
+var _ Sink = Local{}
+
+// StoreInterface implements Sink.
+func (l Local) StoreInterface(obs IfaceObs) (ID, bool, error) {
+	id, created := l.J.StoreInterface(obs)
+	return id, created, nil
+}
+
+// StoreGateway implements Sink.
+func (l Local) StoreGateway(obs GatewayObs) (ID, error) { return l.J.StoreGateway(obs), nil }
+
+// StoreSubnet implements Sink.
+func (l Local) StoreSubnet(obs SubnetObs) (ID, error) { return l.J.StoreSubnet(obs), nil }
+
+// Interfaces implements Sink.
+func (l Local) Interfaces(q Query) ([]*InterfaceRec, error) { return l.J.Interfaces(q), nil }
+
+// Gateways implements Sink.
+func (l Local) Gateways() ([]*GatewayRec, error) { return l.J.Gateways(), nil }
+
+// Subnets implements Sink.
+func (l Local) Subnets() ([]*SubnetRec, error) { return l.J.Subnets(), nil }
+
+// Delete implements Sink.
+func (l Local) Delete(kind RecordKind, id ID) (bool, error) { return l.J.Delete(kind, id), nil }

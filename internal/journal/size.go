@@ -1,0 +1,77 @@
+package journal
+
+import "reflect"
+
+// Footprint estimates the journal's in-memory storage per record kind, in
+// bytes, for comparison against the paper's Table 2 (Interface 200 B,
+// Gateway 84 B, Subnet 76 B on 1993 SPARC hardware). The estimate counts
+// struct sizes plus the variable-length members (names, member-ID slices)
+// and an amortized share of the index nodes.
+type Footprint struct {
+	InterfaceBytes int // total across all interface records + indexes
+	GatewayBytes   int
+	SubnetBytes    int
+	Interfaces     int
+	Gateways       int
+	Subnets        int
+}
+
+// PerInterface returns average bytes per interface record.
+func (f Footprint) PerInterface() int { return avg(f.InterfaceBytes, f.Interfaces) }
+
+// PerGateway returns average bytes per gateway record.
+func (f Footprint) PerGateway() int { return avg(f.GatewayBytes, f.Gateways) }
+
+// PerSubnet returns average bytes per subnet record.
+func (f Footprint) PerSubnet() int { return avg(f.SubnetBytes, f.Subnets) }
+
+// Total returns total journal bytes.
+func (f Footprint) Total() int { return f.InterfaceBytes + f.GatewayBytes + f.SubnetBytes }
+
+func avg(total, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return total / n
+}
+
+var (
+	ifaceStructSize  = int(reflect.TypeOf(InterfaceRec{}).Size())
+	gwStructSize     = int(reflect.TypeOf(GatewayRec{}).Size())
+	subnetStructSize = int(reflect.TypeOf(SubnetRec{}).Size())
+)
+
+// avlNodeOverhead approximates one AVL index node (key + value slice header
+// + two child pointers + height, rounded to allocator granularity).
+const avlNodeOverhead = 48
+
+// MeasureFootprint walks the journal and estimates storage.
+func (j *Journal) MeasureFootprint() Footprint {
+	f := Footprint{
+		Interfaces: len(j.ifRecs),
+		Gateways:   len(j.gwRecs),
+		Subnets:    len(j.snRecs),
+	}
+	for _, r := range j.ifRecs {
+		n := ifaceStructSize + len(r.Name)
+		for _, a := range r.Aliases {
+			n += len(a) + 16 // string header
+		}
+		// Index share: one node in each tree that indexes this record.
+		n += avlNodeOverhead // by-IP
+		if !r.MAC.IsZero() {
+			n += avlNodeOverhead
+		}
+		if r.Name != "" {
+			n += avlNodeOverhead
+		}
+		f.InterfaceBytes += n
+	}
+	for _, r := range j.gwRecs {
+		f.GatewayBytes += gwStructSize + len(r.Ifaces)*4 + len(r.Subnets)*8
+	}
+	for _, r := range j.snRecs {
+		f.SubnetBytes += subnetStructSize + len(r.Gateways)*4 + avlNodeOverhead
+	}
+	return f
+}

@@ -1,0 +1,319 @@
+// Package jserver implements the Journal Server: a TCP server that owns
+// the in-memory Journal, serializes updates, answers Get queries, and
+// "writes [the Journal] to disk periodically and at termination".
+package jserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// Server owns a Journal and serves the jwire protocol.
+type Server struct {
+	mu      sync.Mutex
+	journal *journal.Journal
+
+	SnapshotPath     string        // "" disables persistence
+	SnapshotInterval time.Duration // default 5 minutes
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	quit   chan struct{}
+	closed bool
+
+	// RequestsServed counts protocol requests, for load reporting.
+	RequestsServed int
+}
+
+// New creates a server around j (a fresh journal if nil).
+func New(j *journal.Journal) *Server {
+	if j == nil {
+		j = journal.New()
+	}
+	return &Server{
+		journal:          j,
+		SnapshotInterval: 5 * time.Minute,
+		quit:             make(chan struct{}),
+	}
+}
+
+// Journal exposes the underlying journal for in-process callers (tests,
+// the sim harness). Callers must not retain references across server use.
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// LoadSnapshot restores the journal from SnapshotPath if the file exists.
+func (s *Server) LoadSnapshot() error {
+	if s.SnapshotPath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(s.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RestoreSnapshot(s.journal, data)
+}
+
+// SaveSnapshot writes the journal to SnapshotPath atomically.
+func (s *Server) SaveSnapshot() error {
+	if s.SnapshotPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	data := EncodeSnapshot(s.journal)
+	s.mu.Unlock()
+	tmp := s.SnapshotPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.SnapshotPath)
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// serving in the background. Addr() reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.SnapshotPath != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server, waits for connections to drain, and writes a
+// final snapshot.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+	return s.SaveSnapshot()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			log.Printf("jserver: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SaveSnapshot(); err != nil {
+				log.Printf("jserver: snapshot: %v", err)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	go func() {
+		<-s.quit
+		conn.Close() // unblock reads on shutdown
+	}()
+	for {
+		req, err := jwire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("jserver: read: %v", err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := jwire.WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch applies one request under the journal lock and builds the
+// response payload.
+func (s *Server) dispatch(req []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.RequestsServed++
+
+	r := &jwire.Reader{B: req}
+	op := r.U8()
+	var w jwire.Writer
+	fail := func(err error) []byte {
+		w.B = w.B[:0]
+		w.U8(jwire.StatusError)
+		w.String(err.Error())
+		return w.B
+	}
+
+	switch op {
+	case jwire.OpStoreInterface:
+		obs := jwire.GetIfaceObs(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		id, created := s.journal.StoreInterface(obs)
+		w.U8(jwire.StatusOK)
+		w.ID(id)
+		w.Bool(created)
+	case jwire.OpStoreGateway:
+		obs := jwire.GetGatewayObs(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		id := s.journal.StoreGateway(obs)
+		w.U8(jwire.StatusOK)
+		w.ID(id)
+	case jwire.OpStoreSubnet:
+		obs := jwire.GetSubnetObs(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		id := s.journal.StoreSubnet(obs)
+		w.U8(jwire.StatusOK)
+		w.ID(id)
+	case jwire.OpGetInterfaces:
+		q := jwire.GetQuery(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		recs := s.journal.Interfaces(q)
+		w.U8(jwire.StatusOK)
+		w.U32(uint32(len(recs)))
+		for _, rec := range recs {
+			jwire.PutInterfaceRec(&w, rec)
+		}
+	case jwire.OpGetGateways:
+		recs := s.journal.Gateways()
+		w.U8(jwire.StatusOK)
+		w.U32(uint32(len(recs)))
+		for _, rec := range recs {
+			jwire.PutGatewayRec(&w, rec)
+		}
+	case jwire.OpGetSubnets:
+		recs := s.journal.Subnets()
+		w.U8(jwire.StatusOK)
+		w.U32(uint32(len(recs)))
+		for _, rec := range recs {
+			jwire.PutSubnetRec(&w, rec)
+		}
+	case jwire.OpDelete:
+		kind := journal.RecordKind(r.U8())
+		id := r.ID()
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		ok := s.journal.Delete(kind, id)
+		w.U8(jwire.StatusOK)
+		w.Bool(ok)
+	case jwire.OpPing:
+		w.U8(jwire.StatusOK)
+	default:
+		return fail(fmt.Errorf("jserver: unknown opcode %d", op))
+	}
+	return w.B
+}
+
+// --- Snapshot format ------------------------------------------------------
+
+const snapshotMagic = 0x4652454d // "FREM"
+
+// EncodeSnapshot serializes the whole journal (records in modification
+// order, oldest first).
+func EncodeSnapshot(j *journal.Journal) []byte {
+	var w jwire.Writer
+	w.U32(snapshotMagic)
+	w.U16(1) // version
+
+	ifs := j.RecentlyModified(journal.KindInterface, 0)
+	w.U32(uint32(len(ifs)))
+	for _, r := range ifs {
+		jwire.PutInterfaceRec(&w, r.(*journal.InterfaceRec))
+	}
+	gws := j.RecentlyModified(journal.KindGateway, 0)
+	w.U32(uint32(len(gws)))
+	for _, r := range gws {
+		jwire.PutGatewayRec(&w, r.(*journal.GatewayRec))
+	}
+	sns := j.RecentlyModified(journal.KindSubnet, 0)
+	w.U32(uint32(len(sns)))
+	for _, r := range sns {
+		jwire.PutSubnetRec(&w, r.(*journal.SubnetRec))
+	}
+	return w.B
+}
+
+// RestoreSnapshot loads records into j.
+func RestoreSnapshot(j *journal.Journal, data []byte) error {
+	r := &jwire.Reader{B: data}
+	if r.U32() != snapshotMagic {
+		return errors.New("jserver: bad snapshot magic")
+	}
+	if v := r.U16(); v != 1 {
+		return fmt.Errorf("jserver: unsupported snapshot version %d", v)
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreInterface(jwire.GetInterfaceRec(r))
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreGateway(jwire.GetGatewayRec(r))
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreSubnet(jwire.GetSubnetRec(r))
+	}
+	return r.Err
+}

@@ -1,0 +1,296 @@
+package jserver
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func startServer(t *testing.T) (*Server, *jclient.Client) {
+	t.Helper()
+	s := New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := jclient.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestPing(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreAndQueryOverTCP(t *testing.T) {
+	_, c := startServer(t)
+	obs := journal.IfaceObs{
+		IP: pkt.IPv4(128, 138, 238, 5), HasMAC: true,
+		MAC:  pkt.MAC{8, 0, 0x20, 1, 2, 3},
+		Name: "anchor.cs.colorado.edu", HasMask: true, Mask: pkt.MaskBits(24),
+		Source: journal.SrcARP, At: t0,
+	}
+	id, created, err := c.StoreInterface(obs)
+	if err != nil || !created || id == 0 {
+		t.Fatalf("StoreInterface = %d, %v, %v", id, created, err)
+	}
+	recs, err := c.Interfaces(journal.Query{ByIP: obs.IP, HasIP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.IP != obs.IP || rec.MAC != obs.MAC || rec.Name != obs.Name || rec.Mask != obs.Mask {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if !rec.Stamp.Discovered.Equal(t0) {
+		t.Fatalf("timestamp lost in transit: %v", rec.Stamp)
+	}
+}
+
+func TestGatewayAndSubnetOverTCP(t *testing.T) {
+	_, c := startServer(t)
+	sn, _ := pkt.ParseSubnet("128.138.238.0/24")
+	gwID, err := c.StoreGateway(journal.GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(128, 138, 238, 1), pkt.IPv4(128, 138, 243, 1)},
+		Subnets:  []pkt.Subnet{sn},
+		Source:   journal.SrcTraceroute, At: t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gws, err := c.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 1 || gws[0].ID != gwID || len(gws[0].Ifaces) != 2 {
+		t.Fatalf("gateways = %+v", gws)
+	}
+	sns, err := c.Subnets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sns) != 1 || len(sns[0].Gateways) != 1 || sns[0].Gateways[0] != gwID {
+		t.Fatalf("subnets = %+v", sns)
+	}
+}
+
+func TestDeleteOverTCP(t *testing.T) {
+	_, c := startServer(t)
+	id, _, err := c.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 1),
+		Source: journal.SrcICMP, At: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Delete(journal.KindInterface, id)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	ok, err = c.Delete(journal.KindInterface, id)
+	if err != nil || ok {
+		t.Fatalf("second Delete = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := startServer(t)
+	const clients = 8
+	const stores = 50
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := jclient.Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < stores; i++ {
+				ip := pkt.IPv4(10, byte(ci), byte(i/256), byte(i))
+				if _, _, err := c.StoreInterface(journal.IfaceObs{
+					IP: ip, Source: journal.SrcICMP, At: t0.Add(time.Duration(i) * time.Second),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	if n := s.Journal().NumInterfaces(); n != clients*stores {
+		t.Fatalf("journal has %d interfaces, want %d", n, clients*stores)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	j := journal.New()
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true,
+		MAC: pkt.MAC{8, 0, 0x20, 0, 0, 1}, Name: "a.example", Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 2), Source: journal.SrcICMP, At: t0.Add(time.Minute)})
+	sn, _ := pkt.ParseSubnet("10.0.0.0/24")
+	j.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 0, 254)},
+		Subnets: []pkt.Subnet{sn}, Source: journal.SrcDNS, At: t0.Add(2 * time.Minute)})
+
+	data := EncodeSnapshot(j)
+	j2 := journal.New()
+	if err := RestoreSnapshot(j2, data); err != nil {
+		t.Fatal(err)
+	}
+	if j2.NumInterfaces() != j.NumInterfaces() || j2.NumGateways() != j.NumGateways() || j2.NumSubnets() != j.NumSubnets() {
+		t.Fatalf("restored counts %d/%d/%d, want %d/%d/%d",
+			j2.NumInterfaces(), j2.NumGateways(), j2.NumSubnets(),
+			j.NumInterfaces(), j.NumGateways(), j.NumSubnets())
+	}
+	// Spot check a record, including stamps and index function.
+	recs := j2.Interfaces(journal.Query{ByName: "a.example"})
+	if len(recs) != 1 || recs[0].MAC != (pkt.MAC{8, 0, 0x20, 0, 0, 1}) {
+		t.Fatalf("restored record lookup failed: %+v", recs)
+	}
+	if !recs[0].Stamp.Discovered.Equal(t0) {
+		t.Fatalf("restored stamp = %v", recs[0].Stamp)
+	}
+	// New stores after restore must not collide with restored IDs.
+	id, _ := j2.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 3), Source: journal.SrcICMP, At: t0})
+	for _, r := range j2.Interfaces(journal.Query{}) {
+		if r.ID == id && r.IP != pkt.IPv4(10, 0, 0, 3) {
+			t.Fatal("restored journal reused an existing record ID")
+		}
+	}
+}
+
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.snap")
+
+	s1 := New(nil)
+	s1.SnapshotPath = path
+	if err := s1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := jclient.Dial(s1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, _, err := c.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: t0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := s1.Close(); err != nil { // writes final snapshot
+		t.Fatal(err)
+	}
+
+	s2 := New(nil)
+	s2.SnapshotPath = path
+	if err := s2.LoadSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Journal().NumInterfaces(); n != 10 {
+		t.Fatalf("after restart, journal has %d interfaces, want 10", n)
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	j := journal.New()
+	if err := RestoreSnapshot(j, []byte("not a snapshot at all")); err == nil {
+		t.Fatal("garbage snapshot restored without error")
+	}
+	data := EncodeSnapshot(j)
+	data[0] ^= 0xff
+	if err := RestoreSnapshot(journal.New(), data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func BenchmarkStoreOverTCP(b *testing.B) {
+	s := New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := jclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.StoreInterface(journal.IfaceObs{
+			IP: pkt.IP(i), Source: journal.SrcICMP, At: t0,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownOpcodeRejected(t *testing.T) {
+	s, _ := startServer(t)
+	// Speak the frame protocol by hand with a bogus opcode.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := jwire.WriteFrame(conn, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) == 0 || resp[0] != jwire.StatusError {
+		t.Fatalf("unknown opcode accepted: % x", resp)
+	}
+}
+
+func TestTruncatedRequestRejected(t *testing.T) {
+	s, _ := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// StoreInterface opcode with no body.
+	if err := jwire.WriteFrame(conn, []byte{jwire.OpStoreInterface}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) == 0 || resp[0] != jwire.StatusError {
+		t.Fatalf("truncated request accepted: % x", resp)
+	}
+	// The connection survives for the next, valid request.
+	var w jwire.Writer
+	w.U8(jwire.OpPing)
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = jwire.ReadFrame(conn)
+	if err != nil || resp[0] != jwire.StatusOK {
+		t.Fatalf("server wedged after bad request: %v % x", err, resp)
+	}
+}

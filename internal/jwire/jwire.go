@@ -1,0 +1,462 @@
+// Package jwire defines the Journal Server's binary wire protocol: a
+// length-prefixed request/response exchange over TCP, carrying the three
+// Store/Update observations, Get queries with selection criteria, and
+// Delete requests — the "common library of access and data transfer
+// routines that the Explorer Modules, Discovery Manager, and data analysis
+// and presentation programs use".
+//
+// Framing: every message is a big-endian uint32 payload length followed by
+// the payload. Payloads begin with a one-byte opcode. Integers are
+// big-endian; strings and slices are length-prefixed; timestamps travel as
+// Unix nanoseconds.
+package jwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Opcodes.
+const (
+	OpStoreInterface byte = 1
+	OpStoreGateway   byte = 2
+	OpStoreSubnet    byte = 3
+	OpGetInterfaces  byte = 4
+	OpGetGateways    byte = 5
+	OpGetSubnets     byte = 6
+	OpDelete         byte = 7
+	OpPing           byte = 8
+)
+
+// Response status codes.
+const (
+	StatusOK    byte = 0
+	StatusError byte = 1
+)
+
+// MaxMessage bounds a single message (a full class-B journal dump fits
+// comfortably).
+const MaxMessage = 64 << 20
+
+// ErrTooLarge is returned for oversized frames.
+var ErrTooLarge = errors.New("jwire: message exceeds size limit")
+
+// --- Buffer primitives ---------------------------------------------------
+
+// Writer accumulates an encoded payload.
+type Writer struct{ B []byte }
+
+func (w *Writer) U8(v byte)    { w.B = append(w.B, v) }
+func (w *Writer) Bool(v bool)  { w.U8(b2u(v)) }
+func (w *Writer) U16(v uint16) { w.B = binary.BigEndian.AppendUint16(w.B, v) }
+func (w *Writer) U32(v uint32) { w.B = binary.BigEndian.AppendUint32(w.B, v) }
+func (w *Writer) U64(v uint64) { w.B = binary.BigEndian.AppendUint64(w.B, v) }
+func (w *Writer) Int(v int)    { w.U64(uint64(int64(v))) }
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.B = append(w.B, s...)
+}
+func (w *Writer) Time(t time.Time) {
+	if t.IsZero() {
+		w.U64(0)
+		return
+	}
+	w.U64(uint64(t.UnixNano()))
+}
+func (w *Writer) IP(ip pkt.IP)     { w.U32(uint32(ip)) }
+func (w *Writer) Mask(m pkt.Mask)  { w.U32(uint32(m)) }
+func (w *Writer) MAC(m pkt.MAC)    { w.B = append(w.B, m[:]...) }
+func (w *Writer) ID(id journal.ID) { w.U32(uint32(id)) }
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Reader consumes an encoded payload; the first decode error sticks.
+type Reader struct {
+	B   []byte
+	off int
+	Err error
+}
+
+func (r *Reader) fail() {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("jwire: truncated message at offset %d", r.off)
+	}
+}
+
+func (r *Reader) U8() byte {
+	if r.Err != nil || r.off+1 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := r.B[r.off]
+	r.off++
+	return v
+}
+
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+func (r *Reader) U16() uint16 {
+	if r.Err != nil || r.off+2 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.B[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *Reader) U32() uint32 {
+	if r.Err != nil || r.off+4 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.B[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *Reader) U64() uint64 {
+	if r.Err != nil || r.off+8 > len(r.B) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.B[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *Reader) Int() int { return int(int64(r.U64())) }
+
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.Err != nil || n < 0 || r.off+n > len(r.B) {
+		r.fail()
+		return ""
+	}
+	s := string(r.B[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *Reader) Time() time.Time {
+	v := r.U64()
+	if v == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(v)).UTC()
+}
+
+func (r *Reader) IP() pkt.IP      { return pkt.IP(r.U32()) }
+func (r *Reader) MaskV() pkt.Mask { return pkt.Mask(r.U32()) }
+
+func (r *Reader) MAC() pkt.MAC {
+	var m pkt.MAC
+	if r.Err != nil || r.off+6 > len(r.B) {
+		r.fail()
+		return m
+	}
+	copy(m[:], r.B[r.off:])
+	r.off += 6
+	return m
+}
+
+func (r *Reader) ID() journal.ID { return journal.ID(r.U32()) }
+
+// Remaining reports undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.B) - r.off }
+
+// --- Framing -------------------------------------------------------------
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxMessage {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// --- Observation encoding ------------------------------------------------
+
+// PutIfaceObs encodes an interface observation.
+func PutIfaceObs(w *Writer, o journal.IfaceObs) {
+	w.IP(o.IP)
+	w.Bool(o.HasMAC)
+	w.MAC(o.MAC)
+	w.String(o.Name)
+	w.Bool(o.HasMask)
+	w.Mask(o.Mask)
+	w.Bool(o.RIPSource)
+	w.Bool(o.RIPPromiscuous)
+	w.Bool(o.MaskProbeFailed)
+	w.U8(byte(o.Source))
+	w.Time(o.At)
+}
+
+// GetIfaceObs decodes an interface observation.
+func GetIfaceObs(r *Reader) journal.IfaceObs {
+	return journal.IfaceObs{
+		IP:              r.IP(),
+		HasMAC:          r.Bool(),
+		MAC:             r.MAC(),
+		Name:            r.String(),
+		HasMask:         r.Bool(),
+		Mask:            r.MaskV(),
+		RIPSource:       r.Bool(),
+		RIPPromiscuous:  r.Bool(),
+		MaskProbeFailed: r.Bool(),
+		Source:          journal.Source(r.U8()),
+		At:              r.Time(),
+	}
+}
+
+// PutGatewayObs encodes a gateway observation.
+func PutGatewayObs(w *Writer, o journal.GatewayObs) {
+	w.U32(uint32(len(o.IfaceIPs)))
+	for _, ip := range o.IfaceIPs {
+		w.IP(ip)
+	}
+	w.U32(uint32(len(o.Subnets)))
+	for _, sn := range o.Subnets {
+		w.IP(sn.Addr)
+		w.Mask(sn.Mask)
+	}
+	w.Bool(o.Questionable)
+	w.U8(byte(o.Source))
+	w.Time(o.At)
+}
+
+// GetGatewayObs decodes a gateway observation.
+func GetGatewayObs(r *Reader) journal.GatewayObs {
+	var o journal.GatewayObs
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		o.IfaceIPs = append(o.IfaceIPs, r.IP())
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		o.Subnets = append(o.Subnets, pkt.Subnet{Addr: r.IP(), Mask: r.MaskV()})
+	}
+	o.Questionable = r.Bool()
+	o.Source = journal.Source(r.U8())
+	o.At = r.Time()
+	return o
+}
+
+// PutSubnetObs encodes a subnet observation.
+func PutSubnetObs(w *Writer, o journal.SubnetObs) {
+	w.IP(o.Subnet.Addr)
+	w.Mask(o.Subnet.Mask)
+	w.U32(uint32(len(o.GatewayIPs)))
+	for _, ip := range o.GatewayIPs {
+		w.IP(ip)
+	}
+	w.Int(o.Metric)
+	w.Int(o.HostCount)
+	w.IP(o.LoAddr)
+	w.IP(o.HiAddr)
+	w.U8(byte(o.Source))
+	w.Time(o.At)
+}
+
+// GetSubnetObs decodes a subnet observation.
+func GetSubnetObs(r *Reader) journal.SubnetObs {
+	var o journal.SubnetObs
+	o.Subnet.Addr = r.IP()
+	o.Subnet.Mask = r.MaskV()
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		o.GatewayIPs = append(o.GatewayIPs, r.IP())
+	}
+	o.Metric = r.Int()
+	o.HostCount = r.Int()
+	o.LoAddr = r.IP()
+	o.HiAddr = r.IP()
+	o.Source = journal.Source(r.U8())
+	o.At = r.Time()
+	return o
+}
+
+// PutQuery encodes a Get query.
+func PutQuery(w *Writer, q journal.Query) {
+	w.U8(byte(q.Kind))
+	w.Bool(q.HasIP)
+	w.IP(q.ByIP)
+	w.Bool(q.HasMAC)
+	w.MAC(q.ByMAC)
+	w.String(q.ByName)
+	w.Bool(q.HasRange)
+	w.IP(q.IPLo)
+	w.IP(q.IPHi)
+	w.Time(q.ModifiedSince)
+}
+
+// GetQuery decodes a Get query.
+func GetQuery(r *Reader) journal.Query {
+	return journal.Query{
+		Kind:          journal.RecordKind(r.U8()),
+		HasIP:         r.Bool(),
+		ByIP:          r.IP(),
+		HasMAC:        r.Bool(),
+		ByMAC:         r.MAC(),
+		ByName:        r.String(),
+		HasRange:      r.Bool(),
+		IPLo:          r.IP(),
+		IPHi:          r.IP(),
+		ModifiedSince: r.Time(),
+	}
+}
+
+// --- Record encoding -----------------------------------------------------
+
+func putStamp(w *Writer, s journal.Stamp) {
+	w.Time(s.Discovered)
+	w.Time(s.Changed)
+	w.Time(s.Verified)
+}
+
+func getStamp(r *Reader) journal.Stamp {
+	return journal.Stamp{Discovered: r.Time(), Changed: r.Time(), Verified: r.Time()}
+}
+
+// PutInterfaceRec encodes a full interface record.
+func PutInterfaceRec(w *Writer, rec *journal.InterfaceRec) {
+	w.ID(rec.ID)
+	w.IP(rec.IP)
+	w.MAC(rec.MAC)
+	w.String(rec.Name)
+	w.Mask(rec.Mask)
+	w.U32(uint32(len(rec.Aliases)))
+	for _, a := range rec.Aliases {
+		w.String(a)
+	}
+	w.ID(rec.Gateway)
+	w.Bool(rec.RIPSource)
+	w.Bool(rec.RIPPromiscuous)
+	w.Int(rec.MaskProbeFails)
+	w.U8(byte(rec.Sources))
+	putStamp(w, rec.Stamp)
+	putStamp(w, rec.MACStamp)
+	putStamp(w, rec.NameStamp)
+	putStamp(w, rec.MaskStamp)
+}
+
+// GetInterfaceRec decodes a full interface record.
+func GetInterfaceRec(r *Reader) *journal.InterfaceRec {
+	rec := &journal.InterfaceRec{
+		ID:   r.ID(),
+		IP:   r.IP(),
+		MAC:  r.MAC(),
+		Name: r.String(),
+		Mask: r.MaskV(),
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		rec.Aliases = append(rec.Aliases, r.String())
+	}
+	rec.Gateway = r.ID()
+	rec.RIPSource = r.Bool()
+	rec.RIPPromiscuous = r.Bool()
+	rec.MaskProbeFails = r.Int()
+	rec.Sources = journal.Source(r.U8())
+	rec.Stamp = getStamp(r)
+	rec.MACStamp = getStamp(r)
+	rec.NameStamp = getStamp(r)
+	rec.MaskStamp = getStamp(r)
+	return rec
+}
+
+// PutGatewayRec encodes a full gateway record.
+func PutGatewayRec(w *Writer, rec *journal.GatewayRec) {
+	w.ID(rec.ID)
+	w.U32(uint32(len(rec.Ifaces)))
+	for _, id := range rec.Ifaces {
+		w.ID(id)
+	}
+	w.U32(uint32(len(rec.Subnets)))
+	for _, sn := range rec.Subnets {
+		w.IP(sn.Addr)
+		w.Mask(sn.Mask)
+	}
+	w.Bool(rec.Questionable)
+	w.U8(byte(rec.Sources))
+	putStamp(w, rec.Stamp)
+}
+
+// GetGatewayRec decodes a full gateway record.
+func GetGatewayRec(r *Reader) *journal.GatewayRec {
+	rec := &journal.GatewayRec{ID: r.ID()}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		rec.Ifaces = append(rec.Ifaces, r.ID())
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		rec.Subnets = append(rec.Subnets, pkt.Subnet{Addr: r.IP(), Mask: r.MaskV()})
+	}
+	rec.Questionable = r.Bool()
+	rec.Sources = journal.Source(r.U8())
+	rec.Stamp = getStamp(r)
+	return rec
+}
+
+// PutSubnetRec encodes a full subnet record.
+func PutSubnetRec(w *Writer, rec *journal.SubnetRec) {
+	w.ID(rec.ID)
+	w.IP(rec.Subnet.Addr)
+	w.Mask(rec.Subnet.Mask)
+	w.U32(uint32(len(rec.Gateways)))
+	for _, id := range rec.Gateways {
+		w.ID(id)
+	}
+	w.Int(rec.HostCount)
+	w.IP(rec.LoAddr)
+	w.IP(rec.HiAddr)
+	w.Int(rec.RIPMetric)
+	w.U8(byte(rec.Sources))
+	putStamp(w, rec.Stamp)
+}
+
+// GetSubnetRec decodes a full subnet record.
+func GetSubnetRec(r *Reader) *journal.SubnetRec {
+	rec := &journal.SubnetRec{ID: r.ID()}
+	rec.Subnet.Addr = r.IP()
+	rec.Subnet.Mask = r.MaskV()
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		rec.Gateways = append(rec.Gateways, r.ID())
+	}
+	rec.HostCount = r.Int()
+	rec.LoAddr = r.IP()
+	rec.HiAddr = r.IP()
+	rec.RIPMetric = r.Int()
+	rec.Sources = journal.Source(r.U8())
+	rec.Stamp = getStamp(r)
+	return rec
+}

@@ -1,0 +1,174 @@
+package jwire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var t1 = time.Date(1993, 1, 25, 8, 30, 0, 0, time.UTC)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello journal")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	big := make([]byte, MaxMessage+1)
+	if err := WriteFrame(&bytes.Buffer{}, big); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&buf); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestIfaceObsRoundtrip(t *testing.T) {
+	obs := journal.IfaceObs{
+		IP: pkt.IPv4(128, 138, 238, 5), HasMAC: true, MAC: pkt.MAC{1, 2, 3, 4, 5, 6},
+		Name: "anchor.cs.colorado.edu", HasMask: true, Mask: pkt.MaskBits(24),
+		RIPSource: true, Source: journal.SrcARP | journal.SrcRIP, At: t1,
+	}
+	var w Writer
+	PutIfaceObs(&w, obs)
+	r := &Reader{B: w.B}
+	got := GetIfaceObs(r)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !got.At.Equal(obs.At) {
+		t.Fatalf("time: %v vs %v", got.At, obs.At)
+	}
+	got.At = obs.At
+	if got != obs {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, obs)
+	}
+}
+
+func TestInterfaceRecRoundtrip(t *testing.T) {
+	rec := &journal.InterfaceRec{
+		ID: 7, IP: pkt.IPv4(10, 0, 0, 1), MAC: pkt.MAC{8, 0, 0x20, 0, 0, 9},
+		Name: "x.example", Mask: pkt.MaskBits(26),
+		Aliases: []string{"y.example", "z.example"},
+		Gateway: 3, RIPSource: true, Sources: journal.SrcARP | journal.SrcDNS,
+		Stamp:     journal.Stamp{Discovered: t1, Changed: t1.Add(time.Hour), Verified: t1.Add(2 * time.Hour)},
+		MACStamp:  journal.Stamp{Discovered: t1},
+		NameStamp: journal.Stamp{Discovered: t1.Add(time.Minute)},
+	}
+	var w Writer
+	PutInterfaceRec(&w, rec)
+	r := &Reader{B: w.B}
+	got := GetInterfaceRec(r)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, rec)
+	}
+}
+
+func TestGatewayRecRoundtrip(t *testing.T) {
+	sn, _ := pkt.ParseSubnet("10.1.0.0/16")
+	rec := &journal.GatewayRec{
+		ID: 2, Ifaces: []journal.ID{4, 5}, Subnets: []pkt.Subnet{sn},
+		Sources: journal.SrcTraceroute, Stamp: journal.Stamp{Discovered: t1, Changed: t1, Verified: t1},
+	}
+	var w Writer
+	PutGatewayRec(&w, rec)
+	r := &Reader{B: w.B}
+	got := GetGatewayRec(r)
+	if r.Err != nil || !reflect.DeepEqual(got, rec) {
+		t.Fatalf("roundtrip mismatch (%v):\n%+v\n%+v", r.Err, got, rec)
+	}
+}
+
+func TestSubnetRecRoundtrip(t *testing.T) {
+	sn, _ := pkt.ParseSubnet("10.2.3.0/24")
+	rec := &journal.SubnetRec{
+		ID: 9, Subnet: sn, Gateways: []journal.ID{1},
+		HostCount: 54, LoAddr: pkt.IPv4(10, 2, 3, 1), HiAddr: pkt.IPv4(10, 2, 3, 200),
+		RIPMetric: 2, Sources: journal.SrcRIP | journal.SrcDNS,
+		Stamp: journal.Stamp{Discovered: t1, Changed: t1, Verified: t1},
+	}
+	var w Writer
+	PutSubnetRec(&w, rec)
+	r := &Reader{B: w.B}
+	got := GetSubnetRec(r)
+	if r.Err != nil || !reflect.DeepEqual(got, rec) {
+		t.Fatalf("roundtrip mismatch (%v):\n%+v\n%+v", r.Err, got, rec)
+	}
+}
+
+func TestQueryRoundtrip(t *testing.T) {
+	q := journal.Query{
+		Kind: journal.KindInterface, HasIP: true, ByIP: pkt.IPv4(1, 2, 3, 4),
+		HasMAC: true, ByMAC: pkt.MAC{9, 8, 7, 6, 5, 4}, ByName: "host.example",
+		HasRange: true, IPLo: pkt.IPv4(1, 0, 0, 0), IPHi: pkt.IPv4(2, 0, 0, 0),
+		ModifiedSince: t1,
+	}
+	var w Writer
+	PutQuery(&w, q)
+	r := &Reader{B: w.B}
+	got := GetQuery(r)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !got.ModifiedSince.Equal(q.ModifiedSince) {
+		t.Fatal("ModifiedSince mismatch")
+	}
+	got.ModifiedSince = q.ModifiedSince
+	if got != q {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, q)
+	}
+}
+
+func TestReaderResilientToGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		r := &Reader{B: b}
+		GetIfaceObs(r)
+		r2 := &Reader{B: b}
+		GetInterfaceRec(r2)
+		r3 := &Reader{B: b}
+		GetGatewayRec(r3)
+		r4 := &Reader{B: b}
+		GetSubnetRec(r4)
+		return true // must not panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrimitiveRoundtrip(t *testing.T) {
+	f := func(a uint32, b uint64, s string, c bool, m [6]byte) bool {
+		var w Writer
+		w.U32(a)
+		w.U64(b)
+		w.String(s)
+		w.Bool(c)
+		w.MAC(pkt.MAC(m))
+		r := &Reader{B: w.B}
+		return r.U32() == a && r.U64() == b && r.String() == s && r.Bool() == c &&
+			r.MAC() == pkt.MAC(m) && r.Err == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

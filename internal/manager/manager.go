@@ -1,0 +1,380 @@
+// Package manager implements Fremont's Discovery Manager: it "decides what
+// information needs to be collected and what Explorer Modules should be
+// invoked to collect those data", keeps a startup/history file with each
+// module's invocation frequency and recent runs, directs modules with
+// clues from the Journal (RIP-discovered subnets feed Traceroute; unmasked
+// interfaces feed the SubnetMasks module), and adapts each module's
+// interval to how fruitful its runs are: "if the Discovery Manager sees
+// that 20 of 400 interfaces recorded in the Journal do not have subnet
+// masks recorded and that this was true before the 'subnet mask' module
+// was last invoked, then the Discovery Manager will not shorten the
+// interval until the next invocation of that module."
+package manager
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fremont/internal/correlate"
+	"fremont/internal/explorer"
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// ModuleState is the per-module schedule entry of the startup/history
+// file.
+type ModuleState struct {
+	Name     string
+	Interval time.Duration
+	LastRun  time.Time
+	// DemandBefore is the unmet-demand metric measured just before the
+	// last run (the paper's "this was true before the module was last
+	// invoked").
+	DemandBefore int
+	Runs         int
+	LastFound    int
+}
+
+// Config directs the manager.
+type Config struct {
+	// Network and DNSServer direct the DNS module.
+	Network   pkt.Subnet
+	DNSServer pkt.IP
+	// WatchDuration bounds each passive-module invocation (default: 30
+	// minutes for ARPwatch, 2 minutes for RIPwatch).
+	ARPwatchDuration time.Duration
+	RIPwatchDuration time.Duration
+	// HistoryPath persists the startup/history file ("" = in-memory only).
+	HistoryPath string
+	// Privileged enables the NIT-based modules.
+	Privileged bool
+	// Correlate runs a cross-correlation pass after each batch.
+	Correlate bool
+	Log       func(format string, args ...any)
+}
+
+// Manager schedules and directs Explorer Modules.
+type Manager struct {
+	cfg     Config
+	sink    journal.Sink
+	modules []explorer.Module
+	states  map[string]*ModuleState
+}
+
+// New creates a manager over the full module registry.
+func New(sink journal.Sink, cfg Config) *Manager {
+	if cfg.ARPwatchDuration == 0 {
+		cfg.ARPwatchDuration = 30 * time.Minute
+	}
+	if cfg.RIPwatchDuration == 0 {
+		cfg.RIPwatchDuration = 2 * time.Minute
+	}
+	m := &Manager{cfg: cfg, sink: sink, modules: explorer.All(), states: map[string]*ModuleState{}}
+	for _, mod := range m.modules {
+		info := mod.Info()
+		m.states[info.Name] = &ModuleState{Name: info.Name, Interval: info.MinInterval}
+	}
+	return m
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Log != nil {
+		m.cfg.Log(format, args...)
+	}
+}
+
+// State returns the schedule entry for a module (nil if unknown).
+func (m *Manager) State(name string) *ModuleState { return m.states[name] }
+
+// Due returns the modules whose next invocation time has arrived, skipping
+// privileged modules when the manager lacks privilege.
+func (m *Manager) Due(now time.Time) []explorer.Module {
+	var due []explorer.Module
+	for _, mod := range m.modules {
+		info := mod.Info()
+		if info.NeedsPrivilege && !m.cfg.Privileged {
+			continue
+		}
+		st := m.states[info.Name]
+		if st.LastRun.IsZero() || !now.Before(st.LastRun.Add(st.Interval)) {
+			due = append(due, mod)
+		}
+	}
+	return due
+}
+
+// NextDue returns the earliest next invocation time across modules.
+func (m *Manager) NextDue() (time.Time, bool) {
+	var next time.Time
+	found := false
+	for _, mod := range m.modules {
+		info := mod.Info()
+		if info.NeedsPrivilege && !m.cfg.Privileged {
+			continue
+		}
+		st := m.states[info.Name]
+		t := st.LastRun.Add(st.Interval)
+		if st.LastRun.IsZero() {
+			return time.Time{}, true // something never ran: due now
+		}
+		if !found || t.Before(next) {
+			next = t
+			found = true
+		}
+	}
+	return next, found
+}
+
+// demand computes a module's unmet-demand metric from the Journal. Falling
+// demand after a run means the run was fruitful.
+func (m *Manager) demand(mod explorer.Module) int {
+	switch mod.Info().Name {
+	case "SubnetMasks":
+		recs, err := m.sink.Interfaces(journal.Query{})
+		if err != nil {
+			return 0
+		}
+		n := 0
+		for _, r := range recs {
+			if r.Mask == 0 && r.MaskProbeFails < 3 {
+				n++
+			}
+		}
+		return n
+	case "Traceroute":
+		subnets, err := m.sink.Subnets()
+		if err != nil {
+			return 0
+		}
+		n := 0
+		for _, sn := range subnets {
+			if len(sn.Gateways) == 0 {
+				n++
+			}
+		}
+		return n
+	case "DNS":
+		recs, err := m.sink.Interfaces(journal.Query{})
+		if err != nil {
+			return 0
+		}
+		n := 0
+		for _, r := range recs {
+			if r.Name == "" {
+				n++
+			}
+		}
+		return n
+	default:
+		// Discovery modules: demand falls as the interface population
+		// grows, so use the negated count.
+		recs, err := m.sink.Interfaces(journal.Query{})
+		if err != nil {
+			return 0
+		}
+		return -len(recs)
+	}
+}
+
+// direct builds a module's Params from the Journal and configuration.
+func (m *Manager) direct(mod explorer.Module) explorer.Params {
+	var p explorer.Params
+	switch mod.Info().Name {
+	case "ARPwatch":
+		p.Duration = m.cfg.ARPwatchDuration
+	case "RIPwatch":
+		p.Duration = m.cfg.RIPwatchDuration
+	case "DNS":
+		p.Network = m.cfg.Network
+		p.DNSServer = m.cfg.DNSServer
+	case "SubnetMasks":
+		// Address interfaces lacking masks (the module would do this
+		// itself; the manager is where the paper puts the decision),
+		// skipping interfaces whose mask requests have gone unanswered
+		// three times — the negative cache.
+		if recs, err := m.sink.Interfaces(journal.Query{}); err == nil {
+			for _, r := range recs {
+				if r.Mask == 0 && r.MaskProbeFails < 3 {
+					p.Addresses = append(p.Addresses, r.IP)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// runPriority orders a batch so that clue producers run before clue
+// consumers: RIPwatch's subnet advertisements direct Traceroute ("The
+// collected data is ... used as clues for further discovery probes"), and
+// the probes populate the interfaces the SubnetMasks and DNS modules work
+// over.
+var runPriority = map[string]int{
+	"RIPwatch":       0,
+	"ARPwatch":       1,
+	"EtherHostProbe": 2,
+	"SeqPing":        3,
+	"BroadcastPing":  4,
+	"Traceroute":     5,
+	"SubnetMasks":    6,
+	"DNS":            7,
+}
+
+// RunDue runs every due module once, sequentially, followed by an optional
+// correlation pass. It returns the reports and updates the schedule.
+func (m *Manager) RunDue(st explorer.Stack) ([]*explorer.Report, error) {
+	now := st.Now()
+	due := m.Due(now)
+	sort.SliceStable(due, func(i, j int) bool {
+		return runPriority[due[i].Info().Name] < runPriority[due[j].Info().Name]
+	})
+	var reports []*explorer.Report
+	for _, mod := range due {
+		info := mod.Info()
+		state := m.states[info.Name]
+		before := m.demand(mod)
+		st.ResetPacketCounter()
+		m.logf("manager: running %s (interval %v, demand %d)", info.Name, state.Interval, before)
+		rep, err := mod.Run(&explorer.Context{
+			Stack:   st,
+			Journal: m.sink,
+			Params:  m.direct(mod),
+			Log:     m.cfg.Log,
+		})
+		if err != nil {
+			m.logf("manager: %s failed: %v", info.Name, err)
+			state.LastRun = st.Now()
+			m.adjust(state, info, false)
+			continue
+		}
+		reports = append(reports, rep)
+		after := m.demand(mod)
+		fruitful := after < before || state.Runs == 0
+		state.LastRun = st.Now()
+		state.Runs++
+		state.LastFound = len(rep.Interfaces) + len(rep.Subnets)
+		state.DemandBefore = before
+		m.adjust(state, info, fruitful)
+	}
+	if m.cfg.Correlate && len(reports) > 0 {
+		if rep, err := correlate.Run(m.sink, st.Now()); err == nil {
+			m.logf("manager: %s", rep)
+		}
+	}
+	if m.cfg.HistoryPath != "" {
+		if err := m.SaveHistory(); err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// adjust applies the adaptive-interval rule: fruitful runs shorten the
+// interval toward the module's minimum; fruitless ones lengthen it toward
+// the maximum.
+func (m *Manager) adjust(st *ModuleState, info explorer.Info, fruitful bool) {
+	if fruitful {
+		st.Interval /= 2
+		if st.Interval < info.MinInterval {
+			st.Interval = info.MinInterval
+		}
+	} else {
+		st.Interval *= 2
+		if st.Interval > info.MaxInterval {
+			st.Interval = info.MaxInterval
+		}
+	}
+}
+
+// --- Startup/history file -------------------------------------------------
+
+// SaveHistory writes the startup/history file.
+func (m *Manager) SaveHistory() error {
+	f, err := os.Create(m.cfg.HistoryPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.WriteHistory(f)
+}
+
+// WriteHistory serializes the schedule in the startup/history format.
+func (m *Manager) WriteHistory(w io.Writer) error {
+	names := make([]string, 0, len(m.states))
+	for n := range m.states {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "# fremont discovery manager startup/history file")
+	for _, n := range names {
+		st := m.states[n]
+		last := "-"
+		if !st.LastRun.IsZero() {
+			last = st.LastRun.UTC().Format(time.RFC3339)
+		}
+		if _, err := fmt.Fprintf(w, "module %s interval %s lastrun %s demand %d runs %d found %d\n",
+			st.Name, st.Interval, last, st.DemandBefore, st.Runs, st.LastFound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadHistory reads the startup/history file, if present.
+func (m *Manager) LoadHistory() error {
+	f, err := os.Open(m.cfg.HistoryPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.ReadHistory(f)
+}
+
+// ReadHistory parses the startup/history format.
+func (m *Manager) ReadHistory(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 12 || fields[0] != "module" {
+			return fmt.Errorf("manager: malformed history line: %q", line)
+		}
+		st, ok := m.states[fields[1]]
+		if !ok {
+			continue // unknown module: ignore (forward compatibility)
+		}
+		iv, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return fmt.Errorf("manager: bad interval in %q: %v", line, err)
+		}
+		st.Interval = iv
+		if fields[5] != "-" {
+			ts, err := time.Parse(time.RFC3339, fields[5])
+			if err != nil {
+				return fmt.Errorf("manager: bad lastrun in %q: %v", line, err)
+			}
+			st.LastRun = ts
+		}
+		if st.DemandBefore, err = strconv.Atoi(fields[7]); err != nil {
+			return fmt.Errorf("manager: bad demand in %q: %v", line, err)
+		}
+		if st.Runs, err = strconv.Atoi(fields[9]); err != nil {
+			return fmt.Errorf("manager: bad runs in %q: %v", line, err)
+		}
+		if st.LastFound, err = strconv.Atoi(fields[11]); err != nil {
+			return fmt.Errorf("manager: bad found in %q: %v", line, err)
+		}
+	}
+	return sc.Err()
+}

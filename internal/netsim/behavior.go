@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// PortDiscard is the UDP discard port, used as the destination for
+// background chatter traffic.
+const PortDiscard uint16 = 9
+
+// StartRIP begins periodic RIP version 1 advertisements from a router.
+// Every RIPPeriod (default 30s) the router broadcasts its subnet routes out
+// of each interface, with split horizon: the subnet an interface sits on is
+// not advertised back onto that wire. (Promiscuous hosts — see
+// StartPromiscuousRIP — ignore split horizon; that is how the RIPwatch
+// module spots them.)
+func (n *Network) StartRIP(nd *Node) *sim.Proc {
+	nd.RIPAdvertise = true
+	if nd.RIPPeriod == 0 {
+		nd.RIPPeriod = 30 * time.Second
+	}
+	// Answer routed RIP Requests (RFC 1058 §3.4.1): a request with a
+	// single AF_UNSPEC entry of metric 16 asks for the whole table. This
+	// is what makes the RIPquery extension module able to read routing
+	// information from gateways on other subnets.
+	nd.RegisterUDPService(pkt.PortRIP, func(_ *Node, src pkt.IP, srcPort uint16, dst pkt.IP, payload []byte) {
+		if !nd.Up {
+			return
+		}
+		rq, err := pkt.DecodeRIP(payload)
+		if err != nil || rq.Command != pkt.RIPRequest {
+			return
+		}
+		wholeTable := len(rq.Entries) == 1 && rq.Entries[0].Family == 0 &&
+			rq.Entries[0].Metric == pkt.RIPInfinity
+		var entries []pkt.RIPEntry
+		if wholeTable {
+			for _, r := range nd.Routes {
+				if r.Dst.Mask == 0 {
+					continue
+				}
+				entries = append(entries, pkt.RIPEntry{Family: 2, Addr: r.Dst.Addr, Metric: uint32(r.Metric + 1)})
+			}
+		} else {
+			// Specific-route query: answer each asked entry.
+			for _, e := range rq.Entries {
+				metric := uint32(pkt.RIPInfinity)
+				if r, ok := nd.lookupRoute(e.Addr); ok && r.Dst.Mask != 0 {
+					metric = uint32(r.Metric + 1)
+				}
+				entries = append(entries, pkt.RIPEntry{Family: 2, Addr: e.Addr, Metric: metric})
+			}
+		}
+		for len(entries) > 0 {
+			chunk := entries
+			if len(chunk) > pkt.MaxRIPEntries {
+				chunk = chunk[:pkt.MaxRIPEntries]
+			}
+			entries = entries[len(chunk):]
+			resp := &pkt.RIPPacket{Command: pkt.RIPResponse, Entries: chunk}
+			u := &pkt.UDPPacket{SrcPort: pkt.PortRIP, DstPort: srcPort, Payload: resp.Encode()}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: dst, Dst: src, TTL: 30}
+			_ = nd.SendIP(h, u.Encode(dst, src))
+		}
+	})
+	return n.Sched.Spawn("rip:"+nd.Name, func(p *sim.Proc) {
+		// Desynchronize advertisers.
+		p.Sleep(time.Duration(n.Sched.Rand().Int63n(int64(nd.RIPPeriod))))
+		for {
+			if nd.Up {
+				for _, ifc := range nd.Ifaces {
+					nd.sendRIPAdvertisement(ifc)
+				}
+			}
+			p.Sleep(nd.RIPPeriod)
+		}
+	})
+}
+
+func (nd *Node) sendRIPAdvertisement(out *Iface) {
+	outSubnet := out.Subnet()
+	var entries []pkt.RIPEntry
+	for _, r := range nd.Routes {
+		if r.Dst.Mask == 0 {
+			continue // default route not advertised
+		}
+		if r.Dst == outSubnet {
+			continue // split horizon
+		}
+		entries = append(entries, pkt.RIPEntry{Family: 2, Addr: r.Dst.Addr, Metric: uint32(r.Metric + 1)})
+	}
+	nd.broadcastRIP(out, entries)
+}
+
+func (nd *Node) broadcastRIP(out *Iface, entries []pkt.RIPEntry) {
+	bcast := out.Subnet().Broadcast()
+	for len(entries) > 0 {
+		chunk := entries
+		if len(chunk) > pkt.MaxRIPEntries {
+			chunk = chunk[:pkt.MaxRIPEntries]
+		}
+		entries = entries[len(chunk):]
+		rp := &pkt.RIPPacket{Command: pkt.RIPResponse, Entries: chunk}
+		u := &pkt.UDPPacket{SrcPort: pkt.PortRIP, DstPort: pkt.PortRIP, Payload: rp.Encode()}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: out.IP, Dst: bcast, TTL: 1}
+		_ = nd.SendIPVia(out, h, u.Encode(out.IP, bcast))
+	}
+}
+
+// StartPromiscuousRIP turns a host into one of the paper's "badly
+// configured hosts [that] promiscuously rebroadcast all learned routing
+// information without regard to the subnet from which that information was
+// learned". The host listens for RIP responses and periodically
+// re-advertises everything it has heard — including routes for the very
+// subnet it broadcasts onto — with incremented metrics.
+func (n *Network) StartPromiscuousRIP(nd *Node, period time.Duration) *sim.Proc {
+	nd.PromiscuousRIP = true
+	if period == 0 {
+		period = 45 * time.Second
+	}
+	// Like a workstation running "routed -s", the host supplies its own
+	// connected subnet(s) in addition to everything it overhears — so the
+	// wire's own subnet gets advertised back onto the wire, which is the
+	// tell RIPwatch keys on.
+	learned := map[pkt.IP]uint32{} // subnet addr -> metric
+	var order []pkt.IP
+	for _, ifc := range nd.Ifaces {
+		sn := ifc.Subnet()
+		if _, ok := learned[sn.Addr]; !ok {
+			learned[sn.Addr] = 0
+			order = append(order, sn.Addr)
+		}
+	}
+	nd.RegisterUDPService(pkt.PortRIP, func(_ *Node, src pkt.IP, _ uint16, _ pkt.IP, payload []byte) {
+		rp, err := pkt.DecodeRIP(payload)
+		if err != nil || rp.Command != pkt.RIPResponse || nd.HasIP(src) {
+			return
+		}
+		for _, e := range rp.Entries {
+			if _, ok := learned[e.Addr]; !ok {
+				order = append(order, e.Addr)
+			}
+			learned[e.Addr] = e.Metric
+		}
+	})
+	return n.Sched.Spawn("promisc-rip:"+nd.Name, func(p *sim.Proc) {
+		p.Sleep(time.Duration(n.Sched.Rand().Int63n(int64(period))))
+		for {
+			if nd.Up && len(order) > 0 {
+				entries := make([]pkt.RIPEntry, 0, len(order))
+				for _, addr := range order {
+					entries = append(entries, pkt.RIPEntry{Family: 2, Addr: addr, Metric: learned[addr] + 1})
+				}
+				for _, ifc := range nd.Ifaces {
+					nd.broadcastRIP(ifc, entries)
+				}
+			}
+			p.Sleep(period)
+		}
+	})
+}
+
+// StartChatter makes a host converse: at exponentially distributed
+// intervals around mean, it sends a UDP datagram to a random peer on its
+// first segment. The resulting ARP exchanges are what the passive ARPwatch
+// module lives on; hosts with long mean intervals are the ones ARPwatch
+// only discovers after many hours (the paper's 30-minute vs 24-hour
+// numbers).
+func (n *Network) StartChatter(nd *Node, mean time.Duration) *sim.Proc {
+	return n.Sched.Spawn("chatter:"+nd.Name, func(p *sim.Proc) {
+		if len(nd.Ifaces) == 0 {
+			return
+		}
+		ifc := nd.Ifaces[0]
+		for {
+			d := time.Duration(n.Sched.Rand().ExpFloat64() * float64(mean))
+			if d < 100*time.Millisecond {
+				d = 100 * time.Millisecond
+			}
+			if d > 10*mean {
+				d = 10 * mean
+			}
+			p.Sleep(d)
+			if !nd.Up {
+				continue
+			}
+			// Mostly local conversations; occasionally an off-subnet
+			// destination, which makes the host ARP for its default
+			// gateway (so passive watchers see gateways too).
+			var dst pkt.IP
+			if n.Sched.Rand().Float64() < 0.15 {
+				dst = ifc.Subnet().Addr - 256 + 20 // a host one subnet over
+			} else {
+				peers := ifc.Seg.Ifaces()
+				if len(peers) < 2 {
+					continue
+				}
+				peer := peers[n.Sched.Rand().Intn(len(peers))]
+				if peer.Node == nd || !peer.Node.Up {
+					continue
+				}
+				dst = peer.IP
+			}
+			u := &pkt.UDPPacket{SrcPort: 1023, DstPort: PortDiscard, Payload: []byte("chatter")}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: ifc.IP, Dst: dst, TTL: 30}
+			_ = nd.SendIP(h, u.Encode(ifc.IP, dst))
+		}
+	})
+}
+
+// StartLiveness cycles a node up and down: every period (with jitter) the
+// node is up with the given probability. This models the paper's "not all
+// hosts up when run" losses for the active probing modules.
+func (n *Network) StartLiveness(nd *Node, availability float64, period time.Duration) *sim.Proc {
+	if period == 0 {
+		period = time.Hour
+	}
+	return n.Sched.Spawn("liveness:"+nd.Name, func(p *sim.Proc) {
+		for {
+			nd.SetUp(n.Sched.Rand().Float64() < availability)
+			jitter := time.Duration(n.Sched.Rand().Int63n(int64(period) / 4))
+			p.Sleep(period - period/8 + jitter)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+func TestARPCacheExpiry(t *testing.T) {
+	n := New(401)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	a.ARPCacheTTL = 5 * time.Minute
+	b := n.NewNode("b")
+	b.AddIface(seg, mustIP(t, "10.0.0.2"), pkt.MaskBits(24))
+
+	// Prime the cache.
+	u := &pkt.UDPPacket{SrcPort: 1, DstPort: PortDiscard}
+	dst := mustIP(t, "10.0.0.2")
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+	_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	n.Run(5 * time.Second)
+	if len(a.ARPTable()) == 0 {
+		t.Fatal("cache not primed")
+	}
+	// After the TTL, the snapshot hides the stale entry.
+	n.Run(6 * time.Minute)
+	if entries := a.ARPTable(); len(entries) != 0 {
+		t.Fatalf("expired entries still visible: %+v", entries)
+	}
+	// And a fresh send re-ARPs (visible as a new broadcast on a tap).
+	w := n.NewNode("w")
+	w.AddIface(seg, mustIP(t, "10.0.0.9"), pkt.MaskBits(24))
+	tap, _ := w.OpenTap(w.Ifaces[0], true, nil)
+	sawRequest := false
+	n.Sched.Spawn("watch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 30*time.Second)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeARP {
+				continue
+			}
+			if arp, err := pkt.DecodeARP(f.Payload); err == nil && arp.Op == pkt.ARPRequest &&
+				arp.SenderIP == mustIP(t, "10.0.0.1") {
+				sawRequest = true
+			}
+		}
+	})
+	n.Sched.After(time.Second, func() {
+		_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	})
+	n.Run(time.Minute)
+	if !sawRequest {
+		t.Fatal("expired cache did not trigger a fresh ARP request")
+	}
+}
+
+func TestRIPRequestWholeTable(t *testing.T) {
+	n, a, r, _ := twoSubnetNet(t, 402)
+	for i := 0; i < 30; i++ {
+		// Pad the table past one RIP packet (25 entries max).
+		_ = r.AddRoute(pkt.SubnetOf(pkt.IPv4(10, 2, byte(i), 0), pkt.MaskBits(24)), mustIP(t, "10.1.2.2"))
+	}
+	n.StartRIP(r)
+
+	conn, err := a.OpenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := map[pkt.IP]bool{}
+	n.Sched.Spawn("query", func(p *sim.Proc) {
+		req := &pkt.RIPPacket{Command: pkt.RIPRequest,
+			Entries: []pkt.RIPEntry{{Family: 0, Metric: pkt.RIPInfinity}}}
+		if err := conn.Send(r.Ifaces[0].IP, pkt.PortRIP, req.Encode()); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			ev, ok := conn.Recv(p, 5*time.Second)
+			if !ok {
+				return
+			}
+			resp, err := pkt.DecodeRIP(ev.Payload)
+			if err != nil || resp.Command != pkt.RIPResponse {
+				continue
+			}
+			for _, e := range resp.Entries {
+				routes[e.Addr] = true
+			}
+		}
+	})
+	n.Run(time.Minute)
+	// 2 connected + 30 static = 32 routes, needing two RIP packets.
+	if len(routes) < 32 {
+		t.Fatalf("whole-table request returned %d routes, want ≥32", len(routes))
+	}
+}
+
+func TestRIPRequestSpecificRoute(t *testing.T) {
+	n, a, r, _ := twoSubnetNet(t, 403)
+	n.StartRIP(r)
+	conn, _ := a.OpenUDP(0)
+	var gotMetric uint32
+	var gotUnreach uint32
+	n.Sched.Spawn("query", func(p *sim.Proc) {
+		req := &pkt.RIPPacket{Command: pkt.RIPRequest, Entries: []pkt.RIPEntry{
+			{Family: 2, Addr: mustIP(t, "10.1.2.0")},  // known
+			{Family: 2, Addr: mustIP(t, "99.99.0.0")}, // unknown
+		}}
+		_ = conn.Send(r.Ifaces[0].IP, pkt.PortRIP, req.Encode())
+		ev, ok := conn.Recv(p, 5*time.Second)
+		if !ok {
+			t.Error("no response to specific RIP request")
+			return
+		}
+		resp, err := pkt.DecodeRIP(ev.Payload)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, e := range resp.Entries {
+			switch e.Addr {
+			case mustIP(t, "10.1.2.0"):
+				gotMetric = e.Metric
+			case mustIP(t, "99.99.0.0"):
+				gotUnreach = e.Metric
+			}
+		}
+	})
+	n.Run(time.Minute)
+	if gotMetric == 0 || gotMetric >= pkt.RIPInfinity {
+		t.Fatalf("known route metric = %d", gotMetric)
+	}
+	if gotUnreach != pkt.RIPInfinity {
+		t.Fatalf("unknown route metric = %d, want infinity", gotUnreach)
+	}
+}
+
+func TestDownRouterIgnoresRIPRequest(t *testing.T) {
+	n, a, r, _ := twoSubnetNet(t, 404)
+	n.StartRIP(r)
+	r.SetUp(false)
+	conn, _ := a.OpenUDP(0)
+	answered := false
+	n.Sched.Spawn("query", func(p *sim.Proc) {
+		req := &pkt.RIPPacket{Command: pkt.RIPRequest,
+			Entries: []pkt.RIPEntry{{Family: 0, Metric: pkt.RIPInfinity}}}
+		_ = conn.Send(r.Ifaces[0].IP, pkt.PortRIP, req.Encode())
+		_, answered = conn.Recv(p, 10*time.Second)
+	})
+	n.Run(time.Minute)
+	if answered {
+		t.Fatal("down router answered a RIP request")
+	}
+}
+
+func TestSegmentStats(t *testing.T) {
+	n := New(405)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	b := n.NewNode("b")
+	b.AddIface(seg, mustIP(t, "10.0.0.2"), pkt.MaskBits(24))
+	u := &pkt.UDPPacket{SrcPort: 1, DstPort: PortDiscard}
+	dst := mustIP(t, "10.0.0.2")
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+	_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	n.Run(10 * time.Second)
+	if seg.Stats.Frames < 3 { // ARP req + reply + UDP (+ unreachable)
+		t.Fatalf("Frames = %d", seg.Stats.Frames)
+	}
+	if seg.Stats.Broadcasts < 1 {
+		t.Fatalf("Broadcasts = %d", seg.Stats.Broadcasts)
+	}
+	if seg.Stats.Bytes == 0 {
+		t.Fatal("Bytes not counted")
+	}
+	if n.TotalFrames() != seg.Stats.Frames {
+		t.Fatalf("TotalFrames = %d vs %d", n.TotalFrames(), seg.Stats.Frames)
+	}
+}
+
+func TestTapFilterAndClose(t *testing.T) {
+	n := New(406)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	b := n.NewNode("b")
+	b.AddIface(seg, mustIP(t, "10.0.0.2"), pkt.MaskBits(24))
+
+	onlyARP, _ := a.OpenTap(a.Ifaces[0], true, func(raw []byte) bool {
+		f, err := pkt.DecodeFrame(raw)
+		return err == nil && f.EtherType == pkt.EtherTypeARP
+	})
+	u := &pkt.UDPPacket{SrcPort: 1, DstPort: PortDiscard}
+	dst := mustIP(t, "10.0.0.2")
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+	_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	n.Run(10 * time.Second)
+
+	seen := 0
+	for {
+		raw, ok := onlyARP.TryRecv()
+		if !ok {
+			break
+		}
+		f, _ := pkt.DecodeFrame(raw)
+		if f.EtherType != pkt.EtherTypeARP {
+			t.Fatalf("filter leaked ethertype 0x%04x", f.EtherType)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("filtered tap saw nothing")
+	}
+	// After Close, no more frames are captured.
+	onlyARP.Close()
+	before := onlyARP.Seen
+	_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	n.Run(10 * time.Second)
+	if onlyARP.Seen != before {
+		t.Fatal("closed tap still capturing")
+	}
+}

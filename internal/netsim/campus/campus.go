@@ -1,0 +1,516 @@
+// Package campus builds the simulated University-of-Colorado-like campus
+// network that Fremont's evaluation runs against: a class B network
+// (128.138.0.0/16) with a backbone wire, ~110 department subnets hanging
+// off ~55 gateways, a department (CS) subnet with ~54 machines, a DNS
+// server with partially maintained zones, RIP advertisements, background
+// chatter, diurnal host liveness, and the misbehaviours the paper's
+// numbers depend on: gateways with broken ICMP error generation
+// ("gateway software problems"), subnets absent from the name service,
+// stale DNS entries, and — when fault injection is on — the Table 8
+// problem population (a duplicate address pair, a hardware change, wrong
+// subnet masks, a promiscuous RIP host, a silently removed host, and a
+// proxy-ARP device).
+package campus
+
+import (
+	"fmt"
+	"time"
+
+	"fremont/internal/dnssim"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// Config parametrizes the campus. DefaultConfig reproduces the paper's
+// counts.
+type Config struct {
+	Seed int64
+
+	// Subnet population (paper: 114 assigned, 111 live/advertised, 93 in
+	// the DNS).
+	AssignedSubnets int
+	LiveSubnets     int
+	DNSSubnets      int
+
+	// Gateways identifiable from DNS naming conventions (paper: 31,
+	// connecting 48 subnets).
+	NamedGateways            int
+	NamedGatewaySubnetTarget int
+
+	// The measured department subnet (paper: 56 DNS entries, 54 real
+	// machines — of which the gateway, the name server, and the Fremont
+	// host are three — and 2 stale entries).
+	CSHosts    int // plain hosts beyond gateway+dns+fremont
+	CSStaleDNS int
+
+	// Hosts per other department subnet.
+	DeptHostsMin, DeptHostsMax int
+
+	// Subnets hidden from traceroute by silent gateways (paper's Table 6:
+	// traceroute reaches 86 of the 110 non-local subnets, losing 24 to
+	// "gateway software problems").
+	SilentSubnets int
+	// Additional gateways with the TTL-echo bug (slows traceroute but the
+	// module recovers).
+	TTLEchoBugGateways int
+
+	// Dynamics.
+	Chatter  bool // background conversations on the CS wire (ARPwatch food)
+	Liveness bool // diurnal host up/down cycling
+
+	// InjectFaults populates the Table 8 problems.
+	InjectFaults bool
+}
+
+// DefaultConfig returns the paper-scale campus.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     1993,
+		AssignedSubnets:          114,
+		LiveSubnets:              111,
+		DNSSubnets:               93,
+		NamedGateways:            31,
+		NamedGatewaySubnetTarget: 48,
+		CSHosts:                  51,
+		CSStaleDNS:               2,
+		DeptHostsMin:             2,
+		DeptHostsMax:             6,
+		SilentSubnets:            24,
+		TTLEchoBugGateways:       4,
+		Chatter:                  true,
+		Liveness:                 true,
+		InjectFaults:             false,
+	}
+}
+
+// Faults records the injected Table 8 problems so tests can check the
+// analysis output against ground truth.
+type Faults struct {
+	DuplicateIP      pkt.IP
+	HardwareChangeIP pkt.IP
+	HardwareChangeAt time.Duration
+	WrongMaskIPs     []pkt.IP
+	PromiscuousIP    pkt.IP
+	RemovedIP        pkt.IP
+	RemovedAt        time.Duration
+	ProxyARPRange    []pkt.IP
+}
+
+// Campus is the built network plus the ground truth the evaluation
+// harness compares discovery results against.
+type Campus struct {
+	Net *netsim.Network
+	Cfg Config
+
+	Fremont   *netsim.Node
+	FremontIP pkt.IP
+
+	DNS         *dnssim.Server
+	DNSServerIP pkt.IP
+
+	Backbone pkt.Subnet
+	CSSubnet pkt.Subnet
+
+	// Ground truth.
+	Assigned      []pkt.Subnet      // all assigned subnets (incl. dark)
+	Live          []pkt.Subnet      // advertised subnets (incl. backbone, CS)
+	DNSListed     map[pkt.IP]bool   // subnet addr -> has DNS entries
+	SilentBehind  map[pkt.IP]bool   // subnet addr -> behind a silent gateway
+	NamedGWSubnet map[pkt.IP]bool   // subnet addr -> attached to a DNS-named gateway
+	Gateways      []*netsim.Node    // all gateway nodes
+	GatewayOf     map[pkt.IP]pkt.IP // dept subnet addr -> gateway iface on it
+	CSMachines    []*netsim.Node    // every real machine on the CS wire
+	CSRealCount   int               // machines on the CS wire (paper: 54)
+	CSDNSCount    int               // DNS entries for CS addresses (paper: 56)
+	HostNames     map[pkt.IP]string // ground-truth names
+
+	Faults Faults
+}
+
+// Build constructs the full campus.
+func Build(cfg Config) *Campus {
+	return build(cfg, true)
+}
+
+// BuildDepartment constructs only the CS department wire, its gateway and
+// a backbone stub — the economical network for day-long Table 5 runs.
+func BuildDepartment(cfg Config) *Campus {
+	return build(cfg, false)
+}
+
+func build(cfg Config, full bool) *Campus {
+	n := netsim.New(cfg.Seed)
+	rng := n.Sched.Rand()
+	mask := pkt.MaskBits(24)
+
+	c := &Campus{
+		Net: n, Cfg: cfg,
+		Backbone:      pkt.SubnetOf(pkt.IPv4(128, 138, 1, 0), mask),
+		CSSubnet:      pkt.SubnetOf(pkt.IPv4(128, 138, 238, 0), mask),
+		DNSListed:     map[pkt.IP]bool{},
+		SilentBehind:  map[pkt.IP]bool{},
+		NamedGWSubnet: map[pkt.IP]bool{},
+		GatewayOf:     map[pkt.IP]pkt.IP{},
+		HostNames:     map[pkt.IP]string{},
+	}
+
+	fwd := dnssim.NewZone("colorado.edu")
+	rev := dnssim.NewZone("138.128.in-addr.arpa")
+	c.DNS = dnssim.NewServer()
+	c.DNS.AddZone(fwd)
+	c.DNS.AddZone(rev)
+	addDNS := func(name string, ip pkt.IP) {
+		fwd.AddA(name, ip)
+		rev.AddPTR(ip, name)
+		c.HostNames[ip] = name
+	}
+
+	backboneSeg := n.NewSegment("backbone", c.Backbone)
+	csSeg := n.NewSegment("cs", c.CSSubnet)
+
+	// --- Subnet plan ----------------------------------------------------
+	// Third octets: 1 = backbone, 238 = CS, departments from 2 up. The
+	// highest-numbered assigned departments are dark (allocated, never
+	// connected).
+	deptLive := cfg.LiveSubnets - 2 // minus backbone and CS
+	deptAssigned := cfg.AssignedSubnets - 2
+	var liveDeptSubnets []pkt.Subnet
+	c.Assigned = []pkt.Subnet{c.Backbone}
+	c.Live = []pkt.Subnet{c.Backbone, c.CSSubnet}
+	for i := 0; i < deptAssigned; i++ {
+		sn := pkt.SubnetOf(pkt.IPv4(128, 138, byte(2+i), 0), mask)
+		c.Assigned = append(c.Assigned, sn)
+		if i < deptLive {
+			liveDeptSubnets = append(liveDeptSubnets, sn)
+			c.Live = append(c.Live, sn)
+		}
+	}
+	c.Assigned = append(c.Assigned, c.CSSubnet)
+
+	// --- CS department wire ----------------------------------------------
+	csGW := n.NewNode("cs-gw")
+	csGW.IsRouter = true
+	csGW.RespondsMask = true
+	csGWBB := c.Backbone.Addr + 2 // 128.138.1.2
+	csGW.AddIface(backboneSeg, csGWBB, mask)
+	csGWIfc := csGW.AddIface(csSeg, c.CSSubnet.FirstHost(), mask) // .1
+	c.Gateways = append(c.Gateways, csGW)
+	c.GatewayOf[c.CSSubnet.Addr] = csGWIfc.IP
+	addDNS("cs-gw.colorado.edu", csGWBB)
+	addDNS("cs-gw.colorado.edu", csGWIfc.IP)
+	c.NamedGWSubnet[c.CSSubnet.Addr] = true
+	c.NamedGWSubnet[c.Backbone.Addr] = true
+	namedGWs := 1
+	c.CSMachines = append(c.CSMachines, csGW)
+
+	dnsNode := n.NewNode("piper")
+	dnsIP := c.CSSubnet.Addr + 2
+	dnsNode.AddIface(csSeg, dnsIP, mask)
+	dnsNode.RespondsMask = true
+	_ = dnsNode.AddDefaultRoute(csGWIfc.IP)
+	c.DNS.Attach(dnsNode)
+	c.DNSServerIP = dnsIP
+	addDNS("piper.cs.colorado.edu", dnsIP)
+	c.CSMachines = append(c.CSMachines, dnsNode)
+
+	c.Fremont = n.NewNode("fremont")
+	c.FremontIP = c.CSSubnet.Addr + 250
+	c.Fremont.AddIface(csSeg, c.FremontIP, mask)
+	_ = c.Fremont.AddDefaultRoute(csGWIfc.IP)
+	addDNS("fremont.cs.colorado.edu", c.FremontIP)
+	c.CSMachines = append(c.CSMachines, c.Fremont)
+
+	var csHosts []*netsim.Node
+	for i := 0; i < cfg.CSHosts; i++ {
+		h := n.NewNode(fmt.Sprintf("cs%02d", i))
+		ip := c.CSSubnet.Addr + pkt.IP(10+i)
+		h.AddIface(csSeg, ip, mask)
+		h.RespondsMask = rng.Float64() < 0.5
+		_ = h.AddDefaultRoute(csGWIfc.IP)
+		addDNS(fmt.Sprintf("cs%02d.cs.colorado.edu", i), ip)
+		csHosts = append(csHosts, h)
+		c.CSMachines = append(c.CSMachines, h)
+	}
+	c.CSRealCount = len(c.CSMachines)
+	// Stale DNS entries: machines that no longer exist.
+	for i := 0; i < cfg.CSStaleDNS; i++ {
+		addDNS(fmt.Sprintf("ghost%d.cs.colorado.edu", i), c.CSSubnet.Addr+pkt.IP(98+i))
+	}
+	c.CSDNSCount = c.CSRealCount + cfg.CSStaleDNS
+	c.DNSListed[c.CSSubnet.Addr] = true
+	c.DNSListed[c.Backbone.Addr] = true
+
+	// --- Department gateways and wires -----------------------------------
+	if full {
+		c.buildDepartments(liveDeptSubnets, backboneSeg, fwd, rev, addDNS, &namedGWs)
+	}
+
+	// Routing: every gateway routes every live subnet via the backbone.
+	for _, gw := range c.Gateways {
+		for _, sn := range c.Live {
+			if sn.Addr == c.Backbone.Addr || gw.HasIP(c.GatewayOf[sn.Addr]) {
+				continue
+			}
+			owner := c.GatewayOf[sn.Addr]
+			// Find the owning gateway's backbone address.
+			ownerGW := c.Net.IfaceByIP(owner)
+			if ownerGW == nil {
+				continue
+			}
+			var via pkt.IP
+			for _, ifc := range ownerGW.Node.Ifaces {
+				if c.Backbone.Contains(ifc.IP) {
+					via = ifc.IP
+				}
+			}
+			if !via.IsZero() {
+				_ = gw.AddRoute(sn, via)
+			}
+		}
+	}
+
+	// RIP on every gateway.
+	for _, gw := range c.Gateways {
+		n.StartRIP(gw)
+	}
+
+	if cfg.InjectFaults {
+		c.injectFaults(csSeg, csGW, csHosts, mask)
+	}
+
+	// --- Dynamics ---------------------------------------------------------
+	// (Faults are planted first so the liveness model can leave the
+	// permanently-removed host alone.)
+	if cfg.Chatter {
+		// Chattiness mix tuned for the paper's ARPwatch curve: most hosts
+		// talk every 15-60 minutes, so half an hour of watching catches
+		// well over half of them; every tenth machine is nearly silent
+		// (and usually off — see liveness below), so even a full day
+		// misses a few.
+		for i, h := range csHosts {
+			var mean time.Duration
+			if i%10 == 0 {
+				mean = 3*24*time.Hour + time.Duration(rng.Int63n(int64(48*time.Hour)))
+			} else {
+				mean = 15*time.Minute + time.Duration(rng.Int63n(int64(45*time.Minute)))
+			}
+			n.StartChatter(h, mean)
+		}
+		n.StartChatter(dnsNode, 30*time.Minute)
+	}
+	if cfg.Liveness {
+		// The planted problem machines stay out of the power-cycling
+		// model: the removed host's disappearance is its own event, and
+		// the others must be observable whenever a module looks, so the
+		// Table 8 ground truth is deterministic.
+		exempt := map[pkt.IP]bool{c.Faults.RemovedIP: true, c.Faults.DuplicateIP: true,
+			c.Faults.HardwareChangeIP: true, c.Faults.PromiscuousIP: true}
+		for _, ip := range c.Faults.WrongMaskIPs {
+			exempt[ip] = true
+		}
+		for i, h := range csHosts {
+			if exempt[h.Ifaces[0].IP] {
+				continue
+			}
+			base := 0.97
+			if i%10 == 0 { // the quiet machines are almost never switched on
+				base = 0.08
+			}
+			startDiurnalLiveness(n, h, base)
+		}
+	}
+	return c
+}
+
+// buildDepartments creates the non-CS wires, gateways, hosts and DNS data.
+func (c *Campus) buildDepartments(liveDeptSubnets []pkt.Subnet, backboneSeg *netsim.Segment,
+	fwd, rev *dnssim.Zone, addDNS func(string, pkt.IP), namedGWs *int) {
+	cfg := c.Cfg
+	n := c.Net
+	rng := n.Sched.Rand()
+	mask := pkt.MaskBits(24)
+
+	// DNS coverage plan: the first (DNSSubnets-2) department subnets are
+	// name-served (CS and backbone are already counted).
+	dnsDeptBudget := cfg.DNSSubnets - 2
+
+	// Group departments under gateways: sizes cycle 1,2,3,2 (average 2).
+	sizes := []int{1, 2, 3, 2}
+	var groups [][]pkt.Subnet
+	for i := 0; i < len(liveDeptSubnets); {
+		size := sizes[len(groups)%len(sizes)]
+		if i+size > len(liveDeptSubnets) {
+			size = len(liveDeptSubnets) - i
+		}
+		groups = append(groups, liveDeptSubnets[i:i+size])
+		i += size
+	}
+
+	// Silent-gateway plan: hide subnets from traceroute until the quota is
+	// met, choosing groups from the end (arbitrary but deterministic).
+	silentQuota := cfg.SilentSubnets
+	silentGroup := map[int]bool{}
+	for gi := len(groups) - 1; gi >= 0 && silentQuota > 0; gi-- {
+		if len(groups[gi]) <= silentQuota {
+			silentGroup[gi] = true
+			silentQuota -= len(groups[gi])
+		}
+	}
+
+	// Named-gateway plan: name gateways (beyond cs-gw) until both the
+	// gateway count and the covered-subnet target are satisfied.
+	ttlBugsLeft := cfg.TTLEchoBugGateways
+
+	for gi, group := range groups {
+		gw := n.NewNode(fmt.Sprintf("gw%03d", gi))
+		gw.IsRouter = true
+		gw.RespondsMask = true
+		bbIP := c.Backbone.Addr + pkt.IP(10+gi)
+		gw.AddIface(backboneSeg, bbIP, mask)
+		if silentGroup[gi] {
+			gw.SilentICMPErrors = true
+		} else if ttlBugsLeft > 0 {
+			gw.TTLEchoBug = true
+			ttlBugsLeft--
+		}
+		// Name this gateway in the DNS if doing so keeps us within both
+		// paper targets (31 named gateways, 48 covered subnets). Only the
+		// one- and two-subnet gateways get names, which is what makes the
+		// two targets simultaneously reachable (31 × ~1.5 ≈ 46 + CS +
+		// backbone).
+		named := false
+		if *namedGWs < cfg.NamedGateways && len(group) <= 2 &&
+			len(c.NamedGWSubnet)+len(group) <= cfg.NamedGatewaySubnetTarget {
+			named = true
+			*namedGWs++
+		}
+		if named {
+			addDNS(fmt.Sprintf("dept%03d-gw.colorado.edu", gi), bbIP)
+		}
+		for _, sn := range group {
+			seg := n.NewSegment(fmt.Sprintf("dept-%s", sn.Addr), sn)
+			ifc := gw.AddIface(seg, sn.FirstHost(), mask)
+			c.GatewayOf[sn.Addr] = ifc.IP
+			if silentGroup[gi] {
+				c.SilentBehind[sn.Addr] = true
+			}
+			if named {
+				addDNS(fmt.Sprintf("dept%03d-gw.colorado.edu", gi), ifc.IP)
+				c.NamedGWSubnet[sn.Addr] = true
+			}
+			// Hosts.
+			nhosts := cfg.DeptHostsMin
+			if cfg.DeptHostsMax > cfg.DeptHostsMin {
+				nhosts += rng.Intn(cfg.DeptHostsMax - cfg.DeptHostsMin + 1)
+			}
+			inDNS := dnsDeptBudget > 0
+			if inDNS {
+				dnsDeptBudget--
+				c.DNSListed[sn.Addr] = true
+			}
+			_, _, third, _ := sn.Addr.Octets()
+			for h := 0; h < nhosts; h++ {
+				host := n.NewNode(fmt.Sprintf("d%03d-h%d", third, h))
+				ip := sn.Addr + pkt.IP(10+h)
+				host.AddIface(seg, ip, mask)
+				host.RespondsMask = rng.Float64() < 0.35
+				_ = host.AddDefaultRoute(ifc.IP)
+				if inDNS {
+					addDNS(fmt.Sprintf("h%d.dept%03d.colorado.edu", h, third), ip)
+				}
+			}
+		}
+		c.Gateways = append(c.Gateways, gw)
+	}
+	_ = fwd
+	_ = rev
+}
+
+// diurnalFactor scales availability by hour of day: 1993 workstations were
+// mostly on during working hours and often off overnight.
+func diurnalFactor(hour int) float64 {
+	switch {
+	case hour >= 9 && hour <= 17:
+		return 1.0
+	case hour >= 18 && hour <= 22:
+		return 0.9
+	case hour >= 6 && hour <= 8:
+		return 0.85
+	default: // 23:00–05:00
+		return 0.75
+	}
+}
+
+// startDiurnalLiveness toggles a host's power state every few hours: a
+// machine that is off at 4 a.m. stays off for the whole sweep (which is
+// why the paper's SeqPing pass and its one retry both miss it), rather
+// than flapping minute to minute.
+func startDiurnalLiveness(n *netsim.Network, nd *netsim.Node, base float64) {
+	n.Sched.Spawn("liveness:"+nd.Name, func(p *sim.Proc) {
+		// Desynchronize state transitions across hosts.
+		p.Sleep(time.Duration(n.Sched.Rand().Int63n(int64(3 * time.Hour))))
+		for {
+			f := diurnalFactor(p.WallNow().Hour())
+			nd.SetUp(n.Sched.Rand().Float64() < base*f)
+			jitter := time.Duration(n.Sched.Rand().Int63n(int64(time.Hour)))
+			p.Sleep(150*time.Minute + jitter)
+		}
+	})
+}
+
+// injectFaults plants the Table 8 problem population on the CS wire. The
+// victims are spread proportionally across the host population so the
+// injection works at any department size (≥ 8 hosts).
+func (c *Campus) injectFaults(csSeg *netsim.Segment, csGW *netsim.Node, csHosts []*netsim.Node, mask pkt.Mask) {
+	n := c.Net
+	if len(csHosts) < 8 {
+		panic("campus: fault injection needs at least 8 department hosts")
+	}
+	pick := func(eighths int) *netsim.Node {
+		return csHosts[len(csHosts)*eighths/8]
+	}
+
+	// Duplicate address assignment: a second machine configured with an
+	// existing host's address.
+	victim := pick(1)
+	dup := n.NewNode("dup-intruder")
+	dup.AddIface(csSeg, victim.Ifaces[0].IP, mask)
+	_ = dup.AddDefaultRoute(c.GatewayOf[c.CSSubnet.Addr])
+	c.Faults.DuplicateIP = victim.Ifaces[0].IP
+
+	// Hardware change: a host's interface board is replaced mid-run.
+	hw := pick(2)
+	c.Faults.HardwareChangeIP = hw.Ifaces[0].IP
+	c.Faults.HardwareChangeAt = 26 * time.Hour
+	n.Sched.At(c.Faults.HardwareChangeAt, func() {
+		hw.SetMAC(hw.Ifaces[0], pkt.MAC{0x08, 0x00, 0x20, 0xee, 0xee, 0x01})
+	})
+
+	// Inconsistent network masks: two hosts claim /16 on the /24 wire.
+	base := len(csHosts) * 3 / 8
+	for _, i := range []int{base, base + 1} {
+		csHosts[i].RespondsMask = true
+		csHosts[i].MaskReplyValue = pkt.MaskBits(16)
+		c.Faults.WrongMaskIPs = append(c.Faults.WrongMaskIPs, csHosts[i].Ifaces[0].IP)
+	}
+
+	// Promiscuous RIP host.
+	bad := pick(5)
+	n.StartPromiscuousRIP(bad, 45*time.Second)
+	c.Faults.PromiscuousIP = bad.Ifaces[0].IP
+
+	// A host removed from the network without telling anyone.
+	gone := pick(6)
+	c.Faults.RemovedIP = gone.Ifaces[0].IP
+	c.Faults.RemovedAt = 24 * time.Hour
+	n.Sched.At(c.Faults.RemovedAt, func() { gone.SetUp(false) })
+
+	// A proxy-ARP device: the gateway answers for three addresses of
+	// dial-up machines "on" the wire.
+	for i := 0; i < 3; i++ {
+		ip := c.CSSubnet.Addr + pkt.IP(200+i)
+		csGW.ProxyARPFor = append(csGW.ProxyARPFor, pkt.Subnet{Addr: ip, Mask: pkt.MaskBits(32)})
+		c.Faults.ProxyARPRange = append(c.Faults.ProxyARPRange, ip)
+	}
+}

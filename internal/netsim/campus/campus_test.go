@@ -1,0 +1,177 @@
+package campus
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+func TestBuildCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	c := Build(cfg)
+	if got := len(c.Assigned); got != cfg.AssignedSubnets {
+		t.Errorf("assigned subnets = %d, want %d", got, cfg.AssignedSubnets)
+	}
+	if got := len(c.Live); got != cfg.LiveSubnets {
+		t.Errorf("live subnets = %d, want %d", got, cfg.LiveSubnets)
+	}
+	dns := 0
+	for range c.DNSListed {
+		dns++
+	}
+	if dns != cfg.DNSSubnets {
+		t.Errorf("DNS-listed subnets = %d, want %d", dns, cfg.DNSSubnets)
+	}
+	silent := 0
+	for range c.SilentBehind {
+		silent++
+	}
+	if silent != cfg.SilentSubnets {
+		t.Errorf("silent subnets = %d, want %d", silent, cfg.SilentSubnets)
+	}
+	if c.CSRealCount != 54 {
+		t.Errorf("CS real machines = %d, want 54", c.CSRealCount)
+	}
+	if c.CSDNSCount != 56 {
+		t.Errorf("CS DNS entries = %d, want 56", c.CSDNSCount)
+	}
+	named := 0
+	for addr := range c.NamedGWSubnet {
+		_ = addr
+		named++
+	}
+	// "31 gateways connecting 48 of those subnets": allow a small slack
+	// on coverage, which depends on group-size packing.
+	if named < 44 || named > cfg.NamedGatewaySubnetTarget {
+		t.Errorf("named-gateway subnets = %d, want ≈%d", named, cfg.NamedGatewaySubnetTarget)
+	}
+	if len(c.Gateways) < 40 {
+		t.Errorf("gateways = %d, want ~55", len(c.Gateways))
+	}
+	t.Logf("campus: %d gateways, %d named-gateway subnets, %d nodes",
+		len(c.Gateways), named, len(c.Net.Nodes))
+}
+
+func TestEndToEndReachability(t *testing.T) {
+	// Fremont must be able to ping a host on a distant, healthy subnet.
+	cfg := DefaultConfig()
+	cfg.Chatter = false
+	cfg.Liveness = false
+	c := Build(cfg)
+	// Find a live dept subnet that is not silent and has a host at .10.
+	var target pkt.IP
+	for _, sn := range c.Live {
+		if sn.Addr == c.Backbone.Addr || sn.Addr == c.CSSubnet.Addr || c.SilentBehind[sn.Addr] {
+			continue
+		}
+		if c.Net.IfaceByIP(sn.Addr+10) != nil {
+			target = sn.Addr + 10
+			break
+		}
+	}
+	if target.IsZero() {
+		t.Fatal("no target host found")
+	}
+	icmp := c.Fremont.OpenICMP()
+	var ok bool
+	c.Net.Sched.Spawn("ping", func(p *sim.Proc) {
+		msg := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 1, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: target, TTL: 30}
+		if err := c.Fremont.SendIP(h, msg.Encode()); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			ev, rok := icmp.Recv(p, 10*time.Second)
+			if !rok {
+				return
+			}
+			if ev.Msg.Type == pkt.ICMPEchoReply && ev.From == target {
+				ok = true
+				return
+			}
+		}
+	})
+	c.Net.Run(time.Minute)
+	if !ok {
+		t.Fatalf("no echo reply from distant host %s", target)
+	}
+}
+
+func TestDepartmentBuildIsSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	c := BuildDepartment(cfg)
+	if len(c.Net.Nodes) > 80 {
+		t.Fatalf("department build has %d nodes; should be CS wire only", len(c.Net.Nodes))
+	}
+	if c.CSRealCount != 54 {
+		t.Fatalf("CS real machines = %d, want 54", c.CSRealCount)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InjectFaults = true
+	cfg.Chatter = false
+	cfg.Liveness = false
+	c := BuildDepartment(cfg)
+	f := c.Faults
+	if f.DuplicateIP.IsZero() || f.HardwareChangeIP.IsZero() || f.PromiscuousIP.IsZero() ||
+		f.RemovedIP.IsZero() || len(f.WrongMaskIPs) != 2 || len(f.ProxyARPRange) != 3 {
+		t.Fatalf("faults incomplete: %+v", f)
+	}
+	// The removed host goes down at the configured time.
+	var gone bool
+	c.Net.Sched.At(f.RemovedAt+time.Minute, func() {
+		gone = c.Net.IfaceByIP(f.RemovedIP) != nil && !c.Net.IfaceByIP(f.RemovedIP).Node.Up
+	})
+	end := f.RemovedAt
+	if f.HardwareChangeAt > end {
+		end = f.HardwareChangeAt
+	}
+	c.Net.Run(end + 2*time.Minute)
+	if !gone {
+		t.Fatal("removed host still up after RemovedAt")
+	}
+	// The hardware-change host has a new MAC after HardwareChangeAt.
+	ifc := c.Net.IfaceByIP(f.HardwareChangeIP)
+	if ifc.MAC != (pkt.MAC{0x08, 0x00, 0x20, 0xee, 0xee, 0x01}) {
+		t.Fatalf("hardware change not applied: %s", ifc.MAC)
+	}
+}
+
+func TestDiurnalFactorShape(t *testing.T) {
+	if diurnalFactor(12) != 1.0 {
+		t.Error("midday factor should be 1.0")
+	}
+	if diurnalFactor(3) >= diurnalFactor(12) {
+		t.Error("night factor should be below midday")
+	}
+	for h := 0; h < 24; h++ {
+		f := diurnalFactor(h)
+		if f <= 0 || f > 1 {
+			t.Errorf("hour %d: factor %f out of range", h, f)
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a := Build(DefaultConfig())
+	b := Build(DefaultConfig())
+	if len(a.Net.Nodes) != len(b.Net.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Net.Nodes), len(b.Net.Nodes))
+	}
+	for i := range a.Net.Nodes {
+		na, nb := a.Net.Nodes[i], b.Net.Nodes[i]
+		if na.Name != nb.Name || len(na.Ifaces) != len(nb.Ifaces) {
+			t.Fatalf("node %d differs: %s vs %s", i, na.Name, nb.Name)
+		}
+		for k := range na.Ifaces {
+			if na.Ifaces[k].IP != nb.Ifaces[k].IP || na.Ifaces[k].MAC != nb.Ifaces[k].MAC {
+				t.Fatalf("iface %d of %s differs", k, na.Name)
+			}
+		}
+	}
+}

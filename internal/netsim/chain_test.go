@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// buildChain constructs src — R1 — R2 — ... — Rk — dst, with one /24 wire
+// between each pair, and consistent routes in both directions.
+func buildChain(t testing.TB, hops int, seed int64) (*Network, *Node, *Node) {
+	t.Helper()
+	n := New(seed)
+	mask := pkt.MaskBits(24)
+	subnetAddr := func(i int) pkt.IP { return pkt.IPv4(10, 1, byte(i), 0) }
+	segs := make([]*Segment, hops+1)
+	for i := 0; i <= hops; i++ {
+		segs[i] = n.NewSegment(fmt.Sprintf("wire%d", i),
+			pkt.SubnetOf(subnetAddr(i), mask))
+	}
+	src := n.NewNode("src")
+	src.AddIface(segs[0], subnetAddr(0)+10, mask)
+	_ = src.AddDefaultRoute(subnetAddr(0) + 1)
+	dst := n.NewNode("dst")
+	dst.AddIface(segs[hops], subnetAddr(hops)+10, mask)
+	_ = dst.AddDefaultRoute(subnetAddr(hops) + 2)
+
+	for i := 1; i <= hops; i++ {
+		r := n.NewNode(fmt.Sprintf("r%d", i))
+		r.IsRouter = true
+		r.AddIface(segs[i-1], subnetAddr(i-1)+1, mask) // left wire, .1
+		r.AddIface(segs[i], subnetAddr(i)+2, mask)     // right wire, .2
+		// Forward routes (everything to the right goes right, etc.).
+		for j := 0; j <= hops; j++ {
+			sn := pkt.SubnetOf(subnetAddr(j), mask)
+			switch {
+			case j < i-1:
+				_ = r.AddRoute(sn, subnetAddr(i-1)+2) // previous router's right iface
+			case j > i:
+				_ = r.AddRoute(sn, subnetAddr(i)+1) // next router's left iface
+			}
+		}
+	}
+	return n, src, dst
+}
+
+func TestPingAcrossChains(t *testing.T) {
+	for hops := 1; hops <= 6; hops++ {
+		n, src, dst := buildChain(t, hops, int64(500+hops))
+		icmp := src.OpenICMP()
+		var ok bool
+		var replyFrom pkt.IP
+		n.Sched.Spawn("ping", func(p *sim.Proc) {
+			m := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: uint16(hops), Seq: 1}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: dst.Ifaces[0].IP, TTL: 30}
+			if err := src.SendIP(h, m.Encode()); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				ev, rok := icmp.Recv(p, 10*time.Second)
+				if !rok {
+					return
+				}
+				if ev.Msg.Type == pkt.ICMPEchoReply {
+					ok = true
+					replyFrom = ev.From
+					return
+				}
+			}
+		})
+		n.Run(30 * time.Second)
+		if !ok {
+			t.Fatalf("hops=%d: no echo reply", hops)
+		}
+		if replyFrom != dst.Ifaces[0].IP {
+			t.Fatalf("hops=%d: reply from %s", hops, replyFrom)
+		}
+	}
+}
+
+func TestTTLExpiresAtEveryHop(t *testing.T) {
+	// A classic traceroute ladder over a 4-router chain: TTL k must expire
+	// at router k, and the error must come from that router's NEAR-side
+	// interface.
+	const hops = 4
+	n, src, dst := buildChain(t, hops, 510)
+	conn, err := src.OpenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icmp := src.OpenICMP()
+	froms := map[int]pkt.IP{}
+	n.Sched.Spawn("trace", func(p *sim.Proc) {
+		for ttl := 1; ttl <= hops; ttl++ {
+			if err := conn.SendTTL(dst.Ifaces[0].IP, 33434, []byte("x"), byte(ttl)); err != nil {
+				t.Error(err)
+				return
+			}
+			ev, ok := icmp.Recv(p, 10*time.Second)
+			if !ok {
+				t.Errorf("ttl=%d: no reply", ttl)
+				return
+			}
+			if ev.Msg.Type != pkt.ICMPTimeExceeded {
+				t.Errorf("ttl=%d: type %d", ttl, ev.Msg.Type)
+				return
+			}
+			froms[ttl] = ev.From
+		}
+	})
+	n.Run(2 * time.Minute)
+	for ttl := 1; ttl <= hops; ttl++ {
+		want := pkt.IPv4(10, 1, byte(ttl-1), 1) // router ttl's left iface
+		if froms[ttl] != want {
+			t.Errorf("ttl=%d: time exceeded from %s, want %s", ttl, froms[ttl], want)
+		}
+	}
+}
+
+func TestTTLExactlyReachesDestination(t *testing.T) {
+	// A probe with TTL exactly equal to the hop count must arrive (TTL
+	// reaches 1 at the final router, which forwards onto the destination
+	// wire before decrementing to 0 would apply).
+	const hops = 3
+	n, src, dst := buildChain(t, hops, 511)
+	conn, _ := src.OpenUDP(0)
+	icmp := src.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("probe", func(p *sim.Proc) {
+		_ = conn.SendTTL(dst.Ifaces[0].IP, 33434, []byte("x"), byte(hops+1))
+		got, ok = icmp.Recv(p, 10*time.Second)
+	})
+	n.Run(time.Minute)
+	if !ok {
+		t.Fatal("no reply")
+	}
+	if got.Msg.Type != pkt.ICMPUnreachable || got.Msg.Code != pkt.UnreachPort {
+		t.Fatalf("got type=%d code=%d", got.Msg.Type, got.Msg.Code)
+	}
+	if got.From != dst.Ifaces[0].IP {
+		t.Fatalf("unreachable from %s", got.From)
+	}
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// ErrNotPrivileged is returned by OpenTap without the privilege flag; the
+// paper's NIT-based modules "must be run with system privileges".
+var ErrNotPrivileged = errors.New("netsim: opening a tap requires privileges")
+
+// ICMPEvent is one ICMP message delivered to the node, with its outer IP
+// context (the Traceroute module needs the error sender's address and the
+// arriving TTL).
+type ICMPEvent struct {
+	From pkt.IP
+	To   pkt.IP
+	TTL  byte
+	Msg  *pkt.ICMPMessage
+	At   time.Time
+}
+
+// ICMPConn is a raw-ICMP socket: it observes every ICMP message the node
+// receives.
+type ICMPConn struct {
+	node   *Node
+	mb     *sim.Mailbox[ICMPEvent]
+	closed bool
+}
+
+// OpenICMP opens a raw ICMP socket on the node.
+func (nd *Node) OpenICMP() *ICMPConn {
+	c := &ICMPConn{node: nd, mb: sim.NewBoundedMailbox[ICMPEvent](nd.net.Sched, 512)}
+	nd.icmpConns = append(nd.icmpConns, c)
+	return c
+}
+
+// Recv blocks until an ICMP message arrives or timeout elapses (negative
+// blocks forever).
+func (c *ICMPConn) Recv(p *sim.Proc, timeout time.Duration) (ICMPEvent, bool) {
+	return c.mb.Get(p, timeout)
+}
+
+// TryRecv returns a queued message without blocking.
+func (c *ICMPConn) TryRecv() (ICMPEvent, bool) { return c.mb.TryGet() }
+
+// Close releases the socket.
+func (c *ICMPConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	conns := c.node.icmpConns[:0]
+	for _, other := range c.node.icmpConns {
+		if other != c {
+			conns = append(conns, other)
+		}
+	}
+	c.node.icmpConns = conns
+}
+
+// UDPEvent is one datagram delivered to a UDP socket.
+type UDPEvent struct {
+	Src     pkt.IP
+	SrcPort uint16
+	Dst     pkt.IP
+	Payload []byte
+	At      time.Time
+}
+
+// UDPConn is a bound UDP socket.
+type UDPConn struct {
+	node   *Node
+	Port   uint16
+	mb     *sim.Mailbox[UDPEvent]
+	closed bool
+}
+
+// OpenUDP binds a UDP socket. Port zero picks an ephemeral port.
+func (nd *Node) OpenUDP(port uint16) (*UDPConn, error) {
+	if port == 0 {
+		for {
+			nd.ephemeral++
+			port = 32768 + nd.ephemeral%16384
+			if len(nd.udpListeners[port]) == 0 {
+				if _, taken := nd.udpHandlers[port]; !taken {
+					break
+				}
+			}
+		}
+	}
+	if _, taken := nd.udpHandlers[port]; taken {
+		return nil, fmt.Errorf("netsim: %s: udp port %d has a service handler", nd.Name, port)
+	}
+	c := &UDPConn{node: nd, Port: port, mb: sim.NewBoundedMailbox[UDPEvent](nd.net.Sched, 1024)}
+	nd.udpListeners[port] = append(nd.udpListeners[port], c)
+	return c, nil
+}
+
+// RegisterUDPService installs a protocol handler (e.g. the DNS server) on
+// a well-known port.
+func (nd *Node) RegisterUDPService(port uint16, h UDPHandler) {
+	nd.udpHandlers[port] = h
+}
+
+// Send transmits a datagram from this socket with the default TTL.
+func (c *UDPConn) Send(dst pkt.IP, dport uint16, payload []byte) error {
+	return c.SendTTL(dst, dport, payload, 30)
+}
+
+// SendTTL transmits with an explicit TTL (the traceroute primitive).
+func (c *UDPConn) SendTTL(dst pkt.IP, dport uint16, payload []byte, ttl byte) error {
+	nd := c.node
+	r, ok := nd.lookupRoute(dst)
+	var src pkt.IP
+	if ok {
+		src = r.Iface.IP
+	} else if len(nd.Ifaces) > 0 {
+		src = nd.Ifaces[0].IP
+	} else {
+		return ErrNoRoute
+	}
+	u := &pkt.UDPPacket{SrcPort: c.Port, DstPort: dport, Payload: payload}
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: src, Dst: dst, TTL: ttl}
+	return nd.SendIP(h, u.Encode(src, dst))
+}
+
+// Recv blocks until a datagram arrives or timeout elapses (negative blocks
+// forever).
+func (c *UDPConn) Recv(p *sim.Proc, timeout time.Duration) (UDPEvent, bool) {
+	return c.mb.Get(p, timeout)
+}
+
+// TryRecv returns a queued datagram without blocking.
+func (c *UDPConn) TryRecv() (UDPEvent, bool) { return c.mb.TryGet() }
+
+// Close releases the socket.
+func (c *UDPConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	nd := c.node
+	conns := nd.udpListeners[c.Port][:0]
+	for _, other := range nd.udpListeners[c.Port] {
+		if other != c {
+			conns = append(conns, other)
+		}
+	}
+	if len(conns) == 0 {
+		delete(nd.udpListeners, c.Port)
+	} else {
+		nd.udpListeners[c.Port] = conns
+	}
+}
+
+// OpenTap opens a promiscuous raw-frame tap on the segment attached to
+// ifc, with an optional filter. privileged must be true (modules using the
+// NIT "must be run with system privileges").
+func (nd *Node) OpenTap(ifc *Iface, privileged bool, filter func(raw []byte) bool) (*Tap, error) {
+	if !privileged {
+		return nil, ErrNotPrivileged
+	}
+	t := &Tap{seg: ifc.Seg, mb: sim.NewBoundedMailbox[[]byte](nd.net.Sched, 4096), Filter: filter}
+	ifc.Seg.taps = append(ifc.Seg.taps, t)
+	return t, nil
+}

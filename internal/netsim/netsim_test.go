@@ -1,0 +1,749 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+func mustIP(t testing.TB, s string) pkt.IP {
+	t.Helper()
+	ip, err := pkt.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}
+
+func mustSubnet(t testing.TB, s string) pkt.Subnet {
+	t.Helper()
+	sn, err := pkt.ParseSubnet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}
+
+// twoSubnetNet builds: hostA on 10.1.1.0/24, router R between it and
+// 10.1.2.0/24, hostB on the second wire.
+func twoSubnetNet(t testing.TB, seed int64) (*Network, *Node, *Node, *Node) {
+	n := New(seed)
+	segA := n.NewSegment("segA", mustSubnet(t, "10.1.1.0/24"))
+	segB := n.NewSegment("segB", mustSubnet(t, "10.1.2.0/24"))
+
+	a := n.NewNode("hostA")
+	a.AddIface(segA, mustIP(t, "10.1.1.10"), pkt.MaskBits(24))
+	_ = a.AddDefaultRoute(mustIP(t, "10.1.1.1"))
+
+	r := n.NewNode("router")
+	r.IsRouter = true
+	r.AddIface(segA, mustIP(t, "10.1.1.1"), pkt.MaskBits(24))
+	r.AddIface(segB, mustIP(t, "10.1.2.1"), pkt.MaskBits(24))
+
+	b := n.NewNode("hostB")
+	b.AddIface(segB, mustIP(t, "10.1.2.20"), pkt.MaskBits(24))
+	_ = b.AddDefaultRoute(mustIP(t, "10.1.2.1"))
+
+	return n, a, r, b
+}
+
+func TestARPResolutionAndDelivery(t *testing.T) {
+	n := New(1)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	b := n.NewNode("b")
+	b.AddIface(seg, mustIP(t, "10.0.0.2"), pkt.MaskBits(24))
+
+	conn, err := b.OpenUDP(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got UDPEvent
+	var ok bool
+	n.Sched.Spawn("recv", func(p *sim.Proc) {
+		got, ok = conn.Recv(p, 5*time.Second)
+	})
+
+	u := &pkt.UDPPacket{SrcPort: 4000, DstPort: 5000, Payload: []byte("hi")}
+	src, dst := mustIP(t, "10.0.0.1"), mustIP(t, "10.0.0.2")
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: src, Dst: dst, TTL: 30}
+	if err := a.SendIP(h, u.Encode(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * time.Second)
+
+	if !ok {
+		t.Fatal("datagram not delivered")
+	}
+	if string(got.Payload) != "hi" || got.Src != src || got.SrcPort != 4000 {
+		t.Fatalf("got %+v", got)
+	}
+	// Sender must now have an ARP entry for the peer, and vice versa.
+	if len(a.ARPTable()) == 0 {
+		t.Fatal("sender ARP table empty after exchange")
+	}
+	found := false
+	for _, e := range a.ARPTable() {
+		if e.IP == dst {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sender did not cache peer's ARP mapping")
+	}
+}
+
+func TestPingAcrossRouter(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 2)
+	icmp := a.OpenICMP()
+	var reply ICMPEvent
+	var ok bool
+	n.Sched.Spawn("pinger", func(p *sim.Proc) {
+		msg := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 7, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: b.Ifaces[0].IP, TTL: 30}
+		if err := a.SendIP(h, msg.Encode()); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			reply, ok = icmp.Recv(p, 5*time.Second)
+			if !ok || reply.Msg.Type == pkt.ICMPEchoReply {
+				return
+			}
+		}
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no echo reply across router")
+	}
+	if reply.From != b.Ifaces[0].IP || reply.Msg.ID != 7 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestTTLExpiryGeneratesTimeExceeded(t *testing.T) {
+	n, a, r, b := twoSubnetNet(t, 3)
+	conn, err := a.OpenUDP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("tracer", func(p *sim.Proc) {
+		if err := conn.SendTTL(b.Ifaces[0].IP, 33434, []byte("probe"), 1); err != nil {
+			t.Error(err)
+			return
+		}
+		got, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no ICMP received for TTL-1 probe")
+	}
+	if got.Msg.Type != pkt.ICMPTimeExceeded {
+		t.Fatalf("got ICMP type %d, want time exceeded", got.Msg.Type)
+	}
+	if got.From != r.Ifaces[0].IP {
+		t.Fatalf("time exceeded from %s, want router %s", got.From, r.Ifaces[0].IP)
+	}
+	// The quoted original must identify our probe.
+	inner, err := pkt.DecodeIPv4Header(got.Msg.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Dst != b.Ifaces[0].IP {
+		t.Fatalf("quoted dst = %s", inner.Dst)
+	}
+}
+
+func TestPortUnreachableAtDestination(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 4)
+	conn, _ := a.OpenUDP(0)
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("tracer", func(p *sim.Proc) {
+		_ = conn.SendTTL(b.Ifaces[0].IP, 33434, []byte("probe"), 30)
+		got, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no ICMP for high-port probe")
+	}
+	if got.Msg.Type != pkt.ICMPUnreachable || got.Msg.Code != pkt.UnreachPort {
+		t.Fatalf("got type=%d code=%d, want port unreachable", got.Msg.Type, got.Msg.Code)
+	}
+	if got.From != b.Ifaces[0].IP {
+		t.Fatalf("unreachable from %s, want destination %s", got.From, b.Ifaces[0].IP)
+	}
+}
+
+func TestUDPEchoService(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 5)
+	b.UDPEchoEnabled = true
+	conn, _ := a.OpenUDP(0)
+	var got UDPEvent
+	var ok bool
+	n.Sched.Spawn("prober", func(p *sim.Proc) {
+		_ = conn.Send(b.Ifaces[0].IP, pkt.PortEcho, []byte("echo me"))
+		got, ok = conn.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no UDP echo reply")
+	}
+	if string(got.Payload) != "echo me" || got.Src != b.Ifaces[0].IP {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMaskReply(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 6)
+	b.RespondsMask = true
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("masker", func(p *sim.Proc) {
+		m := &pkt.ICMPMessage{Type: pkt.ICMPMaskRequest, ID: 1, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: b.Ifaces[0].IP, TTL: 30}
+		_ = a.SendIP(h, m.Encode())
+		for {
+			got, ok = icmp.Recv(p, 5*time.Second)
+			if !ok || got.Msg.Type == pkt.ICMPMaskReply {
+				return
+			}
+		}
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no mask reply")
+	}
+	if got.Msg.Mask != pkt.MaskBits(24) {
+		t.Fatalf("mask = %s, want /24", got.Msg.Mask)
+	}
+}
+
+func TestMaskReplyDisabledByDefault(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 7)
+	if b.RespondsMask {
+		t.Fatal("RespondsMask should default to false (paper: not widely implemented)")
+	}
+	icmp := a.OpenICMP()
+	var ok bool
+	n.Sched.Spawn("masker", func(p *sim.Proc) {
+		m := &pkt.ICMPMessage{Type: pkt.ICMPMaskRequest, ID: 1, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: b.Ifaces[0].IP, TTL: 30}
+		_ = a.SendIP(h, m.Encode())
+		_, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if ok {
+		t.Fatal("got a mask reply from a host that should not send one")
+	}
+}
+
+func TestWrongMaskReply(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 8)
+	b.RespondsMask = true
+	b.MaskReplyValue = pkt.MaskBits(16) // misconfigured host
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	n.Sched.Spawn("masker", func(p *sim.Proc) {
+		m := &pkt.ICMPMessage{Type: pkt.ICMPMaskRequest, ID: 1, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: b.Ifaces[0].IP, TTL: 30}
+		_ = a.SendIP(h, m.Encode())
+		got, _ = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if got.Msg == nil || got.Msg.Mask != pkt.MaskBits(16) {
+		t.Fatalf("expected the wrong /16 mask to be reported, got %+v", got.Msg)
+	}
+}
+
+func TestDownHostDoesNotRespond(t *testing.T) {
+	n, a, _, b := twoSubnetNet(t, 9)
+	b.SetUp(false)
+	icmp := a.OpenICMP()
+	var ok bool
+	n.Sched.Spawn("pinger", func(p *sim.Proc) {
+		m := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 1, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: b.Ifaces[0].IP, TTL: 30}
+		_ = a.SendIP(h, m.Encode())
+		_, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if ok {
+		t.Fatal("down host responded to ping")
+	}
+}
+
+func TestHostZeroTreatedAsSelf(t *testing.T) {
+	// The traceroute trick: a UDP probe to host zero of the destination
+	// subnet draws a port-unreachable from some host there.
+	n, a, _, _ := twoSubnetNet(t, 10)
+	conn, _ := a.OpenUDP(0)
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("tracer", func(p *sim.Proc) {
+		_ = conn.SendTTL(mustIP(t, "10.1.2.0"), 33434, []byte("probe"), 30)
+		got, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("no reply to host-zero probe")
+	}
+	if got.Msg.Type != pkt.ICMPUnreachable {
+		t.Fatalf("got type %d", got.Msg.Type)
+	}
+}
+
+func TestDirectedBroadcastPolicy(t *testing.T) {
+	// With forwarding enabled, a remote directed-broadcast ping reaches
+	// hosts behind the gateway; with it disabled (the default), only the
+	// gateway itself — a member of the target subnet — answers.
+	for _, forwards := range []bool{true, false} {
+		n, a, r, b := twoSubnetNet(t, 11)
+		r.ForwardsDirectedBcast = forwards
+		icmp := a.OpenICMP()
+		replies := map[pkt.IP]bool{}
+		n.Sched.Spawn("bping", func(p *sim.Proc) {
+			m := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 9, Seq: 1}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: mustIP(t, "10.1.2.255"), TTL: 5}
+			_ = a.SendIP(h, m.Encode())
+			for {
+				ev, rok := icmp.Recv(p, 5*time.Second)
+				if !rok {
+					return
+				}
+				if ev.Msg.Type == pkt.ICMPEchoReply {
+					replies[ev.From] = true
+				}
+			}
+		})
+		n.Run(15 * time.Second)
+		if got := replies[b.Ifaces[0].IP]; got != forwards {
+			t.Fatalf("forwards=%v but host-behind-gateway reply=%v (replies=%v)", forwards, got, replies)
+		}
+		if !replies[r.Ifaces[1].IP] {
+			t.Fatalf("gateway (member of target subnet) did not reply; replies=%v", replies)
+		}
+	}
+}
+
+func TestSilentRouterDropsExpired(t *testing.T) {
+	n, a, r, b := twoSubnetNet(t, 12)
+	r.NoTimeExceeded = true
+	conn, _ := a.OpenUDP(0)
+	icmp := a.OpenICMP()
+	var ok bool
+	n.Sched.Spawn("tracer", func(p *sim.Proc) {
+		_ = conn.SendTTL(b.Ifaces[0].IP, 33434, []byte("probe"), 1)
+		_, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if ok {
+		t.Fatal("silent router sent a time exceeded")
+	}
+}
+
+func TestTTLEchoBugDelaysError(t *testing.T) {
+	// A TTL-1 probe to a buggy router yields a time-exceeded that is sent
+	// with TTL 1 — it reaches an adjacent prober, but would die further
+	// out. Verify the arriving TTL is 1 (instead of a sane 30).
+	n, a, r, b := twoSubnetNet(t, 13)
+	r.TTLEchoBug = true
+	conn, _ := a.OpenUDP(0)
+	icmp := a.OpenICMP()
+	var got ICMPEvent
+	var ok bool
+	n.Sched.Spawn("tracer", func(p *sim.Proc) {
+		_ = conn.SendTTL(b.Ifaces[0].IP, 33434, []byte("probe"), 1)
+		got, ok = icmp.Recv(p, 5*time.Second)
+	})
+	n.Run(10 * time.Second)
+	if !ok {
+		t.Fatal("adjacent prober should still get the buggy reply")
+	}
+	if got.TTL != 1 {
+		t.Fatalf("reply TTL = %d, want 1 (echoed from probe)", got.TTL)
+	}
+}
+
+func TestProxyARP(t *testing.T) {
+	n := New(14)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	gw := n.NewNode("gw")
+	gw.IsRouter = true
+	gwIfc := gw.AddIface(seg, mustIP(t, "10.0.0.254"), pkt.MaskBits(24))
+	// The gateway proxies for 10.0.0.128/25 hosts "behind" it.
+	gw.ProxyARPFor = []pkt.Subnet{mustSubnet(t, "10.0.0.128/25")}
+
+	tap, err := a.OpenTap(a.Ifaces[0], true, func(raw []byte) bool {
+		f, err := pkt.DecodeFrame(raw)
+		return err == nil && f.EtherType == pkt.EtherTypeARP
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replyMAC pkt.MAC
+	var sawReply bool
+	n.Sched.Spawn("watcher", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 5*time.Second)
+			if !ok {
+				return
+			}
+			f, _ := pkt.DecodeFrame(raw)
+			arp, err := pkt.DecodeARP(f.Payload)
+			if err == nil && arp.Op == pkt.ARPReply && arp.SenderIP == mustIP(t, "10.0.0.200") {
+				replyMAC = arp.SenderMAC
+				sawReply = true
+			}
+		}
+	})
+	// Trigger: host a ARPs for 10.0.0.200 (no such host on the wire).
+	n.Sched.After(time.Second, func() {
+		u := &pkt.UDPPacket{SrcPort: 1, DstPort: 2, Payload: nil}
+		dst := mustIP(t, "10.0.0.200")
+		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+		_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	})
+	n.Run(10 * time.Second)
+	if !sawReply {
+		t.Fatal("gateway did not proxy-ARP for covered address")
+	}
+	if replyMAC != gwIfc.MAC {
+		t.Fatalf("proxy reply MAC %s, want gateway %s", replyMAC, gwIfc.MAC)
+	}
+}
+
+func TestTapSeesARPTraffic(t *testing.T) {
+	n := New(15)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	var hosts []*Node
+	for i := 1; i <= 5; i++ {
+		h := n.NewNode(string(rune('a' + i)))
+		h.AddIface(seg, pkt.IPv4(10, 0, 0, byte(i)), pkt.MaskBits(24))
+		hosts = append(hosts, h)
+	}
+	watcher := n.NewNode("watcher")
+	watcher.AddIface(seg, mustIP(t, "10.0.0.100"), pkt.MaskBits(24))
+	if _, err := watcher.OpenTap(watcher.Ifaces[0], false, nil); err == nil {
+		t.Fatal("unprivileged tap open succeeded")
+	}
+	tap, err := watcher.OpenTap(watcher.Ifaces[0], true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[pkt.IP]bool{}
+	n.Sched.Spawn("arpwatch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 30*time.Second)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeARP {
+				continue
+			}
+			if a, err := pkt.DecodeARP(f.Payload); err == nil {
+				seen[a.SenderIP] = true
+			}
+		}
+	})
+	// Host 1 talks to hosts 2..5.
+	n.Sched.After(time.Second, func() {
+		for i := 2; i <= 5; i++ {
+			dst := pkt.IPv4(10, 0, 0, byte(i))
+			u := &pkt.UDPPacket{SrcPort: 1, DstPort: PortDiscard}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+			_ = hosts[0].SendIP(h, u.Encode(hosts[0].Ifaces[0].IP, dst))
+		}
+	})
+	n.Run(20 * time.Second)
+	for i := 1; i <= 5; i++ {
+		if !seen[pkt.IPv4(10, 0, 0, byte(i))] {
+			t.Fatalf("tap missed ARP activity from 10.0.0.%d (saw %v)", i, seen)
+		}
+	}
+}
+
+func TestBroadcastPingCollisions(t *testing.T) {
+	// 50 hosts answering a local broadcast ping within milliseconds must
+	// lose a meaningful fraction of replies to collisions — the Table 5
+	// behaviour — while a sequential sweep of the same hosts loses none.
+	n := New(16)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	prober := n.NewNode("prober")
+	prober.AddIface(seg, mustIP(t, "10.0.0.250"), pkt.MaskBits(24))
+	for i := 1; i <= 50; i++ {
+		h := n.NewNode(nodeName("h", i))
+		h.AddIface(seg, pkt.IPv4(10, 0, 0, byte(i)), pkt.MaskBits(24))
+	}
+	icmp := prober.OpenICMP()
+	replies := map[pkt.IP]bool{}
+	n.Sched.Spawn("bping", func(p *sim.Proc) {
+		m := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 42, Seq: 1}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: mustIP(t, "10.0.0.255"), TTL: 1}
+		_ = prober.SendIP(h, m.Encode())
+		for {
+			ev, ok := icmp.Recv(p, 10*time.Second)
+			if !ok {
+				return
+			}
+			if ev.Msg.Type == pkt.ICMPEchoReply {
+				replies[ev.From] = true
+			}
+		}
+	})
+	n.Run(30 * time.Second)
+	if len(replies) == 50 {
+		t.Fatal("broadcast ping lost no replies; collision model inert")
+	}
+	if len(replies) < 20 {
+		t.Fatalf("broadcast ping got only %d/50 replies; collision model too harsh", len(replies))
+	}
+	t.Logf("broadcast ping: %d/50 replies (collisions dropped %d frames)", len(replies), seg.Stats.Dropped)
+
+	// Sequential pings, spaced out: every host answers.
+	replies2 := map[pkt.IP]bool{}
+	n.Sched.Spawn("seqping", func(p *sim.Proc) {
+		for i := 1; i <= 50; i++ {
+			m := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 43, Seq: uint16(i)}
+			h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: pkt.IPv4(10, 0, 0, byte(i)), TTL: 30}
+			_ = prober.SendIP(h, m.Encode())
+			p.Sleep(2 * time.Second)
+		}
+	})
+	n.Sched.Spawn("seqcollect", func(p *sim.Proc) {
+		for {
+			ev, ok := icmp.Recv(p, 150*time.Second)
+			if !ok {
+				return
+			}
+			if ev.Msg.Type == pkt.ICMPEchoReply && ev.Msg.ID == 43 {
+				replies2[ev.From] = true
+			}
+		}
+	})
+	n.Run(300 * time.Second)
+	if len(replies2) != 50 {
+		t.Fatalf("sequential ping got %d/50 replies, want all", len(replies2))
+	}
+}
+
+func TestRIPAdvertisements(t *testing.T) {
+	n, a, r, _ := twoSubnetNet(t, 17)
+	_ = r.AddRoute(mustSubnet(t, "10.1.3.0/24"), mustIP(t, "10.1.2.2"))
+	n.StartRIP(r)
+	tap, err := a.OpenTap(a.Ifaces[0], true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advertised := map[pkt.IP]uint32{}
+	n.Sched.Spawn("ripwatch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 2*time.Minute)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeIPv4 {
+				continue
+			}
+			ip, err := pkt.DecodeIPv4(f.Payload)
+			if err != nil || ip.Header.Protocol != pkt.ProtoUDP {
+				continue
+			}
+			u, err := pkt.DecodeUDP(ip.Payload, ip.Header.Src, ip.Header.Dst)
+			if err != nil || u.DstPort != pkt.PortRIP {
+				continue
+			}
+			rp, err := pkt.DecodeRIP(u.Payload)
+			if err != nil {
+				continue
+			}
+			for _, e := range rp.Entries {
+				advertised[e.Addr] = e.Metric
+			}
+		}
+	})
+	n.Run(2 * time.Minute)
+	if _, ok := advertised[mustIP(t, "10.1.2.0")]; !ok {
+		t.Fatalf("router did not advertise its other connected subnet; saw %v", advertised)
+	}
+	if _, ok := advertised[mustIP(t, "10.1.3.0")]; !ok {
+		t.Fatalf("router did not advertise its static route; saw %v", advertised)
+	}
+	// Split horizon: the wire's own subnet must NOT be advertised onto it.
+	if _, ok := advertised[mustIP(t, "10.1.1.0")]; ok {
+		t.Fatal("router advertised the local subnet back onto its wire (split horizon broken)")
+	}
+}
+
+func TestPromiscuousRIPHost(t *testing.T) {
+	n, a, r, b := twoSubnetNet(t, 18)
+	_ = r.AddRoute(mustSubnet(t, "10.1.3.0/24"), mustIP(t, "10.1.2.2"))
+	n.StartRIP(r)
+	n.StartPromiscuousRIP(b, 30*time.Second)
+	_ = a
+	// Watch segB: the promiscuous host must advertise segB's own subnet
+	// onto segB — which a split-horizon router never does.
+	watcher := n.NewNode("watch2")
+	watcher.AddIface(n.Segments[1], mustIP(t, "10.1.2.99"), pkt.MaskBits(24))
+	tap, _ := watcher.OpenTap(watcher.Ifaces[0], true, nil)
+	promiscSources := map[pkt.IP]bool{}
+	n.Sched.Spawn("ripwatch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 5*time.Minute)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeIPv4 {
+				continue
+			}
+			ip, err := pkt.DecodeIPv4(f.Payload)
+			if err != nil || ip.Header.Protocol != pkt.ProtoUDP {
+				continue
+			}
+			u, err := pkt.DecodeUDP(ip.Payload, ip.Header.Src, ip.Header.Dst)
+			if err != nil || u.DstPort != pkt.PortRIP {
+				continue
+			}
+			rp, err := pkt.DecodeRIP(u.Payload)
+			if err != nil || rp.Command != pkt.RIPResponse {
+				continue
+			}
+			for _, e := range rp.Entries {
+				if e.Addr == mustIP(t, "10.1.2.0") {
+					promiscSources[ip.Header.Src] = true
+				}
+			}
+		}
+	})
+	n.Run(5 * time.Minute)
+	if !promiscSources[b.Ifaces[0].IP] {
+		t.Fatal("promiscuous host not detected advertising the local subnet")
+	}
+	if promiscSources[r.Ifaces[1].IP] {
+		t.Fatal("well-behaved router advertised the local subnet")
+	}
+}
+
+func TestChatterGeneratesARP(t *testing.T) {
+	n := New(19)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	for i := 1; i <= 10; i++ {
+		h := n.NewNode(nodeName("c", i))
+		h.AddIface(seg, pkt.IPv4(10, 0, 0, byte(i)), pkt.MaskBits(24))
+		n.StartChatter(h, 2*time.Minute)
+	}
+	watcher := n.NewNode("w")
+	watcher.AddIface(seg, mustIP(t, "10.0.0.100"), pkt.MaskBits(24))
+	tap, _ := watcher.OpenTap(watcher.Ifaces[0], true, nil)
+	seen := map[pkt.IP]bool{}
+	n.Sched.Spawn("arpwatch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, time.Hour)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeARP {
+				continue
+			}
+			if arp, err := pkt.DecodeARP(f.Payload); err == nil && !arp.SenderIP.IsZero() {
+				seen[arp.SenderIP] = true
+			}
+		}
+	})
+	n.Run(time.Hour)
+	if len(seen) < 8 {
+		t.Fatalf("after an hour of chatter, ARPwatch saw only %d/10 hosts", len(seen))
+	}
+}
+
+func TestLivenessCycles(t *testing.T) {
+	n := New(20)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	h := n.NewNode("flaky")
+	h.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	n.StartLiveness(h, 0.5, time.Hour)
+	ups, downs := 0, 0
+	for i := 0; i < 48; i++ {
+		n.Run(time.Hour)
+		if h.Up {
+			ups++
+		} else {
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("liveness never cycled: ups=%d downs=%d", ups, downs)
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	n := New(21)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: mustIP(t, "99.99.99.99")}
+	if err := a.SendIP(h, nil); err == nil {
+		t.Fatal("SendIP to unroutable destination succeeded")
+	}
+}
+
+func TestDuplicateIPAddresses(t *testing.T) {
+	// Two hosts with the same IP: both answer ARP, and the requester's
+	// cache flaps between MACs — the conflict the analysis program flags.
+	n := New(22)
+	seg := n.NewSegment("seg", mustSubnet(t, "10.0.0.0/24"))
+	a := n.NewNode("a")
+	a.AddIface(seg, mustIP(t, "10.0.0.1"), pkt.MaskBits(24))
+	d1 := n.NewNode("dup1")
+	d1.AddIface(seg, mustIP(t, "10.0.0.66"), pkt.MaskBits(24))
+	d2 := n.NewNode("dup2")
+	d2.AddIface(seg, mustIP(t, "10.0.0.66"), pkt.MaskBits(24))
+
+	tap, _ := a.OpenTap(a.Ifaces[0], true, nil)
+	macs := map[pkt.MAC]bool{}
+	n.Sched.Spawn("watch", func(p *sim.Proc) {
+		for {
+			raw, ok := tap.Recv(p, 30*time.Second)
+			if !ok {
+				return
+			}
+			f, err := pkt.DecodeFrame(raw)
+			if err != nil || f.EtherType != pkt.EtherTypeARP {
+				continue
+			}
+			if arp, err := pkt.DecodeARP(f.Payload); err == nil &&
+				arp.Op == pkt.ARPReply && arp.SenderIP == mustIP(t, "10.0.0.66") {
+				macs[arp.SenderMAC] = true
+			}
+		}
+	})
+	n.Sched.After(time.Second, func() {
+		dst := mustIP(t, "10.0.0.66")
+		u := &pkt.UDPPacket{SrcPort: 1, DstPort: PortDiscard}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Dst: dst, TTL: 30}
+		_ = a.SendIP(h, u.Encode(a.Ifaces[0].IP, dst))
+	})
+	n.Run(30 * time.Second)
+	if len(macs) != 2 {
+		t.Fatalf("saw %d distinct MACs for duplicated IP, want 2", len(macs))
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

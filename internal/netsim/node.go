@@ -1,0 +1,566 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// ErrNoRoute is returned when a node has no route to a destination.
+var ErrNoRoute = errors.New("netsim: no route to host")
+
+// Iface is a network interface: one separately addressable attachment of a
+// node to a segment (the paper's use of the word "interface").
+type Iface struct {
+	Node *Node
+	MAC  pkt.MAC
+	IP   pkt.IP
+	Mask pkt.Mask
+	Seg  *Segment
+
+	TxFrames int
+	RxFrames int
+}
+
+// Subnet returns the subnet the interface lives on.
+func (ifc *Iface) Subnet() pkt.Subnet { return pkt.SubnetOf(ifc.IP, ifc.Mask) }
+
+func (ifc *Iface) String() string {
+	return fmt.Sprintf("%s(%s %s)", ifc.Node.Name, ifc.IP, ifc.MAC)
+}
+
+// Route is a routing table entry. A zero Gateway means the destination is
+// directly connected.
+type Route struct {
+	Dst     pkt.Subnet
+	Gateway pkt.IP
+	Iface   *Iface
+	Metric  int
+}
+
+type arpEntry struct {
+	mac     pkt.MAC
+	learned time.Duration
+}
+
+type arpWait struct {
+	ifc    *Iface
+	queued [][]byte // encoded IP packets awaiting resolution
+	tries  int
+}
+
+// ARPEntry is a snapshot row of a node's ARP table, as read by the
+// EtherHostProbe Explorer Module.
+type ARPEntry struct {
+	IP  pkt.IP
+	MAC pkt.MAC
+	Age time.Duration
+}
+
+// UDPHandler implements a simulated UDP service (the DNS server registers
+// one on port 53). Handlers run in event context and may send replies via
+// the node.
+type UDPHandler func(node *Node, src pkt.IP, srcPort uint16, dst pkt.IP, payload []byte)
+
+// Node is a simulated host or router.
+type Node struct {
+	net    *Network
+	Name   string
+	Ifaces []*Iface
+	Routes []Route
+
+	IsRouter bool
+	Up       bool
+
+	// Host behaviour knobs. The defaults (set in NewNode) are conformant;
+	// the campus builder flips them on subsets of nodes to reproduce the
+	// paper's observed pathologies.
+	RespondsEcho         bool
+	RespondsMask         bool
+	MaskReplyValue       pkt.Mask // nonzero: report this (possibly wrong) mask
+	UDPEchoEnabled       bool
+	TreatsHostZeroAsSelf bool
+
+	// Router behaviour knobs.
+	ForwardsDirectedBcast bool
+	ProxyARPFor           []pkt.Subnet
+	NoTimeExceeded        bool // "gateway software problems": drops expired packets silently
+	SilentICMPErrors      bool // never generates any ICMP error (worse software problems)
+	TTLEchoBug            bool // sends ICMP errors with the received packet's TTL
+	RIPAdvertise          bool
+	RIPPeriod             time.Duration
+	PromiscuousRIP        bool // rebroadcasts learned routes on all interfaces
+
+	ARPCacheTTL time.Duration
+
+	arp        map[pkt.IP]*arpEntry
+	arpPending map[pkt.IP]*arpWait
+
+	icmpConns    []*ICMPConn
+	udpListeners map[uint16][]*UDPConn
+	udpHandlers  map[uint16]UDPHandler
+	ephemeral    uint16
+
+	ipIDSeq uint16
+}
+
+// AddIface attaches the node to a segment with the given address and mask,
+// allocating a MAC, and installs the connected route.
+func (nd *Node) AddIface(seg *Segment, ip pkt.IP, mask pkt.Mask) *Iface {
+	ifc := &Iface{Node: nd, MAC: nd.net.nextMAC(), IP: ip, Mask: mask, Seg: seg}
+	nd.Ifaces = append(nd.Ifaces, ifc)
+	seg.attach(ifc)
+	if prev, dup := nd.net.byIP[ip]; !dup || prev == nil {
+		nd.net.byIP[ip] = ifc
+	}
+	nd.Routes = append(nd.Routes, Route{Dst: pkt.SubnetOf(ip, mask), Iface: ifc})
+	return ifc
+}
+
+// SetMAC overrides an interface's MAC address (for modeling hardware
+// changes and duplicate-address faults).
+func (nd *Node) SetMAC(ifc *Iface, mac pkt.MAC) { ifc.MAC = mac }
+
+// AddRoute installs a static route through gateway, reachable via the
+// interface on gateway's subnet.
+func (nd *Node) AddRoute(dst pkt.Subnet, gateway pkt.IP) error {
+	for _, ifc := range nd.Ifaces {
+		if ifc.Subnet().Contains(gateway) {
+			nd.Routes = append(nd.Routes, Route{Dst: dst, Gateway: gateway, Iface: ifc, Metric: 1})
+			return nil
+		}
+	}
+	return fmt.Errorf("netsim: %s: gateway %s not on a connected subnet", nd.Name, gateway)
+}
+
+// AddDefaultRoute installs 0.0.0.0/0 via gateway.
+func (nd *Node) AddDefaultRoute(gateway pkt.IP) error {
+	return nd.AddRoute(pkt.Subnet{Addr: 0, Mask: 0}, gateway)
+}
+
+// lookupRoute returns the longest-prefix-match route for dst.
+func (nd *Node) lookupRoute(dst pkt.IP) (Route, bool) {
+	best := -1
+	var bestRoute Route
+	for _, r := range nd.Routes {
+		if r.Dst.Contains(dst) {
+			if bits := r.Dst.Mask.Bits(); bits > best {
+				best = bits
+				bestRoute = r
+			}
+		}
+	}
+	return bestRoute, best >= 0
+}
+
+// HasIP reports whether ip is one of the node's interface addresses.
+func (nd *Node) HasIP(ip pkt.IP) bool {
+	for _, ifc := range nd.Ifaces {
+		if ifc.IP == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// ARPTable returns a sorted snapshot of the node's ARP cache (live entries
+// only), the way EtherHostProbe reads the originating host's table.
+func (nd *Node) ARPTable() []ARPEntry {
+	now := nd.net.Sched.Now()
+	var out []ARPEntry
+	for ip, e := range nd.arp {
+		age := now - e.learned
+		if age <= nd.ARPCacheTTL {
+			out = append(out, ARPEntry{IP: ip, MAC: e.mac, Age: age})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
+// FlushARP clears the node's ARP cache.
+func (nd *Node) FlushARP() { nd.arp = map[pkt.IP]*arpEntry{} }
+
+// SetUp changes the node's liveness. A down node neither receives nor
+// sends.
+func (nd *Node) SetUp(up bool) { nd.Up = up }
+
+// --- Sending ----------------------------------------------------------
+
+// SendIP routes and transmits an IP packet. If h.Src is zero it is filled
+// from the outgoing interface. TTL zero defaults to 30.
+func (nd *Node) SendIP(h pkt.IPv4Header, payload []byte) error {
+	if !nd.Up {
+		return fmt.Errorf("netsim: %s is down", nd.Name)
+	}
+	if h.Dst == pkt.IP(0xffffffff) {
+		// Limited broadcast: out the first interface.
+		if len(nd.Ifaces) == 0 {
+			return ErrNoRoute
+		}
+		return nd.sendIPVia(nd.Ifaces[0], h, payload, h.Dst)
+	}
+	r, ok := nd.lookupRoute(h.Dst)
+	if !ok {
+		return ErrNoRoute
+	}
+	nexthop := h.Dst
+	if !r.Gateway.IsZero() {
+		nexthop = r.Gateway
+	}
+	return nd.sendIPVia(r.Iface, h, payload, nexthop)
+}
+
+// SendIPVia transmits out a specific interface (used for broadcasts).
+func (nd *Node) SendIPVia(ifc *Iface, h pkt.IPv4Header, payload []byte) error {
+	if !nd.Up {
+		return fmt.Errorf("netsim: %s is down", nd.Name)
+	}
+	return nd.sendIPVia(ifc, h, payload, h.Dst)
+}
+
+func (nd *Node) sendIPVia(ifc *Iface, h pkt.IPv4Header, payload []byte, nexthop pkt.IP) error {
+	if h.Src.IsZero() {
+		h.Src = ifc.IP
+	}
+	if h.TTL == 0 {
+		h.TTL = 30
+	}
+	nd.ipIDSeq++
+	if h.ID == 0 {
+		h.ID = nd.ipIDSeq
+	}
+	p := &pkt.IPv4Packet{Header: h, Payload: payload}
+	nd.transmitIP(ifc, p.Encode(), nexthop)
+	return nil
+}
+
+// transmitIP resolves the next hop and puts the encoded packet on the wire.
+func (nd *Node) transmitIP(ifc *Iface, raw []byte, nexthop pkt.IP) {
+	sn := ifc.Subnet()
+	// Link-level broadcast cases: limited broadcast, the subnet's directed
+	// broadcast, and host-zero ("old-style" broadcast), which the
+	// Traceroute Explorer Module exploits.
+	if nexthop == pkt.IP(0xffffffff) || nexthop == sn.Broadcast() || nexthop == sn.HostZero() {
+		nd.xmit(ifc, &pkt.Frame{Dst: pkt.BroadcastMAC, Src: ifc.MAC, EtherType: pkt.EtherTypeIPv4, Payload: raw})
+		return
+	}
+	if e, ok := nd.arp[nexthop]; ok && nd.net.Sched.Now()-e.learned <= nd.ARPCacheTTL {
+		nd.xmit(ifc, &pkt.Frame{Dst: e.mac, Src: ifc.MAC, EtherType: pkt.EtherTypeIPv4, Payload: raw})
+		return
+	}
+	// ARP miss: queue and resolve.
+	w, pending := nd.arpPending[nexthop]
+	if !pending {
+		w = &arpWait{ifc: ifc}
+		nd.arpPending[nexthop] = w
+		nd.sendARPRequest(ifc, nexthop)
+		nd.scheduleARPRetry(nexthop)
+	}
+	if len(w.queued) < 8 {
+		w.queued = append(w.queued, raw)
+	}
+}
+
+func (nd *Node) sendARPRequest(ifc *Iface, target pkt.IP) {
+	a := &pkt.ARPPacket{Op: pkt.ARPRequest, SenderMAC: ifc.MAC, SenderIP: ifc.IP, TargetIP: target}
+	nd.xmit(ifc, &pkt.Frame{Dst: pkt.BroadcastMAC, Src: ifc.MAC, EtherType: pkt.EtherTypeARP, Payload: a.Encode()})
+}
+
+func (nd *Node) scheduleARPRetry(target pkt.IP) {
+	nd.net.Sched.After(time.Second, func() {
+		w, still := nd.arpPending[target]
+		if !still || !nd.Up {
+			return
+		}
+		if w.tries++; w.tries >= 2 {
+			delete(nd.arpPending, target) // resolution failed; drop queue
+			return
+		}
+		nd.sendARPRequest(w.ifc, target)
+		nd.scheduleARPRetry(target)
+	})
+}
+
+func (nd *Node) xmit(ifc *Iface, f *pkt.Frame) {
+	ifc.TxFrames++
+	ifc.Seg.Transmit(ifc, f)
+}
+
+// --- Receiving --------------------------------------------------------
+
+func (nd *Node) receiveFrame(ifc *Iface, raw []byte) {
+	ifc.RxFrames++
+	f, err := pkt.DecodeFrame(raw)
+	if err != nil {
+		return
+	}
+	switch f.EtherType {
+	case pkt.EtherTypeARP:
+		nd.handleARP(ifc, f)
+	case pkt.EtherTypeIPv4:
+		nd.handleIP(ifc, f)
+	}
+}
+
+func (nd *Node) handleARP(ifc *Iface, f *pkt.Frame) {
+	a, err := pkt.DecodeARP(f.Payload)
+	if err != nil {
+		return
+	}
+	forMe := a.TargetIP == ifc.IP
+	proxied := false
+	if !forMe && a.Op == pkt.ARPRequest {
+		for _, sn := range nd.ProxyARPFor {
+			if sn.Contains(a.TargetIP) && a.TargetIP != a.SenderIP {
+				proxied = true
+				break
+			}
+		}
+	}
+	// Learn/update the sender mapping. Classic BSD semantics: refresh an
+	// existing entry on any ARP traffic; create one when we are the target.
+	if !a.SenderIP.IsZero() {
+		if _, have := nd.arp[a.SenderIP]; have || forMe {
+			nd.arp[a.SenderIP] = &arpEntry{mac: a.SenderMAC, learned: nd.net.Sched.Now()}
+		}
+	}
+	if a.Op == pkt.ARPRequest && (forMe || proxied) {
+		reply := &pkt.ARPPacket{
+			Op:        pkt.ARPReply,
+			SenderMAC: ifc.MAC,
+			SenderIP:  a.TargetIP,
+			TargetMAC: a.SenderMAC,
+			TargetIP:  a.SenderIP,
+		}
+		nd.xmit(ifc, &pkt.Frame{Dst: a.SenderMAC, Src: ifc.MAC, EtherType: pkt.EtherTypeARP, Payload: reply.Encode()})
+	}
+	if a.Op == pkt.ARPReply {
+		nd.arp[a.SenderIP] = &arpEntry{mac: a.SenderMAC, learned: nd.net.Sched.Now()}
+		if w, ok := nd.arpPending[a.SenderIP]; ok {
+			delete(nd.arpPending, a.SenderIP)
+			for _, raw := range w.queued {
+				nd.xmit(w.ifc, &pkt.Frame{Dst: a.SenderMAC, Src: w.ifc.MAC, EtherType: pkt.EtherTypeIPv4, Payload: raw})
+			}
+		}
+	}
+}
+
+func (nd *Node) handleIP(ifc *Iface, f *pkt.Frame) {
+	p, err := pkt.DecodeIPv4(f.Payload)
+	if err != nil {
+		return
+	}
+	// Learn the sender's MAC from the frame when the IP source is on this
+	// wire — the classic stack shortcut that lets a host answer a
+	// broadcast ping without first ARPing for the prober.
+	if ifc.Subnet().Contains(p.Header.Src) && !f.Src.IsBroadcast() && !p.Header.Src.IsZero() {
+		nd.arp[p.Header.Src] = &arpEntry{mac: f.Src, learned: nd.net.Sched.Now()}
+	}
+	dst := p.Header.Dst
+	if local, owner := nd.localOwner(ifc, dst); local {
+		nd.deliverLocal(owner, p, f.Payload)
+		// A directed broadcast (or host-zero) for a connected subnet other
+		// than the arrival wire is both consumed (the router is a member
+		// of that subnet) and, policy permitting, forwarded onto the wire.
+		if nd.IsRouter && owner != ifc && !nd.HasIP(dst) &&
+			nd.ForwardsDirectedBcast && p.Header.TTL > 1 {
+			nd.reencodeAndSend(owner, p, dst)
+		}
+		return
+	}
+	if nd.IsRouter {
+		nd.forward(ifc, p, f.Payload)
+	}
+}
+
+// localOwner reports whether the node consumes a packet addressed to dst,
+// and which interface logically owns the destination (for sourcing
+// replies). Besides its own addresses and the limited broadcast, a node is
+// a member of every subnet it has an interface on, so it accepts those
+// subnets' directed broadcasts — and, per the old BSD convention, their
+// host-zero addresses ("if a host receives a packet that is addressed to
+// host zero on the subnet, the host is supposed to treat that packet as
+// though it were addressed to that host"). This is what lets the Traceroute
+// Explorer Module draw a reply out of the far gateway of a subnet.
+func (nd *Node) localOwner(arrival *Iface, dst pkt.IP) (bool, *Iface) {
+	for _, ifc := range nd.Ifaces {
+		if ifc.IP == dst {
+			return true, ifc
+		}
+	}
+	if dst == pkt.IP(0xffffffff) {
+		return true, arrival
+	}
+	for _, ifc := range nd.Ifaces {
+		sn := ifc.Subnet()
+		if dst == sn.Broadcast() {
+			return true, ifc
+		}
+		if dst == sn.HostZero() && nd.TreatsHostZeroAsSelf {
+			return true, ifc
+		}
+	}
+	return false, nil
+}
+
+func (nd *Node) deliverLocal(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
+	switch p.Header.Protocol {
+	case pkt.ProtoICMP:
+		nd.deliverICMP(ifc, p, rawIP)
+	case pkt.ProtoUDP:
+		nd.deliverUDP(ifc, p, rawIP)
+	default:
+		// "when the packet arrives at the destination, it will typically
+		// cause the destination host to send either an ICMP Protocol
+		// Unreachable or ICMP Port Unreachable message."
+		nd.sendICMPError(ifc, p, rawIP, pkt.ICMPUnreachable, pkt.UnreachProtocol)
+	}
+}
+
+func (nd *Node) deliverICMP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
+	m, err := pkt.DecodeICMP(p.Payload)
+	if err != nil {
+		return
+	}
+	// Hand a copy to every open ICMP socket (raw-socket semantics).
+	if len(nd.icmpConns) > 0 {
+		ev := ICMPEvent{From: p.Header.Src, To: p.Header.Dst, TTL: p.Header.TTL, Msg: m, At: nd.net.Now()}
+		for _, c := range nd.icmpConns {
+			c.mb.Put(ev)
+		}
+	}
+	switch m.Type {
+	case pkt.ICMPEcho:
+		if !nd.RespondsEcho {
+			return
+		}
+		reply := &pkt.ICMPMessage{Type: pkt.ICMPEchoReply, ID: m.ID, Seq: m.Seq, Data: m.Data}
+		nd.replyICMP(ifc, p, reply)
+	case pkt.ICMPMaskRequest:
+		if !nd.RespondsMask {
+			return
+		}
+		mask := ifc.Mask
+		if nd.MaskReplyValue != 0 {
+			mask = nd.MaskReplyValue
+		}
+		reply := &pkt.ICMPMessage{Type: pkt.ICMPMaskReply, ID: m.ID, Seq: m.Seq, Mask: mask}
+		nd.replyICMP(ifc, p, reply)
+	}
+}
+
+// replyICMP sends an ICMP reply back to the source of p, with a small
+// processing jitter. The jitter matters: a directed-broadcast echo request
+// makes every host on the wire reply within a few milliseconds, and the
+// resulting collisions are exactly the loss the paper reports for the
+// Broadcast Ping module.
+func (nd *Node) replyICMP(ifc *Iface, p *pkt.IPv4Packet, reply *pkt.ICMPMessage) {
+	src := p.Header.Src
+	jitter := time.Duration(nd.net.Sched.Rand().Int63n(int64(4 * time.Millisecond)))
+	nd.net.Sched.After(jitter, func() {
+		if !nd.Up {
+			return
+		}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Src: ifc.IP, Dst: src, TTL: 30}
+		_ = nd.SendIP(h, reply.Encode())
+	})
+}
+
+func (nd *Node) deliverUDP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
+	u, err := pkt.DecodeUDP(p.Payload, p.Header.Src, p.Header.Dst)
+	if err != nil {
+		return
+	}
+	if h, ok := nd.udpHandlers[u.DstPort]; ok {
+		h(nd, p.Header.Src, u.SrcPort, p.Header.Dst, u.Payload)
+		return
+	}
+	if conns := nd.udpListeners[u.DstPort]; len(conns) > 0 {
+		ev := UDPEvent{Src: p.Header.Src, SrcPort: u.SrcPort, Dst: p.Header.Dst, Payload: u.Payload, At: nd.net.Now()}
+		for _, c := range conns {
+			c.mb.Put(ev)
+		}
+		return
+	}
+	if u.DstPort == pkt.PortEcho && nd.UDPEchoEnabled {
+		reply := &pkt.UDPPacket{SrcPort: pkt.PortEcho, DstPort: u.SrcPort, Payload: u.Payload}
+		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: ifc.IP, Dst: p.Header.Src, TTL: 30}
+		_ = nd.SendIP(h, reply.Encode(ifc.IP, p.Header.Src))
+		return
+	}
+	// No consumer: port unreachable (the traceroute terminator).
+	nd.sendICMPError(ifc, p, rawIP, pkt.ICMPUnreachable, pkt.UnreachPort)
+}
+
+// forward implements router behaviour: TTL decrement, Time Exceeded
+// generation, directed-broadcast policy, and next-hop transmission.
+func (nd *Node) forward(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
+	h := p.Header
+	if h.TTL <= 1 {
+		if !nd.NoTimeExceeded {
+			nd.sendICMPError(ifc, p, rawIP, pkt.ICMPTimeExceeded, 0)
+		}
+		return
+	}
+	r, ok := nd.lookupRoute(h.Dst)
+	if !ok {
+		nd.sendICMPError(ifc, p, rawIP, pkt.ICMPUnreachable, pkt.UnreachNet)
+		return
+	}
+	nexthop := h.Dst
+	if !r.Gateway.IsZero() {
+		nexthop = r.Gateway
+	}
+	nd.reencodeAndSend(r.Iface, p, nexthop)
+}
+
+func (nd *Node) reencodeAndSend(out *Iface, p *pkt.IPv4Packet, nexthop pkt.IP) {
+	fwd := &pkt.IPv4Packet{Header: p.Header, Payload: p.Payload}
+	fwd.Header.TTL--
+	nd.transmitIP(out, fwd.Encode(), nexthop)
+}
+
+// sendICMPError emits an ICMP error quoting the offending packet, applying
+// RFC 1122 suppression rules (never about broadcasts or other ICMP errors)
+// and the TTLEchoBug misbehaviour.
+func (nd *Node) sendICMPError(ifc *Iface, orig *pkt.IPv4Packet, rawOrig []byte, icmpType, code byte) {
+	if nd.SilentICMPErrors {
+		return
+	}
+	// Never generate errors about broadcast packets...
+	dst := orig.Header.Dst
+	if dst == pkt.IP(0xffffffff) {
+		return
+	}
+	if dst == ifc.Subnet().Broadcast() {
+		return
+	}
+	// ...or about ICMP error messages.
+	if orig.Header.Protocol == pkt.ProtoICMP {
+		if m, err := pkt.DecodeICMP(orig.Payload); err == nil {
+			switch m.Type {
+			case pkt.ICMPTimeExceeded, pkt.ICMPUnreachable:
+				return
+			}
+		}
+	}
+	msg := &pkt.ICMPMessage{Type: icmpType, Code: code, Original: pkt.QuoteOriginal(rawOrig)}
+	ttl := byte(30)
+	if nd.TTLEchoBug {
+		// The paper's observed failure mode: "Some hosts send their
+		// Unreachable message back to the source using the TTL field from
+		// the received packet, causing the packet not to arrive back at
+		// the source until the TTL of the original packet is large enough
+		// for an entire round trip."
+		ttl = orig.Header.TTL
+		if ttl == 0 {
+			ttl = 1
+		}
+	}
+	h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Src: ifc.IP, Dst: orig.Header.Src, TTL: ttl}
+	_ = nd.SendIP(h, msg.Encode())
+}

@@ -1,0 +1,206 @@
+// Package pkt defines the wire formats Fremont's Explorer Modules speak:
+// Ethernet II framing, ARP, IPv4 (with header checksums), ICMP (echo, time
+// exceeded, destination unreachable, address mask request/reply), UDP,
+// RIP version 1, and a DNS subset sufficient for zone walks.
+//
+// All formats encode to and decode from real byte layouts, so passive
+// modules (ARPwatch, RIPwatch) genuinely parse raw frames off a tap, the
+// way the SunOS NIT-based originals did.
+package pkt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MAC is a 48-bit IEEE 802 medium access control address.
+type MAC [6]byte
+
+// BroadcastMAC is the all-ones Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// ZeroMAC is the unset MAC address.
+var ZeroMAC = MAC{}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsZero reports whether m is the zero address.
+func (m MAC) IsZero() bool { return m == ZeroMAC }
+
+// OUI returns the vendor (organizationally unique identifier) portion of
+// the address. Fremont uses this to guess interface manufacturers.
+func (m MAC) OUI() [3]byte { return [3]byte{m[0], m[1], m[2]} }
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC parses the colon-separated hexadecimal form produced by String.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	var b [6]int
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3], &b[4], &b[5])
+	if err != nil || n != 6 {
+		return m, fmt.Errorf("pkt: invalid MAC %q", s)
+	}
+	for i, v := range b {
+		if v < 0 || v > 255 {
+			return m, fmt.Errorf("pkt: invalid MAC %q", s)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// IP is an IPv4 address in host byte order. The numeric representation
+// makes subnet arithmetic (masking, ranges, host iteration) direct.
+type IP uint32
+
+// IPv4 constructs an address from dotted-quad components.
+func IPv4(a, b, c, d byte) IP {
+	return IP(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad components.
+func (ip IP) Octets() (a, b, c, d byte) {
+	return byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)
+}
+
+func (ip IP) String() string {
+	a, b, c, d := ip.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", a, b, c, d)
+}
+
+// ParseIP parses dotted-quad notation.
+func ParseIP(s string) (IP, error) {
+	var a, b, c, d int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d)
+	if err != nil || n != 4 {
+		return 0, fmt.Errorf("pkt: invalid IP %q", s)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, fmt.Errorf("pkt: invalid IP %q", s)
+		}
+	}
+	return IPv4(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+// IsZero reports whether ip is 0.0.0.0.
+func (ip IP) IsZero() bool { return ip == 0 }
+
+// Class returns the classful network class of the address ('A'..'E'),
+// which 1993-era tools used to infer default masks.
+func (ip IP) Class() byte {
+	switch {
+	case ip>>31 == 0:
+		return 'A'
+	case ip>>30 == 0b10:
+		return 'B'
+	case ip>>29 == 0b110:
+		return 'C'
+	case ip>>28 == 0b1110:
+		return 'D'
+	default:
+		return 'E'
+	}
+}
+
+// DefaultMask returns the classful natural mask for the address.
+func (ip IP) DefaultMask() Mask {
+	switch ip.Class() {
+	case 'A':
+		return Mask(0xff000000)
+	case 'B':
+		return Mask(0xffff0000)
+	default:
+		return Mask(0xffffff00)
+	}
+}
+
+// Mask is an IPv4 subnet mask in host byte order.
+type Mask uint32
+
+func (m Mask) String() string { return IP(m).String() }
+
+// Bits returns the number of leading one bits (prefix length). Masks are
+// assumed contiguous; Valid reports whether that holds.
+func (m Mask) Bits() int { return bits.LeadingZeros32(^uint32(m)) }
+
+// Valid reports whether the mask is contiguous ones followed by zeros.
+func (m Mask) Valid() bool {
+	inv := ^uint32(m)
+	return inv&(inv+1) == 0
+}
+
+// MaskBits returns the mask with the given prefix length (0..32).
+func MaskBits(n int) Mask {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 32 {
+		return Mask(0xffffffff)
+	}
+	return Mask(^uint32(0) << (32 - n))
+}
+
+// Subnet identifies an IP subnet: a network address and its mask.
+type Subnet struct {
+	Addr IP
+	Mask Mask
+}
+
+// SubnetOf returns the subnet containing ip under mask.
+func SubnetOf(ip IP, mask Mask) Subnet {
+	return Subnet{Addr: IP(uint32(ip) & uint32(mask)), Mask: mask}
+}
+
+// Contains reports whether ip falls inside the subnet.
+func (sn Subnet) Contains(ip IP) bool {
+	return IP(uint32(ip)&uint32(sn.Mask)) == sn.Addr
+}
+
+// Broadcast returns the subnet's directed broadcast address (all host bits
+// set).
+func (sn Subnet) Broadcast() IP {
+	return IP(uint32(sn.Addr) | ^uint32(sn.Mask))
+}
+
+// HostZero returns the subnet's host-zero address, which the Traceroute
+// Explorer Module probes ("if a host receives a packet that is addressed to
+// host zero on the subnet, the host is supposed to treat that packet as
+// though it were addressed to that host").
+func (sn Subnet) HostZero() IP { return sn.Addr }
+
+// FirstHost and LastHost bound the usable host addresses.
+func (sn Subnet) FirstHost() IP { return sn.Addr + 1 }
+
+// LastHost returns the highest non-broadcast host address.
+func (sn Subnet) LastHost() IP { return sn.Broadcast() - 1 }
+
+// Size returns the number of addresses in the subnet (including network
+// and broadcast).
+func (sn Subnet) Size() int {
+	return 1 << (32 - sn.Mask.Bits())
+}
+
+func (sn Subnet) String() string {
+	return fmt.Sprintf("%s/%d", sn.Addr, sn.Mask.Bits())
+}
+
+// ParseSubnet parses "a.b.c.d/len" notation.
+func ParseSubnet(s string) (Subnet, error) {
+	var a, b, c, d, n int
+	cnt, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &n)
+	if err != nil || cnt != 5 || n < 0 || n > 32 {
+		return Subnet{}, fmt.Errorf("pkt: invalid subnet %q", s)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return Subnet{}, fmt.Errorf("pkt: invalid subnet %q", s)
+		}
+	}
+	m := MaskBits(n)
+	return SubnetOf(IPv4(byte(a), byte(b), byte(c), byte(d)), m), nil
+}

@@ -1,0 +1,182 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPStringParse(t *testing.T) {
+	cases := []struct {
+		ip IP
+		s  string
+	}{
+		{IPv4(128, 138, 238, 1), "128.138.238.1"},
+		{IPv4(0, 0, 0, 0), "0.0.0.0"},
+		{IPv4(255, 255, 255, 255), "255.255.255.255"},
+		{IPv4(10, 0, 0, 1), "10.0.0.1"},
+	}
+	for _, c := range cases {
+		if got := c.ip.String(); got != c.s {
+			t.Errorf("%#x.String() = %q, want %q", uint32(c.ip), got, c.s)
+		}
+		parsed, err := ParseIP(c.s)
+		if err != nil || parsed != c.ip {
+			t.Errorf("ParseIP(%q) = %v,%v; want %v", c.s, parsed, err, c.ip)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "256.1.1.1", "a.b.c.d", "-1.0.0.0"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestQuickIPRoundtrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		parsed, err := ParseIP(ip.String())
+		return err == nil && parsed == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACStringParse(t *testing.T) {
+	m := MAC{0x08, 0x00, 0x20, 0x0a, 0xbb, 0xcc}
+	s := m.String()
+	if s != "08:00:20:0a:bb:cc" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, err := ParseMAC(s)
+	if err != nil || back != m {
+		t.Fatalf("ParseMAC(%q) = %v, %v", s, back, err)
+	}
+	if _, err := ParseMAC("not-a-mac"); err == nil {
+		t.Fatal("ParseMAC accepted garbage")
+	}
+}
+
+func TestMACBroadcast(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() {
+		t.Fatal("BroadcastMAC.IsBroadcast() = false")
+	}
+	if (MAC{1}).IsBroadcast() {
+		t.Fatal("unicast MAC reported broadcast")
+	}
+	if !ZeroMAC.IsZero() {
+		t.Fatal("ZeroMAC.IsZero() = false")
+	}
+}
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		ip    string
+		class byte
+	}{
+		{"10.1.2.3", 'A'},
+		{"128.138.1.1", 'B'},
+		{"192.168.1.1", 'C'},
+		{"224.0.0.1", 'D'},
+		{"250.0.0.1", 'E'},
+	}
+	for _, c := range cases {
+		ip, _ := ParseIP(c.ip)
+		if got := ip.Class(); got != c.class {
+			t.Errorf("%s.Class() = %c, want %c", c.ip, got, c.class)
+		}
+	}
+}
+
+func TestDefaultMask(t *testing.T) {
+	cases := []struct {
+		ip   string
+		bits int
+	}{
+		{"10.1.2.3", 8},
+		{"128.138.1.1", 16},
+		{"192.168.1.1", 24},
+	}
+	for _, c := range cases {
+		ip, _ := ParseIP(c.ip)
+		if got := ip.DefaultMask().Bits(); got != c.bits {
+			t.Errorf("%s.DefaultMask().Bits() = %d, want %d", c.ip, got, c.bits)
+		}
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	for n := 0; n <= 32; n++ {
+		m := MaskBits(n)
+		if !m.Valid() {
+			t.Errorf("MaskBits(%d) = %s is not contiguous", n, m)
+		}
+		if m.Bits() != n {
+			t.Errorf("MaskBits(%d).Bits() = %d", n, m.Bits())
+		}
+	}
+}
+
+func TestMaskValid(t *testing.T) {
+	if !Mask(0xffffff00).Valid() {
+		t.Fatal("/24 mask reported invalid")
+	}
+	if Mask(0xff00ff00).Valid() {
+		t.Fatal("discontiguous mask reported valid")
+	}
+}
+
+func TestSubnetMath(t *testing.T) {
+	sn, err := ParseSubnet("128.138.238.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := ParseIP("128.138.238.17")
+	if !sn.Contains(ip) {
+		t.Fatal("subnet does not contain member address")
+	}
+	out, _ := ParseIP("128.138.239.17")
+	if sn.Contains(out) {
+		t.Fatal("subnet contains outside address")
+	}
+	if got := sn.Broadcast().String(); got != "128.138.238.255" {
+		t.Fatalf("Broadcast = %s", got)
+	}
+	if got := sn.HostZero().String(); got != "128.138.238.0" {
+		t.Fatalf("HostZero = %s", got)
+	}
+	if got := sn.FirstHost().String(); got != "128.138.238.1" {
+		t.Fatalf("FirstHost = %s", got)
+	}
+	if got := sn.LastHost().String(); got != "128.138.238.254" {
+		t.Fatalf("LastHost = %s", got)
+	}
+	if sn.Size() != 256 {
+		t.Fatalf("Size = %d", sn.Size())
+	}
+	if sn.String() != "128.138.238.0/24" {
+		t.Fatalf("String = %s", sn.String())
+	}
+}
+
+func TestSubnetOfMasksHostBits(t *testing.T) {
+	ip, _ := ParseIP("128.138.238.17")
+	sn := SubnetOf(ip, MaskBits(24))
+	if sn.Addr.String() != "128.138.238.0" {
+		t.Fatalf("SubnetOf did not clear host bits: %s", sn.Addr)
+	}
+}
+
+func TestQuickSubnetContainsItself(t *testing.T) {
+	f := func(v uint32, bits uint8) bool {
+		n := int(bits % 33)
+		sn := SubnetOf(IP(v), MaskBits(n))
+		return sn.Contains(IP(v)) && sn.Contains(sn.Broadcast()) && sn.Contains(sn.HostZero())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package pkt
+
+import "fmt"
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPPacket is an RFC 826 ARP packet for IPv4 over Ethernet.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IP
+	TargetMAC MAC
+	TargetIP  IP
+}
+
+const arpPacketLen = 28
+
+// Encode serializes the ARP packet, including the fixed hardware/protocol
+// type preamble for Ethernet/IPv4.
+func (a *ARPPacket) Encode() []byte {
+	w := writer{b: make([]byte, 0, arpPacketLen)}
+	w.u16(1)      // hardware type: Ethernet
+	w.u16(0x0800) // protocol type: IPv4
+	w.u8(6)       // hardware address length
+	w.u8(4)       // protocol address length
+	w.u16(a.Op)
+	w.mac(a.SenderMAC)
+	w.ip(a.SenderIP)
+	w.mac(a.TargetMAC)
+	w.ip(a.TargetIP)
+	return w.b
+}
+
+// DecodeARP parses an ARP packet, rejecting non-Ethernet/IPv4 variants.
+func DecodeARP(b []byte) (*ARPPacket, error) {
+	if len(b) < arpPacketLen {
+		return nil, overrun("arp packet", len(b), arpPacketLen)
+	}
+	r := reader{b: b}
+	htype := r.u16()
+	ptype := r.u16()
+	hlen := r.u8()
+	plen := r.u8()
+	if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+		return nil, fmt.Errorf("pkt: unsupported ARP variant htype=%d ptype=0x%04x hlen=%d plen=%d",
+			htype, ptype, hlen, plen)
+	}
+	a := &ARPPacket{}
+	a.Op = r.u16()
+	a.SenderMAC = r.mac()
+	a.SenderIP = r.ip()
+	a.TargetMAC = r.mac()
+	a.TargetIP = r.ip()
+	return a, r.err
+}
+
+func (a *ARPPacket) String() string {
+	switch a.Op {
+	case ARPRequest:
+		return fmt.Sprintf("arp who-has %s tell %s (%s)", a.TargetIP, a.SenderIP, a.SenderMAC)
+	case ARPReply:
+		return fmt.Sprintf("arp reply %s is-at %s", a.SenderIP, a.SenderMAC)
+	}
+	return fmt.Sprintf("arp op=%d", a.Op)
+}

@@ -1,0 +1,336 @@
+package pkt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DNS record types used by the DNS Explorer Module.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeNS    uint16 = 2
+	DNSTypeCNAME uint16 = 5
+	DNSTypeSOA   uint16 = 6
+	DNSTypeWKS   uint16 = 11
+	DNSTypePTR   uint16 = 12
+	DNSTypeHINFO uint16 = 13
+	DNSTypeMX    uint16 = 15
+	DNSTypeAXFR  uint16 = 252
+	DNSTypeANY   uint16 = 255
+)
+
+// DNSClassIN is the Internet class.
+const DNSClassIN uint16 = 1
+
+// DNS response codes.
+const (
+	DNSRcodeOK      byte = 0
+	DNSRcodeFormErr byte = 1
+	DNSRcodeNXName  byte = 3
+	DNSRcodeRefused byte = 5
+)
+
+// DNSQuestion is one query in a DNS message.
+type DNSQuestion struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// DNSRR is a resource record. Data holds the decoded value: an IP for A
+// records, a domain name for NS/CNAME/PTR, and raw bytes otherwise.
+type DNSRR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// Exactly one of the following is meaningful, according to Type.
+	A    IP
+	Targ string // NS, CNAME, PTR target
+	Raw  []byte
+}
+
+// DNSMessage is an RFC 1035 message (header, question and answer sections;
+// authority/additional are carried in Extra for completeness).
+type DNSMessage struct {
+	ID       uint16
+	Response bool
+	Opcode   byte
+	AA       bool
+	TC       bool
+	RD       bool
+	RA       bool
+	Rcode    byte
+	Question []DNSQuestion
+	Answer   []DNSRR
+	Extra    []DNSRR // authority + additional, undistinguished
+}
+
+func encodeName(w *writer, name string) error {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return fmt.Errorf("pkt: bad DNS label %q in %q", label, name)
+			}
+			w.u8(byte(len(label)))
+			w.bytes([]byte(label))
+		}
+	}
+	w.u8(0)
+	return nil
+}
+
+// decodeName reads a possibly-compressed domain name. msg is the whole
+// message, for resolving compression pointers.
+func decodeName(r *reader, msg []byte) (string, error) {
+	var labels []string
+	jumps := 0
+	pos := -1 // -1: reading from r; >=0: following pointers in msg
+	for {
+		var b byte
+		if pos < 0 {
+			b = r.u8()
+			if r.err != nil {
+				return "", r.err
+			}
+		} else {
+			if pos >= len(msg) {
+				return "", ErrTruncated
+			}
+			b = msg[pos]
+			pos++
+		}
+		switch {
+		case b == 0:
+			return strings.Join(labels, "."), nil
+		case b&0xc0 == 0xc0:
+			var lo byte
+			if pos < 0 {
+				lo = r.u8()
+				if r.err != nil {
+					return "", r.err
+				}
+			} else {
+				if pos >= len(msg) {
+					return "", ErrTruncated
+				}
+				lo = msg[pos]
+				pos++
+			}
+			jumps++
+			if jumps > 32 {
+				return "", fmt.Errorf("pkt: DNS compression pointer loop")
+			}
+			pos = int(b&0x3f)<<8 | int(lo)
+		case b&0xc0 != 0:
+			return "", fmt.Errorf("pkt: bad DNS label length 0x%02x", b)
+		default:
+			n := int(b)
+			var lab []byte
+			if pos < 0 {
+				lab = r.bytes(n)
+				if r.err != nil {
+					return "", r.err
+				}
+			} else {
+				if pos+n > len(msg) {
+					return "", ErrTruncated
+				}
+				lab = msg[pos : pos+n]
+				pos += n
+			}
+			labels = append(labels, string(lab))
+			if len(labels) > 128 {
+				return "", fmt.Errorf("pkt: DNS name too long")
+			}
+		}
+	}
+}
+
+func encodeRR(w *writer, rr *DNSRR) error {
+	if err := encodeName(w, rr.Name); err != nil {
+		return err
+	}
+	w.u16(rr.Type)
+	w.u16(rr.Class)
+	w.u32(rr.TTL)
+	lenOff := len(w.b)
+	w.u16(0) // rdlength placeholder
+	start := len(w.b)
+	switch rr.Type {
+	case DNSTypeA:
+		w.ip(rr.A)
+	case DNSTypeNS, DNSTypeCNAME, DNSTypePTR:
+		if err := encodeName(w, rr.Targ); err != nil {
+			return err
+		}
+	default:
+		w.bytes(rr.Raw)
+	}
+	w.setU16(lenOff, uint16(len(w.b)-start))
+	return nil
+}
+
+func decodeRR(r *reader, msg []byte) (DNSRR, error) {
+	var rr DNSRR
+	name, err := decodeName(r, msg)
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	rr.Type = r.u16()
+	rr.Class = r.u16()
+	rr.TTL = r.u32()
+	rdlen := int(r.u16())
+	if r.err != nil {
+		return rr, r.err
+	}
+	if r.remaining() < rdlen {
+		return rr, ErrTruncated
+	}
+	rdata := reader{b: r.b, off: r.off}
+	r.bytes(rdlen)
+	switch rr.Type {
+	case DNSTypeA:
+		if rdlen != 4 {
+			return rr, fmt.Errorf("pkt: A record rdlength %d", rdlen)
+		}
+		rr.A = rdata.ip()
+	case DNSTypeNS, DNSTypeCNAME, DNSTypePTR:
+		rr.Targ, err = decodeName(&rdata, msg)
+		if err != nil {
+			return rr, err
+		}
+	default:
+		rr.Raw = append([]byte(nil), rdata.bytes(rdlen)...)
+	}
+	return rr, rdata.err
+}
+
+// Encode serializes the message (without name compression).
+func (m *DNSMessage) Encode() ([]byte, error) {
+	w := writer{}
+	w.u16(m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.AA {
+		flags |= 1 << 10
+	}
+	if m.TC {
+		flags |= 1 << 9
+	}
+	if m.RD {
+		flags |= 1 << 8
+	}
+	if m.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Rcode & 0xf)
+	w.u16(flags)
+	w.u16(uint16(len(m.Question)))
+	w.u16(uint16(len(m.Answer)))
+	w.u16(0) // authority count (we fold into Extra)
+	w.u16(uint16(len(m.Extra)))
+	for i := range m.Question {
+		q := &m.Question[i]
+		if err := encodeName(&w, q.Name); err != nil {
+			return nil, err
+		}
+		w.u16(q.Type)
+		w.u16(q.Class)
+	}
+	for i := range m.Answer {
+		if err := encodeRR(&w, &m.Answer[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range m.Extra {
+		if err := encodeRR(&w, &m.Extra[i]); err != nil {
+			return nil, err
+		}
+	}
+	return w.b, nil
+}
+
+// DecodeDNS parses a DNS message.
+func DecodeDNS(b []byte) (*DNSMessage, error) {
+	if len(b) < 12 {
+		return nil, overrun("dns message", len(b), 12)
+	}
+	r := reader{b: b}
+	m := &DNSMessage{}
+	m.ID = r.u16()
+	flags := r.u16()
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = byte(flags >> 11 & 0xf)
+	m.AA = flags&(1<<10) != 0
+	m.TC = flags&(1<<9) != 0
+	m.RD = flags&(1<<8) != 0
+	m.RA = flags&(1<<7) != 0
+	m.Rcode = byte(flags & 0xf)
+	qd := int(r.u16())
+	an := int(r.u16())
+	ns := int(r.u16())
+	ar := int(r.u16())
+	for i := 0; i < qd; i++ {
+		var q DNSQuestion
+		name, err := decodeName(&r, b)
+		if err != nil {
+			return nil, err
+		}
+		q.Name = name
+		q.Type = r.u16()
+		q.Class = r.u16()
+		if r.err != nil {
+			return nil, r.err
+		}
+		m.Question = append(m.Question, q)
+	}
+	for i := 0; i < an; i++ {
+		rr, err := decodeRR(&r, b)
+		if err != nil {
+			return nil, err
+		}
+		m.Answer = append(m.Answer, rr)
+	}
+	for i := 0; i < ns+ar; i++ {
+		rr, err := decodeRR(&r, b)
+		if err != nil {
+			return nil, err
+		}
+		m.Extra = append(m.Extra, rr)
+	}
+	return m, r.err
+}
+
+// ReverseName returns the in-addr.arpa name for ip
+// (e.g. 128.138.238.5 -> "5.238.138.128.in-addr.arpa").
+func ReverseName(ip IP) string {
+	a, b, c, d := ip.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", d, c, b, a)
+}
+
+// ParseReverseName inverts ReverseName. ok is false if name is not an
+// in-addr.arpa name with four octets.
+func ParseReverseName(name string) (IP, bool) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	const suffix = ".in-addr.arpa"
+	if !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, suffix), ".")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	var o [4]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(p, "%d", &o[i]); err != nil || o[i] < 0 || o[i] > 255 {
+			return 0, false
+		}
+	}
+	return IPv4(byte(o[3]), byte(o[2]), byte(o[1]), byte(o[0])), true
+}

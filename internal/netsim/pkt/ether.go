@@ -1,0 +1,49 @@
+package pkt
+
+import "fmt"
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// Frame is an Ethernet II frame. The simulated segments carry encoded
+// frames, and taps (the NIT analog) hand them to passive Explorer Modules
+// byte-for-byte.
+type Frame struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+const frameHeaderLen = 14
+
+// Encode serializes the frame.
+func (f *Frame) Encode() []byte {
+	w := writer{b: make([]byte, 0, frameHeaderLen+len(f.Payload))}
+	w.mac(f.Dst)
+	w.mac(f.Src)
+	w.u16(f.EtherType)
+	w.bytes(f.Payload)
+	return w.b
+}
+
+// DecodeFrame parses an Ethernet II frame.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) < frameHeaderLen {
+		return nil, overrun("ethernet frame", len(b), frameHeaderLen)
+	}
+	r := reader{b: b}
+	f := &Frame{}
+	f.Dst = r.mac()
+	f.Src = r.mac()
+	f.EtherType = r.u16()
+	f.Payload = r.rest()
+	return f, r.err
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("ether %s > %s type 0x%04x len %d", f.Src, f.Dst, f.EtherType, len(f.Payload))
+}

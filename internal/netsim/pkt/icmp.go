@@ -1,0 +1,130 @@
+package pkt
+
+import "fmt"
+
+// ICMP message types (RFC 792, RFC 950) used by the four ICMP-based
+// Explorer Modules.
+const (
+	ICMPEchoReply    byte = 0
+	ICMPUnreachable  byte = 3
+	ICMPEcho         byte = 8
+	ICMPTimeExceeded byte = 11
+	ICMPMaskRequest  byte = 17
+	ICMPMaskReply    byte = 18
+)
+
+// ICMP unreachable codes.
+const (
+	UnreachNet      byte = 0
+	UnreachHost     byte = 1
+	UnreachProtocol byte = 2
+	UnreachPort     byte = 3
+)
+
+// ICMPMessage is a decoded ICMP message. Fields are populated according to
+// Type:
+//
+//   - Echo/EchoReply: ID, Seq, Data
+//   - MaskRequest/MaskReply: ID, Seq, Mask
+//   - TimeExceeded/Unreachable: Original (the leading bytes of the packet
+//     that triggered the error: IP header + 8 bytes, per RFC 792)
+type ICMPMessage struct {
+	Type byte
+	Code byte
+	ID   uint16
+	Seq  uint16
+	Mask Mask
+	Data []byte
+	// Original holds the quoted datagram for error messages. Traceroute
+	// matches returned Time Exceeded messages to its probes by decoding
+	// this quote.
+	Original []byte
+}
+
+// Encode serializes the message with a correct ICMP checksum.
+func (m *ICMPMessage) Encode() []byte {
+	w := writer{b: make([]byte, 0, 8+len(m.Data)+len(m.Original))}
+	w.u8(m.Type)
+	w.u8(m.Code)
+	w.u16(0) // checksum placeholder
+	switch m.Type {
+	case ICMPEcho, ICMPEchoReply:
+		w.u16(m.ID)
+		w.u16(m.Seq)
+		w.bytes(m.Data)
+	case ICMPMaskRequest, ICMPMaskReply:
+		w.u16(m.ID)
+		w.u16(m.Seq)
+		w.u32(uint32(m.Mask))
+	case ICMPTimeExceeded, ICMPUnreachable:
+		w.u32(0) // unused
+		w.bytes(m.Original)
+	default:
+		w.u32(0)
+		w.bytes(m.Data)
+	}
+	w.setU16(2, Checksum(w.b))
+	return w.b
+}
+
+// DecodeICMP parses an ICMP message and verifies its checksum.
+func DecodeICMP(b []byte) (*ICMPMessage, error) {
+	if len(b) < 8 {
+		return nil, overrun("icmp message", len(b), 8)
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("pkt: icmp checksum mismatch")
+	}
+	r := reader{b: b}
+	m := &ICMPMessage{}
+	m.Type = r.u8()
+	m.Code = r.u8()
+	r.u16() // checksum
+	switch m.Type {
+	case ICMPEcho, ICMPEchoReply:
+		m.ID = r.u16()
+		m.Seq = r.u16()
+		m.Data = r.rest()
+	case ICMPMaskRequest, ICMPMaskReply:
+		m.ID = r.u16()
+		m.Seq = r.u16()
+		m.Mask = Mask(r.u32())
+	case ICMPTimeExceeded, ICMPUnreachable:
+		r.u32()
+		m.Original = r.rest()
+	default:
+		r.u32()
+		m.Data = r.rest()
+	}
+	return m, r.err
+}
+
+// QuoteOriginal builds the RFC 792 quoted datagram (IP header + first 8
+// payload bytes) for embedding in an ICMP error message.
+func QuoteOriginal(ipPacket []byte) []byte {
+	n := ipv4HeaderLen + 8
+	if len(ipPacket) < n {
+		n = len(ipPacket)
+	}
+	q := make([]byte, n)
+	copy(q, ipPacket[:n])
+	return q
+}
+
+func (m *ICMPMessage) String() string {
+	switch m.Type {
+	case ICMPEcho:
+		return fmt.Sprintf("icmp echo request id=%d seq=%d", m.ID, m.Seq)
+	case ICMPEchoReply:
+		return fmt.Sprintf("icmp echo reply id=%d seq=%d", m.ID, m.Seq)
+	case ICMPTimeExceeded:
+		return "icmp time exceeded"
+	case ICMPUnreachable:
+		return fmt.Sprintf("icmp unreachable code=%d", m.Code)
+	case ICMPMaskRequest:
+		return "icmp mask request"
+	case ICMPMaskReply:
+		return fmt.Sprintf("icmp mask reply %s", m.Mask)
+	}
+	return fmt.Sprintf("icmp type=%d code=%d", m.Type, m.Code)
+}

@@ -1,0 +1,127 @@
+package pkt
+
+import "fmt"
+
+// IP protocol numbers used by the simulator.
+const (
+	ProtoICMP byte = 1
+	ProtoTCP  byte = 6
+	ProtoUDP  byte = 17
+)
+
+// IPv4Header is an RFC 791 header without options. TTL handling in the
+// simulated routers, and therefore the Traceroute Explorer Module, depend
+// on these fields behaving exactly as on the wire.
+type IPv4Header struct {
+	TOS      byte
+	ID       uint16
+	Flags    byte   // 3 bits
+	FragOff  uint16 // 13 bits
+	TTL      byte
+	Protocol byte
+	Src      IP
+	Dst      IP
+}
+
+const ipv4HeaderLen = 20
+
+// IPv4Packet couples a header with its payload.
+type IPv4Packet struct {
+	Header  IPv4Header
+	Payload []byte
+}
+
+// Encode serializes the packet with a correct header checksum and total
+// length.
+func (p *IPv4Packet) Encode() []byte {
+	w := writer{b: make([]byte, 0, ipv4HeaderLen+len(p.Payload))}
+	h := &p.Header
+	w.u8(0x45) // version 4, IHL 5
+	w.u8(h.TOS)
+	w.u16(uint16(ipv4HeaderLen + len(p.Payload)))
+	w.u16(h.ID)
+	w.u16(uint16(h.Flags)<<13 | h.FragOff&0x1fff)
+	w.u8(h.TTL)
+	w.u8(h.Protocol)
+	w.u16(0) // checksum placeholder
+	w.ip(h.Src)
+	w.ip(h.Dst)
+	w.setU16(10, Checksum(w.b[:ipv4HeaderLen]))
+	w.bytes(p.Payload)
+	return w.b
+}
+
+// DecodeIPv4 parses an IPv4 packet and verifies the header checksum.
+func DecodeIPv4(b []byte) (*IPv4Packet, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, overrun("ipv4 header", len(b), ipv4HeaderLen)
+	}
+	r := reader{b: b}
+	vihl := r.u8()
+	if vihl>>4 != 4 {
+		return nil, fmt.Errorf("pkt: not IPv4 (version %d)", vihl>>4)
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("pkt: bad IHL %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+	}
+	p := &IPv4Packet{}
+	h := &p.Header
+	h.TOS = r.u8()
+	totalLen := int(r.u16())
+	h.ID = r.u16()
+	ff := r.u16()
+	h.Flags = byte(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = r.u8()
+	h.Protocol = r.u8()
+	r.u16() // checksum (verified above)
+	h.Src = r.ip()
+	h.Dst = r.ip()
+	r.bytes(ihl - ipv4HeaderLen) // skip options
+	if totalLen < ihl || totalLen > len(b) {
+		return nil, fmt.Errorf("pkt: ipv4 total length %d out of range", totalLen)
+	}
+	p.Payload = b[ihl:totalLen]
+	return p, r.err
+}
+
+// DecodeIPv4Header parses just the header of a possibly-truncated IPv4
+// packet, without the total-length bound check. ICMP error messages quote
+// only the first 28 bytes of the offending datagram (RFC 792), so the quote
+// usually claims a total length longer than the quoted bytes; Traceroute
+// must still recover the flow from it.
+func DecodeIPv4Header(b []byte) (*IPv4Header, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, overrun("ipv4 header", len(b), ipv4HeaderLen)
+	}
+	r := reader{b: b}
+	vihl := r.u8()
+	if vihl>>4 != 4 {
+		return nil, fmt.Errorf("pkt: not IPv4 (version %d)", vihl>>4)
+	}
+	if Checksum(b[:ipv4HeaderLen]) != 0 {
+		return nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+	}
+	h := &IPv4Header{}
+	h.TOS = r.u8()
+	r.u16() // total length (not validated against quote)
+	h.ID = r.u16()
+	ff := r.u16()
+	h.Flags = byte(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = r.u8()
+	h.Protocol = r.u8()
+	r.u16()
+	h.Src = r.ip()
+	h.Dst = r.ip()
+	return h, r.err
+}
+
+func (p *IPv4Packet) String() string {
+	return fmt.Sprintf("ip %s > %s proto %d ttl %d len %d",
+		p.Header.Src, p.Header.Dst, p.Header.Protocol, p.Header.TTL, len(p.Payload))
+}

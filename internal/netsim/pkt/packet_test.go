@@ -1,0 +1,465 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnown(t *testing.T) {
+	// Example from RFC 1071 discussions: checksum of a buffer, then the
+	// checksum over buffer+checksum must be zero.
+	b := []byte{0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06,
+		0x00, 0x00, 0xac, 0x10, 0x0a, 0x63, 0xac, 0x10, 0x0a, 0x0c}
+	sum := Checksum(b)
+	b[10] = byte(sum >> 8)
+	b[11] = byte(sum)
+	if Checksum(b) != 0 {
+		t.Fatal("checksum of checksummed buffer is nonzero")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum pads incorrectly")
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	f := &Frame{
+		Dst:       MAC{1, 2, 3, 4, 5, 6},
+		Src:       MAC{7, 8, 9, 10, 11, 12},
+		EtherType: EtherTypeARP,
+		Payload:   []byte("hello"),
+	}
+	b := f.Encode()
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.EtherType != f.EtherType ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 13)); err == nil {
+		t.Fatal("13-byte frame decoded without error")
+	}
+}
+
+func TestARPRoundtrip(t *testing.T) {
+	a := &ARPPacket{
+		Op:        ARPRequest,
+		SenderMAC: MAC{8, 0, 0x20, 1, 2, 3},
+		SenderIP:  IPv4(128, 138, 238, 18),
+		TargetIP:  IPv4(128, 138, 238, 7),
+	}
+	b := a.Encode()
+	if len(b) != 28 {
+		t.Fatalf("ARP packet length %d, want 28", len(b))
+	}
+	got, err := DecodeARP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, a)
+	}
+}
+
+func TestARPRejectsNonEthernet(t *testing.T) {
+	a := &ARPPacket{Op: ARPRequest}
+	b := a.Encode()
+	b[0] = 0 // hardware type 0x0001 -> 0x0001 with high byte zeroed is still 1; flip low byte
+	b[1] = 6 // token ring
+	if _, err := DecodeARP(b); err == nil {
+		t.Fatal("non-Ethernet ARP decoded without error")
+	}
+}
+
+func TestIPv4Roundtrip(t *testing.T) {
+	p := &IPv4Packet{
+		Header: IPv4Header{
+			TOS:      0,
+			ID:       0x1234,
+			TTL:      30,
+			Protocol: ProtoUDP,
+			Src:      IPv4(128, 138, 238, 18),
+			Dst:      IPv4(128, 138, 243, 7),
+		},
+		Payload: []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	b := p.Encode()
+	got, err := DecodeIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != p.Header || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", got, p)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	p := &IPv4Packet{Header: IPv4Header{TTL: 1, Protocol: ProtoICMP,
+		Src: IPv4(1, 2, 3, 4), Dst: IPv4(5, 6, 7, 8)}}
+	b := p.Encode()
+	b[8] ^= 0xff // corrupt TTL
+	if _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("corrupted IPv4 header decoded without error")
+	}
+}
+
+func TestIPv4RejectsVersion6(t *testing.T) {
+	b := make([]byte, 20)
+	b[0] = 0x65
+	if _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("version-6 packet decoded as IPv4")
+	}
+}
+
+func TestICMPEchoRoundtrip(t *testing.T) {
+	m := &ICMPMessage{Type: ICMPEcho, ID: 99, Seq: 3, Data: []byte("fremont")}
+	got, err := DecodeICMP(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != ICMPEcho || got.ID != 99 || got.Seq != 3 || string(got.Data) != "fremont" {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestICMPMaskRoundtrip(t *testing.T) {
+	m := &ICMPMessage{Type: ICMPMaskReply, ID: 1, Seq: 2, Mask: MaskBits(24)}
+	got, err := DecodeICMP(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mask != MaskBits(24) {
+		t.Fatalf("mask = %s, want /24", got.Mask)
+	}
+}
+
+func TestICMPTimeExceededQuotesOriginal(t *testing.T) {
+	orig := &IPv4Packet{
+		Header: IPv4Header{TTL: 1, Protocol: ProtoUDP,
+			Src: IPv4(1, 1, 1, 1), Dst: IPv4(2, 2, 2, 2)},
+		Payload: []byte{0, 7, 0, 8, 0, 12, 0, 0, 0xaa, 0xbb},
+	}
+	quote := QuoteOriginal(orig.Encode())
+	if len(quote) != 28 {
+		t.Fatalf("quote length %d, want 28 (IP header + 8)", len(quote))
+	}
+	m := &ICMPMessage{Type: ICMPTimeExceeded, Original: quote}
+	got, err := DecodeICMP(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded original must decode enough to recover the flow.
+	// (Quoted packets are truncated so the total length check is relaxed
+	// by re-reading just the header fields.)
+	if len(got.Original) != 28 {
+		t.Fatalf("original length %d", len(got.Original))
+	}
+	inner, err := DecodeIPv4Header(got.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Dst != IPv4(2, 2, 2, 2) || inner.Protocol != ProtoUDP {
+		t.Fatalf("inner header mismatch: %+v", inner)
+	}
+}
+
+func TestICMPChecksumDetectsCorruption(t *testing.T) {
+	m := &ICMPMessage{Type: ICMPEcho, ID: 1, Seq: 1}
+	b := m.Encode()
+	b[4] ^= 0x01
+	if _, err := DecodeICMP(b); err == nil {
+		t.Fatal("corrupted ICMP decoded without error")
+	}
+}
+
+func TestUDPRoundtrip(t *testing.T) {
+	src, dst := IPv4(1, 2, 3, 4), IPv4(5, 6, 7, 8)
+	u := &UDPPacket{SrcPort: 33434, DstPort: PortEcho, Payload: []byte("probe")}
+	got, err := DecodeUDP(u.Encode(src, dst), src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != u.SrcPort || got.DstPort != u.DstPort || string(got.Payload) != "probe" {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestUDPChecksumDetectsCorruption(t *testing.T) {
+	src, dst := IPv4(1, 2, 3, 4), IPv4(5, 6, 7, 8)
+	u := &UDPPacket{SrcPort: 1000, DstPort: 2000, Payload: []byte("xyz")}
+	b := u.Encode(src, dst)
+	b[len(b)-1] ^= 0xff
+	if _, err := DecodeUDP(b, src, dst); err == nil {
+		t.Fatal("corrupted UDP decoded without error")
+	}
+}
+
+func TestRIPRoundtrip(t *testing.T) {
+	p := &RIPPacket{
+		Command: RIPResponse,
+		Entries: []RIPEntry{
+			{Family: 2, Addr: IPv4(128, 138, 238, 0), Metric: 1},
+			{Family: 2, Addr: IPv4(128, 138, 243, 0), Metric: 2},
+			{Family: 2, Addr: IPv4(192, 44, 0, 0), Metric: 5},
+		},
+	}
+	got, err := DecodeRIP(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != RIPResponse || len(got.Entries) != 3 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	for i := range p.Entries {
+		if got.Entries[i] != p.Entries[i] {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, got.Entries[i], p.Entries[i])
+		}
+	}
+}
+
+func TestRIPRejectsTrailingBytes(t *testing.T) {
+	p := &RIPPacket{Command: RIPResponse, Entries: []RIPEntry{{Family: 2, Addr: 1, Metric: 1}}}
+	b := append(p.Encode(), 0x00)
+	if _, err := DecodeRIP(b); err == nil {
+		t.Fatal("RIP packet with trailing bytes decoded without error")
+	}
+}
+
+func TestRIPRejectsVersion2(t *testing.T) {
+	p := &RIPPacket{Command: RIPResponse}
+	b := p.Encode()
+	b[1] = 2
+	if _, err := DecodeRIP(b); err == nil {
+		t.Fatal("RIP version 2 decoded as version 1")
+	}
+}
+
+func TestDNSRoundtrip(t *testing.T) {
+	m := &DNSMessage{
+		ID:       0xbeef,
+		Response: true,
+		AA:       true,
+		Question: []DNSQuestion{{Name: "238.138.128.in-addr.arpa", Type: DNSTypePTR, Class: DNSClassIN}},
+		Answer: []DNSRR{
+			{Name: "5.238.138.128.in-addr.arpa", Type: DNSTypePTR, Class: DNSClassIN, TTL: 3600, Targ: "anchor.cs.colorado.edu"},
+			{Name: "anchor.cs.colorado.edu", Type: DNSTypeA, Class: DNSClassIN, TTL: 3600, A: IPv4(128, 138, 238, 5)},
+		},
+		Extra: []DNSRR{
+			{Name: "cs.colorado.edu", Type: DNSTypeNS, Class: DNSClassIN, TTL: 3600, Targ: "piper.cs.colorado.edu"},
+		},
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDNS(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || !got.Response || !got.AA {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Question) != 1 || got.Question[0].Name != m.Question[0].Name {
+		t.Fatalf("question mismatch: %+v", got.Question)
+	}
+	if len(got.Answer) != 2 {
+		t.Fatalf("answer count %d", len(got.Answer))
+	}
+	if got.Answer[0].Targ != "anchor.cs.colorado.edu" {
+		t.Fatalf("PTR target %q", got.Answer[0].Targ)
+	}
+	if got.Answer[1].A != IPv4(128, 138, 238, 5) {
+		t.Fatalf("A record %s", got.Answer[1].A)
+	}
+	if len(got.Extra) != 1 || got.Extra[0].Targ != "piper.cs.colorado.edu" {
+		t.Fatalf("extra mismatch: %+v", got.Extra)
+	}
+}
+
+func TestDNSCompressedNames(t *testing.T) {
+	// Hand-build a message that uses a compression pointer:
+	// question "host.example" then answer name pointing back at offset 12.
+	var w writer
+	w.u16(1)      // ID
+	w.u16(0x8400) // response, AA
+	w.u16(1)      // qdcount
+	w.u16(1)      // ancount
+	w.u16(0)
+	w.u16(0)
+	// question at offset 12
+	w.u8(4)
+	w.bytes([]byte("host"))
+	w.u8(7)
+	w.bytes([]byte("example"))
+	w.u8(0)
+	w.u16(DNSTypeA)
+	w.u16(DNSClassIN)
+	// answer with compressed name: pointer to offset 12
+	w.u8(0xc0)
+	w.u8(12)
+	w.u16(DNSTypeA)
+	w.u16(DNSClassIN)
+	w.u32(60)
+	w.u16(4)
+	w.ip(IPv4(10, 0, 0, 1))
+	m, err := DecodeDNS(w.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answer[0].Name != "host.example" {
+		t.Fatalf("compressed name decoded as %q", m.Answer[0].Name)
+	}
+	if m.Answer[0].A != IPv4(10, 0, 0, 1) {
+		t.Fatalf("A = %s", m.Answer[0].A)
+	}
+}
+
+func TestDNSPointerLoopRejected(t *testing.T) {
+	var w writer
+	w.u16(1)
+	w.u16(0)
+	w.u16(1)
+	w.u16(0)
+	w.u16(0)
+	w.u16(0)
+	// question name = pointer to itself
+	w.u8(0xc0)
+	w.u8(12)
+	w.u16(DNSTypeA)
+	w.u16(DNSClassIN)
+	if _, err := DecodeDNS(w.b); err == nil {
+		t.Fatal("self-referential compression pointer decoded without error")
+	}
+}
+
+func TestReverseName(t *testing.T) {
+	ip := IPv4(128, 138, 238, 5)
+	name := ReverseName(ip)
+	if name != "5.238.138.128.in-addr.arpa" {
+		t.Fatalf("ReverseName = %q", name)
+	}
+	back, ok := ParseReverseName(name)
+	if !ok || back != ip {
+		t.Fatalf("ParseReverseName(%q) = %v, %v", name, back, ok)
+	}
+	if _, ok := ParseReverseName("example.com"); ok {
+		t.Fatal("ParseReverseName accepted a forward name")
+	}
+	if _, ok := ParseReverseName("1.2.3.in-addr.arpa"); ok {
+		t.Fatal("ParseReverseName accepted a 3-octet name")
+	}
+}
+
+// Property tests: encode/decode are inverses for arbitrary field values.
+
+func TestQuickARPRoundtrip(t *testing.T) {
+	f := func(op uint16, sm, tm [6]byte, sip, tip uint32) bool {
+		a := &ARPPacket{Op: op, SenderMAC: MAC(sm), SenderIP: IP(sip),
+			TargetMAC: MAC(tm), TargetIP: IP(tip)}
+		got, err := DecodeARP(a.Encode())
+		return err == nil && *got == *a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIPv4Roundtrip(t *testing.T) {
+	f := func(tos byte, id uint16, ttl, proto byte, src, dst uint32, payload []byte) bool {
+		p := &IPv4Packet{
+			Header:  IPv4Header{TOS: tos, ID: id, TTL: ttl, Protocol: proto, Src: IP(src), Dst: IP(dst)},
+			Payload: payload,
+		}
+		if len(payload) > 60000 {
+			return true
+		}
+		got, err := DecodeIPv4(p.Encode())
+		return err == nil && got.Header == p.Header && bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickICMPEchoRoundtrip(t *testing.T) {
+	f := func(id, seq uint16, data []byte) bool {
+		m := &ICMPMessage{Type: ICMPEcho, ID: id, Seq: seq, Data: data}
+		got, err := DecodeICMP(m.Encode())
+		return err == nil && got.ID == id && got.Seq == seq && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUDPRoundtrip(t *testing.T) {
+	f := func(sp, dp uint16, src, dst uint32, payload []byte) bool {
+		if len(payload) > 60000 {
+			return true
+		}
+		u := &UDPPacket{SrcPort: sp, DstPort: dp, Payload: payload}
+		got, err := DecodeUDP(u.Encode(IP(src), IP(dst)), IP(src), IP(dst))
+		return err == nil && got.SrcPort == sp && got.DstPort == dp && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodersDontPanicOnGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		// Any byte soup must produce an error or a value, never a panic.
+		DecodeFrame(b)
+		DecodeARP(b)
+		DecodeIPv4(b)
+		DecodeICMP(b)
+		DecodeUDP(b, 0, 0)
+		DecodeRIP(b)
+		DecodeDNS(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIPv4EncodeDecode(b *testing.B) {
+	p := &IPv4Packet{
+		Header:  IPv4Header{TTL: 30, Protocol: ProtoUDP, Src: 1, Dst: 2},
+		Payload: make([]byte, 64),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Encode()
+		if _, err := DecodeIPv4(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSEncodeDecode(b *testing.B) {
+	m := &DNSMessage{
+		ID: 7, Response: true,
+		Answer: []DNSRR{
+			{Name: "5.238.138.128.in-addr.arpa", Type: DNSTypePTR, Class: DNSClassIN, TTL: 60, Targ: "anchor.cs.colorado.edu"},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeDNS(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

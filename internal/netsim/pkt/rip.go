@@ -1,0 +1,92 @@
+package pkt
+
+import "fmt"
+
+// RIP commands (RFC 1058).
+const (
+	RIPRequest  byte = 1
+	RIPResponse byte = 2
+)
+
+// RIPInfinity is the metric meaning "unreachable".
+const RIPInfinity = 16
+
+// RIPEntry advertises one destination. RIP version 1 carries no subnet
+// mask — the paper leans on this: "No subnet mask information is contained
+// in these packets, so routes to networks, subnets, or hosts are determined
+// by comparing the subnet mask of the receiving host to the address being
+// advertised."
+type RIPEntry struct {
+	Family uint16 // 2 = IP
+	Addr   IP
+	Metric uint32
+}
+
+// RIPPacket is a RIP version 1 packet (RFC 1058). A packet holds at most
+// 25 entries.
+type RIPPacket struct {
+	Command byte
+	Entries []RIPEntry
+}
+
+const ripHeaderLen = 4
+const ripEntryLen = 20
+
+// MaxRIPEntries is the RFC 1058 per-packet entry limit.
+const MaxRIPEntries = 25
+
+// Encode serializes the packet.
+func (p *RIPPacket) Encode() []byte {
+	w := writer{b: make([]byte, 0, ripHeaderLen+len(p.Entries)*ripEntryLen)}
+	w.u8(p.Command)
+	w.u8(1) // version 1
+	w.u16(0)
+	for _, e := range p.Entries {
+		w.u16(e.Family)
+		w.u16(0)
+		w.ip(e.Addr)
+		w.u32(0)
+		w.u32(0)
+		w.u32(e.Metric)
+	}
+	return w.b
+}
+
+// DecodeRIP parses a RIP version 1 packet.
+func DecodeRIP(b []byte) (*RIPPacket, error) {
+	if len(b) < ripHeaderLen {
+		return nil, overrun("rip packet", len(b), ripHeaderLen)
+	}
+	r := reader{b: b}
+	p := &RIPPacket{}
+	p.Command = r.u8()
+	if v := r.u8(); v != 1 {
+		return nil, fmt.Errorf("pkt: unsupported RIP version %d", v)
+	}
+	r.u16()
+	for r.remaining() >= ripEntryLen {
+		var e RIPEntry
+		e.Family = r.u16()
+		r.u16()
+		e.Addr = r.ip()
+		r.u32()
+		r.u32()
+		e.Metric = r.u32()
+		p.Entries = append(p.Entries, e)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("pkt: rip packet has %d trailing bytes", r.remaining())
+	}
+	if len(p.Entries) > MaxRIPEntries {
+		return nil, fmt.Errorf("pkt: rip packet has %d entries (max %d)", len(p.Entries), MaxRIPEntries)
+	}
+	return p, r.err
+}
+
+func (p *RIPPacket) String() string {
+	cmd := "response"
+	if p.Command == RIPRequest {
+		cmd = "request"
+	}
+	return fmt.Sprintf("rip %s with %d entries", cmd, len(p.Entries))
+}

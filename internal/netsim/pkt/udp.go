@@ -1,0 +1,81 @@
+package pkt
+
+import "fmt"
+
+// Well-known UDP ports used by the Explorer Modules.
+const (
+	PortEcho uint16 = 7   // UDP echo service (EtherHostProbe)
+	PortDNS  uint16 = 53  // Domain Name System
+	PortRIP  uint16 = 520 // Routing Information Protocol
+)
+
+// UDPPacket is an RFC 768 datagram. The checksum is computed over the
+// pseudo-header when src/dst IPs are supplied to Encode.
+type UDPPacket struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+const udpHeaderLen = 8
+
+// Encode serializes the datagram. src and dst are the IP addresses used in
+// the checksum pseudo-header.
+func (u *UDPPacket) Encode(src, dst IP) []byte {
+	w := writer{b: make([]byte, 0, udpHeaderLen+len(u.Payload))}
+	w.u16(u.SrcPort)
+	w.u16(u.DstPort)
+	w.u16(uint16(udpHeaderLen + len(u.Payload)))
+	w.u16(0) // checksum placeholder
+	w.bytes(u.Payload)
+
+	// Pseudo-header checksum.
+	ph := writer{b: make([]byte, 0, 12+len(w.b))}
+	ph.ip(src)
+	ph.ip(dst)
+	ph.u8(0)
+	ph.u8(ProtoUDP)
+	ph.u16(uint16(len(w.b)))
+	ph.bytes(w.b)
+	sum := Checksum(ph.b)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	w.setU16(6, sum)
+	return w.b
+}
+
+// DecodeUDP parses a UDP datagram and, when src/dst are nonzero, verifies
+// the pseudo-header checksum.
+func DecodeUDP(b []byte, src, dst IP) (*UDPPacket, error) {
+	if len(b) < udpHeaderLen {
+		return nil, overrun("udp datagram", len(b), udpHeaderLen)
+	}
+	r := reader{b: b}
+	u := &UDPPacket{}
+	u.SrcPort = r.u16()
+	u.DstPort = r.u16()
+	length := int(r.u16())
+	cksum := r.u16()
+	if length < udpHeaderLen || length > len(b) {
+		return nil, fmt.Errorf("pkt: udp length %d out of range", length)
+	}
+	u.Payload = b[udpHeaderLen:length]
+	if cksum != 0 && !src.IsZero() {
+		ph := writer{b: make([]byte, 0, 12+length)}
+		ph.ip(src)
+		ph.ip(dst)
+		ph.u8(0)
+		ph.u8(ProtoUDP)
+		ph.u16(uint16(length))
+		ph.bytes(b[:length])
+		if s := Checksum(ph.b); s != 0 && s != 0xffff {
+			return nil, fmt.Errorf("pkt: udp checksum mismatch")
+		}
+	}
+	return u, r.err
+}
+
+func (u *UDPPacket) String() string {
+	return fmt.Sprintf("udp %d > %d len %d", u.SrcPort, u.DstPort, len(u.Payload))
+}

@@ -1,0 +1,126 @@
+package pkt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a packet is shorter than its format
+// requires.
+var ErrTruncated = errors.New("pkt: truncated packet")
+
+// writer builds a packet buffer in network byte order.
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u8(v byte) { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) {
+	w.b = append(w.b, byte(v>>8), byte(v))
+}
+func (w *writer) u32(v uint32) {
+	w.b = append(w.b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (w *writer) bytes(p []byte) { w.b = append(w.b, p...) }
+func (w *writer) mac(m MAC)      { w.b = append(w.b, m[:]...) }
+func (w *writer) ip(ip IP)       { w.u32(uint32(ip)) }
+
+// setU16 patches a big-endian u16 at offset off (for checksums/lengths).
+func (w *writer) setU16(off int, v uint16) {
+	w.b[off] = byte(v >> 8)
+	w.b[off+1] = byte(v)
+}
+
+// reader consumes a packet buffer in network byte order.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.remaining() < 2 {
+		r.fail()
+		return 0
+	}
+	v := uint16(r.b[r.off])<<8 | uint16(r.b[r.off+1])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := uint32(r.b[r.off])<<24 | uint32(r.b[r.off+1])<<16 |
+		uint32(r.b[r.off+2])<<8 | uint32(r.b[r.off+3])
+	r.off += 4
+	return v
+}
+
+func (r *reader) mac() MAC {
+	var m MAC
+	if r.err != nil || r.remaining() < 6 {
+		r.fail()
+		return m
+	}
+	copy(m[:], r.b[r.off:])
+	r.off += 6
+	return m
+}
+
+func (r *reader) ip() IP { return IP(r.u32()) }
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.remaining() < n || n < 0 {
+		r.fail()
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) rest() []byte {
+	p := r.b[r.off:]
+	r.off = len(r.b)
+	return p
+}
+
+// Checksum computes the RFC 1071 Internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+func overrun(what string, got, want int) error {
+	return fmt.Errorf("pkt: %s: got %d bytes, need %d: %w", what, got, want, ErrTruncated)
+}

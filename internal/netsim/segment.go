@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"time"
+
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// SegmentStats counts traffic on a segment.
+type SegmentStats struct {
+	Frames     int // frames offered to the wire
+	Bytes      int
+	Dropped    int // lost to collisions or random loss
+	Broadcasts int
+}
+
+// Segment is a shared medium (an Ethernet wire). All attached interfaces
+// see broadcast frames; unicast frames are delivered to the owner of the
+// destination MAC. Taps (the SunOS NIT analog) observe every frame that
+// survives the wire.
+//
+// The collision model is deliberately simple but captures what the paper's
+// Table 5 needs: when many stations transmit within CollisionWindow of each
+// other — exactly what a directed-broadcast ping provokes — frames beyond
+// the first CollisionFree are each lost with probability CollisionProb per
+// concurrent competitor. "These directed broadcasts tend to be less
+// successful than sequential pings on a subnet with many hosts, because
+// closely spaced replies can cause many collisions."
+type Segment struct {
+	net    *Network
+	Name   string
+	Subnet pkt.Subnet
+
+	Latency         time.Duration
+	CollisionWindow time.Duration
+	CollisionFree   int     // concurrent frames tolerated before loss starts
+	CollisionProb   float64 // per-extra-competitor loss probability
+	RandomLoss      float64 // base random frame loss
+
+	ifaces []*Iface
+	taps   []*Tap
+
+	recentTx []time.Duration
+	Stats    SegmentStats
+}
+
+// Ifaces returns the interfaces attached to the segment.
+func (s *Segment) Ifaces() []*Iface { return s.ifaces }
+
+// attach wires an interface to the segment (called by Node.AddIface).
+func (s *Segment) attach(ifc *Iface) {
+	s.ifaces = append(s.ifaces, ifc)
+}
+
+// Transmit offers a frame to the wire from the sending interface. Delivery
+// happens after the segment latency; collided or randomly lost frames are
+// silently dropped (with stats accounting), like the real thing.
+func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
+	sched := s.net.Sched
+	now := sched.Now()
+	raw := frame.Encode()
+
+	s.Stats.Frames++
+	s.Stats.Bytes += len(raw)
+	if frame.Dst.IsBroadcast() {
+		s.Stats.Broadcasts++
+	}
+
+	// Collision model: count transmissions within the window.
+	cutoff := now - s.CollisionWindow
+	keep := s.recentTx[:0]
+	for _, t := range s.recentTx {
+		if t >= cutoff {
+			keep = append(keep, t)
+		}
+	}
+	s.recentTx = append(keep, now)
+	concurrent := len(s.recentTx)
+
+	rng := sched.Rand()
+	if extra := concurrent - s.CollisionFree; extra > 0 && s.CollisionProb > 0 {
+		loss := s.CollisionProb * float64(extra)
+		if loss > 0.9 {
+			loss = 0.9
+		}
+		if rng.Float64() < loss {
+			s.Stats.Dropped++
+			return
+		}
+	}
+	if s.RandomLoss > 0 && rng.Float64() < s.RandomLoss {
+		s.Stats.Dropped++
+		return
+	}
+
+	// Taps observe surviving frames (promiscuous).
+	for _, tap := range s.taps {
+		tap.offer(raw)
+	}
+
+	sched.After(s.Latency, func() {
+		if frame.Dst.IsBroadcast() {
+			for _, ifc := range s.ifaces {
+				if ifc != from && ifc.Node.Up {
+					ifc.Node.receiveFrame(ifc, raw)
+				}
+			}
+			return
+		}
+		for _, ifc := range s.ifaces {
+			if ifc.MAC == frame.Dst {
+				if ifc.Node.Up {
+					ifc.Node.receiveFrame(ifc, raw)
+				}
+				return
+			}
+		}
+	})
+}
+
+// Tap is a promiscuous raw-frame observer on a segment — the simulator's
+// stand-in for the SunOS Network Interface Tap. ARPwatch and RIPwatch read
+// frames from taps; opening one requires privilege (see Node.OpenTap).
+type Tap struct {
+	seg    *Segment
+	mb     *sim.Mailbox[[]byte]
+	Filter func(raw []byte) bool // nil accepts everything
+	closed bool
+	Seen   int // frames matched and queued
+}
+
+func (t *Tap) offer(raw []byte) {
+	if t.closed {
+		return
+	}
+	if t.Filter != nil && !t.Filter(raw) {
+		return
+	}
+	t.Seen++
+	t.mb.Put(raw)
+}
+
+// Recv blocks the process until a frame matching the filter arrives, or the
+// timeout elapses (negative blocks forever).
+func (t *Tap) Recv(p *sim.Proc, timeout time.Duration) ([]byte, bool) {
+	return t.mb.Get(p, timeout)
+}
+
+// TryRecv returns a queued frame without blocking.
+func (t *Tap) TryRecv() ([]byte, bool) { return t.mb.TryGet() }
+
+// Close detaches the tap from the segment.
+func (t *Tap) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	taps := t.seg.taps[:0]
+	for _, other := range t.seg.taps {
+		if other != t {
+			taps = append(taps, other)
+		}
+	}
+	t.seg.taps = taps
+}

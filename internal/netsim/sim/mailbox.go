@@ -1,0 +1,108 @@
+package sim
+
+import "time"
+
+// Mailbox is a FIFO queue of T carrying messages to blocked processes.
+// Simulated NICs deliver frames into mailboxes; Explorer Modules block on
+// them with timeouts ("wait up to ten seconds for the ICMP reply").
+//
+// Put may be called from any event or process context. Get blocks the
+// calling process.
+type Mailbox[T any] struct {
+	s       *Scheduler
+	q       []T
+	waiters []*mboxWaiter[T]
+	max     int // 0 = unbounded
+	dropped int
+}
+
+type mboxWaiter[T any] struct {
+	p         *Proc
+	gen       uint64
+	val       T
+	delivered bool
+	cancelled bool
+}
+
+// NewMailbox returns an unbounded mailbox.
+func NewMailbox[T any](s *Scheduler) *Mailbox[T] {
+	return &Mailbox[T]{s: s}
+}
+
+// NewBoundedMailbox returns a mailbox that holds at most max queued
+// messages; further Puts are dropped (and counted), modeling a socket
+// receive buffer.
+func NewBoundedMailbox[T any](s *Scheduler, max int) *Mailbox[T] {
+	return &Mailbox[T]{s: s, max: max}
+}
+
+// Len reports the number of queued (undelivered) messages.
+func (m *Mailbox[T]) Len() int { return len(m.q) }
+
+// Dropped reports how many messages were discarded due to the bound.
+func (m *Mailbox[T]) Dropped() int { return m.dropped }
+
+// Put delivers v: directly to the longest-waiting process if any, otherwise
+// onto the queue.
+func (m *Mailbox[T]) Put(v T) {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.cancelled || w.p.done || w.p.killed {
+			continue
+		}
+		w.delivered = true
+		w.val = v
+		w.p.wakeAt(w.gen)
+		return
+	}
+	if m.max > 0 && len(m.q) >= m.max {
+		m.dropped++
+		return
+	}
+	m.q = append(m.q, v)
+}
+
+// TryGet pops the oldest queued message without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Get blocks p until a message arrives or timeout elapses. A negative
+// timeout blocks forever. ok is false on timeout.
+func (m *Mailbox[T]) Get(p *Proc, timeout time.Duration) (v T, ok bool) {
+	if v, ok := m.TryGet(); ok {
+		return v, true
+	}
+	w := &mboxWaiter[T]{p: p, gen: p.arm()}
+	m.waiters = append(m.waiters, w)
+	if timeout >= 0 {
+		m.s.After(timeout, func() {
+			if w.delivered || w.cancelled {
+				return
+			}
+			w.cancelled = true
+			p.wakeAt(w.gen)
+		})
+	}
+	p.park()
+	if w.delivered {
+		return w.val, true
+	}
+	w.cancelled = true // a Kill can also end the park; drop the waiter slot
+	var zero T
+	return zero, false
+}
+
+// Drain removes and returns all queued messages.
+func (m *Mailbox[T]) Drain() []T {
+	out := m.q
+	m.q = nil
+	return out
+}

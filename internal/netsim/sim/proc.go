@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"time"
+)
+
+// Proc is a simulation process: sequential code that can block on virtual
+// time (Sleep) and on mailboxes, written in ordinary imperative style.
+// Explorer Modules — which send probes, wait for replies, and time out —
+// are written as Procs.
+//
+// A Proc runs on its own goroutine, but the scheduler guarantees that at
+// most one Proc (or event handler) executes at a time: when a Proc blocks,
+// it parks and hands control back to the event loop; when a wakeup event
+// fires, the loop hands control back and waits for the next park. Execution
+// is therefore deterministic despite using goroutines.
+//
+// Every park is tagged with a generation number, and every wakeup event is
+// armed for a specific generation. A stale wakeup (for example, a mailbox
+// timeout firing after the message already arrived, or a Kill racing a
+// timer) finds the generation advanced and does nothing, so a park is
+// resumed exactly once.
+type Proc struct {
+	s    *Scheduler
+	name string
+
+	resume chan struct{} // scheduler -> proc: continue
+	parked chan struct{} // proc -> scheduler: parked or finished
+
+	gen      uint64 // current park generation; advanced by arm()
+	isParked bool
+
+	done   bool
+	killed bool
+}
+
+// killedPanic unwinds a killed process's stack; the spawn wrapper recovers it.
+type killedPanic struct{ name string }
+
+// Spawn starts fn as a new simulation process at the current virtual time.
+// fn begins executing when the scheduler reaches the start event.
+func (s *Scheduler) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		s:      s,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.nprocs++
+	s.After(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedPanic); !ok {
+						panic(r)
+					}
+				}
+				p.done = true
+				p.s.nprocs--
+				p.parked <- struct{}{}
+			}()
+			if p.killed {
+				return
+			}
+			fn(p)
+		}()
+		<-p.parked // wait until the proc parks or finishes
+	})
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Scheduler returns the scheduler this process runs under.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.s.Now() }
+
+// WallNow returns the current virtual time as an absolute timestamp.
+func (p *Proc) WallNow() time.Time { return p.s.WallNow() }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// arm advances and returns the park generation. A blocking primitive calls
+// arm, schedules one or more wakeups bound to the returned generation, and
+// then parks.
+func (p *Proc) arm() uint64 {
+	p.gen++
+	return p.gen
+}
+
+// wakeAt schedules the process to resume at the current virtual time if it
+// is still parked in generation gen. Safe to call multiple times; only the
+// first matching wakeup resumes the park.
+func (p *Proc) wakeAt(gen uint64) {
+	p.s.After(0, func() {
+		if p.done || !p.isParked || p.gen != gen {
+			return
+		}
+		p.isParked = false // claim the park before handing over control
+		p.resume <- struct{}{}
+		<-p.parked
+	})
+}
+
+// park suspends the process until a wakeup for the current generation fires.
+// Must be called from the process's own goroutine, after arm().
+func (p *Proc) park() {
+	if p.killed {
+		panic(killedPanic{p.name})
+	}
+	p.isParked = true
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedPanic{p.name})
+	}
+}
+
+// Sleep blocks the process for d of virtual time. Sleep(0) yields, letting
+// already-queued same-time events run first.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	gen := p.arm()
+	p.s.After(d, func() {
+		if p.done || !p.isParked || p.gen != gen {
+			return
+		}
+		p.isParked = false
+		p.resume <- struct{}{}
+		<-p.parked
+	})
+	p.park()
+}
+
+// Yield gives other same-time events a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// SleepUntil blocks until virtual time t (no-op if t has passed).
+func (p *Proc) SleepUntil(t time.Duration) {
+	if d := t - p.s.Now(); d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Kill terminates the process at its next blocking point (or, if it is
+// currently parked, as soon as the kill event runs). The process's stack
+// unwinds via an internal panic; deferred functions run as usual.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.wakeAt(p.gen)
+}

@@ -1,0 +1,138 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, coroutine-style processes, and typed
+// mailboxes for inter-process communication.
+//
+// Fremont's evaluation requires hours of simulated network time (the paper's
+// Table 5 runs ARPwatch for 24 hours) and exact reproducibility. The engine
+// therefore runs on a virtual clock: events execute in timestamp order, ties
+// broken by scheduling order, and all randomness flows from a single seeded
+// source. Processes are goroutines, but at most one is runnable at any
+// moment — the scheduler hands control to a process and waits for it to park
+// again — so execution is single-threaded in effect and fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the pending event queue.
+type Scheduler struct {
+	now   time.Duration
+	base  time.Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+
+	nprocs  int // live (spawned, unfinished) processes
+	stopped bool
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewScheduler returns a scheduler whose virtual clock starts at zero and
+// whose wall-clock epoch is a fixed reference date. All randomness in a
+// simulation should come from Rand(), seeded here, so that runs are exactly
+// reproducible.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		// A fixed epoch keeps journal timestamps stable across runs.
+		base: time.Date(1993, time.January, 25, 8, 0, 0, 0, time.UTC),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the virtual time elapsed since the start of the simulation.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// WallNow returns the virtual time as an absolute timestamp, for recording
+// in the Journal.
+func (s *Scheduler) WallNow() time.Time { return s.base.Add(s.now) }
+
+// Rand returns the simulation's random source. It must only be used from
+// event or process context (never concurrently).
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in the caller; the event is clamped to the current time.
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d means "now".
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	s.At(s.now+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Stop makes the current Run/RunUntil call return after the current event
+// completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		s.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (even if the queue drained earlier).
+func (s *Scheduler) RunUntil(t time.Duration) {
+	s.stopped = false
+	for len(s.queue) > 0 && s.queue[0].at <= t && !s.stopped {
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from the current moment.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+func (s *Scheduler) step() {
+	e := heap.Pop(&s.queue).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	e.fn()
+}
+
+// String describes the scheduler state, for debugging.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sim: t=%v queued=%d procs=%d", s.now, len(s.queue), s.nprocs)
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	s.After(10*time.Second, func() { fired = true })
+	s.RunUntil(5 * time.Second)
+	if fired {
+		t.Fatal("event at t=10s fired during RunUntil(5s)")
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", s.Now())
+	}
+	s.RunFor(5 * time.Second)
+	if !fired {
+		t.Fatal("event at t=10s did not fire by t=10s")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 4*time.Second {
+		t.Fatalf("Now() = %v, want 4s", s.Now())
+	}
+}
+
+func TestWallNow(t *testing.T) {
+	s := NewScheduler(1)
+	start := s.WallNow()
+	s.After(time.Hour, func() {})
+	s.Run()
+	if got := s.WallNow().Sub(start); got != time.Hour {
+		t.Fatalf("wall clock advanced %v, want 1h", got)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := NewScheduler(1)
+	var wake []time.Duration
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Minute)
+			wake = append(wake, p.Now())
+		}
+	})
+	s.Run()
+	want := []time.Duration{time.Minute, 2 * time.Minute, 3 * time.Minute}
+	if len(wake) != 3 {
+		t.Fatalf("wakeups = %v, want %v", wake, want)
+	}
+	for i := range want {
+		if wake[i] != want[i] {
+			t.Fatalf("wakeups = %v, want %v", wake, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	s := NewScheduler(1)
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		order = append(order, "a1")
+		p.Sleep(2 * time.Second) // wakes at 3s
+		order = append(order, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		order = append(order, "b1")
+		p.Sleep(2 * time.Second) // wakes at 4s
+		order = append(order, "b2")
+	})
+	s.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	if len(order) != 4 {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMailboxDelivery(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	var got []int
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			v, ok := mb.Get(p, -1)
+			if !ok {
+				t.Error("Get failed with infinite timeout")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	s.After(time.Second, func() { mb.Put(1) })
+	s.After(2*time.Second, func() { mb.Put(2); mb.Put(3) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestMailboxTimeout(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	var timedOut bool
+	var at time.Duration
+	s.Spawn("recv", func(p *Proc) {
+		_, ok := mb.Get(p, 5*time.Second)
+		timedOut = !ok
+		at = p.Now()
+	})
+	s.Run()
+	if !timedOut {
+		t.Fatal("Get did not time out")
+	}
+	if at != 5*time.Second {
+		t.Fatalf("timed out at %v, want 5s", at)
+	}
+}
+
+func TestMailboxTimeoutThenDelivery(t *testing.T) {
+	// A message arriving after a timeout must be queued for the next Get,
+	// not lost to the timed-out waiter.
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	var first, second bool
+	var v int
+	s.Spawn("recv", func(p *Proc) {
+		_, first = mb.Get(p, time.Second)
+		v, second = mb.Get(p, 10*time.Second)
+	})
+	s.After(3*time.Second, func() { mb.Put(42) })
+	s.Run()
+	if first {
+		t.Fatal("first Get should have timed out")
+	}
+	if !second || v != 42 {
+		t.Fatalf("second Get = %d,%v; want 42,true", v, second)
+	}
+}
+
+func TestMailboxQueuedBeforeGet(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[string](s)
+	mb.Put("early")
+	var got string
+	s.Spawn("recv", func(p *Proc) {
+		got, _ = mb.Get(p, 0)
+	})
+	s.Run()
+	if got != "early" {
+		t.Fatalf("got %q, want early", got)
+	}
+}
+
+func TestBoundedMailboxDrops(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewBoundedMailbox[int](s, 2)
+	mb.Put(1)
+	mb.Put(2)
+	mb.Put(3)
+	if mb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", mb.Len())
+	}
+	if mb.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", mb.Dropped())
+	}
+}
+
+func TestKillParkedProc(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	cleanedUp := false
+	finished := false
+	p := s.Spawn("victim", func(p *Proc) {
+		defer func() { cleanedUp = true }()
+		mb.Get(p, -1) // blocks forever
+		finished = true
+	})
+	s.After(time.Second, func() { p.Kill() })
+	s.Run()
+	if finished {
+		t.Fatal("killed proc ran past its blocking call")
+	}
+	if !cleanedUp {
+		t.Fatal("killed proc's deferred cleanup did not run")
+	}
+	if !p.Done() {
+		t.Fatal("killed proc not marked done")
+	}
+}
+
+func TestKillSleepingProc(t *testing.T) {
+	s := NewScheduler(1)
+	woke := false
+	p := s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(time.Hour)
+		woke = true
+	})
+	s.After(time.Minute, func() { p.Kill() })
+	s.RunUntil(2 * time.Minute)
+	if woke {
+		t.Fatal("killed sleeper woke up")
+	}
+	if !p.Done() {
+		t.Fatal("sleeper not done right after kill; the stale hour timer should not be needed")
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	p := s.Spawn("never", func(p *Proc) { ran = true })
+	p.Kill()
+	s.Run()
+	if ran {
+		t.Fatal("proc body ran despite kill before start")
+	}
+}
+
+func TestMailboxPutSkipsDeadWaiters(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	var aliveGot int
+	dead := s.Spawn("dead", func(p *Proc) { mb.Get(p, -1) })
+	s.After(time.Second, func() { dead.Kill() })
+	s.After(2*time.Second, func() {
+		s.Spawn("alive", func(p *Proc) { aliveGot, _ = mb.Get(p, -1) })
+	})
+	s.After(3*time.Second, func() { mb.Put(7) })
+	s.Run()
+	if aliveGot != 7 {
+		t.Fatalf("live waiter got %d, want 7", aliveGot)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() []int {
+		s := NewScheduler(99)
+		mb := NewMailbox[int](s)
+		var got []int
+		for i := 0; i < 20; i++ {
+			i := i
+			s.Spawn("p", func(p *Proc) {
+				p.Sleep(time.Duration(s.Rand().Intn(1000)) * time.Millisecond)
+				mb.Put(i)
+			})
+		}
+		s.Spawn("collector", func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				v, ok := mb.Get(p, -1)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("runs collected %d and %d messages, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic runs:\n%v\n%v", a, b)
+		}
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop should halt the loop)", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", s.Pending())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := NewScheduler(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	s.Run()
+}
+
+func BenchmarkProcSleepWake(b *testing.B) {
+	s := NewScheduler(1)
+	s.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}

@@ -1,0 +1,313 @@
+// Package present implements Fremont's presentation programs: the raw
+// Journal dump used for debugging, the three-level interface viewer, and
+// the network-structure export (the paper's Figure 2, which fed SunNet
+// Manager).
+package present
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Dump writes every record in the Journal ("The first program simply lists
+// all of the data in the Journal. We used this for early debugging.").
+func Dump(w io.Writer, sink journal.Sink) error {
+	ifs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return err
+	}
+	gws, err := sink.Gateways()
+	if err != nil {
+		return err
+	}
+	sns, err := sink.Subnets()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "journal: %d interfaces, %d gateways, %d subnets\n", len(ifs), len(gws), len(sns))
+	for _, r := range ifs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	for _, r := range gws {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	for _, r := range sns {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return nil
+}
+
+// sortByIP orders records by network layer address for display.
+func sortByIP(recs []*journal.InterfaceRec) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].IP < recs[j].IP })
+}
+
+// sinceOrNever renders the age of a timestamp.
+func sinceOrNever(now, t time.Time) string {
+	if t.IsZero() {
+		return "never"
+	}
+	d := now.Sub(t)
+	switch {
+	case d < time.Minute:
+		return "just now"
+	case d < time.Hour:
+		return fmt.Sprintf("%dm ago", int(d.Minutes()))
+	case d < 48*time.Hour:
+		return fmt.Sprintf("%dh ago", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd ago", int(d.Hours()/24))
+	}
+}
+
+// Level1 lists all interfaces in a network: "the network layer address,
+// DNS name, and time since last verification of existence ... an easy
+// indication of when the interface was last observed on the network."
+func Level1(w io.Writer, sink journal.Sink, network pkt.Subnet, now time.Time) error {
+	recs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return err
+	}
+	sortByIP(recs)
+	fmt.Fprintf(w, "%-18s %-32s %s\n", "ADDRESS", "NAME", "LAST VERIFIED")
+	for _, r := range recs {
+		if !network.Contains(r.IP) {
+			continue
+		}
+		name := r.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Fprintf(w, "%-18s %-32s %s\n", r.IP, name, sinceOrNever(now, r.Stamp.Verified))
+	}
+	return nil
+}
+
+// Level2 lists a subnet's interfaces with MAC layer addresses, a RIP
+// source indication, and a gateway membership indication.
+func Level2(w io.Writer, sink journal.Sink, subnet pkt.Subnet, now time.Time) error {
+	recs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return err
+	}
+	sortByIP(recs)
+	fmt.Fprintf(w, "%-18s %-20s %-4s %-8s %s\n", "ADDRESS", "MAC", "RIP", "GATEWAY", "LAST VERIFIED")
+	for _, r := range recs {
+		if !subnet.Contains(r.IP) {
+			continue
+		}
+		mac := "-"
+		if !r.MAC.IsZero() {
+			mac = r.MAC.String()
+		}
+		rip := "-"
+		if r.RIPSource {
+			rip = "yes"
+		}
+		gw := "-"
+		if r.Gateway != 0 {
+			gw = fmt.Sprintf("gw#%d", r.Gateway)
+		}
+		fmt.Fprintf(w, "%-18s %-20s %-4s %-8s %s\n", r.IP, mac, rip, gw, sinceOrNever(now, r.Stamp.Verified))
+	}
+	return nil
+}
+
+// Level3 lists every data item stored for one interface, with the full
+// per-field timestamp triples.
+func Level3(w io.Writer, sink journal.Sink, ip pkt.IP) error {
+	recs, err := sink.Interfaces(journal.Query{ByIP: ip, HasIP: true})
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintf(w, "no record for %s\n", ip)
+		return nil
+	}
+	for _, r := range recs {
+		fmt.Fprintf(w, "interface record #%d\n", r.ID)
+		fmt.Fprintf(w, "  network layer address: %s\n", r.IP)
+		field := func(label, value string, s journal.Stamp) {
+			fmt.Fprintf(w, "  %s: %s\n", label, value)
+			if !s.IsZero() {
+				fmt.Fprintf(w, "    discovered %s, last change %s, last verified %s\n",
+					s.Discovered.Format(time.RFC3339), s.Changed.Format(time.RFC3339),
+					s.Verified.Format(time.RFC3339))
+			}
+		}
+		mac := "-"
+		if !r.MAC.IsZero() {
+			mac = r.MAC.String()
+		}
+		field("MAC layer address", mac, r.MACStamp)
+		name := r.Name
+		if name == "" {
+			name = "-"
+		}
+		field("DNS name", name, r.NameStamp)
+		if len(r.Aliases) > 0 {
+			fmt.Fprintf(w, "  aliases: %s\n", strings.Join(r.Aliases, ", "))
+		}
+		mask := "-"
+		if r.Mask != 0 {
+			mask = r.Mask.String()
+		}
+		field("subnet mask", mask, r.MaskStamp)
+		gw := "none known"
+		if r.Gateway != 0 {
+			gw = fmt.Sprintf("gateway #%d", r.Gateway)
+		}
+		fmt.Fprintf(w, "  gateway membership: %s\n", gw)
+		fmt.Fprintf(w, "  RIP source: %v (promiscuous: %v)\n", r.RIPSource, r.RIPPromiscuous)
+		fmt.Fprintf(w, "  information sources: %s\n", r.Sources)
+		fmt.Fprintf(w, "  record discovered %s, last change %s, last verified %s\n",
+			r.Stamp.Discovered.Format(time.RFC3339), r.Stamp.Changed.Format(time.RFC3339),
+			r.Stamp.Verified.Format(time.RFC3339))
+	}
+	return nil
+}
+
+// Topology is the gateway↔subnet structure extracted from the Journal —
+// what Figure 2 renders.
+type Topology struct {
+	Subnets  []pkt.Subnet
+	Gateways []TopoGateway
+}
+
+// TopoGateway is one gateway with its interface addresses and attached
+// subnets.
+type TopoGateway struct {
+	ID      journal.ID
+	Name    string // best-known DNS name of any member interface
+	Ifaces  []pkt.IP
+	Subnets []pkt.Subnet
+}
+
+// ExtractTopology builds the structure from Journal records.
+func ExtractTopology(sink journal.Sink) (*Topology, error) {
+	gws, err := sink.Gateways()
+	if err != nil {
+		return nil, err
+	}
+	sns, err := sink.Subnets()
+	if err != nil {
+		return nil, err
+	}
+	ifs, err := sink.Interfaces(journal.Query{})
+	if err != nil {
+		return nil, err
+	}
+	byID := map[journal.ID]*journal.InterfaceRec{}
+	for _, r := range ifs {
+		byID[r.ID] = r
+	}
+	topo := &Topology{}
+	for _, sn := range sns {
+		s := sn.Subnet
+		if s.Mask == 0 {
+			s.Mask = pkt.MaskBits(24)
+		}
+		topo.Subnets = append(topo.Subnets, s)
+	}
+	sort.Slice(topo.Subnets, func(i, j int) bool { return topo.Subnets[i].Addr < topo.Subnets[j].Addr })
+	for _, gw := range gws {
+		tg := TopoGateway{ID: gw.ID, Subnets: gw.Subnets}
+		for _, ifID := range gw.Ifaces {
+			if rec, ok := byID[ifID]; ok {
+				tg.Ifaces = append(tg.Ifaces, rec.IP)
+				if tg.Name == "" && rec.Name != "" {
+					tg.Name = rec.Name
+				}
+			}
+		}
+		sort.Slice(tg.Ifaces, func(i, j int) bool { return tg.Ifaces[i] < tg.Ifaces[j] })
+		sort.Slice(tg.Subnets, func(i, j int) bool { return tg.Subnets[i].Addr < tg.Subnets[j].Addr })
+		topo.Gateways = append(topo.Gateways, tg)
+	}
+	sort.Slice(topo.Gateways, func(i, j int) bool { return topo.Gateways[i].ID < topo.Gateways[j].ID })
+	return topo, nil
+}
+
+func (tg TopoGateway) label() string {
+	if tg.Name != "" {
+		return tg.Name
+	}
+	if len(tg.Ifaces) > 0 {
+		return "gw-" + tg.Ifaces[0].String()
+	}
+	return fmt.Sprintf("gw#%d", tg.ID)
+}
+
+// WriteDOT emits the topology as a Graphviz graph.
+func (t *Topology) WriteDOT(w io.Writer) {
+	fmt.Fprintln(w, "graph fremont {")
+	fmt.Fprintln(w, "  // generated by Fremont from Journal gateway and subnet records")
+	fmt.Fprintln(w, "  node [shape=box];")
+	for _, sn := range t.Subnets {
+		fmt.Fprintf(w, "  %q [shape=ellipse];\n", sn.String())
+	}
+	for _, gw := range t.Gateways {
+		fmt.Fprintf(w, "  %q [shape=box];\n", gw.label())
+		for _, sn := range gw.Subnets {
+			fmt.Fprintf(w, "  %q -- %q;\n", gw.label(), displaySubnet(sn))
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func displaySubnet(sn pkt.Subnet) string {
+	if sn.Mask == 0 {
+		sn.Mask = pkt.MaskBits(24)
+	}
+	return sn.String()
+}
+
+// WriteSNM emits the structure in the record format the paper fed to
+// SunNet Manager ("The program retrieves the network and gateway entries
+// from the Journal, and dumps the data in the format expected by SunNet
+// Manager").
+func (t *Topology) WriteSNM(w io.Writer) {
+	fmt.Fprintln(w, "# fremont topology export (SunNet Manager element records)")
+	for _, sn := range t.Subnets {
+		fmt.Fprintf(w, "element bus %q {}\n", displaySubnet(sn))
+	}
+	for _, gw := range t.Gateways {
+		fmt.Fprintf(w, "element router %q {\n", gw.label())
+		for _, ip := range gw.Ifaces {
+			fmt.Fprintf(w, "  address %s\n", ip)
+		}
+		fmt.Fprintln(w, "}")
+		for _, sn := range gw.Subnets {
+			fmt.Fprintf(w, "connect %q %q\n", gw.label(), displaySubnet(sn))
+		}
+	}
+}
+
+// WriteASCII renders a quick terminal view: each subnet with the gateways
+// on it.
+func (t *Topology) WriteASCII(w io.Writer) {
+	gwsBySubnet := map[pkt.IP][]string{}
+	for _, gw := range t.Gateways {
+		for _, sn := range gw.Subnets {
+			gwsBySubnet[sn.Addr] = append(gwsBySubnet[sn.Addr], gw.label())
+		}
+	}
+	for _, sn := range t.Subnets {
+		fmt.Fprintf(w, "%s\n", displaySubnet(sn))
+		gws := gwsBySubnet[sn.Addr]
+		sort.Strings(gws)
+		for i, g := range gws {
+			branch := "├─"
+			if i == len(gws)-1 {
+				branch = "└─"
+			}
+			fmt.Fprintf(w, "  %s %s\n", branch, g)
+		}
+	}
+}

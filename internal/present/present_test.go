@@ -1,0 +1,172 @@
+package present
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func seeded(t *testing.T) journal.Sink {
+	t.Helper()
+	j := journal.New()
+	sn, _ := pkt.ParseSubnet("128.138.238.0/24")
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(128, 138, 238, 5), HasMAC: true,
+		MAC: pkt.MAC{8, 0, 0x20, 0, 0, 5}, Name: "anchor.cs.colorado.edu",
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcARP | journal.SrcDNS, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(128, 138, 238, 1), HasMAC: true,
+		MAC: pkt.MAC{8, 0, 0x20, 0, 0, 1}, Name: "cs-gw.colorado.edu",
+		RIPSource: true, Source: journal.SrcARP | journal.SrcRIP, At: t0.Add(time.Hour)})
+	j.StoreGateway(journal.GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(128, 138, 238, 1), pkt.IPv4(128, 138, 1, 2)},
+		Subnets:  []pkt.Subnet{sn},
+		Source:   journal.SrcTraceroute, At: t0.Add(2 * time.Hour)})
+	return journal.Local{J: j}
+}
+
+func TestDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dump(&buf, seeded(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"interfaces", "128.138.238.5", "gw#1", "subnet#1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLevel1(t *testing.T) {
+	var buf bytes.Buffer
+	net, _ := pkt.ParseSubnet("128.138.0.0/16")
+	if err := Level1(&buf, seeded(t), net, t0.Add(26*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "anchor.cs.colorado.edu") {
+		t.Errorf("level 1 missing name:\n%s", out)
+	}
+	if !strings.Contains(out, "ago") {
+		t.Errorf("level 1 missing verification age:\n%s", out)
+	}
+}
+
+func TestLevel2(t *testing.T) {
+	var buf bytes.Buffer
+	sn, _ := pkt.ParseSubnet("128.138.238.0/24")
+	if err := Level2(&buf, seeded(t), sn, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "08:00:20:00:00:01") {
+		t.Errorf("level 2 missing MAC:\n%s", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Errorf("level 2 missing RIP flag:\n%s", out)
+	}
+	if !strings.Contains(out, "gw#1") {
+		t.Errorf("level 2 missing gateway membership:\n%s", out)
+	}
+	// The backbone-side interface is outside this subnet.
+	if strings.Contains(out, "128.138.1.2") {
+		t.Errorf("level 2 leaked out-of-subnet interface:\n%s", out)
+	}
+}
+
+func TestLevel3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Level3(&buf, seeded(t), pkt.IPv4(128, 138, 238, 5)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MAC layer address", "DNS name", "subnet mask",
+		"discovered", "last verified", "arp+dns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("level 3 missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Level3(&buf, seeded(t), pkt.IPv4(10, 9, 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no record") {
+		t.Error("level 3 of unknown address should say so")
+	}
+}
+
+func TestTopologyExports(t *testing.T) {
+	topo, err := ExtractTopology(seeded(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Gateways) != 1 || len(topo.Subnets) != 1 {
+		t.Fatalf("topology = %d gateways, %d subnets", len(topo.Gateways), len(topo.Subnets))
+	}
+	if topo.Gateways[0].Name != "cs-gw.colorado.edu" {
+		t.Fatalf("gateway label = %q", topo.Gateways[0].Name)
+	}
+
+	var dot bytes.Buffer
+	topo.WriteDOT(&dot)
+	if !strings.Contains(dot.String(), "graph fremont") ||
+		!strings.Contains(dot.String(), `"cs-gw.colorado.edu" -- "128.138.238.0/24"`) {
+		t.Errorf("DOT output:\n%s", dot.String())
+	}
+
+	var snm bytes.Buffer
+	topo.WriteSNM(&snm)
+	for _, want := range []string{"element bus", "element router", "connect"} {
+		if !strings.Contains(snm.String(), want) {
+			t.Errorf("SNM output missing %q:\n%s", want, snm.String())
+		}
+	}
+
+	var ascii bytes.Buffer
+	topo.WriteASCII(&ascii)
+	if !strings.Contains(ascii.String(), "└─ cs-gw.colorado.edu") {
+		t.Errorf("ASCII output:\n%s", ascii.String())
+	}
+}
+
+func TestSinceOrNeverFormats(t *testing.T) {
+	now := t0.Add(100 * 24 * time.Hour)
+	cases := []struct {
+		at   time.Time
+		want string
+	}{
+		{time.Time{}, "never"},
+		{now.Add(-30 * time.Second), "just now"},
+		{now.Add(-5 * time.Minute), "5m ago"},
+		{now.Add(-3 * time.Hour), "3h ago"},
+		{now.Add(-72 * time.Hour), "3d ago"},
+	}
+	for _, c := range cases {
+		if got := sinceOrNever(now, c.at); got != c.want {
+			t.Errorf("sinceOrNever(%v) = %q, want %q", c.at, got, c.want)
+		}
+	}
+}
+
+func TestTopologyLabelsFallBack(t *testing.T) {
+	// A gateway with no named interface is labeled by its first address;
+	// one with no resolvable interfaces falls back to its record ID.
+	tg := TopoGateway{ID: 9}
+	if got := tg.label(); got != "gw#9" {
+		t.Errorf("label = %q", got)
+	}
+	ip, _ := pkt.ParseIP("10.0.0.1")
+	tg.Ifaces = []pkt.IP{ip}
+	if got := tg.label(); got != "gw-10.0.0.1" {
+		t.Errorf("label = %q", got)
+	}
+	tg.Name = "x-gw.example"
+	if got := tg.label(); got != "x-gw.example" {
+		t.Errorf("label = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package replicate implements Journal-to-Journal information sharing:
+// "the system can be replicated at multiple sites, exploring different
+// networks, and sharing information among the replicated components." A
+// pull replicates one Journal's records into another by replaying them as
+// observations, so the receiving Journal's merge logic (gateway
+// unification, conflict preservation, per-field stamps) applies exactly as
+// if the remote site's Explorer Modules had reported directly.
+//
+// Both ends are journal.Sink, so any combination of in-process Journals
+// and remote Journal Servers works.
+package replicate
+
+import (
+	"fmt"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Report summarizes one replication pull.
+type Report struct {
+	Interfaces int
+	Gateways   int
+	Subnets    int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("replicate: %d interfaces, %d gateways, %d subnets pulled",
+		r.Interfaces, r.Gateways, r.Subnets)
+}
+
+// Pull copies everything modified since `since` (zero = everything) from
+// src into dst. Records are replayed as observations: discovery first,
+// then verification, so the destination's stamps bracket the source's.
+func Pull(dst, src journal.Sink, since time.Time) (Report, error) {
+	var rep Report
+
+	ifs, err := src.Interfaces(journal.Query{ModifiedSince: since})
+	if err != nil {
+		return rep, err
+	}
+	for _, rec := range ifs {
+		obs := journal.IfaceObs{
+			IP:             rec.IP,
+			Name:           rec.Name,
+			RIPSource:      rec.RIPSource,
+			RIPPromiscuous: rec.RIPPromiscuous,
+			Source:         rec.Sources,
+			At:             rec.Stamp.Discovered,
+		}
+		if !rec.MAC.IsZero() {
+			obs.HasMAC, obs.MAC = true, rec.MAC
+		}
+		if rec.Mask != 0 {
+			obs.HasMask, obs.Mask = true, rec.Mask
+		}
+		if _, _, err := dst.StoreInterface(obs); err != nil {
+			return rep, err
+		}
+		// Re-verify at the source's latest verification time, and carry
+		// aliases across.
+		obs.At = rec.Stamp.Verified
+		if _, _, err := dst.StoreInterface(obs); err != nil {
+			return rep, err
+		}
+		for _, alias := range rec.Aliases {
+			if _, _, err := dst.StoreInterface(journal.IfaceObs{
+				IP: rec.IP, Name: alias, Source: rec.Sources, At: rec.Stamp.Verified,
+			}); err != nil {
+				return rep, err
+			}
+		}
+		rep.Interfaces++
+	}
+
+	// Gateways: resolve member interface IDs to addresses via the source.
+	gws, err := src.Gateways()
+	if err != nil {
+		return rep, err
+	}
+	srcIfs, err := src.Interfaces(journal.Query{})
+	if err != nil {
+		return rep, err
+	}
+	byID := map[journal.ID]pkt.IP{}
+	for _, rec := range srcIfs {
+		byID[rec.ID] = rec.IP
+	}
+	for _, gw := range gws {
+		var ips []pkt.IP
+		for _, ifID := range gw.Ifaces {
+			if ip, ok := byID[ifID]; ok {
+				ips = append(ips, ip)
+			}
+		}
+		if len(ips) == 0 && len(gw.Subnets) == 0 {
+			continue
+		}
+		if _, err := dst.StoreGateway(journal.GatewayObs{
+			IfaceIPs:     ips,
+			Subnets:      gw.Subnets,
+			Questionable: gw.Questionable,
+			Source:       gw.Sources,
+			At:           gw.Stamp.Verified,
+		}); err != nil {
+			return rep, err
+		}
+		rep.Gateways++
+	}
+
+	sns, err := src.Subnets()
+	if err != nil {
+		return rep, err
+	}
+	for _, sn := range sns {
+		if _, err := dst.StoreSubnet(journal.SubnetObs{
+			Subnet:    sn.Subnet,
+			Metric:    sn.RIPMetric,
+			HostCount: sn.HostCount,
+			LoAddr:    sn.LoAddr,
+			HiAddr:    sn.HiAddr,
+			Source:    sn.Sources,
+			At:        sn.Stamp.Verified,
+		}); err != nil {
+			return rep, err
+		}
+		rep.Subnets++
+	}
+	return rep, nil
+}
+
+// Exchange performs a bidirectional pull between two sites.
+func Exchange(a, b journal.Sink, since time.Time) (Report, Report, error) {
+	ab, err := Pull(b, a, since)
+	if err != nil {
+		return ab, Report{}, err
+	}
+	ba, err := Pull(a, b, since)
+	return ab, ba, err
+}

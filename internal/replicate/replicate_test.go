@@ -1,0 +1,155 @@
+package replicate
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jserver"
+	"fremont/internal/netsim/pkt"
+)
+
+var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func mac(b byte) pkt.MAC { return pkt.MAC{8, 0, 0x20, 0, 0, b} }
+
+func seedSite(j *journal.Journal, base byte) {
+	sn := pkt.SubnetOf(pkt.IPv4(128, 138, base, 0), pkt.MaskBits(24))
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(128, 138, base, 5), HasMAC: true, MAC: mac(base),
+		Name: "host.example", HasMask: true, Mask: pkt.MaskBits(24),
+		Source: journal.SrcARP, At: t0})
+	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(128, 138, base, 5),
+		Source: journal.SrcICMP, At: t0.Add(2 * time.Hour)})
+	j.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(128, 138, base, 1)},
+		Subnets: []pkt.Subnet{sn}, Source: journal.SrcTraceroute, At: t0.Add(time.Hour)})
+}
+
+func TestPullCopiesEverything(t *testing.T) {
+	src := journal.New()
+	seedSite(src, 10)
+	dst := journal.New()
+	rep, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interfaces == 0 || rep.Gateways != 1 || rep.Subnets != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	recs := dst.Interfaces(journal.Query{ByIP: pkt.IPv4(128, 138, 10, 5), HasIP: true})
+	if len(recs) != 1 {
+		t.Fatalf("interface not replicated: %v", recs)
+	}
+	rec := recs[0]
+	if rec.MAC != mac(10) || rec.Name != "host.example" || rec.Mask != pkt.MaskBits(24) {
+		t.Fatalf("fields lost: %+v", rec)
+	}
+	// Stamps bracket the source's: discovered at t0, verified at t0+2h.
+	if !rec.Stamp.Discovered.Equal(t0) {
+		t.Fatalf("Discovered = %v", rec.Stamp.Discovered)
+	}
+	if !rec.Stamp.Verified.Equal(t0.Add(2 * time.Hour)) {
+		t.Fatalf("Verified = %v", rec.Stamp.Verified)
+	}
+	gws := dst.Gateways()
+	if len(gws) != 1 || len(gws[0].Subnets) != 1 {
+		t.Fatalf("gateway not replicated: %+v", gws)
+	}
+}
+
+func TestPullMergesWithLocalEvidence(t *testing.T) {
+	// Site A saw one interface of a gateway, site B the other; after an
+	// exchange plus correlation-by-merge, both journals unify them.
+	a, b := journal.New(), journal.New()
+	a.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1)},
+		Source: journal.SrcTraceroute, At: t0})
+	b.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)},
+		Source: journal.SrcDNS, At: t0})
+	if _, _, err := Exchange(journal.Local{J: a}, journal.Local{J: b}, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	for name, j := range map[string]*journal.Journal{"a": a, "b": b} {
+		gws := j.Gateways()
+		if len(gws) != 1 {
+			t.Fatalf("site %s: gateways = %d, want 1 (merged)", name, len(gws))
+		}
+		if len(gws[0].Ifaces) != 2 {
+			t.Fatalf("site %s: merged gateway has %d interfaces", name, len(gws[0].Ifaces))
+		}
+		if gws[0].Sources&journal.SrcTraceroute == 0 || gws[0].Sources&journal.SrcDNS == 0 {
+			t.Fatalf("site %s: sources not combined: %s", name, gws[0].Sources)
+		}
+	}
+}
+
+func TestPullIsIdempotent(t *testing.T) {
+	src, dst := journal.New(), journal.New()
+	seedSite(src, 20)
+	for i := 0; i < 3; i++ {
+		if _, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dst.NumInterfaces() != src.NumInterfaces() ||
+		dst.NumGateways() != src.NumGateways() ||
+		dst.NumSubnets() != src.NumSubnets() {
+		t.Fatalf("repeated pulls duplicated records: %d/%d/%d vs %d/%d/%d",
+			dst.NumInterfaces(), dst.NumGateways(), dst.NumSubnets(),
+			src.NumInterfaces(), src.NumGateways(), src.NumSubnets())
+	}
+}
+
+func TestPullSince(t *testing.T) {
+	src, dst := journal.New(), journal.New()
+	src.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: journal.SrcICMP, At: t0})
+	src.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 2), Source: journal.SrcICMP, At: t0.Add(48 * time.Hour)})
+	rep, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interfaces != 1 {
+		t.Fatalf("incremental pull copied %d interfaces, want 1", rep.Interfaces)
+	}
+	if len(dst.Interfaces(journal.Query{ByIP: pkt.IPv4(10, 0, 0, 1), HasIP: true})) != 0 {
+		t.Fatal("old record copied despite since filter")
+	}
+}
+
+func TestPullOverTCP(t *testing.T) {
+	// Two real Journal Servers exchanging over the wire.
+	srcJ := journal.New()
+	seedSite(srcJ, 30)
+	srcSrv := jserver.New(srcJ)
+	if err := srcSrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srcSrv.Close()
+	dstSrv := jserver.New(nil)
+	if err := dstSrv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer dstSrv.Close()
+
+	srcC, err := jclient.Dial(srcSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcC.Close()
+	dstC, err := jclient.Dial(dstSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dstC.Close()
+
+	rep, err := Pull(dstC, srcC, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interfaces == 0 {
+		t.Fatal("nothing replicated over TCP")
+	}
+	if dstSrv.Journal().NumInterfaces() != srcJ.NumInterfaces() {
+		t.Fatalf("counts differ: %d vs %d",
+			dstSrv.Journal().NumInterfaces(), srcJ.NumInterfaces())
+	}
+}

@@ -1,0 +1,159 @@
+// Package simstack binds the Explorer Module Stack interface to a host in
+// the simulated network: modules run as simulation processes on a netsim
+// node, sending and receiving real encoded packets under the virtual
+// clock.
+package simstack
+
+import (
+	"time"
+
+	"fremont/internal/explorer"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// Stack implements explorer.Stack for a (node, process) pair.
+type Stack struct {
+	Node *netsim.Node
+	Proc *sim.Proc
+	// Priv grants tap access (the paper's "system privileges").
+	Priv bool
+
+	txBase int
+}
+
+var _ explorer.Stack = (*Stack)(nil)
+
+// New binds a stack for a module running as proc on node. The packet
+// counter baseline is captured at creation, so PacketsSent reports only
+// this module's traffic.
+func New(node *netsim.Node, proc *sim.Proc, privileged bool) *Stack {
+	s := &Stack{Node: node, Proc: proc, Priv: privileged}
+	s.ResetPacketCounter()
+	return s
+}
+
+// Ifaces implements explorer.Stack.
+func (s *Stack) Ifaces() []explorer.IfaceInfo {
+	out := make([]explorer.IfaceInfo, len(s.Node.Ifaces))
+	for i, ifc := range s.Node.Ifaces {
+		out[i] = explorer.IfaceInfo{Index: i, MAC: ifc.MAC, IP: ifc.IP, Mask: ifc.Mask}
+	}
+	return out
+}
+
+// Now implements explorer.Stack.
+func (s *Stack) Now() time.Time { return s.Proc.WallNow() }
+
+// Sleep implements explorer.Stack.
+func (s *Stack) Sleep(d time.Duration) { s.Proc.Sleep(d) }
+
+// Privileged implements explorer.Stack.
+func (s *Stack) Privileged() bool { return s.Priv }
+
+// PacketsSent implements explorer.Stack: frames transmitted by the host
+// since this stack was created.
+func (s *Stack) PacketsSent() int {
+	total := 0
+	for _, ifc := range s.Node.Ifaces {
+		total += ifc.TxFrames
+	}
+	return total - s.txBase
+}
+
+// ResetPacketCounter zeroes the PacketsSent baseline.
+func (s *Stack) ResetPacketCounter() {
+	s.txBase = 0
+	s.txBase = s.PacketsSent()
+}
+
+// SendICMP implements explorer.Stack.
+func (s *Stack) SendICMP(dst pkt.IP, ttl byte, msg *pkt.ICMPMessage) error {
+	h := pkt.IPv4Header{Protocol: pkt.ProtoICMP, Dst: dst, TTL: ttl}
+	return s.Node.SendIP(h, msg.Encode())
+}
+
+// OpenICMP implements explorer.Stack.
+func (s *Stack) OpenICMP() (explorer.ICMPConn, error) {
+	return &icmpConn{c: s.Node.OpenICMP(), p: s.Proc}, nil
+}
+
+type icmpConn struct {
+	c *netsim.ICMPConn
+	p *sim.Proc
+}
+
+func (ic *icmpConn) Recv(timeout time.Duration) (explorer.ICMPEvent, bool) {
+	ev, ok := ic.c.Recv(ic.p, timeout)
+	if !ok {
+		return explorer.ICMPEvent{}, false
+	}
+	return explorer.ICMPEvent{From: ev.From, To: ev.To, TTL: ev.TTL, Msg: ev.Msg, At: ev.At}, true
+}
+
+func (ic *icmpConn) Close() { ic.c.Close() }
+
+// OpenUDP implements explorer.Stack.
+func (s *Stack) OpenUDP(port uint16) (explorer.UDPConn, error) {
+	c, err := s.Node.OpenUDP(port)
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{c: c, p: s.Proc}, nil
+}
+
+type udpConn struct {
+	c *netsim.UDPConn
+	p *sim.Proc
+}
+
+func (uc *udpConn) LocalPort() uint16 { return uc.c.Port }
+
+func (uc *udpConn) Send(dst pkt.IP, dport uint16, payload []byte) error {
+	return uc.c.Send(dst, dport, payload)
+}
+
+func (uc *udpConn) SendTTL(dst pkt.IP, dport uint16, payload []byte, ttl byte) error {
+	return uc.c.SendTTL(dst, dport, payload, ttl)
+}
+
+func (uc *udpConn) Recv(timeout time.Duration) (explorer.UDPEvent, bool) {
+	ev, ok := uc.c.Recv(uc.p, timeout)
+	if !ok {
+		return explorer.UDPEvent{}, false
+	}
+	return explorer.UDPEvent{Src: ev.Src, SrcPort: ev.SrcPort, Dst: ev.Dst, Payload: ev.Payload, At: ev.At}, true
+}
+
+func (uc *udpConn) Close() { uc.c.Close() }
+
+// ARPTable implements explorer.Stack.
+func (s *Stack) ARPTable() ([]explorer.ARPEntry, error) {
+	entries := s.Node.ARPTable()
+	out := make([]explorer.ARPEntry, len(entries))
+	for i, e := range entries {
+		out[i] = explorer.ARPEntry{IP: e.IP, MAC: e.MAC, Age: e.Age}
+	}
+	return out, nil
+}
+
+// OpenTap implements explorer.Stack.
+func (s *Stack) OpenTap(ifaceIndex int, filter func([]byte) bool) (explorer.Tap, error) {
+	if ifaceIndex < 0 || ifaceIndex >= len(s.Node.Ifaces) {
+		ifaceIndex = 0
+	}
+	t, err := s.Node.OpenTap(s.Node.Ifaces[ifaceIndex], s.Priv, filter)
+	if err != nil {
+		return nil, err
+	}
+	return &tap{t: t, p: s.Proc}, nil
+}
+
+type tap struct {
+	t *netsim.Tap
+	p *sim.Proc
+}
+
+func (tp *tap) Recv(timeout time.Duration) ([]byte, bool) { return tp.t.Recv(tp.p, timeout) }
+func (tp *tap) Close()                                    { tp.t.Close() }

@@ -1,0 +1,171 @@
+package simstack
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/explorer"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+func buildPair(t *testing.T) (*netsim.Network, *netsim.Node, *netsim.Node) {
+	t.Helper()
+	n := netsim.New(301)
+	sn, _ := pkt.ParseSubnet("10.0.0.0/24")
+	seg := n.NewSegment("seg", sn)
+	a := n.NewNode("a")
+	a.AddIface(seg, pkt.IPv4(10, 0, 0, 1), pkt.MaskBits(24))
+	b := n.NewNode("b")
+	b.AddIface(seg, pkt.IPv4(10, 0, 0, 2), pkt.MaskBits(24))
+	return n, a, b
+}
+
+// inProc runs fn as a simulation process and drives the network until it
+// finishes.
+func inProc(t *testing.T, n *netsim.Network, host *netsim.Node, priv bool, fn func(st *Stack)) {
+	t.Helper()
+	done := false
+	n.Sched.Spawn("test", func(p *sim.Proc) {
+		fn(New(host, p, priv))
+		done = true
+	})
+	n.Run(time.Minute)
+	if !done {
+		t.Fatal("process did not finish")
+	}
+}
+
+func TestIfacesAndNow(t *testing.T) {
+	n, a, _ := buildPair(t)
+	inProc(t, n, a, false, func(st *Stack) {
+		ifaces := st.Ifaces()
+		if len(ifaces) != 1 || ifaces[0].IP != pkt.IPv4(10, 0, 0, 1) {
+			t.Errorf("Ifaces = %+v", ifaces)
+		}
+		before := st.Now()
+		st.Sleep(10 * time.Second)
+		if d := st.Now().Sub(before); d != 10*time.Second {
+			t.Errorf("Sleep advanced %v", d)
+		}
+	})
+}
+
+func TestPacketCounterBaseline(t *testing.T) {
+	n, a, b := buildPair(t)
+	_ = b
+	inProc(t, n, a, false, func(st *Stack) {
+		conn, err := st.OpenUDP(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if st.PacketsSent() != 0 {
+			t.Errorf("fresh stack PacketsSent = %d", st.PacketsSent())
+		}
+		_ = conn.Send(pkt.IPv4(10, 0, 0, 2), 9, []byte("x"))
+		st.Sleep(time.Second)
+		if st.PacketsSent() == 0 {
+			t.Error("send not counted")
+		}
+		st.ResetPacketCounter()
+		if st.PacketsSent() != 0 {
+			t.Errorf("after reset PacketsSent = %d", st.PacketsSent())
+		}
+	})
+}
+
+func TestUDPRoundtripViaStack(t *testing.T) {
+	n, a, b := buildPair(t)
+	// b echoes on its UDP echo port (default enabled).
+	inProc(t, n, a, false, func(st *Stack) {
+		conn, err := st.OpenUDP(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if conn.LocalPort() == 0 {
+			t.Error("ephemeral port is zero")
+		}
+		if err := conn.Send(b.Ifaces[0].IP, pkt.PortEcho, []byte("ping")); err != nil {
+			t.Error(err)
+			return
+		}
+		ev, ok := conn.Recv(5 * time.Second)
+		if !ok || string(ev.Payload) != "ping" {
+			t.Errorf("echo reply = %+v, %v", ev, ok)
+		}
+	})
+}
+
+func TestICMPViaStack(t *testing.T) {
+	n, a, b := buildPair(t)
+	inProc(t, n, a, false, func(st *Stack) {
+		conn, err := st.OpenICMP()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		msg := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 5, Seq: 1}
+		if err := st.SendICMP(b.Ifaces[0].IP, 30, msg); err != nil {
+			t.Error(err)
+			return
+		}
+		ev, ok := conn.Recv(5 * time.Second)
+		if !ok || ev.Msg.Type != pkt.ICMPEchoReply || ev.Msg.ID != 5 {
+			t.Errorf("reply = %+v, %v", ev, ok)
+		}
+	})
+}
+
+func TestARPTableViaStack(t *testing.T) {
+	n, a, b := buildPair(t)
+	inProc(t, n, a, false, func(st *Stack) {
+		conn, _ := st.OpenUDP(0)
+		defer conn.Close()
+		_ = conn.Send(b.Ifaces[0].IP, 9, []byte("x"))
+		st.Sleep(2 * time.Second)
+		entries, err := st.ARPTable()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		found := false
+		for _, e := range entries {
+			if e.IP == b.Ifaces[0].IP && e.MAC == b.Ifaces[0].MAC {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("peer missing from ARP table: %+v", entries)
+		}
+	})
+}
+
+func TestTapPrivilegeEnforced(t *testing.T) {
+	n, a, _ := buildPair(t)
+	inProc(t, n, a, false, func(st *Stack) {
+		if st.Privileged() {
+			t.Error("unprivileged stack claims privilege")
+		}
+		if _, err := st.OpenTap(0, nil); err == nil {
+			t.Error("unprivileged tap open succeeded")
+		}
+	})
+	inProc(t, n, a, true, func(st *Stack) {
+		tap, err := st.OpenTap(0, nil)
+		if err != nil {
+			t.Errorf("privileged tap open failed: %v", err)
+			return
+		}
+		tap.Close()
+	})
+}
+
+func TestStackSatisfiesExplorerInterface(t *testing.T) {
+	var _ explorer.Stack = (*Stack)(nil)
+}
