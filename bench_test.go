@@ -11,13 +11,16 @@
 package fremont_test
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"fremont/internal/core"
 	"fremont/internal/experiments"
 	"fremont/internal/explorer"
+	"fremont/internal/jclient"
 	"fremont/internal/journal"
+	"fremont/internal/jserver"
 	"fremont/internal/netsim/campus"
 	"fremont/internal/netsim/pkt"
 )
@@ -285,6 +288,121 @@ func BenchmarkAblation_BcastVsSeq(b *testing.B) {
 		sn := pkt.SubnetOf(pkt.IPv4(128, 138, 238, 0), pkt.MaskBits(24))
 		_ = cfg
 		run(b, explorer.SeqPing{}, explorer.Params{RangeLo: sn.FirstHost(), RangeHi: sn.LastHost()})
+	})
+}
+
+// BenchmarkJournalConcurrentReadWrite measures the journal's read-path
+// parallelism under its internal read/write lock: pure parallel point
+// queries scale with GOMAXPROCS, and a mostly-read mix (1 store per 16
+// operations) stays close to that, because readers no longer serialize
+// behind a store-holding global mutex.
+func BenchmarkJournalConcurrentReadWrite(b *testing.B) {
+	const n = 1 << 14
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+	seed := func() *journal.Journal {
+		j := journal.New()
+		for i := 0; i < n; i++ {
+			j.StoreInterface(journal.IfaceObs{IP: pkt.IP(i), Source: journal.SrcICMP, At: at})
+		}
+		return j
+	}
+	b.Run("parallel-reads", func(b *testing.B) {
+		j := seed()
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				recs := j.Interfaces(journal.Query{ByIP: pkt.IP(i % n), HasIP: true})
+				if len(recs) != 1 {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+	})
+	b.Run("parallel-mixed-1w15r", func(b *testing.B) {
+		j := seed()
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := next.Add(1)
+				if i%16 == 0 {
+					j.StoreInterface(journal.IfaceObs{IP: pkt.IP(i % n), Source: journal.SrcICMP, At: at})
+					continue
+				}
+				if recs := j.Interfaces(journal.Query{ByIP: pkt.IP(i % n), HasIP: true}); len(recs) == 0 {
+					b.Fatal("lookup failed")
+				}
+			}
+		})
+	})
+	b.Run("serial-reads", func(b *testing.B) {
+		j := seed()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if recs := j.Interfaces(journal.Query{ByIP: pkt.IP(i % n), HasIP: true}); len(recs) != 1 {
+				b.Fatal("lookup failed")
+			}
+		}
+	})
+}
+
+// BenchmarkJwireBatchVsSingle measures the round-trip amortization of
+// OpBatch over loopback TCP: 64 stores as 64 request/reply exchanges
+// versus the same 64 stores in one batched frame.
+func BenchmarkJwireBatchVsSingle(b *testing.B) {
+	const batchSize = 64
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+	start := func(b *testing.B) *jclient.Client {
+		b.Helper()
+		s := jserver.New(nil)
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		c, err := jclient.Dial(s.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+	b.Run("single-64", func(b *testing.B) {
+		c := start(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batchSize; k++ {
+				if _, _, err := c.StoreInterface(journal.IfaceObs{
+					IP: pkt.IP(i*batchSize + k), Source: journal.SrcICMP, At: at,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "stores/sec")
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		c := start(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var batch jclient.Batch
+			for k := 0; k < batchSize; k++ {
+				batch.StoreInterface(journal.IfaceObs{
+					IP: pkt.IP(i*batchSize + k), Source: journal.SrcICMP, At: at,
+				})
+			}
+			results, err := c.StoreBatch(&batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "stores/sec")
 	})
 }
 

@@ -67,7 +67,16 @@ func main() {
 		if err := c.Ping(); err != nil {
 			log.Fatalf("fremont-explore: journal server: %v", err)
 		}
-		sys.Sink = c
+		// Observations ride the batched wire protocol: the buffered sink
+		// flushes every jclient.DefaultAutoFlush stores (and before any
+		// query), and the final partial batch is flushed before exit.
+		buffered := c.Buffered(0)
+		defer func() {
+			if err := buffered.Flush(); err != nil {
+				log.Printf("fremont-explore: final flush: %v", err)
+			}
+		}()
+		sys.Sink = buffered
 		fmt.Printf("recording to journal server at %s\n", *journalAddr)
 	}
 	sys.Advance(5 * time.Minute) // let the campus settle

@@ -29,16 +29,21 @@ func main() {
 		flag.Usage()
 		log.Fatal("fremont-sync: -from and -to are required")
 	}
-	src, err := jclient.Dial(*from)
+	srcConn, err := jclient.Dial(*from)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}
-	defer src.Close()
-	dst, err := jclient.Dial(*to)
+	defer srcConn.Close()
+	dstConn, err := jclient.Dial(*to)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}
-	defer dst.Close()
+	defer dstConn.Close()
+	// Buffered sinks replay observations over the batched wire protocol:
+	// one round trip per batch instead of one per record. Queries flush
+	// first, so the bidirectional exchange stays coherent.
+	src := srcConn.Buffered(0)
+	dst := dstConn.Buffered(0)
 
 	var cutoff time.Time
 	if *since > 0 {

@@ -1,0 +1,114 @@
+package jclient
+
+import (
+	"fmt"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// Batch accumulates store and delete operations for a single OpBatch round
+// trip — one frame, one reply, however many observations. The zero value is
+// ready to use. A Batch is not safe for concurrent use; build one per
+// goroutine.
+type Batch struct {
+	ops  []byte // opcode per sub-request, for response decoding
+	subs [][]byte
+}
+
+func (b *Batch) add(op byte, enc func(w *jwire.Writer)) {
+	var w jwire.Writer
+	w.U8(op)
+	if enc != nil {
+		enc(&w)
+	}
+	b.ops = append(b.ops, op)
+	b.subs = append(b.subs, w.B)
+}
+
+// StoreInterface queues an interface observation.
+func (b *Batch) StoreInterface(obs journal.IfaceObs) {
+	b.add(jwire.OpStoreInterface, func(w *jwire.Writer) { jwire.PutIfaceObs(w, obs) })
+}
+
+// StoreGateway queues a gateway observation.
+func (b *Batch) StoreGateway(obs journal.GatewayObs) {
+	b.add(jwire.OpStoreGateway, func(w *jwire.Writer) { jwire.PutGatewayObs(w, obs) })
+}
+
+// StoreSubnet queues a subnet observation.
+func (b *Batch) StoreSubnet(obs journal.SubnetObs) {
+	b.add(jwire.OpStoreSubnet, func(w *jwire.Writer) { jwire.PutSubnetObs(w, obs) })
+}
+
+// Delete queues a record deletion.
+func (b *Batch) Delete(kind journal.RecordKind, id journal.ID) {
+	b.add(jwire.OpDelete, func(w *jwire.Writer) { w.U8(byte(kind)); w.ID(id) })
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.subs) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.ops, b.subs = b.ops[:0], b.subs[:0] }
+
+// BatchResult is one sub-request's outcome. Sub-requests are independent on
+// the server: a failed one leaves Err set while its neighbors still apply.
+type BatchResult struct {
+	ID      journal.ID // record ID for store operations
+	Created bool       // StoreInterface: a new record was created
+	Deleted bool       // Delete: the record existed and was removed
+	Err     error      // nil if this sub-request succeeded
+}
+
+// StoreBatch executes every queued operation in one round trip and returns
+// one result per operation, in order. The returned error covers transport
+// and framing failures only; per-operation failures land in the matching
+// BatchResult. Batches over jwire.MaxBatch operations are rejected — use
+// Buffered for unbounded streams.
+func (c *Client) StoreBatch(b *Batch) ([]BatchResult, error) {
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	var w jwire.Writer
+	w.U8(jwire.OpBatch)
+	if err := jwire.PutBatch(&w, b.subs); err != nil {
+		return nil, err
+	}
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if n != b.Len() {
+		return nil, fmt.Errorf("jclient: batch reply has %d results, want %d", n, b.Len())
+	}
+	results := make([]BatchResult, n)
+	for i := range results {
+		sub := r.Bytes()
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		sr := &jwire.Reader{B: sub}
+		if status := sr.U8(); status != jwire.StatusOK {
+			results[i].Err = fmt.Errorf("jclient: batch op %d: %s", i, sr.String())
+			continue
+		}
+		switch b.ops[i] {
+		case jwire.OpStoreInterface:
+			results[i].ID = sr.ID()
+			results[i].Created = sr.Bool()
+		case jwire.OpStoreGateway, jwire.OpStoreSubnet:
+			results[i].ID = sr.ID()
+		case jwire.OpDelete:
+			results[i].Deleted = sr.Bool()
+		}
+		if sr.Err != nil {
+			results[i].Err = sr.Err
+		}
+	}
+	return results, nil
+}

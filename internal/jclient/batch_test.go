@@ -1,0 +1,171 @@
+package jclient
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jserver"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+var bt0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func startRealServer(t *testing.T) (*jserver.Server, *Client) {
+	t.Helper()
+	s := jserver.New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestBatchTooLargeRejectedClientSide(t *testing.T) {
+	_, c := startRealServer(t)
+	var b Batch
+	for i := 0; i <= jwire.MaxBatch; i++ {
+		b.StoreInterface(journal.IfaceObs{IP: pkt.IP(i), Source: journal.SrcICMP, At: bt0})
+	}
+	if _, err := c.StoreBatch(&b); err != jwire.ErrBatchTooLarge {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+func TestBufferedAutoFlush(t *testing.T) {
+	s, c := startRealServer(t)
+	b := c.Buffered(4)
+	for i := 1; i <= 3; i++ {
+		if _, _, err := b.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: bt0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Below the threshold: nothing has hit the server yet.
+	if n := s.Journal().NumInterfaces(); n != 0 {
+		t.Fatalf("server has %d interfaces before threshold, want 0", n)
+	}
+	if b.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", b.Pending())
+	}
+	// The fourth store crosses the threshold and flushes all four.
+	if _, _, err := b.StoreInterface(journal.IfaceObs{
+		IP: pkt.IPv4(10, 0, 0, 4), Source: journal.SrcICMP, At: bt0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Journal().NumInterfaces(); n != 4 {
+		t.Fatalf("server has %d interfaces after threshold, want 4", n)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d after auto-flush, want 0", b.Pending())
+	}
+}
+
+func TestBufferedReadsFlushFirst(t *testing.T) {
+	_, c := startRealServer(t)
+	b := c.Buffered(100)
+	ip := pkt.IPv4(10, 1, 0, 1)
+	if _, _, err := b.StoreInterface(journal.IfaceObs{IP: ip, Source: journal.SrcICMP, At: bt0}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := b.Interfaces(journal.Query{ByIP: ip, HasIP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("query after buffered store found %d records, want 1", len(recs))
+	}
+	// Deletes also see pending stores.
+	if _, _, err := b.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 2), Source: journal.SrcICMP, At: bt0}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := b.Delete(journal.KindInterface, recs[0].ID)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedExplicitFlush(t *testing.T) {
+	s, c := startRealServer(t)
+	b := c.Buffered(0) // default threshold
+	for i := 0; i < 7; i++ {
+		if _, _, err := b.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 2, 0, byte(i)), Source: journal.SrcICMP, At: bt0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Journal().NumInterfaces(); n != 7 {
+		t.Fatalf("server has %d interfaces after Flush, want 7", n)
+	}
+	if err := b.Flush(); err != nil { // flushing an empty buffer is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	s, _ := startRealServer(t)
+	p, err := DialPool(s.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const each = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ip := pkt.IPv4(10, 3, byte(w), byte(i))
+				if _, _, err := p.StoreInterface(journal.IfaceObs{
+					IP: ip, Source: journal.SrcICMP, At: bt0,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Interfaces(journal.Query{ByIP: ip, HasIP: true}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Journal().NumInterfaces(); n != workers*each {
+		t.Fatalf("journal has %d interfaces, want %d", n, workers*each)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	s, _ := startRealServer(t)
+	p, err := DialPool(s.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ping(); err != ErrPoolClosed {
+		t.Fatalf("Ping on closed pool = %v, want ErrPoolClosed", err)
+	}
+}

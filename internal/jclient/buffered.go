@@ -1,0 +1,145 @@
+package jclient
+
+import (
+	"sync"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// DefaultAutoFlush is the Buffered sink's default flush threshold.
+const DefaultAutoFlush = 64
+
+// Buffered wraps a Client in an auto-flushing, batching journal.Sink.
+// Store and delete calls queue into a Batch that is sent in one round trip
+// when the threshold is reached; queries flush first, so a reader always
+// observes every store issued before it. This amortizes the per-operation
+// TCP round trip for write-heavy producers (the explorer→journal path and
+// replication).
+//
+// Because observations are deferred, the store methods return a zero record
+// ID and created=false; every current producer discards those values. An
+// error from the flush that a store triggers is returned from that store.
+// Call Flush to push out a final partial batch.
+type Buffered struct {
+	mu    sync.Mutex
+	c     *Client
+	batch Batch
+	max   int
+}
+
+var _ journal.Sink = (*Buffered)(nil)
+
+// Buffered returns an auto-flushing batching sink over c, flushing every
+// max operations (DefaultAutoFlush if max <= 0, capped at jwire.MaxBatch).
+func (c *Client) Buffered(max int) *Buffered {
+	if max <= 0 {
+		max = DefaultAutoFlush
+	}
+	if max > jwire.MaxBatch {
+		max = jwire.MaxBatch
+	}
+	return &Buffered{c: c, max: max}
+}
+
+// Flush sends any queued operations and returns the first error among the
+// transport and the individual operations.
+func (b *Buffered) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+// Pending reports the number of queued, unflushed operations.
+func (b *Buffered) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batch.Len()
+}
+
+func (b *Buffered) flushLocked() error {
+	if b.batch.Len() == 0 {
+		return nil
+	}
+	results, err := b.c.StoreBatch(&b.batch)
+	b.batch.Reset()
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+func (b *Buffered) maybeFlushLocked() error {
+	if b.batch.Len() < b.max {
+		return nil
+	}
+	return b.flushLocked()
+}
+
+// StoreInterface implements journal.Sink; the observation is queued and the
+// returned ID is always zero.
+func (b *Buffered) StoreInterface(obs journal.IfaceObs) (journal.ID, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batch.StoreInterface(obs)
+	return 0, false, b.maybeFlushLocked()
+}
+
+// StoreGateway implements journal.Sink; the observation is queued and the
+// returned ID is always zero.
+func (b *Buffered) StoreGateway(obs journal.GatewayObs) (journal.ID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batch.StoreGateway(obs)
+	return 0, b.maybeFlushLocked()
+}
+
+// StoreSubnet implements journal.Sink; the observation is queued and the
+// returned ID is always zero.
+func (b *Buffered) StoreSubnet(obs journal.SubnetObs) (journal.ID, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batch.StoreSubnet(obs)
+	return 0, b.maybeFlushLocked()
+}
+
+// Delete implements journal.Sink. Pending stores are flushed first so the
+// delete sees their effects, then the delete runs immediately to return a
+// real result.
+func (b *Buffered) Delete(kind journal.RecordKind, id journal.ID) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.flushLocked(); err != nil {
+		return false, err
+	}
+	return b.c.Delete(kind, id)
+}
+
+// Interfaces implements journal.Sink, flushing pending stores first.
+func (b *Buffered) Interfaces(q journal.Query) ([]*journal.InterfaceRec, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.c.Interfaces(q)
+}
+
+// Gateways implements journal.Sink, flushing pending stores first.
+func (b *Buffered) Gateways() ([]*journal.GatewayRec, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.c.Gateways()
+}
+
+// Subnets implements journal.Sink, flushing pending stores first.
+func (b *Buffered) Subnets() ([]*journal.SubnetRec, error) {
+	if err := b.Flush(); err != nil {
+		return nil, err
+	}
+	return b.c.Subnets()
+}

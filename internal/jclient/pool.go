@@ -1,0 +1,196 @@
+package jclient
+
+import (
+	"errors"
+
+	"fremont/internal/journal"
+)
+
+// ErrPoolClosed is returned for operations on a closed Pool.
+var ErrPoolClosed = errors.New("jclient: pool closed")
+
+// Pool is a small fixed-size pool of connections to one Journal Server,
+// implementing journal.Sink. Each call borrows a connection for its round
+// trip, so up to size requests are in flight at once — which is what lets
+// the server's parallel read path actually run in parallel for a single
+// multi-goroutine analysis program. Callers beyond the pool size block
+// until a connection frees up. Connections are dialed lazily and dropped
+// on error, to be re-dialed by a later call.
+type Pool struct {
+	addr string
+	// conns holds one slot per pool member; nil means the slot has no live
+	// connection yet (or its last one was dropped after an error).
+	conns chan *Client
+}
+
+var _ journal.Sink = (*Pool)(nil)
+
+// DialPool creates a pool of up to size connections to addr, dialing one
+// eagerly so an unreachable server fails fast.
+func DialPool(addr string, size int) (*Pool, error) {
+	if size <= 0 {
+		size = 4
+	}
+	p := &Pool{addr: addr, conns: make(chan *Client, size)}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conns <- c
+	for i := 1; i < size; i++ {
+		p.conns <- nil
+	}
+	return p, nil
+}
+
+// Size reports the pool's connection capacity.
+func (p *Pool) Size() int { return cap(p.conns) }
+
+// Close closes every pooled connection. In-flight borrowers finish their
+// round trip; their connections are closed on return.
+func (p *Pool) Close() error {
+	var first error
+	close(p.conns)
+	for c := range p.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// get borrows a connection slot, dialing if the slot is empty.
+func (p *Pool) get() (*Client, error) {
+	c, ok := <-p.conns
+	if !ok {
+		return nil, ErrPoolClosed
+	}
+	if c != nil {
+		return c, nil
+	}
+	c, err := Dial(p.addr)
+	if err != nil {
+		// Return the empty slot so the pool does not shrink.
+		p.putSlot(nil)
+		return nil, err
+	}
+	return c, nil
+}
+
+// put returns a borrowed connection; a connection that just failed is
+// closed and its slot emptied for a fresh dial.
+func (p *Pool) put(c *Client, err error) {
+	if err != nil {
+		c.Close()
+		c = nil
+	}
+	p.putSlot(c)
+}
+
+func (p *Pool) putSlot(c *Client) {
+	defer func() {
+		// The pool was closed while this connection was borrowed.
+		if recover() != nil && c != nil {
+			c.Close()
+		}
+	}()
+	p.conns <- c
+}
+
+// do runs fn on a borrowed connection.
+func (p *Pool) do(fn func(c *Client) error) error {
+	c, err := p.get()
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	p.put(c, err)
+	return err
+}
+
+// Ping implements a health check on one pooled connection.
+func (p *Pool) Ping() error {
+	return p.do(func(c *Client) error { return c.Ping() })
+}
+
+// StoreInterface implements journal.Sink.
+func (p *Pool) StoreInterface(obs journal.IfaceObs) (id journal.ID, created bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		id, created, e = c.StoreInterface(obs)
+		return e
+	})
+	return id, created, err
+}
+
+// StoreGateway implements journal.Sink.
+func (p *Pool) StoreGateway(obs journal.GatewayObs) (id journal.ID, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		id, e = c.StoreGateway(obs)
+		return e
+	})
+	return id, err
+}
+
+// StoreSubnet implements journal.Sink.
+func (p *Pool) StoreSubnet(obs journal.SubnetObs) (id journal.ID, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		id, e = c.StoreSubnet(obs)
+		return e
+	})
+	return id, err
+}
+
+// Interfaces implements journal.Sink.
+func (p *Pool) Interfaces(q journal.Query) (recs []*journal.InterfaceRec, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, e = c.Interfaces(q)
+		return e
+	})
+	return recs, err
+}
+
+// Gateways implements journal.Sink.
+func (p *Pool) Gateways() (recs []*journal.GatewayRec, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, e = c.Gateways()
+		return e
+	})
+	return recs, err
+}
+
+// Subnets implements journal.Sink.
+func (p *Pool) Subnets() (recs []*journal.SubnetRec, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, e = c.Subnets()
+		return e
+	})
+	return recs, err
+}
+
+// Delete implements journal.Sink.
+func (p *Pool) Delete(kind journal.RecordKind, id journal.ID) (ok bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		ok, e = c.Delete(kind, id)
+		return e
+	})
+	return ok, err
+}
+
+// StoreBatch executes a batch on one pooled connection.
+func (p *Pool) StoreBatch(b *Batch) (results []BatchResult, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		results, e = c.StoreBatch(b)
+		return e
+	})
+	return results, err
+}

@@ -1,0 +1,190 @@
+package journal
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// TestConcurrentJournalAccess hammers the journal from several goroutines
+// mixing stores, queries, and deletes — run under -race in CI — then checks
+// the index invariants: every index entry points at a live record whose
+// field matches the index key, every live record is reachable from its
+// indexes, and the modification lists hold exactly the live records.
+func TestConcurrentJournalAccess(t *testing.T) {
+	j := New()
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+	const goroutines = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			mac := pkt.MAC{8, 0, 0x20, 0, 0, byte(g + 1)}
+			for i := 0; i < iters; i++ {
+				// Overlapping IPs across goroutines, distinct MACs: this
+				// exercises the conflict path (same IP, different hardware)
+				// as well as plain merges.
+				ip := pkt.IPv4(10, 0, byte(rng.Intn(4)), byte(rng.Intn(32)))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					obs := IfaceObs{IP: ip, Source: SrcICMP, At: at.Add(time.Duration(i) * time.Second)}
+					if rng.Intn(2) == 0 {
+						obs.HasMAC, obs.MAC = true, mac
+					}
+					if rng.Intn(3) == 0 {
+						obs.Name = "host.example"
+					}
+					j.StoreInterface(obs)
+				case 4:
+					sn := pkt.SubnetOf(ip, pkt.MaskBits(24))
+					j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{ip}, Subnets: []pkt.Subnet{sn}, Source: SrcTraceroute, At: at})
+				case 5:
+					sn := pkt.SubnetOf(ip, pkt.MaskBits(24))
+					j.StoreSubnet(SubnetObs{Subnet: sn, Metric: rng.Intn(5) + 1, Source: SrcRIP, At: at})
+				case 6:
+					// Delete a record found through the public query path.
+					recs := j.Interfaces(Query{ByIP: ip, HasIP: true})
+					if len(recs) > 0 {
+						j.Delete(KindInterface, recs[rng.Intn(len(recs))].ID)
+					}
+				case 7:
+					j.Interfaces(Query{ByName: "host.example"})
+					j.Gateways()
+					j.Subnets()
+				case 8:
+					j.RecentlyModified(KindInterface, 10)
+					j.NumInterfaces()
+					j.StatsSnapshot()
+				case 9:
+					j.Interfaces(Query{HasRange: true, IPLo: pkt.IPv4(10, 0, 0, 0), IPHi: pkt.IPv4(10, 0, 4, 0)})
+					j.Export()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	checkIndexInvariants(t, j)
+}
+
+// checkIndexInvariants validates the journal's internal cross-references
+// after the dust settles (single-threaded, no lock needed).
+func checkIndexInvariants(t *testing.T, j *Journal) {
+	t.Helper()
+
+	// Every index entry points at a live record whose field matches the key.
+	seenByIP := map[ID]bool{}
+	j.ifByIP.Ascend(func(ip pkt.IP, ids []ID) bool {
+		if len(ids) == 0 {
+			t.Errorf("empty by-IP bucket for %s", ip)
+		}
+		for _, id := range ids {
+			rec, ok := j.ifRecs[id]
+			if !ok {
+				t.Errorf("by-IP index %s holds dangling ID %d", ip, id)
+				continue
+			}
+			if rec.IP != ip {
+				t.Errorf("by-IP index %s holds record %d with IP %s", ip, id, rec.IP)
+			}
+			seenByIP[id] = true
+		}
+		return true
+	})
+	j.ifByMAC.Ascend(func(mac pkt.MAC, ids []ID) bool {
+		for _, id := range ids {
+			rec, ok := j.ifRecs[id]
+			if !ok {
+				t.Errorf("by-MAC index %s holds dangling ID %d", mac, id)
+				continue
+			}
+			if rec.MAC != mac {
+				t.Errorf("by-MAC index %s holds record %d with MAC %s", mac, id, rec.MAC)
+			}
+		}
+		return true
+	})
+	j.ifByName.Ascend(func(name string, ids []ID) bool {
+		for _, id := range ids {
+			rec, ok := j.ifRecs[id]
+			if !ok {
+				t.Errorf("by-name index %q holds dangling ID %d", name, id)
+				continue
+			}
+			if rec.Name != name {
+				t.Errorf("by-name index %q holds record %d named %q", name, id, rec.Name)
+			}
+		}
+		return true
+	})
+	j.snByAddr.Ascend(func(addr pkt.IP, id ID) bool {
+		rec, ok := j.snRecs[id]
+		if !ok {
+			t.Errorf("subnet index %s holds dangling ID %d", addr, id)
+			return true
+		}
+		if rec.Subnet.Addr != addr {
+			t.Errorf("subnet index %s holds record %d at %s", addr, id, rec.Subnet.Addr)
+		}
+		return true
+	})
+
+	// Every live record is reachable from its indexes.
+	for id, rec := range j.ifRecs {
+		if !seenByIP[id] {
+			t.Errorf("record %d (%s) missing from by-IP index", id, rec.IP)
+		}
+		if !rec.MAC.IsZero() {
+			ids, _ := j.ifByMAC.Get(rec.MAC)
+			if !containsID(ids, id) {
+				t.Errorf("record %d missing from by-MAC index %s", id, rec.MAC)
+			}
+		}
+		if rec.Name != "" {
+			ids, _ := j.ifByName.Get(rec.Name)
+			if !containsID(ids, id) {
+				t.Errorf("record %d missing from by-name index %q", id, rec.Name)
+			}
+		}
+	}
+
+	// The modification lists hold exactly the live records.
+	if n := j.ifList.len(); n != len(j.ifRecs) {
+		t.Errorf("interface list has %d entries, map has %d", n, len(j.ifRecs))
+	}
+	if n := j.gwList.len(); n != len(j.gwRecs) {
+		t.Errorf("gateway list has %d entries, map has %d", n, len(j.gwRecs))
+	}
+	if n := j.snList.len(); n != len(j.snRecs) {
+		t.Errorf("subnet list has %d entries, map has %d", n, len(j.snRecs))
+	}
+	j.ifList.each(func(owner any) bool {
+		rec := owner.(*InterfaceRec)
+		if j.ifRecs[rec.ID] != rec {
+			t.Errorf("interface list entry %d is not the live record", rec.ID)
+		}
+		return true
+	})
+
+	// Gateway membership is bidirectional.
+	for id, gw := range j.gwRecs {
+		for _, ifID := range gw.Ifaces {
+			rec, ok := j.ifRecs[ifID]
+			if !ok {
+				continue // interface was deleted; detach is one-way by design
+			}
+			if rec.Gateway != 0 && rec.Gateway != id {
+				if _, live := j.gwRecs[rec.Gateway]; !live {
+					t.Errorf("interface %d points at dead gateway %d", ifID, rec.Gateway)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package journal
+
+// Export returns deep copies of every record, each kind in modification
+// order (oldest first), all taken under a single read lock so a snapshot
+// sees one consistent point in time — concurrent stores cannot interleave
+// between the three walks.
+func (j *Journal) Export() (ifs []*InterfaceRec, gws []*GatewayRec, sns []*SubnetRec) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	ifs = make([]*InterfaceRec, 0, j.ifList.len())
+	j.ifList.each(func(owner any) bool {
+		ifs = append(ifs, owner.(*InterfaceRec).clone())
+		return true
+	})
+	gws = make([]*GatewayRec, 0, j.gwList.len())
+	j.gwList.each(func(owner any) bool {
+		gws = append(gws, owner.(*GatewayRec).clone())
+		return true
+	})
+	sns = make([]*SubnetRec, 0, j.snList.len())
+	j.snList.each(func(owner any) bool {
+		sns = append(sns, owner.(*SubnetRec).clone())
+		return true
+	})
+	return ifs, gws, sns
+}

@@ -3,16 +3,20 @@ package journal
 import (
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"fremont/internal/avl"
 	"fremont/internal/netsim/pkt"
 )
 
-// Journal is the in-memory repository. It is not safe for concurrent use;
-// the Journal Server serializes all access ("the Journal Server ...
-// serializes updates, time-stamps and records the data").
+// Journal is the in-memory repository. It is safe for concurrent use: an
+// internal read/write lock lets any number of queries proceed in parallel
+// while mutations ("the Journal Server ... serializes updates, time-stamps
+// and records the data") are serialized against them.
 type Journal struct {
+	mu sync.RWMutex
+
 	ifRecs map[ID]*InterfaceRec
 	gwRecs map[ID]*GatewayRec
 	snRecs map[ID]*SubnetRec
@@ -26,7 +30,9 @@ type Journal struct {
 
 	nextIface, nextGw, nextSn ID
 
-	// Stats counts journal activity for the evaluation harness.
+	// Stats counts journal activity for the evaluation harness. It is
+	// guarded by the journal's lock: read it via StatsSnapshot when other
+	// goroutines may be storing concurrently.
 	Stats Stats
 }
 
@@ -78,9 +84,13 @@ func New() *Journal {
 }
 
 // NumInterfaces, NumGateways and NumSubnets report record counts.
-func (j *Journal) NumInterfaces() int { return len(j.ifRecs) }
-func (j *Journal) NumGateways() int   { return len(j.gwRecs) }
-func (j *Journal) NumSubnets() int    { return len(j.snRecs) }
+func (j *Journal) NumInterfaces() int { j.mu.RLock(); defer j.mu.RUnlock(); return len(j.ifRecs) }
+func (j *Journal) NumGateways() int   { j.mu.RLock(); defer j.mu.RUnlock(); return len(j.gwRecs) }
+func (j *Journal) NumSubnets() int    { j.mu.RLock(); defer j.mu.RUnlock(); return len(j.snRecs) }
+
+// StatsSnapshot returns the activity counters under the read lock, safe to
+// call while other goroutines are storing.
+func (j *Journal) StatsSnapshot() Stats { j.mu.RLock(); defer j.mu.RUnlock(); return j.Stats }
 
 // --- Interface observations --------------------------------------------
 
@@ -120,6 +130,13 @@ func (o IfaceObs) negative() bool {
 // usually indicates a misconfigured host"), rather than silently
 // overwriting history.
 func (j *Journal) StoreInterface(obs IfaceObs) (ID, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.storeInterface(obs)
+}
+
+// storeInterface implements StoreInterface; callers hold the write lock.
+func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 	j.Stats.Stores++
 	var candidates []ID
 	if ids, ok := j.ifByIP.Get(obs.IP); ok {
@@ -291,10 +308,17 @@ type GatewayObs struct {
 // evidence from Traceroute, DNS and ARP cross-correlation combines into a
 // single gateway picture.
 func (j *Journal) StoreGateway(obs GatewayObs) ID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.storeGateway(obs)
+}
+
+// storeGateway implements StoreGateway; callers hold the write lock.
+func (j *Journal) storeGateway(obs GatewayObs) ID {
 	j.Stats.Stores++
 	var ifaceIDs []ID
 	for _, ip := range obs.IfaceIPs {
-		id, _ := j.StoreInterface(IfaceObs{IP: ip, Source: obs.Source, At: obs.At})
+		id, _ := j.storeInterface(IfaceObs{IP: ip, Source: obs.Source, At: obs.At})
 		ifaceIDs = append(ifaceIDs, id)
 	}
 
@@ -442,6 +466,13 @@ type SubnetObs struct {
 
 // StoreSubnet merges a subnet observation.
 func (j *Journal) StoreSubnet(obs SubnetObs) ID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.storeSubnet(obs)
+}
+
+// storeSubnet implements StoreSubnet; callers hold the write lock.
+func (j *Journal) storeSubnet(obs SubnetObs) ID {
 	j.Stats.Stores++
 	id := j.ensureSubnet(obs.Subnet, obs.Source, obs.At)
 	rec := j.snRecs[id]
@@ -462,7 +493,7 @@ func (j *Journal) StoreSubnet(obs SubnetObs) ID {
 		changed = true
 	}
 	for _, gwIP := range obs.GatewayIPs {
-		gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{gwIP}, Source: obs.Source, At: obs.At})
+		gwID := j.storeGateway(GatewayObs{IfaceIPs: []pkt.IP{gwIP}, Source: obs.Source, At: obs.At})
 		if !containsID(rec.Gateways, gwID) {
 			rec.Gateways = append(rec.Gateways, gwID)
 			changed = true
@@ -514,14 +545,21 @@ type Query struct {
 // Interfaces returns deep copies of matching interface records, ordered by
 // record ID.
 func (j *Journal) Interfaces(q Query) []*InterfaceRec {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	// The index buckets are shared between concurrent readers: always
+	// accumulate into a fresh slice, since the sort below mutates it.
 	var ids []ID
 	switch {
 	case q.HasIP:
-		ids, _ = j.ifByIP.Get(q.ByIP)
+		bucket, _ := j.ifByIP.Get(q.ByIP)
+		ids = append(ids, bucket...)
 	case q.HasMAC:
-		ids, _ = j.ifByMAC.Get(q.ByMAC)
+		bucket, _ := j.ifByMAC.Get(q.ByMAC)
+		ids = append(ids, bucket...)
 	case q.ByName != "":
-		ids, _ = j.ifByName.Get(strings.ToLower(q.ByName))
+		bucket, _ := j.ifByName.Get(strings.ToLower(q.ByName))
+		ids = append(ids, bucket...)
 	case q.HasRange:
 		j.ifByIP.AscendRange(q.IPLo, q.IPHi, func(_ pkt.IP, bucket []ID) bool {
 			ids = append(ids, bucket...)
@@ -549,6 +587,8 @@ func (j *Journal) Interfaces(q Query) []*InterfaceRec {
 
 // Interface returns a copy of the record with the given ID.
 func (j *Journal) Interface(id ID) (*InterfaceRec, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	rec, ok := j.ifRecs[id]
 	if !ok {
 		return nil, false
@@ -558,6 +598,8 @@ func (j *Journal) Interface(id ID) (*InterfaceRec, bool) {
 
 // Gateways returns copies of all gateway records, ordered by ID.
 func (j *Journal) Gateways() []*GatewayRec {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	ids := make([]ID, 0, len(j.gwRecs))
 	for id := range j.gwRecs {
 		ids = append(ids, id)
@@ -572,6 +614,8 @@ func (j *Journal) Gateways() []*GatewayRec {
 
 // Gateway returns a copy of the record with the given ID.
 func (j *Journal) Gateway(id ID) (*GatewayRec, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	rec, ok := j.gwRecs[id]
 	if !ok {
 		return nil, false
@@ -581,6 +625,8 @@ func (j *Journal) Gateway(id ID) (*GatewayRec, bool) {
 
 // Subnets returns copies of all subnet records, ordered by subnet address.
 func (j *Journal) Subnets() []*SubnetRec {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	var out []*SubnetRec
 	j.snByAddr.Ascend(func(_ pkt.IP, id ID) bool {
 		out = append(out, j.snRecs[id].clone())
@@ -591,6 +637,8 @@ func (j *Journal) Subnets() []*SubnetRec {
 
 // SubnetByAddr returns a copy of the subnet record for addr.
 func (j *Journal) SubnetByAddr(addr pkt.IP) (*SubnetRec, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	id, ok := j.snByAddr.Get(addr)
 	if !ok {
 		return nil, false
@@ -601,6 +649,8 @@ func (j *Journal) SubnetByAddr(addr pkt.IP) (*SubnetRec, bool) {
 // RecentlyModified returns up to n records of the given kind, most
 // recently modified last — a walk of the modification-ordered list.
 func (j *Journal) RecentlyModified(kind RecordKind, n int) []any {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	var l *modList
 	switch kind {
 	case KindInterface:
@@ -640,6 +690,8 @@ func (j *Journal) RecentlyModified(kind RecordKind, n int) []any {
 // Delete removes a record. Deleting an interface detaches it from its
 // gateway; deleting a gateway detaches its interfaces and subnets.
 func (j *Journal) Delete(kind RecordKind, id ID) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	switch kind {
 	case KindInterface:
 		rec, ok := j.ifRecs[id]

@@ -7,6 +7,8 @@ package journal
 
 // RestoreInterface inserts rec verbatim.
 func (j *Journal) RestoreInterface(rec *InterfaceRec) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	r := rec.clone()
 	j.ifRecs[r.ID] = r
 	j.indexIP(r)
@@ -24,6 +26,8 @@ func (j *Journal) RestoreInterface(rec *InterfaceRec) {
 
 // RestoreGateway inserts rec verbatim.
 func (j *Journal) RestoreGateway(rec *GatewayRec) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	r := rec.clone()
 	j.gwRecs[r.ID] = r
 	j.gwList.pushBack(&r.list, r)
@@ -34,6 +38,8 @@ func (j *Journal) RestoreGateway(rec *GatewayRec) {
 
 // RestoreSubnet inserts rec verbatim.
 func (j *Journal) RestoreSubnet(rec *SubnetRec) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	r := rec.clone()
 	j.snRecs[r.ID] = r
 	j.snByAddr.Put(r.Subnet.Addr, r.ID)

@@ -47,6 +47,8 @@ const avlNodeOverhead = 48
 
 // MeasureFootprint walks the journal and estimates storage.
 func (j *Journal) MeasureFootprint() Footprint {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
 	f := Footprint{
 		Interfaces: len(j.ifRecs),
 		Gateways:   len(j.gwRecs),

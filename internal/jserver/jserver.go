@@ -11,15 +11,18 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
 )
 
-// Server owns a Journal and serves the jwire protocol.
+// Server owns a Journal and serves the jwire protocol. The server itself
+// holds no lock around request dispatch: the Journal's internal read/write
+// lock lets Get queries from many connections proceed in parallel while
+// stores serialize against them.
 type Server struct {
-	mu      sync.Mutex
 	journal *journal.Journal
 
 	SnapshotPath     string        // "" disables persistence
@@ -28,10 +31,22 @@ type Server struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	quit   chan struct{}
+	mu     sync.Mutex // guards closed
 	closed bool
 
-	// RequestsServed counts protocol requests, for load reporting.
-	RequestsServed int
+	// requestsServed counts executed operations (each batch sub-request
+	// counts once), for load reporting. Read via Stats.
+	requestsServed atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	RequestsServed int64
+}
+
+// Stats returns the server's counters; safe to call at any time.
+func (s *Server) Stats() Stats {
+	return Stats{RequestsServed: s.requestsServed.Load()}
 }
 
 // New creates a server around j (a fresh journal if nil).
@@ -62,19 +77,16 @@ func (s *Server) LoadSnapshot() error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return RestoreSnapshot(s.journal, data)
 }
 
-// SaveSnapshot writes the journal to SnapshotPath atomically.
+// SaveSnapshot writes the journal to SnapshotPath atomically. The journal's
+// own read lock gives the encoder a consistent view.
 func (s *Server) SaveSnapshot() error {
 	if s.SnapshotPath == "" {
 		return nil
 	}
-	s.mu.Lock()
 	data := EncodeSnapshot(s.journal)
-	s.mu.Unlock()
 	tmp := s.SnapshotPath + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
@@ -183,15 +195,60 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// dispatch applies one request under the journal lock and builds the
-// response payload.
+// dispatch routes one frame: either a single operation or an OpBatch
+// carrying many. The journal's own locking serializes stores and lets
+// queries run in parallel.
 func (s *Server) dispatch(req []byte) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.RequestsServed++
-
 	r := &jwire.Reader{B: req}
 	op := r.U8()
+	if op == jwire.OpBatch {
+		return s.dispatchBatch(r)
+	}
+	return s.dispatchOne(op, r)
+}
+
+// dispatchBatch executes each sub-request in order and frames one
+// length-prefixed sub-response (with its own status byte) per sub-request.
+// Sub-requests are independent: a failure is reported in its slot and the
+// rest of the batch still executes.
+func (s *Server) dispatchBatch(r *jwire.Reader) []byte {
+	subs := jwire.GetBatch(r)
+	var w jwire.Writer
+	if r.Err != nil {
+		w.U8(jwire.StatusError)
+		w.String(r.Err.Error())
+		return w.B
+	}
+	w.U8(jwire.StatusOK)
+	w.U32(uint32(len(subs)))
+	for _, sub := range subs {
+		sr := &jwire.Reader{B: sub}
+		op := sr.U8()
+		var resp []byte
+		switch {
+		case sr.Err != nil:
+			resp = errPayload(errors.New("jserver: empty batch sub-request"))
+		case op == jwire.OpBatch:
+			resp = errPayload(errors.New("jserver: nested batch rejected"))
+		default:
+			resp = s.dispatchOne(op, sr)
+		}
+		w.Bytes(resp)
+	}
+	return w.B
+}
+
+func errPayload(err error) []byte {
+	var w jwire.Writer
+	w.U8(jwire.StatusError)
+	w.String(err.Error())
+	return w.B
+}
+
+// dispatchOne applies one operation and builds its response payload.
+func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
+	s.requestsServed.Add(1)
+
 	var w jwire.Writer
 	fail := func(err error) []byte {
 		w.B = w.B[:0]
@@ -273,26 +330,26 @@ func (s *Server) dispatch(req []byte) []byte {
 const snapshotMagic = 0x4652454d // "FREM"
 
 // EncodeSnapshot serializes the whole journal (records in modification
-// order, oldest first).
+// order, oldest first). journal.Export takes the read lock once, so the
+// snapshot is a single consistent point in time even under concurrent
+// stores.
 func EncodeSnapshot(j *journal.Journal) []byte {
 	var w jwire.Writer
 	w.U32(snapshotMagic)
 	w.U16(1) // version
 
-	ifs := j.RecentlyModified(journal.KindInterface, 0)
+	ifs, gws, sns := j.Export()
 	w.U32(uint32(len(ifs)))
 	for _, r := range ifs {
-		jwire.PutInterfaceRec(&w, r.(*journal.InterfaceRec))
+		jwire.PutInterfaceRec(&w, r)
 	}
-	gws := j.RecentlyModified(journal.KindGateway, 0)
 	w.U32(uint32(len(gws)))
 	for _, r := range gws {
-		jwire.PutGatewayRec(&w, r.(*journal.GatewayRec))
+		jwire.PutGatewayRec(&w, r)
 	}
-	sns := j.RecentlyModified(journal.KindSubnet, 0)
 	w.U32(uint32(len(sns)))
 	for _, r := range sns {
-		jwire.PutSubnetRec(&w, r.(*journal.SubnetRec))
+		jwire.PutSubnetRec(&w, r)
 	}
 	return w.B
 }

@@ -141,6 +141,134 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestBatchOverTCP(t *testing.T) {
+	s, c := startServer(t)
+	sn, _ := pkt.ParseSubnet("128.138.243.0/24")
+	var b jclient.Batch
+	for i := 1; i <= 3; i++ {
+		b.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: t0})
+	}
+	b.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 0, 254)},
+		Subnets: []pkt.Subnet{sn}, Source: journal.SrcTraceroute, At: t0})
+	b.StoreSubnet(journal.SubnetObs{Subnet: sn, Source: journal.SrcRIP, At: t0})
+	results, err := c.StoreBatch(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("sub-request %d failed: %v", i, res.Err)
+		}
+		if res.ID == 0 {
+			t.Fatalf("sub-request %d returned zero ID", i)
+		}
+	}
+	if !results[0].Created {
+		t.Fatal("first interface store did not report creation")
+	}
+	j := s.Journal()
+	if j.NumInterfaces() != 4 || j.NumGateways() != 1 || j.NumSubnets() != 1 {
+		t.Fatalf("journal = %d/%d/%d interfaces/gateways/subnets",
+			j.NumInterfaces(), j.NumGateways(), j.NumSubnets())
+	}
+	// Batch deletes round-trip too.
+	b.Reset()
+	b.Delete(journal.KindInterface, results[0].ID)
+	b.Delete(journal.KindInterface, results[0].ID) // second time: gone
+	results, err = c.StoreBatch(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Deleted || results[1].Deleted {
+		t.Fatalf("delete results = %+v", results)
+	}
+}
+
+func TestBatchPartialFailure(t *testing.T) {
+	s, _ := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Hand-build a batch: valid store, truncated store, empty sub-request,
+	// nested batch, valid ping. Only the malformed three may fail.
+	var good jwire.Writer
+	good.U8(jwire.OpStoreInterface)
+	jwire.PutIfaceObs(&good, journal.IfaceObs{IP: pkt.IPv4(10, 9, 9, 9), Source: journal.SrcICMP, At: t0})
+	subs := [][]byte{
+		good.B,
+		{jwire.OpStoreInterface, 0x01}, // truncated body
+		{},                             // empty
+		{jwire.OpBatch, 0, 0, 0, 0},    // nested batch
+		{jwire.OpPing},
+	}
+	var w jwire.Writer
+	w.U8(jwire.OpBatch)
+	if err := jwire.PutBatch(&w, subs); err != nil {
+		t.Fatal(err)
+	}
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &jwire.Reader{B: resp}
+	if r.U8() != jwire.StatusOK {
+		t.Fatalf("batch frame rejected outright: % x", resp)
+	}
+	if n := r.U32(); n != uint32(len(subs)) {
+		t.Fatalf("got %d sub-responses, want %d", n, len(subs))
+	}
+	var statuses []byte
+	for range subs {
+		sub := r.Bytes()
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if len(sub) == 0 {
+			t.Fatal("empty sub-response")
+		}
+		statuses = append(statuses, sub[0])
+	}
+	want := []byte{jwire.StatusOK, jwire.StatusError, jwire.StatusError, jwire.StatusError, jwire.StatusOK}
+	for i, st := range statuses {
+		if st != want[i] {
+			t.Fatalf("sub-response %d status = %d, want %d", i, st, want[i])
+		}
+	}
+	// The valid store in the failing batch still applied.
+	if n := s.Journal().NumInterfaces(); n != 1 {
+		t.Fatalf("journal has %d interfaces, want 1", n)
+	}
+}
+
+func TestStatsCountsRequests(t *testing.T) {
+	s, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 1, 1), Source: journal.SrcICMP, At: t0}); err != nil {
+		t.Fatal(err)
+	}
+	var b jclient.Batch
+	for i := 0; i < 3; i++ {
+		b.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 2, byte(i)), Source: journal.SrcICMP, At: t0})
+	}
+	if _, err := c.StoreBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Ping + single store + 3 batch sub-requests = 5 executed operations.
+	if got := s.Stats().RequestsServed; got != 5 {
+		t.Fatalf("RequestsServed = %d, want 5", got)
+	}
+}
+
 func TestSnapshotRoundtrip(t *testing.T) {
 	j := journal.New()
 	j.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true,

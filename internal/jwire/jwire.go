@@ -32,6 +32,10 @@ const (
 	OpGetSubnets     byte = 6
 	OpDelete         byte = 7
 	OpPing           byte = 8
+	// OpBatch carries N sub-requests in one frame; the response carries one
+	// length-prefixed sub-response (with its own status byte) per
+	// sub-request, so a whole burst of stores costs a single round trip.
+	OpBatch byte = 9
 )
 
 // Response status codes.
@@ -44,8 +48,14 @@ const (
 // comfortably).
 const MaxMessage = 64 << 20
 
+// MaxBatch bounds the number of sub-requests in one OpBatch frame.
+const MaxBatch = 1024
+
 // ErrTooLarge is returned for oversized frames.
 var ErrTooLarge = errors.New("jwire: message exceeds size limit")
+
+// ErrBatchTooLarge is returned for batches exceeding MaxBatch sub-requests.
+var ErrBatchTooLarge = errors.New("jwire: batch exceeds MaxBatch sub-requests")
 
 // --- Buffer primitives ---------------------------------------------------
 
@@ -62,6 +72,13 @@ func (w *Writer) String(s string) {
 	w.U32(uint32(len(s)))
 	w.B = append(w.B, s...)
 }
+
+// Bytes writes a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.B = append(w.B, b...)
+}
+
 func (w *Writer) Time(t time.Time) {
 	if t.IsZero() {
 		w.U64(0)
@@ -149,6 +166,19 @@ func (r *Reader) String() string {
 	return s
 }
 
+// Bytes reads a length-prefixed byte string. The result aliases the
+// Reader's buffer; copy it to retain beyond the buffer's lifetime.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.Err != nil || n < 0 || r.off+n > len(r.B) {
+		r.fail()
+		return nil
+	}
+	b := r.B[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
 func (r *Reader) Time() time.Time {
 	v := r.U64()
 	if v == 0 {
@@ -207,6 +237,45 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// --- Batch encoding ------------------------------------------------------
+
+// PutBatch encodes the body of an OpBatch request (the caller writes the
+// opcode first, as for every other operation): a sub-request count followed
+// by length-prefixed sub-request payloads, each beginning with its own
+// opcode. Nested batches are rejected by the server.
+func PutBatch(w *Writer, subs [][]byte) error {
+	if len(subs) > MaxBatch {
+		return ErrBatchTooLarge
+	}
+	w.U32(uint32(len(subs)))
+	for _, sub := range subs {
+		w.Bytes(sub)
+	}
+	return nil
+}
+
+// GetBatch decodes the body of an OpBatch request. On any malformed input
+// it sets r.Err and returns nil; the sub-slices alias r.B.
+func GetBatch(r *Reader) [][]byte {
+	n := int(r.U32())
+	if r.Err != nil {
+		return nil
+	}
+	if n > MaxBatch {
+		r.Err = ErrBatchTooLarge
+		return nil
+	}
+	subs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		sub := r.Bytes()
+		if r.Err != nil {
+			return nil
+		}
+		subs = append(subs, sub)
+	}
+	return subs
 }
 
 // --- Observation encoding ------------------------------------------------

@@ -156,6 +156,109 @@ func TestReaderResilientToGarbage(t *testing.T) {
 	}
 }
 
+func TestBatchRoundtrip(t *testing.T) {
+	subs := [][]byte{
+		{OpPing},
+		append([]byte{OpStoreInterface}, make([]byte, 40)...),
+		{}, // empty sub-requests survive framing (the server rejects them)
+	}
+	var w Writer
+	if err := PutBatch(&w, subs); err != nil {
+		t.Fatal(err)
+	}
+	r := &Reader{B: w.B}
+	got := GetBatch(r)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !reflect.DeepEqual(got, subs) {
+		t.Fatalf("roundtrip mismatch:\n%v\n%v", got, subs)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestBatchSizeLimit(t *testing.T) {
+	subs := make([][]byte, MaxBatch+1)
+	for i := range subs {
+		subs[i] = []byte{OpPing}
+	}
+	if err := PutBatch(&Writer{}, subs); err != ErrBatchTooLarge {
+		t.Fatalf("PutBatch err = %v, want ErrBatchTooLarge", err)
+	}
+	// A forged count over the limit must be rejected before allocation.
+	var w Writer
+	w.U32(MaxBatch + 1)
+	r := &Reader{B: w.B}
+	if GetBatch(r) != nil || r.Err != ErrBatchTooLarge {
+		t.Fatalf("GetBatch err = %v, want ErrBatchTooLarge", r.Err)
+	}
+}
+
+// TestBatchTruncated decodes every strict prefix of a valid batch payload:
+// none may panic, and all must report an error (a prefix always cuts either
+// the count, a length, or a sub-request body).
+func TestBatchTruncated(t *testing.T) {
+	subs := [][]byte{{OpPing}, append([]byte{OpStoreSubnet}, make([]byte, 25)...), {OpDelete, 1, 0, 0, 0, 7}}
+	var w Writer
+	if err := PutBatch(&w, subs); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(w.B); n++ {
+		r := &Reader{B: w.B[:n]}
+		GetBatch(r)
+		if r.Err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(w.B))
+		}
+	}
+}
+
+// TestBatchGarbage throws arbitrary bytes at the batch decoder: it must
+// never panic, and anything it accepts must re-encode within bounds.
+func TestBatchGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		r := &Reader{B: b}
+		subs := GetBatch(r)
+		if r.Err != nil {
+			return subs == nil
+		}
+		return len(subs) <= MaxBatch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzGetBatch is the native-fuzzing version of TestBatchGarbage; `go test`
+// runs the seed corpus, `go test -fuzz=FuzzGetBatch` explores further.
+func FuzzGetBatch(f *testing.F) {
+	var w Writer
+	_ = PutBatch(&w, [][]byte{{OpPing}, {OpStoreInterface, 0, 1, 2}})
+	f.Add(w.B)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Reader{B: data}
+		subs := GetBatch(r)
+		if r.Err == nil && len(subs) > MaxBatch {
+			t.Fatalf("accepted %d sub-requests, limit %d", len(subs), MaxBatch)
+		}
+		if r.Err == nil {
+			// Whatever decoded must survive a re-encode/re-decode cycle.
+			var w2 Writer
+			if err := PutBatch(&w2, subs); err != nil {
+				t.Fatal(err)
+			}
+			r2 := &Reader{B: w2.B}
+			got := GetBatch(r2)
+			if r2.Err != nil || len(got) != len(subs) {
+				t.Fatalf("re-decode failed: %v", r2.Err)
+			}
+		}
+	})
+}
+
 func TestQuickPrimitiveRoundtrip(t *testing.T) {
 	f := func(a uint32, b uint64, s string, c bool, m [6]byte) bool {
 		var w Writer

@@ -30,10 +30,29 @@ func (r Report) String() string {
 		r.Interfaces, r.Gateways, r.Subnets)
 }
 
+// flusher is the optional batching interface (satisfied by
+// jclient.Buffered): Pull drains any buffered stores before returning, so
+// a batching destination is fully written when Pull reports success.
+type flusher interface{ Flush() error }
+
 // Pull copies everything modified since `since` (zero = everything) from
 // src into dst. Records are replayed as observations: discovery first,
 // then verification, so the destination's stamps bracket the source's.
+//
+// When dst buffers stores (jclient.Buffered), the replay rides the batched
+// wire protocol — one round trip per batch instead of one per observation —
+// and Pull flushes the tail before returning.
 func Pull(dst, src journal.Sink, since time.Time) (Report, error) {
+	rep, err := pull(dst, src, since)
+	if f, ok := dst.(flusher); ok {
+		if ferr := f.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return rep, err
+}
+
+func pull(dst, src journal.Sink, since time.Time) (Report, error) {
 	var rep Report
 
 	ifs, err := src.Interfaces(journal.Query{ModifiedSince: since})
