@@ -21,8 +21,10 @@ import (
 	"fremont/internal/jclient"
 	"fremont/internal/journal"
 	"fremont/internal/jserver"
+	"fremont/internal/jwire"
 	"fremont/internal/netsim/campus"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/wal"
 )
 
 const benchSeed = 1993
@@ -492,4 +494,86 @@ func BenchmarkAblation_MultiVantage(b *testing.B) {
 	}
 	b.Run("one-vantage", func(b *testing.B) { run(b, 1) })
 	b.Run("two-vantages", func(b *testing.B) { run(b, 2) })
+}
+
+// BenchmarkWALAppend measures the durability layer's append cost across
+// the three fsync policies: `always` is the zero-loss configuration the
+// acceptance bar uses, `interval` amortizes the fsync over a background
+// window, `never` shows the raw framing+write cost.
+func BenchmarkWALAppend(b *testing.B) {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreInterface)
+	jwire.PutIfaceObs(&w, journal.IfaceObs{
+		IP: pkt.IPv4(10, 0, 0, 1), HasMAC: true, MAC: pkt.MAC{8, 0, 0x20, 1, 2, 3},
+		Name: "anchor.cs.colorado.edu", HasMask: true, Mask: pkt.MaskBits(24),
+		Source: journal.SrcARP, At: time.Unix(727950000, 0),
+	})
+	payload := w.B
+
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, err := wal.Open(wal.Options{Dir: b.TempDir(), Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(l.Stats().Fsyncs), "fsyncs")
+		})
+	}
+}
+
+// BenchmarkRecoveryReplay measures startup recovery: replaying a WAL of
+// store requests through the shared jwire dispatch into a fresh journal
+// — the work a restarted server does before it can serve.
+func BenchmarkRecoveryReplay(b *testing.B) {
+	const records = 5000
+	dir := b.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w jwire.Writer
+	for i := 0; i < records; i++ {
+		w.B = w.B[:0]
+		w.U8(jwire.OpStoreInterface)
+		jwire.PutIfaceObs(&w, journal.IfaceObs{
+			IP: pkt.IP(uint32(pkt.IPv4(10, 0, 0, 0)) + uint32(i)), Source: journal.SrcICMP,
+			At: time.Unix(727950000, 0),
+		})
+		if _, err := l.Append(w.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rl, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := journal.New()
+		n, err := rl.Replay(func(lsn uint64, payload []byte) error {
+			jwire.ReplayPayload(j, payload)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records || j.NumInterfaces() != records {
+			b.Fatalf("replayed %d records into %d interfaces", n, j.NumInterfaces())
+		}
+		rl.Close()
+	}
+	b.ReportMetric(records, "records/recovery")
 }

@@ -1,0 +1,55 @@
+package jserver
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"fremont/internal/jclient"
+)
+
+// flakyListener fails the first n Accept calls with a transient error
+// (the shape EMFILE pressure produces) before delegating to the real
+// listener.
+type flakyListener struct {
+	net.Listener
+	failures atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failures.Add(-1) >= 0 {
+		return nil, errors.New("accept tcp: too many open files")
+	}
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopSurvivesTransientErrors: before the backoff fix, the
+// first transient Accept error killed the accept loop and the server
+// went silently deaf.
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.failures.Store(3)
+
+	s := New(nil)
+	s.ln = fl
+	s.wg.Add(1)
+	go s.acceptLoop()
+	t.Cleanup(func() { s.Close() })
+
+	c, err := jclient.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server deaf after transient accept errors: %v", err)
+	}
+	if fl.failures.Load() >= 0 {
+		t.Fatal("flaky listener never exercised its failures")
+	}
+}

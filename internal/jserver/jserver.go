@@ -10,23 +10,41 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
+	"fremont/internal/wal"
 )
 
 // Server owns a Journal and serves the jwire protocol. The server itself
-// holds no lock around request dispatch: the Journal's internal read/write
+// holds no lock around query dispatch: the Journal's internal read/write
 // lock lets Get queries from many connections proceed in parallel while
-// stores serialize against them.
+// stores serialize against them. When a WAL is attached, mutating
+// requests additionally serialize on logMu so the log's append order is
+// exactly the journal's apply order.
 type Server struct {
 	journal *journal.Journal
 
 	SnapshotPath     string        // "" disables persistence
 	SnapshotInterval time.Duration // default 5 minutes
+
+	// WAL, when non-nil, is the write-ahead log every mutating request
+	// is appended to before it touches the journal. Set it (along with
+	// SnapshotPath) before Recover/Listen; the server owns it from then
+	// on and closes it in Close.
+	WAL *wal.Log
+
+	// logMu serializes the append+apply pair for mutating requests and
+	// the rotate+encode critical section of SaveSnapshot, so a snapshot
+	// covers exactly the records below its WAL boundary.
+	logMu sync.Mutex
+	// saveMu serializes whole SaveSnapshot calls (ticker loop vs.
+	// explicit callers) so two writers never race on the same rename.
+	saveMu sync.Mutex
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -66,32 +84,141 @@ func New(j *journal.Journal) *Server {
 func (s *Server) Journal() *journal.Journal { return s.journal }
 
 // LoadSnapshot restores the journal from SnapshotPath if the file exists.
+// Servers with a WAL attached should call Recover instead, which also
+// replays the log tail.
 func (s *Server) LoadSnapshot() error {
+	_, err := s.loadSnapshot()
+	return err
+}
+
+func (s *Server) loadSnapshot() (RecoveryStats, error) {
+	var st RecoveryStats
 	if s.SnapshotPath == "" {
-		return nil
+		return st, nil
 	}
 	data, err := os.ReadFile(s.SnapshotPath)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil
+		return st, nil
 	}
 	if err != nil {
-		return err
+		return st, err
 	}
-	return RestoreSnapshot(s.journal, data)
+	lsn, err := RestoreSnapshotLSN(s.journal, data)
+	if err != nil {
+		return st, err
+	}
+	st.SnapshotLoaded = true
+	st.SnapshotLSN = lsn
+	return st, nil
 }
 
-// SaveSnapshot writes the journal to SnapshotPath atomically. The journal's
-// own read lock gives the encoder a consistent view.
+// RecoveryStats reports what Recover rebuilt the journal from.
+type RecoveryStats struct {
+	SnapshotLoaded bool
+	SnapshotLSN    uint64 // WAL position the snapshot covers
+	WALFrames      int    // request frames replayed from the log
+	WALOps         int    // mutating operations applied from those frames
+	WALSkipped     int    // frames already covered by the snapshot
+	Torn           bool   // the log had a torn/corrupt tail
+	DroppedBytes   int64  // unverifiable log bytes discarded
+}
+
+// Recover rebuilds the journal: restore the snapshot (if any), then
+// replay every WAL record past the snapshot's LSN through the same
+// dispatch the live server uses. Call it after attaching the WAL and
+// before Listen.
+func (s *Server) Recover() (RecoveryStats, error) {
+	st, err := s.loadSnapshot()
+	if err != nil || s.WAL == nil {
+		return st, err
+	}
+	// Never reissue LSNs the snapshot already covers, even if every
+	// segment was compacted away or lost.
+	s.WAL.AdvanceLSN(st.SnapshotLSN)
+	ri := s.WAL.RecoveryInfo()
+	st.Torn = ri.Torn
+	st.DroppedBytes = ri.DroppedBytes
+	_, err = s.WAL.Replay(func(lsn uint64, payload []byte) error {
+		if lsn <= st.SnapshotLSN {
+			st.WALSkipped++
+			return nil
+		}
+		st.WALFrames++
+		st.WALOps += jwire.ReplayPayload(s.journal, payload)
+		return nil
+	})
+	return st, err
+}
+
+// SaveSnapshot writes the journal to SnapshotPath atomically and durably:
+// a unique temp file in the target directory, fsynced before an atomic
+// rename, with the directory fsynced after. Concurrent callers (the
+// ticker loop, explicit invocations) serialize on saveMu. When a WAL is
+// attached the snapshot is also the compaction point: the log rotates
+// while no mutation is in flight, and once the snapshot is durable every
+// segment below the rotation boundary is deleted.
 func (s *Server) SaveSnapshot() error {
 	if s.SnapshotPath == "" {
 		return nil
 	}
-	data := EncodeSnapshot(s.journal)
-	tmp := s.SnapshotPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+
+	var data []byte
+	var boundary uint64
+	if s.WAL != nil {
+		// Holding logMu means no append+apply pair is in flight, so
+		// every record below the new segment boundary is already in the
+		// journal — and therefore in this snapshot.
+		s.logMu.Lock()
+		seq, err := s.WAL.Rotate()
+		if err != nil {
+			s.logMu.Unlock()
+			return err
+		}
+		boundary = seq
+		data = EncodeSnapshotAt(s.journal, s.WAL.LastLSN())
+		s.logMu.Unlock()
+	} else {
+		data = EncodeSnapshot(s.journal)
+	}
+
+	dir := filepath.Dir(s.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.SnapshotPath)+".tmp-")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.SnapshotPath)
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.SnapshotPath); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := wal.SyncDir(dir); err != nil {
+		return err
+	}
+	if s.WAL != nil {
+		if _, err := s.WAL.Compact(boundary); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Listen binds addr ("host:port"; ":0" picks a free port) and starts
@@ -134,11 +261,26 @@ func (s *Server) Close() error {
 		s.ln.Close()
 	}
 	s.wg.Wait()
-	return s.SaveSnapshot()
+	err := s.SaveSnapshot()
+	if s.WAL != nil {
+		if cerr := s.WAL.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
+// acceptBackoffMax caps the retry delay after transient Accept errors.
+const acceptBackoffMax = time.Second
+
+// acceptLoop accepts connections until shutdown. Transient Accept
+// errors — EMFILE/ENFILE under fd pressure, ECONNABORTED, timeouts —
+// must not kill the server, so any error other than a closed listener
+// is retried with capped exponential backoff (5ms doubling to 1s); the
+// pause gives the process a chance to shed file descriptors.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -147,9 +289,26 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			log.Printf("jserver: accept: %v", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // deadline-style blips need no pause
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			log.Printf("jserver: accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.quit:
+				return
+			}
+			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -197,8 +356,19 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch routes one frame: either a single operation or an OpBatch
 // carrying many. The journal's own locking serializes stores and lets
-// queries run in parallel.
+// queries run in parallel. With a WAL attached, a frame carrying any
+// mutation (a whole OpBatch logs as one append) is made durable before
+// it is applied — write-ahead, so an acknowledged store can always be
+// replayed — and the append+apply pair holds logMu so log order equals
+// apply order. Pure queries skip all of this.
 func (s *Server) dispatch(req []byte) []byte {
+	if s.WAL != nil && jwire.PayloadMutates(req) {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+		if _, err := s.WAL.Append(req); err != nil {
+			return errPayload(fmt.Errorf("jserver: wal append: %w", err))
+		}
+	}
 	r := &jwire.Reader{B: req}
 	op := r.U8()
 	if op == jwire.OpBatch {
@@ -258,31 +428,24 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 	}
 
 	switch op {
+	// Mutations go through jwire.ApplyOp, the same dispatch WAL
+	// recovery replays, so a recovered journal cannot drift from a
+	// served one.
 	case jwire.OpStoreInterface:
-		obs := jwire.GetIfaceObs(r)
-		if r.Err != nil {
-			return fail(r.Err)
+		res, err := jwire.ApplyOp(s.journal, op, r)
+		if err != nil {
+			return fail(err)
 		}
-		id, created := s.journal.StoreInterface(obs)
 		w.U8(jwire.StatusOK)
-		w.ID(id)
-		w.Bool(created)
-	case jwire.OpStoreGateway:
-		obs := jwire.GetGatewayObs(r)
-		if r.Err != nil {
-			return fail(r.Err)
+		w.ID(res.ID)
+		w.Bool(res.Created)
+	case jwire.OpStoreGateway, jwire.OpStoreSubnet:
+		res, err := jwire.ApplyOp(s.journal, op, r)
+		if err != nil {
+			return fail(err)
 		}
-		id := s.journal.StoreGateway(obs)
 		w.U8(jwire.StatusOK)
-		w.ID(id)
-	case jwire.OpStoreSubnet:
-		obs := jwire.GetSubnetObs(r)
-		if r.Err != nil {
-			return fail(r.Err)
-		}
-		id := s.journal.StoreSubnet(obs)
-		w.U8(jwire.StatusOK)
-		w.ID(id)
+		w.ID(res.ID)
 	case jwire.OpGetInterfaces:
 		q := jwire.GetQuery(r)
 		if r.Err != nil {
@@ -309,14 +472,12 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 			jwire.PutSubnetRec(&w, rec)
 		}
 	case jwire.OpDelete:
-		kind := journal.RecordKind(r.U8())
-		id := r.ID()
-		if r.Err != nil {
-			return fail(r.Err)
+		res, err := jwire.ApplyOp(s.journal, op, r)
+		if err != nil {
+			return fail(err)
 		}
-		ok := s.journal.Delete(kind, id)
 		w.U8(jwire.StatusOK)
-		w.Bool(ok)
+		w.Bool(res.Deleted)
 	case jwire.OpPing:
 		w.U8(jwire.StatusOK)
 	default:
@@ -329,14 +490,22 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 
 const snapshotMagic = 0x4652454d // "FREM"
 
-// EncodeSnapshot serializes the whole journal (records in modification
-// order, oldest first). journal.Export takes the read lock once, so the
-// snapshot is a single consistent point in time even under concurrent
-// stores.
+// EncodeSnapshot serializes the whole journal with no WAL position
+// (LSN 0): every logged record will replay on top of it.
 func EncodeSnapshot(j *journal.Journal) []byte {
+	return EncodeSnapshotAt(j, 0)
+}
+
+// EncodeSnapshotAt serializes the whole journal (records in modification
+// order, oldest first), stamped with the WAL LSN the snapshot covers:
+// recovery skips logged records at or below it. journal.Export takes the
+// read lock once, so the snapshot is a single consistent point in time
+// even under concurrent stores.
+func EncodeSnapshotAt(j *journal.Journal, lsn uint64) []byte {
 	var w jwire.Writer
 	w.U32(snapshotMagic)
-	w.U16(1) // version
+	w.U16(2) // version; v2 added the WAL LSN
+	w.U64(lsn)
 
 	ifs, gws, sns := j.Export()
 	w.U32(uint32(len(ifs)))
@@ -354,14 +523,26 @@ func EncodeSnapshot(j *journal.Journal) []byte {
 	return w.B
 }
 
-// RestoreSnapshot loads records into j.
+// RestoreSnapshot loads records into j, discarding the WAL position.
 func RestoreSnapshot(j *journal.Journal, data []byte) error {
+	_, err := RestoreSnapshotLSN(j, data)
+	return err
+}
+
+// RestoreSnapshotLSN loads records into j and returns the WAL LSN the
+// snapshot covers (0 for version-1 snapshots, which predate the WAL).
+func RestoreSnapshotLSN(j *journal.Journal, data []byte) (uint64, error) {
 	r := &jwire.Reader{B: data}
 	if r.U32() != snapshotMagic {
-		return errors.New("jserver: bad snapshot magic")
+		return 0, errors.New("jserver: bad snapshot magic")
 	}
-	if v := r.U16(); v != 1 {
-		return fmt.Errorf("jserver: unsupported snapshot version %d", v)
+	var lsn uint64
+	switch v := r.U16(); v {
+	case 1:
+	case 2:
+		lsn = r.U64()
+	default:
+		return 0, fmt.Errorf("jserver: unsupported snapshot version %d", v)
 	}
 	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
 		j.RestoreInterface(jwire.GetInterfaceRec(r))
@@ -372,5 +553,5 @@ func RestoreSnapshot(j *journal.Journal, data []byte) error {
 	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
 		j.RestoreSubnet(jwire.GetSubnetRec(r))
 	}
-	return r.Err
+	return lsn, r.Err
 }

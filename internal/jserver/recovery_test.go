@@ -1,0 +1,368 @@
+// Crash-recovery tests: a Journal Server killed between snapshots must
+// come back with every acknowledged store (fsync=always), and a log
+// corrupted at an arbitrary byte offset must recover exactly the
+// longest valid prefix. The "kill" is simulated by copying the durable
+// state (snapshot + WAL segments) to a fresh directory while the
+// original server still holds its files open — the copy is the disk
+// image a crash would leave behind — and recovering from the copy.
+package jserver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/wal"
+)
+
+// copyTree copies the regular files under src into dst, preserving
+// relative paths.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if fi.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeIfaceReq encodes an OpStoreInterface request for 10.0.0.n with a
+// fixed-width name, so every frame in a test log has the same size.
+func storeIfaceReq(n int) []byte {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreInterface)
+	jwire.PutIfaceObs(&w, journal.IfaceObs{
+		IP:     pkt.IPv4(10, 0, 0, byte(n)),
+		Name:   fmt.Sprintf("host-%03d", n),
+		Source: journal.SrcICMP,
+		At:     t0,
+	})
+	return w.B
+}
+
+func openWAL(t *testing.T, dir string, pol wal.SyncPolicy) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(wal.Options{Dir: dir, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestKillRecoverNoLoss is the acceptance scenario: acknowledged stores
+// survive a kill under fsync=always, snapshots compact the log, and a
+// restart after compaction still reproduces the full journal.
+func TestKillRecoverNoLoss(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	snap := filepath.Join(dir, "journal.snap")
+
+	s := New(nil)
+	s.SnapshotPath = snap
+	s.WAL = openWAL(t, walDir, wal.SyncAlways)
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := jclient.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Phase 1: ten stores, then a snapshot. The snapshot is the
+	// compaction point: old segments must be gone afterwards.
+	for i := 1; i <= 10; i++ {
+		if _, _, err := c.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: t0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := segFiles(t, walDir); len(segs) != 1 {
+		t.Fatalf("after snapshot compaction %d segments remain: %v", len(segs), segs)
+	}
+
+	// Phase 2: more acknowledged work after the snapshot — singles, a
+	// batch, and a delete — then the server "dies" (we copy its durable
+	// state while it still runs).
+	for i := 11; i <= 20; i++ {
+		if _, _, err := c.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: t0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b jclient.Batch
+	for i := 21; i <= 25; i++ {
+		b.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 0, 0, byte(i)), Source: journal.SrcICMP, At: t0,
+		})
+	}
+	if _, err := c.StoreBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Journal().Interfaces(journal.Query{HasIP: true, ByIP: pkt.IPv4(10, 0, 0, 1)})
+	if len(victim) != 1 {
+		t.Fatalf("victim lookup: %v", victim)
+	}
+	if ok, err := c.Delete(journal.KindInterface, victim[0].ID); err != nil || !ok {
+		t.Fatalf("delete = %v, %v", ok, err)
+	}
+
+	crash := t.TempDir()
+	copyTree(t, dir, crash)
+
+	// Recover from the crash image.
+	s2 := New(nil)
+	s2.SnapshotPath = filepath.Join(crash, "journal.snap")
+	s2.WAL = openWAL(t, filepath.Join(crash, "wal"), wal.SyncAlways)
+	st, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.SnapshotLoaded || st.SnapshotLSN != 10 {
+		t.Fatalf("recovery stats = %+v, want snapshot at LSN 10", st)
+	}
+	// 10 singles + 1 batch frame + 1 delete past the snapshot; nothing
+	// skipped because compaction removed the covered segments.
+	if st.WALFrames != 12 || st.WALOps != 16 || st.WALSkipped != 0 {
+		t.Fatalf("recovery stats = %+v, want 12 frames / 16 ops / 0 skipped", st)
+	}
+	if n := s2.Journal().NumInterfaces(); n != 24 {
+		t.Fatalf("recovered journal has %d interfaces, want 24", n)
+	}
+	if got := s2.Journal().Interfaces(journal.Query{HasIP: true, ByIP: pkt.IPv4(10, 0, 0, 1)}); len(got) != 0 {
+		t.Fatalf("deleted interface resurrected: %v", got)
+	}
+
+	// A clean shutdown (final snapshot + compaction) followed by yet
+	// another restart must reproduce the same journal.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := New(nil)
+	s3.SnapshotPath = filepath.Join(crash, "journal.snap")
+	s3.WAL = openWAL(t, filepath.Join(crash, "wal"), wal.SyncAlways)
+	t.Cleanup(func() { s3.Close() })
+	st3, err := s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s3.Journal().NumInterfaces(); n != 24 {
+		t.Fatalf("post-compaction restart has %d interfaces, want 24 (stats %+v)", n, st3)
+	}
+}
+
+// TestRecoverLongestValidPrefix corrupts or truncates the log tail at
+// arbitrary byte offsets and asserts the recovered journal equals the
+// journal built from the longest valid record prefix.
+func TestRecoverLongestValidPrefix(t *testing.T) {
+	const n = 6
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = storeIfaceReq(i + 1)
+	}
+	frameLen := int64(len(reqs[0]) + 16) // frame header + payload
+	const segHeader = 18
+
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		s := New(nil)
+		s.WAL = openWAL(t, dir, wal.SyncAlways)
+		for _, req := range reqs {
+			resp := s.dispatch(req)
+			if len(resp) == 0 || resp[0] != jwire.StatusOK {
+				t.Fatalf("dispatch failed: %v", resp)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	cases := []struct {
+		name   string
+		offset int64 // corruption point within the single segment file
+	}{
+		{"in-header", 7},
+		{"first-frame-start", segHeader},
+		{"first-frame-mid", segHeader + 9},
+		{"second-frame", segHeader + frameLen + 3},
+		{"fourth-frame-payload", segHeader + 3*frameLen + frameLen/2},
+		{"last-byte", segHeader + n*frameLen - 1},
+	}
+	for _, mode := range []string{"truncate", "flip"} {
+		for _, tc := range cases {
+			t.Run(mode+"/"+tc.name, func(t *testing.T) {
+				dir := build(t)
+				segs := segFiles(t, dir)
+				if len(segs) != 1 {
+					t.Fatalf("expected one segment, got %v", segs)
+				}
+				if mode == "truncate" {
+					if err := os.Truncate(segs[0], tc.offset); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					data, err := os.ReadFile(segs[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					data[tc.offset] ^= 0xff
+					if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				wantPrefix := 0
+				if tc.offset >= segHeader {
+					wantPrefix = int((tc.offset - segHeader) / frameLen)
+				}
+
+				s := New(nil)
+				s.WAL = openWAL(t, dir, wal.SyncAlways)
+				t.Cleanup(func() { s.Close() })
+				st, err := s.Recover()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.WALFrames != wantPrefix {
+					t.Fatalf("replayed %d frames, want %d", st.WALFrames, wantPrefix)
+				}
+				// The journal must equal one built from the valid prefix:
+				// same record count, and exactly the prefix's IPs present.
+				want := journal.New()
+				for i := 0; i < wantPrefix; i++ {
+					jwire.ReplayPayload(want, reqs[i])
+				}
+				if got := s.Journal().NumInterfaces(); got != want.NumInterfaces() {
+					t.Fatalf("recovered %d interfaces, want %d", got, want.NumInterfaces())
+				}
+				for i := 1; i <= n; i++ {
+					got := s.Journal().Interfaces(journal.Query{HasIP: true, ByIP: pkt.IPv4(10, 0, 0, byte(i))})
+					if wantHit := i <= wantPrefix; (len(got) == 1) != wantHit {
+						t.Fatalf("interface %d present=%v, want %v", i, len(got) == 1, wantHit)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRecoverSkipsSnapshotCoveredFrames models a crash between the
+// snapshot rename and log compaction: the log still holds frames the
+// snapshot covers, and replaying them again would double-apply.
+func TestRecoverSkipsSnapshotCoveredFrames(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "journal.snap")
+
+	s := New(nil)
+	s.WAL = openWAL(t, filepath.Join(dir, "wal"), wal.SyncAlways)
+	for i := 1; i <= 5; i++ {
+		s.dispatch(storeIfaceReq(i))
+	}
+	// Snapshot covering LSN 5, written by hand so no compaction runs.
+	if err := os.WriteFile(snap, EncodeSnapshotAt(s.Journal(), 5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i <= 8; i++ {
+		s.dispatch(storeIfaceReq(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(nil)
+	s2.SnapshotPath = snap
+	s2.WAL = openWAL(t, filepath.Join(dir, "wal"), wal.SyncAlways)
+	t.Cleanup(func() { s2.Close() })
+	st, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotLSN != 5 || st.WALSkipped != 5 || st.WALFrames != 3 {
+		t.Fatalf("stats = %+v, want LSN 5 / 5 skipped / 3 replayed", st)
+	}
+	if n := s2.Journal().NumInterfaces(); n != 8 {
+		t.Fatalf("recovered %d interfaces, want 8", n)
+	}
+}
+
+// TestConcurrentSnapshotSaves exercises the SaveSnapshot serialization:
+// concurrent explicit saves racing the store path must neither collide
+// on temp files nor produce an unreadable snapshot.
+func TestConcurrentSnapshotSaves(t *testing.T) {
+	dir := t.TempDir()
+	s := New(nil)
+	s.SnapshotPath = filepath.Join(dir, "journal.snap")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				s.Journal().StoreInterface(journal.IfaceObs{
+					IP: pkt.IPv4(10, byte(g), 0, byte(i)), Source: journal.SrcICMP, At: t0,
+				})
+				if err := s.SaveSnapshot(); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	j := journal.New()
+	data, err := os.ReadFile(s.SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreSnapshot(j, data); err != nil {
+		t.Fatal(err)
+	}
+	if j.NumInterfaces() == 0 {
+		t.Fatal("final snapshot is empty")
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(leftovers) != 0 {
+		t.Fatalf("temp files leaked: %v", leftovers)
+	}
+}

@@ -1,0 +1,119 @@
+// Apply: the replay-dispatch helper. The Journal Server and WAL
+// recovery both need to turn a decoded request into journal mutations;
+// keeping that dispatch here means the log's replay path exercises
+// exactly the code the live server runs, so a recovered journal cannot
+// drift from one built by serving the same requests.
+package jwire
+
+import (
+	"fmt"
+
+	"fremont/internal/journal"
+)
+
+// Mutates reports whether op changes the journal. OpBatch is excluded:
+// use PayloadMutates to inspect a batch's sub-requests.
+func Mutates(op byte) bool {
+	switch op {
+	case OpStoreInterface, OpStoreGateway, OpStoreSubnet, OpDelete:
+		return true
+	}
+	return false
+}
+
+// PayloadMutates reports whether a request frame contains at least one
+// mutating operation, looking through OpBatch at its sub-requests. A
+// frame this returns false for need not be write-ahead logged.
+func PayloadMutates(payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	if payload[0] != OpBatch {
+		return Mutates(payload[0])
+	}
+	r := &Reader{B: payload}
+	r.U8()
+	for _, sub := range GetBatch(r) {
+		if len(sub) > 0 && Mutates(sub[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyResult reports what a mutating operation did.
+type ApplyResult struct {
+	ID      journal.ID // record touched by a Store
+	Created bool       // StoreInterface: the record is new
+	Deleted bool       // Delete: the record existed and was removed
+}
+
+// ApplyOp decodes the body of one mutating operation from r and applies
+// it to j. The caller has already consumed the opcode. Decode errors
+// (and non-mutating opcodes) are returned without touching the journal.
+func ApplyOp(j *journal.Journal, op byte, r *Reader) (ApplyResult, error) {
+	switch op {
+	case OpStoreInterface:
+		obs := GetIfaceObs(r)
+		if r.Err != nil {
+			return ApplyResult{}, r.Err
+		}
+		id, created := j.StoreInterface(obs)
+		return ApplyResult{ID: id, Created: created}, nil
+	case OpStoreGateway:
+		obs := GetGatewayObs(r)
+		if r.Err != nil {
+			return ApplyResult{}, r.Err
+		}
+		return ApplyResult{ID: j.StoreGateway(obs)}, nil
+	case OpStoreSubnet:
+		obs := GetSubnetObs(r)
+		if r.Err != nil {
+			return ApplyResult{}, r.Err
+		}
+		return ApplyResult{ID: j.StoreSubnet(obs)}, nil
+	case OpDelete:
+		kind := journal.RecordKind(r.U8())
+		id := r.ID()
+		if r.Err != nil {
+			return ApplyResult{}, r.Err
+		}
+		return ApplyResult{Deleted: j.Delete(kind, id)}, nil
+	}
+	return ApplyResult{}, fmt.Errorf("jwire: opcode %d is not a mutation", op)
+}
+
+// ReplayPayload re-applies the mutating operations of one logged
+// request frame to j and reports how many were applied. It mirrors the
+// server's partial-failure semantics: a malformed or non-mutating
+// sub-request is skipped (the live server answered it with an error or
+// a query response, neither of which touched the journal), and the rest
+// of the frame still applies.
+func ReplayPayload(j *journal.Journal, payload []byte) int {
+	r := &Reader{B: payload}
+	op := r.U8()
+	if r.Err != nil {
+		return 0
+	}
+	if op != OpBatch {
+		if !Mutates(op) {
+			return 0
+		}
+		if _, err := ApplyOp(j, op, r); err != nil {
+			return 0
+		}
+		return 1
+	}
+	applied := 0
+	for _, sub := range GetBatch(r) {
+		sr := &Reader{B: sub}
+		sop := sr.U8()
+		if sr.Err != nil || !Mutates(sop) {
+			continue
+		}
+		if _, err := ApplyOp(j, sop, sr); err == nil {
+			applied++
+		}
+	}
+	return applied
+}

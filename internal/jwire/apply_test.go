@@ -1,0 +1,119 @@
+package jwire
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var applyT0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+func storeReq(n int) []byte {
+	var w Writer
+	w.U8(OpStoreInterface)
+	PutIfaceObs(&w, journal.IfaceObs{
+		IP: pkt.IPv4(10, 0, 0, byte(n)), Source: journal.SrcICMP, At: applyT0,
+	})
+	return w.B
+}
+
+func queryReq() []byte {
+	var w Writer
+	w.U8(OpGetInterfaces)
+	PutQuery(&w, journal.Query{})
+	return w.B
+}
+
+func TestMutates(t *testing.T) {
+	for _, op := range []byte{OpStoreInterface, OpStoreGateway, OpStoreSubnet, OpDelete} {
+		if !Mutates(op) {
+			t.Errorf("Mutates(%d) = false", op)
+		}
+	}
+	for _, op := range []byte{OpGetInterfaces, OpGetGateways, OpGetSubnets, OpPing, OpBatch, 0, 200} {
+		if Mutates(op) {
+			t.Errorf("Mutates(%d) = true", op)
+		}
+	}
+}
+
+func TestPayloadMutates(t *testing.T) {
+	if PayloadMutates(nil) || PayloadMutates([]byte{}) {
+		t.Fatal("empty payload mutates")
+	}
+	if !PayloadMutates(storeReq(1)) {
+		t.Fatal("store payload reported non-mutating")
+	}
+	if PayloadMutates(queryReq()) {
+		t.Fatal("query payload reported mutating")
+	}
+
+	batch := func(subs ...[]byte) []byte {
+		var w Writer
+		w.U8(OpBatch)
+		if err := PutBatch(&w, subs); err != nil {
+			t.Fatal(err)
+		}
+		return w.B
+	}
+	if PayloadMutates(batch(queryReq(), []byte{OpPing})) {
+		t.Fatal("query-only batch reported mutating")
+	}
+	if !PayloadMutates(batch(queryReq(), storeReq(1))) {
+		t.Fatal("batch with a store reported non-mutating")
+	}
+	if PayloadMutates([]byte{OpBatch, 0xff, 0xff}) {
+		t.Fatal("malformed batch reported mutating")
+	}
+}
+
+func TestApplyOpAndReplayPayload(t *testing.T) {
+	j := journal.New()
+	if n := ReplayPayload(j, storeReq(1)); n != 1 || j.NumInterfaces() != 1 {
+		t.Fatalf("single replay applied %d ops, %d interfaces", n, j.NumInterfaces())
+	}
+	// Queries and garbage apply nothing.
+	if n := ReplayPayload(j, queryReq()); n != 0 {
+		t.Fatalf("query replay applied %d ops", n)
+	}
+	if n := ReplayPayload(j, []byte{}); n != 0 {
+		t.Fatalf("empty replay applied %d ops", n)
+	}
+	if n := ReplayPayload(j, []byte{OpStoreInterface, 1, 2}); n != 0 {
+		t.Fatalf("truncated store applied %d ops", n)
+	}
+
+	// A batch replays its valid mutating sub-requests and skips the
+	// rest — the live server's partial-failure semantics.
+	var w Writer
+	w.U8(OpBatch)
+	if err := PutBatch(&w, [][]byte{
+		storeReq(2),
+		queryReq(),
+		{OpStoreInterface, 9}, // malformed: originally answered with an error slot
+		storeReq(3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ReplayPayload(j, w.B); n != 2 {
+		t.Fatalf("batch replay applied %d ops, want 2", n)
+	}
+	if j.NumInterfaces() != 3 {
+		t.Fatalf("journal has %d interfaces, want 3", j.NumInterfaces())
+	}
+
+	// Delete replays too.
+	recs := j.Interfaces(journal.Query{HasIP: true, ByIP: pkt.IPv4(10, 0, 0, 2)})
+	if len(recs) != 1 {
+		t.Fatal("setup lookup failed")
+	}
+	var dw Writer
+	dw.U8(OpDelete)
+	dw.U8(byte(journal.KindInterface))
+	dw.ID(recs[0].ID)
+	if n := ReplayPayload(j, dw.B); n != 1 || j.NumInterfaces() != 2 {
+		t.Fatalf("delete replay applied %d, %d interfaces", n, j.NumInterfaces())
+	}
+}

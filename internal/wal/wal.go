@@ -1,0 +1,465 @@
+// Package wal implements a segmented append-only write-ahead log: the
+// durability layer underneath the Journal Server's periodic snapshots.
+// The paper's server "periodically checkpoints the Journal to disk",
+// which loses up to a snapshot interval of discoveries on a crash; the
+// WAL closes that window by recording every mutating request before it
+// is applied, so a restart replays snapshot + log tail and loses
+// nothing that was acknowledged (under the `always` fsync policy).
+//
+// Records are CRC32C-framed and length-prefixed (see frame.go), carry a
+// monotonically increasing log sequence number (LSN), and live in
+// segment files that rotate at a configurable size (see segment.go).
+// A snapshot is the compaction point: once the journal state covering
+// LSN ≤ n is durably on disk, every segment wholly below the rotation
+// boundary can be deleted.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appends are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: zero acknowledged records
+	// are lost on a crash. The slowest policy.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background goroutine every
+	// Options.Interval: a crash loses at most the unsynced window.
+	SyncInterval
+	// SyncNever issues no fsyncs at all; durability rides on the OS
+	// page cache. Useful for benchmarks and throwaway runs.
+	SyncNever
+)
+
+// String reports the flag spelling of p.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy converts a flag value into a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// SegmentSize is the rotation threshold in bytes (default 16 MiB).
+	// A segment may exceed it by one record.
+	SegmentSize int64
+	// Policy selects the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+// DefaultSegmentSize is the rotation threshold when Options.SegmentSize
+// is zero.
+const DefaultSegmentSize = 16 << 20
+
+// Recovery summarizes what Open found on disk.
+type Recovery struct {
+	Segments        int    // segment files that survived
+	Records         int    // verified records across all segments
+	LastLSN         uint64 // highest LSN on disk (0 for an empty log)
+	Torn            bool   // a torn/corrupt tail was truncated away
+	DroppedBytes    int64  // bytes discarded past the valid prefix
+	DroppedSegments int    // whole segment files discarded past the valid prefix
+}
+
+// Stats is a point-in-time snapshot of a Log's counters.
+type Stats struct {
+	Appends       int64  // records appended this process
+	BytesAppended int64  // frame bytes appended this process
+	Fsyncs        int64  // fsync calls issued
+	Replayed      int64  // records delivered by Replay
+	Segments      int    // live segment files (sealed + active)
+	LastLSN       uint64 // highest LSN assigned
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is a segmented write-ahead log. All methods are safe for
+// concurrent use.
+type Log struct {
+	opt Options
+	rec Recovery
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	seq      uint64   // active segment sequence number
+	size     int64    // active segment size in bytes
+	lastLSN  uint64
+	dirty    bool     // unsynced appends outstanding
+	segments []uint64 // live segment seqs, ascending; last is active
+	buf      []byte   // frame scratch buffer
+	closed   bool
+
+	appends  atomic.Int64
+	bytes    atomic.Int64
+	fsyncs   atomic.Int64
+	replayed atomic.Int64
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (or creates) the log in opt.Dir, verifying every frame on
+// disk. A torn or corrupt tail — a partial final frame, or garbage at
+// an arbitrary offset — is truncated away so the log resumes from the
+// longest valid prefix; whole segments past a corruption are deleted.
+// Use RecoveryInfo to learn what was found and what was dropped.
+func Open(opt Options) (*Log, error) {
+	if opt.SegmentSize <= 0 {
+		opt.SegmentSize = DefaultSegmentSize
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{opt: opt, quit: make(chan struct{})}
+
+	seqs, err := listSegments(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// Walk segments oldest-first; the first verification failure ends
+	// the valid prefix. Everything after it (rest of that file, any
+	// later files) is dropped so appends resume exactly where replay
+	// stops.
+	var live []uint64
+	for i, seq := range seqs {
+		path := filepath.Join(opt.Dir, segName(seq))
+		res, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if res.validEnd == 0 && res.torn {
+			// Header didn't verify: nothing salvageable in this file.
+			l.rec.Torn = true
+			l.rec.DroppedBytes += res.fileSize
+			l.rec.DroppedSegments++
+			if err := removeSegment(opt.Dir, seq); err != nil {
+				return nil, err
+			}
+			l.dropTail(seqs[i+1:])
+			break
+		}
+		l.rec.Records += res.records
+		l.lastLSN = max(l.lastLSN, res.lastLSN)
+		live = append(live, seq)
+		if res.torn {
+			l.rec.Torn = true
+			l.rec.DroppedBytes += res.fileSize - res.validEnd
+			if err := os.Truncate(path, res.validEnd); err != nil {
+				return nil, err
+			}
+			l.dropTail(seqs[i+1:])
+			break
+		}
+	}
+	l.segments = live
+	l.rec.Segments = len(l.segments)
+	l.rec.LastLSN = l.lastLSN
+
+	if len(l.segments) == 0 {
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		seq := l.segments[len(l.segments)-1]
+		path := filepath.Join(opt.Dir, segName(seq))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		end, err := f.Seek(0, 2)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f, l.seq, l.size = f, seq, end
+	}
+
+	if opt.Policy == SyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// dropTail deletes whole segment files past a corruption point.
+func (l *Log) dropTail(seqs []uint64) {
+	for _, seq := range seqs {
+		path := filepath.Join(l.opt.Dir, segName(seq))
+		if fi, err := os.Stat(path); err == nil {
+			l.rec.DroppedBytes += fi.Size()
+		}
+		l.rec.DroppedSegments++
+		os.Remove(path)
+	}
+}
+
+// RecoveryInfo reports what Open found on disk.
+func (l *Log) RecoveryInfo() Recovery { return l.rec }
+
+// Stats returns the log's counters; safe to call at any time.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs, lsn := len(l.segments), l.lastLSN
+	l.mu.Unlock()
+	return Stats{
+		Appends:       l.appends.Load(),
+		BytesAppended: l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Replayed:      l.replayed.Load(),
+		Segments:      segs,
+		LastLSN:       lsn,
+	}
+}
+
+// LastLSN reports the highest LSN assigned so far.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// AdvanceLSN raises the LSN counter to at least min. Recovery calls
+// this with the snapshot's LSN so that a log whose segments were all
+// compacted away (or lost) never reissues sequence numbers the
+// snapshot already covers.
+func (l *Log) AdvanceLSN(min uint64) {
+	l.mu.Lock()
+	if l.lastLSN < min {
+		l.lastLSN = min
+	}
+	l.mu.Unlock()
+}
+
+// Append assigns the next LSN, writes one record, and — under
+// SyncAlways — fsyncs before returning. The returned LSN is the
+// record's position in the global mutation order.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.size >= l.opt.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.lastLSN + 1
+	l.buf = appendFrame(l.buf[:0], lsn, payload)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, err
+	}
+	l.lastLSN = lsn
+	l.size += int64(len(l.buf))
+	l.dirty = true
+	l.appends.Add(1)
+	l.bytes.Add(int64(len(l.buf)))
+	if l.opt.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one, returning the
+// new segment's sequence number. Every record appended before the call
+// lives in a segment strictly below the returned boundary — pass it to
+// Compact once those records are covered by a snapshot.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return l.seq, nil
+}
+
+func (l *Log) rotateLocked() error {
+	if l.opt.Policy != SyncNever {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.createSegmentLocked(l.seq + 1)
+}
+
+// createSegmentLocked creates segment seq and makes it active.
+func (l *Log) createSegmentLocked(seq uint64) error {
+	path := filepath.Join(l.opt.Dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSegHeader(l.lastLSN)); err != nil {
+		f.Close()
+		return err
+	}
+	if l.opt.Policy != SyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		l.fsyncs.Add(1)
+		if err := SyncDir(l.opt.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f, l.seq, l.size, l.dirty = f, seq, segHeaderSize, false
+	l.segments = append(l.segments, seq)
+	return nil
+}
+
+// Compact deletes every sealed segment with sequence number below
+// boundary (as returned by Rotate) and reports how many were removed.
+// The compaction invariant: callers only pass a boundary whose records
+// are all reflected in a durable snapshot, so every record is always in
+// the snapshot or a live segment — never lost.
+func (l *Log) Compact(boundary uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	var firstErr error
+	keep := make([]uint64, 0, len(l.segments))
+	for _, seq := range l.segments {
+		if firstErr == nil && seq < boundary && seq != l.seq {
+			if err := removeSegment(l.opt.Dir, seq); err != nil {
+				// Keep the segment in the live list; a later Compact
+				// retries it.
+				firstErr = err
+				keep = append(keep, seq)
+				continue
+			}
+			removed++
+			continue
+		}
+		keep = append(keep, seq)
+	}
+	l.segments = keep
+	if removed > 0 && l.opt.Policy != SyncNever {
+		if err := SyncDir(l.opt.Dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return removed, firstErr
+}
+
+// Close stops the background syncer (if any), flushes under every
+// policy except SyncNever, and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.quit)
+	l.mu.Unlock()
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.opt.Policy != SyncNever && l.dirty {
+		if serr := l.f.Sync(); serr != nil {
+			err = serr
+		} else {
+			l.fsyncs.Add(1)
+		}
+		l.dirty = false
+	}
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncLoop is the background fsyncer for SyncInterval.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.syncLocked() // best effort; Append surfaces write errors
+			}
+			l.mu.Unlock()
+		case <-l.quit:
+			return
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect replays l into a slice of (lsn, payload) pairs.
+func collect(t *testing.T, l *Log) (lsns []uint64, payloads [][]byte) {
+	t.Helper()
+	_, err := l.Replay(func(lsn uint64, payload []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsns, payloads
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%04d", i))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d got lsn %d", i, lsn)
+		}
+	}
+	lsns, got := collect(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) || lsns[i] != uint64(i+1) {
+			t.Fatalf("record %d = lsn %d %q, want lsn %d %q", i, lsns[i], got[i], i+1, want[i])
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 50 || st.LastLSN != 50 || st.Replayed != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesAppended == 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestReopenContinuesLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	ri := l2.RecoveryInfo()
+	if ri.Records != 10 || ri.LastLSN != 10 || ri.Torn {
+		t.Fatalf("recovery = %+v", ri)
+	}
+	lsn, err := l2.Append([]byte("next"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 11 {
+		t.Fatalf("post-reopen lsn = %d, want 11", lsn)
+	}
+	lsns, _ := collect(t, l2)
+	if len(lsns) != 11 {
+		t.Fatalf("replayed %d, want 11", len(lsns))
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of records.
+	l, err := Open(Options{Dir: dir, SegmentSize: 64, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+	lsns, _ := collect(t, l)
+	if len(lsns) != 20 {
+		t.Fatalf("replayed %d across segments, want 20", len(lsns))
+	}
+
+	boundary, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.Compact(boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("after compaction %d segments live, want 1", st.Segments)
+	}
+	// Records below the boundary are gone; new appends continue the LSN
+	// sequence thanks to the segment header's base LSN.
+	if lsn, err := l.Append([]byte("after")); err != nil || lsn != 21 {
+		t.Fatalf("append after compact = %d, %v; want 21", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir, SegmentSize: 64, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 21 {
+		t.Fatalf("reopen after compaction LastLSN = %d, want 21", got)
+	}
+	lsns, _ = collect(t, l2)
+	if len(lsns) != 1 || lsns[0] != 21 {
+		t.Fatalf("post-compaction replay = %v, want [21]", lsns)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Policy: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := 0; i < 5; i++ {
+			if _, err := l.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// One fsync for segment creation plus one per append.
+		if st := l.Stats(); st.Fsyncs < 6 {
+			t.Fatalf("always: %d fsyncs for 5 appends", st.Fsyncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Policy: SyncInterval, Interval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for l.Stats().Fsyncs < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if st := l.Stats(); st.Fsyncs < 2 {
+			t.Fatalf("interval: background syncer never ran (%d fsyncs)", st.Fsyncs)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		l, err := Open(Options{Dir: t.TempDir(), Policy: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := l.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Fsyncs != 0 {
+			t.Fatalf("never: %d fsyncs issued", st.Fsyncs)
+		}
+	})
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round-trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestAdvanceLSN(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AdvanceLSN(100)
+	if lsn, _ := l.Append([]byte("x")); lsn != 101 {
+		t.Fatalf("append after AdvanceLSN(100) = %d, want 101", lsn)
+	}
+	l.AdvanceLSN(50) // never moves backwards
+	if lsn, _ := l.Append([]byte("y")); lsn != 102 {
+		t.Fatalf("append after no-op AdvanceLSN = %d, want 102", lsn)
+	}
+}
+
+// TestTornTail covers the crash shapes: the log truncated or corrupted
+// at an arbitrary byte offset must reopen as its longest valid prefix.
+func TestTornTail(t *testing.T) {
+	const n = 8
+	payload := []byte("fixed-size-payload")
+	frameLen := int(frameSize(len(payload)))
+
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		l, err := Open(Options{Dir: dir, Policy: SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := l.Append(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	// expect computes the longest valid prefix when the log degrades at
+	// byte offset off: whole frames strictly before it.
+	expect := func(off int64) int {
+		if off < segHeaderSize {
+			return 0
+		}
+		k := int((off - segHeaderSize) / int64(frameLen))
+		if k > n {
+			k = n
+		}
+		return k
+	}
+
+	offsets := []int64{
+		0, 1, segHeaderSize - 1, segHeaderSize, segHeaderSize + 1,
+		segHeaderSize + int64(frameLen) - 1,
+		segHeaderSize + int64(frameLen),
+		segHeaderSize + int64(frameLen) + 7,
+		segHeaderSize + 3*int64(frameLen) + 11,
+		segHeaderSize + int64(n*frameLen) - 1,
+	}
+
+	t.Run("truncate", func(t *testing.T) {
+		for _, off := range offsets {
+			dir := build(t)
+			seg := filepath.Join(dir, segName(1))
+			if err := os.Truncate(seg, off); err != nil {
+				t.Fatal(err)
+			}
+			l, err := Open(Options{Dir: dir, Policy: SyncNever})
+			if err != nil {
+				t.Fatalf("off %d: %v", off, err)
+			}
+			lsns, _ := collect(t, l)
+			if len(lsns) != expect(off) {
+				t.Errorf("truncate at %d: %d records survive, want %d", off, len(lsns), expect(off))
+			}
+			// Appends continue from the surviving prefix.
+			wantNext := uint64(expect(off) + 1)
+			if lsn, err := l.Append(payload); err != nil || lsn < wantNext {
+				t.Errorf("truncate at %d: next lsn = %d, %v (want ≥ %d)", off, lsn, err, wantNext)
+			}
+			l.Close()
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		for _, off := range offsets {
+			dir := build(t)
+			seg := filepath.Join(dir, segName(1))
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[off] ^= 0xff
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := Open(Options{Dir: dir, Policy: SyncNever})
+			if err != nil {
+				t.Fatalf("off %d: %v", off, err)
+			}
+			ri := l.RecoveryInfo()
+			if !ri.Torn {
+				t.Errorf("corrupt at %d: torn tail not reported", off)
+			}
+			lsns, _ := collect(t, l)
+			if len(lsns) != expect(off) {
+				t.Errorf("corrupt at %d: %d records survive, want %d", off, len(lsns), expect(off))
+			}
+			l.Close()
+		}
+	})
+}
+
+// TestCorruptionDropsLaterSegments: garbage mid-log ends the valid
+// prefix even when intact-looking segments follow it.
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentSize: 64, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.Stats().Segments
+	if segs < 3 {
+		t.Fatalf("need ≥3 segments, got %d", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first record of segment 2.
+	seg2 := filepath.Join(dir, segName(2))
+	data, err := os.ReadFile(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderSize+4] ^= 0xff
+	if err := os.WriteFile(seg2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, SegmentSize: 64, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	ri := l2.RecoveryInfo()
+	if !ri.Torn || ri.DroppedSegments != segs-2 {
+		t.Fatalf("recovery = %+v, want torn with %d dropped segments", ri, segs-2)
+	}
+	lsns, _ := collect(t, l2)
+	// Segment 1 holds exactly one 46-byte frame (30B payload) past its
+	// 64-byte threshold check... derive the expected prefix from what
+	// segment 1 actually held instead of hard-coding.
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Fatalf("prefix not contiguous: %v", lsns)
+		}
+	}
+	if len(lsns) == 0 || len(lsns) >= 12 {
+		t.Fatalf("prefix length %d, want a proper prefix", len(lsns))
+	}
+}
+
+// FuzzFrameDecode hammers the frame decoder with arbitrary bytes: it
+// must never panic, never over-consume, and every frame it accepts must
+// re-encode to the identical bytes.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a frame"))
+	f.Add(appendFrame(nil, 1, []byte("hello")))
+	f.Add(appendFrame(appendFrame(nil, 1, []byte("a")), 2, []byte("b")))
+	long := appendFrame(nil, 7, bytes.Repeat([]byte{0x55}, 300))
+	f.Add(long[:len(long)-3]) // torn tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		for off < len(data) {
+			lsn, payload, n, err := DecodeFrame(data[off:])
+			if err != nil {
+				break // valid prefix ends here
+			}
+			if n < frameHeaderSize || off+n > len(data) {
+				t.Fatalf("decode consumed %d of %d remaining", n, len(data)-off)
+			}
+			re := appendFrame(nil, lsn, payload)
+			if !bytes.Equal(re, data[off:off+n]) {
+				t.Fatalf("re-encode mismatch at offset %d", off)
+			}
+			off += n
+		}
+	})
+}
