@@ -59,18 +59,21 @@ func main() {
 		sys.Log = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 	if *journalAddr != "" {
-		c, err := jclient.Dial(*journalAddr)
+		// A connection pool rather than a single connection: concurrent
+		// module goroutines get parallel round trips, and pool checkout
+		// waits are visible in the metrics snapshot.
+		p, err := jclient.DialPool(*journalAddr, 4)
 		if err != nil {
 			log.Fatalf("fremont-explore: %v", err)
 		}
-		defer c.Close()
-		if err := c.Ping(); err != nil {
+		defer p.Close()
+		if err := p.Do(func(c *jclient.Client) error { return c.Ping() }); err != nil {
 			log.Fatalf("fremont-explore: journal server: %v", err)
 		}
 		// Observations ride the batched wire protocol: the buffered sink
 		// flushes every jclient.DefaultAutoFlush stores (and before any
 		// query), and the final partial batch is flushed before exit.
-		buffered := c.Buffered(0)
+		buffered := p.Buffered(0)
 		defer func() {
 			if err := buffered.Flush(); err != nil {
 				log.Printf("fremont-explore: final flush: %v", err)

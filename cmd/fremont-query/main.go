@@ -8,6 +8,12 @@
 //	fremont-query -journal localhost:4741 -level 1 -network 128.138.0.0/16
 //	fremont-query -journal localhost:4741 -level 2 -subnet 128.138.238.0/24
 //	fremont-query -journal localhost:4741 -level 3 -ip 128.138.238.5
+//	fremont-query -journal localhost:4741 stats
+//
+// The stats subcommand fetches the server's metrics snapshot over the
+// journal protocol (per-op request counts and latencies, WAL activity,
+// recovery gauges, recent spans) and prints it in the same text format as
+// the fremontd -metrics-addr endpoint.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"fremont/internal/jclient"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/obs"
 	"fremont/internal/present"
 )
 
@@ -38,6 +45,11 @@ func main() {
 
 	now := time.Now()
 	switch {
+	case flag.Arg(0) == "stats":
+		var snap *obs.Snapshot
+		if snap, err = c.ServerStats(); err == nil {
+			err = snap.WriteText(os.Stdout)
+		}
 	case *dump:
 		err = present.Dump(os.Stdout, c)
 	case *level == 1:

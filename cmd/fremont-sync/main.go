@@ -29,21 +29,23 @@ func main() {
 		flag.Usage()
 		log.Fatal("fremont-sync: -from and -to are required")
 	}
-	srcConn, err := jclient.Dial(*from)
+	srcPool, err := jclient.DialPool(*from, 2)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}
-	defer srcConn.Close()
-	dstConn, err := jclient.Dial(*to)
+	defer srcPool.Close()
+	dstPool, err := jclient.DialPool(*to, 2)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}
-	defer dstConn.Close()
+	defer dstPool.Close()
 	// Buffered sinks replay observations over the batched wire protocol:
 	// one round trip per batch instead of one per record. Queries flush
-	// first, so the bidirectional exchange stays coherent.
-	src := srcConn.Buffered(0)
-	dst := dstConn.Buffered(0)
+	// first, so the bidirectional exchange stays coherent. Pool-backed
+	// sinks drop a connection that fails mid-pull and re-dial, so a
+	// transient network error does not poison the stream.
+	src := srcPool.Buffered(0)
+	dst := dstPool.Buffered(0)
 
 	var cutoff time.Time
 	if *since > 0 {

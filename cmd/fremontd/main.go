@@ -13,19 +13,27 @@
 //
 //	fremontd [-listen :4741] [-snapshot journal.snap] [-snapshot-interval 5m]
 //	         [-wal-dir journal.wal] [-wal-fsync always|interval|never]
-//	         [-wal-segment-size 16777216]
+//	         [-wal-segment-size 16777216] [-metrics-addr :4742]
+//
+// With -metrics-addr set, the server's metrics registry is exposed over
+// HTTP: any path returns a human-readable text snapshot, a path ending in
+// .json (or an Accept: application/json request) returns the JSON form.
+// The same snapshot is available over the journal protocol itself via the
+// Stats op (`fremont-query -server ADDR stats`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"fremont/internal/jserver"
+	"fremont/internal/obs"
 	"fremont/internal/wal"
 )
 
@@ -36,6 +44,7 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for the write-ahead log (empty disables the WAL)")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or never")
 	walSegSize := flag.Int64("wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics endpoint (empty disables it)")
 	flag.Parse()
 
 	srv := jserver.New(nil)
@@ -47,11 +56,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("fremontd: %v", err)
 		}
-		l, err := wal.Open(wal.Options{Dir: *walDir, Policy: policy, SegmentSize: *walSegSize})
+		l, err := wal.Open(wal.Options{
+			Dir: *walDir, Policy: policy, SegmentSize: *walSegSize,
+			Obs: srv.Obs(),
+		})
 		if err != nil {
 			log.Fatalf("fremontd: open wal: %v", err)
 		}
 		srv.WAL = l
+	}
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("fremontd: metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler(srv.Obs())); err != nil {
+				log.Fatalf("fremontd: metrics listener: %v", err)
+			}
+		}()
 	}
 
 	st, err := srv.Recover()

@@ -10,7 +10,22 @@ import (
 // DefaultAutoFlush is the Buffered sink's default flush threshold.
 const DefaultAutoFlush = 64
 
-// Buffered wraps a Client in an auto-flushing, batching journal.Sink.
+// Conn is the operation surface shared by a single Client and a Pool:
+// the journal.Sink methods plus batch execution and a health check.
+// Buffered batches over either — a Pool-backed Buffered flushes each
+// batch on whichever pooled connection is free.
+type Conn interface {
+	journal.Sink
+	StoreBatch(b *Batch) ([]BatchResult, error)
+	Ping() error
+}
+
+var (
+	_ Conn = (*Client)(nil)
+	_ Conn = (*Pool)(nil)
+)
+
+// Buffered wraps a Conn in an auto-flushing, batching journal.Sink.
 // Store and delete calls queue into a Batch that is sent in one round trip
 // when the threshold is reached; queries flush first, so a reader always
 // observes every store issued before it. This amortizes the per-operation
@@ -23,24 +38,31 @@ const DefaultAutoFlush = 64
 // Call Flush to push out a final partial batch.
 type Buffered struct {
 	mu    sync.Mutex
-	c     *Client
+	c     Conn
 	batch Batch
 	max   int
 }
 
 var _ journal.Sink = (*Buffered)(nil)
 
-// Buffered returns an auto-flushing batching sink over c, flushing every
-// max operations (DefaultAutoFlush if max <= 0, capped at jwire.MaxBatch).
-func (c *Client) Buffered(max int) *Buffered {
+// NewBuffered returns an auto-flushing batching sink over conn, flushing
+// every max operations (DefaultAutoFlush if max <= 0, capped at
+// jwire.MaxBatch).
+func NewBuffered(conn Conn, max int) *Buffered {
 	if max <= 0 {
 		max = DefaultAutoFlush
 	}
 	if max > jwire.MaxBatch {
 		max = jwire.MaxBatch
 	}
-	return &Buffered{c: c, max: max}
+	return &Buffered{c: conn, max: max}
 }
+
+// Buffered returns an auto-flushing batching sink over c.
+func (c *Client) Buffered(max int) *Buffered { return NewBuffered(c, max) }
+
+// Buffered returns an auto-flushing batching sink over the pool.
+func (p *Pool) Buffered(max int) *Buffered { return NewBuffered(p, max) }
 
 // Flush sends any queued operations and returns the first error among the
 // transport and the individual operations.

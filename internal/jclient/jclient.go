@@ -12,6 +12,7 @@ import (
 
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
+	"fremont/internal/obs"
 )
 
 // Client is a connection to a Journal Server. Methods are safe for
@@ -59,6 +60,24 @@ func (c *Client) Ping() error {
 	w.U8(jwire.OpPing)
 	_, err := c.roundTrip(w.B)
 	return err
+}
+
+// ServerStats fetches the server's metrics snapshot (OpStats): per-op
+// request counts and latency percentiles, WAL activity, recovery gauges,
+// and recent spans — the same document fremontd serves at
+// -metrics-addr/metrics.json.
+func (c *Client) ServerStats() (*obs.Snapshot, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpStats)
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, err
+	}
+	data := r.Bytes()
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return obs.UnmarshalSnapshot(data)
 }
 
 // StoreInterface implements journal.Sink.

@@ -2,8 +2,10 @@ package jclient
 
 import (
 	"errors"
+	"time"
 
 	"fremont/internal/journal"
+	"fremont/internal/obs"
 )
 
 // ErrPoolClosed is returned for operations on a closed Pool.
@@ -21,21 +23,37 @@ type Pool struct {
 	// conns holds one slot per pool member; nil means the slot has no live
 	// connection yet (or its last one was dropped after an error).
 	conns chan *Client
+
+	// Checkout instrumentation: how long callers wait for a free slot
+	// (the saturation signal — a fat p99 here means the pool is too
+	// small for the offered concurrency), plus dial and discard counts.
+	waits    *obs.Histogram
+	dials    *obs.Counter
+	discards *obs.Counter
 }
 
 var _ journal.Sink = (*Pool)(nil)
 
 // DialPool creates a pool of up to size connections to addr, dialing one
-// eagerly so an unreachable server fails fast.
+// eagerly so an unreachable server fails fast. Pool metrics record into
+// the process-wide obs.Default() registry.
 func DialPool(addr string, size int) (*Pool, error) {
 	if size <= 0 {
 		size = 4
 	}
-	p := &Pool{addr: addr, conns: make(chan *Client, size)}
+	reg := obs.Default()
+	p := &Pool{
+		addr:     addr,
+		conns:    make(chan *Client, size),
+		waits:    reg.Histogram("jclient_pool_wait_seconds", nil),
+		dials:    reg.Counter("jclient_pool_dials_total"),
+		discards: reg.Counter("jclient_pool_discards_total"),
+	}
 	c, err := Dial(addr)
 	if err != nil {
 		return nil, err
 	}
+	p.dials.Inc()
 	p.conns <- c
 	for i := 1; i < size; i++ {
 		p.conns <- nil
@@ -61,9 +79,12 @@ func (p *Pool) Close() error {
 	return first
 }
 
-// get borrows a connection slot, dialing if the slot is empty.
+// get borrows a connection slot, dialing if the slot is empty. The time
+// spent waiting for a slot is recorded in jclient_pool_wait_seconds.
 func (p *Pool) get() (*Client, error) {
+	start := time.Now()
 	c, ok := <-p.conns
+	p.waits.ObserveSince(start)
 	if !ok {
 		return nil, ErrPoolClosed
 	}
@@ -76,6 +97,7 @@ func (p *Pool) get() (*Client, error) {
 		p.putSlot(nil)
 		return nil, err
 	}
+	p.dials.Inc()
 	return c, nil
 }
 
@@ -85,6 +107,7 @@ func (p *Pool) put(c *Client, err error) {
 	if err != nil {
 		c.Close()
 		c = nil
+		p.discards.Inc()
 	}
 	p.putSlot(c)
 }
@@ -99,8 +122,13 @@ func (p *Pool) putSlot(c *Client) {
 	p.conns <- c
 }
 
-// do runs fn on a borrowed connection.
-func (p *Pool) do(fn func(c *Client) error) error {
+// Do checks out a connection, runs fn on it, and returns it to the pool.
+// If fn returns an error the connection is discarded (closed, its slot
+// emptied for a fresh dial) — a failed round trip leaves the stream in an
+// unknown state, so it is never reused. Do is the supported way to run a
+// Client-level operation (a batch, a raw query sequence) on pooled
+// connections without hand-pairing checkout and return.
+func (p *Pool) Do(fn func(c *Client) error) error {
 	c, err := p.get()
 	if err != nil {
 		return err
@@ -109,6 +137,10 @@ func (p *Pool) do(fn func(c *Client) error) error {
 	p.put(c, err)
 	return err
 }
+
+// do is the internal spelling of Do, kept so the Sink methods read
+// uniformly.
+func (p *Pool) do(fn func(c *Client) error) error { return p.Do(fn) }
 
 // Ping implements a health check on one pooled connection.
 func (p *Pool) Ping() error {
@@ -193,4 +225,15 @@ func (p *Pool) StoreBatch(b *Batch) (results []BatchResult, err error) {
 		return e
 	})
 	return results, err
+}
+
+// ServerStats fetches the server's metrics snapshot on one pooled
+// connection.
+func (p *Pool) ServerStats() (snap *obs.Snapshot, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		snap, e = c.ServerStats()
+		return e
+	})
+	return snap, err
 }

@@ -1,0 +1,86 @@
+package jclient
+
+import (
+	"errors"
+	"testing"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+func TestServerStatsOverWire(t *testing.T) {
+	_, c := startRealServer(t)
+
+	// Drive a few ops so the snapshot has something to show.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ip := pkt.IPv4(128, 138, 240, 1)
+	if _, _, err := c.StoreInterface(journal.IfaceObs{IP: ip, At: bt0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Interfaces(journal.Query{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three ops counted so far (the stats request itself lands after the
+	// snapshot is taken, so it may or may not be included).
+	if n := snap.CounterSum("jserver_requests_total"); n < 3 {
+		t.Fatalf("jserver_requests_total = %d, want >= 3", n)
+	}
+	if n := snap.Counters[`jserver_requests_total{op=store_interface}`]; n != 1 {
+		t.Fatalf("store_interface count = %d, want 1", n)
+	}
+	hist, ok := snap.Histograms[`jserver_request_seconds{op=ping}`]
+	if !ok {
+		t.Fatalf("no ping latency histogram in snapshot; have %d histograms", len(snap.Histograms))
+	}
+	if hist.Count != 1 {
+		t.Fatalf("ping latency observations = %d, want 1", hist.Count)
+	}
+	if hist.P50 < 0 {
+		t.Fatalf("negative p50 %v", hist.P50)
+	}
+}
+
+func TestPoolDoDiscardsFailedConn(t *testing.T) {
+	s, _ := startRealServer(t)
+	p, err := DialPool(s.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// A failing fn must surface its error and discard the connection…
+	boom := errors.New("boom")
+	if err := p.Do(func(c *Client) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	// …and the next checkout re-dials a fresh one that works.
+	if err := p.Ping(); err != nil {
+		t.Fatalf("ping after discard: %v", err)
+	}
+}
+
+func TestPoolServerStats(t *testing.T) {
+	s, _ := startRealServer(t)
+	p, err := DialPool(s.Addr(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.CounterSum("jserver_requests_total"); n < 1 {
+		t.Fatalf("jserver_requests_total = %d, want >= 1", n)
+	}
+}

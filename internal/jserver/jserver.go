@@ -12,11 +12,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
+	"fremont/internal/obs"
 	"fremont/internal/wal"
 )
 
@@ -52,30 +52,54 @@ type Server struct {
 	mu     sync.Mutex // guards closed
 	closed bool
 
-	// requestsServed counts executed operations (each batch sub-request
-	// counts once), for load reporting. Read via Stats.
-	requestsServed atomic.Int64
+	// obs is the server's metrics registry: per-op request counters and
+	// latency histograms, connection gauges, recovery gauges. Each server
+	// owns its own registry so co-resident servers (tests, multi-tenant
+	// processes) never mix counts; fremontd shares it with the WAL and
+	// the -metrics-addr endpoint. The cached vecs keep the dispatch hot
+	// path to one sync.Map load per instrument.
+	obs      *obs.Registry
+	reqCount *obs.CounterVec
+	reqLat   *obs.HistogramVec
+	conns    *obs.Gauge
+	connsTot *obs.Counter
+	batches  *obs.Counter
 }
 
-// Stats is a point-in-time snapshot of the server's counters.
+// Stats is a point-in-time snapshot of the server's headline counters —
+// a thin compatibility view over the metrics registry; the full picture
+// (per-op counts, latency percentiles, WAL activity) comes from Obs().
 type Stats struct {
 	RequestsServed int64
 }
 
 // Stats returns the server's counters; safe to call at any time.
+// RequestsServed is the sum of the per-op jserver_requests_total family
+// (each batch sub-request counts once).
 func (s *Server) Stats() Stats {
-	return Stats{RequestsServed: s.requestsServed.Load()}
+	return Stats{RequestsServed: s.reqCount.Sum()}
 }
+
+// Obs returns the server's metrics registry, for mounting on an HTTP
+// endpoint or sharing with the WAL.
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // New creates a server around j (a fresh journal if nil).
 func New(j *journal.Journal) *Server {
 	if j == nil {
 		j = journal.New()
 	}
+	reg := obs.NewRegistry()
 	return &Server{
 		journal:          j,
 		SnapshotInterval: 5 * time.Minute,
 		quit:             make(chan struct{}),
+		obs:              reg,
+		reqCount:         reg.CounterVec("jserver_requests_total", "op"),
+		reqLat:           reg.HistogramVec("jserver_request_seconds", "op", nil),
+		conns:            reg.Gauge("jserver_open_connections"),
+		connsTot:         reg.Counter("jserver_connections_total"),
+		batches:          reg.Counter("jserver_batches_total"),
 	}
 }
 
@@ -126,10 +150,13 @@ type RecoveryStats struct {
 // Recover rebuilds the journal: restore the snapshot (if any), then
 // replay every WAL record past the snapshot's LSN through the same
 // dispatch the live server uses. Call it after attaching the WAL and
-// before Listen.
+// before Listen. What was rebuilt is returned and also published as
+// jserver_recovery_* gauges, so a metrics scrape sees how the last
+// restart went long after the startup log line scrolled away.
 func (s *Server) Recover() (RecoveryStats, error) {
 	st, err := s.loadSnapshot()
 	if err != nil || s.WAL == nil {
+		s.publishRecovery(st)
 		return st, err
 	}
 	// Never reissue LSNs the snapshot already covers, even if every
@@ -147,7 +174,25 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		st.WALOps += jwire.ReplayPayload(s.journal, payload)
 		return nil
 	})
+	s.publishRecovery(st)
 	return st, err
+}
+
+// publishRecovery mirrors RecoveryStats into the registry.
+func (s *Server) publishRecovery(st RecoveryStats) {
+	b2i := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	s.obs.Gauge("jserver_recovery_snapshot_loaded").Set(b2i(st.SnapshotLoaded))
+	s.obs.Gauge("jserver_recovery_snapshot_lsn").Set(int64(st.SnapshotLSN))
+	s.obs.Gauge("jserver_recovery_wal_frames").Set(int64(st.WALFrames))
+	s.obs.Gauge("jserver_recovery_wal_ops").Set(int64(st.WALOps))
+	s.obs.Gauge("jserver_recovery_wal_skipped").Set(int64(st.WALSkipped))
+	s.obs.Gauge("jserver_recovery_torn").Set(b2i(st.Torn))
+	s.obs.Gauge("jserver_recovery_dropped_bytes").Set(st.DroppedBytes)
 }
 
 // SaveSnapshot writes the journal to SnapshotPath atomically and durably:
@@ -335,6 +380,9 @@ func (s *Server) snapshotLoop() {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	s.connsTot.Inc()
+	s.conns.Add(1)
+	defer s.conns.Add(-1)
 	go func() {
 		<-s.quit
 		conn.Close() // unblock reads on shutdown
@@ -389,6 +437,7 @@ func (s *Server) dispatchBatch(r *jwire.Reader) []byte {
 		w.String(r.Err.Error())
 		return w.B
 	}
+	s.batches.Inc()
 	w.U8(jwire.StatusOK)
 	w.U32(uint32(len(subs)))
 	for _, sub := range subs {
@@ -416,8 +465,12 @@ func errPayload(err error) []byte {
 }
 
 // dispatchOne applies one operation and builds its response payload.
+// Every executed operation (batch sub-requests included) bumps its
+// per-op counter and records its service latency.
 func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
-	s.requestsServed.Add(1)
+	name := jwire.OpName(op)
+	s.reqCount.With(name).Inc()
+	defer s.reqLat.With(name).ObserveSince(time.Now())
 
 	var w jwire.Writer
 	fail := func(err error) []byte {
@@ -480,6 +533,13 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		w.Bool(res.Deleted)
 	case jwire.OpPing:
 		w.U8(jwire.StatusOK)
+	case jwire.OpStats:
+		data, err := obs.MarshalSnapshot(s.obs.Snapshot())
+		if err != nil {
+			return fail(err)
+		}
+		w.U8(jwire.StatusOK)
+		w.Bytes(data)
 	default:
 		return fail(fmt.Errorf("jserver: unknown opcode %d", op))
 	}

@@ -36,7 +36,40 @@ const (
 	// length-prefixed sub-response (with its own status byte) per
 	// sub-request, so a whole burst of stores costs a single round trip.
 	OpBatch byte = 9
+	// OpStats asks the server for its metrics snapshot. The response body
+	// is one length-prefixed JSON document (see internal/obs), so the
+	// same observability surface is reachable over the journal protocol
+	// as over fremontd's -metrics-addr HTTP endpoint.
+	OpStats byte = 10
 )
+
+// OpName returns the stable lowercase name of an opcode, used as the
+// metric label for per-operation counters and latency histograms.
+func OpName(op byte) string {
+	switch op {
+	case OpStoreInterface:
+		return "store_interface"
+	case OpStoreGateway:
+		return "store_gateway"
+	case OpStoreSubnet:
+		return "store_subnet"
+	case OpGetInterfaces:
+		return "get_interfaces"
+	case OpGetGateways:
+		return "get_gateways"
+	case OpGetSubnets:
+		return "get_subnets"
+	case OpDelete:
+		return "delete"
+	case OpPing:
+		return "ping"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	}
+	return "unknown"
+}
 
 // Response status codes.
 const (

@@ -25,6 +25,7 @@ import (
 	"fremont/internal/explorer"
 	"fremont/internal/journal"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/obs"
 )
 
 // ModuleState is the per-module schedule entry of the startup/history
@@ -57,6 +58,10 @@ type Config struct {
 	// Correlate runs a cross-correlation pass after each batch.
 	Correlate bool
 	Log       func(format string, args ...any)
+	// Obs receives scheduling metrics (fruitful/fruitless run counters,
+	// interval adjustments, per-module demand gauges) and one span per
+	// module run. Nil uses the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 // Manager schedules and directs Explorer Modules.
@@ -65,6 +70,17 @@ type Manager struct {
 	sink    journal.Sink
 	modules []explorer.Module
 	states  map[string]*ModuleState
+
+	// Scheduling instrumentation — the paper's fruitfulness feedback
+	// loop, made scrapeable.
+	obs        *obs.Registry
+	runs       *obs.CounterVec
+	fruitful   *obs.Counter
+	fruitless  *obs.Counter
+	failures   *obs.Counter
+	shortened  *obs.Counter
+	lengthened *obs.Counter
+	demand     *obs.GaugeVec
 }
 
 // New creates a manager over the full module registry.
@@ -75,7 +91,24 @@ func New(sink journal.Sink, cfg Config) *Manager {
 	if cfg.RIPwatchDuration == 0 {
 		cfg.RIPwatchDuration = 2 * time.Minute
 	}
-	m := &Manager{cfg: cfg, sink: sink, modules: explorer.All(), states: map[string]*ModuleState{}}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &Manager{
+		cfg:        cfg,
+		sink:       sink,
+		modules:    explorer.All(),
+		states:     map[string]*ModuleState{},
+		obs:        reg,
+		runs:       reg.CounterVec("manager_runs_total", "module"),
+		fruitful:   reg.Counter("manager_fruitful_runs_total"),
+		fruitless:  reg.Counter("manager_fruitless_runs_total"),
+		failures:   reg.Counter("manager_module_failures_total"),
+		shortened:  reg.Counter("manager_interval_shortened_total"),
+		lengthened: reg.Counter("manager_interval_lengthened_total"),
+		demand:     reg.GaugeVec("manager_demand", "module"),
+	}
 	for _, mod := range m.modules {
 		info := mod.Info()
 		m.states[info.Name] = &ModuleState{Name: info.Name, Interval: info.MinInterval}
@@ -131,9 +164,9 @@ func (m *Manager) NextDue() (time.Time, bool) {
 	return next, found
 }
 
-// demand computes a module's unmet-demand metric from the Journal. Falling
-// demand after a run means the run was fruitful.
-func (m *Manager) demand(mod explorer.Module) int {
+// demandOf computes a module's unmet-demand metric from the Journal.
+// Falling demand after a run means the run was fruitful.
+func (m *Manager) demandOf(mod explorer.Module) int {
 	switch mod.Info().Name {
 	case "SubnetMasks":
 		recs, err := m.sink.Interfaces(journal.Query{})
@@ -237,9 +270,19 @@ func (m *Manager) RunDue(st explorer.Stack) ([]*explorer.Report, error) {
 	for _, mod := range due {
 		info := mod.Info()
 		state := m.states[info.Name]
-		before := m.demand(mod)
+		before := m.demandOf(mod)
 		st.ResetPacketCounter()
 		m.logf("manager: running %s (interval %v, demand %d)", info.Name, state.Interval, before)
+		started := st.Now()
+		span := obs.Span{
+			Name:  "module:" + info.Name,
+			Start: started, // virtual clock: spans carry simulated time
+			Attrs: map[string]string{
+				"module":        info.Name,
+				"demand_before": strconv.Itoa(before),
+			},
+		}
+		m.runs.With(info.Name).Inc()
 		rep, err := mod.Run(&explorer.Context{
 			Stack:   st,
 			Journal: m.sink,
@@ -248,18 +291,34 @@ func (m *Manager) RunDue(st explorer.Stack) ([]*explorer.Report, error) {
 		})
 		if err != nil {
 			m.logf("manager: %s failed: %v", info.Name, err)
+			m.failures.Inc()
 			state.LastRun = st.Now()
 			m.adjust(state, info, false)
+			span.End, span.Err = st.Now(), err.Error()
+			m.obs.RecordSpan(span)
 			continue
 		}
 		reports = append(reports, rep)
-		after := m.demand(mod)
+		after := m.demandOf(mod)
 		fruitful := after < before || state.Runs == 0
 		state.LastRun = st.Now()
 		state.Runs++
 		state.LastFound = len(rep.Interfaces) + len(rep.Subnets)
 		state.DemandBefore = before
 		m.adjust(state, info, fruitful)
+		if fruitful {
+			m.fruitful.Inc()
+		} else {
+			m.fruitless.Inc()
+		}
+		m.demand.With(info.Name).Set(int64(after))
+		span.End = st.Now()
+		span.Attrs["demand_after"] = strconv.Itoa(after)
+		span.Attrs["fruitful"] = strconv.FormatBool(fruitful)
+		span.Attrs["found"] = strconv.Itoa(state.LastFound)
+		span.Attrs["packets"] = strconv.Itoa(rep.PacketsSent)
+		span.Attrs["interval"] = state.Interval.String()
+		m.obs.RecordSpan(span)
 	}
 	if m.cfg.Correlate && len(reports) > 0 {
 		if rep, err := correlate.Run(m.sink, st.Now()); err == nil {
@@ -278,6 +337,7 @@ func (m *Manager) RunDue(st explorer.Stack) ([]*explorer.Report, error) {
 // interval toward the module's minimum; fruitless ones lengthen it toward
 // the maximum.
 func (m *Manager) adjust(st *ModuleState, info explorer.Info, fruitful bool) {
+	before := st.Interval
 	if fruitful {
 		st.Interval /= 2
 		if st.Interval < info.MinInterval {
@@ -288,6 +348,12 @@ func (m *Manager) adjust(st *ModuleState, info explorer.Info, fruitful bool) {
 		if st.Interval > info.MaxInterval {
 			st.Interval = info.MaxInterval
 		}
+	}
+	switch {
+	case st.Interval < before:
+		m.shortened.Inc()
+	case st.Interval > before:
+		m.lengthened.Inc()
 	}
 }
 
@@ -303,7 +369,10 @@ func (m *Manager) SaveHistory() error {
 	return m.WriteHistory(f)
 }
 
-// WriteHistory serializes the schedule in the startup/history format.
+// WriteHistory serializes the schedule in the startup/history format:
+// one "module" line per entry carrying key=value fields that readers
+// parse by name, so adding a field never shifts (and silently misparses)
+// its neighbours the way the old positional format could.
 func (m *Manager) WriteHistory(w io.Writer) error {
 	names := make([]string, 0, len(m.states))
 	for n := range m.states {
@@ -317,7 +386,7 @@ func (m *Manager) WriteHistory(w io.Writer) error {
 		if !st.LastRun.IsZero() {
 			last = st.LastRun.UTC().Format(time.RFC3339)
 		}
-		if _, err := fmt.Fprintf(w, "module %s interval %s lastrun %s demand %d runs %d found %d\n",
+		if _, err := fmt.Fprintf(w, "module name=%s interval=%s lastrun=%s demand=%d runs=%d found=%d\n",
 			st.Name, st.Interval, last, st.DemandBefore, st.Runs, st.LastFound); err != nil {
 			return err
 		}
@@ -338,7 +407,11 @@ func (m *Manager) LoadHistory() error {
 	return m.ReadHistory(f)
 }
 
-// ReadHistory parses the startup/history format.
+// ReadHistory parses the startup/history format. Lines whose fields
+// carry key=value pairs are parsed by name (unknown keys are ignored, so
+// newer files load on older managers); lines without any "=" load
+// through the legacy 12-positional-field parser, so pre-existing history
+// files keep working.
 func (m *Manager) ReadHistory(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -347,34 +420,98 @@ func (m *Manager) ReadHistory(r io.Reader) error {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 12 || fields[0] != "module" {
+		if len(fields) < 2 || fields[0] != "module" {
 			return fmt.Errorf("manager: malformed history line: %q", line)
 		}
-		st, ok := m.states[fields[1]]
-		if !ok {
-			continue // unknown module: ignore (forward compatibility)
+		var err error
+		if strings.Contains(fields[1], "=") {
+			err = m.readKeyValueLine(line, fields[1:])
+		} else {
+			err = m.readPositionalLine(line, fields)
 		}
-		iv, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// readKeyValueLine loads one key=value history line.
+func (m *Manager) readKeyValueLine(line string, pairs []string) error {
+	kv := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("manager: malformed history field %q in %q", p, line)
+		}
+		kv[k] = v
+	}
+	name, ok := kv["name"]
+	if !ok {
+		return fmt.Errorf("manager: history line missing name: %q", line)
+	}
+	st, ok := m.states[name]
+	if !ok {
+		return nil // unknown module: ignore (forward compatibility)
+	}
+	if v, ok := kv["interval"]; ok {
+		iv, err := time.ParseDuration(v)
 		if err != nil {
 			return fmt.Errorf("manager: bad interval in %q: %v", line, err)
 		}
 		st.Interval = iv
-		if fields[5] != "-" {
-			ts, err := time.Parse(time.RFC3339, fields[5])
+	}
+	if v, ok := kv["lastrun"]; ok && v != "-" {
+		ts, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return fmt.Errorf("manager: bad lastrun in %q: %v", line, err)
+		}
+		st.LastRun = ts
+	}
+	for key, dst := range map[string]*int{
+		"demand": &st.DemandBefore, "runs": &st.Runs, "found": &st.LastFound,
+	} {
+		if v, ok := kv[key]; ok {
+			n, err := strconv.Atoi(v)
 			if err != nil {
-				return fmt.Errorf("manager: bad lastrun in %q: %v", line, err)
+				return fmt.Errorf("manager: bad %s in %q: %v", key, line, err)
 			}
-			st.LastRun = ts
-		}
-		if st.DemandBefore, err = strconv.Atoi(fields[7]); err != nil {
-			return fmt.Errorf("manager: bad demand in %q: %v", line, err)
-		}
-		if st.Runs, err = strconv.Atoi(fields[9]); err != nil {
-			return fmt.Errorf("manager: bad runs in %q: %v", line, err)
-		}
-		if st.LastFound, err = strconv.Atoi(fields[11]); err != nil {
-			return fmt.Errorf("manager: bad found in %q: %v", line, err)
+			*dst = n
 		}
 	}
-	return sc.Err()
+	return nil
+}
+
+// readPositionalLine loads one legacy positional history line
+// ("module NAME interval IV lastrun TS demand D runs R found F").
+func (m *Manager) readPositionalLine(line string, fields []string) error {
+	if len(fields) != 12 {
+		return fmt.Errorf("manager: malformed history line: %q", line)
+	}
+	st, ok := m.states[fields[1]]
+	if !ok {
+		return nil // unknown module: ignore (forward compatibility)
+	}
+	iv, err := time.ParseDuration(fields[3])
+	if err != nil {
+		return fmt.Errorf("manager: bad interval in %q: %v", line, err)
+	}
+	st.Interval = iv
+	if fields[5] != "-" {
+		ts, err := time.Parse(time.RFC3339, fields[5])
+		if err != nil {
+			return fmt.Errorf("manager: bad lastrun in %q: %v", line, err)
+		}
+		st.LastRun = ts
+	}
+	if st.DemandBefore, err = strconv.Atoi(fields[7]); err != nil {
+		return fmt.Errorf("manager: bad demand in %q: %v", line, err)
+	}
+	if st.Runs, err = strconv.Atoi(fields[9]); err != nil {
+		return fmt.Errorf("manager: bad runs in %q: %v", line, err)
+	}
+	if st.LastFound, err = strconv.Atoi(fields[11]); err != nil {
+		return fmt.Errorf("manager: bad found in %q: %v", line, err)
+	}
+	return nil
 }

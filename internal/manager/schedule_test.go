@@ -1,0 +1,185 @@
+package manager
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fremont/internal/explorer"
+	"fremont/internal/journal"
+	"fremont/internal/obs"
+)
+
+func TestNextDueSkipsPrivilegedModules(t *testing.T) {
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: false})
+	// Mark every module as just run, so NextDue has to compute a real
+	// next time instead of short-circuiting on a never-run module.
+	for _, mod := range explorer.All() {
+		m.State(mod.Info().Name).LastRun = t0
+	}
+
+	// The expected next time considers only unprivileged modules.
+	var want time.Time
+	for _, mod := range explorer.All() {
+		info := mod.Info()
+		if info.NeedsPrivilege {
+			continue
+		}
+		next := t0.Add(m.State(info.Name).Interval)
+		if want.IsZero() || next.Before(want) {
+			want = next
+		}
+	}
+
+	next, ok := m.NextDue()
+	if !ok {
+		t.Fatal("NextDue found nothing")
+	}
+	if !next.Equal(want) {
+		t.Fatalf("NextDue = %v, want %v (privileged modules must not be considered)", next, want)
+	}
+
+	// Sanity: the privileged manager's answer differs, because the
+	// NIT-based watchers have the shortest intervals.
+	mp := New(journal.Local{J: journal.New()}, Config{Privileged: true})
+	for _, mod := range explorer.All() {
+		mp.State(mod.Info().Name).LastRun = t0
+	}
+	nextPriv, ok := mp.NextDue()
+	if !ok {
+		t.Fatal("privileged NextDue found nothing")
+	}
+	if !nextPriv.Before(next) {
+		t.Fatalf("privileged NextDue %v not before unprivileged %v", nextPriv, next)
+	}
+}
+
+func TestNextDueUnprivilegedNeverRun(t *testing.T) {
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: false})
+	// Only unprivileged modules marked as run: the privileged never-run
+	// modules must not make NextDue report "due now".
+	for _, mod := range explorer.All() {
+		if !mod.Info().NeedsPrivilege {
+			m.State(mod.Info().Name).LastRun = t0
+		}
+	}
+	next, ok := m.NextDue()
+	if !ok {
+		t.Fatal("NextDue found nothing")
+	}
+	if next.IsZero() {
+		t.Fatal("NextDue reported due-now off a privileged module the manager cannot run")
+	}
+}
+
+func TestAdjustClampsAtBounds(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: true, Obs: reg})
+	st := m.State("SeqPing")
+	info := explorer.SeqPing{}.Info()
+
+	shortened := reg.Counter("manager_interval_shortened_total")
+	lengthened := reg.Counter("manager_interval_lengthened_total")
+
+	// Pinned at the minimum, a fruitful run must not shrink further nor
+	// count as a shortening.
+	st.Interval = info.MinInterval
+	m.adjust(st, info, true)
+	if st.Interval != info.MinInterval {
+		t.Fatalf("fruitful at min: interval %v, want %v", st.Interval, info.MinInterval)
+	}
+	if n := shortened.Value(); n != 0 {
+		t.Fatalf("shortened counter = %d at the min bound, want 0", n)
+	}
+
+	// Pinned at the maximum, a fruitless run must not grow further nor
+	// count as a lengthening.
+	st.Interval = info.MaxInterval
+	m.adjust(st, info, false)
+	if st.Interval != info.MaxInterval {
+		t.Fatalf("fruitless at max: interval %v, want %v", st.Interval, info.MaxInterval)
+	}
+	if n := lengthened.Value(); n != 0 {
+		t.Fatalf("lengthened counter = %d at the max bound, want 0", n)
+	}
+
+	// A doubling that overshoots the max clamps to it and still counts.
+	st.Interval = info.MaxInterval - time.Minute
+	m.adjust(st, info, false)
+	if st.Interval != info.MaxInterval {
+		t.Fatalf("overshooting adjust: interval %v, want clamp to %v", st.Interval, info.MaxInterval)
+	}
+	if n := lengthened.Value(); n != 1 {
+		t.Fatalf("lengthened counter = %d after clamped growth, want 1", n)
+	}
+
+	// A halving that undershoots the min clamps to it and still counts.
+	st.Interval = info.MinInterval + time.Minute
+	m.adjust(st, info, true)
+	if st.Interval != info.MinInterval {
+		t.Fatalf("undershooting adjust: interval %v, want clamp to %v", st.Interval, info.MinInterval)
+	}
+	if n := shortened.Value(); n != 1 {
+		t.Fatalf("shortened counter = %d after clamped shrink, want 1", n)
+	}
+}
+
+func TestHistoryWritesKeyValueFormat(t *testing.T) {
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: true})
+	m.State("SeqPing").Runs = 5
+	var buf strings.Builder
+	if err := m.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "module name=SeqPing") {
+		t.Fatalf("history not in key=value form:\n%s", out)
+	}
+	if !strings.Contains(out, "runs=5") {
+		t.Fatalf("history missing runs=5:\n%s", out)
+	}
+}
+
+func TestHistoryKeyValueFieldsParsedByName(t *testing.T) {
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: true})
+	// Fields out of order, an unknown key, and a missing optional field:
+	// all must load, because fields are matched by name.
+	line := "module runs=4 name=SeqPing future_key=whatever interval=3h found=11\n"
+	if err := m.ReadHistory(strings.NewReader(line)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.State("SeqPing")
+	if st.Runs != 4 || st.Interval != 3*time.Hour || st.LastFound != 11 {
+		t.Fatalf("restored state = %+v", st)
+	}
+	if !st.LastRun.IsZero() {
+		t.Fatalf("lastrun should stay zero when absent, got %v", st.LastRun)
+	}
+
+	// Malformed pairs are rejected, not silently skipped.
+	for _, bad := range []string{
+		"module name=SeqPing interval\n",    // bare key
+		"module interval=1h runs=1\n",       // no name
+		"module name=SeqPing interval=xx\n", // unparseable value
+		"module name=SeqPing runs=abc\n",
+	} {
+		if err := m.ReadHistory(strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed line accepted: %q", bad)
+		}
+	}
+}
+
+func TestHistoryLoadsLegacyPositionalFormat(t *testing.T) {
+	// A pre-existing positional history file must keep loading.
+	legacy := "# fremont discovery manager startup/history file\n" +
+		"module SeqPing interval 36h0m0s lastrun 1993-01-25T08:00:00Z demand 7 runs 3 found 42\n"
+	m := New(journal.Local{J: journal.New()}, Config{Privileged: true})
+	if err := m.ReadHistory(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.State("SeqPing")
+	if !st.LastRun.Equal(t0) || st.Runs != 3 || st.LastFound != 42 ||
+		st.DemandBefore != 7 || st.Interval != 36*time.Hour {
+		t.Fatalf("legacy restore = %+v", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"fremont/internal/netsim/pkt"
 	"fremont/internal/netsim/sim"
+	"fremont/internal/obs"
 )
 
 // Network is a collection of segments and nodes sharing one virtual clock.
@@ -30,14 +31,27 @@ type Network struct {
 	byName map[string]*Node
 
 	macSeq uint32
+
+	// Process-wide traffic totals (obs.Default()), cached here so the
+	// per-frame path in Segment.Transmit never touches the registry lock.
+	// Per-segment breakdowns live in Segment.Stats as before.
+	mFrames     *obs.Counter
+	mBytes      *obs.Counter
+	mDropped    *obs.Counter
+	mBroadcasts *obs.Counter
 }
 
 // New creates an empty network on a fresh scheduler seeded with seed.
 func New(seed int64) *Network {
+	reg := obs.Default()
 	return &Network{
-		Sched:  sim.NewScheduler(seed),
-		byIP:   map[pkt.IP]*Iface{},
-		byName: map[string]*Node{},
+		Sched:       sim.NewScheduler(seed),
+		byIP:        map[pkt.IP]*Iface{},
+		byName:      map[string]*Node{},
+		mFrames:     reg.Counter("netsim_frames_total"),
+		mBytes:      reg.Counter("netsim_frame_bytes_total"),
+		mDropped:    reg.Counter("netsim_dropped_total"),
+		mBroadcasts: reg.Counter("netsim_broadcasts_total"),
 	}
 }
 

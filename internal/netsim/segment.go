@@ -63,8 +63,11 @@ func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
 
 	s.Stats.Frames++
 	s.Stats.Bytes += len(raw)
+	s.net.mFrames.Inc()
+	s.net.mBytes.Add(int64(len(raw)))
 	if frame.Dst.IsBroadcast() {
 		s.Stats.Broadcasts++
+		s.net.mBroadcasts.Inc()
 	}
 
 	// Collision model: count transmissions within the window.
@@ -86,11 +89,13 @@ func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
 		}
 		if rng.Float64() < loss {
 			s.Stats.Dropped++
+			s.net.mDropped.Inc()
 			return
 		}
 	}
 	if s.RandomLoss > 0 && rng.Float64() < s.RandomLoss {
 		s.Stats.Dropped++
+		s.net.mDropped.Inc()
 		return
 	}
 

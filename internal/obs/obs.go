@@ -1,0 +1,441 @@
+// Package obs is Fremont's observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms with quantile estimation, and labeled families) plus
+// lightweight span tracing for module runs.
+//
+// The paper evaluates Fremont through operational numbers — per-module
+// packet counts, run durations, offered load (Table 4) and the Discovery
+// Manager's fruitfulness feedback — so the reproduction needs a uniform,
+// queryable way to watch a running system rather than post-hoc log
+// scraping. Every hot layer (jserver request dispatch, WAL appends and
+// fsyncs, jclient pool checkouts, manager scheduling, netsim traffic)
+// records into a Registry; snapshots are served over HTTP by fremontd
+// (-metrics-addr) and over the jwire protocol (OpStats).
+//
+// Instruments are cheap enough to leave on: a counter bump is one atomic
+// add, a histogram observation is two atomic adds plus a short bucket
+// scan. Callers cache instrument pointers (the Registry hands out
+// stable ones), so the hot path never takes the registry lock.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Instruments ----------------------------------------------------------
+
+// Counter is a monotonically increasing count. The zero value is usable,
+// but counters almost always come from a Registry so they appear in
+// snapshots.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error but not checked;
+// use a Gauge for values that go down).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat accumulates a float64 with compare-and-swap.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Buckets are defined by their
+// inclusive upper bounds, ascending; one implicit overflow bucket catches
+// everything above the last bound. Observations and snapshots are safe
+// for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// newHistogram copies bounds (which must be ascending and non-empty).
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since start — the idiom for
+// latency instrumentation: defer h.ObserveSince(time.Now()).
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// DefLatencyBuckets spans 25µs to 10s — wide enough for an in-memory
+// journal op at the bottom and a slow fsync or module run at the top.
+var DefLatencyBuckets = []float64{
+	25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// snapshot captures the histogram under no lock: bucket counts are read
+// individually, so a concurrent Observe may straddle the reads — tolerable
+// drift for monitoring, never a torn value.
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Value(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{Le: le, Count: h.counts[i].Load()}
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// --- Labeled families -----------------------------------------------------
+
+// CounterVec is a family of counters distinguished by one label value
+// (the common case: per-opcode, per-module). With is lock-free after the
+// first call for a given value.
+type CounterVec struct {
+	r     *Registry
+	name  string
+	label string
+	m     sync.Map // value -> *Counter
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.m.Load(value); ok {
+		return c.(*Counter)
+	}
+	c := v.r.Counter(keyWith(v.name, v.label, value))
+	actual, _ := v.m.LoadOrStore(value, c)
+	return actual.(*Counter)
+}
+
+// Sum totals the family across label values.
+func (v *CounterVec) Sum() int64 {
+	var n int64
+	v.m.Range(func(_, c any) bool { n += c.(*Counter).Value(); return true })
+	return n
+}
+
+// GaugeVec is a family of gauges distinguished by one label value.
+type GaugeVec struct {
+	r     *Registry
+	name  string
+	label string
+	m     sync.Map
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if g, ok := v.m.Load(value); ok {
+		return g.(*Gauge)
+	}
+	g := v.r.Gauge(keyWith(v.name, v.label, value))
+	actual, _ := v.m.LoadOrStore(value, g)
+	return actual.(*Gauge)
+}
+
+// HistogramVec is a family of histograms distinguished by one label value.
+type HistogramVec struct {
+	r      *Registry
+	name   string
+	label  string
+	bounds []float64
+	m      sync.Map
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.m.Load(value); ok {
+		return h.(*Histogram)
+	}
+	h := v.r.Histogram(keyWith(v.name, v.label, value), v.bounds)
+	actual, _ := v.m.LoadOrStore(value, h)
+	return actual.(*Histogram)
+}
+
+func keyWith(name, label, value string) string {
+	return name + "{" + label + "=" + value + "}"
+}
+
+// --- Registry -------------------------------------------------------------
+
+// Registry owns a namespace of instruments and a span tracer. Instruments
+// are get-or-create by full name (including any {label=value} suffix);
+// asking for an existing name as a different kind panics — that is a
+// programming error, not an operational condition.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   Tracer
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, used by components that are
+// not handed an explicit one (netsim traffic totals, client pools in
+// the command-line tools).
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) checkUnique(kind, name string) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		panic(fmt.Sprintf("obs: %q already registered as a different kind (want %s)", name, kind))
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkUnique("counter", name)
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkUnique("gauge", name)
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds if new (nil bounds = DefLatencyBuckets). Bounds
+// are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkUnique("histogram", name)
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// CounterVec returns a per-label-value counter family.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	return &CounterVec{r: r, name: name, label: label}
+}
+
+// GaugeVec returns a per-label-value gauge family.
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	return &GaugeVec{r: r, name: name, label: label}
+}
+
+// HistogramVec returns a per-label-value histogram family (nil bounds =
+// DefLatencyBuckets).
+func (r *Registry) HistogramVec(name, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{r: r, name: name, label: label, bounds: bounds}
+}
+
+// --- Snapshots ------------------------------------------------------------
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below Le that landed in this bucket (non-cumulative).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistSnapshot is a point-in-time view of one histogram.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket containing the target rank. Values past the last
+// finite bound are reported as that bound — the estimate saturates rather
+// than inventing a tail.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	lower := 0.0
+	for i, b := range s.Buckets {
+		if float64(b.Count)+seen >= rank {
+			upper := b.Le
+			if math.IsInf(upper, 1) {
+				// Overflow bucket: saturate at the last finite bound.
+				return lower
+			}
+			if b.Count == 0 {
+				return upper
+			}
+			frac := (rank - seen) / float64(b.Count)
+			return lower + (upper-lower)*frac
+		}
+		seen += float64(b.Count)
+		if !math.IsInf(s.Buckets[i].Le, 1) {
+			lower = s.Buckets[i].Le
+		}
+	}
+	return lower
+}
+
+// Snapshot is a consistent-enough point-in-time view of a Registry,
+// serializable to JSON (the -metrics-addr endpoint, the OpStats wire
+// response) and renderable as text. Counters may drift by an in-flight
+// increment relative to each other; no individual value is ever torn.
+type Snapshot struct {
+	TakenAt    time.Time               `json:"taken_at"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Spans      []Span                  `json:"spans,omitempty"`
+}
+
+// Snapshot captures every instrument and the recent span ring.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		TakenAt:    time.Now().UTC(),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	s.Spans = r.tracer.Recent()
+	return s
+}
+
+// CounterSum totals every counter whose name (before any label suffix)
+// equals name — the view a labeled family presents as a single number.
+func (s *Snapshot) CounterSum(name string) int64 {
+	var n int64
+	for k, v := range s.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			n += v
+		}
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.010, 0.020, 0.040, 0.080})
+	// 100 observations spread evenly through the first bucket: the
+	// interpolated p50 should land near the bucket midpoint.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.010 * float64(i) / 100)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.50); math.Abs(got-0.005) > 0.0011 {
+		t.Fatalf("p50 = %v, want ~0.005", got)
+	}
+	// Everything in one bucket: p99 interpolates within (0.010, 0.020].
+	h2 := r.Histogram("lat2", []float64{0.010, 0.020})
+	for i := 0; i < 10; i++ {
+		h2.Observe(0.015)
+	}
+	s2 := h2.snapshot()
+	if p := s2.Quantile(0.99); p <= 0.010 || p > 0.020 {
+		t.Fatalf("p99 = %v, want in (0.010, 0.020]", p)
+	}
+	// Overflow saturates at the last finite bound.
+	h3 := r.Histogram("lat3", []float64{0.010})
+	h3.Observe(99)
+	if p := h3.snapshot().Quantile(0.99); p != 0.010 {
+		t.Fatalf("overflow p99 = %v, want 0.010 (saturated)", p)
+	}
+}
+
+func TestVecFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "op")
+	v.With("ping").Add(2)
+	v.With("get").Inc()
+	if v.With("ping") != v.With("ping") {
+		t.Fatal("vec returned unstable pointers")
+	}
+	if v.Sum() != 3 {
+		t.Fatalf("vec sum = %d, want 3", v.Sum())
+	}
+	snap := r.Snapshot()
+	if snap.Counters["requests_total{op=ping}"] != 2 {
+		t.Fatalf("snapshot missing labeled counter: %v", snap.Counters)
+	}
+	if snap.CounterSum("requests_total") != 3 {
+		t.Fatalf("CounterSum = %d, want 3", snap.CounterSum("requests_total"))
+	}
+
+	hv := r.HistogramVec("latency_seconds", "op", nil)
+	hv.With("ping").Observe(0.001)
+	if got := r.Snapshot().Histograms["latency_seconds{op=ping}"].Count; got != 1 {
+		t.Fatalf("labeled histogram count = %d", got)
+	}
+}
+
+func TestSnapshotJSONRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-1)
+	h := r.Histogram("c", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2) // overflow bucket, +Inf bound
+	r.RecordSpan(Span{Name: "module:DNS", Start: time.Unix(1, 0), End: time.Unix(3, 0),
+		Attrs: map[string]string{"fruitful": "true"}})
+
+	data, err := MarshalSnapshot(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["a"] != 3 || got.Gauges["b"] != -1 {
+		t.Fatalf("roundtrip lost scalars: %+v", got)
+	}
+	hs := got.Histograms["c"]
+	if hs.Count != 2 {
+		t.Fatalf("histogram count = %d", hs.Count)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.Le, 1) || last.Count != 1 {
+		t.Fatalf("overflow bucket did not roundtrip: %+v", last)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Attrs["fruitful"] != "true" {
+		t.Fatalf("spans did not roundtrip: %+v", got.Spans)
+	}
+	// The document must be plain JSON (external scrapers parse it).
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total{op=ping}").Add(5)
+	r.Histogram("fsync_seconds", nil).Observe(0.002)
+	r.RecordSpan(Span{Name: "module:SeqPing", Start: time.Unix(10, 0), End: time.Unix(70, 0)})
+	var b strings.Builder
+	if err := r.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"requests_total{op=ping} 5", "fsync_seconds count=1", "module:SeqPing"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("served snapshot = %+v", snap)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if ct := res2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	var tr Tracer
+	for i := 0; i < spanRingSize+10; i++ {
+		tr.Record(Span{Name: "s", Start: time.Unix(int64(i), 0)})
+	}
+	spans := tr.Recent()
+	if len(spans) != spanRingSize {
+		t.Fatalf("ring kept %d spans", len(spans))
+	}
+	if spans[0].Start.Unix() != 10 || spans[len(spans)-1].Start.Unix() != int64(spanRingSize+9) {
+		t.Fatalf("ring order wrong: first=%v last=%v", spans[0].Start, spans[len(spans)-1].Start)
+	}
+}
+
+// TestRegistryConcurrentHammer drives every instrument kind from many
+// writers while a reader snapshots continuously — the registry's whole
+// point is to be safe to leave on in the server's hot paths, so this is
+// the test the race detector gates on.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	vec := r.CounterVec("ops_total", "op")
+	hv := r.HistogramVec("op_seconds", "op", nil)
+	stop := make(chan struct{})
+
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if err := s.WriteText(&strings.Builder{}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := MarshalSnapshot(s); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	ops := []string{"ping", "get", "store"}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				op := ops[i%len(ops)]
+				vec.With(op).Inc()
+				hv.With(op).Observe(float64(i%100) / 1000)
+				r.Counter("plain_total").Inc()
+				r.Gauge("depth").Set(int64(i))
+				if i%100 == 0 {
+					sp := r.StartSpan("hammer")
+					sp.SetAttr("writer", op)
+					sp.End(nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	final := r.Snapshot()
+	if got := final.CounterSum("ops_total"); got != writers*perWriter {
+		t.Fatalf("ops_total = %d, want %d", got, writers*perWriter)
+	}
+	if final.Counters["plain_total"] != writers*perWriter {
+		t.Fatalf("plain_total = %d", final.Counters["plain_total"])
+	}
+	var histCount int64
+	for name, h := range final.Histograms {
+		if strings.HasPrefix(name, "op_seconds{") {
+			histCount += h.Count
+		}
+	}
+	if histCount != writers*perWriter {
+		t.Fatalf("histogram observations = %d, want %d", histCount, writers*perWriter)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MarshalJSON-ready form is the Snapshot itself; these helpers add the
+// two transport renderings: a human-scannable text page and the JSON
+// document served at /metrics.json and over jwire OpStats.
+
+// WriteText renders the snapshot as sorted one-line-per-instrument text.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fremont metrics snapshot %s\n", s.TakenAt.Format("2006-01-02T15:04:05Z"))
+
+	if len(s.Counters) > 0 {
+		b.WriteString("\n# counters\n")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "%s %d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("\n# gauges\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "%s %d\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("\n# histograms (seconds)\n")
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "%s count=%d sum=%.6f p50=%s p95=%s p99=%s\n",
+				k, h.Count, h.Sum, fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99))
+		}
+	}
+	if len(s.Spans) > 0 {
+		b.WriteString("\n# recent spans (oldest first)\n")
+		for _, sp := range s.Spans {
+			fmt.Fprintf(&b, "%s %s dur=%s", sp.Start.Format("15:04:05"), sp.Name, sp.Duration().Round(time.Millisecond))
+			for _, k := range sortedAttrKeys(sp.Attrs) {
+				fmt.Fprintf(&b, " %s=%s", k, sp.Attrs[k])
+			}
+			if sp.Err != "" {
+				fmt.Fprintf(&b, " err=%q", sp.Err)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtSeconds prints a quantile with unit-appropriate precision.
+func fmtSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", v)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MarshalSnapshot serializes a snapshot to JSON. Infinite bucket bounds
+// are mapped to the JSON-representable sentinel "+Inf" via Bucket's
+// custom marshaller below.
+func MarshalSnapshot(s *Snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// UnmarshalSnapshot parses a JSON snapshot (the OpStats response body).
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: bad snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// MarshalJSON encodes the +Inf overflow bound as the string "+Inf",
+// which encoding/json cannot represent as a number.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := any(b.Le)
+	if math.IsInf(b.Le, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(map[string]any{"le": le, "count": b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	switch le := raw.Le.(type) {
+	case float64:
+		b.Le = le
+	case string:
+		b.Le = math.Inf(1)
+	default:
+		return fmt.Errorf("obs: bucket bound %v", raw.Le)
+	}
+	return nil
+}
+
+// Handler serves the registry over HTTP: text at / and /metrics, JSON at
+// /metrics.json (or anywhere with Accept: application/json). Mounted by
+// fremontd's -metrics-addr listener.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		wantJSON := strings.HasSuffix(req.URL.Path, ".json") ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			data, err := MarshalSnapshot(snap)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	})
+}

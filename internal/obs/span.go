@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed traced operation — a module run, a recovery, a
+// replication pull. Times may be virtual (the manager runs under the
+// simulated clock); the tracer does not interpret them.
+type Span struct {
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	End   time.Time         `json:"end"`
+	Err   string            `json:"err,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's elapsed time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// spanRingSize bounds the kept history: enough for several full manager
+// batches without growing a long-running server.
+const spanRingSize = 128
+
+// Tracer keeps a fixed ring of recent spans. The zero value is ready to
+// use; every Registry embeds one.
+type Tracer struct {
+	mu   sync.Mutex
+	ring [spanRingSize]Span
+	n    int // total spans ever recorded
+}
+
+// Record appends a completed span, evicting the oldest past capacity.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	t.ring[t.n%spanRingSize] = s
+	t.n++
+	t.mu.Unlock()
+}
+
+// Recent returns the kept spans, oldest first.
+func (t *Tracer) Recent() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.n
+	if n > spanRingSize {
+		n = spanRingSize
+	}
+	out := make([]Span, 0, n)
+	for i := t.n - n; i < t.n; i++ {
+		out = append(out, t.ring[i%spanRingSize])
+	}
+	return out
+}
+
+// RecordSpan records a completed span in the registry's tracer. Use it
+// when the caller owns the clock (the manager's virtual time); use
+// StartSpan for wall-clock operations.
+func (r *Registry) RecordSpan(s Span) { r.tracer.Record(s) }
+
+// ActiveSpan is an in-flight wall-clock span; call End exactly once.
+type ActiveSpan struct {
+	r    *Registry
+	span Span
+}
+
+// StartSpan begins a wall-clock span.
+func (r *Registry) StartSpan(name string) *ActiveSpan {
+	return &ActiveSpan{r: r, span: Span{Name: name, Start: time.Now()}}
+}
+
+// SetAttr attaches a key/value to the span.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s.span.Attrs == nil {
+		s.span.Attrs = map[string]string{}
+	}
+	s.span.Attrs[k] = v
+}
+
+// End completes and records the span; err (may be nil) is kept as text.
+func (s *ActiveSpan) End(err error) {
+	s.span.End = time.Now()
+	if err != nil {
+		s.span.Err = err.Error()
+	}
+	s.r.tracer.Record(s.span)
+}
+
+// sortedAttrKeys is shared by the text renderer.
+func sortedAttrKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

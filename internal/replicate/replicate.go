@@ -12,10 +12,12 @@ package replicate
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/obs"
 )
 
 // Report summarizes one replication pull.
@@ -43,12 +45,26 @@ type flusher interface{ Flush() error }
 // wire protocol — one round trip per batch instead of one per observation —
 // and Pull flushes the tail before returning.
 func Pull(dst, src journal.Sink, since time.Time) (Report, error) {
+	reg := obs.Default()
+	reg.Counter("replicate_pulls_total").Inc()
+	span := reg.StartSpan("replicate:pull")
 	rep, err := pull(dst, src, since)
 	if f, ok := dst.(flusher); ok {
 		if ferr := f.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}
+	records := reg.CounterVec("replicate_records_total", "kind")
+	records.With("interface").Add(int64(rep.Interfaces))
+	records.With("gateway").Add(int64(rep.Gateways))
+	records.With("subnet").Add(int64(rep.Subnets))
+	if err != nil {
+		reg.Counter("replicate_errors_total").Inc()
+	}
+	span.SetAttr("interfaces", strconv.Itoa(rep.Interfaces))
+	span.SetAttr("gateways", strconv.Itoa(rep.Gateways))
+	span.SetAttr("subnets", strconv.Itoa(rep.Subnets))
+	span.End(err)
 	return rep, err
 }
 

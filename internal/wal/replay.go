@@ -49,6 +49,7 @@ func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) (int, error) {
 			}
 			total++
 			l.replayed.Add(1)
+			l.mReplayed.Inc()
 		}
 	}
 	return total, nil

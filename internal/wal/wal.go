@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fremont/internal/obs"
 )
 
 // SyncPolicy selects when appends are fsynced to stable storage.
@@ -77,6 +79,15 @@ type Options struct {
 	// Interval is the background fsync period under SyncInterval
 	// (default 100ms).
 	Interval time.Duration
+	// Obs receives the log's metrics (wal_appends_total, wal_fsyncs_total,
+	// wal_rotations_total, the wal_fsync_seconds histogram, the
+	// wal_live_segments gauge). Nil uses the process-wide obs.Default();
+	// fremontd passes its server's registry so one scrape covers both
+	// layers. Appends are deliberately counted but not timed — the
+	// append fast path under SyncNever is a few hundred nanoseconds and
+	// a clock read would be measurable; fsyncs are microseconds at best,
+	// so their latency histogram is free by comparison.
+	Obs *obs.Registry
 }
 
 // DefaultSegmentSize is the rotation threshold when Options.SegmentSize
@@ -122,10 +133,21 @@ type Log struct {
 	buf      []byte   // frame scratch buffer
 	closed   bool
 
+	// Per-log counters behind Stats(). The registry instruments below
+	// mirror them (aggregated across logs when several share a registry).
 	appends  atomic.Int64
 	bytes    atomic.Int64
 	fsyncs   atomic.Int64
 	replayed atomic.Int64
+
+	// Cached registry instruments; never nil after Open.
+	mAppends   *obs.Counter
+	mBytes     *obs.Counter
+	mFsyncs    *obs.Counter
+	mRotations *obs.Counter
+	mReplayed  *obs.Counter
+	mFsyncLat  *obs.Histogram
+	mSegments  *obs.Gauge
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -146,7 +168,21 @@ func Open(opt Options) (*Log, error) {
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{opt: opt, quit: make(chan struct{})}
+	reg := opt.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	l := &Log{
+		opt:        opt,
+		quit:       make(chan struct{}),
+		mAppends:   reg.Counter("wal_appends_total"),
+		mBytes:     reg.Counter("wal_append_bytes_total"),
+		mFsyncs:    reg.Counter("wal_fsyncs_total"),
+		mRotations: reg.Counter("wal_rotations_total"),
+		mReplayed:  reg.Counter("wal_replayed_total"),
+		mFsyncLat:  reg.Histogram("wal_fsync_seconds", nil),
+		mSegments:  reg.Gauge("wal_live_segments"),
+	}
 
 	seqs, err := listSegments(opt.Dir)
 	if err != nil {
@@ -293,6 +329,8 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.dirty = true
 	l.appends.Add(1)
 	l.bytes.Add(int64(len(l.buf)))
+	l.mAppends.Inc()
+	l.mBytes.Add(int64(len(l.buf)))
 	if l.opt.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
 			return 0, err
@@ -315,11 +353,14 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.mFsyncLat.ObserveSince(start)
 	l.dirty = false
 	l.fsyncs.Add(1)
+	l.mFsyncs.Inc()
 	return nil
 }
 
@@ -348,6 +389,7 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Close(); err != nil {
 		return err
 	}
+	l.mRotations.Inc()
 	return l.createSegmentLocked(l.seq + 1)
 }
 
@@ -368,6 +410,7 @@ func (l *Log) createSegmentLocked(seq uint64) error {
 			return err
 		}
 		l.fsyncs.Add(1)
+		l.mFsyncs.Inc()
 		if err := SyncDir(l.opt.Dir); err != nil {
 			f.Close()
 			return err
@@ -375,6 +418,7 @@ func (l *Log) createSegmentLocked(seq uint64) error {
 	}
 	l.f, l.seq, l.size, l.dirty = f, seq, segHeaderSize, false
 	l.segments = append(l.segments, seq)
+	l.mSegments.Set(int64(len(l.segments)))
 	return nil
 }
 
@@ -407,6 +451,7 @@ func (l *Log) Compact(boundary uint64) (int, error) {
 		keep = append(keep, seq)
 	}
 	l.segments = keep
+	l.mSegments.Set(int64(len(l.segments)))
 	if removed > 0 && l.opt.Policy != SyncNever {
 		if err := SyncDir(l.opt.Dir); err != nil && firstErr == nil {
 			firstErr = err
@@ -436,6 +481,7 @@ func (l *Log) Close() error {
 			err = serr
 		} else {
 			l.fsyncs.Add(1)
+			l.mFsyncs.Inc()
 		}
 		l.dirty = false
 	}
