@@ -21,6 +21,7 @@ import (
 func main() {
 	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
 	staleAfter := flag.Duration("stale-after", 7*24*time.Hour, "flag addresses unverified for this long")
+	page := flag.Int("page", 0, "records fetched per round trip (0 = server default)")
 	flag.Parse()
 
 	c, err := jclient.Dial(*journalAddr)
@@ -28,6 +29,7 @@ func main() {
 		log.Fatalf("fremont-analyze: %v", err)
 	}
 	defer c.Close()
+	c.PageSize = *page
 
 	problems, err := analysis.Run(c, analysis.Config{Now: time.Now(), StaleAfter: *staleAfter})
 	if err != nil {

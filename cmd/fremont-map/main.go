@@ -19,6 +19,7 @@ import (
 func main() {
 	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
 	format := flag.String("format", "ascii", "output format: ascii, dot, or snm")
+	page := flag.Int("page", 0, "records fetched per round trip (0 = server default)")
 	flag.Parse()
 
 	c, err := jclient.Dial(*journalAddr)
@@ -26,6 +27,7 @@ func main() {
 		log.Fatalf("fremont-map: %v", err)
 	}
 	defer c.Close()
+	c.PageSize = *page
 
 	topo, err := present.ExtractTopology(c)
 	if err != nil {

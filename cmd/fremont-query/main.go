@@ -35,6 +35,7 @@ func main() {
 	network := flag.String("network", "", "network for level 1 (e.g. 128.138.0.0/16)")
 	subnet := flag.String("subnet", "", "subnet for level 2 (e.g. 128.138.238.0/24)")
 	ipStr := flag.String("ip", "", "interface address for level 3")
+	page := flag.Int("page", 0, "records fetched per round trip (0 = server default)")
 	flag.Parse()
 
 	c, err := jclient.Dial(*journalAddr)
@@ -42,6 +43,7 @@ func main() {
 		log.Fatalf("fremont-query: %v", err)
 	}
 	defer c.Close()
+	c.PageSize = *page
 
 	now := time.Now()
 	switch {

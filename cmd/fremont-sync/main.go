@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	fremont-sync -from siteA:4741 -to siteB:4741 [-since 24h] [-both]
+//	fremont-sync -from siteA:4741 -to siteB:4741 [-cursor-file sync.cur] [-both]
+//
+// With -cursor-file, each run persists the replication cursors it reached
+// and the next run resumes from them, transferring only what the source
+// mutated in between — a re-run against an unchanged source transfers
+// nothing. Without it, every run replays the full journal (still
+// convergent: the destination's merge logic is idempotent).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"time"
 
 	"fremont/internal/jclient"
 	"fremont/internal/replicate"
@@ -21,13 +26,20 @@ import (
 func main() {
 	from := flag.String("from", "", "source Journal Server address")
 	to := flag.String("to", "", "destination Journal Server address")
-	since := flag.Duration("since", 0, "only records modified within this window (0 = everything)")
+	cursorFile := flag.String("cursor-file", "", "persist replication cursors here and resume from them (empty = full replay every run)")
 	both := flag.Bool("both", false, "bidirectional exchange")
 	flag.Parse()
 
 	if *from == "" || *to == "" {
 		flag.Usage()
 		log.Fatal("fremont-sync: -from and -to are required")
+	}
+	var cursors replicate.CursorFile
+	if *cursorFile != "" {
+		var err error
+		if cursors, err = replicate.LoadCursors(*cursorFile); err != nil {
+			log.Fatalf("fremont-sync: %v", err)
+		}
 	}
 	srcPool, err := jclient.DialPool(*from, 2)
 	if err != nil {
@@ -47,12 +59,12 @@ func main() {
 	src := srcPool.Buffered(0)
 	dst := dstPool.Buffered(0)
 
-	var cutoff time.Time
-	if *since > 0 {
-		cutoff = time.Now().Add(-*since)
-	}
 	if *both {
-		ab, ba, err := replicate.Exchange(src, dst, cutoff)
+		ab, ba, nextFwd, nextRev, err := replicate.Exchange(src, dst, cursors.Forward, cursors.Reverse)
+		// Even a failed exchange advanced the cursors over whatever was
+		// replayed; persist them so a retry resumes rather than restarts.
+		cursors.Forward, cursors.Reverse = nextFwd, nextRev
+		saveCursors(*cursorFile, cursors)
 		if err != nil {
 			log.Fatalf("fremont-sync: %v", err)
 		}
@@ -60,9 +72,20 @@ func main() {
 		fmt.Printf("%s -> %s: %s\n", *to, *from, ba)
 		return
 	}
-	rep, err := replicate.Pull(dst, src, cutoff)
+	rep, next, err := replicate.Pull(dst, src, cursors.Forward)
+	cursors.Forward = next
+	saveCursors(*cursorFile, cursors)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}
 	fmt.Println(rep)
+}
+
+func saveCursors(path string, cf replicate.CursorFile) {
+	if path == "" {
+		return
+	}
+	if err := replicate.SaveCursors(path, cf); err != nil {
+		log.Printf("fremont-sync: saving cursors: %v", err)
+	}
 }

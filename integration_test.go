@@ -16,6 +16,7 @@ import (
 	"fremont/internal/core"
 	"fremont/internal/explorer"
 	"fremont/internal/jclient"
+	"fremont/internal/journal"
 	"fremont/internal/jserver"
 	"fremont/internal/netsim/campus"
 	"fremont/internal/netsim/pkt"
@@ -161,7 +162,7 @@ func TestTwoSitesExchangeJournals(t *testing.T) {
 	if na == 0 || nb == 0 {
 		t.Fatal("sites discovered nothing")
 	}
-	if _, _, err := replicate.Exchange(a.Sink, b.Sink, time.Time{}); err != nil {
+	if _, _, _, _, err := replicate.Exchange(journal.Local{J: a.J}, journal.Local{J: b.J}, replicate.Cursor{}, replicate.Cursor{}); err != nil {
 		t.Fatal(err)
 	}
 	// Same campus addressing (both simulate 128.138.238.0/24), so records

@@ -71,12 +71,21 @@ func (c *Config) defaults() {
 // address.
 func Run(sink journal.Sink, cfg Config) ([]Problem, error) {
 	cfg.defaults()
-	recs, err := sink.Interfaces(journal.Query{})
-	if err != nil {
+	// The analyses need the full record set (they compare records against
+	// each other), but it arrives one page at a time rather than as a
+	// single full-journal response.
+	var recs []*journal.InterfaceRec
+	if err := journal.EachInterface(sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	subnets, err := sink.Subnets()
-	if err != nil {
+	var subnets []*journal.SubnetRec
+	if err := journal.EachSubnet(sink, func(sn *journal.SubnetRec) error {
+		subnets = append(subnets, sn)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	var out []Problem

@@ -35,12 +35,14 @@ func (r Report) String() string {
 // Run performs one cross-correlation pass over the Journal.
 func Run(sink journal.Sink, now time.Time) (Report, error) {
 	var rep Report
-	recs, err := sink.Interfaces(journal.Query{})
-	if err != nil {
-		return rep, err
-	}
-	subnets, err := sink.Subnets()
-	if err != nil {
+	// Correlation is inherently cross-record (a gateway IS two records
+	// agreeing), so the pass keeps its index maps in memory — but it reads
+	// the journal one page at a time, building the indexes incrementally.
+	var subnets []*journal.SubnetRec
+	if err := journal.EachSubnet(sink, func(sn *journal.SubnetRec) error {
+		subnets = append(subnets, sn)
+		return nil
+	}); err != nil {
 		return rep, err
 	}
 
@@ -63,10 +65,24 @@ func Run(sink journal.Sink, now time.Time) (Report, error) {
 	// subnet is proxy ARP or a reconfiguration — the analysis programs
 	// flag it; it is NOT gateway evidence.)
 	byMAC := map[pkt.MAC][]*journal.InterfaceRec{}
-	for _, rec := range recs {
+	// Same DNS name evidence and the gateway-attachment pass below need
+	// their own views of the interface set; one streamed pass fills all
+	// three indexes.
+	byName := map[string][]*journal.InterfaceRec{}
+	byID := map[journal.ID]*journal.InterfaceRec{}
+	if err := journal.EachInterface(sink, journal.Query{}, func(rec *journal.InterfaceRec) error {
 		if !rec.MAC.IsZero() {
 			byMAC[rec.MAC] = append(byMAC[rec.MAC], rec)
 		}
+		for _, name := range append([]string{rec.Name}, rec.Aliases...) {
+			if name != "" {
+				byName[name] = append(byName[name], rec)
+			}
+		}
+		byID[rec.ID] = rec
+		return nil
+	}); err != nil {
+		return rep, err
 	}
 	macs := make([]pkt.MAC, 0, len(byMAC))
 	for mac := range byMAC {
@@ -105,14 +121,6 @@ func Run(sink journal.Sink, now time.Time) (Report, error) {
 	// Same DNS name (or alias) on addresses in different subnets — the
 	// name evidence may have come from the DNS module while the addresses
 	// came from ping sweeps on different wires.
-	byName := map[string][]*journal.InterfaceRec{}
-	for _, rec := range recs {
-		for _, name := range append([]string{rec.Name}, rec.Aliases...) {
-			if name != "" {
-				byName[name] = append(byName[name], rec)
-			}
-		}
-	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {
 		names = append(names, n)
@@ -148,21 +156,17 @@ func Run(sink journal.Sink, now time.Time) (Report, error) {
 
 	// Attach gateways to the subnets their member interfaces live on (the
 	// interface may have been discovered after the gateway record).
-	gws, err := sink.Gateways()
-	if err != nil {
-		return rep, err
-	}
-	for _, gw := range gws {
+	// Gateway pages stream too; members resolve through the byID index
+	// rather than rescanning the interface list per member.
+	if err := journal.EachGateway(sink, func(gw *journal.GatewayRec) error {
 		var missing []pkt.Subnet
 		var memberIPs []pkt.IP
 		for _, ifID := range gw.Ifaces {
-			for _, rec := range recs {
-				if rec.ID == ifID {
-					memberIPs = append(memberIPs, rec.IP)
-					sn := subnetOf(rec)
-					if !subnetIn(gw.Subnets, sn) {
-						missing = append(missing, sn)
-					}
+			if rec, ok := byID[ifID]; ok {
+				memberIPs = append(memberIPs, rec.IP)
+				sn := subnetOf(rec)
+				if !subnetIn(gw.Subnets, sn) {
+					missing = append(missing, sn)
 				}
 			}
 		}
@@ -172,10 +176,13 @@ func Run(sink journal.Sink, now time.Time) (Report, error) {
 				IfaceIPs: memberIPs[:1], Subnets: missing,
 				Source: journal.SrcCorrelation, At: now,
 			}); err != nil {
-				return rep, err
+				return err
 			}
 			rep.SubnetLinks += len(missing)
 		}
+		return nil
+	}); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

@@ -70,17 +70,16 @@ func Table6(seed int64) (Table6Result, error) {
 	// the paper attributes the 48 to the DNS module. The merged journal
 	// records also carry traceroute's links, which would inflate the
 	// number.
+	ifByID := map[journal.ID]*journal.InterfaceRec{}
+	if err := journal.EachInterface(sys.Sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+		ifByID[r.ID] = r
+		return nil
+	}); err != nil {
+		return res, err
+	}
 	gws, err := sys.Sink.Gateways()
 	if err != nil {
 		return res, err
-	}
-	ifs, err := sys.Sink.Interfaces(journal.Query{})
-	if err != nil {
-		return res, err
-	}
-	ifByID := map[journal.ID]*journal.InterfaceRec{}
-	for _, r := range ifs {
-		ifByID[r.ID] = r
 	}
 	dnsGWSubnets := map[pkt.IP]bool{}
 	for _, gw := range gws {
@@ -185,11 +184,8 @@ func fullDiscovery(seed int64) (Table7Result, *core.System, error) {
 		return res, nil, err
 	}
 
-	ifs, err := sys.Sink.Interfaces(journal.Query{})
-	if err != nil {
-		return res, nil, err
-	}
-	for _, r := range ifs {
+	// Tallies stream; nothing here needs the whole record set at once.
+	if err := journal.EachInterface(sys.Sink, journal.Query{}, func(r *journal.InterfaceRec) error {
 		res.IfacesWithIP++
 		if !r.MAC.IsZero() {
 			res.IfacesWithMAC++
@@ -203,26 +199,27 @@ func fullDiscovery(seed int64) (Table7Result, *core.System, error) {
 		if r.Gateway != 0 {
 			res.IfacesWithGw++
 		}
-	}
-	gws, err := sys.Sink.Gateways()
-	if err != nil {
+		return nil
+	}); err != nil {
 		return res, nil, err
 	}
-	res.Gateways = len(gws)
-	for _, gw := range gws {
+	if err := journal.EachGateway(sys.Sink, func(gw *journal.GatewayRec) error {
+		res.Gateways++
 		if len(gw.Subnets) > 0 {
 			res.GatewaysLinked++
 		}
-	}
-	sns, err := sys.Sink.Subnets()
-	if err != nil {
+		return nil
+	}); err != nil {
 		return res, nil, err
 	}
-	res.Subnets = len(sns)
-	for _, sn := range sns {
+	if err := journal.EachSubnet(sys.Sink, func(sn *journal.SubnetRec) error {
+		res.Subnets++
 		if len(sn.Gateways) > 0 {
 			res.SubnetsLinked++
 		}
+		return nil
+	}); err != nil {
+		return res, nil, err
 	}
 	return res, sys, nil
 }

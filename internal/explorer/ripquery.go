@@ -47,14 +47,14 @@ func (m RIPQuery) Run(ctx *Context) (*Report, error) {
 	targets := ctx.Params.Addresses
 	if len(targets) == 0 {
 		// Every interface the Journal believes belongs to a gateway.
-		recs, err := ctx.Journal.Interfaces(journal.Query{})
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range recs {
+		err := journal.EachInterface(ctx.Journal, journal.Query{}, func(r *journal.InterfaceRec) error {
 			if r.Gateway != 0 || r.RIPSource {
 				targets = append(targets, r.IP)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	if len(targets) == 0 {

@@ -36,14 +36,14 @@ func (m SubnetMasks) Run(ctx *Context) (*Report, error) {
 	rep := &Report{Module: m.Info().Name, Started: st.Now()}
 	targets := ctx.Params.Addresses
 	if len(targets) == 0 {
-		recs, err := ctx.Journal.Interfaces(journal.Query{})
-		if err != nil {
-			return nil, err
-		}
-		for _, rec := range recs {
+		err := journal.EachInterface(ctx.Journal, journal.Query{}, func(rec *journal.InterfaceRec) error {
 			if rec.Mask == 0 {
 				targets = append(targets, rec.IP)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	interval := rate(0.5, ctx.Params.RateLimit) // paper: 0.5 pkts/sec

@@ -89,16 +89,16 @@ func (m Tracerouter) Run(ctx *Context) (*Report, error) {
 	targets := ctx.Params.Subnets
 	maskFor := m.maskTable(ctx)
 	if len(targets) == 0 {
-		subnets, err := ctx.Journal.Subnets()
-		if err != nil {
-			return nil, err
-		}
-		for _, sn := range subnets {
+		err := journal.EachSubnet(ctx.Journal, func(sn *journal.SubnetRec) error {
 			s := sn.Subnet
 			if s.Mask == 0 {
 				s.Mask = maskFor(s.Addr)
 			}
 			targets = append(targets, s)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -224,13 +224,12 @@ func (m Tracerouter) Run(ctx *Context) (*Report, error) {
 // a /24 fallback (the campus convention).
 func (Tracerouter) maskTable(ctx *Context) func(pkt.IP) pkt.Mask {
 	known := map[pkt.IP]pkt.Mask{}
-	if subnets, err := ctx.Journal.Subnets(); err == nil {
-		for _, sn := range subnets {
-			if sn.Subnet.Mask != 0 {
-				known[sn.Subnet.Addr] = sn.Subnet.Mask
-			}
+	_ = journal.EachSubnet(ctx.Journal, func(sn *journal.SubnetRec) error {
+		if sn.Subnet.Mask != 0 {
+			known[sn.Subnet.Addr] = sn.Subnet.Mask
 		}
-	}
+		return nil
+	})
 	return func(addr pkt.IP) pkt.Mask {
 		if m, ok := known[pkt.SubnetOf(addr, pkt.MaskBits(24)).Addr]; ok {
 			return m

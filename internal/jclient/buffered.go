@@ -11,11 +11,13 @@ import (
 const DefaultAutoFlush = 64
 
 // Conn is the operation surface shared by a single Client and a Pool:
-// the journal.Sink methods plus batch execution and a health check.
-// Buffered batches over either — a Pool-backed Buffered flushes each
-// batch on whichever pooled connection is free.
+// the journal.Sink methods, cursor-paged reads, batch execution, and a
+// health check. Buffered batches over either — a Pool-backed Buffered
+// flushes each batch on whichever pooled connection is free.
 type Conn interface {
 	journal.Sink
+	journal.Scanner
+	journal.Changer
 	StoreBatch(b *Batch) ([]BatchResult, error)
 	Ping() error
 }
@@ -43,7 +45,11 @@ type Buffered struct {
 	max   int
 }
 
-var _ journal.Sink = (*Buffered)(nil)
+var (
+	_ journal.Sink    = (*Buffered)(nil)
+	_ journal.Scanner = (*Buffered)(nil)
+	_ journal.Changer = (*Buffered)(nil)
+)
 
 // NewBuffered returns an auto-flushing batching sink over conn, flushing
 // every max operations (DefaultAutoFlush if max <= 0, capped at
@@ -164,4 +170,56 @@ func (b *Buffered) Subnets() ([]*journal.SubnetRec, error) {
 		return nil, err
 	}
 	return b.c.Subnets()
+}
+
+// ScanInterfaces implements journal.Scanner, flushing pending stores
+// first so the page reflects every store issued before it.
+func (b *Buffered) ScanInterfaces(cursor journal.ID, limit int, q journal.Query) ([]*journal.InterfaceRec, journal.ID, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.ScanInterfaces(cursor, limit, q)
+}
+
+// ScanGateways implements journal.Scanner, flushing pending stores first.
+func (b *Buffered) ScanGateways(cursor journal.ID, limit int) ([]*journal.GatewayRec, journal.ID, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.ScanGateways(cursor, limit)
+}
+
+// ScanSubnets implements journal.Scanner, flushing pending stores first.
+func (b *Buffered) ScanSubnets(cursor journal.ID, limit int) ([]*journal.SubnetRec, journal.ID, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.ScanSubnets(cursor, limit)
+}
+
+// InterfaceChanges implements journal.Changer, flushing pending stores
+// first.
+func (b *Buffered) InterfaceChanges(after uint64, limit int) ([]*journal.InterfaceRec, uint64, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.InterfaceChanges(after, limit)
+}
+
+// GatewayChanges implements journal.Changer, flushing pending stores
+// first.
+func (b *Buffered) GatewayChanges(after uint64, limit int) ([]*journal.GatewayRec, uint64, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.GatewayChanges(after, limit)
+}
+
+// SubnetChanges implements journal.Changer, flushing pending stores
+// first.
+func (b *Buffered) SubnetChanges(after uint64, limit int) ([]*journal.SubnetRec, uint64, bool, error) {
+	if err := b.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	return b.c.SubnetChanges(after, limit)
 }

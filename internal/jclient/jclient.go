@@ -7,6 +7,7 @@ package jclient
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,9 +21,19 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+
+	// PageSize is the page limit used by the cursor-scan methods and the
+	// full-query Sink methods routed through them; 0 means the server's
+	// default (journal.DefaultScanLimit). Set it before sharing the
+	// client across goroutines.
+	PageSize int
 }
 
-var _ journal.Sink = (*Client)(nil)
+var (
+	_ journal.Sink    = (*Client)(nil)
+	_ journal.Scanner = (*Client)(nil)
+	_ journal.Changer = (*Client)(nil)
+)
 
 // Dial connects to a Journal Server.
 func Dial(addr string) (*Client, error) {
@@ -120,53 +131,77 @@ func (c *Client) StoreSubnet(obs journal.SubnetObs) (journal.ID, error) {
 	return id, r.Err
 }
 
-// Interfaces implements journal.Sink.
+// Interfaces implements journal.Sink. Indexed queries (by ID, IP, MAC,
+// name, or range) take the server's indexed Get path in one round trip;
+// unindexed queries — including time filters — are routed through the
+// cursor-paged scan, so no request ships the whole journal in one frame.
 func (c *Client) Interfaces(q journal.Query) ([]*journal.InterfaceRec, error) {
-	var w jwire.Writer
-	w.U8(jwire.OpGetInterfaces)
-	jwire.PutQuery(&w, q)
-	r, err := c.roundTrip(w.B)
-	if err != nil {
-		return nil, err
+	if q.Indexed() {
+		var w jwire.Writer
+		w.U8(jwire.OpGetInterfaces)
+		jwire.PutQuery(&w, q)
+		r, err := c.roundTrip(w.B)
+		if err != nil {
+			return nil, err
+		}
+		n := int(r.U32())
+		out := make([]*journal.InterfaceRec, 0, n)
+		for i := 0; i < n && r.Err == nil; i++ {
+			out = append(out, jwire.GetInterfaceRec(r))
+		}
+		return out, r.Err
 	}
-	n := int(r.U32())
-	out := make([]*journal.InterfaceRec, 0, n)
-	for i := 0; i < n && r.Err == nil; i++ {
-		out = append(out, jwire.GetInterfaceRec(r))
+	var out []*journal.InterfaceRec
+	var cursor journal.ID
+	for {
+		page, next, more, err := c.ScanInterfaces(cursor, c.PageSize, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		if !more {
+			return out, nil
+		}
+		cursor = next
 	}
-	return out, r.Err
 }
 
-// Gateways implements journal.Sink.
+// Gateways implements journal.Sink, paging via the cursor scan (ascending
+// ID order, matching the legacy Get response).
 func (c *Client) Gateways() ([]*journal.GatewayRec, error) {
-	var w jwire.Writer
-	w.U8(jwire.OpGetGateways)
-	r, err := c.roundTrip(w.B)
-	if err != nil {
-		return nil, err
+	var out []*journal.GatewayRec
+	var cursor journal.ID
+	for {
+		page, next, more, err := c.ScanGateways(cursor, c.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		if !more {
+			return out, nil
+		}
+		cursor = next
 	}
-	n := int(r.U32())
-	out := make([]*journal.GatewayRec, 0, n)
-	for i := 0; i < n && r.Err == nil; i++ {
-		out = append(out, jwire.GetGatewayRec(r))
-	}
-	return out, r.Err
 }
 
-// Subnets implements journal.Sink.
+// Subnets implements journal.Sink, paging via the cursor scan. Pages
+// arrive in record-ID order; the result is re-sorted by subnet address to
+// preserve the ordering the legacy Get response guaranteed.
 func (c *Client) Subnets() ([]*journal.SubnetRec, error) {
-	var w jwire.Writer
-	w.U8(jwire.OpGetSubnets)
-	r, err := c.roundTrip(w.B)
-	if err != nil {
-		return nil, err
+	var out []*journal.SubnetRec
+	var cursor journal.ID
+	for {
+		page, next, more, err := c.ScanSubnets(cursor, c.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page...)
+		if !more {
+			sort.Slice(out, func(a, b int) bool { return out[a].Subnet.Addr < out[b].Subnet.Addr })
+			return out, nil
+		}
+		cursor = next
 	}
-	n := int(r.U32())
-	out := make([]*journal.SubnetRec, 0, n)
-	for i := 0; i < n && r.Err == nil; i++ {
-		out = append(out, jwire.GetSubnetRec(r))
-	}
-	return out, r.Err
 }
 
 // Delete implements journal.Sink.

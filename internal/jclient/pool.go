@@ -32,7 +32,11 @@ type Pool struct {
 	discards *obs.Counter
 }
 
-var _ journal.Sink = (*Pool)(nil)
+var (
+	_ journal.Sink    = (*Pool)(nil)
+	_ journal.Scanner = (*Pool)(nil)
+	_ journal.Changer = (*Pool)(nil)
+)
 
 // DialPool creates a pool of up to size connections to addr, dialing one
 // eagerly so an unreachable server fails fast. Pool metrics record into
@@ -215,6 +219,68 @@ func (p *Pool) Delete(kind journal.RecordKind, id journal.ID) (ok bool, err erro
 		return e
 	})
 	return ok, err
+}
+
+// ScanInterfaces fetches one page on a pooled connection, implementing
+// journal.Scanner. Cursors carry no server-side state, so consecutive
+// pages may ride different connections.
+func (p *Pool) ScanInterfaces(cursor journal.ID, limit int, q journal.Query) (recs []*journal.InterfaceRec, next journal.ID, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.ScanInterfaces(cursor, limit, q)
+		return e
+	})
+	return recs, next, more, err
+}
+
+// ScanGateways implements journal.Scanner on a pooled connection.
+func (p *Pool) ScanGateways(cursor journal.ID, limit int) (recs []*journal.GatewayRec, next journal.ID, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.ScanGateways(cursor, limit)
+		return e
+	})
+	return recs, next, more, err
+}
+
+// ScanSubnets implements journal.Scanner on a pooled connection.
+func (p *Pool) ScanSubnets(cursor journal.ID, limit int) (recs []*journal.SubnetRec, next journal.ID, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.ScanSubnets(cursor, limit)
+		return e
+	})
+	return recs, next, more, err
+}
+
+// InterfaceChanges implements journal.Changer on a pooled connection.
+func (p *Pool) InterfaceChanges(after uint64, limit int) (recs []*journal.InterfaceRec, next uint64, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.InterfaceChanges(after, limit)
+		return e
+	})
+	return recs, next, more, err
+}
+
+// GatewayChanges implements journal.Changer on a pooled connection.
+func (p *Pool) GatewayChanges(after uint64, limit int) (recs []*journal.GatewayRec, next uint64, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.GatewayChanges(after, limit)
+		return e
+	})
+	return recs, next, more, err
+}
+
+// SubnetChanges implements journal.Changer on a pooled connection.
+func (p *Pool) SubnetChanges(after uint64, limit int) (recs []*journal.SubnetRec, next uint64, more bool, err error) {
+	err = p.do(func(c *Client) error {
+		var e error
+		recs, next, more, e = c.SubnetChanges(after, limit)
+		return e
+	})
+	return recs, next, more, err
 }
 
 // StoreBatch executes a batch on one pooled connection.

@@ -1,0 +1,209 @@
+// Cursor-paged reads over the wire: the client-side half of OpScan and
+// OpChanges, plus a generic iterator that walks any journal.Scanner one
+// page at a time — bounded memory on both ends of the connection no
+// matter how large the journal grows.
+package jclient
+
+import (
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// ScanInterfaces fetches one page of interface records with ID > cursor
+// matching q (OpScan). It implements journal.Scanner: the page arrives in
+// ascending ID order with the cursor for the next page and whether more
+// records may remain. limit <= 0 asks for the server default.
+func (c *Client) ScanInterfaces(cursor journal.ID, limit int, q journal.Query) ([]*journal.InterfaceRec, journal.ID, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpScan)
+	jwire.PutScanReq(&w, jwire.ScanReq{Kind: journal.KindInterface, Cursor: cursor, Limit: limit, Filter: q})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.InterfaceRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetInterfaceRec(r))
+	}
+	next := r.ID()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// ScanGateways fetches one page of gateway records: see ScanInterfaces.
+func (c *Client) ScanGateways(cursor journal.ID, limit int) ([]*journal.GatewayRec, journal.ID, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpScan)
+	jwire.PutScanReq(&w, jwire.ScanReq{Kind: journal.KindGateway, Cursor: cursor, Limit: limit})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.GatewayRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetGatewayRec(r))
+	}
+	next := r.ID()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// ScanSubnets fetches one page of subnet records: see ScanInterfaces.
+func (c *Client) ScanSubnets(cursor journal.ID, limit int) ([]*journal.SubnetRec, journal.ID, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpScan)
+	jwire.PutScanReq(&w, jwire.ScanReq{Kind: journal.KindSubnet, Cursor: cursor, Limit: limit})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.SubnetRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetSubnetRec(r))
+	}
+	next := r.ID()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// InterfaceChanges fetches interface records mutated after modification
+// sequence number `after` (OpChanges), oldest change first. It implements
+// journal.Changer; an unchanged journal answers with an empty page.
+func (c *Client) InterfaceChanges(after uint64, limit int) ([]*journal.InterfaceRec, uint64, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpChanges)
+	jwire.PutChangesReq(&w, jwire.ChangesReq{Kind: journal.KindInterface, After: after, Limit: limit})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.InterfaceRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetInterfaceRec(r))
+	}
+	next := r.U64()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// GatewayChanges: see InterfaceChanges.
+func (c *Client) GatewayChanges(after uint64, limit int) ([]*journal.GatewayRec, uint64, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpChanges)
+	jwire.PutChangesReq(&w, jwire.ChangesReq{Kind: journal.KindGateway, After: after, Limit: limit})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.GatewayRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetGatewayRec(r))
+	}
+	next := r.U64()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// SubnetChanges: see InterfaceChanges.
+func (c *Client) SubnetChanges(after uint64, limit int) ([]*journal.SubnetRec, uint64, bool, error) {
+	var w jwire.Writer
+	w.U8(jwire.OpChanges)
+	jwire.PutChangesReq(&w, jwire.ChangesReq{Kind: journal.KindSubnet, After: after, Limit: limit})
+	r, err := c.roundTrip(w.B)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.SubnetRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetSubnetRec(r))
+	}
+	next := r.U64()
+	more := r.Bool()
+	return out, next, more, r.Err
+}
+
+// --- Iterator -------------------------------------------------------------
+
+// Iter walks records one page at a time. Use it like bufio.Scanner:
+//
+//	it := jclient.IterInterfaces(c, journal.Query{}, 0)
+//	for it.Next() {
+//		rec := it.Rec()
+//		...
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Only one page is resident at a time, so memory stays O(page) however
+// large the journal is.
+type Iter[T any] struct {
+	fetch func(cursor journal.ID, limit int) ([]T, journal.ID, bool, error)
+	limit int
+
+	page   []T
+	i      int
+	cursor journal.ID
+	more   bool
+	begun  bool
+	err    error
+}
+
+func newIter[T any](limit int, fetch func(journal.ID, int) ([]T, journal.ID, bool, error)) *Iter[T] {
+	return &Iter[T]{fetch: fetch, limit: limit}
+}
+
+// Next advances to the next record, fetching the next page as needed.
+// It returns false at the end of the scan or on error; check Err.
+func (it *Iter[T]) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for it.i >= len(it.page) {
+		if it.begun && !it.more {
+			return false
+		}
+		page, next, more, err := it.fetch(it.cursor, it.limit)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.begun = true
+		it.page, it.i = page, 0
+		it.cursor, it.more = next, more
+	}
+	it.i++
+	return true
+}
+
+// Rec returns the record Next advanced to.
+func (it *Iter[T]) Rec() T { return it.page[it.i-1] }
+
+// Err returns the first error the iteration hit, if any.
+func (it *Iter[T]) Err() error { return it.err }
+
+// IterInterfaces returns an iterator over s's interface records matching
+// q, in ascending ID order, fetching pageSize records at a time (0 = the
+// scanner's default). Works over any journal.Scanner: a Client, a Pool, a
+// Buffered sink, or an in-process journal.Local.
+func IterInterfaces(s journal.Scanner, q journal.Query, pageSize int) *Iter[*journal.InterfaceRec] {
+	return newIter(pageSize, func(cursor journal.ID, limit int) ([]*journal.InterfaceRec, journal.ID, bool, error) {
+		return s.ScanInterfaces(cursor, limit, q)
+	})
+}
+
+// IterGateways returns an iterator over s's gateway records: see
+// IterInterfaces.
+func IterGateways(s journal.Scanner, pageSize int) *Iter[*journal.GatewayRec] {
+	return newIter(pageSize, s.ScanGateways)
+}
+
+// IterSubnets returns an iterator over s's subnet records in ascending
+// ID order: see IterInterfaces.
+func IterSubnets(s journal.Scanner, pageSize int) *Iter[*journal.SubnetRec] {
+	return newIter(pageSize, s.ScanSubnets)
+}

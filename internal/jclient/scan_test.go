@@ -1,0 +1,118 @@
+package jclient
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+func seedServer(t *testing.T, s interface {
+	Journal() *journal.Journal
+}, n int) {
+	t.Helper()
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+	j := s.Journal()
+	for i := 0; i < n; i++ {
+		j.StoreInterface(journal.IfaceObs{
+			IP:     pkt.IPv4(10, 0, byte(i/250), byte(i%250+1)),
+			Source: journal.SrcICMP,
+			At:     at.Add(time.Duration(i) * time.Second),
+		})
+	}
+}
+
+func TestScanOverTCP(t *testing.T) {
+	s, c := startRealServer(t)
+	seedServer(t, s, 40)
+
+	var got int
+	var cursor journal.ID
+	for {
+		recs, next, more, err := c.ScanInterfaces(cursor, 16, journal.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(recs)
+		if more && len(recs) == 0 && next <= cursor {
+			t.Fatal("empty page without cursor progress")
+		}
+		cursor = next
+		if !more {
+			break
+		}
+	}
+	if got != 40 {
+		t.Fatalf("paged %d records over the wire, want 40", got)
+	}
+}
+
+func TestLegacyQueriesRouteThroughPaging(t *testing.T) {
+	// The legacy full-set Sink methods still answer completely — they just
+	// assemble the result from bounded pages under the covers.
+	s, c := startRealServer(t)
+	seedServer(t, s, 25)
+	c.PageSize = 7 // force multiple round trips
+
+	recs, err := c.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 25 {
+		t.Fatalf("Interfaces returned %d records, want 25", len(recs))
+	}
+
+	// An indexed lookup bypasses paging and still answers.
+	one, err := c.Interfaces(journal.Query{HasIP: true, ByIP: pkt.IPv4(10, 0, 0, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("indexed query returned %d records", len(one))
+	}
+}
+
+func TestIterOverTCP(t *testing.T) {
+	s, c := startRealServer(t)
+	seedServer(t, s, 33)
+
+	it := IterInterfaces(c, journal.Query{}, 10)
+	var n int
+	var last journal.ID
+	for it.Next() {
+		rec := it.Rec()
+		if rec.ID <= last {
+			t.Fatalf("iterator out of order: %d after %d", rec.ID, last)
+		}
+		last = rec.ID
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 33 {
+		t.Fatalf("iterator yielded %d records, want 33", n)
+	}
+}
+
+func TestChangesOverTCP(t *testing.T) {
+	s, c := startRealServer(t)
+	seedServer(t, s, 12)
+
+	recs, next, more, err := c.InterfaceChanges(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 12 || more {
+		t.Fatalf("changes over TCP: %d records, more=%v", len(recs), more)
+	}
+	// Unchanged journal: the cursor answers empty.
+	recs, next2, more, err := c.InterfaceChanges(next, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || more || next2 != next {
+		t.Fatalf("unchanged: %d records, more=%v, cursor %d->%d", len(recs), more, next, next2)
+	}
+}

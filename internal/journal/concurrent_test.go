@@ -59,12 +59,20 @@ func TestConcurrentJournalAccess(t *testing.T) {
 					j.Gateways()
 					j.Subnets()
 				case 8:
-					j.RecentlyModified(KindInterface, 10)
+					j.RecentInterfaces(10)
 					j.NumInterfaces()
 					j.StatsSnapshot()
+					// Cursor-paged reads interleave with the mutations above;
+					// the race detector gates the per-page locking.
+					j.ScanInterfaces(ID(rng.Intn(64)), 8, Query{})
+					j.ScanGateways(0, 4)
+					j.ScanSubnets(0, 4)
 				case 9:
 					j.Interfaces(Query{HasRange: true, IPLo: pkt.IPv4(10, 0, 0, 0), IPHi: pkt.IPv4(10, 0, 4, 0)})
 					j.Export()
+					j.InterfaceChanges(uint64(rng.Intn(100)), 8)
+					j.GatewayChanges(0, 4)
+					j.SubnetChanges(0, 4)
 				}
 			}
 		}(g)

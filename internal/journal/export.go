@@ -5,6 +5,15 @@ package journal
 // sees one consistent point in time — concurrent stores cannot interleave
 // between the three walks.
 func (j *Journal) Export() (ifs []*InterfaceRec, gws []*GatewayRec, sns []*SubnetRec) {
+	ifs, gws, sns, _ = j.ExportSeq()
+	return ifs, gws, sns
+}
+
+// ExportSeq is Export plus the journal's modification sequence counter,
+// captured under the same read lock so the counter covers exactly the
+// exported records. Snapshots persist the counter so a restored journal
+// can advance past it (see AdvanceSeq).
+func (j *Journal) ExportSeq() (ifs []*InterfaceRec, gws []*GatewayRec, sns []*SubnetRec, seq uint64) {
 	j.mu.RLock()
 	defer j.mu.RUnlock()
 	ifs = make([]*InterfaceRec, 0, j.ifList.len())
@@ -22,5 +31,5 @@ func (j *Journal) Export() (ifs []*InterfaceRec, gws []*GatewayRec, sns []*Subne
 		sns = append(sns, owner.(*SubnetRec).clone())
 		return true
 	})
-	return ifs, gws, sns
+	return ifs, gws, sns, j.modSeq
 }

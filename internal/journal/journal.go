@@ -8,6 +8,7 @@ import (
 
 	"fremont/internal/avl"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/obs"
 )
 
 // Journal is the in-memory repository. It is safe for concurrent use: an
@@ -30,10 +31,72 @@ type Journal struct {
 
 	nextIface, nextGw, nextSn ID
 
-	// Stats counts journal activity for the evaluation harness. It is
-	// guarded by the journal's lock: read it via StatsSnapshot when other
-	// goroutines may be storing concurrently.
-	Stats Stats
+	// modSeq is the journal-wide modification sequence number. Every
+	// mutation — including side effects like a gateway merge re-pointing
+	// its member interfaces — increments it and stamps the new value onto
+	// the mutated record, so each modification-ordered list is ascending
+	// in ModSeq and ChangesSince can resume from any cursor without
+	// skipping a change. Independent of the WAL LSN (which counts logged
+	// frames, not per-record mutations).
+	modSeq uint64
+
+	// stats counts journal activity; guarded by the journal's lock. Read
+	// it via StatsSnapshot.
+	stats Stats
+
+	// met optionally mirrors the stats counters into an obs registry;
+	// nil until Instrument is called.
+	met *statsMetrics
+}
+
+// statsMetrics holds obs counters mirroring Stats. The counters are
+// atomic, so bumping them under the journal's write lock adds no ordering
+// hazards.
+type statsMetrics struct {
+	stores, newRecords, merges, conflicts *obs.Counter
+}
+
+// Instrument mirrors the journal's activity counters into reg: every
+// subsequent store bumps journal_stores_total and one of
+// journal_new_records_total / journal_merges_total /
+// journal_conflicts_total alongside the Stats fields.
+func (j *Journal) Instrument(reg *obs.Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.met = &statsMetrics{
+		stores:     reg.Counter("journal_stores_total"),
+		newRecords: reg.Counter("journal_new_records_total"),
+		merges:     reg.Counter("journal_merges_total"),
+		conflicts:  reg.Counter("journal_conflicts_total"),
+	}
+}
+
+func (j *Journal) noteStore() {
+	j.stats.Stores++
+	if j.met != nil {
+		j.met.stores.Inc()
+	}
+}
+
+func (j *Journal) noteNewRecord() {
+	j.stats.NewRecords++
+	if j.met != nil {
+		j.met.newRecords.Inc()
+	}
+}
+
+func (j *Journal) noteMerge() {
+	j.stats.Merges++
+	if j.met != nil {
+		j.met.merges.Inc()
+	}
+}
+
+func (j *Journal) noteConflict() {
+	j.stats.Conflicts++
+	if j.met != nil {
+		j.met.conflicts.Inc()
+	}
 }
 
 // Stats counts store outcomes.
@@ -90,7 +153,51 @@ func (j *Journal) NumSubnets() int    { j.mu.RLock(); defer j.mu.RUnlock(); retu
 
 // StatsSnapshot returns the activity counters under the read lock, safe to
 // call while other goroutines are storing.
-func (j *Journal) StatsSnapshot() Stats { j.mu.RLock(); defer j.mu.RUnlock(); return j.Stats }
+func (j *Journal) StatsSnapshot() Stats { j.mu.RLock(); defer j.mu.RUnlock(); return j.stats }
+
+// CurSeq returns the journal's current modification sequence number: the
+// ModSeq of the most recent mutation, 0 for a journal never written to.
+func (j *Journal) CurSeq() uint64 { j.mu.RLock(); defer j.mu.RUnlock(); return j.modSeq }
+
+// AdvanceSeq raises the modification sequence counter to at least seq.
+// Snapshot restore calls it with the saved journal's counter BEFORE
+// restoring records, so restored records are stamped above any cursor a
+// replication peer obtained from the previous incarnation — a stale cursor
+// then re-transfers (safe, idempotent) rather than silently skipping.
+func (j *Journal) AdvanceSeq(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > j.modSeq {
+		j.modSeq = seq
+	}
+}
+
+// nextSeq allocates the next modification sequence number; callers hold
+// the write lock.
+func (j *Journal) nextSeq() uint64 {
+	j.modSeq++
+	return j.modSeq
+}
+
+// touchIface, touchGateway and touchSubnet stamp a fresh ModSeq on the
+// record and move it to the tail of its modification-ordered list. Every
+// mutation of a live record must go through one of these (or the
+// corresponding pushBack for creation) to keep the lists ascending in
+// ModSeq.
+func (j *Journal) touchIface(rec *InterfaceRec) {
+	rec.ModSeq = j.nextSeq()
+	j.ifList.touch(&rec.list)
+}
+
+func (j *Journal) touchGateway(rec *GatewayRec) {
+	rec.ModSeq = j.nextSeq()
+	j.gwList.touch(&rec.list)
+}
+
+func (j *Journal) touchSubnet(rec *SubnetRec) {
+	rec.ModSeq = j.nextSeq()
+	j.snList.touch(&rec.list)
+}
 
 // --- Interface observations --------------------------------------------
 
@@ -137,7 +244,7 @@ func (j *Journal) StoreInterface(obs IfaceObs) (ID, bool) {
 
 // storeInterface implements StoreInterface; callers hold the write lock.
 func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
-	j.Stats.Stores++
+	j.noteStore()
 	var candidates []ID
 	if ids, ok := j.ifByIP.Get(obs.IP); ok {
 		candidates = ids
@@ -156,7 +263,7 @@ func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 			return 0, false
 		}
 		rec.MaskProbeFails++
-		j.ifList.touch(&rec.list)
+		j.touchIface(rec)
 		return rec.ID, false
 	}
 
@@ -180,7 +287,7 @@ func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 			j.indexMAC(rec)
 		}
 		if rec == nil && len(candidates) > 0 {
-			j.Stats.Conflicts++ // same IP, different hardware: keep both
+			j.noteConflict() // same IP, different hardware: keep both
 		}
 	} else if len(candidates) > 0 {
 		// No MAC in the observation: fold into the most recently verified
@@ -196,7 +303,7 @@ func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 	created := false
 	if rec == nil {
 		created = true
-		j.Stats.NewRecords++
+		j.noteNewRecord()
 		j.nextIface++
 		rec = &InterfaceRec{ID: j.nextIface, IP: obs.IP, Stamp: newStamp(obs.At)}
 		if obs.HasMAC {
@@ -204,16 +311,17 @@ func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 			rec.MACStamp = newStamp(obs.At)
 			j.indexMAC(rec)
 		}
+		rec.ModSeq = j.nextSeq()
 		j.ifRecs[rec.ID] = rec
 		j.indexIP(rec)
 		j.ifList.pushBack(&rec.list, rec)
 	} else {
-		j.Stats.Merges++
+		j.noteMerge()
 	}
 
 	j.mergeIfaceFields(rec, obs)
 	if !created {
-		j.ifList.touch(&rec.list)
+		j.touchIface(rec)
 	}
 	return rec.ID, created
 }
@@ -315,7 +423,7 @@ func (j *Journal) StoreGateway(obs GatewayObs) ID {
 
 // storeGateway implements StoreGateway; callers hold the write lock.
 func (j *Journal) storeGateway(obs GatewayObs) ID {
-	j.Stats.Stores++
+	j.noteStore()
 	var ifaceIDs []ID
 	for _, ip := range obs.IfaceIPs {
 		id, _ := j.storeInterface(IfaceObs{IP: ip, Source: obs.Source, At: obs.At})
@@ -336,17 +444,18 @@ func (j *Journal) storeGateway(obs GatewayObs) ID {
 	if len(touched) == 0 {
 		j.nextGw++
 		gw = &GatewayRec{ID: j.nextGw, Questionable: obs.Questionable, Stamp: newStamp(obs.At)}
+		gw.ModSeq = j.nextSeq()
 		j.gwRecs[gw.ID] = gw
 		j.gwList.pushBack(&gw.list, gw)
-		j.Stats.NewRecords++
+		j.noteNewRecord()
 	} else {
 		sort.Slice(touched, func(a, b int) bool { return touched[a].ID < touched[b].ID })
 		gw = touched[0]
 		for _, other := range touched[1:] {
 			j.absorbGateway(gw, other, obs.At)
 		}
-		j.Stats.Merges++
-		j.gwList.touch(&gw.list)
+		j.noteMerge()
+		j.touchGateway(gw)
 	}
 
 	changed := false
@@ -355,7 +464,7 @@ func (j *Journal) storeGateway(obs GatewayObs) ID {
 		if rec.Gateway != gw.ID {
 			rec.Gateway = gw.ID
 			rec.Stamp.change(obs.At)
-			j.ifList.touch(&rec.list)
+			j.touchIface(rec)
 		}
 		if !containsID(gw.Ifaces, ifID) {
 			gw.Ifaces = append(gw.Ifaces, ifID)
@@ -372,7 +481,7 @@ func (j *Journal) storeGateway(obs GatewayObs) ID {
 		if !containsID(snRec.Gateways, gw.ID) {
 			snRec.Gateways = append(snRec.Gateways, gw.ID)
 			snRec.Stamp.change(obs.At)
-			j.snList.touch(&snRec.list)
+			j.touchSubnet(snRec)
 		}
 	}
 	gw.Sources |= obs.Source
@@ -387,13 +496,19 @@ func (j *Journal) storeGateway(obs GatewayObs) ID {
 	return gw.ID
 }
 
-// absorbGateway merges src into dst and deletes src.
+// absorbGateway merges src into dst and deletes src. Every record mutated
+// as a side effect — re-pointed member interfaces and subnets — is stamped
+// and touched, so an incremental reader resuming from any cursor sees the
+// re-pointing.
 func (j *Journal) absorbGateway(dst, src *GatewayRec, at time.Time) {
 	for _, ifID := range src.Ifaces {
 		if !containsID(dst.Ifaces, ifID) {
 			dst.Ifaces = append(dst.Ifaces, ifID)
 		}
-		j.ifRecs[ifID].Gateway = dst.ID
+		if rec := j.ifRecs[ifID]; rec.Gateway != dst.ID {
+			rec.Gateway = dst.ID
+			j.touchIface(rec)
+		}
 	}
 	for _, sn := range src.Subnets {
 		if !containsSubnet(dst.Subnets, sn) {
@@ -408,12 +523,17 @@ func (j *Journal) absorbGateway(dst, src *GatewayRec, at time.Time) {
 	dst.Stamp.change(at)
 	// Re-point subnet records at the surviving gateway.
 	for _, sn := range j.snRecs {
+		repointed := false
 		for i, gid := range sn.Gateways {
 			if gid == src.ID {
 				sn.Gateways[i] = dst.ID
+				repointed = true
 			}
 		}
-		sn.Gateways = dedupIDs(sn.Gateways)
+		if repointed {
+			sn.Gateways = dedupIDs(sn.Gateways)
+			j.touchSubnet(sn)
+		}
 	}
 	j.gwList.remove(&src.list)
 	delete(j.gwRecs, src.ID)
@@ -473,7 +593,7 @@ func (j *Journal) StoreSubnet(obs SubnetObs) ID {
 
 // storeSubnet implements StoreSubnet; callers hold the write lock.
 func (j *Journal) storeSubnet(obs SubnetObs) ID {
-	j.Stats.Stores++
+	j.noteStore()
 	id := j.ensureSubnet(obs.Subnet, obs.Source, obs.At)
 	rec := j.snRecs[id]
 	changed := false
@@ -505,7 +625,7 @@ func (j *Journal) storeSubnet(obs SubnetObs) ID {
 	} else {
 		rec.Stamp.verify(obs.At)
 	}
-	j.snList.touch(&rec.list)
+	j.touchSubnet(rec)
 	return id
 }
 
@@ -514,14 +634,16 @@ func (j *Journal) ensureSubnet(sn pkt.Subnet, src Source, at time.Time) ID {
 		rec := j.snRecs[id]
 		rec.Sources |= src
 		rec.Stamp.verify(at)
+		j.touchSubnet(rec)
 		return id
 	}
 	j.nextSn++
 	rec := &SubnetRec{ID: j.nextSn, Subnet: sn, Sources: src, Stamp: newStamp(at)}
+	rec.ModSeq = j.nextSeq()
 	j.snRecs[rec.ID] = rec
 	j.snByAddr.Put(sn.Addr, rec.ID)
 	j.snList.pushBack(&rec.list, rec)
-	j.Stats.NewRecords++
+	j.noteNewRecord()
 	return rec.ID
 }
 
@@ -532,6 +654,8 @@ func (j *Journal) ensureSubnet(sn pkt.Subnet, src Source, at time.Time) ID {
 // carries exactly this struct.
 type Query struct {
 	Kind          RecordKind
+	ByID          ID // exact record ID lookup
+	HasID         bool
 	ByIP          pkt.IP // exact IP (interfaces) or subnet address (subnets)
 	HasIP         bool
 	ByMAC         pkt.MAC
@@ -540,6 +664,12 @@ type Query struct {
 	IPLo, IPHi    pkt.IP // half-open range scan on the IP index
 	HasRange      bool
 	ModifiedSince time.Time
+}
+
+// Indexed reports whether the query names an index criterion (so a remote
+// client should use the indexed Get path rather than a paged scan).
+func (q Query) Indexed() bool {
+	return q.HasID || q.HasIP || q.HasMAC || q.ByName != "" || q.HasRange
 }
 
 // Interfaces returns deep copies of matching interface records, ordered by
@@ -551,6 +681,10 @@ func (j *Journal) Interfaces(q Query) []*InterfaceRec {
 	// accumulate into a fresh slice, since the sort below mutates it.
 	var ids []ID
 	switch {
+	case q.HasID:
+		if _, ok := j.ifRecs[q.ByID]; ok {
+			ids = append(ids, q.ByID)
+		}
 	case q.HasIP:
 		bucket, _ := j.ifByIP.Get(q.ByIP)
 		ids = append(ids, bucket...)
@@ -646,41 +780,61 @@ func (j *Journal) SubnetByAddr(addr pkt.IP) (*SubnetRec, bool) {
 	return j.snRecs[id].clone(), true
 }
 
-// RecentlyModified returns up to n records of the given kind, most
-// recently modified last — a walk of the modification-ordered list.
-func (j *Journal) RecentlyModified(kind RecordKind, n int) []any {
+// RecentInterfaces returns up to n interface records, most recently
+// modified last — a walk of the modification-ordered list. n <= 0 means
+// all. RecentGateways and RecentSubnets do the same for their kinds.
+func (j *Journal) RecentInterfaces(n int) []*InterfaceRec {
 	j.mu.RLock()
 	defer j.mu.RUnlock()
-	var l *modList
-	switch kind {
-	case KindInterface:
-		l = &j.ifList
-	case KindGateway:
-		l = &j.gwList
-	case KindSubnet:
-		l = &j.snList
-	default:
-		return nil
-	}
-	all := make([]any, 0, l.len())
-	l.each(func(owner any) bool {
-		all = append(all, owner)
+	all := make([]*InterfaceRec, 0, j.ifList.len())
+	j.ifList.each(func(owner any) bool {
+		all = append(all, owner.(*InterfaceRec))
 		return true
 	})
 	if n > 0 && len(all) > n {
 		all = all[len(all)-n:]
 	}
-	// Clone before exposing.
-	out := make([]any, len(all))
+	out := make([]*InterfaceRec, len(all))
 	for i, r := range all {
-		switch rec := r.(type) {
-		case *InterfaceRec:
-			out[i] = rec.clone()
-		case *GatewayRec:
-			out[i] = rec.clone()
-		case *SubnetRec:
-			out[i] = rec.clone()
-		}
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// RecentGateways: see RecentInterfaces.
+func (j *Journal) RecentGateways(n int) []*GatewayRec {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	all := make([]*GatewayRec, 0, j.gwList.len())
+	j.gwList.each(func(owner any) bool {
+		all = append(all, owner.(*GatewayRec))
+		return true
+	})
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]*GatewayRec, len(all))
+	for i, r := range all {
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// RecentSubnets: see RecentInterfaces.
+func (j *Journal) RecentSubnets(n int) []*SubnetRec {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	all := make([]*SubnetRec, 0, j.snList.len())
+	j.snList.each(func(owner any) bool {
+		all = append(all, owner.(*SubnetRec))
+		return true
+	})
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]*SubnetRec, len(all))
+	for i, r := range all {
+		out[i] = r.clone()
 	}
 	return out
 }
@@ -700,7 +854,11 @@ func (j *Journal) Delete(kind RecordKind, id ID) bool {
 		}
 		if rec.Gateway != 0 {
 			if gw, ok := j.gwRecs[rec.Gateway]; ok {
+				before := len(gw.Ifaces)
 				gw.Ifaces = removeID(gw.Ifaces, id)
+				if len(gw.Ifaces) != before {
+					j.touchGateway(gw)
+				}
 			}
 		}
 		j.unindexInterface(rec)
@@ -715,10 +873,15 @@ func (j *Journal) Delete(kind RecordKind, id ID) bool {
 		for _, ifID := range gw.Ifaces {
 			if rec, ok := j.ifRecs[ifID]; ok && rec.Gateway == id {
 				rec.Gateway = 0
+				j.touchIface(rec)
 			}
 		}
 		for _, sn := range j.snRecs {
+			before := len(sn.Gateways)
 			sn.Gateways = removeID(sn.Gateways, id)
+			if len(sn.Gateways) != before {
+				j.touchSubnet(sn)
+			}
 		}
 		j.gwList.remove(&gw.list)
 		delete(j.gwRecs, id)

@@ -86,8 +86,8 @@ func TestDuplicateAddressCreatesSecondRecord(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("query by IP returned %d records, want 2", len(recs))
 	}
-	if j.Stats.Conflicts != 1 {
-		t.Fatalf("Conflicts = %d, want 1", j.Stats.Conflicts)
+	if st := j.StatsSnapshot(); st.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", st.Conflicts)
 	}
 }
 
@@ -258,11 +258,11 @@ func TestModificationOrder(t *testing.T) {
 	}
 	// Touch the first record again: it must move to the tail.
 	j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: SrcARP, At: at(10)})
-	recent := j.RecentlyModified(KindInterface, 0)
+	recent := j.RecentInterfaces(0)
 	if len(recent) != 3 {
 		t.Fatalf("list has %d entries", len(recent))
 	}
-	last := recent[len(recent)-1].(*InterfaceRec)
+	last := recent[len(recent)-1]
 	if last.IP != pkt.IPv4(10, 0, 0, 1) {
 		t.Fatalf("most recently modified = %s, want 10.0.0.1", last.IP)
 	}

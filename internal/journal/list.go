@@ -58,4 +58,22 @@ func (l *modList) each(fn func(owner any) bool) {
 	}
 }
 
+// eachAfter walks, oldest first, the suffix of the list whose owners have
+// seq(owner) > after. Because the list is ascending in modification
+// sequence, the suffix is located by walking backward from the tail —
+// O(suffix length), O(1) when nothing changed since `after`.
+func (l *modList) eachAfter(after uint64, seq func(owner any) uint64, fn func(owner any) bool) {
+	n := l.head.prev
+	for n != &l.head && seq(n.owner) > after {
+		n = n.prev
+	}
+	// n is the sentinel or the newest node at-or-below the cursor; the
+	// changed suffix begins just after it.
+	for n = n.next; n != &l.head; n = n.next {
+		if !fn(n.owner) {
+			return
+		}
+	}
+}
+
 func (l *modList) len() int { return l.n }

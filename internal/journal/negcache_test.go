@@ -95,16 +95,15 @@ func TestRecentlyModifiedLimit(t *testing.T) {
 	for i := 1; i <= 10; i++ {
 		j.StoreInterface(IfaceObs{IP: pkt.IPv4(10, 0, 0, byte(i)), Source: SrcICMP, At: at(i)})
 	}
-	recent := j.RecentlyModified(KindInterface, 3)
+	recent := j.RecentInterfaces(3)
 	if len(recent) != 3 {
 		t.Fatalf("limit ignored: %d", len(recent))
 	}
 	// The tail is the most recently modified.
-	last := recent[2].(*InterfaceRec)
-	if last.IP != pkt.IPv4(10, 0, 0, 10) {
+	if last := recent[2]; last.IP != pkt.IPv4(10, 0, 0, 10) {
 		t.Fatalf("tail = %s", last.IP)
 	}
-	if got := j.RecentlyModified(RecordKind(99), 0); got != nil {
-		t.Fatalf("unknown kind returned %v", got)
+	if got := j.RecentGateways(0); len(got) != 0 {
+		t.Fatalf("empty journal returned gateways: %v", got)
 	}
 }

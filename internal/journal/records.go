@@ -148,6 +148,12 @@ type InterfaceRec struct {
 	NameStamp Stamp
 	MaskStamp Stamp
 
+	// ModSeq is the journal-wide modification sequence number stamped on
+	// the record by its most recent mutation. It is local journal state
+	// (never serialized on the wire) and strictly ascending along the
+	// modification-ordered list, so ChangesSince can resume from a cursor.
+	ModSeq uint64
+
 	list listNode
 }
 
@@ -181,6 +187,9 @@ type GatewayRec struct {
 	Sources      Source
 	Stamp        Stamp
 
+	// ModSeq: see InterfaceRec.ModSeq.
+	ModSeq uint64
+
 	list listNode
 }
 
@@ -210,6 +219,9 @@ type SubnetRec struct {
 	RIPMetric int
 	Sources   Source
 	Stamp     Stamp
+
+	// ModSeq: see InterfaceRec.ModSeq.
+	ModSeq uint64
 
 	list listNode
 }

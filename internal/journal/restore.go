@@ -3,13 +3,18 @@ package journal
 // Restore functions insert fully-formed records (from a Journal Server
 // snapshot) without merge processing. Records should be restored in
 // modification order, oldest first, so the modification lists rebuild
-// correctly.
+// correctly. Each restored record is stamped with a fresh ModSeq (wire
+// encodings do not carry sequence numbers); restoring in modification
+// order therefore reproduces ascending lists. Call AdvanceSeq with the
+// snapshot's saved counter before restoring so the fresh stamps land
+// above any cursor issued by the previous incarnation.
 
 // RestoreInterface inserts rec verbatim.
 func (j *Journal) RestoreInterface(rec *InterfaceRec) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	r := rec.clone()
+	r.ModSeq = j.nextSeq()
 	j.ifRecs[r.ID] = r
 	j.indexIP(r)
 	if !r.MAC.IsZero() {
@@ -29,6 +34,7 @@ func (j *Journal) RestoreGateway(rec *GatewayRec) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	r := rec.clone()
+	r.ModSeq = j.nextSeq()
 	j.gwRecs[r.ID] = r
 	j.gwList.pushBack(&r.list, r)
 	if r.ID > j.nextGw {
@@ -41,6 +47,7 @@ func (j *Journal) RestoreSubnet(rec *SubnetRec) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	r := rec.clone()
+	r.ModSeq = j.nextSeq()
 	j.snRecs[r.ID] = r
 	j.snByAddr.Put(r.Subnet.Addr, r.ID)
 	j.snList.pushBack(&r.list, r)

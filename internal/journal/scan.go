@@ -1,0 +1,203 @@
+package journal
+
+import "strings"
+
+// Cursor-paged scans and incremental change queries.
+//
+// Scan* pages over the ID space in ascending record-ID order: each call
+// examines at most `limit` live records under one read-lock hold and
+// returns the page plus the cursor to resume from. Because record IDs are
+// allocated monotonically and never reused, a cursor that only moves
+// forward can never return the same record twice, no matter how the
+// journal is mutated between pages; records created mid-scan with IDs
+// above the cursor are picked up by later pages, records deleted mid-scan
+// are simply skipped.
+//
+// *Changes walk the modification-ordered lists (ascending in ModSeq) and
+// return records mutated after a sequence cursor, oldest change first.
+// Locating the changed suffix walks backward from the list tail, so an
+// unchanged journal answers in O(1) — the property incremental
+// replication relies on to make a no-op pull free.
+
+// DefaultScanLimit is the page size used when a scan or changes call
+// passes limit <= 0.
+const DefaultScanLimit = 512
+
+// ScanInterfaces returns up to limit interface records with ID > cursor
+// that match q, in ascending ID order, plus the cursor for the next page
+// and whether more records may remain. Filtered-out records still count
+// against the page's examination budget (bounding the lock hold), so a
+// page may come back short — or empty — with more == true; keep paging
+// until more is false.
+func (j *Journal) ScanInterfaces(cursor ID, limit int, q Query) ([]*InterfaceRec, ID, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*InterfaceRec
+	examined := 0
+	for id := cursor + 1; id <= j.nextIface; id++ {
+		rec, ok := j.ifRecs[id]
+		if !ok {
+			continue
+		}
+		if matchInterface(rec, q) {
+			out = append(out, rec.clone())
+		}
+		examined++
+		if examined == limit && id < j.nextIface {
+			return out, id, true
+		}
+	}
+	return out, j.nextIface, false
+}
+
+// matchInterface applies q to rec; callers hold a lock. The criteria
+// mirror Interfaces so a scan with a filter returns the same record set,
+// just paged.
+func matchInterface(rec *InterfaceRec, q Query) bool {
+	if q.HasID && rec.ID != q.ByID {
+		return false
+	}
+	if q.HasIP && rec.IP != q.ByIP {
+		return false
+	}
+	if q.HasMAC && rec.MAC != q.ByMAC {
+		return false
+	}
+	if q.ByName != "" && rec.Name != strings.ToLower(q.ByName) {
+		return false
+	}
+	if q.HasRange && (rec.IP < q.IPLo || rec.IP >= q.IPHi) {
+		return false
+	}
+	if !q.ModifiedSince.IsZero() &&
+		rec.Stamp.Changed.Before(q.ModifiedSince) && rec.Stamp.Verified.Before(q.ModifiedSince) {
+		return false
+	}
+	return true
+}
+
+// ScanGateways pages over gateway records: see ScanInterfaces.
+func (j *Journal) ScanGateways(cursor ID, limit int) ([]*GatewayRec, ID, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*GatewayRec
+	for id := cursor + 1; id <= j.nextGw; id++ {
+		rec, ok := j.gwRecs[id]
+		if !ok {
+			continue
+		}
+		out = append(out, rec.clone())
+		if len(out) == limit && id < j.nextGw {
+			return out, id, true
+		}
+	}
+	return out, j.nextGw, false
+}
+
+// ScanSubnets pages over subnet records: see ScanInterfaces.
+func (j *Journal) ScanSubnets(cursor ID, limit int) ([]*SubnetRec, ID, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*SubnetRec
+	for id := cursor + 1; id <= j.nextSn; id++ {
+		rec, ok := j.snRecs[id]
+		if !ok {
+			continue
+		}
+		out = append(out, rec.clone())
+		if len(out) == limit && id < j.nextSn {
+			return out, id, true
+		}
+	}
+	return out, j.nextSn, false
+}
+
+func ifaceSeq(owner any) uint64  { return owner.(*InterfaceRec).ModSeq }
+func gwSeq(owner any) uint64     { return owner.(*GatewayRec).ModSeq }
+func subnetSeq(owner any) uint64 { return owner.(*SubnetRec).ModSeq }
+
+// InterfaceChanges returns up to limit interface records mutated after
+// sequence number `after`, oldest change first, plus the sequence cursor
+// for the next call and whether more changes remain. A record mutated
+// several times appears once, at its latest ModSeq — replaying the page
+// in order converges the reader on the journal's current state. Record
+// deletion is not a change to a live record and is not reported.
+func (j *Journal) InterfaceChanges(after uint64, limit int) ([]*InterfaceRec, uint64, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*InterfaceRec
+	more := false
+	j.ifList.eachAfter(after, ifaceSeq, func(owner any) bool {
+		if len(out) == limit {
+			more = true
+			return false
+		}
+		out = append(out, owner.(*InterfaceRec).clone())
+		return true
+	})
+	next := after
+	if len(out) > 0 {
+		next = out[len(out)-1].ModSeq
+	}
+	return out, next, more
+}
+
+// GatewayChanges: see InterfaceChanges.
+func (j *Journal) GatewayChanges(after uint64, limit int) ([]*GatewayRec, uint64, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*GatewayRec
+	more := false
+	j.gwList.eachAfter(after, gwSeq, func(owner any) bool {
+		if len(out) == limit {
+			more = true
+			return false
+		}
+		out = append(out, owner.(*GatewayRec).clone())
+		return true
+	})
+	next := after
+	if len(out) > 0 {
+		next = out[len(out)-1].ModSeq
+	}
+	return out, next, more
+}
+
+// SubnetChanges: see InterfaceChanges.
+func (j *Journal) SubnetChanges(after uint64, limit int) ([]*SubnetRec, uint64, bool) {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	var out []*SubnetRec
+	more := false
+	j.snList.eachAfter(after, subnetSeq, func(owner any) bool {
+		if len(out) == limit {
+			more = true
+			return false
+		}
+		out = append(out, owner.(*SubnetRec).clone())
+		return true
+	})
+	next := after
+	if len(out) > 0 {
+		next = out[len(out)-1].ModSeq
+	}
+	return out, next, more
+}

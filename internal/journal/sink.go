@@ -17,10 +17,34 @@ type Sink interface {
 	Delete(RecordKind, ID) (bool, error)
 }
 
+// Scanner is the cursor-paged read interface: each call returns one page
+// in ascending record-ID order plus the cursor to resume from and whether
+// more records may remain. Satisfied by Local and by the jclient types
+// (which fetch pages over the wire via OpScan).
+type Scanner interface {
+	ScanInterfaces(cursor ID, limit int, q Query) ([]*InterfaceRec, ID, bool, error)
+	ScanGateways(cursor ID, limit int) ([]*GatewayRec, ID, bool, error)
+	ScanSubnets(cursor ID, limit int) ([]*SubnetRec, ID, bool, error)
+}
+
+// Changer is the incremental read interface: records mutated after a
+// modification sequence cursor, oldest change first. Satisfied by Local
+// and the jclient types (OpChanges on the wire); replication pulls are
+// built on it.
+type Changer interface {
+	InterfaceChanges(after uint64, limit int) ([]*InterfaceRec, uint64, bool, error)
+	GatewayChanges(after uint64, limit int) ([]*GatewayRec, uint64, bool, error)
+	SubnetChanges(after uint64, limit int) ([]*SubnetRec, uint64, bool, error)
+}
+
 // Local adapts an in-process Journal to the Sink interface.
 type Local struct{ J *Journal }
 
-var _ Sink = Local{}
+var (
+	_ Sink    = Local{}
+	_ Scanner = Local{}
+	_ Changer = Local{}
+)
 
 // StoreInterface implements Sink.
 func (l Local) StoreInterface(obs IfaceObs) (ID, bool, error) {
@@ -45,3 +69,142 @@ func (l Local) Subnets() ([]*SubnetRec, error) { return l.J.Subnets(), nil }
 
 // Delete implements Sink.
 func (l Local) Delete(kind RecordKind, id ID) (bool, error) { return l.J.Delete(kind, id), nil }
+
+// ScanInterfaces implements Scanner.
+func (l Local) ScanInterfaces(cursor ID, limit int, q Query) ([]*InterfaceRec, ID, bool, error) {
+	recs, next, more := l.J.ScanInterfaces(cursor, limit, q)
+	return recs, next, more, nil
+}
+
+// ScanGateways implements Scanner.
+func (l Local) ScanGateways(cursor ID, limit int) ([]*GatewayRec, ID, bool, error) {
+	recs, next, more := l.J.ScanGateways(cursor, limit)
+	return recs, next, more, nil
+}
+
+// ScanSubnets implements Scanner.
+func (l Local) ScanSubnets(cursor ID, limit int) ([]*SubnetRec, ID, bool, error) {
+	recs, next, more := l.J.ScanSubnets(cursor, limit)
+	return recs, next, more, nil
+}
+
+// InterfaceChanges implements Changer.
+func (l Local) InterfaceChanges(after uint64, limit int) ([]*InterfaceRec, uint64, bool, error) {
+	recs, next, more := l.J.InterfaceChanges(after, limit)
+	return recs, next, more, nil
+}
+
+// GatewayChanges implements Changer.
+func (l Local) GatewayChanges(after uint64, limit int) ([]*GatewayRec, uint64, bool, error) {
+	recs, next, more := l.J.GatewayChanges(after, limit)
+	return recs, next, more, nil
+}
+
+// SubnetChanges implements Changer.
+func (l Local) SubnetChanges(after uint64, limit int) ([]*SubnetRec, uint64, bool, error) {
+	recs, next, more := l.J.SubnetChanges(after, limit)
+	return recs, next, more, nil
+}
+
+// EachInterface streams interface records matching q to fn, one page at a
+// time when s supports cursor scans (bounded memory, one lock hold per
+// page) and via a single full query otherwise. Records arrive in
+// ascending ID order. fn returning an error stops the walk.
+func EachInterface(s Sink, q Query, fn func(*InterfaceRec) error) error {
+	if sc, ok := s.(Scanner); ok && !q.Indexed() {
+		var cursor ID
+		for {
+			page, next, more, err := sc.ScanInterfaces(cursor, 0, q)
+			if err != nil {
+				return err
+			}
+			for _, rec := range page {
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+			if !more {
+				return nil
+			}
+			cursor = next
+		}
+	}
+	recs, err := s.Interfaces(q)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EachGateway streams all gateway records to fn in ascending ID order:
+// see EachInterface.
+func EachGateway(s Sink, fn func(*GatewayRec) error) error {
+	if sc, ok := s.(Scanner); ok {
+		var cursor ID
+		for {
+			page, next, more, err := sc.ScanGateways(cursor, 0)
+			if err != nil {
+				return err
+			}
+			for _, rec := range page {
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+			if !more {
+				return nil
+			}
+			cursor = next
+		}
+	}
+	recs, err := s.Gateways()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EachSubnet streams all subnet records to fn: see EachInterface. Paged
+// walks arrive in ascending ID order; the fallback uses Subnets(), which
+// orders by subnet address — callers that need a particular order must
+// sort.
+func EachSubnet(s Sink, fn func(*SubnetRec) error) error {
+	if sc, ok := s.(Scanner); ok {
+		var cursor ID
+		for {
+			page, next, more, err := sc.ScanSubnets(cursor, 0)
+			if err != nil {
+				return err
+			}
+			for _, rec := range page {
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+			if !more {
+				return nil
+			}
+			cursor = next
+		}
+	}
+	recs, err := s.Subnets()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

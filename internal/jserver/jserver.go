@@ -90,6 +90,7 @@ func New(j *journal.Journal) *Server {
 		j = journal.New()
 	}
 	reg := obs.NewRegistry()
+	j.Instrument(reg) // mirror journal store/merge/conflict counters
 	return &Server{
 		journal:          j,
 		SnapshotInterval: 5 * time.Minute,
@@ -457,6 +458,19 @@ func (s *Server) dispatchBatch(r *jwire.Reader) []byte {
 	return w.B
 }
 
+// clampPage bounds a requested scan/changes page size: non-positive
+// requests fall back to the journal's default, oversized ones are capped
+// at the protocol maximum.
+func clampPage(limit int) int {
+	if limit <= 0 {
+		return journal.DefaultScanLimit
+	}
+	if limit > jwire.MaxScanPage {
+		return jwire.MaxScanPage
+	}
+	return limit
+}
+
 func errPayload(err error) []byte {
 	var w jwire.Writer
 	w.U8(jwire.StatusError)
@@ -531,6 +545,78 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		}
 		w.U8(jwire.StatusOK)
 		w.Bool(res.Deleted)
+	case jwire.OpScan:
+		// One page per request: the journal holds its read lock for at
+		// most clampPage records, never the whole journal.
+		req := jwire.GetScanReq(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		limit := clampPage(req.Limit)
+		w.U8(jwire.StatusOK)
+		switch req.Kind {
+		case journal.KindInterface:
+			recs, next, more := s.journal.ScanInterfaces(req.Cursor, limit, req.Filter)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutInterfaceRec(&w, rec)
+			}
+			w.ID(next)
+			w.Bool(more)
+		case journal.KindGateway:
+			recs, next, more := s.journal.ScanGateways(req.Cursor, limit)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutGatewayRec(&w, rec)
+			}
+			w.ID(next)
+			w.Bool(more)
+		case journal.KindSubnet:
+			recs, next, more := s.journal.ScanSubnets(req.Cursor, limit)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutSubnetRec(&w, rec)
+			}
+			w.ID(next)
+			w.Bool(more)
+		default:
+			return fail(fmt.Errorf("jserver: scan: unknown record kind %d", req.Kind))
+		}
+	case jwire.OpChanges:
+		req := jwire.GetChangesReq(r)
+		if r.Err != nil {
+			return fail(r.Err)
+		}
+		limit := clampPage(req.Limit)
+		w.U8(jwire.StatusOK)
+		switch req.Kind {
+		case journal.KindInterface:
+			recs, next, more := s.journal.InterfaceChanges(req.After, limit)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutInterfaceRec(&w, rec)
+			}
+			w.U64(next)
+			w.Bool(more)
+		case journal.KindGateway:
+			recs, next, more := s.journal.GatewayChanges(req.After, limit)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutGatewayRec(&w, rec)
+			}
+			w.U64(next)
+			w.Bool(more)
+		case journal.KindSubnet:
+			recs, next, more := s.journal.SubnetChanges(req.After, limit)
+			w.U32(uint32(len(recs)))
+			for _, rec := range recs {
+				jwire.PutSubnetRec(&w, rec)
+			}
+			w.U64(next)
+			w.Bool(more)
+		default:
+			return fail(fmt.Errorf("jserver: changes: unknown record kind %d", req.Kind))
+		}
 	case jwire.OpPing:
 		w.U8(jwire.StatusOK)
 	case jwire.OpStats:
@@ -558,16 +644,18 @@ func EncodeSnapshot(j *journal.Journal) []byte {
 
 // EncodeSnapshotAt serializes the whole journal (records in modification
 // order, oldest first), stamped with the WAL LSN the snapshot covers:
-// recovery skips logged records at or below it. journal.Export takes the
-// read lock once, so the snapshot is a single consistent point in time
-// even under concurrent stores.
+// recovery skips logged records at or below it. journal.ExportSeq takes
+// the read lock once, so the snapshot — records plus the modification
+// sequence counter — is a single consistent point in time even under
+// concurrent stores.
 func EncodeSnapshotAt(j *journal.Journal, lsn uint64) []byte {
 	var w jwire.Writer
 	w.U32(snapshotMagic)
-	w.U16(2) // version; v2 added the WAL LSN
+	w.U16(3) // version; v2 added the WAL LSN, v3 the modification seq
 	w.U64(lsn)
 
-	ifs, gws, sns := j.Export()
+	ifs, gws, sns, seq := j.ExportSeq()
+	w.U64(seq)
 	w.U32(uint32(len(ifs)))
 	for _, r := range ifs {
 		jwire.PutInterfaceRec(&w, r)
@@ -596,14 +684,23 @@ func RestoreSnapshotLSN(j *journal.Journal, data []byte) (uint64, error) {
 	if r.U32() != snapshotMagic {
 		return 0, errors.New("jserver: bad snapshot magic")
 	}
-	var lsn uint64
+	var lsn, seq uint64
 	switch v := r.U16(); v {
 	case 1:
 	case 2:
 		lsn = r.U64()
+	case 3:
+		lsn = r.U64()
+		seq = r.U64()
 	default:
 		return 0, fmt.Errorf("jserver: unsupported snapshot version %d", v)
 	}
+	// Advance the modification sequence counter past the saved value
+	// BEFORE restoring records: restored records then get stamps above
+	// any cursor a replication peer obtained from the previous
+	// incarnation, so a stale cursor re-transfers instead of skipping.
+	// v1/v2 snapshots (seq 0) degrade the same way: one full re-transfer.
+	j.AdvanceSeq(seq)
 	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
 		j.RestoreInterface(jwire.GetInterfaceRec(r))
 	}

@@ -41,7 +41,24 @@ const (
 	// same observability surface is reachable over the journal protocol
 	// as over fremontd's -metrics-addr HTTP endpoint.
 	OpStats byte = 10
+	// OpScan is the cursor-paged read: the request names a record kind, a
+	// record-ID cursor, a page limit, and (for interfaces) a filter query;
+	// the response carries one bounded page plus the cursor to resume from.
+	// The server holds its read lock only for the page, never the journal.
+	OpScan byte = 11
+	// OpChanges is the incremental read: records mutated after a
+	// modification sequence cursor, oldest change first. Replication is
+	// built on it — an unchanged journal answers with an empty page.
+	OpChanges byte = 12
 )
+
+// ScanVersion is the version byte leading OpScan and OpChanges request
+// bodies, so cursor semantics can evolve without a new opcode.
+const ScanVersion byte = 1
+
+// MaxScanPage bounds the page limit a scan or changes request may ask
+// for; the server clamps larger requests.
+const MaxScanPage = 4096
 
 // OpName returns the stable lowercase name of an opcode, used as the
 // metric label for per-operation counters and latency histograms.
@@ -67,6 +84,10 @@ func OpName(op byte) string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpScan:
+		return "scan"
+	case OpChanges:
+		return "changes"
 	}
 	return "unknown"
 }
@@ -412,6 +433,8 @@ func GetSubnetObs(r *Reader) journal.SubnetObs {
 // PutQuery encodes a Get query.
 func PutQuery(w *Writer, q journal.Query) {
 	w.U8(byte(q.Kind))
+	w.Bool(q.HasID)
+	w.ID(q.ByID)
 	w.Bool(q.HasIP)
 	w.IP(q.ByIP)
 	w.Bool(q.HasMAC)
@@ -427,6 +450,8 @@ func PutQuery(w *Writer, q journal.Query) {
 func GetQuery(r *Reader) journal.Query {
 	return journal.Query{
 		Kind:          journal.RecordKind(r.U8()),
+		HasID:         r.Bool(),
+		ByID:          r.ID(),
 		HasIP:         r.Bool(),
 		ByIP:          r.IP(),
 		HasMAC:        r.Bool(),
@@ -436,6 +461,75 @@ func GetQuery(r *Reader) journal.Query {
 		IPLo:          r.IP(),
 		IPHi:          r.IP(),
 		ModifiedSince: r.Time(),
+	}
+}
+
+// --- Scan / Changes encoding ---------------------------------------------
+
+// ErrScanVersion is returned when a scan or changes request carries an
+// unsupported version byte.
+var ErrScanVersion = errors.New("jwire: unsupported scan version")
+
+// ScanReq is a cursor-paged read request. Limit <= 0 asks for the
+// server's default page; the server clamps limits above MaxScanPage.
+// Filter applies to interface scans only.
+type ScanReq struct {
+	Kind   journal.RecordKind
+	Cursor journal.ID
+	Limit  int
+	Filter journal.Query
+}
+
+// PutScanReq encodes the body of an OpScan request (the caller writes
+// the opcode first).
+func PutScanReq(w *Writer, req ScanReq) {
+	w.U8(ScanVersion)
+	w.U8(byte(req.Kind))
+	w.ID(req.Cursor)
+	w.U32(uint32(req.Limit))
+	PutQuery(w, req.Filter)
+}
+
+// GetScanReq decodes the body of an OpScan request; an unsupported
+// version sets r.Err to ErrScanVersion.
+func GetScanReq(r *Reader) ScanReq {
+	if v := r.U8(); r.Err == nil && v != ScanVersion {
+		r.Err = ErrScanVersion
+	}
+	return ScanReq{
+		Kind:   journal.RecordKind(r.U8()),
+		Cursor: r.ID(),
+		Limit:  int(int32(r.U32())),
+		Filter: GetQuery(r),
+	}
+}
+
+// ChangesReq is an incremental read request: records mutated after
+// modification sequence number After.
+type ChangesReq struct {
+	Kind  journal.RecordKind
+	After uint64
+	Limit int
+}
+
+// PutChangesReq encodes the body of an OpChanges request.
+func PutChangesReq(w *Writer, req ChangesReq) {
+	w.U8(ScanVersion)
+	w.U8(byte(req.Kind))
+	w.U64(req.After)
+	w.U32(uint32(req.Limit))
+}
+
+// GetChangesReq decodes the body of an OpChanges request; an unsupported
+// version sets r.Err to ErrScanVersion.
+func GetChangesReq(r *Reader) ChangesReq {
+	if v := r.U8(); r.Err == nil && v != ScanVersion {
+		r.Err = ErrScanVersion
+	}
+	return ChangesReq{
+		Kind:  journal.RecordKind(r.U8()),
+		After: r.U64(),
+		Limit: int(int32(r.U32())),
 	}
 }
 

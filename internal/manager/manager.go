@@ -167,51 +167,54 @@ func (m *Manager) NextDue() (time.Time, bool) {
 // demandOf computes a module's unmet-demand metric from the Journal.
 // Falling demand after a run means the run was fruitful.
 func (m *Manager) demandOf(mod explorer.Module) int {
+	// Demands are counts, so the records stream through one page at a time
+	// and never accumulate (the manager may sit on the far side of a
+	// Journal Server from a very large journal).
 	switch mod.Info().Name {
 	case "SubnetMasks":
-		recs, err := m.sink.Interfaces(journal.Query{})
-		if err != nil {
-			return 0
-		}
 		n := 0
-		for _, r := range recs {
+		if journal.EachInterface(m.sink, journal.Query{}, func(r *journal.InterfaceRec) error {
 			if r.Mask == 0 && r.MaskProbeFails < 3 {
 				n++
 			}
+			return nil
+		}) != nil {
+			return 0
 		}
 		return n
 	case "Traceroute":
-		subnets, err := m.sink.Subnets()
-		if err != nil {
-			return 0
-		}
 		n := 0
-		for _, sn := range subnets {
+		if journal.EachSubnet(m.sink, func(sn *journal.SubnetRec) error {
 			if len(sn.Gateways) == 0 {
 				n++
 			}
+			return nil
+		}) != nil {
+			return 0
 		}
 		return n
 	case "DNS":
-		recs, err := m.sink.Interfaces(journal.Query{})
-		if err != nil {
-			return 0
-		}
 		n := 0
-		for _, r := range recs {
+		if journal.EachInterface(m.sink, journal.Query{}, func(r *journal.InterfaceRec) error {
 			if r.Name == "" {
 				n++
 			}
+			return nil
+		}) != nil {
+			return 0
 		}
 		return n
 	default:
 		// Discovery modules: demand falls as the interface population
 		// grows, so use the negated count.
-		recs, err := m.sink.Interfaces(journal.Query{})
-		if err != nil {
+		n := 0
+		if journal.EachInterface(m.sink, journal.Query{}, func(*journal.InterfaceRec) error {
+			n++
+			return nil
+		}) != nil {
 			return 0
 		}
-		return -len(recs)
+		return -n
 	}
 }
 
@@ -231,13 +234,12 @@ func (m *Manager) direct(mod explorer.Module) explorer.Params {
 		// itself; the manager is where the paper puts the decision),
 		// skipping interfaces whose mask requests have gone unanswered
 		// three times — the negative cache.
-		if recs, err := m.sink.Interfaces(journal.Query{}); err == nil {
-			for _, r := range recs {
-				if r.Mask == 0 && r.MaskProbeFails < 3 {
-					p.Addresses = append(p.Addresses, r.IP)
-				}
+		_ = journal.EachInterface(m.sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+			if r.Mask == 0 && r.MaskProbeFails < 3 {
+				p.Addresses = append(p.Addresses, r.IP)
 			}
-		}
+			return nil
+		})
 	}
 	return p
 }

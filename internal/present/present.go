@@ -17,35 +17,52 @@ import (
 
 // Dump writes every record in the Journal ("The first program simply lists
 // all of the data in the Journal. We used this for early debugging.").
+// Records stream one page at a time, so dumping never materializes the
+// whole journal; the counts come last for the same reason.
 func Dump(w io.Writer, sink journal.Sink) error {
-	ifs, err := sink.Interfaces(journal.Query{})
+	var nIfs, nGws, nSns int
+	err := journal.EachInterface(sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+		nIfs++
+		_, err := fmt.Fprintf(w, "  %s\n", r)
+		return err
+	})
 	if err != nil {
 		return err
 	}
-	gws, err := sink.Gateways()
-	if err != nil {
+	if err := journal.EachGateway(sink, func(r *journal.GatewayRec) error {
+		nGws++
+		_, err := fmt.Fprintf(w, "  %s\n", r)
+		return err
+	}); err != nil {
 		return err
 	}
-	sns, err := sink.Subnets()
-	if err != nil {
+	if err := journal.EachSubnet(sink, func(r *journal.SubnetRec) error {
+		nSns++
+		_, err := fmt.Fprintf(w, "  %s\n", r)
+		return err
+	}); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "journal: %d interfaces, %d gateways, %d subnets\n", len(ifs), len(gws), len(sns))
-	for _, r := range ifs {
-		fmt.Fprintf(w, "  %s\n", r)
-	}
-	for _, r := range gws {
-		fmt.Fprintf(w, "  %s\n", r)
-	}
-	for _, r := range sns {
-		fmt.Fprintf(w, "  %s\n", r)
-	}
+	fmt.Fprintf(w, "journal: %d interfaces, %d gateways, %d subnets\n", nIfs, nGws, nSns)
 	return nil
 }
 
 // sortByIP orders records by network layer address for display.
 func sortByIP(recs []*journal.InterfaceRec) {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].IP < recs[j].IP })
+}
+
+// collectIfaces streams interface pages and keeps those inside net, so
+// memory is bounded by the network being displayed, not the journal.
+func collectIfaces(sink journal.Sink, net pkt.Subnet) ([]*journal.InterfaceRec, error) {
+	var recs []*journal.InterfaceRec
+	err := journal.EachInterface(sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+		if net.Contains(r.IP) {
+			recs = append(recs, r)
+		}
+		return nil
+	})
+	return recs, err
 }
 
 // sinceOrNever renders the age of a timestamp.
@@ -70,16 +87,15 @@ func sinceOrNever(now, t time.Time) string {
 // DNS name, and time since last verification of existence ... an easy
 // indication of when the interface was last observed on the network."
 func Level1(w io.Writer, sink journal.Sink, network pkt.Subnet, now time.Time) error {
-	recs, err := sink.Interfaces(journal.Query{})
+	// Stream pages and keep only the interfaces on this network, so memory
+	// is bounded by the network being displayed, not the journal.
+	recs, err := collectIfaces(sink, network)
 	if err != nil {
 		return err
 	}
 	sortByIP(recs)
 	fmt.Fprintf(w, "%-18s %-32s %s\n", "ADDRESS", "NAME", "LAST VERIFIED")
 	for _, r := range recs {
-		if !network.Contains(r.IP) {
-			continue
-		}
 		name := r.Name
 		if name == "" {
 			name = "-"
@@ -92,16 +108,13 @@ func Level1(w io.Writer, sink journal.Sink, network pkt.Subnet, now time.Time) e
 // Level2 lists a subnet's interfaces with MAC layer addresses, a RIP
 // source indication, and a gateway membership indication.
 func Level2(w io.Writer, sink journal.Sink, subnet pkt.Subnet, now time.Time) error {
-	recs, err := sink.Interfaces(journal.Query{})
+	recs, err := collectIfaces(sink, subnet)
 	if err != nil {
 		return err
 	}
 	sortByIP(recs)
 	fmt.Fprintf(w, "%-18s %-20s %-4s %-8s %s\n", "ADDRESS", "MAC", "RIP", "GATEWAY", "LAST VERIFIED")
 	for _, r := range recs {
-		if !subnet.Contains(r.IP) {
-			continue
-		}
 		mac := "-"
 		if !r.MAC.IsZero() {
 			mac = r.MAC.String()
@@ -189,46 +202,53 @@ type TopoGateway struct {
 	Subnets []pkt.Subnet
 }
 
-// ExtractTopology builds the structure from Journal records.
+// ExtractTopology builds the structure from Journal records, streaming
+// each kind one page at a time. Only the gateway membership map (interface
+// ID to address and name) is held across pages; the topology is a
+// reduction, not a copy of the journal.
 func ExtractTopology(sink journal.Sink) (*Topology, error) {
-	gws, err := sink.Gateways()
+	type member struct {
+		ip   pkt.IP
+		name string
+	}
+	byID := map[journal.ID]member{}
+	err := journal.EachInterface(sink, journal.Query{}, func(r *journal.InterfaceRec) error {
+		if r.Gateway != 0 {
+			byID[r.ID] = member{ip: r.IP, name: r.Name}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	sns, err := sink.Subnets()
-	if err != nil {
-		return nil, err
-	}
-	ifs, err := sink.Interfaces(journal.Query{})
-	if err != nil {
-		return nil, err
-	}
-	byID := map[journal.ID]*journal.InterfaceRec{}
-	for _, r := range ifs {
-		byID[r.ID] = r
 	}
 	topo := &Topology{}
-	for _, sn := range sns {
+	if err := journal.EachSubnet(sink, func(sn *journal.SubnetRec) error {
 		s := sn.Subnet
 		if s.Mask == 0 {
 			s.Mask = pkt.MaskBits(24)
 		}
 		topo.Subnets = append(topo.Subnets, s)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	sort.Slice(topo.Subnets, func(i, j int) bool { return topo.Subnets[i].Addr < topo.Subnets[j].Addr })
-	for _, gw := range gws {
+	if err := journal.EachGateway(sink, func(gw *journal.GatewayRec) error {
 		tg := TopoGateway{ID: gw.ID, Subnets: gw.Subnets}
 		for _, ifID := range gw.Ifaces {
 			if rec, ok := byID[ifID]; ok {
-				tg.Ifaces = append(tg.Ifaces, rec.IP)
-				if tg.Name == "" && rec.Name != "" {
-					tg.Name = rec.Name
+				tg.Ifaces = append(tg.Ifaces, rec.ip)
+				if tg.Name == "" && rec.name != "" {
+					tg.Name = rec.name
 				}
 			}
 		}
 		sort.Slice(tg.Ifaces, func(i, j int) bool { return tg.Ifaces[i] < tg.Ifaces[j] })
 		sort.Slice(tg.Subnets, func(i, j int) bool { return tg.Subnets[i].Addr < tg.Subnets[j].Addr })
 		topo.Gateways = append(topo.Gateways, tg)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	sort.Slice(topo.Gateways, func(i, j int) bool { return topo.Gateways[i].ID < topo.Gateways[j].ID })
 	return topo, nil

@@ -1,0 +1,98 @@
+package replicate
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CursorFile is the pair of replication cursors fremont-sync persists
+// between runs: forward covers -from → -to progress, reverse the return
+// direction of a bidirectional exchange (zero when unused).
+type CursorFile struct {
+	Forward Cursor
+	Reverse Cursor
+}
+
+// ParseCursor parses the "interfaces=N gateways=N subnets=N" form
+// produced by Cursor.String. Unknown keys are rejected; missing keys
+// stay zero.
+func ParseCursor(s string) (Cursor, error) {
+	var c Cursor
+	for _, field := range strings.Fields(s) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return c, fmt.Errorf("replicate: cursor field %q is not key=value", field)
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("replicate: cursor field %q: %v", field, err)
+		}
+		switch key {
+		case "interfaces":
+			c.Interfaces = n
+		case "gateways":
+			c.Gateways = n
+		case "subnets":
+			c.Subnets = n
+		default:
+			return c, fmt.Errorf("replicate: unknown cursor key %q", key)
+		}
+	}
+	return c, nil
+}
+
+// LoadCursors reads a cursor file. A missing file is not an error: it
+// returns the zero CursorFile, meaning "replicate from the beginning" —
+// exactly what a first run needs.
+func LoadCursors(path string) (CursorFile, error) {
+	var cf CursorFile
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cf, nil
+	}
+	if err != nil {
+		return cf, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		dir, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return cf, fmt.Errorf("replicate: cursor line %q has no direction", line)
+		}
+		cur, err := ParseCursor(rest)
+		if err != nil {
+			return cf, err
+		}
+		switch dir {
+		case "forward":
+			cf.Forward = cur
+		case "reverse":
+			cf.Reverse = cur
+		default:
+			return cf, fmt.Errorf("replicate: unknown cursor direction %q", dir)
+		}
+	}
+	return cf, sc.Err()
+}
+
+// SaveCursors writes the cursor file via a temp file and rename, so a
+// crash mid-write leaves the previous cursors intact (a stale cursor only
+// costs a re-transfer; a torn one would be rejected on load).
+func SaveCursors(path string, cf CursorFile) error {
+	data := fmt.Sprintf("# fremont-sync replication cursors; do not edit while a sync runs\nforward %s\nreverse %s\n",
+		cf.Forward, cf.Reverse)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -6,19 +6,53 @@
 // unification, conflict preservation, per-field stamps) applies exactly as
 // if the remote site's Explorer Modules had reported directly.
 //
-// Both ends are journal.Sink, so any combination of in-process Journals
-// and remote Journal Servers works.
+// Pulls are incremental: each carries a Cursor of per-kind modification
+// sequence numbers, and only records the source mutated after the cursor
+// are transferred (journal.Changer pages them out oldest change first).
+// A pull against an unchanged source transfers zero records and costs the
+// source O(1) per kind — the cursor short-circuits at the tail of the
+// modification-ordered lists. Persist the returned cursor (fremont-sync
+// keeps it in a cursor file) and pass it to the next pull.
+//
+// The destination is any journal.Sink; the source must also answer
+// change queries (see Source) — satisfied by journal.Local and by the
+// jclient types, so any combination of in-process Journals and remote
+// Journal Servers works.
 package replicate
 
 import (
 	"fmt"
 	"strconv"
-	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/netsim/pkt"
 	"fremont/internal/obs"
 )
+
+// Source is what a pull reads from: change queries for the incremental
+// record stream, plus the plain Sink queries used to resolve gateway
+// member interface IDs to addresses.
+type Source interface {
+	journal.Sink
+	journal.Changer
+}
+
+// Cursor records per-kind replication progress: the highest modification
+// sequence number of the source already replayed, per record kind. Kinds
+// advance independently so a partial failure never skips records. The
+// zero Cursor means "from the beginning".
+type Cursor struct {
+	Interfaces uint64
+	Gateways   uint64
+	Subnets    uint64
+}
+
+// IsZero reports whether the cursor is the beginning-of-journal cursor.
+func (c Cursor) IsZero() bool { return c == Cursor{} }
+
+func (c Cursor) String() string {
+	return fmt.Sprintf("interfaces=%d gateways=%d subnets=%d", c.Interfaces, c.Gateways, c.Subnets)
+}
 
 // Report summarizes one replication pull.
 type Report struct {
@@ -37,18 +71,21 @@ func (r Report) String() string {
 // a batching destination is fully written when Pull reports success.
 type flusher interface{ Flush() error }
 
-// Pull copies everything modified since `since` (zero = everything) from
-// src into dst. Records are replayed as observations: discovery first,
-// then verification, so the destination's stamps bracket the source's.
+// Pull copies every record src mutated after cur (the zero Cursor =
+// everything) into dst, and returns the cursor to resume from next time.
+// Records are replayed as observations: discovery first, then
+// verification, so the destination's stamps bracket the source's.
 //
-// When dst buffers stores (jclient.Buffered), the replay rides the batched
-// wire protocol — one round trip per batch instead of one per observation —
-// and Pull flushes the tail before returning.
-func Pull(dst, src journal.Sink, since time.Time) (Report, error) {
+// When dst buffers stores (jclient.Buffered), the replay rides the
+// batched wire protocol — one round trip per batch instead of one per
+// observation — and Pull flushes the tail before returning. On error the
+// returned cursor covers what was already replayed, so a retry resumes
+// rather than restarts.
+func Pull(dst journal.Sink, src Source, cur Cursor) (Report, Cursor, error) {
 	reg := obs.Default()
 	reg.Counter("replicate_pulls_total").Inc()
 	span := reg.StartSpan("replicate:pull")
-	rep, err := pull(dst, src, since)
+	rep, next, err := pull(dst, src, cur)
 	if f, ok := dst.(flusher); ok {
 		if ferr := f.Flush(); ferr != nil && err == nil {
 			err = ferr
@@ -65,112 +102,158 @@ func Pull(dst, src journal.Sink, since time.Time) (Report, error) {
 	span.SetAttr("gateways", strconv.Itoa(rep.Gateways))
 	span.SetAttr("subnets", strconv.Itoa(rep.Subnets))
 	span.End(err)
-	return rep, err
+	return rep, next, err
 }
 
-func pull(dst, src journal.Sink, since time.Time) (Report, error) {
+func pull(dst journal.Sink, src Source, cur Cursor) (Report, Cursor, error) {
 	var rep Report
+	next := cur
 
-	ifs, err := src.Interfaces(journal.Query{ModifiedSince: since})
-	if err != nil {
-		return rep, err
+	// Interfaces, one page of changes at a time.
+	for {
+		recs, seq, more, err := src.InterfaceChanges(next.Interfaces, 0)
+		if err != nil {
+			return rep, next, err
+		}
+		for _, rec := range recs {
+			if err := replayInterface(dst, rec); err != nil {
+				return rep, next, err
+			}
+			rep.Interfaces++
+		}
+		next.Interfaces = seq
+		if !more {
+			break
+		}
 	}
-	for _, rec := range ifs {
-		obs := journal.IfaceObs{
-			IP:             rec.IP,
-			Name:           rec.Name,
-			RIPSource:      rec.RIPSource,
-			RIPPromiscuous: rec.RIPPromiscuous,
-			Source:         rec.Sources,
-			At:             rec.Stamp.Discovered,
+
+	// Gateways: member interface IDs are source-local, so each is
+	// resolved to an address with an indexed per-ID query, cached across
+	// the pull — never a full journal scan.
+	ipCache := map[journal.ID]pkt.IP{}
+	resolve := func(id journal.ID) (pkt.IP, bool, error) {
+		if ip, ok := ipCache[id]; ok {
+			return ip, ip != 0, nil
 		}
-		if !rec.MAC.IsZero() {
-			obs.HasMAC, obs.MAC = true, rec.MAC
+		recs, err := src.Interfaces(journal.Query{HasID: true, ByID: id})
+		if err != nil {
+			return 0, false, err
 		}
-		if rec.Mask != 0 {
-			obs.HasMask, obs.Mask = true, rec.Mask
+		var ip pkt.IP
+		if len(recs) > 0 {
+			ip = recs[0].IP
 		}
-		if _, _, err := dst.StoreInterface(obs); err != nil {
-			return rep, err
+		ipCache[id] = ip
+		return ip, ip != 0, nil
+	}
+	for {
+		recs, seq, more, err := src.GatewayChanges(next.Gateways, 0)
+		if err != nil {
+			return rep, next, err
 		}
-		// Re-verify at the source's latest verification time, and carry
-		// aliases across.
-		obs.At = rec.Stamp.Verified
-		if _, _, err := dst.StoreInterface(obs); err != nil {
-			return rep, err
-		}
-		for _, alias := range rec.Aliases {
-			if _, _, err := dst.StoreInterface(journal.IfaceObs{
-				IP: rec.IP, Name: alias, Source: rec.Sources, At: rec.Stamp.Verified,
+		for _, gw := range recs {
+			var ips []pkt.IP
+			for _, ifID := range gw.Ifaces {
+				ip, ok, err := resolve(ifID)
+				if err != nil {
+					return rep, next, err
+				}
+				if ok {
+					ips = append(ips, ip)
+				}
+			}
+			if len(ips) == 0 && len(gw.Subnets) == 0 {
+				continue
+			}
+			if _, err := dst.StoreGateway(journal.GatewayObs{
+				IfaceIPs:     ips,
+				Subnets:      gw.Subnets,
+				Questionable: gw.Questionable,
+				Source:       gw.Sources,
+				At:           gw.Stamp.Verified,
 			}); err != nil {
-				return rep, err
+				return rep, next, err
 			}
+			rep.Gateways++
 		}
-		rep.Interfaces++
+		next.Gateways = seq
+		if !more {
+			break
+		}
 	}
 
-	// Gateways: resolve member interface IDs to addresses via the source.
-	gws, err := src.Gateways()
-	if err != nil {
-		return rep, err
-	}
-	srcIfs, err := src.Interfaces(journal.Query{})
-	if err != nil {
-		return rep, err
-	}
-	byID := map[journal.ID]pkt.IP{}
-	for _, rec := range srcIfs {
-		byID[rec.ID] = rec.IP
-	}
-	for _, gw := range gws {
-		var ips []pkt.IP
-		for _, ifID := range gw.Ifaces {
-			if ip, ok := byID[ifID]; ok {
-				ips = append(ips, ip)
+	for {
+		recs, seq, more, err := src.SubnetChanges(next.Subnets, 0)
+		if err != nil {
+			return rep, next, err
+		}
+		for _, sn := range recs {
+			if _, err := dst.StoreSubnet(journal.SubnetObs{
+				Subnet:    sn.Subnet,
+				Metric:    sn.RIPMetric,
+				HostCount: sn.HostCount,
+				LoAddr:    sn.LoAddr,
+				HiAddr:    sn.HiAddr,
+				Source:    sn.Sources,
+				At:        sn.Stamp.Verified,
+			}); err != nil {
+				return rep, next, err
 			}
+			rep.Subnets++
 		}
-		if len(ips) == 0 && len(gw.Subnets) == 0 {
-			continue
+		next.Subnets = seq
+		if !more {
+			break
 		}
-		if _, err := dst.StoreGateway(journal.GatewayObs{
-			IfaceIPs:     ips,
-			Subnets:      gw.Subnets,
-			Questionable: gw.Questionable,
-			Source:       gw.Sources,
-			At:           gw.Stamp.Verified,
-		}); err != nil {
-			return rep, err
-		}
-		rep.Gateways++
 	}
-
-	sns, err := src.Subnets()
-	if err != nil {
-		return rep, err
-	}
-	for _, sn := range sns {
-		if _, err := dst.StoreSubnet(journal.SubnetObs{
-			Subnet:    sn.Subnet,
-			Metric:    sn.RIPMetric,
-			HostCount: sn.HostCount,
-			LoAddr:    sn.LoAddr,
-			HiAddr:    sn.HiAddr,
-			Source:    sn.Sources,
-			At:        sn.Stamp.Verified,
-		}); err != nil {
-			return rep, err
-		}
-		rep.Subnets++
-	}
-	return rep, nil
+	return rep, next, nil
 }
 
-// Exchange performs a bidirectional pull between two sites.
-func Exchange(a, b journal.Sink, since time.Time) (Report, Report, error) {
-	ab, err := Pull(b, a, since)
-	if err != nil {
-		return ab, Report{}, err
+// replayInterface replays one interface record into dst as observations.
+func replayInterface(dst journal.Sink, rec *journal.InterfaceRec) error {
+	obs := journal.IfaceObs{
+		IP:             rec.IP,
+		Name:           rec.Name,
+		RIPSource:      rec.RIPSource,
+		RIPPromiscuous: rec.RIPPromiscuous,
+		Source:         rec.Sources,
+		At:             rec.Stamp.Discovered,
 	}
-	ba, err := Pull(a, b, since)
-	return ab, ba, err
+	if !rec.MAC.IsZero() {
+		obs.HasMAC, obs.MAC = true, rec.MAC
+	}
+	if rec.Mask != 0 {
+		obs.HasMask, obs.Mask = true, rec.Mask
+	}
+	if _, _, err := dst.StoreInterface(obs); err != nil {
+		return err
+	}
+	// Re-verify at the source's latest verification time, and carry
+	// aliases across.
+	obs.At = rec.Stamp.Verified
+	if _, _, err := dst.StoreInterface(obs); err != nil {
+		return err
+	}
+	for _, alias := range rec.Aliases {
+		if _, _, err := dst.StoreInterface(journal.IfaceObs{
+			IP: rec.IP, Name: alias, Source: rec.Sources, At: rec.Stamp.Verified,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exchange performs a bidirectional pull between two sites: a's changes
+// after ab flow to b, then b's changes after ba flow back to a. The
+// returned cursors resume the next exchange. Note the second pull re-sends
+// records the first just merged into b (they are fresh mutations of b);
+// both journals' merge logic makes that replay idempotent.
+func Exchange(a, b Source, ab, ba Cursor) (repAB, repBA Report, nextAB, nextBA Cursor, err error) {
+	repAB, nextAB, err = Pull(b, a, ab)
+	if err != nil {
+		return repAB, Report{}, nextAB, ba, err
+	}
+	repBA, nextBA, err = Pull(a, b, ba)
+	return repAB, repBA, nextAB, nextBA, err
 }

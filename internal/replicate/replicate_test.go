@@ -29,7 +29,7 @@ func TestPullCopiesEverything(t *testing.T) {
 	src := journal.New()
 	seedSite(src, 10)
 	dst := journal.New()
-	rep, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, time.Time{})
+	rep, _, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, Cursor{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestPullMergesWithLocalEvidence(t *testing.T) {
 		Source: journal.SrcTraceroute, At: t0})
 	b.StoreGateway(journal.GatewayObs{IfaceIPs: []pkt.IP{pkt.IPv4(10, 0, 1, 1), pkt.IPv4(10, 0, 2, 1)},
 		Source: journal.SrcDNS, At: t0})
-	if _, _, err := Exchange(journal.Local{J: a}, journal.Local{J: b}, time.Time{}); err != nil {
+	if _, _, _, _, err := Exchange(journal.Local{J: a}, journal.Local{J: b}, Cursor{}, Cursor{}); err != nil {
 		t.Fatal(err)
 	}
 	for name, j := range map[string]*journal.Journal{"a": a, "b": b} {
@@ -86,7 +86,7 @@ func TestPullIsIdempotent(t *testing.T) {
 	src, dst := journal.New(), journal.New()
 	seedSite(src, 20)
 	for i := 0; i < 3; i++ {
-		if _, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, time.Time{}); err != nil {
+		if _, _, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, Cursor{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -99,19 +99,77 @@ func TestPullIsIdempotent(t *testing.T) {
 	}
 }
 
-func TestPullSince(t *testing.T) {
+func TestPullIncrementalCursor(t *testing.T) {
+	// The cursor returned by one pull makes the next pull transfer only
+	// what the source mutated in between.
 	src, dst := journal.New(), journal.New()
 	src.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 1), Source: journal.SrcICMP, At: t0})
+	rep, cur, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interfaces != 1 {
+		t.Fatalf("first pull copied %d interfaces, want 1", rep.Interfaces)
+	}
 	src.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 0, 0, 2), Source: journal.SrcICMP, At: t0.Add(48 * time.Hour)})
-	rep, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, t0.Add(24*time.Hour))
+	rep, cur, err = Pull(journal.Local{J: dst}, journal.Local{J: src}, cur)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Interfaces != 1 {
 		t.Fatalf("incremental pull copied %d interfaces, want 1", rep.Interfaces)
 	}
-	if len(dst.Interfaces(journal.Query{ByIP: pkt.IPv4(10, 0, 0, 1), HasIP: true})) != 0 {
-		t.Fatal("old record copied despite since filter")
+	if cur.Interfaces != src.CurSeq() {
+		t.Fatalf("cursor = %d, want source seq %d", cur.Interfaces, src.CurSeq())
+	}
+}
+
+func TestPullRerunTransfersZero(t *testing.T) {
+	// The acceptance criterion: a re-run against an unchanged source
+	// transfers zero records — the sequence cursor short-circuits.
+	src, dst := journal.New(), journal.New()
+	seedSite(src, 50)
+	rep, cur, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interfaces == 0 || rep.Gateways == 0 || rep.Subnets == 0 {
+		t.Fatalf("first pull empty: %+v", rep)
+	}
+	rep, cur2, err := Pull(journal.Local{J: dst}, journal.Local{J: src}, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != (Report{}) {
+		t.Fatalf("re-run against unchanged source transferred records: %+v", rep)
+	}
+	if cur2 != cur {
+		t.Fatalf("cursor moved without source mutations: %+v -> %+v", cur, cur2)
+	}
+}
+
+func TestCursorFileRoundtrip(t *testing.T) {
+	path := t.TempDir() + "/cursors"
+	want := CursorFile{
+		Forward: Cursor{Interfaces: 12, Gateways: 3, Subnets: 4},
+		Reverse: Cursor{Interfaces: 7},
+	}
+	if err := SaveCursors(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCursors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("roundtrip: got %+v, want %+v", got, want)
+	}
+	// A missing file is the zero cursor, not an error.
+	if got, err = LoadCursors(path + ".missing"); err != nil || got != (CursorFile{}) {
+		t.Fatalf("missing file: %+v, %v", got, err)
+	}
+	if _, err := ParseCursor("bogus=1"); err == nil {
+		t.Fatal("unknown cursor key accepted")
 	}
 }
 
@@ -141,12 +199,19 @@ func TestPullOverTCP(t *testing.T) {
 	}
 	defer dstC.Close()
 
-	rep, err := Pull(dstC, srcC, time.Time{})
+	rep, cur, err := Pull(dstC, srcC, Cursor{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Interfaces == 0 {
 		t.Fatal("nothing replicated over TCP")
+	}
+	// A cursor re-run over the wire is also a zero-transfer no-op.
+	if rep, _, err = Pull(dstC, srcC, cur); err != nil {
+		t.Fatal(err)
+	}
+	if rep != (Report{}) {
+		t.Fatalf("TCP re-run transferred records: %+v", rep)
 	}
 	if dstSrv.Journal().NumInterfaces() != srcJ.NumInterfaces() {
 		t.Fatalf("counts differ: %d vs %d",
@@ -182,7 +247,7 @@ func TestPullBatchedOverTCP(t *testing.T) {
 	}
 	defer dstC.Close()
 
-	rep, err := Pull(dstC.Buffered(0), srcC, time.Time{})
+	rep, _, err := Pull(dstC.Buffered(0), srcC, Cursor{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +267,7 @@ func TestPullBatchedOverTCP(t *testing.T) {
 	// The batched pull converges to the same journal as a record-at-a-time
 	// pull into a fresh local journal.
 	plain := journal.New()
-	if _, err := Pull(journal.Local{J: plain}, srcC, time.Time{}); err != nil {
+	if _, _, err := Pull(journal.Local{J: plain}, srcC, Cursor{}); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := dstSrv.Journal().NumInterfaces(), plain.NumInterfaces(); got != want {
