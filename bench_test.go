@@ -11,6 +11,7 @@
 package fremont_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -286,9 +287,7 @@ func BenchmarkAblation_BcastVsSeq(b *testing.B) {
 		run(b, explorer.BroadcastPing{}, explorer.Params{})
 	})
 	b.Run("sequential", func(b *testing.B) {
-		cfg := campus.DefaultConfig()
 		sn := pkt.SubnetOf(pkt.IPv4(128, 138, 238, 0), pkt.MaskBits(24))
-		_ = cfg
 		run(b, explorer.SeqPing{}, explorer.Params{RangeLo: sn.FirstHost(), RangeHi: sn.LastHost()})
 	})
 }
@@ -408,19 +407,33 @@ func BenchmarkJwireBatchVsSingle(b *testing.B) {
 	})
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// seconds per wall second on the full campus with RIP churning.
+// BenchmarkSimulatorThroughput measures raw simulation speed on the full
+// campus with RIP churning: simulated seconds per wall second, scheduler
+// events per wall second, and heap allocations per delivered frame.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cfg := campus.DefaultConfig()
 	cfg.Seed = benchSeed
 	cfg.Chatter = false
 	cfg.Liveness = false
 	c := campus.Build(cfg)
+	events0 := c.Net.Sched.Stats().Executed
+	frames0 := c.Net.TotalFrames()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Net.Run(time.Minute)
 	}
-	b.ReportMetric(60, "sim-sec/op")
+	b.StopTimer()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	wall := b.Elapsed().Seconds()
+	simSec := float64(b.N) * 60
+	b.ReportMetric(simSec/wall, "sim-sec/wall-sec")
+	b.ReportMetric(float64(c.Net.Sched.Stats().Executed-events0)/wall, "events/sec")
+	if frames := c.Net.TotalFrames() - frames0; frames > 0 {
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(frames), "allocs/frame")
+	}
 }
 
 // BenchmarkAblation_MultiVantage measures the paper's multi-location

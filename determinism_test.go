@@ -1,0 +1,70 @@
+package fremont_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"fremont/internal/core"
+	"fremont/internal/explorer"
+	"fremont/internal/jserver"
+	"fremont/internal/netsim/campus"
+)
+
+// Golden trace for the simulation engine. The discrete-event engine is
+// allowed to get faster, but never to change behaviour: a fixed-seed run of
+// the campus — background chatter, liveness cycling, RIP advertisements,
+// passive and active modules — must produce a byte-identical Journal and the
+// same frame count, run after run and rewrite after rewrite. Same-timestamp
+// events tie-break by scheduling sequence, so any queue replacement that
+// perturbs that order shows up here immediately.
+//
+// If a deliberate behaviour change invalidates these constants, rerun the
+// test and copy the digest/frame count it reports into the constants below
+// (the failure message prints both).
+const (
+	goldenTraceDigest = "2a16481de47b37471479cb7b7773f12826cbc9de80fb5e241f7b939704effd21"
+	goldenTraceFrames = 38366
+)
+
+// goldenTraceRun runs the campus for ~30 simulated minutes at a fixed seed:
+// passive RIPwatch, an active broadcast-ping sweep, and an ARPwatch window,
+// all over the default (chattering, liveness-cycled) campus. It returns the
+// SHA-256 of the resulting Journal snapshot encoding and the total frame
+// count offered to all segments.
+func goldenTraceRun(t *testing.T) (string, int) {
+	t.Helper()
+	cfg := campus.DefaultConfig()
+	cfg.Seed = benchSeed
+	sys := core.NewSystem(cfg)
+	sys.Advance(5 * time.Minute)
+	if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunModule(explorer.BroadcastPing{}, explorer.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunModule(explorer.ARPwatch{}, explorer.Params{Duration: 15 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(jserver.EncodeSnapshot(sys.J))
+	return hex.EncodeToString(sum[:]), sys.Campus.Net.TotalFrames()
+}
+
+func TestGoldenTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulated campus run")
+	}
+	d1, f1 := goldenTraceRun(t)
+	d2, f2 := goldenTraceRun(t)
+	if d1 != d2 || f1 != f2 {
+		t.Fatalf("two identical-seed runs diverged:\nrun1 digest=%s frames=%d\nrun2 digest=%s frames=%d",
+			d1, f1, d2, f2)
+	}
+	if d1 != goldenTraceDigest || f1 != goldenTraceFrames {
+		t.Fatalf("golden trace drifted: digest=%s frames=%d, want digest=%s frames=%d\n"+
+			"(a simulator change altered observable behaviour; if intentional, update the constants)",
+			d1, f1, goldenTraceDigest, goldenTraceFrames)
+	}
+}

@@ -26,12 +26,17 @@ func (n *Network) StartRIP(nd *Node) *sim.Proc {
 	// single AF_UNSPEC entry of metric 16 asks for the whole table. This
 	// is what makes the RIPquery extension module able to read routing
 	// information from gateways on other subnets.
+	var rq pkt.RIPPacket // scratch; handlers run one-at-a-time under the scheduler
 	nd.RegisterUDPService(pkt.PortRIP, func(_ *Node, src pkt.IP, srcPort uint16, dst pkt.IP, payload []byte) {
 		if !nd.Up {
 			return
 		}
-		rq, err := pkt.DecodeRIP(payload)
-		if err != nil || rq.Command != pkt.RIPRequest {
+		// Every router on the wire hears every advertisement; skip the
+		// decode unless the command byte says Request.
+		if len(payload) == 0 || payload[0] != pkt.RIPRequest {
+			return
+		}
+		if err := pkt.DecodeRIPInto(&rq, payload); err != nil || rq.Command != pkt.RIPRequest {
 			return
 		}
 		wholeTable := len(rq.Entries) == 1 && rq.Entries[0].Family == 0 &&
@@ -134,9 +139,12 @@ func (n *Network) StartPromiscuousRIP(nd *Node, period time.Duration) *sim.Proc 
 			order = append(order, sn.Addr)
 		}
 	}
+	var rp pkt.RIPPacket // scratch; handlers run one-at-a-time under the scheduler
 	nd.RegisterUDPService(pkt.PortRIP, func(_ *Node, src pkt.IP, _ uint16, _ pkt.IP, payload []byte) {
-		rp, err := pkt.DecodeRIP(payload)
-		if err != nil || rp.Command != pkt.RIPResponse || nd.HasIP(src) {
+		if len(payload) == 0 || payload[0] != pkt.RIPResponse || nd.HasIP(src) {
+			return
+		}
+		if err := pkt.DecodeRIPInto(&rp, payload); err != nil || rp.Command != pkt.RIPResponse {
 			return
 		}
 		for _, e := range rp.Entries {

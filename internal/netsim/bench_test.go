@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// BenchmarkSegmentDelivery measures the wire hot path in isolation:
+// encode, collision accounting, and delivery into the receiving stack,
+// with no reply traffic (the receivers have echo disabled). The unicast
+// case exercises the byMAC index; the broadcast case fans one frame out to
+// every attached interface.
+func BenchmarkSegmentDelivery(b *testing.B) {
+	build := func() (*Network, *Iface, *Iface) {
+		n := New(1)
+		seg := n.NewSegment("wire", pkt.SubnetOf(pkt.IPv4(10, 0, 0, 0), pkt.MaskBits(24)))
+		var first, second *Iface
+		for i := 0; i < 16; i++ {
+			nd := n.NewNode(fmt.Sprintf("h%d", i))
+			nd.RespondsEcho = false // pure receive path, no generated replies
+			ifc := nd.AddIface(seg, pkt.IPv4(10, 0, 0, byte(10+i)), pkt.MaskBits(24))
+			switch i {
+			case 0:
+				first = ifc
+			case 1:
+				second = ifc
+			}
+		}
+		return n, first, second
+	}
+	frameTo := func(src *Iface, dstMAC pkt.MAC, dstIP pkt.IP) *pkt.Frame {
+		icmp := &pkt.ICMPMessage{Type: pkt.ICMPEcho, ID: 7, Seq: 1, Data: []byte("delivery-benchmark")}
+		ip := &pkt.IPv4Packet{
+			Header:  pkt.IPv4Header{Protocol: pkt.ProtoICMP, Src: src.IP, Dst: dstIP, TTL: 30, ID: 1},
+			Payload: icmp.Encode(),
+		}
+		return &pkt.Frame{Dst: dstMAC, Src: src.MAC, EtherType: pkt.EtherTypeIPv4, Payload: ip.Encode()}
+	}
+
+	b.Run("unicast", func(b *testing.B) {
+		n, src, dst := build()
+		f := frameTo(src, dst.MAC, dst.IP)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Seg.Transmit(src, f)
+			n.Run(time.Millisecond)
+		}
+		b.StopTimer()
+		if dst.RxFrames == 0 {
+			b.Fatal("no frames delivered")
+		}
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		n, src, dst := build()
+		f := frameTo(src, pkt.BroadcastMAC, src.Subnet().Broadcast())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Seg.Transmit(src, f)
+			n.Run(time.Millisecond)
+		}
+		b.StopTimer()
+		if dst.RxFrames == 0 {
+			b.Fatal("no frames delivered")
+		}
+	})
+}

@@ -39,19 +39,29 @@ type Network struct {
 	mBytes      *obs.Counter
 	mDropped    *obs.Counter
 	mBroadcasts *obs.Counter
+
+	// Engine counters, synced as deltas from Scheduler.Stats after each Run
+	// so the per-event hot path never touches the registry.
+	mEvents       *obs.Counter
+	mTimerStops   *obs.Counter
+	mCompactions  *obs.Counter
+	lastSchedStat sim.SchedulerStats
 }
 
 // New creates an empty network on a fresh scheduler seeded with seed.
 func New(seed int64) *Network {
 	reg := obs.Default()
 	return &Network{
-		Sched:       sim.NewScheduler(seed),
-		byIP:        map[pkt.IP]*Iface{},
-		byName:      map[string]*Node{},
-		mFrames:     reg.Counter("netsim_frames_total"),
-		mBytes:      reg.Counter("netsim_frame_bytes_total"),
-		mDropped:    reg.Counter("netsim_dropped_total"),
-		mBroadcasts: reg.Counter("netsim_broadcasts_total"),
+		Sched:        sim.NewScheduler(seed),
+		byIP:         map[pkt.IP]*Iface{},
+		byName:       map[string]*Node{},
+		mFrames:      reg.Counter("netsim_frames_total"),
+		mBytes:       reg.Counter("netsim_frame_bytes_total"),
+		mDropped:     reg.Counter("netsim_dropped_total"),
+		mBroadcasts:  reg.Counter("netsim_broadcasts_total"),
+		mEvents:      reg.Counter("netsim_sim_events_total"),
+		mTimerStops:  reg.Counter("netsim_timer_stops_total"),
+		mCompactions: reg.Counter("netsim_queue_compactions_total"),
 	}
 }
 
@@ -67,7 +77,9 @@ func (n *Network) NewSegment(name string, subnet pkt.Subnet) *Segment {
 		CollisionWindow: 2 * time.Millisecond,
 		CollisionFree:   3,
 		CollisionProb:   0.008,
+		byMAC:           map[pkt.MAC]*Iface{},
 	}
+	seg.deliverFn = seg.deliver
 	n.Segments = append(n.Segments, seg)
 	return seg
 }
@@ -113,7 +125,19 @@ func (n *Network) nextMAC() pkt.MAC {
 }
 
 // Run advances the simulation for d of virtual time.
-func (n *Network) Run(d time.Duration) { n.Sched.RunFor(d) }
+func (n *Network) Run(d time.Duration) {
+	n.Sched.RunFor(d)
+	n.syncEngineStats()
+}
+
+// syncEngineStats publishes scheduler counter deltas to the registry.
+func (n *Network) syncEngineStats() {
+	st := n.Sched.Stats()
+	n.mEvents.Add(int64(st.Executed - n.lastSchedStat.Executed))
+	n.mTimerStops.Add(int64(st.TimersStopped - n.lastSchedStat.TimersStopped))
+	n.mCompactions.Add(int64(st.Compactions - n.lastSchedStat.Compactions))
+	n.lastSchedStat = st
+}
 
 // Now returns the current virtual wall-clock time.
 func (n *Network) Now() time.Time { return n.Sched.WallNow() }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
 )
 
 // ErrNoRoute is returned when a node has no route to a destination.
@@ -50,6 +51,7 @@ type arpWait struct {
 	ifc    *Iface
 	queued [][]byte // encoded IP packets awaiting resolution
 	tries  int
+	retry  sim.Timer // pending retransmit; stopped the moment a reply resolves
 }
 
 // ARPEntry is a snapshot row of a node's ARP table, as read by the
@@ -122,7 +124,12 @@ func (nd *Node) AddIface(seg *Segment, ip pkt.IP, mask pkt.Mask) *Iface {
 
 // SetMAC overrides an interface's MAC address (for modeling hardware
 // changes and duplicate-address faults).
-func (nd *Node) SetMAC(ifc *Iface, mac pkt.MAC) { ifc.MAC = mac }
+func (nd *Node) SetMAC(ifc *Iface, mac pkt.MAC) {
+	ifc.MAC = mac
+	if ifc.Seg != nil {
+		ifc.Seg.reindexMAC()
+	}
+}
 
 // AddRoute installs a static route through gateway, reachable via the
 // interface on gateway's subnet.
@@ -164,6 +171,19 @@ func (nd *Node) HasIP(ip pkt.IP) bool {
 		}
 	}
 	return false
+}
+
+// learnARP installs or refreshes a cache entry. Refreshing mutates the
+// existing record in place: broadcast-heavy wires refresh neighbours on
+// nearly every frame, and this path must not allocate.
+func (nd *Node) learnARP(ip pkt.IP, mac pkt.MAC) {
+	now := nd.net.Sched.Now()
+	if e, ok := nd.arp[ip]; ok {
+		e.mac = mac
+		e.learned = now
+		return
+	}
+	nd.arp[ip] = &arpEntry{mac: mac, learned: now}
 }
 
 // ARPTable returns a sorted snapshot of the node's ARP cache (live entries
@@ -271,7 +291,8 @@ func (nd *Node) sendARPRequest(ifc *Iface, target pkt.IP) {
 }
 
 func (nd *Node) scheduleARPRetry(target pkt.IP) {
-	nd.net.Sched.After(time.Second, func() {
+	pending := nd.arpPending[target]
+	pending.retry = nd.net.Sched.AfterTimer(time.Second, func() {
 		w, still := nd.arpPending[target]
 		if !still || !nd.Up {
 			return
@@ -292,18 +313,26 @@ func (nd *Node) xmit(ifc *Iface, f *pkt.Frame) {
 
 // --- Receiving --------------------------------------------------------
 
-func (nd *Node) receiveFrame(ifc *Iface, raw []byte) {
+// receiveFrame hands an encoded frame to the node's stack. It reports
+// whether any consumer retained a reference into raw past this call — the
+// segment recycles the encode buffer only when nothing did. Decoders alias
+// rather than copy (Frame.Payload, IPv4Packet.Payload, ICMP Data/Original,
+// UDP Payload all point into raw), so any path that stores a decoded
+// message or defers its encoding retains the buffer.
+func (nd *Node) receiveFrame(ifc *Iface, raw []byte) (retained bool) {
 	ifc.RxFrames++
-	f, err := pkt.DecodeFrame(raw)
-	if err != nil {
-		return
+	var f pkt.Frame // stack-decoded; handlers never store the struct itself
+	if pkt.DecodeFrameInto(&f, raw) != nil {
+		return false
 	}
 	switch f.EtherType {
 	case pkt.EtherTypeARP:
-		nd.handleARP(ifc, f)
+		nd.handleARP(ifc, &f) // DecodeARP copies every field; nothing aliases raw
+		return false
 	case pkt.EtherTypeIPv4:
-		nd.handleIP(ifc, f)
+		return nd.handleIP(ifc, &f)
 	}
+	return false
 }
 
 func (nd *Node) handleARP(ifc *Iface, f *pkt.Frame) {
@@ -325,7 +354,7 @@ func (nd *Node) handleARP(ifc *Iface, f *pkt.Frame) {
 	// existing entry on any ARP traffic; create one when we are the target.
 	if !a.SenderIP.IsZero() {
 		if _, have := nd.arp[a.SenderIP]; have || forMe {
-			nd.arp[a.SenderIP] = &arpEntry{mac: a.SenderMAC, learned: nd.net.Sched.Now()}
+			nd.learnARP(a.SenderIP, a.SenderMAC)
 		}
 	}
 	if a.Op == pkt.ARPRequest && (forMe || proxied) {
@@ -339,9 +368,10 @@ func (nd *Node) handleARP(ifc *Iface, f *pkt.Frame) {
 		nd.xmit(ifc, &pkt.Frame{Dst: a.SenderMAC, Src: ifc.MAC, EtherType: pkt.EtherTypeARP, Payload: reply.Encode()})
 	}
 	if a.Op == pkt.ARPReply {
-		nd.arp[a.SenderIP] = &arpEntry{mac: a.SenderMAC, learned: nd.net.Sched.Now()}
+		nd.learnARP(a.SenderIP, a.SenderMAC)
 		if w, ok := nd.arpPending[a.SenderIP]; ok {
 			delete(nd.arpPending, a.SenderIP)
+			w.retry.Stop() // resolved; the pending retransmit event is dead weight
 			for _, raw := range w.queued {
 				nd.xmit(w.ifc, &pkt.Frame{Dst: a.SenderMAC, Src: w.ifc.MAC, EtherType: pkt.EtherTypeIPv4, Payload: raw})
 			}
@@ -349,32 +379,34 @@ func (nd *Node) handleARP(ifc *Iface, f *pkt.Frame) {
 	}
 }
 
-func (nd *Node) handleIP(ifc *Iface, f *pkt.Frame) {
-	p, err := pkt.DecodeIPv4(f.Payload)
-	if err != nil {
-		return
+func (nd *Node) handleIP(ifc *Iface, f *pkt.Frame) (retained bool) {
+	var pv pkt.IPv4Packet // stack-decoded; consumers copy what they keep
+	if pkt.DecodeIPv4Into(&pv, f.Payload) != nil {
+		return false
 	}
+	p := &pv
 	// Learn the sender's MAC from the frame when the IP source is on this
 	// wire — the classic stack shortcut that lets a host answer a
 	// broadcast ping without first ARPing for the prober.
 	if ifc.Subnet().Contains(p.Header.Src) && !f.Src.IsBroadcast() && !p.Header.Src.IsZero() {
-		nd.arp[p.Header.Src] = &arpEntry{mac: f.Src, learned: nd.net.Sched.Now()}
+		nd.learnARP(p.Header.Src, f.Src)
 	}
 	dst := p.Header.Dst
 	if local, owner := nd.localOwner(ifc, dst); local {
-		nd.deliverLocal(owner, p, f.Payload)
+		retained = nd.deliverLocal(owner, p, f.Payload)
 		// A directed broadcast (or host-zero) for a connected subnet other
 		// than the arrival wire is both consumed (the router is a member
 		// of that subnet) and, policy permitting, forwarded onto the wire.
 		if nd.IsRouter && owner != ifc && !nd.HasIP(dst) &&
 			nd.ForwardsDirectedBcast && p.Header.TTL > 1 {
-			nd.reencodeAndSend(owner, p, dst)
+			nd.reencodeAndSend(owner, p, dst) // re-encode copies the payload
 		}
-		return
+		return retained
 	}
 	if nd.IsRouter {
 		nd.forward(ifc, p, f.Payload)
 	}
+	return false
 }
 
 // localOwner reports whether the node consumes a packet addressed to dst,
@@ -407,50 +439,59 @@ func (nd *Node) localOwner(arrival *Iface, dst pkt.IP) (bool, *Iface) {
 	return false, nil
 }
 
-func (nd *Node) deliverLocal(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
+func (nd *Node) deliverLocal(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) bool {
 	switch p.Header.Protocol {
 	case pkt.ProtoICMP:
-		nd.deliverICMP(ifc, p, rawIP)
+		return nd.deliverICMP(ifc, p, rawIP)
 	case pkt.ProtoUDP:
-		nd.deliverUDP(ifc, p, rawIP)
+		return nd.deliverUDP(ifc, p, rawIP)
 	default:
 		// "when the packet arrives at the destination, it will typically
 		// cause the destination host to send either an ICMP Protocol
 		// Unreachable or ICMP Port Unreachable message."
 		nd.sendICMPError(ifc, p, rawIP, pkt.ICMPUnreachable, pkt.UnreachProtocol)
+		return false // the error quotes via copy and encodes immediately
 	}
 }
 
-func (nd *Node) deliverICMP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
-	m, err := pkt.DecodeICMP(p.Payload)
-	if err != nil {
-		return
+func (nd *Node) deliverICMP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) (retained bool) {
+	var m pkt.ICMPMessage // stack-decoded; heap-copied only when a socket keeps it
+	if pkt.DecodeICMPInto(&m, p.Payload) != nil {
+		return false
 	}
-	// Hand a copy to every open ICMP socket (raw-socket semantics).
+	// Hand the message to every open ICMP socket (raw-socket semantics).
+	// m.Data and m.Original alias the frame bytes, so a queued event
+	// retains them.
 	if len(nd.icmpConns) > 0 {
-		ev := ICMPEvent{From: p.Header.Src, To: p.Header.Dst, TTL: p.Header.TTL, Msg: m, At: nd.net.Now()}
+		msg := new(pkt.ICMPMessage)
+		*msg = m
+		ev := ICMPEvent{From: p.Header.Src, To: p.Header.Dst, TTL: p.Header.TTL, Msg: msg, At: nd.net.Now()}
 		for _, c := range nd.icmpConns {
-			c.mb.Put(ev)
+			if c.mb.Put(ev) {
+				retained = true
+			}
 		}
 	}
 	switch m.Type {
 	case pkt.ICMPEcho:
 		if !nd.RespondsEcho {
-			return
+			return retained
 		}
 		reply := &pkt.ICMPMessage{Type: pkt.ICMPEchoReply, ID: m.ID, Seq: m.Seq, Data: m.Data}
 		nd.replyICMP(ifc, p, reply)
+		return true // reply aliases m.Data until the jitter event encodes it
 	case pkt.ICMPMaskRequest:
 		if !nd.RespondsMask {
-			return
+			return retained
 		}
 		mask := ifc.Mask
 		if nd.MaskReplyValue != 0 {
 			mask = nd.MaskReplyValue
 		}
 		reply := &pkt.ICMPMessage{Type: pkt.ICMPMaskReply, ID: m.ID, Seq: m.Seq, Mask: mask}
-		nd.replyICMP(ifc, p, reply)
+		nd.replyICMP(ifc, p, reply) // value fields only; no alias into raw
 	}
+	return retained
 }
 
 // replyICMP sends an ICMP reply back to the source of p, with a small
@@ -470,30 +511,34 @@ func (nd *Node) replyICMP(ifc *Iface, p *pkt.IPv4Packet, reply *pkt.ICMPMessage)
 	})
 }
 
-func (nd *Node) deliverUDP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) {
-	u, err := pkt.DecodeUDP(p.Payload, p.Header.Src, p.Header.Dst)
-	if err != nil {
-		return
+func (nd *Node) deliverUDP(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) (retained bool) {
+	var u pkt.UDPPacket // stack-decoded; events and replies copy the fields
+	if pkt.DecodeUDPInto(&u, p.Payload, p.Header.Src, p.Header.Dst) != nil {
+		return false
 	}
 	if h, ok := nd.udpHandlers[u.DstPort]; ok {
+		// u.Payload aliases the frame; a handler may keep it past the call.
 		h(nd, p.Header.Src, u.SrcPort, p.Header.Dst, u.Payload)
-		return
+		return true
 	}
 	if conns := nd.udpListeners[u.DstPort]; len(conns) > 0 {
 		ev := UDPEvent{Src: p.Header.Src, SrcPort: u.SrcPort, Dst: p.Header.Dst, Payload: u.Payload, At: nd.net.Now()}
 		for _, c := range conns {
-			c.mb.Put(ev)
+			if c.mb.Put(ev) {
+				retained = true
+			}
 		}
-		return
+		return retained
 	}
 	if u.DstPort == pkt.PortEcho && nd.UDPEchoEnabled {
 		reply := &pkt.UDPPacket{SrcPort: pkt.PortEcho, DstPort: u.SrcPort, Payload: u.Payload}
 		h := pkt.IPv4Header{Protocol: pkt.ProtoUDP, Src: ifc.IP, Dst: p.Header.Src, TTL: 30}
-		_ = nd.SendIP(h, reply.Encode(ifc.IP, p.Header.Src))
-		return
+		_ = nd.SendIP(h, reply.Encode(ifc.IP, p.Header.Src)) // Encode copies now
+		return false
 	}
 	// No consumer: port unreachable (the traceroute terminator).
 	nd.sendICMPError(ifc, p, rawIP, pkt.ICMPUnreachable, pkt.UnreachPort)
+	return false
 }
 
 // forward implements router behaviour: TTL decrement, Time Exceeded

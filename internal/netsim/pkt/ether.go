@@ -20,9 +20,20 @@ type Frame struct {
 
 const frameHeaderLen = 14
 
+// FrameWireLen returns the encoded size of a frame carrying payloadLen
+// bytes, letting callers account for a frame's wire cost without encoding
+// it (the simulator's drop paths never pay for an encode).
+func FrameWireLen(payloadLen int) int { return frameHeaderLen + payloadLen }
+
 // Encode serializes the frame.
 func (f *Frame) Encode() []byte {
-	w := writer{b: make([]byte, 0, frameHeaderLen+len(f.Payload))}
+	return f.AppendEncode(make([]byte, 0, frameHeaderLen+len(f.Payload)))
+}
+
+// AppendEncode appends the encoded frame to b and returns the extended
+// buffer, so hot paths can reuse scratch buffers across frames.
+func (f *Frame) AppendEncode(b []byte) []byte {
+	w := writer{b: b}
 	w.mac(f.Dst)
 	w.mac(f.Src)
 	w.u16(f.EtherType)
@@ -32,16 +43,25 @@ func (f *Frame) Encode() []byte {
 
 // DecodeFrame parses an Ethernet II frame.
 func DecodeFrame(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeFrameInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeFrameInto parses into a caller-provided struct, so hot receive
+// paths can keep the frame on the stack. f.Payload aliases b.
+func DecodeFrameInto(f *Frame, b []byte) error {
 	if len(b) < frameHeaderLen {
-		return nil, overrun("ethernet frame", len(b), frameHeaderLen)
+		return overrun("ethernet frame", len(b), frameHeaderLen)
 	}
 	r := reader{b: b}
-	f := &Frame{}
 	f.Dst = r.mac()
 	f.Src = r.mac()
 	f.EtherType = r.u16()
 	f.Payload = r.rest()
-	return f, r.err
+	return r.err
 }
 
 func (f *Frame) String() string {

@@ -69,14 +69,24 @@ func (m *ICMPMessage) Encode() []byte {
 
 // DecodeICMP parses an ICMP message and verifies its checksum.
 func DecodeICMP(b []byte) (*ICMPMessage, error) {
+	m := &ICMPMessage{}
+	if err := DecodeICMPInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeICMPInto parses into a caller-provided struct, so hot receive paths
+// can keep the message on the stack. Data and Original alias b.
+func DecodeICMPInto(m *ICMPMessage, b []byte) error {
 	if len(b) < 8 {
-		return nil, overrun("icmp message", len(b), 8)
+		return overrun("icmp message", len(b), 8)
 	}
 	if Checksum(b) != 0 {
-		return nil, fmt.Errorf("pkt: icmp checksum mismatch")
+		return fmt.Errorf("pkt: icmp checksum mismatch")
 	}
 	r := reader{b: b}
-	m := &ICMPMessage{}
+	*m = ICMPMessage{}
 	m.Type = r.u8()
 	m.Code = r.u8()
 	r.u16() // checksum
@@ -96,7 +106,7 @@ func DecodeICMP(b []byte) (*ICMPMessage, error) {
 		r.u32()
 		m.Data = r.rest()
 	}
-	return m, r.err
+	return r.err
 }
 
 // QuoteOriginal builds the RFC 792 quoted datagram (IP header + first 8

@@ -53,22 +53,31 @@ func (p *IPv4Packet) Encode() []byte {
 
 // DecodeIPv4 parses an IPv4 packet and verifies the header checksum.
 func DecodeIPv4(b []byte) (*IPv4Packet, error) {
+	p := &IPv4Packet{}
+	if err := DecodeIPv4Into(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeIPv4Into parses into a caller-provided struct, so hot receive paths
+// can keep the packet on the stack. p.Payload aliases b.
+func DecodeIPv4Into(p *IPv4Packet, b []byte) error {
 	if len(b) < ipv4HeaderLen {
-		return nil, overrun("ipv4 header", len(b), ipv4HeaderLen)
+		return overrun("ipv4 header", len(b), ipv4HeaderLen)
 	}
 	r := reader{b: b}
 	vihl := r.u8()
 	if vihl>>4 != 4 {
-		return nil, fmt.Errorf("pkt: not IPv4 (version %d)", vihl>>4)
+		return fmt.Errorf("pkt: not IPv4 (version %d)", vihl>>4)
 	}
 	ihl := int(vihl&0x0f) * 4
 	if ihl < ipv4HeaderLen || len(b) < ihl {
-		return nil, fmt.Errorf("pkt: bad IHL %d", ihl)
+		return fmt.Errorf("pkt: bad IHL %d", ihl)
 	}
 	if Checksum(b[:ihl]) != 0 {
-		return nil, fmt.Errorf("pkt: ipv4 header checksum mismatch")
+		return fmt.Errorf("pkt: ipv4 header checksum mismatch")
 	}
-	p := &IPv4Packet{}
 	h := &p.Header
 	h.TOS = r.u8()
 	totalLen := int(r.u16())
@@ -83,10 +92,10 @@ func DecodeIPv4(b []byte) (*IPv4Packet, error) {
 	h.Dst = r.ip()
 	r.bytes(ihl - ipv4HeaderLen) // skip options
 	if totalLen < ihl || totalLen > len(b) {
-		return nil, fmt.Errorf("pkt: ipv4 total length %d out of range", totalLen)
+		return fmt.Errorf("pkt: ipv4 total length %d out of range", totalLen)
 	}
 	p.Payload = b[ihl:totalLen]
-	return p, r.err
+	return r.err
 }
 
 // DecodeIPv4Header parses just the header of a possibly-truncated IPv4

@@ -54,16 +54,33 @@ func (p *RIPPacket) Encode() []byte {
 
 // DecodeRIP parses a RIP version 1 packet.
 func DecodeRIP(b []byte) (*RIPPacket, error) {
+	p := &RIPPacket{}
+	if err := DecodeRIPInto(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeRIPInto parses into a caller-provided packet, reusing its Entries
+// backing array. RIP chatter is the busiest protocol on an idle wire —
+// every router hears every other router's advertisement — so listeners keep
+// a scratch packet and decode without allocating. Entries hold no
+// references into b.
+func DecodeRIPInto(p *RIPPacket, b []byte) error {
 	if len(b) < ripHeaderLen {
-		return nil, overrun("rip packet", len(b), ripHeaderLen)
+		return overrun("rip packet", len(b), ripHeaderLen)
 	}
 	r := reader{b: b}
-	p := &RIPPacket{}
 	p.Command = r.u8()
 	if v := r.u8(); v != 1 {
-		return nil, fmt.Errorf("pkt: unsupported RIP version %d", v)
+		return fmt.Errorf("pkt: unsupported RIP version %d", v)
 	}
 	r.u16()
+	n := r.remaining() / ripEntryLen
+	if p.Entries == nil || cap(p.Entries) < n {
+		p.Entries = make([]RIPEntry, 0, n)
+	}
+	p.Entries = p.Entries[:0]
 	for r.remaining() >= ripEntryLen {
 		var e RIPEntry
 		e.Family = r.u16()
@@ -75,12 +92,12 @@ func DecodeRIP(b []byte) (*RIPPacket, error) {
 		p.Entries = append(p.Entries, e)
 	}
 	if r.remaining() != 0 {
-		return nil, fmt.Errorf("pkt: rip packet has %d trailing bytes", r.remaining())
+		return fmt.Errorf("pkt: rip packet has %d trailing bytes", r.remaining())
 	}
 	if len(p.Entries) > MaxRIPEntries {
-		return nil, fmt.Errorf("pkt: rip packet has %d entries (max %d)", len(p.Entries), MaxRIPEntries)
+		return fmt.Errorf("pkt: rip packet has %d entries (max %d)", len(p.Entries), MaxRIPEntries)
 	}
-	return p, r.err
+	return r.err
 }
 
 func (p *RIPPacket) String() string {

@@ -29,15 +29,7 @@ func (u *UDPPacket) Encode(src, dst IP) []byte {
 	w.u16(0) // checksum placeholder
 	w.bytes(u.Payload)
 
-	// Pseudo-header checksum.
-	ph := writer{b: make([]byte, 0, 12+len(w.b))}
-	ph.ip(src)
-	ph.ip(dst)
-	ph.u8(0)
-	ph.u8(ProtoUDP)
-	ph.u16(uint16(len(w.b)))
-	ph.bytes(w.b)
-	sum := Checksum(ph.b)
+	sum := PseudoChecksum(src, dst, ProtoUDP, w.b)
 	if sum == 0 {
 		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
 	}
@@ -48,32 +40,34 @@ func (u *UDPPacket) Encode(src, dst IP) []byte {
 // DecodeUDP parses a UDP datagram and, when src/dst are nonzero, verifies
 // the pseudo-header checksum.
 func DecodeUDP(b []byte, src, dst IP) (*UDPPacket, error) {
+	u := &UDPPacket{}
+	if err := DecodeUDPInto(u, b, src, dst); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DecodeUDPInto parses into a caller-provided struct, so hot receive paths
+// can keep the datagram on the stack. u.Payload aliases b.
+func DecodeUDPInto(u *UDPPacket, b []byte, src, dst IP) error {
 	if len(b) < udpHeaderLen {
-		return nil, overrun("udp datagram", len(b), udpHeaderLen)
+		return overrun("udp datagram", len(b), udpHeaderLen)
 	}
 	r := reader{b: b}
-	u := &UDPPacket{}
 	u.SrcPort = r.u16()
 	u.DstPort = r.u16()
 	length := int(r.u16())
 	cksum := r.u16()
 	if length < udpHeaderLen || length > len(b) {
-		return nil, fmt.Errorf("pkt: udp length %d out of range", length)
+		return fmt.Errorf("pkt: udp length %d out of range", length)
 	}
 	u.Payload = b[udpHeaderLen:length]
 	if cksum != 0 && !src.IsZero() {
-		ph := writer{b: make([]byte, 0, 12+length)}
-		ph.ip(src)
-		ph.ip(dst)
-		ph.u8(0)
-		ph.u8(ProtoUDP)
-		ph.u16(uint16(length))
-		ph.bytes(b[:length])
-		if s := Checksum(ph.b); s != 0 && s != 0xffff {
-			return nil, fmt.Errorf("pkt: udp checksum mismatch")
+		if s := PseudoChecksum(src, dst, ProtoUDP, b[:length]); s != 0 && s != 0xffff {
+			return fmt.Errorf("pkt: udp checksum mismatch")
 		}
 	}
-	return u, r.err
+	return r.err
 }
 
 func (u *UDPPacket) String() string {

@@ -1,6 +1,7 @@
 package pkt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -108,13 +109,43 @@ func (r *reader) rest() []byte {
 
 // Checksum computes the RFC 1071 Internet checksum over b.
 func Checksum(b []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(b); i += 2 {
-		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	return finishChecksum(sum16(b))
+}
+
+// PseudoChecksum computes the Internet checksum of seg prefixed by the
+// RFC 768/793 pseudo-header (src, dst, zero, proto, length), without
+// materializing the pseudo-header. One's-complement addition commutes, so
+// this matches Checksum over an explicit pseudo-header + seg buffer.
+func PseudoChecksum(src, dst IP, proto byte, seg []byte) uint16 {
+	sum := uint32(src>>16) + uint32(src&0xffff) +
+		uint32(dst>>16) + uint32(dst&0xffff) +
+		uint32(proto) + uint32(len(seg))
+	return finishChecksum(sum + sum16(seg))
+}
+
+// sum16 adds b as big-endian 16-bit words. Eight bytes at a time: summing
+// 32-bit groups is equivalent under the end-around-carry fold, and a uint64
+// accumulator cannot overflow for any packet-sized input.
+func sum16(b []byte) uint32 {
+	var sum uint64
+	for len(b) >= 8 {
+		sum += uint64(binary.BigEndian.Uint32(b)) + uint64(binary.BigEndian.Uint32(b[4:]))
+		b = b[8:]
 	}
-	if len(b)%2 == 1 {
-		sum += uint32(b[len(b)-1]) << 8
+	for len(b) >= 2 {
+		sum += uint64(binary.BigEndian.Uint16(b))
+		b = b[2:]
 	}
+	if len(b) == 1 {
+		sum += uint64(b[0]) << 8
+	}
+	for sum > 0xffffffff {
+		sum = sum&0xffffffff + sum>>32
+	}
+	return uint32(sum)
+}
+
+func finishChecksum(sum uint32) uint16 {
 	for sum > 0xffff {
 		sum = (sum & 0xffff) + (sum >> 16)
 	}

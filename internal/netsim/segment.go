@@ -27,6 +27,13 @@ type SegmentStats struct {
 // concurrent competitor. "These directed broadcasts tend to be less
 // successful than sequential pings on a subnet with many hosts, because
 // closely spaced replies can cause many collisions."
+//
+// The transmit/deliver path is the simulator's hottest loop and is built
+// accordingly: unicast destinations resolve through a MAC index instead of
+// an interface scan, delivery events carry pooled pre-bound payloads
+// instead of fresh closures, the collision window is a ring buffer, frames
+// dropped on the wire are never encoded at all, and encode buffers are
+// recycled whenever no tap or socket retained the bytes.
 type Segment struct {
 	net    *Network
 	Name   string
@@ -39,10 +46,28 @@ type Segment struct {
 	RandomLoss      float64 // base random frame loss
 
 	ifaces []*Iface
+	byMAC  map[pkt.MAC]*Iface // unicast index; first-attached wins on duplicates
 	taps   []*Tap
 
-	recentTx []time.Duration
-	Stats    SegmentStats
+	// Transmissions inside the collision window, a time-ordered ring.
+	txBuf  []time.Duration // power-of-two length
+	txHead int
+	txLen  int
+
+	deliverFn sim.EventFunc // bound once; scheduling a delivery allocates nothing
+	freeJobs  []*delivery
+	freeBufs  [][]byte
+
+	Stats SegmentStats
+}
+
+// delivery is a pooled, pre-bound frame-delivery payload.
+type delivery struct {
+	from        *Iface
+	dst         pkt.MAC
+	raw         []byte
+	bcast       bool
+	tapRetained bool
 }
 
 // Ifaces returns the interfaces attached to the segment.
@@ -51,6 +76,43 @@ func (s *Segment) Ifaces() []*Iface { return s.ifaces }
 // attach wires an interface to the segment (called by Node.AddIface).
 func (s *Segment) attach(ifc *Iface) {
 	s.ifaces = append(s.ifaces, ifc)
+	if _, dup := s.byMAC[ifc.MAC]; !dup {
+		s.byMAC[ifc.MAC] = ifc
+	}
+}
+
+// reindexMAC rebuilds the unicast index after a MAC change (hardware swaps,
+// duplicate-address fault injection). Attach order decides ties, matching
+// the delivery rule before the index existed.
+func (s *Segment) reindexMAC() {
+	clear(s.byMAC)
+	for _, ifc := range s.ifaces {
+		if _, dup := s.byMAC[ifc.MAC]; !dup {
+			s.byMAC[ifc.MAC] = ifc
+		}
+	}
+}
+
+// noteTx records a transmission at now, expires entries older than cutoff,
+// and returns the number of transmissions inside the window (including this
+// one). Amortized O(1): the ring exploits that timestamps arrive in order.
+func (s *Segment) noteTx(now, cutoff time.Duration) int {
+	mask := len(s.txBuf) - 1
+	for s.txLen > 0 && s.txBuf[s.txHead] < cutoff {
+		s.txHead = (s.txHead + 1) & mask
+		s.txLen--
+	}
+	if s.txLen == len(s.txBuf) {
+		grown := make([]time.Duration, max(16, 2*len(s.txBuf)))
+		for i := 0; i < s.txLen; i++ {
+			grown[i] = s.txBuf[(s.txHead+i)&mask]
+		}
+		s.txBuf = grown
+		s.txHead = 0
+	}
+	s.txBuf[(s.txHead+s.txLen)&(len(s.txBuf)-1)] = now
+	s.txLen++
+	return s.txLen
 }
 
 // Transmit offers a frame to the wire from the sending interface. Delivery
@@ -59,27 +121,20 @@ func (s *Segment) attach(ifc *Iface) {
 func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
 	sched := s.net.Sched
 	now := sched.Now()
-	raw := frame.Encode()
+	wireLen := pkt.FrameWireLen(len(frame.Payload))
 
 	s.Stats.Frames++
-	s.Stats.Bytes += len(raw)
+	s.Stats.Bytes += wireLen
 	s.net.mFrames.Inc()
-	s.net.mBytes.Add(int64(len(raw)))
-	if frame.Dst.IsBroadcast() {
+	s.net.mBytes.Add(int64(wireLen))
+	bcast := frame.Dst.IsBroadcast()
+	if bcast {
 		s.Stats.Broadcasts++
 		s.net.mBroadcasts.Inc()
 	}
 
 	// Collision model: count transmissions within the window.
-	cutoff := now - s.CollisionWindow
-	keep := s.recentTx[:0]
-	for _, t := range s.recentTx {
-		if t >= cutoff {
-			keep = append(keep, t)
-		}
-	}
-	s.recentTx = append(keep, now)
-	concurrent := len(s.recentTx)
+	concurrent := s.noteTx(now, now-s.CollisionWindow)
 
 	rng := sched.Rand()
 	if extra := concurrent - s.CollisionFree; extra > 0 && s.CollisionProb > 0 {
@@ -99,29 +154,85 @@ func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
 		return
 	}
 
+	// The frame survived the wire; encode it once, into a recycled buffer.
+	raw := frame.AppendEncode(s.takeBuf())
+
 	// Taps observe surviving frames (promiscuous).
+	tapRetained := false
 	for _, tap := range s.taps {
-		tap.offer(raw)
+		if tap.offer(raw) {
+			tapRetained = true
+		}
 	}
 
-	sched.After(s.Latency, func() {
-		if frame.Dst.IsBroadcast() {
-			for _, ifc := range s.ifaces {
-				if ifc != from && ifc.Node.Up {
-					ifc.Node.receiveFrame(ifc, raw)
-				}
-			}
-			return
-		}
+	d := s.takeJob()
+	d.from = from
+	d.dst = frame.Dst
+	d.raw = raw
+	d.bcast = bcast
+	d.tapRetained = tapRetained
+	sched.AfterEvent(s.Latency, s.deliverFn, d, 0)
+}
+
+// deliver runs after the segment latency: hand the frame to its receivers,
+// then recycle the job — and the encode buffer, unless a tap or a receiver
+// retained the bytes.
+func (s *Segment) deliver(arg any, _ uint64) {
+	d := arg.(*delivery)
+	raw, retained := d.raw, d.tapRetained
+	if d.bcast {
 		for _, ifc := range s.ifaces {
-			if ifc.MAC == frame.Dst {
-				if ifc.Node.Up {
-					ifc.Node.receiveFrame(ifc, raw)
+			if ifc != d.from && ifc.Node.Up {
+				if ifc.Node.receiveFrame(ifc, raw) {
+					retained = true
 				}
-				return
 			}
 		}
-	})
+	} else if ifc := s.byMAC[d.dst]; ifc != nil {
+		if ifc.Node.Up {
+			if ifc.Node.receiveFrame(ifc, raw) {
+				retained = true
+			}
+		}
+	}
+	if !retained {
+		s.putBuf(raw)
+	}
+	s.putJob(d)
+}
+
+func (s *Segment) takeJob() *delivery {
+	if n := len(s.freeJobs); n > 0 {
+		d := s.freeJobs[n-1]
+		s.freeJobs[n-1] = nil
+		s.freeJobs = s.freeJobs[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (s *Segment) putJob(d *delivery) {
+	*d = delivery{}
+	if len(s.freeJobs) < 64 {
+		s.freeJobs = append(s.freeJobs, d)
+	}
+}
+
+func (s *Segment) takeBuf() []byte {
+	if n := len(s.freeBufs); n > 0 {
+		b := s.freeBufs[n-1]
+		s.freeBufs[n-1] = nil
+		s.freeBufs = s.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (s *Segment) putBuf(b []byte) {
+	if cap(b) == 0 || len(s.freeBufs) >= 32 {
+		return
+	}
+	s.freeBufs = append(s.freeBufs, b)
 }
 
 // Tap is a promiscuous raw-frame observer on a segment — the simulator's
@@ -135,15 +246,17 @@ type Tap struct {
 	Seen   int // frames matched and queued
 }
 
-func (t *Tap) offer(raw []byte) {
+// offer hands a surviving frame to the tap; it reports whether the tap's
+// mailbox retained the bytes (so the segment knows the buffer escaped).
+func (t *Tap) offer(raw []byte) bool {
 	if t.closed {
-		return
+		return false
 	}
 	if t.Filter != nil && !t.Filter(raw) {
-		return
+		return false
 	}
 	t.Seen++
-	t.mb.Put(raw)
+	return t.mb.Put(raw)
 }
 
 // Recv blocks the process until a frame matching the filter arrives, or the

@@ -8,32 +8,45 @@ import "time"
 //
 // Put may be called from any event or process context. Get blocks the
 // calling process.
+//
+// The blocking path is allocation-lean and leaves nothing behind: waiter
+// records are pooled, the timeout handler is pre-bound (no closure per
+// Get), and a timed Get that is satisfied — by a delivery, a timeout, or a
+// Kill — stops its wakeup timer and removes its waiter record immediately,
+// so neither the event queue nor the waiter list accumulates corpses.
 type Mailbox[T any] struct {
-	s       *Scheduler
-	q       []T
-	waiters []*mboxWaiter[T]
-	max     int // 0 = unbounded
-	dropped int
+	s         *Scheduler
+	q         []T
+	waiters   []*mboxWaiter[T]
+	free      []*mboxWaiter[T] // waiter pool; one Get per parked proc, so small
+	timeoutFn EventFunc        // bound once at construction; no closure per Get
+	max       int              // 0 = unbounded
+	dropped   int
 }
 
 type mboxWaiter[T any] struct {
 	p         *Proc
 	gen       uint64
 	val       T
+	timer     Timer
 	delivered bool
 	cancelled bool
 }
 
 // NewMailbox returns an unbounded mailbox.
 func NewMailbox[T any](s *Scheduler) *Mailbox[T] {
-	return &Mailbox[T]{s: s}
+	m := &Mailbox[T]{s: s}
+	m.timeoutFn = m.waiterTimeout
+	return m
 }
 
 // NewBoundedMailbox returns a mailbox that holds at most max queued
 // messages; further Puts are dropped (and counted), modeling a socket
 // receive buffer.
 func NewBoundedMailbox[T any](s *Scheduler, max int) *Mailbox[T] {
-	return &Mailbox[T]{s: s, max: max}
+	m := &Mailbox[T]{s: s, max: max}
+	m.timeoutFn = m.waiterTimeout
+	return m
 }
 
 // Len reports the number of queued (undelivered) messages.
@@ -43,24 +56,30 @@ func (m *Mailbox[T]) Len() int { return len(m.q) }
 func (m *Mailbox[T]) Dropped() int { return m.dropped }
 
 // Put delivers v: directly to the longest-waiting process if any, otherwise
-// onto the queue.
-func (m *Mailbox[T]) Put(v T) {
+// onto the queue. It reports whether the message was delivered or queued
+// (false means the bound dropped it) — callers that pool the underlying
+// bytes use this to know whether the mailbox retained them.
+func (m *Mailbox[T]) Put(v T) bool {
 	for len(m.waiters) > 0 {
 		w := m.waiters[0]
-		m.waiters = m.waiters[1:]
+		m.popFrontWaiter()
 		if w.cancelled || w.p.done || w.p.killed {
 			continue
 		}
 		w.delivered = true
 		w.val = v
+		// The timeout for this waiter can no longer matter; drop it from
+		// the event queue now rather than at its deadline.
+		w.timer.Stop()
 		w.p.wakeAt(w.gen)
-		return
+		return true
 	}
 	if m.max > 0 && len(m.q) >= m.max {
 		m.dropped++
-		return
+		return false
 	}
 	m.q = append(m.q, v)
+	return true
 }
 
 // TryGet pops the oldest queued message without blocking.
@@ -80,24 +99,80 @@ func (m *Mailbox[T]) Get(p *Proc, timeout time.Duration) (v T, ok bool) {
 	if v, ok := m.TryGet(); ok {
 		return v, true
 	}
-	w := &mboxWaiter[T]{p: p, gen: p.arm()}
+	w := m.takeWaiter()
+	w.p = p
+	w.gen = p.arm()
 	m.waiters = append(m.waiters, w)
 	if timeout >= 0 {
-		m.s.After(timeout, func() {
-			if w.delivered || w.cancelled {
-				return
-			}
-			w.cancelled = true
-			p.wakeAt(w.gen)
-		})
+		w.timer = m.s.AfterEventTimer(timeout, m.timeoutFn, w, 0)
+		p.wake = w.timer // lets Kill cancel the timeout along with the park
 	}
+	// Cleanup runs on every exit — delivery, timeout, and the panic unwind
+	// of a Kill — so a waiter record never outlives its Get and the waiter
+	// list stays bounded by the number of parked processes.
+	defer func() {
+		w.timer.Stop()
+		if !w.delivered {
+			m.removeWaiter(w) // no-op if the timeout already removed it
+		}
+		m.recycleWaiter(w)
+	}()
 	p.park()
 	if w.delivered {
 		return w.val, true
 	}
-	w.cancelled = true // a Kill can also end the park; drop the waiter slot
 	var zero T
 	return zero, false
+}
+
+// waiterTimeout is the pre-bound timeout handler: cancel the waiter, prune
+// it from the list, and wake its process (which observes !delivered).
+func (m *Mailbox[T]) waiterTimeout(arg any, _ uint64) {
+	w := arg.(*mboxWaiter[T])
+	if w.delivered || w.cancelled {
+		return
+	}
+	w.cancelled = true
+	m.removeWaiter(w)
+	w.p.wakeAt(w.gen)
+}
+
+// popFrontWaiter removes waiters[0] preserving the backing array.
+func (m *Mailbox[T]) popFrontWaiter() {
+	n := len(m.waiters)
+	copy(m.waiters, m.waiters[1:])
+	m.waiters[n-1] = nil
+	m.waiters = m.waiters[:n-1]
+}
+
+// removeWaiter deletes w from the waiter list, preserving FIFO order.
+func (m *Mailbox[T]) removeWaiter(w *mboxWaiter[T]) {
+	for i, x := range m.waiters {
+		if x == w {
+			copy(m.waiters[i:], m.waiters[i+1:])
+			m.waiters[len(m.waiters)-1] = nil
+			m.waiters = m.waiters[:len(m.waiters)-1]
+			return
+		}
+	}
+}
+
+func (m *Mailbox[T]) takeWaiter() *mboxWaiter[T] {
+	if n := len(m.free); n > 0 {
+		w := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		return w
+	}
+	return &mboxWaiter[T]{}
+}
+
+func (m *Mailbox[T]) recycleWaiter(w *mboxWaiter[T]) {
+	var zero T
+	*w = mboxWaiter[T]{val: zero}
+	if len(m.free) < 64 {
+		m.free = append(m.free, w)
+	}
 }
 
 // Drain removes and returns all queued messages.

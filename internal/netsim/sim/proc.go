@@ -16,10 +16,13 @@ import (
 // is therefore deterministic despite using goroutines.
 //
 // Every park is tagged with a generation number, and every wakeup event is
-// armed for a specific generation. A stale wakeup (for example, a mailbox
-// timeout firing after the message already arrived, or a Kill racing a
-// timer) finds the generation advanced and does nothing, so a park is
-// resumed exactly once.
+// armed for a specific generation. A stale wakeup (for example, a Kill
+// racing a timer) finds the generation advanced and does nothing, so a park
+// is resumed exactly once. The generation check is the correctness
+// backstop; cancellable timers are the performance layer on top — a wakeup
+// that will never be needed (a Sleep cut short by Kill, a mailbox timeout
+// beaten by a delivery) is removed from the event queue immediately instead
+// of surviving as a dead entry until its deadline.
 type Proc struct {
 	s    *Scheduler
 	name string
@@ -29,6 +32,7 @@ type Proc struct {
 
 	gen      uint64 // current park generation; advanced by arm()
 	isParked bool
+	wake     Timer // pending Sleep/timeout wakeup; stopped by Kill
 
 	done   bool
 	killed bool
@@ -95,18 +99,24 @@ func (p *Proc) arm() uint64 {
 	return p.gen
 }
 
+// procWake is the shared wakeup handler: resume p if it is still parked in
+// generation aux. Pre-bound (no closure) so arming a wakeup is
+// allocation-free.
+func procWake(arg any, aux uint64) {
+	p := arg.(*Proc)
+	if p.done || !p.isParked || p.gen != aux {
+		return
+	}
+	p.isParked = false // claim the park before handing over control
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
 // wakeAt schedules the process to resume at the current virtual time if it
 // is still parked in generation gen. Safe to call multiple times; only the
 // first matching wakeup resumes the park.
 func (p *Proc) wakeAt(gen uint64) {
-	p.s.After(0, func() {
-		if p.done || !p.isParked || p.gen != gen {
-			return
-		}
-		p.isParked = false // claim the park before handing over control
-		p.resume <- struct{}{}
-		<-p.parked
-	})
+	p.s.AfterEvent(0, procWake, p, gen)
 }
 
 // park suspends the process until a wakeup for the current generation fires.
@@ -130,14 +140,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	gen := p.arm()
-	p.s.After(d, func() {
-		if p.done || !p.isParked || p.gen != gen {
-			return
-		}
-		p.isParked = false
-		p.resume <- struct{}{}
-		<-p.parked
-	})
+	p.wake = p.s.AfterEventTimer(d, procWake, p, gen)
 	p.park()
 }
 
@@ -159,5 +162,8 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
+	// The pending Sleep/timeout wakeup will never be needed; remove it from
+	// the queue instead of leaving a dead event until its deadline.
+	p.wake.Stop()
 	p.wakeAt(p.gen)
 }

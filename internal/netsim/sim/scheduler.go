@@ -9,51 +9,75 @@
 // source. Processes are goroutines, but at most one is runnable at any
 // moment — the scheduler hands control to a process and waits for it to park
 // again — so execution is single-threaded in effect and fully deterministic.
+//
+// The event queue is built for the hot path: events are value-typed entries
+// in a 4-ary heap (no per-event allocation, no interface boxing), handlers
+// can be pre-bound (EventFunc + arg + aux) so scheduling a frame delivery or
+// a process wakeup allocates no closure, and timers are cancellable — a
+// satisfied timeout is removed from the queue instead of being dragged
+// through every heap operation until its deadline.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
+// EventFunc is a pre-bound event handler. arg and aux are captured at
+// scheduling time, letting hot paths (frame delivery, process wakeups,
+// mailbox timeouts) schedule events without allocating a closure per event.
+type EventFunc func(arg any, aux uint64)
+
+// event is one queued entry. Value-typed on purpose: the queue is a []event
+// and heap operations move events by copy, never through a pointer or an
+// interface.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	aux  uint64
+	slot int32 // timer slot index, or -1 for fire-and-forget events
+	fn   EventFunc
+	arg  any
+}
+
+// timerSlot tracks one cancellable event. Slots are reused through a free
+// list; gen distinguishes a live Timer handle from a stale one pointing at a
+// recycled slot.
+type timerSlot struct {
+	gen       uint32
+	armed     bool
+	cancelled bool
+}
+
 // Scheduler owns the virtual clock and the pending event queue.
 type Scheduler struct {
 	now   time.Duration
 	base  time.Time
-	queue eventQueue
+	queue []event // 4-ary min-heap ordered by (at, seq)
 	seq   uint64
 	rng   *rand.Rand
+
+	slots      []timerSlot
+	freeSlots  []int32
+	ncancelled int // cancelled events still occupying queue entries
+
+	executed      uint64 // live events run
+	timersStopped uint64
+	compactions   uint64
 
 	nprocs  int // live (spawned, unfinished) processes
 	stopped bool
 }
 
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// SchedulerStats is a snapshot of the engine's internal counters, for
+// benchmarks and the observability layer.
+type SchedulerStats struct {
+	Executed      uint64 // events popped and run (cancelled events excluded)
+	TimersStopped uint64 // successful Timer.Stop calls
+	Compactions   uint64 // queue sweeps that evicted cancelled entries
+	Pending       int    // live (non-cancelled) queued events
+	Cancelled     int    // cancelled entries awaiting eviction
 }
 
 // NewScheduler returns a scheduler whose virtual clock starts at zero and
@@ -79,23 +103,168 @@ func (s *Scheduler) WallNow() time.Time { return s.base.Add(s.now) }
 // event or process context (never concurrently).
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
+// Stats returns a snapshot of the engine counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	return SchedulerStats{
+		Executed:      s.executed,
+		TimersStopped: s.timersStopped,
+		Compactions:   s.compactions,
+		Pending:       len(s.queue) - s.ncancelled,
+		Cancelled:     s.ncancelled,
+	}
+}
+
+// runClosure adapts a plain func() to the EventFunc shape. Func values are
+// pointer-shaped, so boxing one into arg does not allocate.
+func runClosure(arg any, _ uint64) { arg.(func())() }
+
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error in the caller; the event is clamped to the current time.
 func (s *Scheduler) At(t time.Duration, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.schedule(t, runClosure, fn, 0, -1)
 }
 
 // After schedules fn to run d from now. Negative d means "now".
 func (s *Scheduler) After(d time.Duration, fn func()) {
-	s.At(s.now+d, fn)
+	s.schedule(s.now+d, runClosure, fn, 0, -1)
 }
 
-// Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// AtEvent schedules a pre-bound handler at virtual time t without
+// allocating a closure: fn is invoked as fn(arg, aux).
+func (s *Scheduler) AtEvent(t time.Duration, fn EventFunc, arg any, aux uint64) {
+	s.schedule(t, fn, arg, aux, -1)
+}
+
+// AfterEvent schedules a pre-bound handler d from now.
+func (s *Scheduler) AfterEvent(d time.Duration, fn EventFunc, arg any, aux uint64) {
+	s.schedule(s.now+d, fn, arg, aux, -1)
+}
+
+// AtTimer schedules fn at virtual time t and returns a handle that can
+// cancel it before it fires.
+func (s *Scheduler) AtTimer(t time.Duration, fn func()) Timer {
+	return s.scheduleTimer(t, runClosure, fn, 0)
+}
+
+// AfterTimer schedules fn to run d from now, cancellable via the returned
+// handle.
+func (s *Scheduler) AfterTimer(d time.Duration, fn func()) Timer {
+	return s.scheduleTimer(s.now+d, runClosure, fn, 0)
+}
+
+// AfterEventTimer schedules a pre-bound handler d from now, cancellable via
+// the returned handle. This is the hot-path primitive: no closure, no
+// per-event allocation, and the event leaves the queue the moment it is no
+// longer needed.
+func (s *Scheduler) AfterEventTimer(d time.Duration, fn EventFunc, arg any, aux uint64) Timer {
+	return s.scheduleTimer(s.now+d, fn, arg, aux)
+}
+
+func (s *Scheduler) schedule(t time.Duration, fn EventFunc, arg any, aux uint64, slot int32) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, aux: aux, slot: slot, fn: fn, arg: arg})
+}
+
+func (s *Scheduler) scheduleTimer(t time.Duration, fn EventFunc, arg any, aux uint64) Timer {
+	idx := s.allocSlot()
+	s.schedule(t, fn, arg, aux, idx)
+	return Timer{s: s, idx: idx, gen: s.slots[idx].gen}
+}
+
+func (s *Scheduler) allocSlot() int32 {
+	var idx int32
+	if n := len(s.freeSlots); n > 0 {
+		idx = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		idx = int32(len(s.slots))
+		s.slots = append(s.slots, timerSlot{})
+	}
+	sl := &s.slots[idx]
+	sl.armed = true
+	sl.cancelled = false
+	return idx
+}
+
+func (s *Scheduler) releaseSlot(idx int32) {
+	sl := &s.slots[idx]
+	sl.gen++
+	sl.armed = false
+	sl.cancelled = false
+	s.freeSlots = append(s.freeSlots, idx)
+}
+
+// Timer is a handle to a scheduled event. The zero Timer is valid and inert.
+type Timer struct {
+	s   *Scheduler
+	idx int32
+	gen uint32
+}
+
+// Stop cancels the timer, guaranteeing its handler will not run. It returns
+// true if the call prevented a pending event from firing, false if the
+// event already fired, was already stopped, or the handle is stale or zero.
+// Stopping is O(1); the dead queue entry is skipped on pop or evicted by a
+// periodic compaction sweep, so it never costs heap work at its deadline.
+func (t Timer) Stop() bool {
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.idx]
+	if sl.gen != t.gen || !sl.armed || sl.cancelled {
+		return false
+	}
+	sl.cancelled = true
+	t.s.ncancelled++
+	t.s.timersStopped++
+	t.s.maybeCompact()
+	return true
+}
+
+// Active reports whether the timer is still pending (not fired, not
+// stopped).
+func (t Timer) Active() bool {
+	if t.s == nil {
+		return false
+	}
+	sl := &t.s.slots[t.idx]
+	return sl.gen == t.gen && sl.armed && !sl.cancelled
+}
+
+// maybeCompact sweeps cancelled entries out of the queue once they dominate
+// it, so a timeout-heavy workload (every Recv arming and then stopping a
+// timer) keeps the heap proportional to the live event count. Amortized
+// O(1) per cancellation.
+func (s *Scheduler) maybeCompact() {
+	if s.ncancelled < 64 || s.ncancelled*2 < len(s.queue) {
+		return
+	}
+	keep := s.queue[:0]
+	for _, e := range s.queue {
+		if e.slot >= 0 && s.slots[e.slot].cancelled {
+			s.releaseSlot(e.slot)
+			continue
+		}
+		keep = append(keep, e)
+	}
+	for i := len(keep); i < len(s.queue); i++ {
+		s.queue[i] = event{} // release fn/arg for GC
+	}
+	s.queue = keep
+	s.ncancelled = 0
+	s.compactions++
+	if n := len(keep); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+}
+
+// Pending reports the number of live (non-cancelled) queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) - s.ncancelled }
 
 // Stop makes the current Run/RunUntil call return after the current event
 // completes.
@@ -125,14 +294,95 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
 func (s *Scheduler) step() {
-	e := heap.Pop(&s.queue).(*event)
+	e := s.popRoot()
+	if e.slot >= 0 {
+		cancelled := s.slots[e.slot].cancelled
+		s.releaseSlot(e.slot)
+		if cancelled {
+			// A stopped timer neither runs nor advances the clock.
+			s.ncancelled--
+			return
+		}
+	}
 	if e.at > s.now {
 		s.now = e.at
 	}
-	e.fn()
+	s.executed++
+	e.fn(e.arg, e.aux)
+}
+
+// --- 4-ary min-heap over []event, ordered by (at, seq) -----------------
+//
+// A 4-ary layout halves the tree depth of a binary heap: pops do a few more
+// comparisons per level but far fewer cache-missing level hops, which wins
+// for the simulator's queue sizes (thousands of pending events).
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e event) {
+	s.queue = append(s.queue, e)
+	// Sift up.
+	q := s.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(&e, &q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = e
+}
+
+func (s *Scheduler) popRoot() event {
+	q := s.queue
+	n := len(q) - 1
+	root := q[0]
+	last := q[n]
+	q[n] = event{} // release fn/arg for GC
+	s.queue = q[:n]
+	if n > 0 {
+		s.queue[0] = last
+		s.siftDown(0)
+	}
+	return root
+}
+
+func (s *Scheduler) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	e := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(&q[c], &q[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&q[min], &e) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = e
 }
 
 // String describes the scheduler state, for debugging.
 func (s *Scheduler) String() string {
-	return fmt.Sprintf("sim: t=%v queued=%d procs=%d", s.now, len(s.queue), s.nprocs)
+	return fmt.Sprintf("sim: t=%v queued=%d procs=%d", s.now, s.Pending(), s.nprocs)
 }

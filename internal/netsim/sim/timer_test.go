@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	tm := s.AfterTimer(time.Second, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("armed timer not Active")
+	}
+	if !tm.Stop() {
+		t.Fatal("first Stop did not report cancelling a pending event")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported cancelling again")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer still Active")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after stopping the only timer, want 0", s.Pending())
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("stopped timer advanced the clock to %v", s.Now())
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.AfterTimer(time.Second, func() {})
+	s.Run()
+	if tm.Active() {
+		t.Fatal("fired timer still Active")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported cancelling")
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() {
+		t.Fatal("zero Timer is Active")
+	}
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop reported cancelling")
+	}
+}
+
+func TestStaleTimerHandleDoesNotCancelReusedSlot(t *testing.T) {
+	s := NewScheduler(1)
+	a := s.AfterTimer(time.Second, func() {})
+	s.Run() // a fires; its slot is released for reuse
+	fired := false
+	b := s.AfterTimer(time.Second, func() { fired = true })
+	if a.Stop() {
+		t.Fatal("stale handle reported cancelling")
+	}
+	if !b.Active() {
+		t.Fatal("stale Stop deactivated an unrelated timer")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("timer in a reused slot did not fire")
+	}
+}
+
+func TestTimerCompaction(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	timers := make([]Timer, 200)
+	for i := range timers {
+		timers[i] = s.AfterTimer(time.Duration(i+1)*time.Second, func() { fired++ })
+	}
+	for i := 0; i < len(timers); i += 2 {
+		timers[i].Stop()
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatalf("no compaction after %d of %d timers stopped: %+v", 100, 200, st)
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", s.Pending())
+	}
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100", fired)
+	}
+	if st := s.Stats(); st.Cancelled != 0 {
+		t.Fatalf("cancelled corpses left after Run: %+v", st)
+	}
+}
+
+func TestSleepLeavesNoCorpses(t *testing.T) {
+	s := NewScheduler(1)
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Second)
+		}
+	})
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after all procs finished, want 0", s.Pending())
+	}
+	if st := s.Stats(); st.Cancelled != 0 {
+		t.Fatalf("cancelled corpses after Run: %+v", st)
+	}
+}
+
+// TestMailboxTimedGetLeavesNoWaiters is the regression test for the waiter
+// leak: a Get satisfied by timeout used to leave its waiter record in the
+// list forever, so a process polling a quiet mailbox grew the list without
+// bound (and every later Put scanned the corpses).
+func TestMailboxTimedGetLeavesNoWaiters(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	s.Spawn("poller", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			if _, ok := mb.Get(p, time.Second); ok {
+				t.Error("Get on an empty mailbox succeeded")
+			}
+			if n := len(mb.waiters); n != 0 {
+				t.Errorf("iteration %d: %d waiter records after timed-out Get, want 0", i, n)
+			}
+		}
+	})
+	s.Run()
+	if n := len(mb.waiters); n != 0 {
+		t.Fatalf("%d waiter records left after run, want 0", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// TestMailboxDeliveryStopsTimeoutTimer checks the flip side: a delivery
+// must remove the waiter's timeout event from the queue immediately, not
+// leave it to fire (harmlessly but expensively) at its distant deadline.
+func TestMailboxDeliveryStopsTimeoutTimer(t *testing.T) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	got := 0
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			v, ok := mb.Get(p, time.Hour)
+			if !ok {
+				t.Error("Get timed out despite deliveries")
+				return
+			}
+			got += v
+			if n := len(mb.waiters); n != 0 {
+				t.Errorf("%d waiter records after delivered Get, want 0", n)
+			}
+		}
+	})
+	for i := 0; i < 50; i++ {
+		s.After(time.Duration(i+1)*time.Second, func() { mb.Put(1) })
+	}
+	s.Run()
+	if got != 50 {
+		t.Fatalf("delivered %d, want 50", got)
+	}
+	if s.Now() >= time.Hour {
+		t.Fatalf("clock reached %v: a satisfied Get's timeout still ran to its deadline", s.Now())
+	}
+	if st := s.Stats(); st.TimersStopped < 50 {
+		t.Fatalf("TimersStopped = %d, want >= 50 (one per delivery)", st.TimersStopped)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestKillLeavesNoCorpses(t *testing.T) {
+	s := NewScheduler(1)
+	p := s.Spawn("sleeper", func(p *Proc) { p.Sleep(24 * time.Hour) })
+	s.After(time.Second, func() { p.Kill() })
+	s.RunUntil(2 * time.Second)
+	if !p.Done() {
+		t.Fatal("killed sleeper not done")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after kill, want 0 (the 24h wakeup should be gone)", s.Pending())
+	}
+}
+
+func benchNopEvent(any, uint64) {}
+
+// BenchmarkSchedulerTimers measures the arm/stop cycle that dominates
+// timeout-heavy workloads: every probe arms a deadline and nearly every
+// deadline is cancelled by the reply arriving first.
+func BenchmarkSchedulerTimers(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.AfterEventTimer(time.Millisecond, benchNopEvent, nil, 0)
+		if i&1 == 0 {
+			tm.Stop()
+		}
+		if i&1023 == 1023 {
+			s.RunFor(2 * time.Millisecond)
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkMailboxTimedGet measures the blocking receive path: each Get
+// arms a timeout, each Put beats it and must tear the timer back down.
+func BenchmarkMailboxTimedGet(b *testing.B) {
+	s := NewScheduler(1)
+	mb := NewMailbox[int](s)
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := mb.Get(p, time.Hour); !ok {
+				b.Error("Get timed out")
+				return
+			}
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+			mb.Put(i)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+}

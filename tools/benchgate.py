@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Benchmark gate for the simulator hot path.
+
+Parses `go test -bench` output, writes every reported metric to a JSON
+artifact (BENCH_sim.json), and fails if a gated metric regresses past its
+tolerance relative to the committed baseline.
+
+Usage: benchgate.py <bench-output.txt> <baseline.json> <artifact.json>
+
+The baseline gates on ratios, not raw wall time: sim-sec/wall-sec varies
+with runner hardware, so its baseline is set conservatively below typical
+CI throughput, while allocs/frame is hardware-independent and gated tight.
+"""
+
+import json
+import re
+import sys
+
+BENCH_LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$")
+
+
+def parse(path):
+    """Return {bench name: {unit: value}} for every benchmark line."""
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            m = BENCH_LINE.match(line.strip())
+            if not m:
+                continue
+            name, rest = m.groups()
+            fields = rest.split()
+            vals = metrics.setdefault(name, {})
+            for value, unit in zip(fields[::2], fields[1::2]):
+                try:
+                    vals[unit] = float(value)
+                except ValueError:
+                    pass
+    return metrics
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__.strip())
+    bench_out, baseline_path, artifact = sys.argv[1:4]
+
+    metrics = parse(bench_out)
+    if not metrics:
+        sys.exit(f"benchgate: no benchmark lines found in {bench_out}")
+    with open(artifact, "w") as f:
+        json.dump(metrics, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"benchgate: wrote {len(metrics)} benchmarks to {artifact}")
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for gate in baseline["gates"]:
+        bench, metric = gate["bench"], gate["metric"]
+        got = metrics.get(bench, {}).get(metric)
+        if got is None:
+            failures.append(f"{bench} did not report {metric!r}")
+            continue
+        tol = gate.get("tolerance", 0.2)
+        if "min" in gate:
+            floor = gate["min"] * (1 - tol)
+            verdict = "ok" if got >= floor else "REGRESSED"
+            print(f"benchgate: {bench} {metric} = {got:g} "
+                  f"(baseline {gate['min']:g}, floor {floor:g}) {verdict}")
+            if got < floor:
+                failures.append(
+                    f"{bench} {metric} = {got:g}, more than {tol:.0%} below "
+                    f"baseline {gate['min']:g}")
+        if "max" in gate:
+            ceil = gate["max"] * (1 + tol)
+            verdict = "ok" if got <= ceil else "REGRESSED"
+            print(f"benchgate: {bench} {metric} = {got:g} "
+                  f"(baseline {gate['max']:g}, ceiling {ceil:g}) {verdict}")
+            if got > ceil:
+                failures.append(
+                    f"{bench} {metric} = {got:g}, more than {tol:.0%} above "
+                    f"baseline {gate['max']:g}")
+
+    if failures:
+        for f_ in failures:
+            print(f"::error::benchgate: {f_}")
+        sys.exit(1)
+    print("benchgate: all gates passed")
+
+
+if __name__ == "__main__":
+    main()
