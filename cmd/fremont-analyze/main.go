@@ -6,6 +6,13 @@
 // Usage:
 //
 //	fremont-analyze -journal localhost:4741 [-stale-after 168h]
+//	fremont-analyze -journal localhost:4741 -follow [-correlate]
+//
+// With -follow the program subscribes to the server's change stream and
+// alerts the moment a pushed record completes a problem's evidence — no
+// polling interval, no re-running the batch pass. -correlate
+// additionally runs the streaming cross-correlation pass, writing
+// inferred gateways back to the journal as their evidence arrives.
 package main
 
 import (
@@ -15,13 +22,17 @@ import (
 	"time"
 
 	"fremont/internal/analysis"
+	"fremont/internal/correlate"
 	"fremont/internal/jclient"
+	"fremont/internal/journal"
 )
 
 func main() {
 	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
 	staleAfter := flag.Duration("stale-after", 7*24*time.Hour, "flag addresses unverified for this long")
 	page := flag.Int("page", 0, "records fetched per round trip (0 = server default)")
+	follow := flag.Bool("follow", false, "subscribe to the change stream and alert as problems appear")
+	doCorrelate := flag.Bool("correlate", false, "with -follow: also stream the cross-correlation pass, storing inferred gateways")
 	flag.Parse()
 
 	c, err := jclient.Dial(*journalAddr)
@@ -30,6 +41,13 @@ func main() {
 	}
 	defer c.Close()
 	c.PageSize = *page
+
+	if *follow {
+		if err := followLoop(c, *staleAfter, *doCorrelate); err != nil {
+			log.Fatalf("fremont-analyze: %v", err)
+		}
+		return
+	}
 
 	problems, err := analysis.Run(c, analysis.Config{Now: time.Now(), StaleAfter: *staleAfter})
 	if err != nil {
@@ -43,4 +61,56 @@ func main() {
 		fmt.Println(p)
 	}
 	fmt.Printf("%d problem(s) found\n", len(problems))
+}
+
+// followLoop tails the journal's change stream: the subscription first
+// replays existing records (surfacing the problems a batch run would
+// find today), then delivers each commit as it lands, and the monitor
+// alerts within one push of the completing evidence.
+func followLoop(c *jclient.Client, staleAfter time.Duration, doCorrelate bool) error {
+	sub, err := c.Subscribe(jclient.SubscribeOptions{})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	mon := analysis.NewMonitor(analysis.Config{Now: time.Now(), StaleAfter: staleAfter})
+	var str *correlate.Streamer
+	if doCorrelate {
+		str = correlate.NewStreamer(c, time.Now())
+	}
+	for ch := range sub.Events() {
+		if ch.Resync {
+			fmt.Printf("# stream resynced from cursor %d (fell behind)\n", ch.Seq)
+			continue
+		}
+		now := time.Now()
+		mon.SetNow(now)
+		var problems []analysis.Problem
+		switch ch.Kind {
+		case journal.KindInterface:
+			problems = mon.ApplyInterface(ch.Iface)
+		case journal.KindSubnet:
+			problems = mon.ApplySubnet(ch.Subnet)
+		}
+		if str != nil {
+			str.SetNow(now)
+			var serr error
+			switch ch.Kind {
+			case journal.KindInterface:
+				serr = str.ApplyInterface(ch.Iface)
+			case journal.KindGateway:
+				serr = str.ApplyGateway(ch.Gateway)
+			case journal.KindSubnet:
+				serr = str.ApplySubnet(ch.Subnet)
+			}
+			if serr != nil {
+				return serr
+			}
+		}
+		for _, p := range problems {
+			fmt.Printf("seq=%d %s\n", ch.Seq, p)
+		}
+	}
+	return sub.Err()
 }

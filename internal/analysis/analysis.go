@@ -39,6 +39,10 @@ type Problem struct {
 	IPs     []pkt.IP
 	MACs    []pkt.MAC
 	Details string
+	// Sig is the problem's stable identity: the same underlying conflict
+	// keeps the same Sig even as its Details (counts, ages, durations)
+	// evolve. The streaming Monitor dedupes alerts on it.
+	Sig string
 }
 
 func (p Problem) String() string {
@@ -93,19 +97,7 @@ func Run(sink journal.Sink, cfg Config) ([]Problem, error) {
 	out = append(out, AddressConflicts(recs, cfg)...)
 	out = append(out, StaleAddresses(recs, cfg)...)
 	out = append(out, PromiscuousRIP(recs)...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
-		}
-		li, lj := pkt.IP(0), pkt.IP(0)
-		if len(out[i].IPs) > 0 {
-			li = out[i].IPs[0]
-		}
-		if len(out[j].IPs) > 0 {
-			lj = out[j].IPs[0]
-		}
-		return li < lj
-	})
+	sortProblems(out)
 	return out, nil
 }
 
@@ -164,6 +156,7 @@ func MaskConflicts(recs []*journal.InterfaceRec, subnets []*journal.SubnetRec) [
 				IPs:    ips,
 				Details: fmt.Sprintf("subnet %s: %d interface(s) claim mask %s while %d claim %s",
 					subnetOf(ips[0]), len(ips), m, len(masks[majority]), majority),
+				Sig: fmt.Sprintf("mask|%s|%s", subnetOf(ips[0]), m),
 			})
 		}
 	}
@@ -211,6 +204,7 @@ func AddressConflicts(recs []*journal.InterfaceRec, cfg Config) []Problem {
 					Kind: ProblemDuplicateAddr, IPs: []pkt.IP{ip}, MACs: macs,
 					Details: fmt.Sprintf("%s claimed by both %s and %s (seen concurrently for %v)",
 						ip, prev.MAC, cur.MAC, overlap.Round(time.Second)),
+					Sig: fmt.Sprintf("dup|%s|%s", ip, macPairSig(prev.MAC, cur.MAC)),
 				})
 			} else {
 				out = append(out, Problem{
@@ -218,6 +212,7 @@ func AddressConflicts(recs []*journal.InterfaceRec, cfg Config) []Problem {
 					Details: fmt.Sprintf("%s moved from %s (last verified %s) to %s (first seen %s)",
 						ip, prev.MAC, prev.Stamp.Verified.Format(time.RFC3339),
 						cur.MAC, cur.Stamp.Discovered.Format(time.RFC3339)),
+					Sig: fmt.Sprintf("hw|%s|%s", ip, macPairSig(prev.MAC, cur.MAC)),
 				})
 			}
 		}
@@ -251,7 +246,7 @@ func AddressConflicts(recs []*journal.InterfaceRec, cfg Config) []Problem {
 			sn := pkt.SubnetOf(rec.IP, pkt.MaskBits(24)).Addr
 			bySubnet[sn] = append(bySubnet[sn], rec.IP)
 		}
-		for _, addrs := range bySubnet {
+		for sn, addrs := range bySubnet {
 			if len(addrs) < 2 {
 				continue
 			}
@@ -260,6 +255,7 @@ func AddressConflicts(recs []*journal.InterfaceRec, cfg Config) []Problem {
 				Kind: ProblemProxyARP, IPs: addrs, MACs: []pkt.MAC{mac},
 				Details: fmt.Sprintf("%s answers for %d addresses on one wire (proxy ARP device, or reconfigured host)",
 					mac, len(addrs)),
+				Sig: fmt.Sprintf("proxy|%s|%s", mac, sn),
 			})
 		}
 	}
@@ -286,6 +282,7 @@ func StaleAddresses(recs []*journal.InterfaceRec, cfg Config) []Problem {
 				Kind: ProblemStaleAddress, IPs: []pkt.IP{rec.IP},
 				Details: fmt.Sprintf("%s (%s) not verified for %v — address may be reusable",
 					rec.IP, nameOr(rec), age.Round(time.Hour)),
+				Sig: fmt.Sprintf("stale|%s", rec.IP),
 			})
 		}
 	}
@@ -302,10 +299,21 @@ func PromiscuousRIP(recs []*journal.InterfaceRec) []Problem {
 				Kind: ProblemPromiscuousRIP, IPs: []pkt.IP{rec.IP},
 				Details: fmt.Sprintf("%s (%s) promiscuously re-advertises learned RIP routes",
 					rec.IP, nameOr(rec)),
+				Sig: fmt.Sprintf("rip|%s", rec.IP),
 			})
 		}
 	}
 	return out
+}
+
+// macPairSig renders a MAC pair order-independently, so a conflict's
+// identity does not depend on which sighting came first.
+func macPairSig(a, b pkt.MAC) string {
+	x, y := a.String(), b.String()
+	if y < x {
+		x, y = y, x
+	}
+	return x + "|" + y
 }
 
 func nameOr(rec *journal.InterfaceRec) string {

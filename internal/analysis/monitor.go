@@ -1,0 +1,115 @@
+// Streaming analysis: the push-fed counterpart of the batch Run pass.
+//
+// A Monitor holds the interface and subnet records it has been fed and
+// recomputes the problem set over exactly the pure functions the batch
+// pass uses — so its cumulative answer IS the batch answer for the same
+// records, by construction. What streaming adds is the delta: Apply
+// reports the problems that became visible with the record that just
+// arrived, deduplicated on the Sig identity, within one push of the
+// evidence landing in the journal.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Monitor is an incremental problem detector fed by a change stream.
+// Not safe for concurrent use; feed it from one goroutine.
+type Monitor struct {
+	cfg     Config
+	ifaces  map[journal.ID]*journal.InterfaceRec
+	subnets map[journal.ID]*journal.SubnetRec
+	seen    map[string]bool // Sig → already reported by Apply
+}
+
+// NewMonitor creates a Monitor. cfg.Now seeds the staleness reference;
+// advance it with SetNow as stream time progresses.
+func NewMonitor(cfg Config) *Monitor {
+	cfg.defaults()
+	return &Monitor{
+		cfg:     cfg,
+		ifaces:  make(map[journal.ID]*journal.InterfaceRec),
+		subnets: make(map[journal.ID]*journal.SubnetRec),
+		seen:    make(map[string]bool),
+	}
+}
+
+// SetNow advances the reference time used by the staleness analysis.
+func (m *Monitor) SetNow(now time.Time) { m.cfg.Now = now }
+
+// ApplyInterface ingests one pushed interface record and returns the
+// problems that are newly visible because of it.
+func (m *Monitor) ApplyInterface(rec *journal.InterfaceRec) []Problem {
+	m.ifaces[rec.ID] = rec
+	return m.fresh()
+}
+
+// ApplySubnet ingests one pushed subnet record. New subnet knowledge
+// can re-scope mask-conflict groups, so it too can surface problems.
+func (m *Monitor) ApplySubnet(sn *journal.SubnetRec) []Problem {
+	m.subnets[sn.ID] = sn
+	return m.fresh()
+}
+
+// Problems recomputes the full current finding set — identical to what
+// the batch Run would report over the same records.
+func (m *Monitor) Problems() []Problem {
+	recs, subnets := m.snapshot()
+	var out []Problem
+	out = append(out, MaskConflicts(recs, subnets)...)
+	out = append(out, AddressConflicts(recs, m.cfg)...)
+	out = append(out, StaleAddresses(recs, m.cfg)...)
+	out = append(out, PromiscuousRIP(recs)...)
+	sortProblems(out)
+	return out
+}
+
+// fresh returns the problems whose Sig has not been reported before.
+func (m *Monitor) fresh() []Problem {
+	var out []Problem
+	for _, p := range m.Problems() {
+		if !m.seen[p.Sig] {
+			m.seen[p.Sig] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// snapshot renders the held records in ID order, matching the order a
+// batch pass reads them out of the journal.
+func (m *Monitor) snapshot() ([]*journal.InterfaceRec, []*journal.SubnetRec) {
+	recs := make([]*journal.InterfaceRec, 0, len(m.ifaces))
+	for _, r := range m.ifaces {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	subnets := make([]*journal.SubnetRec, 0, len(m.subnets))
+	for _, sn := range m.subnets {
+		subnets = append(subnets, sn)
+	}
+	sort.Slice(subnets, func(i, j int) bool { return subnets[i].ID < subnets[j].ID })
+	return recs, subnets
+}
+
+// sortProblems orders findings by kind then first address — the batch
+// Run's presentation order.
+func sortProblems(out []Problem) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		li, lj := pkt.IP(0), pkt.IP(0)
+		if len(out[i].IPs) > 0 {
+			li = out[i].IPs[0]
+		}
+		if len(out[j].IPs) > 0 {
+			lj = out[j].IPs[0]
+		}
+		return li < lj
+	})
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// feed replays a journal's interface/subnet changes into the monitor in
+// mod-seq order, collecting every alert Apply fires.
+func feed(t *testing.T, j *journal.Journal, m *Monitor, after uint64) ([]Problem, uint64) {
+	t.Helper()
+	var alerts []Problem
+	cur := after
+	target := j.CurSeq()
+	type ev struct {
+		seq   uint64
+		apply func() []Problem
+	}
+	var evs []ev
+	ifs, _, _ := j.InterfaceChanges(cur, 0)
+	for _, rec := range ifs {
+		rec := rec
+		evs = append(evs, ev{rec.ModSeq, func() []Problem { return m.ApplyInterface(rec) }})
+	}
+	sns, _, _ := j.SubnetChanges(cur, 0)
+	for _, rec := range sns {
+		rec := rec
+		evs = append(evs, ev{rec.ModSeq, func() []Problem { return m.ApplySubnet(rec) }})
+	}
+	for i := 0; i < len(evs); i++ {
+		for k := i + 1; k < len(evs); k++ {
+			if evs[k].seq < evs[i].seq {
+				evs[i], evs[k] = evs[k], evs[i]
+			}
+		}
+	}
+	for _, e := range evs {
+		alerts = append(alerts, e.apply()...)
+	}
+	return alerts, target
+}
+
+// The monitor's cumulative problem set must be byte-identical to the
+// batch pass over the same journal, and the duplicate-address alert
+// must fire exactly once, on the record that completes the evidence.
+func TestMonitorConvergesToBatchRun(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	cfg := Config{Now: t0.Add(30 * 24 * time.Hour)}
+
+	// A mask conflict on one wire...
+	for i, m := range []pkt.Mask{pkt.MaskBits(24), pkt.MaskBits(24), pkt.MaskBits(16)} {
+		sink.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(10, 5, 0, byte(i+1)), HasMAC: true, MAC: mac(byte(40 + i)),
+			HasMask: true, Mask: m, Source: journal.SrcICMP, At: cfg.Now.Add(-time.Hour),
+		})
+	}
+	// ...a promiscuous RIP host...
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 5, 0, 9), RIPSource: true,
+		RIPPromiscuous: true, Source: journal.SrcRIP, At: cfg.Now.Add(-time.Hour)})
+	// ...and a stale address.
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 5, 0, 77), HasMAC: true,
+		MAC: mac(77), Source: journal.SrcARP, At: cfg.Now.Add(-20 * 24 * time.Hour)})
+
+	m := NewMonitor(cfg)
+	alerts, cur := feed(t, j, m, 0)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts from streaming apply")
+	}
+
+	// Now the duplicate: a second MAC claims an IP while the first
+	// holder is still being verified.
+	ip := pkt.IPv4(10, 5, 0, 50)
+	sink.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(50),
+		Source: journal.SrcARP, At: cfg.Now.Add(-2 * time.Hour)})
+	sink.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(50),
+		Source: journal.SrcARP, At: cfg.Now.Add(-30 * time.Minute)})
+	preDup, _ := feed(t, j, m, cur)
+	for _, p := range preDup {
+		if p.Kind == ProblemDuplicateAddr {
+			t.Fatalf("duplicate alert before the conflicting MAC arrived: %v", p)
+		}
+	}
+	cur = j.CurSeq()
+	sink.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(51),
+		Source: journal.SrcARP, At: cfg.Now.Add(-time.Hour)})
+	dupAlerts, _ := feed(t, j, m, cur)
+	var dups int
+	for _, p := range dupAlerts {
+		if p.Kind == ProblemDuplicateAddr {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Fatalf("duplicate-address alerts on the completing record = %d, want 1 (%v)", dups, dupAlerts)
+	}
+
+	// Re-verifying the same records must not re-alert.
+	cur = j.CurSeq()
+	sink.StoreInterface(journal.IfaceObs{IP: ip, HasMAC: true, MAC: mac(51),
+		Source: journal.SrcARP, At: cfg.Now.Add(-10 * time.Minute)})
+	again, _ := feed(t, j, m, cur)
+	for _, p := range again {
+		if p.Kind == ProblemDuplicateAddr {
+			t.Fatalf("duplicate alert re-fired on a re-verification: %v", p)
+		}
+	}
+
+	// Convergence: the monitor's full answer equals the batch pass.
+	batch, err := Run(journal.Local{J: j}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Problems(); !reflect.DeepEqual(got, batch) {
+		t.Fatalf("monitor diverged from batch Run:\n--- monitor ---\n%v\n--- batch ---\n%v", got, batch)
+	}
+}
+
+// Subnet knowledge arriving after the interfaces re-scopes mask groups,
+// just as in the batch pass.
+func TestMonitorSubnetRescope(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	cfg := Config{Now: t0}
+	m := NewMonitor(cfg)
+
+	// Under the /24 fallback these two look like different wires; the
+	// real (journal-known) subnet is a /16 that puts them on one.
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 6, 1, 1), HasMAC: true, MAC: mac(60),
+		HasMask: true, Mask: pkt.MaskBits(16), Source: journal.SrcICMP, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 6, 2, 1), HasMAC: true, MAC: mac(61),
+		HasMask: true, Mask: pkt.MaskBits(24), Source: journal.SrcICMP, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 6, 3, 1), HasMAC: true, MAC: mac(62),
+		HasMask: true, Mask: pkt.MaskBits(16), Source: journal.SrcICMP, At: t0})
+	alerts, cur := feed(t, j, m, 0)
+	if n := countKind(alerts, ProblemMaskConflict); n != 0 {
+		t.Fatalf("mask conflict before subnet knowledge: %d", n)
+	}
+
+	wide, _ := pkt.ParseSubnet("10.6.0.0/16")
+	sink.StoreSubnet(journal.SubnetObs{Subnet: wide, Source: journal.SrcRIP, At: t0})
+	alerts, _ = feed(t, j, m, cur)
+	if n := countKind(alerts, ProblemMaskConflict); n != 1 {
+		t.Fatalf("subnet push did not surface the mask conflict: %d alerts", n)
+	}
+
+	batch, err := Run(journal.Local{J: j}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Problems(); !reflect.DeepEqual(got, batch) {
+		t.Fatalf("monitor diverged from batch Run:\n--- monitor ---\n%v\n--- batch ---\n%v", got, batch)
+	}
+}

@@ -1,0 +1,328 @@
+// Streaming cross-correlation: the push-fed counterpart of the batch
+// Run pass.
+//
+// A Streamer maintains the same indexes the batch pass builds — MAC
+// groups, name groups, gateway membership — but updates them one
+// pushed record at a time and stores gateway evidence the moment a
+// group first spans two subnets. Because its own StoreGateway calls
+// come straight back to it as pushed gateway changes, every write is
+// guarded by an idempotence check (a group signature, or an empty
+// missing-subnet set), so the feedback loop self-stabilizes instead of
+// storing forever.
+package correlate
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// Streamer is an incremental correlator fed by a change stream. Not
+// safe for concurrent use; feed it from one goroutine.
+type Streamer struct {
+	sink journal.Sink
+	now  time.Time
+
+	ifaces  map[journal.ID]*journal.InterfaceRec
+	gws     map[journal.ID]*journal.GatewayRec
+	subnets map[journal.ID]*journal.SubnetRec
+
+	byMAC  map[pkt.MAC]map[journal.ID]bool
+	byName map[string]map[journal.ID]bool
+	// Back-pointers for index maintenance when a record's MAC or names
+	// change across re-observations.
+	prevMAC   map[journal.ID]pkt.MAC
+	prevNames map[journal.ID][]string
+
+	// Store memos: the (ips, subnets) signature last written for a
+	// group. A group re-stores only when its evidence actually changed,
+	// which is what keeps echoed gateway pushes from ping-ponging.
+	storedMAC  map[pkt.MAC]string
+	storedName map[string]string
+
+	rep Report
+}
+
+// NewStreamer creates a streaming correlator that writes inferred
+// gateways through sink, stamped at now (advance with SetNow).
+func NewStreamer(sink journal.Sink, now time.Time) *Streamer {
+	return &Streamer{
+		sink: sink, now: now,
+		ifaces:     make(map[journal.ID]*journal.InterfaceRec),
+		gws:        make(map[journal.ID]*journal.GatewayRec),
+		subnets:    make(map[journal.ID]*journal.SubnetRec),
+		byMAC:      make(map[pkt.MAC]map[journal.ID]bool),
+		byName:     make(map[string]map[journal.ID]bool),
+		prevMAC:    make(map[journal.ID]pkt.MAC),
+		prevNames:  make(map[journal.ID][]string),
+		storedMAC:  make(map[pkt.MAC]string),
+		storedName: make(map[string]string),
+	}
+}
+
+// SetNow advances the observation stamp used for stored gateways.
+func (st *Streamer) SetNow(now time.Time) { st.now = now }
+
+// Report returns cumulative counts of what the stream has inferred.
+func (st *Streamer) Report() Report { return st.rep }
+
+// ApplyInterface ingests one pushed interface record and correlates
+// the groups it belongs to.
+func (st *Streamer) ApplyInterface(rec *journal.InterfaceRec) error {
+	id := rec.ID
+	// Re-home the record if its MAC or name set changed since last seen.
+	if old, ok := st.prevMAC[id]; ok && old != rec.MAC {
+		delete(st.byMAC[old], id)
+	}
+	for _, name := range st.prevNames[id] {
+		if !hasName(rec, name) {
+			delete(st.byName[name], id)
+		}
+	}
+	st.ifaces[id] = rec
+	if !rec.MAC.IsZero() {
+		if st.byMAC[rec.MAC] == nil {
+			st.byMAC[rec.MAC] = make(map[journal.ID]bool)
+		}
+		st.byMAC[rec.MAC][id] = true
+	}
+	st.prevMAC[id] = rec.MAC
+	names := recNames(rec)
+	for _, name := range names {
+		if st.byName[name] == nil {
+			st.byName[name] = make(map[journal.ID]bool)
+		}
+		st.byName[name][id] = true
+	}
+	st.prevNames[id] = names
+
+	if !rec.MAC.IsZero() {
+		if err := st.checkMAC(rec.MAC); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		if err := st.checkName(name); err != nil {
+			return err
+		}
+	}
+	// A gateway recorded before this interface existed may now resolve
+	// one more member onto a subnet it is not yet attached to.
+	for _, gw := range st.gwsByIface(id) {
+		if err := st.attach(gw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyGateway ingests one pushed gateway record (including the echo
+// of this Streamer's own stores) and attaches any missing subnets.
+func (st *Streamer) ApplyGateway(gw *journal.GatewayRec) error {
+	st.gws[gw.ID] = gw
+	return st.attach(gw)
+}
+
+// ApplySubnet ingests one pushed subnet record. Better subnet
+// knowledge can re-scope every group, so they are all re-checked.
+func (st *Streamer) ApplySubnet(sn *journal.SubnetRec) error {
+	st.subnets[sn.ID] = sn
+	for mac := range st.byMAC {
+		if err := st.checkMAC(mac); err != nil {
+			return err
+		}
+	}
+	for name := range st.byName {
+		if err := st.checkName(name); err != nil {
+			return err
+		}
+	}
+	for _, gw := range st.sortedGateways() {
+		if err := st.attach(gw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subnetOf mirrors the batch pass: journal knowledge first, then the
+// record's own mask, then the /24 convention.
+func (st *Streamer) subnetOf(rec *journal.InterfaceRec) pkt.Subnet {
+	for _, sn := range st.sortedSubnets() {
+		if sn.Subnet.Mask != 0 && sn.Subnet.Contains(rec.IP) {
+			return sn.Subnet
+		}
+	}
+	if rec.Mask != 0 {
+		return pkt.SubnetOf(rec.IP, rec.Mask)
+	}
+	return pkt.SubnetOf(rec.IP, pkt.MaskBits(24))
+}
+
+// groupEvidence reduces a member set to the batch pass's gateway
+// evidence: all member IPs plus their distinct subnets, or ok=false
+// when the group does not span two subnets.
+func (st *Streamer) groupEvidence(ids map[journal.ID]bool) (ips []pkt.IP, sns []pkt.Subnet, ok bool) {
+	sorted := make([]journal.ID, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, id := range sorted {
+		rec, live := st.ifaces[id]
+		if !live {
+			continue
+		}
+		ips = append(ips, rec.IP)
+		sns = appendSubnetUnique(sns, st.subnetOf(rec))
+	}
+	if len(ips) < 2 || len(sns) < 2 {
+		return nil, nil, false
+	}
+	sortIPs(ips)
+	return ips, sns, true
+}
+
+func evidenceSig(ips []pkt.IP, sns []pkt.Subnet) string {
+	var b strings.Builder
+	for _, ip := range ips {
+		b.WriteString(ip.String())
+		b.WriteByte(' ')
+	}
+	b.WriteByte('|')
+	addrs := make([]pkt.IP, 0, len(sns))
+	for _, sn := range sns {
+		addrs = append(addrs, sn.Addr)
+	}
+	sortIPs(addrs)
+	for _, a := range addrs {
+		b.WriteString(a.String())
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+func (st *Streamer) checkMAC(mac pkt.MAC) error {
+	ips, sns, ok := st.groupEvidence(st.byMAC[mac])
+	if !ok {
+		return nil
+	}
+	sig := evidenceSig(ips, sns)
+	if st.storedMAC[mac] == sig {
+		return nil
+	}
+	st.storedMAC[mac] = sig
+	if _, err := st.sink.StoreGateway(journal.GatewayObs{
+		IfaceIPs: ips, Subnets: sns,
+		Source: journal.SrcCorrelation, At: st.now,
+	}); err != nil {
+		return err
+	}
+	st.rep.GatewaysFromMAC++
+	st.rep.SubnetLinks += len(sns)
+	return nil
+}
+
+func (st *Streamer) checkName(name string) error {
+	ips, sns, ok := st.groupEvidence(st.byName[name])
+	if !ok {
+		return nil
+	}
+	sig := evidenceSig(ips, sns)
+	if st.storedName[name] == sig {
+		return nil
+	}
+	st.storedName[name] = sig
+	if _, err := st.sink.StoreGateway(journal.GatewayObs{
+		IfaceIPs: ips, Subnets: sns,
+		Source: journal.SrcCorrelation, At: st.now,
+	}); err != nil {
+		return err
+	}
+	st.rep.GatewaysFromName++
+	st.rep.SubnetLinks += len(sns)
+	return nil
+}
+
+// attach mirrors the batch pass's third stage: a gateway gains links to
+// the subnets its member interfaces live on. An empty missing set — in
+// particular, on the echo of attach's own store — writes nothing,
+// which terminates the feedback loop.
+func (st *Streamer) attach(gw *journal.GatewayRec) error {
+	var missing []pkt.Subnet
+	var memberIPs []pkt.IP
+	for _, ifID := range gw.Ifaces {
+		if rec, ok := st.ifaces[ifID]; ok {
+			memberIPs = append(memberIPs, rec.IP)
+			sn := st.subnetOf(rec)
+			if !subnetIn(gw.Subnets, sn) {
+				missing = append(missing, sn)
+			}
+		}
+	}
+	if len(missing) == 0 || len(memberIPs) == 0 {
+		return nil
+	}
+	sortIPs(memberIPs)
+	if _, err := st.sink.StoreGateway(journal.GatewayObs{
+		IfaceIPs: memberIPs[:1], Subnets: missing,
+		Source: journal.SrcCorrelation, At: st.now,
+	}); err != nil {
+		return err
+	}
+	st.rep.SubnetLinks += len(missing)
+	return nil
+}
+
+func (st *Streamer) gwsByIface(id journal.ID) []*journal.GatewayRec {
+	var out []*journal.GatewayRec
+	for _, gw := range st.sortedGateways() {
+		for _, ifID := range gw.Ifaces {
+			if ifID == id {
+				out = append(out, gw)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (st *Streamer) sortedGateways() []*journal.GatewayRec {
+	out := make([]*journal.GatewayRec, 0, len(st.gws))
+	for _, gw := range st.gws {
+		out = append(out, gw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (st *Streamer) sortedSubnets() []*journal.SubnetRec {
+	out := make([]*journal.SubnetRec, 0, len(st.subnets))
+	for _, sn := range st.subnets {
+		out = append(out, sn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func recNames(rec *journal.InterfaceRec) []string {
+	var out []string
+	for _, name := range append([]string{rec.Name}, rec.Aliases...) {
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func hasName(rec *journal.InterfaceRec, name string) bool {
+	for _, n := range recNames(rec) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

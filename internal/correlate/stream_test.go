@@ -1,0 +1,205 @@
+package correlate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// pump delivers journal changes to the streamer in mod-seq order until
+// the journal is quiescent — an in-process stand-in for the OpSubscribe
+// delivery loop, echoes of the streamer's own stores included.
+func pump(t *testing.T, j *journal.Journal, st *Streamer) {
+	t.Helper()
+	var cur uint64
+	for round := 0; ; round++ {
+		if round > 100 {
+			t.Fatal("streamer did not stabilize: store feedback loop")
+		}
+		target := j.CurSeq()
+		if target <= cur {
+			return
+		}
+		type ev struct {
+			seq   uint64
+			apply func() error
+		}
+		var evs []ev
+		ifs, _, _ := j.InterfaceChanges(cur, 0)
+		for _, rec := range ifs {
+			rec := rec
+			evs = append(evs, ev{rec.ModSeq, func() error { return st.ApplyInterface(rec) }})
+		}
+		gws, _, _ := j.GatewayChanges(cur, 0)
+		for _, rec := range gws {
+			rec := rec
+			evs = append(evs, ev{rec.ModSeq, func() error { return st.ApplyGateway(rec) }})
+		}
+		sns, _, _ := j.SubnetChanges(cur, 0)
+		for _, rec := range sns {
+			rec := rec
+			evs = append(evs, ev{rec.ModSeq, func() error { return st.ApplySubnet(rec) }})
+		}
+		sort.Slice(evs, func(i, k int) bool { return evs[i].seq < evs[k].seq })
+		for _, e := range evs {
+			if e.seq > target {
+				break
+			}
+			if err := e.apply(); err != nil {
+				t.Fatal(err)
+			}
+			cur = e.seq
+		}
+		if cur < target {
+			cur = target
+		}
+	}
+}
+
+// gatewayShape canonicalizes a journal's gateway set: one sorted line
+// per gateway listing member IPs and attached subnets, independent of
+// record IDs and store order.
+func gatewayShape(j *journal.Journal) string {
+	var lines []string
+	for _, gw := range j.Gateways() {
+		var ips []string
+		for _, ifID := range gw.Ifaces {
+			for _, rec := range j.Interfaces(journal.Query{}) {
+				if rec.ID == ifID {
+					ips = append(ips, rec.IP.String())
+				}
+			}
+		}
+		sort.Strings(ips)
+		var sns []string
+		for _, sn := range gw.Subnets {
+			sns = append(sns, sn.String())
+		}
+		sort.Strings(sns)
+		lines = append(lines, strings.Join(ips, ",")+" / "+strings.Join(sns, ","))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// seedScenario stores the campus-flavored base evidence: a two-subnet
+// router seen by ARP, a three-subnet router known only by its DNS name,
+// a traceroute gateway missing its subnet attachments, known subnet
+// records, and plain hosts for noise.
+func seedScenario(j *journal.Journal) {
+	sink := journal.Local{J: j}
+	sn1, _ := pkt.ParseSubnet("10.1.0.0/24")
+	sn2, _ := pkt.ParseSubnet("10.2.0.0/24")
+	sink.StoreSubnet(journal.SubnetObs{Subnet: sn1, Source: journal.SrcRIP, At: t0})
+	sink.StoreSubnet(journal.SubnetObs{Subnet: sn2, Source: journal.SrcRIP, At: t0})
+
+	// Same MAC on two subnets.
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 1), HasMAC: true, MAC: mac(1),
+		Source: journal.SrcARP, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 2, 0, 1), HasMAC: true, MAC: mac(1),
+		Source: journal.SrcARP, At: t0})
+
+	// Same DNS name on two subnets (distinct MACs).
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 2, 0, 9), HasMAC: true, MAC: mac(2),
+		Name: "cs-gw.cs.colorado.edu", Source: journal.SrcDNS, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 3, 0, 9), HasMAC: true, MAC: mac(3),
+		Name: "cs-gw.cs.colorado.edu", Source: journal.SrcDNS, At: t0})
+
+	// A traceroute-discovered gateway whose subnet links are missing.
+	sink.StoreGateway(journal.GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(10, 1, 0, 254), pkt.IPv4(10, 4, 0, 254)},
+		Source:   journal.SrcTraceroute, At: t0,
+	})
+
+	// Ordinary hosts: never gateway evidence.
+	for i := byte(10); i < 14; i++ {
+		sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, i), HasMAC: true, MAC: mac(i),
+			Name: fmt.Sprintf("host%d.cs.colorado.edu", i), Source: journal.SrcARP, At: t0})
+	}
+}
+
+// The streaming correlator, fed the same evidence one change at a time
+// (own stores echoed back), must land on the same journal shape as the
+// batch pass.
+func TestStreamerConvergesToBatch(t *testing.T) {
+	batch := journal.New()
+	seedScenario(batch)
+	if _, err := Run(journal.Local{J: batch}, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Second pass to reach the batch fixpoint (the attach stage may feed
+	// the group stages): the comparison target is the stable state.
+	if _, err := Run(journal.Local{J: batch}, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	stream := journal.New()
+	st := NewStreamer(journal.Local{J: stream}, t0)
+	seedScenario(stream)
+	pump(t, stream, st)
+
+	got, want := gatewayShape(stream), gatewayShape(batch)
+	if got != want {
+		t.Fatalf("streaming journal diverged from batch:\n--- streaming ---\n%s\n--- batch ---\n%s", got, want)
+	}
+	rep := st.Report()
+	if rep.GatewaysFromMAC == 0 || rep.GatewaysFromName == 0 || rep.SubnetLinks == 0 {
+		t.Fatalf("report did not count inferences: %+v", rep)
+	}
+}
+
+// Evidence arriving in an adversarial order — interfaces before the
+// subnet records that scope them — must still converge.
+func TestStreamerSubnetRescope(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	st := NewStreamer(sink, t0)
+
+	// Two addresses that look like ONE /24 wire ("10.1.0.x") until the
+	// journal learns the wire is really split into /25s.
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 10), HasMAC: true, MAC: mac(7),
+		Source: journal.SrcARP, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 200), HasMAC: true, MAC: mac(7),
+		Source: journal.SrcARP, At: t0})
+	pump(t, j, st)
+	if n := len(j.Gateways()); n != 0 {
+		t.Fatalf("gateway stored from same-subnet evidence (%d records)", n)
+	}
+
+	lo, _ := pkt.ParseSubnet("10.1.0.0/25")
+	hi, _ := pkt.ParseSubnet("10.1.0.128/25")
+	sink.StoreSubnet(journal.SubnetObs{Subnet: lo, Source: journal.SrcRIP, At: t0})
+	sink.StoreSubnet(journal.SubnetObs{Subnet: hi, Source: journal.SrcRIP, At: t0})
+	pump(t, j, st)
+	if n := len(j.Gateways()); n != 1 {
+		t.Fatalf("subnet knowledge did not re-scope the MAC group: %d gateways", n)
+	}
+}
+
+// Re-observations that change nothing must not re-store: the memoized
+// evidence signature keeps echoed pushes from ping-ponging forever
+// (pump itself fails the test after 100 rounds if they do).
+func TestStreamerIdempotentOnEcho(t *testing.T) {
+	j := journal.New()
+	sink := journal.Local{J: j}
+	st := NewStreamer(sink, t0)
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 1), HasMAC: true, MAC: mac(1),
+		Source: journal.SrcARP, At: t0})
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 2, 0, 1), HasMAC: true, MAC: mac(1),
+		Source: journal.SrcARP, At: t0})
+	pump(t, j, st)
+	stores := st.Report().GatewaysFromMAC
+
+	// Same sighting again: a verification touch, not new evidence.
+	sink.StoreInterface(journal.IfaceObs{IP: pkt.IPv4(10, 1, 0, 1), HasMAC: true, MAC: mac(1),
+		Source: journal.SrcARP, At: t0.Add(time.Minute)})
+	pump(t, j, st)
+	if got := st.Report().GatewaysFromMAC; got != stores {
+		t.Fatalf("unchanged evidence re-stored: %d -> %d", stores, got)
+	}
+}

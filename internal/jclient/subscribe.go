@@ -1,0 +1,275 @@
+// Push-based change streaming: the client half of OpSubscribe.
+//
+// A Subscription owns its own connection — after the subscribe
+// handshake the wire is one-way, so it cannot share a Client's
+// request/response conn. The subscription tracks the server's mod-seq
+// cursor as records arrive; when the connection drops it redials and
+// resumes from that cursor, which the server-side contract turns into
+// an exactly-once stream: no gaps, no duplicates, across any number of
+// reconnects.
+package jclient
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// Change is one delivered subscription event. A record change sets
+// Kind, Seq, and exactly one of Iface / Gateway / Subnet. A resync
+// marker sets Resync with Seq holding the cursor the server restarted
+// from: the subscriber fell behind, the server dropped its queued
+// pushes, and deliveries that follow re-read the journal from Seq —
+// still without gaps or duplicates, but coalesced (intermediate states
+// of a twice-modified record are gone).
+type Change struct {
+	Kind    journal.RecordKind
+	Seq     uint64
+	Iface   *journal.InterfaceRec
+	Gateway *journal.GatewayRec
+	Subnet  *journal.SubnetRec
+	Resync  bool
+}
+
+// SubscribeOptions configures a Subscription.
+type SubscribeOptions struct {
+	// Kinds is the jwire.SubKind* record-kind mask; 0 subscribes to all.
+	Kinds byte
+	// FromNow starts at the server's current sequence instead of After.
+	FromNow bool
+	// After is the resume cursor: only changes with ModSeq > After are
+	// delivered. 0 replays the whole journal first.
+	After uint64
+	// NoResume fails the subscription on connection loss instead of
+	// redialing from the cursor.
+	NoResume bool
+}
+
+// Subscription is a live change stream. Consume Events until it
+// closes, then check Err. Methods are safe for concurrent use.
+type Subscription struct {
+	addr string
+	opts SubscribeOptions
+	ch   chan Change
+	quit chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	conn    net.Conn
+	cursor  uint64
+	resumes int
+	closed  bool
+	err     error
+}
+
+// Subscribe opens a change stream against a Journal Server. The
+// returned Subscription is already registered: every change committed
+// after its start cursor will be delivered.
+func Subscribe(addr string, opts SubscribeOptions) (*Subscription, error) {
+	s := &Subscription{
+		addr: addr,
+		opts: opts,
+		ch:   make(chan Change, 64),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	conn, start, err := s.dial(opts.FromNow, opts.After)
+	if err != nil {
+		return nil, err
+	}
+	s.conn = conn
+	s.cursor = start
+	go s.run(conn)
+	return s, nil
+}
+
+// Subscribe opens a change stream against the server this client is
+// connected to, on its own connection; the client remains usable for
+// request/response traffic alongside it.
+func (c *Client) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	return Subscribe(c.conn.RemoteAddr().String(), opts)
+}
+
+// Events returns the delivery channel. It closes when the subscription
+// ends: after Close, on a connection error with NoResume set, or on a
+// protocol error.
+func (s *Subscription) Events() <-chan Change { return s.ch }
+
+// Cursor returns the last delivered mod-seq — the value to pass as
+// After to resume this stream later (e.g. across a process restart).
+func (s *Subscription) Cursor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+// Resumes reports how many times the subscription redialed after a
+// lost connection.
+func (s *Subscription) Resumes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumes
+}
+
+// Err returns the terminal error, nil if the stream ended by Close.
+// Meaningful once Events is closed.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close ends the subscription and waits for the delivery channel to
+// close. Always nil; the signature matches io.Closer.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	close(s.quit)
+	if conn != nil {
+		conn.Close()
+	}
+	<-s.done
+	return nil
+}
+
+func (s *Subscription) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// dial opens a connection, performs the subscribe handshake, and
+// returns the server's starting cursor.
+func (s *Subscription) dial(fromNow bool, after uint64) (net.Conn, uint64, error) {
+	conn, err := net.DialTimeout("tcp", s.addr, 10*time.Second)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jclient: dial %s: %w", s.addr, err)
+	}
+	var w jwire.Writer
+	w.U8(jwire.OpSubscribe)
+	jwire.PutSubscribeReq(&w, jwire.SubscribeReq{
+		Kinds: s.opts.Kinds, FromNow: fromNow, After: after,
+	})
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("jclient: subscribe: %w", err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("jclient: subscribe: %w", err)
+	}
+	r := &jwire.Reader{B: resp}
+	if status := r.U8(); status != jwire.StatusOK {
+		msg := r.String()
+		conn.Close()
+		return nil, 0, fmt.Errorf("jclient: subscribe rejected: %s", msg)
+	}
+	start := r.U64()
+	r.U64() // current server seq; the event stream carries the rest
+	if r.Err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("jclient: subscribe ack: %w", r.Err)
+	}
+	return conn, start, nil
+}
+
+// run pumps frames into the delivery channel, redialing from the
+// cursor on connection loss until Close (or the first error when
+// NoResume is set).
+func (s *Subscription) run(conn net.Conn) {
+	defer close(s.ch)
+	defer close(s.done)
+	for {
+		err, fatal := s.stream(conn)
+		conn.Close()
+		if s.isClosed() {
+			return
+		}
+		if fatal || s.opts.NoResume {
+			s.fail(err)
+			return
+		}
+		backoff := 100 * time.Millisecond
+		for {
+			select {
+			case <-time.After(backoff):
+			case <-s.quit:
+				return
+			}
+			nc, _, derr := s.dial(false, s.Cursor())
+			if derr == nil {
+				conn = nc
+				break
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conn = conn
+		s.resumes++
+		s.mu.Unlock()
+	}
+}
+
+// stream decodes pushed frames off one connection until it fails. A
+// fatal error (a frame that cannot be decoded) ends the subscription;
+// a plain connection error is a candidate for cursor-resume.
+func (s *Subscription) stream(conn net.Conn) (err error, fatal bool) {
+	for {
+		frame, err := jwire.ReadFrame(conn)
+		if err != nil {
+			return err, false
+		}
+		r := &jwire.Reader{B: frame}
+		ev := jwire.GetSubEvent(r)
+		if r.Err != nil {
+			return fmt.Errorf("jclient: push frame: %w", r.Err), true
+		}
+		var ch Change
+		switch ev.Type {
+		case jwire.SubEventResync:
+			ch = Change{Seq: ev.Cursor, Resync: true}
+		default:
+			ch = Change{Kind: ev.Kind, Seq: ev.Seq,
+				Iface: ev.Iface, Gateway: ev.Gateway, Subnet: ev.Subnet}
+		}
+		select {
+		case s.ch <- ch:
+		case <-s.quit:
+			return net.ErrClosed, false
+		}
+		if !ch.Resync {
+			s.mu.Lock()
+			if ch.Seq > s.cursor {
+				s.cursor = ch.Seq
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Subscription) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil && !s.closed {
+		s.err = err
+	}
+	s.mu.Unlock()
+}

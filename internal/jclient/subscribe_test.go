@@ -1,0 +1,177 @@
+package jclient
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jserver"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+func subObs(i int) journal.IfaceObs {
+	return journal.IfaceObs{
+		IP: pkt.IPv4(10, 9, byte(i/250), byte(i%250+1)), HasMAC: true,
+		MAC:    pkt.MAC{8, 0, 0x20, 7, byte(i / 250), byte(i % 250)},
+		Name:   fmt.Sprintf("sub-%d.cs.colorado.edu", i),
+		Source: journal.SrcARP, At: time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC),
+	}
+}
+
+func recvChange(t *testing.T, sub *Subscription) Change {
+	t.Helper()
+	select {
+	case ch, ok := <-sub.Events():
+		if !ok {
+			t.Fatalf("event stream closed: %v", sub.Err())
+		}
+		return ch
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a pushed change")
+	}
+	panic("unreachable")
+}
+
+func TestSubscriptionDeliversCommits(t *testing.T) {
+	s := jserver.New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sub, err := c.Subscribe(SubscribeOptions{Kinds: jwire.SubKindInterface})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.StoreInterface(subObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ch := recvChange(t, sub)
+		if ch.Kind != journal.KindInterface || ch.Iface == nil || ch.Iface.IP != subObs(i).IP {
+			t.Fatalf("change %d: %+v", i, ch)
+		}
+		if ch.Seq != uint64(i+1) {
+			t.Fatalf("change %d: seq %d", i, ch.Seq)
+		}
+	}
+	if cur := sub.Cursor(); cur != 3 {
+		t.Fatalf("cursor %d, want 3", cur)
+	}
+}
+
+// Kill the server mid-stream and bring a new one up on the same address
+// with the same journal: the subscription must redial from its cursor
+// and the merged stream must have no duplicate and no missing mod-seqs.
+func TestSubscriptionAutoResume(t *testing.T) {
+	j := journal.New()
+	s1 := jserver.New(j)
+	if err := s1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr()
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const firstHalf, total = 4, 8
+	for i := 0; i < firstHalf; i++ {
+		if _, _, err := c1.StoreInterface(subObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, err := Subscribe(addr, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	var seqs []uint64
+	seen := make(map[uint64]bool)
+	recv := func(n int) {
+		t.Helper()
+		for len(seqs) < n {
+			ch := recvChange(t, sub)
+			if ch.Resync {
+				continue
+			}
+			if seen[ch.Seq] {
+				t.Fatalf("duplicate mod-seq %d across reconnect", ch.Seq)
+			}
+			seen[ch.Seq] = true
+			seqs = append(seqs, ch.Seq)
+		}
+	}
+	recv(firstHalf) // catch-up from cursor 0
+
+	// Tear the connection down: stop the server entirely, then restart
+	// on the same address around the same journal.
+	c1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := jserver.New(j)
+	if err := s2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := firstHalf; i < total; i++ {
+		if _, _, err := c2.StoreInterface(subObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recv(total)
+	for i, seq := range seqs {
+		if seq != uint64(i+1) {
+			t.Fatalf("mod-seq stream %v: gap or reorder at %d", seqs, i)
+		}
+	}
+	if sub.Resumes() == 0 {
+		t.Fatal("stream survived a dead server without a recorded resume")
+	}
+}
+
+// NoResume surfaces the connection loss instead of hiding it.
+func TestSubscriptionNoResume(t *testing.T) {
+	s := jserver.New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subscribe(s.Addr(), SubscribeOptions{NoResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub.Events():
+		if ok {
+			t.Fatal("unexpected event from an empty journal")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not close after server shutdown")
+	}
+	if sub.Err() == nil {
+		t.Fatal("terminal error not recorded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fremont/internal/journal"
@@ -37,6 +38,11 @@ type Server struct {
 	// SnapshotPath) before Recover/Listen; the server owns it from then
 	// on and closes it in Close.
 	WAL *wal.Log
+
+	// SubQueueMax overrides DefaultSubQueueMax: the number of pending
+	// push events a subscriber may have queued before it is degraded to
+	// a cursor resync. Set before Listen.
+	SubQueueMax int
 
 	// logMu serializes the append+apply pair for mutating requests and
 	// the rotate+encode critical section of SaveSnapshot, so a snapshot
@@ -64,6 +70,22 @@ type Server struct {
 	conns    *obs.Gauge
 	connsTot *obs.Counter
 	batches  *obs.Counter
+
+	// Subscription hub (subscribe.go). hubCursor is the last mod-seq
+	// fanned out to live subscribers; publish rounds serialize on hubMu,
+	// membership on subMu, and nsubs keeps the no-subscriber commit
+	// fast path to one atomic load.
+	hubMu     sync.Mutex
+	hubCursor uint64
+	subMu     sync.Mutex
+	subs      map[*subscriber]struct{}
+	nsubs     atomic.Int64
+
+	subsGauge  *obs.Gauge
+	subsTotal  *obs.Counter
+	subPushes  *obs.Counter
+	subDrops   *obs.Counter
+	subResyncs *obs.Counter
 }
 
 // Stats is a point-in-time snapshot of the server's headline counters —
@@ -101,6 +123,11 @@ func New(j *journal.Journal) *Server {
 		conns:            reg.Gauge("jserver_open_connections"),
 		connsTot:         reg.Counter("jserver_connections_total"),
 		batches:          reg.Counter("jserver_batches_total"),
+		subsGauge:        reg.Gauge("jserver_subscribers"),
+		subsTotal:        reg.Counter("jserver_subscriptions_total"),
+		subPushes:        reg.Counter("jserver_sub_pushes_total"),
+		subDrops:         reg.Counter("jserver_sub_dropped_events_total"),
+		subResyncs:       reg.Counter("jserver_sub_resyncs_total"),
 	}
 }
 
@@ -396,11 +423,74 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		if len(req) > 0 && req[0] == jwire.OpSubscribe {
+			// The connection flips to push mode and never returns to
+			// request/response: serve the stream until it ends, then
+			// drop the connection.
+			s.serveSubscription(conn, req[1:])
+			return
+		}
 		resp := s.dispatch(req)
 		if err := jwire.WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// serveSubscription runs one OpSubscribe stream on conn: answer with
+// the starting cursor, register with the hub, then push until the
+// client sends anything (or disconnects), the server shuts down, or a
+// push write fails.
+func (s *Server) serveSubscription(conn net.Conn, body []byte) {
+	s.reqCount.With(jwire.OpName(jwire.OpSubscribe)).Inc()
+	r := &jwire.Reader{B: body}
+	req := jwire.GetSubscribeReq(r)
+	if r.Err != nil {
+		jwire.WriteFrame(conn, errPayload(r.Err))
+		return
+	}
+	kinds := req.Kinds
+	if kinds == 0 {
+		kinds = jwire.SubAllKinds
+	}
+	start := req.After
+	if req.FromNow {
+		start = s.journal.CurSeq()
+	}
+
+	sub := &subscriber{
+		s:      s,
+		conn:   conn,
+		kinds:  kinds,
+		cursor: start,
+		lagged: true, // the initial catch-up is a (silent) resync
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	s.addSub(sub)
+	defer s.removeSub(sub)
+
+	// Registered before the acknowledgment, so every commit after
+	// `start` is either queued by the hub or still ahead of the catch-up
+	// walk — never between the two.
+	var w jwire.Writer
+	w.U8(jwire.StatusOK)
+	w.U64(start)
+	w.U64(s.journal.CurSeq())
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		return
+	}
+
+	// Reader side: a subscription connection carries no further
+	// requests, so any inbound frame — or the client hanging up — ends
+	// the stream. This also unblocks the writer on server shutdown,
+	// which closes conn via the per-connection quit watcher.
+	go func() {
+		_, _ = jwire.ReadFrame(conn)
+		sub.stop()
+	}()
+	sub.run()
+	sub.stop()
 }
 
 // dispatch routes one frame: either a single operation or an OpBatch
@@ -410,20 +500,35 @@ func (s *Server) handleConn(conn net.Conn) {
 // it is applied — write-ahead, so an acknowledged store can always be
 // replayed — and the append+apply pair holds logMu so log order equals
 // apply order. Pure queries skip all of this.
+//
+// Mutations end by publishing to the subscription hub, outside logMu
+// (the hub re-reads the journal, so fan-out work never extends the
+// commit critical section) and before the response is framed back to
+// the caller — a push is behind durability, never ahead of it.
 func (s *Server) dispatch(req []byte) []byte {
-	if s.WAL != nil && jwire.PayloadMutates(req) {
+	mutates := jwire.PayloadMutates(req)
+	if s.WAL != nil && mutates {
 		s.logMu.Lock()
-		defer s.logMu.Unlock()
 		if _, err := s.WAL.Append(req); err != nil {
+			s.logMu.Unlock()
 			return errPayload(fmt.Errorf("jserver: wal append: %w", err))
 		}
 	}
 	r := &jwire.Reader{B: req}
 	op := r.U8()
+	var resp []byte
 	if op == jwire.OpBatch {
-		return s.dispatchBatch(r)
+		resp = s.dispatchBatch(r)
+	} else {
+		resp = s.dispatchOne(op, r)
 	}
-	return s.dispatchOne(op, r)
+	if s.WAL != nil && mutates {
+		s.logMu.Unlock()
+	}
+	if mutates {
+		s.publishChanges()
+	}
+	return resp
 }
 
 // dispatchBatch executes each sub-request in order and frames one
@@ -617,6 +722,10 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		default:
 			return fail(fmt.Errorf("jserver: changes: unknown record kind %d", req.Kind))
 		}
+	case jwire.OpSubscribe:
+		// Reachable only as a batch sub-request: handleConn intercepts
+		// direct subscribes before dispatch.
+		return fail(errors.New("jserver: subscribe not valid inside a batch"))
 	case jwire.OpPing:
 		w.U8(jwire.StatusOK)
 	case jwire.OpStats:

@@ -1,0 +1,356 @@
+// Push-based change streaming: the server half of OpSubscribe.
+//
+// Every mutating request ends with one publishChanges call, after the
+// WAL append and the journal apply — the WAL-append point, so a push is
+// never ahead of durability. The hub re-reads the journal's change
+// cursors rather than capturing records on the commit path: the commit
+// pays one atomic load when nobody is subscribed, and fan-out work is
+// bounded by the per-subscriber queues. A subscriber that cannot keep
+// up loses its queue, not the journal's history: it is flagged lagged,
+// told so with a resync marker, and re-fed from its cursor via the same
+// Changes pages a polling client would use. The no-gap/no-duplicate
+// cursor contract therefore holds across queue overflow, reconnects,
+// and server restarts alike.
+package jserver
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+const (
+	// DefaultSubQueueMax bounds each subscriber's pending-push queue;
+	// overflowing it costs that subscriber a resync, never a stalled
+	// commit.
+	DefaultSubQueueMax = 1024
+	// subPageLimit bounds how many change records one hub or resync
+	// round reads from the journal (and so how long its read lock is
+	// held on the subscription path).
+	subPageLimit = 256
+	// subWriteTimeout is how long one push frame may block on a
+	// consumer's TCP window before the subscription is torn down. A
+	// stalled consumer first degrades to resync; one that stops reading
+	// entirely is eventually cut off here.
+	subWriteTimeout = time.Minute
+)
+
+func (s *Server) subQueueMax() int {
+	if s.SubQueueMax > 0 {
+		return s.SubQueueMax
+	}
+	return DefaultSubQueueMax
+}
+
+// subEvent is one committed change on its way to a subscriber: the
+// record kind, the ModSeq the journal stamped, and the record itself
+// (already cloned by the Changes accessors, so safe to share across
+// subscriber queues).
+type subEvent struct {
+	kind  journal.RecordKind
+	seq   uint64
+	iface *journal.InterfaceRec
+	gw    *journal.GatewayRec
+	sn    *journal.SubnetRec
+}
+
+// collectChanges merges one bounded page of changes with ModSeq > after
+// across the masked kinds into a single seq-ascending stream, returning
+// the events and the cursor they advance to.
+//
+// The three per-kind cursors are read at different instants, so a
+// concurrent commit could land between the interface page and the
+// subnet page; naively taking the max seen seq as the cursor would skip
+// it. Instead the journal's sequence counter is read FIRST as a target:
+// events past the target are discarded (a later round re-reads them),
+// each kind's knowledge horizon is the target when its page was
+// complete and its last returned seq when it was truncated, and the
+// cursor advances only to the minimum horizon. Everything at or below
+// the returned cursor has been emitted exactly once.
+func collectChanges(j *journal.Journal, after uint64, limit int, kinds byte) ([]subEvent, uint64) {
+	target := j.CurSeq()
+	if target <= after {
+		return nil, after
+	}
+	var evs []subEvent
+	next := target
+	// clip drops events past the target and reports the kind's horizon:
+	// a page reaching past the target proves full coverage up to it.
+	clip := func(n int, seqAt func(int) uint64, more bool) (int, uint64) {
+		for i := 0; i < n; i++ {
+			if seqAt(i) > target {
+				return i, target
+			}
+		}
+		if more && n > 0 {
+			return n, seqAt(n - 1)
+		}
+		return n, target
+	}
+	if kinds&jwire.SubKindInterface != 0 {
+		recs, _, more := j.InterfaceChanges(after, limit)
+		keep, h := clip(len(recs), func(i int) uint64 { return recs[i].ModSeq }, more)
+		for _, rec := range recs[:keep] {
+			evs = append(evs, subEvent{kind: journal.KindInterface, seq: rec.ModSeq, iface: rec})
+		}
+		if h < next {
+			next = h
+		}
+	}
+	if kinds&jwire.SubKindGateway != 0 {
+		recs, _, more := j.GatewayChanges(after, limit)
+		keep, h := clip(len(recs), func(i int) uint64 { return recs[i].ModSeq }, more)
+		for _, rec := range recs[:keep] {
+			evs = append(evs, subEvent{kind: journal.KindGateway, seq: rec.ModSeq, gw: rec})
+		}
+		if h < next {
+			next = h
+		}
+	}
+	if kinds&jwire.SubKindSubnet != 0 {
+		recs, _, more := j.SubnetChanges(after, limit)
+		keep, h := clip(len(recs), func(i int) uint64 { return recs[i].ModSeq }, more)
+		for _, rec := range recs[:keep] {
+			evs = append(evs, subEvent{kind: journal.KindSubnet, seq: rec.ModSeq, sn: rec})
+		}
+		if h < next {
+			next = h
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a].seq < evs[b].seq })
+	// Events past the minimum horizon would be re-read (and so re-sent)
+	// by the next round; emit them then, once.
+	for len(evs) > 0 && evs[len(evs)-1].seq > next {
+		evs = evs[:len(evs)-1]
+	}
+	return evs, next
+}
+
+// publishChanges drains committed changes past the hub cursor into
+// every subscriber queue. Called at the tail of each mutating dispatch;
+// a server with no subscribers pays one atomic load.
+func (s *Server) publishChanges() {
+	if s.nsubs.Load() == 0 {
+		return
+	}
+	s.hubMu.Lock()
+	defer s.hubMu.Unlock()
+	for {
+		evs, next := collectChanges(s.journal, s.hubCursor, subPageLimit, jwire.SubAllKinds)
+		if len(evs) > 0 {
+			s.subMu.Lock()
+			for sub := range s.subs {
+				sub.offer(evs)
+			}
+			s.subMu.Unlock()
+		}
+		s.hubCursor = next
+		if s.journal.CurSeq() <= next {
+			return
+		}
+	}
+}
+
+func (s *Server) addSub(sub *subscriber) {
+	// Serialize with any in-flight publish round, then (for the first
+	// subscriber) skip the hub cursor to now: history below it is the
+	// subscriber's own catch-up resync, not a hub fan-out.
+	s.hubMu.Lock()
+	if s.nsubs.Load() == 0 {
+		s.hubCursor = s.journal.CurSeq()
+	}
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[*subscriber]struct{})
+	}
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	s.nsubs.Add(1)
+	s.hubMu.Unlock()
+	s.subsGauge.Add(1)
+	s.subsTotal.Inc()
+}
+
+func (s *Server) removeSub(sub *subscriber) {
+	s.subMu.Lock()
+	delete(s.subs, sub)
+	s.subMu.Unlock()
+	s.nsubs.Add(-1)
+	s.subsGauge.Add(-1)
+}
+
+// subscriber is one live OpSubscribe connection. The hub appends to its
+// bounded queue under mu; its own writer goroutine drains the queue to
+// the wire. cursor is the last ModSeq actually written — the hub drops
+// anything at or below it, which is what makes a concurrent resync
+// (reading the same records straight from the journal) duplicate-free.
+type subscriber struct {
+	s     *Server
+	conn  net.Conn
+	kinds byte
+
+	mu     sync.Mutex
+	cursor uint64
+	queue  []subEvent
+	lagged bool // queue overflowed (or initial catch-up): resync owes delivery
+
+	notify chan struct{} // 1-buffered nudge: queue or lagged changed
+	quit   chan struct{}
+	once   sync.Once
+}
+
+// stop ends the subscription from the reader side (client frame, client
+// close, server shutdown). Closing the conn unblocks a writer stuck in
+// a push.
+func (sub *subscriber) stop() {
+	sub.once.Do(func() {
+		close(sub.quit)
+		sub.conn.Close()
+	})
+}
+
+// offer enqueues hub events for this subscriber. Never blocks: on
+// overflow the whole queue is dropped and the subscriber flagged for
+// resync, so a stalled consumer cannot hold up the committing request.
+func (sub *subscriber) offer(evs []subEvent) {
+	sub.mu.Lock()
+	queued := false
+	for _, ev := range evs {
+		if jwire.SubKindBit(ev.kind)&sub.kinds == 0 {
+			continue
+		}
+		if sub.lagged || ev.seq <= sub.cursor {
+			continue // resync will (re)deliver from the cursor
+		}
+		if len(sub.queue) >= sub.s.subQueueMax() {
+			sub.s.subDrops.Add(int64(len(sub.queue) + 1))
+			sub.queue = sub.queue[:0]
+			sub.lagged = true
+			queued = true // wake the writer to start the resync
+			continue
+		}
+		sub.queue = append(sub.queue, ev)
+		queued = true
+	}
+	sub.mu.Unlock()
+	if queued {
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the subscriber's writer loop: initial catch-up from the
+// requested cursor, then queue drains interleaved with resyncs until
+// the connection dies or the subscription is stopped.
+func (sub *subscriber) run() {
+	if !sub.resync() {
+		return
+	}
+	for {
+		select {
+		case <-sub.notify:
+		case <-sub.quit:
+			return
+		}
+		for {
+			sub.mu.Lock()
+			if sub.lagged {
+				sub.mu.Unlock()
+				sub.s.subResyncs.Inc()
+				if !sub.writeResyncMarker() || !sub.resync() {
+					return
+				}
+				continue
+			}
+			if len(sub.queue) == 0 {
+				sub.mu.Unlock()
+				break
+			}
+			batch := sub.queue
+			sub.queue = nil
+			sub.mu.Unlock()
+			for _, ev := range batch {
+				if !sub.writeEvent(ev) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// resync feeds the subscriber straight from the journal's Changes pages
+// until it has caught up to the live sequence. The caught-up check and
+// the lagged reset happen under mu: any commit published after the
+// reset is enqueued by the hub, any commit before it is covered by the
+// final CurSeq comparison, so the hand-back from resync to live pushes
+// leaves no gap. The initial catch-up is the same walk minus the wire
+// marker and the counter — from the client's side it is simply the
+// subscription starting at its cursor.
+func (sub *subscriber) resync() bool {
+	for {
+		sub.mu.Lock()
+		cur := sub.cursor
+		sub.mu.Unlock()
+		evs, next := collectChanges(sub.s.journal, cur, subPageLimit, sub.kinds)
+		for _, ev := range evs {
+			if !sub.writeEvent(ev) {
+				return false
+			}
+		}
+		sub.mu.Lock()
+		if next > sub.cursor {
+			sub.cursor = next
+		}
+		if sub.s.journal.CurSeq() <= sub.cursor {
+			sub.lagged = false
+			sub.mu.Unlock()
+			return true
+		}
+		sub.mu.Unlock()
+	}
+}
+
+// writeEvent pushes one record frame and advances the cursor past it.
+func (sub *subscriber) writeEvent(ev subEvent) bool {
+	var w jwire.Writer
+	switch ev.kind {
+	case journal.KindInterface:
+		jwire.PutSubIfaceEvent(&w, ev.seq, ev.iface)
+	case journal.KindGateway:
+		jwire.PutSubGatewayEvent(&w, ev.seq, ev.gw)
+	case journal.KindSubnet:
+		jwire.PutSubSubnetEvent(&w, ev.seq, ev.sn)
+	default:
+		return true
+	}
+	if !sub.writeFrame(w.B) {
+		return false
+	}
+	sub.s.subPushes.Inc()
+	sub.mu.Lock()
+	if ev.seq > sub.cursor {
+		sub.cursor = ev.seq
+	}
+	sub.mu.Unlock()
+	return true
+}
+
+func (sub *subscriber) writeResyncMarker() bool {
+	sub.mu.Lock()
+	cur := sub.cursor
+	sub.mu.Unlock()
+	var w jwire.Writer
+	jwire.PutSubResync(&w, cur)
+	return sub.writeFrame(w.B)
+}
+
+func (sub *subscriber) writeFrame(b []byte) bool {
+	sub.conn.SetWriteDeadline(time.Now().Add(subWriteTimeout))
+	return jwire.WriteFrame(sub.conn, b) == nil
+}

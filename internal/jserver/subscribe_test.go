@@ -1,0 +1,380 @@
+package jserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+// dialSub opens a raw subscription connection and consumes the
+// acknowledgment, returning the conn plus the server's starting cursor
+// and current sequence.
+func dialSub(t *testing.T, addr string, req jwire.SubscribeReq) (net.Conn, uint64, uint64) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	var w jwire.Writer
+	w.U8(jwire.OpSubscribe)
+	jwire.PutSubscribeReq(&w, req)
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &jwire.Reader{B: resp}
+	if st := r.U8(); st != jwire.StatusOK {
+		t.Fatalf("subscribe status %d: %s", st, r.String())
+	}
+	start, cur := r.U64(), r.U64()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return conn, start, cur
+}
+
+func readEvent(t *testing.T, conn net.Conn) jwire.SubEvent {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	frame, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read push frame: %v", err)
+	}
+	r := &jwire.Reader{B: frame}
+	ev := jwire.GetSubEvent(r)
+	if r.Err != nil {
+		t.Fatalf("decode push frame: %v", r.Err)
+	}
+	return ev
+}
+
+func ifaceObs(i int) journal.IfaceObs {
+	return journal.IfaceObs{
+		IP: pkt.IPv4(10, 0, byte(i/250), byte(i%250+1)), HasMAC: true,
+		MAC:    pkt.MAC{8, 0, 0x20, 9, byte(i / 250), byte(i % 250)},
+		Name:   fmt.Sprintf("host-%d.cs.colorado.edu", i),
+		Source: journal.SrcARP, At: t0,
+	}
+}
+
+// A live subscriber sees every committed store, in order, with
+// contiguous mod-seqs — no polling call anywhere.
+func TestSubscribePushesLiveCommits(t *testing.T) {
+	s, c := startServer(t)
+	conn, start, cur := dialSub(t, s.Addr(), jwire.SubscribeReq{})
+	if start != 0 || cur != 0 {
+		t.Fatalf("fresh journal: start=%d cur=%d", start, cur)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, _, err := c.StoreInterface(ifaceObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ev := readEvent(t, conn)
+		if ev.Type != jwire.SubEventRecord || ev.Kind != journal.KindInterface {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		// Each distinct-IP store allocates exactly one mod-seq on a
+		// fresh journal, so the pushed stream must be exactly 1..n.
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Iface == nil || ev.Iface.IP != ifaceObs(i).IP {
+			t.Fatalf("event %d: wrong record %+v", i, ev.Iface)
+		}
+	}
+}
+
+// Subscribing with a cursor first replays history past it, then flows
+// into live pushes with no gap and no duplicate.
+func TestSubscribeCatchUpThenLive(t *testing.T) {
+	s, c := startServer(t)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.StoreInterface(ifaceObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn, start, cur := dialSub(t, s.Addr(), jwire.SubscribeReq{After: 1})
+	if start != 1 || cur != 3 {
+		t.Fatalf("start=%d cur=%d", start, cur)
+	}
+	var seqs []uint64
+	for len(seqs) < 2 {
+		ev := readEvent(t, conn)
+		seqs = append(seqs, ev.Seq)
+	}
+	if seqs[0] != 2 || seqs[1] != 3 {
+		t.Fatalf("catch-up seqs %v, want [2 3]", seqs)
+	}
+	if _, _, err := c.StoreInterface(ifaceObs(3)); err != nil {
+		t.Fatal(err)
+	}
+	if ev := readEvent(t, conn); ev.Seq != 4 {
+		t.Fatalf("live seq %d, want 4", ev.Seq)
+	}
+}
+
+// FromNow skips history entirely.
+func TestSubscribeFromNow(t *testing.T) {
+	s, c := startServer(t)
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.StoreInterface(ifaceObs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn, start, _ := dialSub(t, s.Addr(), jwire.SubscribeReq{FromNow: true, After: 99})
+	if start != 3 {
+		t.Fatalf("start=%d, want 3", start)
+	}
+	if _, _, err := c.StoreInterface(ifaceObs(7)); err != nil {
+		t.Fatal(err)
+	}
+	ev := readEvent(t, conn)
+	if ev.Seq != 4 || ev.Iface == nil || ev.Iface.IP != ifaceObs(7).IP {
+		t.Fatalf("first event %+v, want the post-subscribe store", ev)
+	}
+}
+
+// The kind mask filters at the server: a subnet-only subscriber never
+// sees interface traffic.
+func TestSubscribeKindFilter(t *testing.T) {
+	s, c := startServer(t)
+	conn, _, _ := dialSub(t, s.Addr(), jwire.SubscribeReq{Kinds: jwire.SubKindSubnet})
+	if _, _, err := c.StoreInterface(ifaceObs(0)); err != nil {
+		t.Fatal(err)
+	}
+	sn, _ := pkt.ParseSubnet("10.0.0.0/24")
+	if _, err := c.StoreSubnet(journal.SubnetObs{Subnet: sn, Source: journal.SrcICMP, At: t0}); err != nil {
+		t.Fatal(err)
+	}
+	ev := readEvent(t, conn)
+	if ev.Kind != journal.KindSubnet || ev.Subnet == nil {
+		t.Fatalf("filtered stream delivered %+v", ev)
+	}
+}
+
+// A subscription request inside a batch must be rejected, not hijack
+// the connection.
+func TestSubscribeRejectedInBatch(t *testing.T) {
+	s, c := startServer(t)
+	var b jclient.Batch
+	b.StoreInterface(ifaceObs(0))
+	if _, err := c.StoreBatch(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build a batch holding a subscribe sub-request.
+	var sub jwire.Writer
+	sub.U8(jwire.OpSubscribe)
+	jwire.PutSubscribeReq(&sub, jwire.SubscribeReq{})
+	var w jwire.Writer
+	w.U8(jwire.OpBatch)
+	jwire.PutBatch(&w, [][]byte{sub.B})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := jwire.WriteFrame(conn, w.B); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jwire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &jwire.Reader{B: resp}
+	if st := r.U8(); st != jwire.StatusOK {
+		t.Fatalf("batch status %d", st)
+	}
+	if n := r.U32(); n != 1 {
+		t.Fatalf("%d sub-responses", n)
+	}
+	sr := &jwire.Reader{B: r.Bytes()}
+	if st := sr.U8(); st != jwire.StatusError {
+		t.Fatalf("subscribe-in-batch status %d, want error", st)
+	}
+}
+
+// Slow-consumer backpressure: a subscriber that stops reading is
+// degraded to a cursor resync — with obs counters to prove it — while
+// concurrent Store and Batch commits keep flowing. The subscriber end
+// is a net.Pipe, so every push write blocks until the test deigns to
+// read: the overflow path is exercised deterministically, not when the
+// kernel's socket buffer happens to fill.
+func TestSlowConsumerDroppedToResync(t *testing.T) {
+	s := New(nil)
+	s.SubQueueMax = 4
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	srvEnd, cliEnd := net.Pipe()
+	defer cliEnd.Close()
+	sub := &subscriber{
+		s: s, conn: srvEnd, kinds: jwire.SubAllKinds,
+		lagged: true,
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	s.addSub(sub)
+	defer s.removeSub(sub)
+	writerDone := make(chan struct{})
+	go func() { defer close(writerDone); sub.run() }()
+
+	// Commit from several connections at once while no one reads the
+	// subscriber's pipe. Completion of Wait IS the liveness assertion:
+	// if a full queue blocked the commit path, these would hang on the
+	// stuck writer and the test would time out.
+	const workers, perWorker = 4, 50
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			c, err := jclient.Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWorker; i++ {
+				n := wkr*perWorker + i
+				if n%10 == 9 { // every tenth commit is a batch
+					var b jclient.Batch
+					b.StoreInterface(ifaceObs(n))
+					if _, err := c.StoreBatch(&b); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if _, _, err := c.StoreInterface(ifaceObs(n)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if s.subDrops.Value() == 0 {
+		t.Fatal("queue never overflowed: backpressure path untested")
+	}
+
+	// Now drain the pipe. The stream must contain at least one resync
+	// marker, and the record events must carry strictly increasing
+	// mod-seqs (no duplicates) that end at the journal's current seq
+	// with every stored interface represented (no gaps in state).
+	target := s.Journal().CurSeq()
+	ips := make(map[pkt.IP]bool)
+	var resyncs int
+	var last uint64
+	for last < target {
+		cliEnd.SetReadDeadline(time.Now().Add(10 * time.Second))
+		frame, err := jwire.ReadFrame(cliEnd)
+		if err != nil {
+			t.Fatalf("drain: %v (last seq %d of %d)", err, last, target)
+		}
+		r := &jwire.Reader{B: frame}
+		ev := jwire.GetSubEvent(r)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if ev.Type == jwire.SubEventResync {
+			resyncs++
+			continue
+		}
+		if ev.Seq <= last {
+			t.Fatalf("seq %d after %d: duplicate or out-of-order push", ev.Seq, last)
+		}
+		last = ev.Seq
+		if ev.Iface != nil {
+			ips[ev.Iface.IP] = true
+		}
+	}
+	if resyncs == 0 || s.subResyncs.Value() == 0 {
+		t.Fatalf("no resync observed (markers %d, counter %d)", resyncs, s.subResyncs.Value())
+	}
+	for i := 0; i < workers*perWorker; i++ {
+		if !ips[ifaceObs(i).IP] {
+			t.Fatalf("interface %d missing from the drained stream", i)
+		}
+	}
+
+	sub.stop()
+	<-writerDone
+}
+
+// A benchmark commit path with subscribers attached: one idle (caught
+// up, watching a filtered kind that never fires) and one active
+// (draining every push). Guards the claim that streaming stays off the
+// commit critical path.
+func BenchmarkStoreOverTCPWithSubscribers(b *testing.B) {
+	s := New(nil)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := jclient.Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	subscribe := func(req jwire.SubscribeReq) net.Conn {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var w jwire.Writer
+		w.U8(jwire.OpSubscribe)
+		jwire.PutSubscribeReq(&w, req)
+		if err := jwire.WriteFrame(conn, w.B); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jwire.ReadFrame(conn); err != nil {
+			b.Fatal(err)
+		}
+		return conn
+	}
+	idle := subscribe(jwire.SubscribeReq{Kinds: jwire.SubKindGateway, FromNow: true})
+	defer idle.Close()
+	active := subscribe(jwire.SubscribeReq{FromNow: true})
+	defer active.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			if _, err := jwire.ReadFrame(active); err != nil {
+				return
+			}
+		}
+	}()
+
+	obs := ifaceObs(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.At = obs.At.Add(time.Second)
+		if _, _, err := c.StoreInterface(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	active.Close()
+	<-drained
+}

@@ -50,6 +50,10 @@ const (
 	// modification sequence cursor, oldest change first. Replication is
 	// built on it — an unchanged journal answers with an empty page.
 	OpChanges byte = 12
+	// OpSubscribe turns the connection into a push stream: after one OK
+	// response the server delivers change records as they commit (see
+	// subscribe.go). Not valid inside a batch.
+	OpSubscribe byte = 13
 )
 
 // ScanVersion is the version byte leading OpScan and OpChanges request
@@ -88,6 +92,8 @@ func OpName(op byte) string {
 		return "scan"
 	case OpChanges:
 		return "changes"
+	case OpSubscribe:
+		return "subscribe"
 	}
 	return "unknown"
 }

@@ -1,0 +1,163 @@
+// Push-based change streaming: the wire format of OpSubscribe.
+//
+// A subscription turns a connection inside out. The client sends one
+// OpSubscribe request naming a record-kind mask and a modification
+// sequence cursor; the server answers with a normal OK frame carrying
+// the starting cursor, and from then on the connection is one-way — the
+// server pushes one event frame per change record as commits land, and
+// the client sends nothing further (anything it does send ends the
+// subscription). Records are published at the WAL-append point, so a
+// push is never ahead of durability, and every pushed record carries
+// the ModSeq the journal stamped on it, so the client always holds a
+// cursor it can resume from after a disconnect with no gaps and no
+// duplicates.
+package jwire
+
+import (
+	"fmt"
+
+	"fremont/internal/journal"
+)
+
+// Subscription kind-mask bits. A SubscribeReq with Kinds == 0 receives
+// every kind.
+const (
+	SubKindInterface byte = 1 << 0
+	SubKindGateway   byte = 1 << 1
+	SubKindSubnet    byte = 1 << 2
+	SubAllKinds           = SubKindInterface | SubKindGateway | SubKindSubnet
+)
+
+// SubKindBit returns the subscription mask bit for a record kind (0 for
+// an unknown kind).
+func SubKindBit(k journal.RecordKind) byte {
+	switch k {
+	case journal.KindInterface:
+		return SubKindInterface
+	case journal.KindGateway:
+		return SubKindGateway
+	case journal.KindSubnet:
+		return SubKindSubnet
+	}
+	return 0
+}
+
+// SubscribeReq is the body of an OpSubscribe request.
+type SubscribeReq struct {
+	// Kinds is the record-kind mask (SubKind* bits); 0 subscribes to all
+	// kinds.
+	Kinds byte
+	// FromNow starts the stream at the server's current modification
+	// sequence, ignoring After: only changes committed after the
+	// subscription is accepted are delivered.
+	FromNow bool
+	// After is the resume cursor: records with ModSeq > After are
+	// delivered (catch-up first, then live pushes). 0 replays the whole
+	// journal before going live.
+	After uint64
+}
+
+// PutSubscribeReq encodes the body of an OpSubscribe request (the caller
+// writes the opcode first, as for every other operation).
+func PutSubscribeReq(w *Writer, req SubscribeReq) {
+	w.U8(ScanVersion)
+	w.U8(req.Kinds)
+	w.Bool(req.FromNow)
+	w.U64(req.After)
+}
+
+// GetSubscribeReq decodes the body of an OpSubscribe request; an
+// unsupported version sets r.Err to ErrScanVersion.
+func GetSubscribeReq(r *Reader) SubscribeReq {
+	if v := r.U8(); r.Err == nil && v != ScanVersion {
+		r.Err = ErrScanVersion
+	}
+	return SubscribeReq{
+		Kinds:   r.U8(),
+		FromNow: r.Bool(),
+		After:   r.U64(),
+	}
+}
+
+// Subscription event types: the first byte of every pushed frame.
+const (
+	// SubEventRecord carries one change record: kind, ModSeq, record.
+	SubEventRecord byte = 0
+	// SubEventResync marks a slow-consumer degradation: the server
+	// dropped this subscriber's queued live pushes and is re-reading
+	// changes from the cursor in the frame. Deliveries after the marker
+	// are catch-up pages; the no-gap/no-duplicate contract still holds.
+	SubEventResync byte = 1
+)
+
+// SubEvent is one decoded push frame. Type selects which fields are
+// meaningful: a record event sets Kind, Seq, and exactly one of Iface /
+// Gateway / Subnet; a resync marker sets only Cursor.
+type SubEvent struct {
+	Type    byte
+	Kind    journal.RecordKind
+	Seq     uint64 // the record's ModSeq: the cursor after this event
+	Iface   *journal.InterfaceRec
+	Gateway *journal.GatewayRec
+	Subnet  *journal.SubnetRec
+	Cursor  uint64 // SubEventResync: cursor the server resumed from
+}
+
+// PutSubIfaceEvent encodes an interface change push frame.
+func PutSubIfaceEvent(w *Writer, seq uint64, rec *journal.InterfaceRec) {
+	w.U8(SubEventRecord)
+	w.U8(byte(journal.KindInterface))
+	w.U64(seq)
+	PutInterfaceRec(w, rec)
+}
+
+// PutSubGatewayEvent encodes a gateway change push frame.
+func PutSubGatewayEvent(w *Writer, seq uint64, rec *journal.GatewayRec) {
+	w.U8(SubEventRecord)
+	w.U8(byte(journal.KindGateway))
+	w.U64(seq)
+	PutGatewayRec(w, rec)
+}
+
+// PutSubSubnetEvent encodes a subnet change push frame.
+func PutSubSubnetEvent(w *Writer, seq uint64, rec *journal.SubnetRec) {
+	w.U8(SubEventRecord)
+	w.U8(byte(journal.KindSubnet))
+	w.U64(seq)
+	PutSubnetRec(w, rec)
+}
+
+// PutSubResync encodes a resync marker frame.
+func PutSubResync(w *Writer, cursor uint64) {
+	w.U8(SubEventResync)
+	w.U64(cursor)
+}
+
+// GetSubEvent decodes one pushed frame. Malformed input sets r.Err.
+func GetSubEvent(r *Reader) SubEvent {
+	ev := SubEvent{Type: r.U8()}
+	switch ev.Type {
+	case SubEventRecord:
+		ev.Kind = journal.RecordKind(r.U8())
+		ev.Seq = r.U64()
+		switch ev.Kind {
+		case journal.KindInterface:
+			ev.Iface = GetInterfaceRec(r)
+		case journal.KindGateway:
+			ev.Gateway = GetGatewayRec(r)
+		case journal.KindSubnet:
+			ev.Subnet = GetSubnetRec(r)
+		default:
+			if r.Err == nil {
+				r.Err = fmt.Errorf("jwire: unknown record kind %d in push frame", ev.Kind)
+			}
+		}
+	case SubEventResync:
+		ev.Cursor = r.U64()
+	default:
+		if r.Err == nil {
+			r.Err = fmt.Errorf("jwire: unknown subscription event type %d", ev.Type)
+		}
+	}
+	return ev
+}

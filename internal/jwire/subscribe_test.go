@@ -1,0 +1,144 @@
+package jwire
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+func TestSubscribeReqRoundtrip(t *testing.T) {
+	cases := []SubscribeReq{
+		{},
+		{Kinds: SubKindInterface, After: 42},
+		{Kinds: SubAllKinds, FromNow: true},
+		{Kinds: SubKindGateway | SubKindSubnet, After: 1<<63 - 1},
+	}
+	for _, req := range cases {
+		var w Writer
+		PutSubscribeReq(&w, req)
+		r := &Reader{B: w.B}
+		got := GetSubscribeReq(r)
+		if r.Err != nil || got != req {
+			t.Fatalf("roundtrip %+v: got %+v, err %v", req, got, r.Err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d undecoded bytes", r.Remaining())
+		}
+	}
+}
+
+func TestSubscribeReqVersionGate(t *testing.T) {
+	var w Writer
+	PutSubscribeReq(&w, SubscribeReq{Kinds: SubAllKinds})
+	w.B[0] = ScanVersion + 1
+	r := &Reader{B: w.B}
+	GetSubscribeReq(r)
+	if r.Err != ErrScanVersion {
+		t.Fatalf("err = %v, want ErrScanVersion", r.Err)
+	}
+}
+
+func TestSubKindBit(t *testing.T) {
+	if SubKindBit(journal.KindInterface) != SubKindInterface ||
+		SubKindBit(journal.KindGateway) != SubKindGateway ||
+		SubKindBit(journal.KindSubnet) != SubKindSubnet {
+		t.Fatal("kind bit mapping broken")
+	}
+	if SubKindBit(journal.RecordKind(99)) != 0 {
+		t.Fatal("unknown kind must map to no bits")
+	}
+}
+
+func TestSubEventRoundtrip(t *testing.T) {
+	at := time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+	iface := &journal.InterfaceRec{
+		ID: 7, IP: pkt.IPv4(10, 0, 1, 5), MAC: pkt.MAC{8, 0, 0x20, 1, 2, 3},
+		Name: "anchor", Mask: pkt.MaskBits(24),
+		Stamp: journal.Stamp{Discovered: at, Changed: at, Verified: at},
+	}
+	var w Writer
+	PutSubIfaceEvent(&w, 99, iface)
+	r := &Reader{B: w.B}
+	ev := GetSubEvent(r)
+	if r.Err != nil || ev.Type != SubEventRecord || ev.Kind != journal.KindInterface ||
+		ev.Seq != 99 || ev.Iface == nil {
+		t.Fatalf("iface event: %+v, err %v", ev, r.Err)
+	}
+	if ev.Iface.IP != iface.IP || ev.Iface.MAC != iface.MAC || ev.Iface.Name != iface.Name {
+		t.Fatalf("record lost in transit: %+v", ev.Iface)
+	}
+
+	gw := &journal.GatewayRec{ID: 3, Ifaces: []journal.ID{1, 2},
+		Subnets: []pkt.Subnet{{Addr: pkt.IPv4(10, 0, 1, 0), Mask: pkt.MaskBits(24)}}}
+	w.B = w.B[:0]
+	PutSubGatewayEvent(&w, 100, gw)
+	r = &Reader{B: w.B}
+	ev = GetSubEvent(r)
+	if r.Err != nil || ev.Kind != journal.KindGateway || ev.Seq != 100 ||
+		ev.Gateway == nil || len(ev.Gateway.Ifaces) != 2 {
+		t.Fatalf("gateway event: %+v, err %v", ev, r.Err)
+	}
+
+	sn := &journal.SubnetRec{ID: 5, Subnet: pkt.Subnet{Addr: pkt.IPv4(10, 0, 2, 0), Mask: pkt.MaskBits(24)}}
+	w.B = w.B[:0]
+	PutSubSubnetEvent(&w, 101, sn)
+	r = &Reader{B: w.B}
+	ev = GetSubEvent(r)
+	if r.Err != nil || ev.Kind != journal.KindSubnet || ev.Seq != 101 || ev.Subnet == nil {
+		t.Fatalf("subnet event: %+v, err %v", ev, r.Err)
+	}
+
+	w.B = w.B[:0]
+	PutSubResync(&w, 55)
+	r = &Reader{B: w.B}
+	ev = GetSubEvent(r)
+	if r.Err != nil || ev.Type != SubEventResync || ev.Cursor != 55 {
+		t.Fatalf("resync event: %+v, err %v", ev, r.Err)
+	}
+}
+
+func TestSubEventGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		{},
+		{SubEventRecord},
+		{SubEventRecord, 99, 0, 0, 0, 0, 0, 0, 0, 1},
+		{SubEventResync},
+		{0xfe, 1, 2, 3},
+	} {
+		r := &Reader{B: data}
+		GetSubEvent(r)
+		if r.Err == nil {
+			t.Fatalf("accepted garbage %v", data)
+		}
+	}
+}
+
+// FuzzGetSubscribeReq throws hostile bytes at the OpSubscribe request
+// decoder: it must never panic, and anything it accepts must survive a
+// re-encode / re-decode cycle.
+func FuzzGetSubscribeReq(f *testing.F) {
+	var w Writer
+	PutSubscribeReq(&w, SubscribeReq{Kinds: SubAllKinds, After: 42})
+	f.Add(w.B)
+	w.B = w.B[:0]
+	PutSubscribeReq(&w, SubscribeReq{FromNow: true})
+	f.Add(w.B)
+	f.Add([]byte{})
+	f.Add([]byte{ScanVersion})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Reader{B: data}
+		req := GetSubscribeReq(r)
+		if r.Err != nil {
+			return
+		}
+		var w2 Writer
+		PutSubscribeReq(&w2, req)
+		r2 := &Reader{B: w2.B}
+		if got := GetSubscribeReq(r2); r2.Err != nil || got != req {
+			t.Fatalf("re-decode mismatch (%v):\n%+v\n%+v", r2.Err, got, req)
+		}
+	})
+}

@@ -51,11 +51,23 @@ def main():
         f.write("\n")
     print(f"benchgate: wrote {len(metrics)} benchmarks to {artifact}")
 
-    with open(baseline_path) as f:
-        baseline = json.load(f)
+    # A gate that cannot load its baseline must fail loudly: a missing or
+    # corrupt baseline file would otherwise crash with a bare traceback
+    # (or, with no gates, pass vacuously) and the regression slips by.
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        sys.exit(f"::error::benchgate: cannot read baseline {baseline_path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"::error::benchgate: baseline {baseline_path} is not valid JSON: {e}")
+    gates = baseline.get("gates")
+    if not isinstance(gates, list) or not gates:
+        sys.exit(f"::error::benchgate: baseline {baseline_path} has no gates; "
+                 "refusing to pass vacuously")
 
     failures = []
-    for gate in baseline["gates"]:
+    for gate in gates:
         bench, metric = gate["bench"], gate["metric"]
         got = metrics.get(bench, {}).get(metric)
         if got is None:
