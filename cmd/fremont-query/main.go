@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"fremont/internal/jclient"
@@ -38,8 +39,17 @@ import (
 	"fremont/internal/present"
 )
 
+// conn is the query surface both backends provide: a single Client, or
+// a jclient.Fabric when -journal names several shard addresses.
+type conn interface {
+	journal.Sink
+	journal.Changer
+	ServerStats() (*obs.Snapshot, error)
+}
+
 func main() {
-	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address")
+	journalAddr := flag.String("journal", "localhost:4741", "Journal Server address, or comma-separated fabric shard addresses")
+	namespace := flag.String("namespace", "", "tenant namespace to query (empty = the default journal)")
 	dump := flag.Bool("dump", false, "dump every record")
 	level := flag.Int("level", 0, "presentation level (1, 2, or 3)")
 	network := flag.String("network", "", "network for level 1 (e.g. 128.138.0.0/16)")
@@ -48,14 +58,35 @@ func main() {
 	page := flag.Int("page", 0, "records fetched per round trip (0 = server default)")
 	flag.Parse()
 
-	c, err := jclient.Dial(*journalAddr)
-	if err != nil {
-		log.Fatalf("fremont-query: %v", err)
+	var c conn
+	var singleAddr string // set when -journal is one server (enables -follow)
+	if addrs := strings.Split(*journalAddr, ","); len(addrs) > 1 {
+		f, err := jclient.DialFabric(addrs, 2)
+		if err != nil {
+			log.Fatalf("fremont-query: %v", err)
+		}
+		defer f.Close()
+		f.Use(*namespace)
+		f.PageSize = *page
+		c = f
+	} else {
+		cl, err := jclient.Dial(*journalAddr)
+		if err != nil {
+			log.Fatalf("fremont-query: %v", err)
+		}
+		defer cl.Close()
+		if *namespace != "" {
+			if err := cl.Use(*namespace); err != nil {
+				log.Fatalf("fremont-query: %v", err)
+			}
+		}
+		cl.PageSize = *page
+		c = cl
+		singleAddr = *journalAddr
 	}
-	defer c.Close()
-	c.PageSize = *page
 
 	now := time.Now()
+	var err error
 	switch {
 	case flag.Arg(0) == "stats":
 		var snap *obs.Snapshot
@@ -63,7 +94,7 @@ func main() {
 			err = snap.WriteText(os.Stdout)
 		}
 	case flag.Arg(0) == "changes":
-		err = runChanges(c, flag.Args()[1:])
+		err = runChanges(c, singleAddr, *namespace, flag.Args()[1:])
 	case *dump:
 		err = present.Dump(os.Stdout, c)
 	case *level == 1:
@@ -88,11 +119,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("fremont-query: %v", err)
 	}
+	if f, ok := c.(*jclient.Fabric); ok {
+		if down := f.Unavailable(); len(down) > 0 {
+			log.Fatalf("fremont-query: results are partial; shards unavailable: %s", strings.Join(down, ", "))
+		}
+	}
 }
 
 // runChanges implements the changes subcommand: a one-shot listing of
 // records past a cursor, or (-follow) a live tail of the push stream.
-func runChanges(c *jclient.Client, args []string) error {
+// Against a fabric, the one-shot cursor is a composite handle minted by
+// this process (resume within the same run only) and -follow fans in
+// every shard's push stream.
+func runChanges(c conn, singleAddr, namespace string, args []string) error {
 	fs := flag.NewFlagSet("changes", flag.ExitOnError)
 	after := fs.Uint64("after", 0, "list changes with mod-seq greater than this cursor")
 	kindName := fs.String("kind", "", "restrict to one record kind: interface, gateway, or subnet")
@@ -105,7 +144,17 @@ func runChanges(c *jclient.Client, args []string) error {
 		return err
 	}
 	if *follow {
-		return tailChanges(c, kinds, *after)
+		if namespace != "" {
+			return fmt.Errorf("changes -follow streams the default journal only (tenant namespaces have no push hub)")
+		}
+		if f, ok := c.(*jclient.Fabric); ok {
+			return tailFabricChanges(f, kinds, *after)
+		}
+		cl, ok := c.(*jclient.Client)
+		if !ok || singleAddr == "" {
+			return fmt.Errorf("changes -follow needs a single -journal server or a fabric")
+		}
+		return tailChanges(cl, kinds, *after)
 	}
 	return listChanges(c, kinds, *after)
 }
@@ -147,7 +196,7 @@ func recordLine(kind journal.RecordKind, iface *journal.InterfaceRec, gw *journa
 // record grouped by kind, and reports the cursor to resume from. A
 // commit landing mid-listing may be missed — that race is inherent to a
 // one-shot read; -follow is the gap-free surface.
-func listChanges(c *jclient.Client, kinds byte, after uint64) error {
+func listChanges(c journal.Changer, kinds byte, after uint64) error {
 	total, resume := 0, after
 	drain := func(page func(cur uint64) ([]string, uint64, bool, error)) error {
 		cur := after
@@ -209,6 +258,30 @@ func listChanges(c *jclient.Client, kinds byte, after uint64) error {
 	}
 	fmt.Printf("%d change(s) after cursor %d; resume with -after %d or -follow\n", total, after, resume)
 	return nil
+}
+
+// tailFabricChanges fans in every shard's push stream and prints each
+// event with its shard and shard-local cursor.
+func tailFabricChanges(f *jclient.Fabric, kinds byte, after uint64) error {
+	// A scalar -after can only mean "this seq on every shard"; 0 (from
+	// the start) and a live tail are the useful cases.
+	afterMap := map[string]uint64{}
+	for _, id := range f.ShardIDs() {
+		afterMap[id] = after
+	}
+	sub, err := f.Subscribe(jclient.FabricSubscribeOptions{Kinds: kinds, After: afterMap})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	for ev := range sub.Events() {
+		if ev.Resync {
+			fmt.Printf("# %s: stream resynced from cursor %d (fell behind)\n", ev.Shard, ev.Seq)
+			continue
+		}
+		fmt.Printf("%s seq=%-6d %s\n", ev.Shard, ev.Seq, recordLine(ev.Kind, ev.Iface, ev.Gateway, ev.Subnet))
+	}
+	return sub.Err()
 }
 
 // tailChanges subscribes and prints pushes until interrupted.

@@ -12,6 +12,13 @@
 // mutated in between — a re-run against an unchanged source transfers
 // nothing. Without it, every run replays the full journal (still
 // convergent: the destination's merge logic is idempotent).
+//
+// A comma-separated -from ("host:4741,host:4742,host:4743") pulls from a
+// journal fabric: every shard is replicated, with cursors kept per
+// (shard, kind) in the same cursor file so re-pull-transfers-zero holds
+// fabric-wide. A shard that is down is skipped (its cursor stays put and
+// the next run closes the gap); the run fails only when no shard
+// answers. -both requires a single-server -from.
 package main
 
 import (
@@ -19,6 +26,9 @@ import (
 	"fmt"
 	"log"
 
+	"strings"
+
+	"fremont/internal/fabric"
 	"fremont/internal/jclient"
 	"fremont/internal/replicate"
 )
@@ -40,6 +50,13 @@ func main() {
 		if cursors, err = replicate.LoadCursors(*cursorFile); err != nil {
 			log.Fatalf("fremont-sync: %v", err)
 		}
+	}
+	if shardAddrs := strings.Split(*from, ","); len(shardAddrs) > 1 {
+		if *both {
+			log.Fatal("fremont-sync: -both needs a single-server -from")
+		}
+		syncFabric(shardAddrs, *to, *cursorFile, cursors)
+		return
 	}
 	srcPool, err := jclient.DialPool(*from, 2)
 	if err != nil {
@@ -75,6 +92,41 @@ func main() {
 	rep, next, err := replicate.Pull(dst, src, cursors.Forward)
 	cursors.Forward = next
 	saveCursors(*cursorFile, cursors)
+	if err != nil {
+		log.Fatalf("fremont-sync: %v", err)
+	}
+	fmt.Println(rep)
+}
+
+// syncFabric pulls every shard of a fabric source into dst, one cursor
+// per (shard, kind). Down shards are skipped and reported; their cursors
+// do not move.
+func syncFabric(shardAddrs []string, to, cursorPath string, cursors replicate.CursorFile) {
+	dstPool, err := jclient.DialPool(to, 2)
+	if err != nil {
+		log.Fatalf("fremont-sync: %v", err)
+	}
+	defer dstPool.Close()
+	dst := dstPool.Buffered(0)
+
+	var srcs []replicate.ShardSource
+	var pools []*jclient.Pool
+	for i, addr := range shardAddrs {
+		// Lazy pools: a down shard costs nothing until its pull, which
+		// then fails and is skipped rather than aborting the run.
+		p := jclient.NewPool(strings.TrimSpace(addr), 2)
+		pools = append(pools, p)
+		srcs = append(srcs, replicate.ShardSource{ID: fabric.ShardID(i), Src: p.Buffered(0)})
+	}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+
+	rep, next, err := replicate.PullFabric(dst, srcs, cursors.ForwardShards)
+	cursors.ForwardShards = next
+	saveCursors(cursorPath, cursors)
 	if err != nil {
 		log.Fatalf("fremont-sync: %v", err)
 	}

@@ -14,12 +14,22 @@
 //	fremontd [-listen :4741] [-snapshot journal.snap] [-snapshot-interval 5m]
 //	         [-wal-dir journal.wal] [-wal-fsync always|interval|never]
 //	         [-wal-segment-size 16777216] [-metrics-addr :4742]
+//	         [-tenant-quota N]
+//
+// With -shards N and -data-dir DIR, fremontd instead boots an in-process
+// journal fabric: N full jserver shards, shard i listening on the -listen
+// port + i with its snapshot and WAL under DIR/shard<i>/. Shards stay
+// independently addressable, so the same topology also runs as one
+// process per shard: start N fremontd processes with -shard-index i
+// -shard-count N and each serves one stripe of the fabric's ID space
+// (clients route with jclient.DialFabric either way).
 //
 // With -metrics-addr set, the server's metrics registry is exposed over
 // HTTP: any path returns a human-readable text snapshot, a path ending in
 // .json (or an Accept: application/json request) returns the JSON form.
-// The same snapshot is available over the journal protocol itself via the
-// Stats op (`fremont-query -server ADDR stats`).
+// In fabric mode the document merges every shard's instruments under a
+// shard<i>_ prefix. The same snapshot is available over the journal
+// protocol itself via the Stats op (`fremont-query -server ADDR stats`).
 package main
 
 import (
@@ -32,6 +42,8 @@ import (
 	"syscall"
 	"time"
 
+	"fremont/internal/fabric/fabricd"
+	"fremont/internal/journal"
 	"fremont/internal/jserver"
 	"fremont/internal/obs"
 	"fremont/internal/wal"
@@ -45,11 +57,34 @@ func main() {
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or never")
 	walSegSize := flag.Int64("wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics endpoint (empty disables it)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max records per tenant namespace (0 = unlimited)")
+	shards := flag.Int("shards", 0, "boot an in-process fabric of N shards (0 = single server)")
+	dataDir := flag.String("data-dir", "", "fabric data root: shard i persists under DIR/shard<i>/ (fabric mode)")
+	shardIndex := flag.Int("shard-index", -1, "serve one fabric shard: this process allocates IDs of stripe i (requires -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shards in the fabric this process is one stripe of")
 	flag.Parse()
+
+	if *shards > 0 {
+		runFabric(*listen, *dataDir, *interval, *walFsync, *walSegSize, *metricsAddr, *tenantQuota, *shards)
+		return
+	}
+	if (*shardIndex >= 0) != (*shardCount > 0) {
+		log.Fatalf("fremontd: -shard-index and -shard-count must be set together")
+	}
+	if *shardIndex >= *shardCount && *shardCount > 0 {
+		log.Fatalf("fremontd: -shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
+	}
 
 	srv := jserver.New(nil)
 	srv.SnapshotPath = *snapshot
 	srv.SnapshotInterval = *interval
+	srv.TenantQuota = *tenantQuota
+	if *shardCount > 1 {
+		// One stripe of a multi-process fabric: allocate only IDs
+		// congruent to shardIndex+1 mod shardCount, so this server's
+		// records interleave with its peers' without coordination.
+		srv.Journal().SetIDStride(journal.ID(*shardIndex), journal.ID(*shardCount))
+	}
 
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walFsync)
@@ -67,12 +102,7 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		go func() {
-			log.Printf("fremontd: metrics on http://%s/metrics", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, obs.Handler(srv.Obs())); err != nil {
-				log.Fatalf("fremontd: metrics listener: %v", err)
-			}
-		}()
+		serveMetrics(*metricsAddr, srv.Obs())
 	}
 
 	st, err := srv.Recover()
@@ -96,11 +126,65 @@ func main() {
 	}
 	fmt.Printf("fremontd: journal server on %s\n", srv.Addr())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	waitSignal()
 	log.Printf("fremontd: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Fatalf("fremontd: close: %v", err)
 	}
+}
+
+// runFabric boots an in-process fabric: N shards on consecutive ports.
+func runFabric(listen, dataDir string, interval time.Duration, walFsync string, walSegSize int64, metricsAddr string, tenantQuota, shards int) {
+	policy, err := wal.ParseSyncPolicy(walFsync)
+	if err != nil {
+		log.Fatalf("fremontd: %v", err)
+	}
+	f, err := fabricd.Open(fabricd.Options{
+		Shards:           shards,
+		DataDir:          dataDir,
+		SyncPolicy:       policy,
+		SegmentSize:      walSegSize,
+		SnapshotInterval: interval,
+		TenantQuota:      tenantQuota,
+	})
+	if err != nil {
+		log.Fatalf("fremontd: open fabric: %v", err)
+	}
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr, f.Obs())
+	}
+	stats, err := f.Recover()
+	if err != nil {
+		log.Fatalf("fremontd: recover fabric: %v", err)
+	}
+	for i, st := range stats {
+		if st.SnapshotLoaded || st.WALFrames > 0 {
+			log.Printf("fremontd: shard%d restored: snapshot LSN %d, %d wal frames", i, st.SnapshotLSN, st.WALFrames)
+		}
+	}
+	if err := f.Listen(listen); err != nil {
+		log.Fatalf("fremontd: listen fabric: %v", err)
+	}
+	fmt.Printf("fremontd: %d-shard journal fabric on %v\n", shards, f.Addrs())
+
+	waitSignal()
+	log.Printf("fremontd: shutting down fabric")
+	if err := f.Close(); err != nil {
+		log.Fatalf("fremontd: close: %v", err)
+	}
+}
+
+func serveMetrics(addr string, reg *obs.Registry) {
+	go func() {
+		log.Printf("fremontd: metrics on http://%s/metrics", addr)
+		if err := http.ListenAndServe(addr, obs.Handler(reg)); err != nil {
+			log.Fatalf("fremontd: metrics listener: %v", err)
+		}
+	}()
+}
+
+func waitSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
 }

@@ -1,0 +1,352 @@
+// Merge-equivalence tests for the sharded journal fabric: a 3-shard
+// fabric fed the same observations as a single jserver must present the
+// same journal through every read path — full scans, paged scans, and
+// the change feed — modulo record IDs, which are allocation artifacts
+// (the fabric stripes them across shards). Also asserts the fabric-wide
+// re-pull-transfers-zero replication invariant over real TCP.
+package fremont_test
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/core"
+	"fremont/internal/explorer"
+	"fremont/internal/fabric"
+	"fremont/internal/fabric/fabricd"
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/campus"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/replicate"
+)
+
+// campusJournal runs the seeded department campus for five simulated
+// minutes and returns the resulting journal — the golden source both
+// backends are loaded from.
+func campusJournal(t testing.TB) *journal.Journal {
+	t.Helper()
+	cfg := campus.DefaultConfig()
+	cfg.Seed = 7001
+	cfg.CSHosts = 60
+	sys := core.NewDepartmentSystem(cfg)
+	sys.Advance(5 * time.Minute)
+	if _, err := sys.RunModule(explorer.RIPwatch{}, explorer.Params{Duration: 2 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunModule(explorer.BroadcastPing{}, explorer.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunModule(explorer.ARPwatch{}, explorer.Params{Duration: 15 * time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.J.NumInterfaces() == 0 {
+		t.Fatal("campus run produced an empty journal")
+	}
+	return sys.J
+}
+
+// startFabricTCP boots an in-process N-shard fabric on loopback TCP and
+// dials it with the scatter-gather client.
+func startFabricTCP(t testing.TB, shards int) *jclient.Fabric {
+	t.Helper()
+	f, err := fabricd.Open(fabricd.Options{Shards: shards, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	fc, err := jclient.DialFabric(f.Addrs(), 2)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fc.Close(); f.Close() })
+	return fc
+}
+
+// canonIface encodes a record with its allocation artifacts (the record
+// ID and the shard-local gateway reference) cleared, so journals that
+// allocated IDs in different orders compare equal.
+func canonIface(rec *journal.InterfaceRec) string {
+	cp := *rec
+	cp.ID = 0
+	cp.Gateway = 0
+	var w jwire.Writer
+	jwire.PutInterfaceRec(&w, &cp)
+	return hex.EncodeToString(w.B)
+}
+
+func canonSet(recs []*journal.InterfaceRec) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = canonIface(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffCanon(t *testing.T, what string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d records from fabric, %d from single server", what, len(got), len(want))
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			t.Errorf("%s: record %d differs:\n  fabric %s\n  single %s", what, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// drainScan pages ScanInterfaces to exhaustion through any Scanner.
+func drainScan(t testing.TB, s journal.Scanner, page int) []*journal.InterfaceRec {
+	t.Helper()
+	var all []*journal.InterfaceRec
+	var cursor journal.ID
+	for {
+		recs, next, more, err := s.ScanInterfaces(cursor, page, journal.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, recs...)
+		if !more {
+			return all
+		}
+		cursor = next
+	}
+}
+
+// drainChanges pages InterfaceChanges to exhaustion through any Changer.
+func drainChanges(t testing.TB, c journal.Changer, page int) []*journal.InterfaceRec {
+	t.Helper()
+	var all []*journal.InterfaceRec
+	var after uint64
+	for {
+		recs, next, more, err := c.InterfaceChanges(after, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, recs...)
+		if !more {
+			return all
+		}
+		after = next
+	}
+}
+
+// TestFabricMergeEquivalence loads the golden campus journal into a
+// single jserver and a 3-shard fabric over TCP and checks that scans and
+// the change feed return the same record set, then that per-shard
+// replication cursors make a fabric-wide re-pull transfer zero records.
+func TestFabricMergeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	src := campusJournal(t)
+
+	_, single := startServer(t, "")
+	fc := startFabricTCP(t, 3)
+
+	for name, dst := range map[string]journal.Sink{"single": single, "fabric": fc} {
+		rep, _, err := replicate.Pull(dst, journal.Local{J: src}, replicate.Cursor{})
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if rep.Interfaces != src.NumInterfaces() {
+			t.Fatalf("load %s: moved %d interfaces, want %d", name, rep.Interfaces, src.NumInterfaces())
+		}
+	}
+
+	// Full query path.
+	fRecs, err := fc.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRecs, err := single.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCanon(t, "Interfaces", canonSet(fRecs), canonSet(sRecs))
+
+	// Paged scan path, with a page size small enough to force many
+	// scatter-gather merge rounds and cursor handoffs.
+	diffCanon(t, "ScanInterfaces", canonSet(drainScan(t, fc, 7)), canonSet(drainScan(t, single, 7)))
+
+	// Change feed: fabric fan-in under a composite cursor handle must
+	// deliver the same record set as the single server's mod-seq feed.
+	diffCanon(t, "InterfaceChanges", canonSet(drainChanges(t, fc, 9)), canonSet(drainChanges(t, single, 9)))
+
+	// Gateways and subnets agree in count (their records carry interface
+	// member IDs, so byte comparison is not meaningful across backends).
+	fGws, err := fc.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGws, err := single.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fGws) != len(sGws) {
+		t.Errorf("gateways: fabric %d, single %d", len(fGws), len(sGws))
+	}
+	fSns, err := fc.Subnets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSns, err := single.Subnets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fSns) != len(sSns) {
+		t.Errorf("subnets: fabric %d, single %d", len(fSns), len(sSns))
+	}
+
+	// Per-shard replication over TCP: pulling the whole fabric into a
+	// fresh journal moves every record once; re-pulling with the returned
+	// shard-keyed cursor moves zero.
+	srcs := make([]replicate.ShardSource, fc.NumShards())
+	for i := range srcs {
+		srcs[i] = replicate.ShardSource{ID: fabric.ShardID(i), Src: fc.Shard(i)}
+	}
+	mirror := journal.New()
+	rep, cur, err := replicate.PullFabric(journal.Local{J: mirror}, srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mirror.NumInterfaces() != src.NumInterfaces() {
+		t.Errorf("mirror has %d interfaces, want %d", mirror.NumInterfaces(), src.NumInterfaces())
+	}
+	rep2, _, err := replicate.PullFabric(journal.Local{J: mirror}, srcs, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep2.Total().Interfaces + rep2.Total().Gateways + rep2.Total().Subnets; n != 0 {
+		t.Errorf("re-pull transferred %d records, want 0 (first pull %+v)", n, rep.Total())
+	}
+	diffCanon(t, "mirror", canonSet(mirror.Interfaces(journal.Query{})), canonSet(sRecs))
+}
+
+// TestFabricMergeEquivalenceConcurrent repeats the scan comparison while
+// a writer mutates both backends — exercised under -race in CI. The scan
+// contract under concurrent mutation is exactly-once for records that
+// existed at scan start; after the writer quiesces, both backends must
+// agree exactly.
+func TestFabricMergeEquivalenceConcurrent(t *testing.T) {
+	_, single := startServer(t, "")
+	fc := startFabricTCP(t, 3)
+
+	const base = 60
+	for i := 0; i < base; i++ {
+		obs := journal.IfaceObs{IP: pkt.IPv4(10, 42, byte(i/256), byte(i%256)), Source: journal.SrcARP, At: time.Unix(800000000, 0)}
+		if _, _, err := single.StoreInterface(obs); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fc.StoreInterface(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			obs := journal.IfaceObs{IP: pkt.IPv4(10, 43, 0, byte(i+1)), Source: journal.SrcICMP, At: time.Unix(800000100, 0)}
+			if _, _, err := single.StoreInterface(obs); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := fc.StoreInterface(obs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Scan both backends while the writer runs: every pre-existing record
+	// must appear exactly once; concurrently created ones at most once.
+	for name, s := range map[string]journal.Scanner{"fabric": fc, "single": single} {
+		seen := map[string]int{}
+		for _, r := range drainScan(t, s, 16) {
+			seen[canonIface(r)]++
+		}
+		for key, n := range seen {
+			if n > 1 {
+				t.Errorf("%s mid-write scan returned a record %d times: %s", name, n, key)
+			}
+		}
+		if len(seen) < base {
+			t.Errorf("%s mid-write scan lost pre-existing records: %d < %d", name, len(seen), base)
+		}
+	}
+	wg.Wait()
+
+	diffCanon(t, "post-quiesce scan", canonSet(drainScan(t, fc, 32)), canonSet(drainScan(t, single, 32)))
+	diffCanon(t, "post-quiesce changes", canonSet(drainChanges(t, fc, 32)), canonSet(drainChanges(t, single, 32)))
+}
+
+// BenchmarkFabricScan measures scatter-gather scan throughput: a full
+// paged drain of 50k interface records spread across a 3-shard fabric
+// over loopback TCP. Gated by tools/benchgate.py against
+// bench/BENCH_fabric_baseline.json in the fabric-smoke CI job.
+func BenchmarkFabricScan(b *testing.B) {
+	const records = 50000
+	fc := startFabricTCP(b, 3)
+
+	at := time.Unix(800000000, 0)
+	for off := 0; off < records; off += 500 {
+		var batch jclient.Batch
+		for i := off; i < off+500 && i < records; i++ {
+			batch.StoreInterface(journal.IfaceObs{
+				IP:     pkt.IPv4(10, byte(i/65536%256), byte(i/256%256), byte(i%256)),
+				Source: journal.SrcARP,
+				At:     at,
+			})
+		}
+		results, err := fc.StoreBatch(&batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+
+	b.ResetTimer()
+	b.ReportAllocs()
+	start := time.Now()
+	for n := 0; n < b.N; n++ {
+		got := 0
+		var cursor journal.ID
+		for {
+			recs, next, more, err := fc.ScanInterfaces(cursor, jwire.MaxScanPage, journal.Query{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			got += len(recs)
+			if !more {
+				break
+			}
+			cursor = next
+		}
+		if got != records {
+			b.Fatal(fmt.Errorf("scan returned %d records, want %d", got, records))
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(records)*float64(b.N)/elapsed, "records/sec")
+}

@@ -1,0 +1,170 @@
+// Package fabricd boots the server side of the journal fabric: N full
+// jserver shards in one process, each with its own striped journal, WAL
+// directory, snapshot file, and obs registry. The pure routing layer
+// (ring, shard keys) lives in the parent package fabric, which clients
+// import without pulling in the server.
+package fabricd
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"fremont/internal/fabric"
+	"fremont/internal/journal"
+	"fremont/internal/jserver"
+	"fremont/internal/obs"
+	"fremont/internal/wal"
+)
+
+// Options configures an in-process fabric.
+type Options struct {
+	// Shards is the number of jserver shards (>= 1).
+	Shards int
+
+	// DataDir is the root of the fabric's on-disk layout; shard i keeps
+	// its snapshot at DataDir/shard<i>/journal.snap and its WAL under
+	// DataDir/shard<i>/wal. Empty disables persistence entirely.
+	DataDir string
+
+	// WAL tuning, applied per shard. DisableWAL turns write-ahead
+	// logging off even when DataDir is set (snapshots only).
+	DisableWAL  bool
+	SyncPolicy  wal.SyncPolicy
+	SegmentSize int64
+
+	SnapshotInterval time.Duration
+
+	// TenantQuota caps records per tenant namespace on each shard; 0
+	// means unlimited. The fabric-wide cap is therefore quota × shards.
+	TenantQuota int
+
+	// SubQueueMax overrides the per-subscriber queue bound on each shard.
+	SubQueueMax int
+}
+
+// Fabric is the server side of the sharded journal: N full jservers,
+// each with its own journal (ID-striped over the fabric), WAL directory,
+// snapshot file, and obs registry, plus a merged registry that exposes
+// every shard's instruments under a shard<i>_ prefix.
+type Fabric struct {
+	Servers []*jserver.Server
+	reg     *obs.Registry
+}
+
+// Open builds the fabric's shards: striped journals, per-shard WAL and
+// snapshot paths under opts.DataDir. Nothing listens yet — call Recover
+// then Listen.
+func Open(opts Options) (*Fabric, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	f := &Fabric{reg: obs.NewRegistry()}
+	for i := 0; i < opts.Shards; i++ {
+		j := journal.New()
+		if opts.Shards > 1 {
+			j.SetIDStride(journal.ID(i), journal.ID(opts.Shards))
+		}
+		srv := jserver.New(j)
+		if opts.SnapshotInterval > 0 {
+			srv.SnapshotInterval = opts.SnapshotInterval
+		}
+		srv.TenantQuota = opts.TenantQuota
+		srv.SubQueueMax = opts.SubQueueMax
+		if opts.DataDir != "" {
+			dir := filepath.Join(opts.DataDir, fabric.ShardID(i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				f.Close()
+				return nil, err
+			}
+			srv.SnapshotPath = filepath.Join(dir, "journal.snap")
+			if !opts.DisableWAL {
+				l, err := wal.Open(wal.Options{
+					Dir:         filepath.Join(dir, "wal"),
+					Policy:      opts.SyncPolicy,
+					SegmentSize: opts.SegmentSize,
+					Obs:         srv.Obs(),
+				})
+				if err != nil {
+					f.Close()
+					return nil, fmt.Errorf("fabricd: %s: open wal: %w", fabric.ShardID(i), err)
+				}
+				srv.WAL = l
+			}
+		}
+		f.reg.Gather(fabric.ShardID(i)+"_", srv.Obs())
+		f.Servers = append(f.Servers, srv)
+	}
+	return f, nil
+}
+
+// Recover restores every shard from its snapshot and WAL tail.
+func (f *Fabric) Recover() ([]jserver.RecoveryStats, error) {
+	stats := make([]jserver.RecoveryStats, len(f.Servers))
+	for i, srv := range f.Servers {
+		st, err := srv.Recover()
+		if err != nil {
+			return stats, fmt.Errorf("fabricd: %s: recover: %w", fabric.ShardID(i), err)
+		}
+		stats[i] = st
+	}
+	return stats, nil
+}
+
+// Listen binds every shard. base is the address of shard 0; shard i
+// listens on base's port + i, so a fabric at ":4741" serves shards on
+// 4741, 4742, … A base port of 0 gives every shard an ephemeral port
+// (tests). Shards stay independently addressable: a jclient.Fabric
+// built from Addrs() behaves identically whether the shards live in
+// this process or in one process each.
+func (f *Fabric) Listen(base string) error {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return fmt.Errorf("fabricd: listen address %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("fabricd: listen address %q: %w", base, err)
+	}
+	for i, srv := range f.Servers {
+		addr := net.JoinHostPort(host, "0")
+		if port != 0 {
+			addr = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		if err := srv.Listen(addr); err != nil {
+			return fmt.Errorf("fabricd: %s: listen: %w", fabric.ShardID(i), err)
+		}
+	}
+	return nil
+}
+
+// Addrs returns every shard's bound address, in shard order.
+func (f *Fabric) Addrs() []string {
+	addrs := make([]string, len(f.Servers))
+	for i, srv := range f.Servers {
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// Obs returns the merged metrics registry: every shard's instruments
+// appear under a shard<i>_ prefix, read live at snapshot time.
+func (f *Fabric) Obs() *obs.Registry { return f.reg }
+
+// Close shuts every shard down (final snapshot, WAL close). All shards
+// are closed even if one fails; the first error wins.
+func (f *Fabric) Close() error {
+	var first error
+	for _, srv := range f.Servers {
+		if srv == nil {
+			continue
+		}
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,154 @@
+// Package fabric shards the journal across N jserver shards. Records
+// partition by FNV-1a hash over a consistent-hash ring (ring.go); each
+// shard is a complete jserver with its own WAL directory, snapshot,
+// modification sequence, and obs registry (fabric.go). Record IDs are
+// striped — shard i of N allocates IDs congruent to i+1 mod N — so a
+// single plain ID cursor pages a fabric-wide ID-ordered merge and an
+// existing record routes back to its shard by arithmetic alone.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// DefaultVnodes is the number of virtual nodes each shard places on the
+// ring. More vnodes smooth the key distribution (stddev ~ 1/sqrt(v))
+// at the cost of a larger table; 64 keeps shard imbalance under a few
+// percent for realistic key counts.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over named shards. Keys hash with
+// FNV-1a 64 onto a circle of shard vnode points; a key belongs to the
+// first point at or clockwise of its hash. Adding a shard to an N-shard
+// ring therefore remaps only the key ranges the new shard's vnodes
+// capture — about K/(N+1) of K keys — instead of rehashing everything.
+// A Ring is immutable after New; lookups are safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring of n shards with vnodes points each (vnodes <= 0
+// uses DefaultVnodes). Shards are identified by index 0..n-1; ShardID
+// renders the conventional name.
+func NewRing(n, vnodes int) *Ring {
+	if n <= 0 {
+		panic("fabric: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, n*vnodes), shards: n}
+	for s := 0; s < n; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv1a(fmt.Sprintf("%s#%d", ShardID(s), v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Identical hashes (vanishingly rare) tie-break by shard so the
+		// ring is deterministic regardless of sort stability.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Shards reports the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Lookup returns the shard index owning key.
+func (r *Ring) Lookup(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last one
+	}
+	return r.points[i].shard
+}
+
+// ShardID is the conventional name of shard index i: "shard0", "shard1",
+// … It keys replication cursors, metric prefixes, and Unavailable lists.
+func ShardID(i int) string { return fmt.Sprintf("shard%d", i) }
+
+// fnv1a is the 64-bit FNV-1a hash with an avalanche finalizer. Raw
+// FNV-1a of near-identical strings (vnode labels differ in a digit or
+// two) leaves the high bits — the ones ring ordering sorts by —
+// correlated, which visibly unbalances shard arcs; the multiply-xor
+// finalizer (Murmur3's) spreads every input bit across the word.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// --- Routing keys ---------------------------------------------------------
+
+// Observations route by their natural key, so every observation of the
+// same underlying entity lands on the same shard and the journal's merge
+// logic (same IP folds, same subnet folds) keeps working shard-locally.
+
+// IfaceKey is the routing key for an interface observation: its IP.
+func IfaceKey(ip pkt.IP) string { return "if/" + ip.String() }
+
+// SubnetKey is the routing key for a subnet observation: its address.
+func SubnetKey(sn pkt.Subnet) string { return "sn/" + sn.Addr.String() }
+
+// GatewayKey is the routing key for a gateway observation: the minimum
+// member interface IP, else the minimum attached subnet address. A
+// gateway observed through disjoint member sets on different shards is
+// stored as two records — the price of shard-local merges; the
+// correlate pass stitches them like any other partial evidence.
+func GatewayKey(obs journal.GatewayObs) (string, bool) {
+	if len(obs.IfaceIPs) > 0 {
+		min := obs.IfaceIPs[0]
+		for _, ip := range obs.IfaceIPs[1:] {
+			if ip < min {
+				min = ip
+			}
+		}
+		return IfaceKey(min), true
+	}
+	if len(obs.Subnets) > 0 {
+		min := obs.Subnets[0]
+		for _, sn := range obs.Subnets[1:] {
+			if sn.Addr < min.Addr {
+				min = sn
+			}
+		}
+		return SubnetKey(min), true
+	}
+	return "", false
+}
+
+// ShardForID returns the index of the shard that allocated id under
+// stride-n striping: IDs on shard i are congruent to i+1 mod n.
+func ShardForID(id journal.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint32(id) - 1) % uint32(n))
+}

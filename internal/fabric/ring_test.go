@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// TestRingStability is the consistent-hash property test: growing an
+// N-shard ring to N+1 remaps only the keys the new shard captures —
+// about K/(N+1) of K keys — never a wholesale reshuffle. Deterministic:
+// keys come from a seeded generator.
+func TestRingStability(t *testing.T) {
+	const K = 20000
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, K)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("if/%d.%d.%d.%d", rng.Intn(224)+1, rng.Intn(256), rng.Intn(256), rng.Intn(254)+1)
+	}
+	for _, n := range []int{2, 3, 5, 8} {
+		before := NewRing(n, 0)
+		after := NewRing(n+1, 0)
+		moved := 0
+		for _, k := range keys {
+			b, a := before.Lookup(k), after.Lookup(k)
+			if b != a {
+				moved++
+				// Consistent hashing moves keys only *onto* the new shard:
+				// a key that changes owner must land on shard n.
+				if a != n {
+					t.Fatalf("n=%d: key %q moved %d -> %d, not onto the new shard %d", n, k, b, a, n)
+				}
+			}
+		}
+		ideal := K / (n + 1)
+		// Allow 2x the ideal share: vnode placement is random-ish, but a
+		// full reshuffle (K·n/(n+1) moves) is two orders off this bound.
+		if moved > 2*ideal {
+			t.Errorf("n=%d -> %d: %d of %d keys moved, want <= ~%d (2x ideal K/(n+1))", n, n+1, moved, K, 2*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d -> %d: no keys moved; new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingBalance checks vnode smoothing: no shard of a 4-shard ring
+// owns a grossly outsized share of a seeded key population.
+func TestRingBalance(t *testing.T) {
+	const K = 40000
+	r := NewRing(4, 0)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 4)
+	for i := 0; i < K; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d-%d", i, rng.Int63()))]++
+	}
+	for s, c := range counts {
+		if c < K/8 || c > K/2 {
+			t.Errorf("shard %d owns %d of %d keys; ring badly unbalanced: %v", s, c, K, counts)
+		}
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(5, 0), NewRing(5, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("two rings with identical config disagree on %q", k)
+		}
+	}
+}
+
+func TestShardForID(t *testing.T) {
+	// Stripe arithmetic: shard i of n allocates IDs congruent to i+1 mod n.
+	for n := 1; n <= 5; n++ {
+		for i := 0; i < n; i++ {
+			j := journal.New()
+			j.SetIDStride(journal.ID(i), journal.ID(n))
+			id, _ := j.StoreInterface(journal.IfaceObs{IP: pkt.IP(0x0a000001 + uint32(i))})
+			if got := ShardForID(id, n); got != i {
+				t.Errorf("n=%d: first ID %d of shard %d routes to %d", n, id, i, got)
+			}
+		}
+	}
+}
+
+func TestGatewayKey(t *testing.T) {
+	ip := func(s uint32) pkt.IP { return pkt.IP(s) }
+	// Minimum member IP wins regardless of order.
+	k1, ok := GatewayKey(journal.GatewayObs{IfaceIPs: []pkt.IP{ip(30), ip(10), ip(20)}})
+	if !ok || k1 != IfaceKey(ip(10)) {
+		t.Fatalf("gateway key = %q, %v; want min member key", k1, ok)
+	}
+	k2, ok := GatewayKey(journal.GatewayObs{IfaceIPs: []pkt.IP{ip(10), ip(30)}})
+	if !ok || k2 != k1 {
+		t.Fatalf("gateway key unstable under member order: %q vs %q", k1, k2)
+	}
+	// No members: fall back to min subnet.
+	k3, ok := GatewayKey(journal.GatewayObs{Subnets: []pkt.Subnet{{Addr: ip(200), Mask: 0xffffff00}, {Addr: ip(100), Mask: 0xffffff00}}})
+	if !ok || k3 != SubnetKey(pkt.Subnet{Addr: ip(100), Mask: 0xffffff00}) {
+		t.Fatalf("subnet fallback key = %q, %v", k3, ok)
+	}
+	// Nothing to route on.
+	if _, ok := GatewayKey(journal.GatewayObs{}); ok {
+		t.Fatal("empty gateway observation produced a routing key")
+	}
+}

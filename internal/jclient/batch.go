@@ -49,6 +49,20 @@ func (b *Batch) Delete(kind journal.RecordKind, id journal.ID) {
 // Len reports the number of queued operations.
 func (b *Batch) Len() int { return len(b.subs) }
 
+// op returns queued operation k as its opcode and encoded body (the
+// sub-request without the leading opcode byte). Fabric batch routing
+// decodes the body to find the shard key.
+func (b *Batch) op(k int) (byte, []byte) { return b.ops[k], b.subs[k][1:] }
+
+// addRaw queues an already-encoded operation body under op.
+func (b *Batch) addRaw(op byte, body []byte) {
+	sub := make([]byte, 0, 1+len(body))
+	sub = append(sub, op)
+	sub = append(sub, body...)
+	b.ops = append(b.ops, op)
+	b.subs = append(b.subs, sub)
+}
+
 // Reset empties the batch for reuse.
 func (b *Batch) Reset() { b.ops, b.subs = b.ops[:0], b.subs[:0] }
 

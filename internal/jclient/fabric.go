@@ -1,0 +1,892 @@
+// Fabric is the client side of the sharded journal: one logical Sink /
+// Scanner / Changer over N jserver shards.
+//
+// Routing: observations route to one shard by consistent hash of their
+// natural key (interface IP, subnet address, a gateway's minimum member
+// IP), so repeated observations of the same entity always meet in the
+// same shard-local journal and its merge logic keeps working. Existing
+// records route by ID arithmetic: shard i of N allocates IDs congruent
+// to i+1 mod N, so (id-1) mod N names the owner with no lookup.
+//
+// Scatter-gather reads: Scan* fans one cursor out to every shard and
+// merges the pages ID-ordered under a minimum horizon — the page is cut
+// at the lowest ID any still-unfinished shard has examined up to, so a
+// record below the returned cursor can never be missed, exactly the
+// cross-feed merge jserver's subscription hub uses cross-kind. Because
+// shards draw from disjoint ID classes the merged cursor is a plain
+// record ID, valid fabric-wide.
+//
+// Changes* cursors are composite (one mod-seq per shard); the uint64 the
+// Changer interface exposes is a handle into a bounded table of such
+// composites. Handles are monotone, so `next > prev` comparisons keep
+// working; a handle from a dead process is simply unknown and the caller
+// restarts from 0. Replication, which must persist across processes,
+// uses per-shard cursors directly (replicate.PullFabric) instead of
+// handles.
+//
+// Degraded reads: when a shard is down, reads return the surviving
+// shards' records and record the outage — Unavailable() names the
+// missing shards — instead of failing. Writes to a down shard fail;
+// writes routed elsewhere are unaffected.
+package jclient
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fremont/internal/fabric"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/obs"
+)
+
+// ErrAllShardsUnavailable is returned when a scatter-gather read reaches
+// no shard at all; partial outages degrade instead (see Unavailable).
+var ErrAllShardsUnavailable = errors.New("jclient: all fabric shards unavailable")
+
+// ErrUnknownCursor is returned for a Changes cursor handle the fabric
+// does not hold (evicted, or minted by a previous process). Restart the
+// walk from cursor 0.
+var ErrUnknownCursor = errors.New("jclient: unknown fabric changes cursor (restart from 0)")
+
+// fabricHandleMax bounds the composite-cursor table; the oldest handle
+// is evicted beyond it.
+const fabricHandleMax = 16384
+
+// Fabric is a sharded journal client. Create one with DialFabric; it is
+// safe for concurrent use.
+type Fabric struct {
+	ring   *fabric.Ring
+	shards []*Pool
+	ids    []string
+
+	// PageSize bounds the per-shard page used by scatter-gather reads; 0
+	// means the server default. A merged Scan page never exceeds it; a
+	// merged Changes page may reach PageSize × shards (pages concatenate
+	// across shards rather than interleave).
+	PageSize int
+
+	mu      sync.Mutex
+	down    map[int]error          // shard index -> last failure, cleared on success
+	handles map[uint64]*fabricSeqs // composite Changes cursors
+	order   []uint64               // handle eviction queue, oldest first
+	nextH   uint64
+}
+
+// fabricSeqs is one composite Changes cursor: a per-shard mod-seq
+// vector, tagged with the record kind it pages.
+type fabricSeqs struct {
+	kind journal.RecordKind
+	seqs []uint64
+}
+
+var (
+	_ journal.Sink    = (*Fabric)(nil)
+	_ journal.Scanner = (*Fabric)(nil)
+	_ journal.Changer = (*Fabric)(nil)
+	_ Conn            = (*Fabric)(nil)
+)
+
+// DialFabric creates a fabric client over the shards at addrs (in shard
+// order — positions must match the servers' ID-stripe offsets, i.e. the
+// order fabric.Fabric.Addrs returns). Connections are dialed lazily, up
+// to poolSize per shard, so a shard that is down at construction time
+// costs nothing until an operation needs it.
+func DialFabric(addrs []string, poolSize int) (*Fabric, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("jclient: fabric needs at least one shard address")
+	}
+	f := &Fabric{
+		ring:    fabric.NewRing(len(addrs), 0),
+		down:    map[int]error{},
+		handles: map[uint64]*fabricSeqs{},
+	}
+	for i, addr := range addrs {
+		f.shards = append(f.shards, NewPool(addr, poolSize))
+		f.ids = append(f.ids, fabric.ShardID(i))
+	}
+	return f, nil
+}
+
+// Use scopes the whole fabric to a tenant namespace: every connection
+// dialed from here on runs against that tenant's journal on its shard.
+// Call it before the fabric carries traffic — already-dialed pooled
+// connections keep their previous scope.
+func (f *Fabric) Use(namespace string) {
+	for _, p := range f.shards {
+		if namespace == "" {
+			p.OnDial = nil
+			continue
+		}
+		ns := namespace
+		p.OnDial = func(c *Client) error { return c.Use(ns) }
+	}
+}
+
+// NumShards reports the fabric width.
+func (f *Fabric) NumShards() int { return len(f.shards) }
+
+// Shard exposes the pool for shard i, for callers that address shards
+// directly (replication, per-shard stats).
+func (f *Fabric) Shard(i int) *Pool { return f.shards[i] }
+
+// ShardIDs returns the stable shard names ("shard0", …), in shard order.
+func (f *Fabric) ShardIDs() []string {
+	ids := make([]string, len(f.ids))
+	copy(ids, f.ids)
+	return ids
+}
+
+// Close closes every shard pool.
+func (f *Fabric) Close() error {
+	var first error
+	for _, p := range f.shards {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Unavailable returns the shards whose most recent operation failed,
+// sorted by shard. Empty means the whole fabric answered its last
+// operations. A shard leaves the list the moment an operation succeeds
+// against it again.
+func (f *Fabric) Unavailable() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	idx := make([]int, 0, len(f.down))
+	for i := range f.down {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]string, len(idx))
+	for n, i := range idx {
+		out[n] = f.ids[i]
+	}
+	return out
+}
+
+// noteShard records the outcome of one shard operation for Unavailable.
+func (f *Fabric) noteShard(i int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		f.down[i] = err
+	} else {
+		delete(f.down, i)
+	}
+}
+
+// shardFor routes a key string to its shard index.
+func (f *Fabric) shardFor(key string) int { return f.ring.Lookup(key) }
+
+// shardForID routes an existing record ID to the shard that allocated it.
+func (f *Fabric) shardForID(id journal.ID) int {
+	return fabric.ShardForID(id, len(f.shards))
+}
+
+// onShard runs fn against shard i and records the outcome.
+func (f *Fabric) onShard(i int, fn func(p *Pool) error) error {
+	err := fn(f.shards[i])
+	f.noteShard(i, err)
+	if err != nil {
+		return fmt.Errorf("%s: %w", f.ids[i], err)
+	}
+	return nil
+}
+
+// ServerStats fetches every shard's metrics snapshot over the journal
+// protocol and merges them under shard<i>_ prefixes — the same document
+// a fabric fremontd serves at -metrics-addr. Down shards are absent from
+// the merge (and named by Unavailable); the error is non-nil only when
+// no shard answers.
+func (f *Fabric) ServerStats() (*obs.Snapshot, error) {
+	snaps := make([]*obs.Snapshot, len(f.shards))
+	if err := f.scatter(func(i int, p *Pool) error {
+		var e error
+		snaps[i], e = p.ServerStats()
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	merged := &obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]obs.HistSnapshot{},
+	}
+	for i, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		prefix := f.ids[i] + "_"
+		if snap.TakenAt.After(merged.TakenAt) {
+			merged.TakenAt = snap.TakenAt
+		}
+		for k, v := range snap.Counters {
+			merged.Counters[prefix+k] = v
+		}
+		for k, v := range snap.Gauges {
+			merged.Gauges[prefix+k] = v
+		}
+		for k, v := range snap.Histograms {
+			merged.Histograms[prefix+k] = v
+		}
+		for _, sp := range snap.Spans {
+			sp.Name = prefix + sp.Name
+			merged.Spans = append(merged.Spans, sp)
+		}
+	}
+	return merged, nil
+}
+
+// --- Sink: writes route by hash, single shard ----------------------------
+
+// StoreInterface implements journal.Sink: the observation routes by its
+// IP to one shard.
+func (f *Fabric) StoreInterface(obs journal.IfaceObs) (id journal.ID, created bool, err error) {
+	err = f.onShard(f.shardFor(fabric.IfaceKey(obs.IP)), func(p *Pool) error {
+		var e error
+		id, created, e = p.StoreInterface(obs)
+		return e
+	})
+	return id, created, err
+}
+
+// StoreGateway implements journal.Sink: the observation routes by its
+// minimum member IP (else minimum subnet).
+func (f *Fabric) StoreGateway(obs journal.GatewayObs) (id journal.ID, err error) {
+	key, ok := fabric.GatewayKey(obs)
+	shard := 0
+	if ok {
+		shard = f.shardFor(key)
+	}
+	err = f.onShard(shard, func(p *Pool) error {
+		var e error
+		id, e = p.StoreGateway(obs)
+		return e
+	})
+	return id, err
+}
+
+// StoreSubnet implements journal.Sink: the observation routes by its
+// subnet address.
+func (f *Fabric) StoreSubnet(obs journal.SubnetObs) (id journal.ID, err error) {
+	err = f.onShard(f.shardFor(fabric.SubnetKey(obs.Subnet)), func(p *Pool) error {
+		var e error
+		id, e = p.StoreSubnet(obs)
+		return e
+	})
+	return id, err
+}
+
+// Delete implements journal.Sink: the ID names its shard by stripe
+// arithmetic.
+func (f *Fabric) Delete(kind journal.RecordKind, id journal.ID) (ok bool, err error) {
+	err = f.onShard(f.shardForID(id), func(p *Pool) error {
+		var e error
+		ok, e = p.Delete(kind, id)
+		return e
+	})
+	return ok, err
+}
+
+// Ping succeeds when every shard answers; the error names the first
+// shard that did not.
+func (f *Fabric) Ping() error {
+	for i := range f.shards {
+		if err := f.onShard(i, func(p *Pool) error { return p.Ping() }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Sink: queries scatter (or route, when indexed by IP/ID) --------------
+
+// scatter runs fn against every shard concurrently. Shards that fail are
+// recorded for Unavailable and skipped; the error is non-nil only when
+// no shard answered.
+func (f *Fabric) scatter(fn func(i int, p *Pool) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.shards))
+	for i := range f.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, f.shards[i])
+			f.noteShard(i, errs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrAllShardsUnavailable, errs[0])
+}
+
+// Interfaces implements journal.Sink. An exact-IP query routes to one
+// shard and an exact-ID query to its stripe owner; everything else
+// scatters and merges in ID order.
+func (f *Fabric) Interfaces(q journal.Query) (recs []*journal.InterfaceRec, err error) {
+	switch {
+	case q.HasIP:
+		err = f.onShard(f.shardFor(fabric.IfaceKey(q.ByIP)), func(p *Pool) error {
+			var e error
+			recs, e = p.Interfaces(q)
+			return e
+		})
+		return recs, err
+	case q.HasID:
+		err = f.onShard(f.shardForID(q.ByID), func(p *Pool) error {
+			var e error
+			recs, e = p.Interfaces(q)
+			return e
+		})
+		return recs, err
+	}
+	pages := make([][]*journal.InterfaceRec, len(f.shards))
+	if err := f.scatter(func(i int, p *Pool) error {
+		var e error
+		pages[i], e = p.Interfaces(q)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	for _, page := range pages {
+		recs = append(recs, page...)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	return recs, nil
+}
+
+// Gateways implements journal.Sink: scatter, merge in ID order.
+func (f *Fabric) Gateways() (recs []*journal.GatewayRec, err error) {
+	pages := make([][]*journal.GatewayRec, len(f.shards))
+	if err := f.scatter(func(i int, p *Pool) error {
+		var e error
+		pages[i], e = p.Gateways()
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	for _, page := range pages {
+		recs = append(recs, page...)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	return recs, nil
+}
+
+// Subnets implements journal.Sink: scatter, merge ordered by subnet
+// address (the order Subnets contracts to return).
+func (f *Fabric) Subnets() (recs []*journal.SubnetRec, err error) {
+	pages := make([][]*journal.SubnetRec, len(f.shards))
+	if err := f.scatter(func(i int, p *Pool) error {
+		var e error
+		pages[i], e = p.Subnets()
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	for _, page := range pages {
+		recs = append(recs, page...)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Subnet.Addr < recs[b].Subnet.Addr })
+	return recs, nil
+}
+
+// --- Scanner: scatter-gather with a minimum-horizon merge -----------------
+
+// shardPage is one shard's scan response in kind-erased form.
+type shardPage struct {
+	ids  []journal.ID // ascending record IDs of the page
+	next journal.ID
+	more bool
+	ok   bool // the shard answered
+}
+
+// mergeHorizon computes the fabric cursor from per-shard pages: the
+// merged page may only contain records at or below H, where H is the
+// lowest `next` any unfinished shard reported — everything at or below H
+// has been examined by every answering shard, so nothing below the
+// cursor can surface later. When every shard finished, H is the highest
+// horizon instead and the scan is complete. Returns H and whether any
+// shard has more.
+func mergeHorizon(pages []shardPage) (h journal.ID, more bool) {
+	first := true
+	var maxNext journal.ID
+	for _, pg := range pages {
+		if !pg.ok {
+			continue
+		}
+		if pg.next > maxNext {
+			maxNext = pg.next
+		}
+		if pg.more {
+			more = true
+			if first || pg.next < h {
+				h = pg.next
+				first = false
+			}
+		}
+	}
+	if !more {
+		return maxNext, false
+	}
+	return h, true
+}
+
+// ScanInterfaces implements journal.Scanner fabric-wide: one plain ID
+// cursor, pages merged in ascending ID order across shards. Down shards
+// degrade the page (their records are absent and Unavailable names
+// them); the error is non-nil only when no shard answers.
+func (f *Fabric) ScanInterfaces(cursor journal.ID, limit int, q journal.Query) ([]*journal.InterfaceRec, journal.ID, bool, error) {
+	if limit <= 0 {
+		limit = journal.DefaultScanLimit
+	}
+	perShard := f.perShardLimit(limit)
+	pages := make([]shardPage, len(f.shards))
+	recs := make([][]*journal.InterfaceRec, len(f.shards))
+	err := f.scatter(func(i int, p *Pool) error {
+		rs, next, more, e := p.ScanInterfaces(cursor, perShard, q)
+		if e != nil {
+			return e
+		}
+		recs[i] = rs
+		pages[i] = shardPage{next: next, more: more, ok: true}
+		return nil
+	})
+	if err != nil {
+		return nil, cursor, false, err
+	}
+	h, more := mergeHorizon(pages)
+	merged := mergeRecs(recs, h, func(r *journal.InterfaceRec) journal.ID { return r.ID })
+	if len(merged) > limit {
+		merged = merged[:limit]
+		return merged, merged[len(merged)-1].ID, true, nil
+	}
+	return merged, h, more, nil
+}
+
+// ScanGateways implements journal.Scanner fabric-wide: see
+// ScanInterfaces.
+func (f *Fabric) ScanGateways(cursor journal.ID, limit int) ([]*journal.GatewayRec, journal.ID, bool, error) {
+	if limit <= 0 {
+		limit = journal.DefaultScanLimit
+	}
+	perShard := f.perShardLimit(limit)
+	pages := make([]shardPage, len(f.shards))
+	recs := make([][]*journal.GatewayRec, len(f.shards))
+	err := f.scatter(func(i int, p *Pool) error {
+		rs, next, more, e := p.ScanGateways(cursor, perShard)
+		if e != nil {
+			return e
+		}
+		recs[i] = rs
+		pages[i] = shardPage{next: next, more: more, ok: true}
+		return nil
+	})
+	if err != nil {
+		return nil, cursor, false, err
+	}
+	h, more := mergeHorizon(pages)
+	merged := mergeRecs(recs, h, func(r *journal.GatewayRec) journal.ID { return r.ID })
+	if len(merged) > limit {
+		merged = merged[:limit]
+		return merged, merged[len(merged)-1].ID, true, nil
+	}
+	return merged, h, more, nil
+}
+
+// ScanSubnets implements journal.Scanner fabric-wide: see
+// ScanInterfaces.
+func (f *Fabric) ScanSubnets(cursor journal.ID, limit int) ([]*journal.SubnetRec, journal.ID, bool, error) {
+	if limit <= 0 {
+		limit = journal.DefaultScanLimit
+	}
+	perShard := f.perShardLimit(limit)
+	pages := make([]shardPage, len(f.shards))
+	recs := make([][]*journal.SubnetRec, len(f.shards))
+	err := f.scatter(func(i int, p *Pool) error {
+		rs, next, more, e := p.ScanSubnets(cursor, perShard)
+		if e != nil {
+			return e
+		}
+		recs[i] = rs
+		pages[i] = shardPage{next: next, more: more, ok: true}
+		return nil
+	})
+	if err != nil {
+		return nil, cursor, false, err
+	}
+	h, more := mergeHorizon(pages)
+	merged := mergeRecs(recs, h, func(r *journal.SubnetRec) journal.ID { return r.ID })
+	if len(merged) > limit {
+		merged = merged[:limit]
+		return merged, merged[len(merged)-1].ID, true, nil
+	}
+	return merged, h, more, nil
+}
+
+// perShardLimit sizes the per-shard fetch for a merged page of `limit`:
+// records interleave round-robin across stripes in the balanced case, so
+// each shard contributes about limit/N — fetch a little more so one
+// round trip usually fills the page even with some imbalance.
+func (f *Fabric) perShardLimit(limit int) int {
+	n := len(f.shards)
+	if n <= 1 {
+		return limit
+	}
+	per := limit/n + limit/(2*n) + 1
+	if per > jwire.MaxScanPage {
+		per = jwire.MaxScanPage
+	}
+	return per
+}
+
+// mergeRecs flattens per-shard ID-ascending pages into one ID-ascending
+// slice, dropping records above the horizon. Shards own disjoint ID
+// classes, so equal IDs cannot occur and a plain merge sort suffices.
+func mergeRecs[T any](pages [][]T, horizon journal.ID, id func(T) journal.ID) []T {
+	var out []T
+	for _, pg := range pages {
+		for _, r := range pg {
+			if id(r) <= horizon {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return id(out[a]) < id(out[b]) })
+	return out
+}
+
+// --- Changer: composite cursors behind monotone handles -------------------
+
+// resolveHandle maps a Changer cursor to its per-shard seq vector. 0 is
+// the zero cursor for any kind.
+func (f *Fabric) resolveHandle(after uint64, kind journal.RecordKind) ([]uint64, error) {
+	if after == 0 {
+		return make([]uint64, len(f.shards)), nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cs := f.handles[after]
+	if cs == nil {
+		return nil, ErrUnknownCursor
+	}
+	if cs.kind != kind {
+		return nil, fmt.Errorf("jclient: fabric changes cursor %d is for record kind %d, not %d", after, cs.kind, kind)
+	}
+	seqs := make([]uint64, len(cs.seqs))
+	copy(seqs, cs.seqs)
+	return seqs, nil
+}
+
+// mintHandle stores a composite cursor and returns its handle. Handles
+// increase monotonically (so `next > prev` caller logic holds) and the
+// oldest are evicted beyond fabricHandleMax.
+func (f *Fabric) mintHandle(kind journal.RecordKind, seqs []uint64) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextH++
+	h := f.nextH
+	f.handles[h] = &fabricSeqs{kind: kind, seqs: seqs}
+	f.order = append(f.order, h)
+	if len(f.order) > fabricHandleMax {
+		evict := f.order[0]
+		f.order = f.order[1:]
+		delete(f.handles, evict)
+	}
+	return h
+}
+
+// fabricChanges is the shared Changes engine: page every shard from its
+// seq in the composite cursor, concatenate in shard order, mint the
+// advanced cursor. A down shard's seq is carried forward unchanged, so
+// when it returns the next page picks up exactly where it left off — an
+// outage delays its changes, never loses them. If nothing advanced the
+// original cursor comes back unchanged (and unpersisted), keeping no-op
+// polls free.
+func fabricChanges[T any](f *Fabric, kind journal.RecordKind, after uint64, limit int,
+	page func(p *Pool, seq uint64, limit int) ([]T, uint64, bool, error),
+) ([]T, uint64, bool, error) {
+	seqs, err := f.resolveHandle(after, kind)
+	if err != nil {
+		return nil, after, false, err
+	}
+	if limit <= 0 {
+		limit = journal.DefaultScanLimit
+	}
+	recs := make([][]T, len(f.shards))
+	next := make([]uint64, len(f.shards))
+	copy(next, seqs)
+	anyMore := false
+	var moreMu sync.Mutex
+	err = f.scatter(func(i int, p *Pool) error {
+		rs, n, more, e := page(p, seqs[i], limit)
+		if e != nil {
+			return e
+		}
+		recs[i] = rs
+		if n > next[i] {
+			next[i] = n
+		}
+		if more {
+			moreMu.Lock()
+			anyMore = true
+			moreMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, after, false, err
+	}
+	var out []T
+	for _, rs := range recs {
+		out = append(out, rs...)
+	}
+	advanced := false
+	for i := range next {
+		if next[i] != seqs[i] {
+			advanced = true
+			break
+		}
+	}
+	if !advanced {
+		return out, after, anyMore, nil
+	}
+	return out, f.mintHandle(kind, next), anyMore, nil
+}
+
+// InterfaceChanges implements journal.Changer fabric-wide. The cursor is
+// a composite handle (see the package comment); a page concatenates the
+// shards' pages in shard order, so ordering is per-shard oldest-first,
+// not global.
+func (f *Fabric) InterfaceChanges(after uint64, limit int) ([]*journal.InterfaceRec, uint64, bool, error) {
+	return fabricChanges(f, journal.KindInterface, after, limit,
+		func(p *Pool, seq uint64, limit int) ([]*journal.InterfaceRec, uint64, bool, error) {
+			return p.InterfaceChanges(seq, limit)
+		})
+}
+
+// GatewayChanges implements journal.Changer fabric-wide: see
+// InterfaceChanges.
+func (f *Fabric) GatewayChanges(after uint64, limit int) ([]*journal.GatewayRec, uint64, bool, error) {
+	return fabricChanges(f, journal.KindGateway, after, limit,
+		func(p *Pool, seq uint64, limit int) ([]*journal.GatewayRec, uint64, bool, error) {
+			return p.GatewayChanges(seq, limit)
+		})
+}
+
+// SubnetChanges implements journal.Changer fabric-wide: see
+// InterfaceChanges.
+func (f *Fabric) SubnetChanges(after uint64, limit int) ([]*journal.SubnetRec, uint64, bool, error) {
+	return fabricChanges(f, journal.KindSubnet, after, limit,
+		func(p *Pool, seq uint64, limit int) ([]*journal.SubnetRec, uint64, bool, error) {
+			return p.SubnetChanges(seq, limit)
+		})
+}
+
+// --- Batches: split by routing key, one sub-batch per shard ---------------
+
+// StoreBatch implements the Conn batch surface by splitting the batch
+// into per-shard sub-batches along the same routing keys single stores
+// use, executing them concurrently, and reassembling results in the
+// original order. A down shard fails its slots (BatchResult.Err), not
+// the whole batch, unless every shard is down.
+func (f *Fabric) StoreBatch(b *Batch) ([]BatchResult, error) {
+	n := b.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	type slot struct {
+		shard int
+		pos   int // index within the shard's sub-batch
+	}
+	slots := make([]slot, n)
+	subs := make([]*Batch, len(f.shards))
+	for k := 0; k < n; k++ {
+		op, body := b.op(k)
+		r := &jwire.Reader{B: body}
+		shard := 0
+		switch op {
+		case jwire.OpStoreInterface:
+			obs := jwire.GetIfaceObs(r)
+			if r.Err != nil {
+				return nil, fmt.Errorf("jclient: fabric batch slot %d: %w", k, r.Err)
+			}
+			shard = f.shardFor(fabric.IfaceKey(obs.IP))
+		case jwire.OpStoreGateway:
+			obs := jwire.GetGatewayObs(r)
+			if r.Err != nil {
+				return nil, fmt.Errorf("jclient: fabric batch slot %d: %w", k, r.Err)
+			}
+			if key, ok := fabric.GatewayKey(obs); ok {
+				shard = f.shardFor(key)
+			}
+		case jwire.OpStoreSubnet:
+			obs := jwire.GetSubnetObs(r)
+			if r.Err != nil {
+				return nil, fmt.Errorf("jclient: fabric batch slot %d: %w", k, r.Err)
+			}
+			shard = f.shardFor(fabric.SubnetKey(obs.Subnet))
+		case jwire.OpDelete:
+			r.U8() // kind
+			shard = f.shardForID(r.ID())
+			if r.Err != nil {
+				return nil, fmt.Errorf("jclient: fabric batch slot %d: %w", k, r.Err)
+			}
+		default:
+			return nil, fmt.Errorf("jclient: fabric batch slot %d: opcode %d not routable", k, op)
+		}
+		if subs[shard] == nil {
+			subs[shard] = &Batch{}
+		}
+		subs[shard].addRaw(op, body)
+		slots[k] = slot{shard: shard, pos: subs[shard].Len() - 1}
+	}
+
+	shardResults := make([][]BatchResult, len(f.shards))
+	shardErrs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sub *Batch) {
+			defer wg.Done()
+			shardResults[i], shardErrs[i] = f.shards[i].StoreBatch(sub)
+			f.noteShard(i, shardErrs[i])
+		}(i, sub)
+	}
+	wg.Wait()
+
+	out := make([]BatchResult, n)
+	allFailed := true
+	for k, s := range slots {
+		if shardErrs[s.shard] != nil {
+			out[k] = BatchResult{Err: fmt.Errorf("%s: %w", f.ids[s.shard], shardErrs[s.shard])}
+			continue
+		}
+		allFailed = false
+		out[k] = shardResults[s.shard][s.pos]
+	}
+	if allFailed {
+		return out, fmt.Errorf("%w: %v", ErrAllShardsUnavailable, slots[0])
+	}
+	return out, nil
+}
+
+// --- Subscribe: per-shard streams fanned into one channel ----------------
+
+// FabricChange is one event from a fabric subscription: the shard it
+// came from plus the change itself. Seq is shard-local.
+type FabricChange struct {
+	Shard string
+	Change
+}
+
+// FabricSubscribeOptions configures a fabric subscription. After maps
+// shard ID -> resume cursor (shard-local mod-seqs, as reported by
+// Cursors); missing shards start from 0. FromNow overrides After.
+type FabricSubscribeOptions struct {
+	Kinds   byte
+	FromNow bool
+	After   map[string]uint64
+}
+
+// FabricSubscription fans per-shard push streams into one channel.
+// Each underlying stream keeps its own auto-resume (cursor redial with
+// backoff), so a shard restart suspends only that shard's events.
+type FabricSubscription struct {
+	f    *Fabric
+	subs []*Subscription
+	ch   chan FabricChange
+	wg   sync.WaitGroup
+}
+
+// Subscribe opens a change stream on every shard. Unlike reads, a
+// subscription needs every shard reachable at start — a missing shard
+// would silently drop its changes — so any failed handshake aborts with
+// that shard's error.
+func (f *Fabric) Subscribe(opts FabricSubscribeOptions) (*FabricSubscription, error) {
+	fs := &FabricSubscription{f: f, ch: make(chan FabricChange, 64)}
+	for i := range f.shards {
+		after := opts.After[f.ids[i]]
+		sub, err := Subscribe(f.shards[i].Addr(), SubscribeOptions{
+			Kinds: opts.Kinds, FromNow: opts.FromNow, After: after,
+		})
+		f.noteShard(i, err)
+		if err != nil {
+			for _, s := range fs.subs {
+				s.Close()
+			}
+			return nil, fmt.Errorf("%s: %w", f.ids[i], err)
+		}
+		fs.subs = append(fs.subs, sub)
+	}
+	for i, sub := range fs.subs {
+		fs.wg.Add(1)
+		go func(id string, sub *Subscription) {
+			defer fs.wg.Done()
+			for ch := range sub.Events() {
+				fs.ch <- FabricChange{Shard: id, Change: ch}
+			}
+		}(f.ids[i], sub)
+	}
+	go func() {
+		fs.wg.Wait()
+		close(fs.ch)
+	}()
+	return fs, nil
+}
+
+// Events returns the merged delivery channel; it closes when every
+// shard's stream has ended.
+func (fs *FabricSubscription) Events() <-chan FabricChange { return fs.ch }
+
+// Cursors returns each shard's last delivered mod-seq — the map to pass
+// as After to resume the whole fabric stream later.
+func (fs *FabricSubscription) Cursors() map[string]uint64 {
+	out := make(map[string]uint64, len(fs.subs))
+	for i, sub := range fs.subs {
+		out[fs.f.ids[i]] = sub.Cursor()
+	}
+	return out
+}
+
+// Resumes sums the per-shard auto-resume counts.
+func (fs *FabricSubscription) Resumes() int {
+	n := 0
+	for _, sub := range fs.subs {
+		n += sub.Resumes()
+	}
+	return n
+}
+
+// Err returns the first shard stream's terminal error, nil if all ended
+// by Close.
+func (fs *FabricSubscription) Err() error {
+	for _, sub := range fs.subs {
+		if err := sub.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close ends every shard stream and waits for the merged channel to
+// drain.
+func (fs *FabricSubscription) Close() error {
+	for _, sub := range fs.subs {
+		go sub.Close()
+	}
+	for range fs.ch {
+	}
+	return nil
+}

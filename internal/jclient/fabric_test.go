@@ -1,0 +1,451 @@
+package jclient_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fremont/internal/fabric"
+	"fremont/internal/fabric/fabricd"
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+var ft0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
+
+// startFabric boots an in-process 3-shard fabric on ephemeral ports and
+// a fabric client over it.
+func startFabric(t *testing.T, shards int) (*fabricd.Fabric, *jclient.Fabric) {
+	t.Helper()
+	f, err := fabricd.Open(fabricd.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	fc, err := jclient.DialFabric(f.Addrs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fc.Close() })
+	return f, fc
+}
+
+func fip(i int) pkt.IP { return pkt.IPv4(10, byte(i/65536%256), byte(i/256%256), byte(i%256)) }
+
+// TestFabricRoutingAndScan: stores spread across shards by hash, every
+// record comes back exactly once through the scatter-gather scan, in
+// ascending ID order, across many small pages.
+func TestFabricRoutingAndScan(t *testing.T) {
+	f, fc := startFabric(t, 3)
+	const K = 200
+	ids := map[journal.ID]pkt.IP{}
+	for i := 1; i <= K; i++ {
+		id, created, err := fc.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0})
+		if err != nil || !created {
+			t.Fatalf("store %d: id=%d created=%v err=%v", i, id, created, err)
+		}
+		if ids[id] != 0 {
+			t.Fatalf("duplicate ID %d across shards", id)
+		}
+		ids[id] = fip(i)
+	}
+	// Every shard should own a nontrivial slice of the keys.
+	for i, srv := range f.Servers {
+		if n := srv.Journal().NumInterfaces(); n < K/10 {
+			t.Errorf("shard %d owns %d of %d records; hash routing badly skewed", i, n, K)
+		}
+	}
+	// Page through with a small limit; every record exactly once, ID-ordered.
+	seen := map[journal.ID]bool{}
+	var cursor journal.ID
+	var last journal.ID
+	for {
+		recs, next, more, err := fc.ScanInterfaces(cursor, 16, journal.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) > 16 {
+			t.Fatalf("page of %d exceeds limit 16", len(recs))
+		}
+		for _, r := range recs {
+			if r.ID <= last {
+				t.Fatalf("scan out of order: %d after %d", r.ID, last)
+			}
+			last = r.ID
+			if seen[r.ID] {
+				t.Fatalf("record %d returned twice", r.ID)
+			}
+			seen[r.ID] = true
+			if ids[r.ID] != r.IP {
+				t.Fatalf("record %d has IP %v, want %v", r.ID, r.IP, ids[r.ID])
+			}
+		}
+		if !more {
+			break
+		}
+		cursor = next
+	}
+	if len(seen) != K {
+		t.Fatalf("scan returned %d records, want %d", len(seen), K)
+	}
+
+	// Point queries route: by IP (hash) and by ID (stripe arithmetic).
+	for id, ip := range ids {
+		recs, err := fc.Interfaces(journal.Query{HasIP: true, ByIP: ip})
+		if err != nil || len(recs) != 1 || recs[0].ID != id {
+			t.Fatalf("by-IP %v: %v, %v", ip, recs, err)
+		}
+		recs, err = fc.Interfaces(journal.Query{HasID: true, ByID: id})
+		if err != nil || len(recs) != 1 || recs[0].IP != ip {
+			t.Fatalf("by-ID %d: %v, %v", id, recs, err)
+		}
+		break // one of each is enough
+	}
+}
+
+// TestFabricRepeatObservation: re-observing the same IP routes to the
+// same shard and merges instead of creating a second record.
+func TestFabricRepeatObservation(t *testing.T) {
+	_, fc := startFabric(t, 3)
+	ip := pkt.IPv4(10, 1, 2, 3)
+	id1, created, err := fc.StoreInterface(journal.IfaceObs{IP: ip, At: ft0})
+	if err != nil || !created {
+		t.Fatal(err)
+	}
+	id2, created, err := fc.StoreInterface(journal.IfaceObs{
+		IP: ip, Name: "host.example", At: ft0.Add(time.Minute),
+	})
+	if err != nil || created || id2 != id1 {
+		t.Fatalf("re-observation: id=%d created=%v err=%v (want merge into %d)", id2, created, err, id1)
+	}
+	recs, err := fc.Interfaces(journal.Query{HasIP: true, ByIP: ip})
+	if err != nil || len(recs) != 1 || recs[0].Name != "host.example" {
+		t.Fatalf("merged record: %+v, %v", recs, err)
+	}
+}
+
+// TestFabricChanges: composite cursors behind monotone handles — drain,
+// idle poll keeps the cursor, new writes resume past the handle.
+func TestFabricChanges(t *testing.T) {
+	_, fc := startFabric(t, 3)
+	for i := 1; i <= 30; i++ {
+		if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[journal.ID]bool{}
+	cur := uint64(0)
+	for {
+		recs, next, more, err := fc.InterfaceChanges(cur, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			seen[r.ID] = true
+		}
+		if next < cur {
+			t.Fatalf("cursor handle went backwards: %d -> %d", cur, next)
+		}
+		cur = next
+		if !more {
+			break
+		}
+	}
+	if len(seen) != 30 {
+		t.Fatalf("changes drained %d records, want 30", len(seen))
+	}
+	// Idle poll: no change -> same handle back (no handle churn).
+	recs, next, _, err := fc.InterfaceChanges(cur, 0)
+	if err != nil || len(recs) != 0 || next != cur {
+		t.Fatalf("idle poll: %d recs, cursor %d -> %d, err %v", len(recs), cur, next, err)
+	}
+	// New write resumes from the handle: exactly the new record.
+	if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: fip(1000), At: ft0}); err != nil {
+		t.Fatal(err)
+	}
+	recs, next2, _, err := fc.InterfaceChanges(cur, 0)
+	if err != nil || len(recs) != 1 || recs[0].IP != fip(1000) {
+		t.Fatalf("resume after handle: %v, %v", recs, err)
+	}
+	if next2 <= cur {
+		t.Fatalf("advanced cursor %d not greater than %d", next2, cur)
+	}
+	// A cursor of the wrong kind is rejected.
+	if _, _, _, err := fc.GatewayChanges(next2, 0); err == nil {
+		t.Fatal("interface cursor accepted by GatewayChanges")
+	}
+}
+
+// TestFabricDegradedReads: a down shard degrades reads to partial
+// results with the outage named in Unavailable; writes routed to the
+// down shard fail while others proceed; recovery clears the list.
+func TestFabricDegradedReads(t *testing.T) {
+	f, fc := startFabric(t, 3)
+	const K = 60
+	byShard := map[int][]pkt.IP{}
+	for i := 1; i <= K; i++ {
+		if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int, 3)
+	for i, srv := range f.Servers {
+		counts[i] = srv.Journal().NumInterfaces()
+	}
+	_ = byShard
+
+	// Kill shard 1.
+	if err := f.Servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fc.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatalf("degraded read errored instead of degrading: %v", err)
+	}
+	if len(recs) != K-counts[1] {
+		t.Errorf("degraded read: %d records, want %d (all but shard1's %d)", len(recs), K-counts[1], counts[1])
+	}
+	down := fc.Unavailable()
+	if len(down) != 1 || down[0] != fabric.ShardID(1) {
+		t.Errorf("Unavailable() = %v, want [shard1]", down)
+	}
+	// Scan degrades the same way.
+	var got int
+	var cursor journal.ID
+	for {
+		page, next, more, err := fc.ScanInterfaces(cursor, 16, journal.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(page)
+		if !more {
+			break
+		}
+		cursor = next
+	}
+	if got != K-counts[1] {
+		t.Errorf("degraded scan: %d records, want %d", got, K-counts[1])
+	}
+	// A write routed to the dead shard fails; one routed elsewhere works.
+	var deadIP, liveIP pkt.IP
+	for i := K + 1; i < K+1000 && (deadIP == 0 || liveIP == 0); i++ {
+		ip := fip(i)
+		recs, err := fc.Interfaces(journal.Query{HasIP: true, ByIP: ip})
+		_ = recs
+		if err != nil {
+			if deadIP == 0 {
+				deadIP = ip
+			}
+		} else if liveIP == 0 {
+			liveIP = ip
+		}
+	}
+	if deadIP == 0 || liveIP == 0 {
+		t.Fatal("could not find IPs routing to both live and dead shards")
+	}
+	if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: deadIP, At: ft0}); err == nil {
+		t.Error("write to dead shard succeeded")
+	}
+	if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: liveIP, At: ft0}); err != nil {
+		t.Errorf("write to live shard failed: %v", err)
+	}
+}
+
+// TestFabricAllDown: reads error (rather than silently returning
+// nothing) when no shard answers.
+func TestFabricAllDown(t *testing.T) {
+	f, fc := startFabric(t, 2)
+	for _, srv := range f.Servers {
+		srv.Close()
+	}
+	if _, err := fc.Interfaces(journal.Query{}); err == nil {
+		t.Fatal("scatter read with every shard down returned no error")
+	}
+}
+
+// TestFabricStoreBatch: a batch splits along routing keys and results
+// come back in submission order.
+func TestFabricStoreBatch(t *testing.T) {
+	_, fc := startFabric(t, 3)
+	var b jclient.Batch
+	const K = 40
+	for i := 1; i <= K; i++ {
+		b.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0})
+	}
+	sn := pkt.Subnet{Addr: pkt.IPv4(10, 0, 0, 0), Mask: pkt.MaskBits(24)}
+	b.StoreSubnet(journal.SubnetObs{Subnet: sn, At: ft0})
+	results, err := fc.StoreBatch(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != K+1 {
+		t.Fatalf("%d results, want %d", len(results), K+1)
+	}
+	for i := 0; i < K; i++ {
+		if results[i].Err != nil || results[i].ID == 0 || !results[i].Created {
+			t.Fatalf("result %d: %+v", i, results[i])
+		}
+		// Order preserved: result i must be the record for fip(i+1).
+		recs, err := fc.Interfaces(journal.Query{HasID: true, ByID: results[i].ID})
+		if err != nil || len(recs) != 1 || recs[0].IP != fip(i+1) {
+			t.Fatalf("result %d maps to %v (want %v)", i, recs, fip(i+1))
+		}
+	}
+	if results[K].Err != nil || results[K].ID == 0 {
+		t.Fatalf("subnet result: %+v", results[K])
+	}
+}
+
+// TestFabricSubscribe: the fan-in stream delivers every shard's commits.
+func TestFabricSubscribe(t *testing.T) {
+	_, fc := startFabric(t, 3)
+	sub, err := fc.Subscribe(jclient.FabricSubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	const K = 30
+	storerDone := make(chan struct{})
+	go func() {
+		defer close(storerDone)
+		for i := 1; i <= K; i++ {
+			fc.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0})
+		}
+	}()
+	defer func() { <-storerDone }()
+	got := map[pkt.IP]bool{}
+	shards := map[string]bool{}
+	timeout := time.After(10 * time.Second)
+	for len(got) < K {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				t.Fatalf("stream closed early: %v (got %d/%d)", sub.Err(), len(got), K)
+			}
+			if ev.Kind == journal.KindInterface && !ev.Resync {
+				got[ev.Iface.IP] = true
+				shards[ev.Shard] = true
+			}
+		case <-timeout:
+			t.Fatalf("timed out with %d/%d events", len(got), K)
+		}
+	}
+	if len(shards) < 2 {
+		t.Errorf("events arrived from %d shard(s); expected a spread: %v", len(shards), shards)
+	}
+	cursors := sub.Cursors()
+	if len(cursors) != 3 {
+		t.Errorf("Cursors() = %v", cursors)
+	}
+}
+
+// TestFabricUse: tenant scoping applies fabric-wide through pool dial
+// hooks.
+func TestFabricUse(t *testing.T) {
+	f, err := fabricd.Open(fabricd.Options{Shards: 3, TenantQuota: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	fa, err := jclient.DialFabric(f.Addrs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fa.Use("site-a")
+	for i := 1; i <= 9; i++ {
+		if _, _, err := fa.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb, err := jclient.DialFabric(f.Addrs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	recs, err := fb.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("default-namespace fabric sees %d tenant records", len(recs))
+	}
+	fb.Use("site-a")
+	if recs, err = fb.Interfaces(journal.Query{}); err != nil || len(recs) != 9 {
+		t.Fatalf("tenant fabric sees %d records, want 9 (%v)", len(recs), err)
+	}
+}
+
+// TestFabricMidScanCreation: records created while a scan pages must not
+// break the exactly-once contract for records that existed at scan
+// start, and the scan must terminate.
+func TestFabricMidScanCreation(t *testing.T) {
+	_, fc := startFabric(t, 3)
+	const K = 90
+	existing := map[journal.ID]bool{}
+	for i := 1; i <= K; i++ {
+		id, _, err := fc.StoreInterface(journal.IfaceObs{IP: fip(i), At: ft0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		existing[id] = true
+	}
+	seen := map[journal.ID]int{}
+	var cursor journal.ID
+	extra := K
+	for pages := 0; ; pages++ {
+		recs, next, more, err := fc.ScanInterfaces(cursor, 10, journal.Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			seen[r.ID]++
+			if seen[r.ID] > 1 {
+				t.Fatalf("record %d delivered twice", r.ID)
+			}
+		}
+		// Interleave new stores with the scan.
+		if extra < K+20 {
+			extra++
+			if _, _, err := fc.StoreInterface(journal.IfaceObs{IP: fip(extra), At: ft0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !more {
+			break
+		}
+		cursor = next
+		if pages > 1000 {
+			t.Fatal("scan did not terminate")
+		}
+	}
+	for id := range existing {
+		if seen[id] == 0 {
+			t.Errorf("pre-existing record %d missed by scan", id)
+		}
+	}
+}
+
+func TestDialFabricValidation(t *testing.T) {
+	if _, err := jclient.DialFabric(nil, 1); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	// Sanity: ShardIDs mirror fabric naming.
+	fc, err := jclient.DialFabric([]string{"127.0.0.1:1", "127.0.0.1:2"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	want := []string{fabric.ShardID(0), fabric.ShardID(1)}
+	got := fc.ShardIDs()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ShardIDs() = %v, want %v", got, want)
+	}
+}

@@ -73,6 +73,17 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Use scopes the connection to a tenant namespace: every later request
+// on this client reads and writes that tenant's journal. The empty
+// string returns to the default journal.
+func (c *Client) Use(namespace string) error {
+	var w jwire.Writer
+	w.U8(jwire.OpNamespace)
+	jwire.PutNamespaceReq(&w, jwire.NamespaceReq{Namespace: namespace})
+	_, err := c.roundTrip(w.B)
+	return err
+}
+
 // ServerStats fetches the server's metrics snapshot (OpStats): per-op
 // request counts and latency percentiles, WAL activity, recovery gauges,
 // and recent spans — the same document fremontd serves at

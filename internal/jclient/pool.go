@@ -24,6 +24,12 @@ type Pool struct {
 	// connection yet (or its last one was dropped after an error).
 	conns chan *Client
 
+	// OnDial, when set before the pool is used, runs on every freshly
+	// dialed connection before it serves a request — the hook the fabric
+	// uses to scope pooled connections to a tenant namespace. A hook
+	// error discards the connection and fails the checkout.
+	OnDial func(*Client) error
+
 	// Checkout instrumentation: how long callers wait for a free slot
 	// (the saturation signal — a fat p99 here means the pool is too
 	// small for the offered concurrency), plus dial and discard counts.
@@ -42,6 +48,21 @@ var (
 // eagerly so an unreachable server fails fast. Pool metrics record into
 // the process-wide obs.Default() registry.
 func DialPool(addr string, size int) (*Pool, error) {
+	p := NewPool(addr, size)
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	p.put(c, nil)
+	return p, nil
+}
+
+// NewPool creates a pool of up to size connections to addr without
+// dialing any of them: every connection is established lazily by the
+// first call that needs it. The fabric builds its per-shard pools this
+// way so a shard that is down at construction time degrades reads
+// instead of failing the whole fabric.
+func NewPool(addr string, size int) *Pool {
 	if size <= 0 {
 		size = 4
 	}
@@ -53,17 +74,14 @@ func DialPool(addr string, size int) (*Pool, error) {
 		dials:    reg.Counter("jclient_pool_dials_total"),
 		discards: reg.Counter("jclient_pool_discards_total"),
 	}
-	c, err := Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	p.dials.Inc()
-	p.conns <- c
-	for i := 1; i < size; i++ {
+	for i := 0; i < size; i++ {
 		p.conns <- nil
 	}
-	return p, nil
+	return p
 }
+
+// Addr reports the server address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
 
 // Size reports the pool's connection capacity.
 func (p *Pool) Size() int { return cap(p.conns) }
@@ -100,6 +118,14 @@ func (p *Pool) get() (*Client, error) {
 		// Return the empty slot so the pool does not shrink.
 		p.putSlot(nil)
 		return nil, err
+	}
+	if p.OnDial != nil {
+		if err := p.OnDial(c); err != nil {
+			c.Close()
+			p.discards.Inc()
+			p.putSlot(nil)
+			return nil, err
+		}
 	}
 	p.dials.Inc()
 	return c, nil

@@ -31,6 +31,13 @@ type Journal struct {
 
 	nextIface, nextGw, nextSn ID
 
+	// idOffset/idStride partition the ID space when the journal is one
+	// shard of a fabric: IDs are allocated congruent to idOffset+1 modulo
+	// idStride, so N shards with distinct offsets never collide and a
+	// fabric-wide ID-ordered merge needs no translation. Zero values mean
+	// dense allocation (the single-server default).
+	idOffset, idStride ID
+
 	// modSeq is the journal-wide modification sequence number. Every
 	// mutation — including side effects like a gateway merge re-pointing
 	// its member interfaces — increments it and stamps the new value onto
@@ -97,6 +104,67 @@ func (j *Journal) noteConflict() {
 	if j.met != nil {
 		j.met.conflicts.Inc()
 	}
+}
+
+// SetIDStride partitions the record-ID space for fabric sharding: every
+// subsequently allocated ID is congruent to offset+1 modulo stride (shard
+// 0 of 3 allocates 1, 4, 7, …; shard 1 allocates 2, 5, 8, …). Records a
+// shard did not allocate route back to it by (id-1) mod stride, and a
+// plain ID cursor works fabric-wide because shards draw from disjoint
+// residue classes. Must be configured before the journal holds records;
+// restoring a snapshot taken under the same stride preserves congruence
+// automatically (advanceID realigns from any starting point).
+func (j *Journal) SetIDStride(offset, stride ID) {
+	if stride == 0 {
+		stride = 1
+	}
+	if offset >= stride {
+		panic("journal: SetIDStride offset must be < stride")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.ifRecs)+len(j.gwRecs)+len(j.snRecs) != 0 {
+		panic("journal: SetIDStride on a non-empty journal")
+	}
+	j.idOffset, j.idStride = offset, stride
+}
+
+// IDStride reports the allocation class set by SetIDStride; stride is 1
+// for a dense (single-server) journal.
+func (j *Journal) IDStride() (offset, stride ID) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	if j.idStride <= 1 {
+		return 0, 1
+	}
+	return j.idOffset, j.idStride
+}
+
+// RecordCount returns the number of live records of all kinds — the
+// quantity tenant quotas meter.
+func (j *Journal) RecordCount() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.ifRecs) + len(j.gwRecs) + len(j.snRecs)
+}
+
+// advanceID returns the smallest ID greater than cur in this journal's
+// allocation class (congruent to idOffset+1 mod idStride). With no stride
+// configured it is cur+1.
+func (j *Journal) advanceID(cur ID) ID {
+	if j.idStride <= 1 {
+		return cur + 1
+	}
+	v := cur + 1
+	rem := (v - 1) % j.idStride
+	if rem != j.idOffset {
+		if j.idOffset > rem {
+			v += j.idOffset - rem
+		} else {
+			v += j.idStride - (rem - j.idOffset)
+		}
+	}
+	return v
 }
 
 // Stats counts store outcomes.
@@ -304,7 +372,7 @@ func (j *Journal) storeInterface(obs IfaceObs) (ID, bool) {
 	if rec == nil {
 		created = true
 		j.noteNewRecord()
-		j.nextIface++
+		j.nextIface = j.advanceID(j.nextIface)
 		rec = &InterfaceRec{ID: j.nextIface, IP: obs.IP, Stamp: newStamp(obs.At)}
 		if obs.HasMAC {
 			rec.MAC = obs.MAC
@@ -442,7 +510,7 @@ func (j *Journal) storeGateway(obs GatewayObs) ID {
 
 	var gw *GatewayRec
 	if len(touched) == 0 {
-		j.nextGw++
+		j.nextGw = j.advanceID(j.nextGw)
 		gw = &GatewayRec{ID: j.nextGw, Questionable: obs.Questionable, Stamp: newStamp(obs.At)}
 		gw.ModSeq = j.nextSeq()
 		j.gwRecs[gw.ID] = gw
@@ -637,7 +705,7 @@ func (j *Journal) ensureSubnet(sn pkt.Subnet, src Source, at time.Time) ID {
 		j.touchSubnet(rec)
 		return id
 	}
-	j.nextSn++
+	j.nextSn = j.advanceID(j.nextSn)
 	rec := &SubnetRec{ID: j.nextSn, Subnet: sn, Sources: src, Stamp: newStamp(at)}
 	rec.ModSeq = j.nextSeq()
 	j.snRecs[rec.ID] = rec

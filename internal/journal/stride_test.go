@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"testing"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// TestIDStride checks striped allocation: a journal configured as stripe
+// i of n only ever hands out IDs congruent to i+1 mod n, across all
+// three record kinds, so fabric shards draw from disjoint ID classes.
+func TestIDStride(t *testing.T) {
+	const n = 3
+	for stripe := ID(0); stripe < n; stripe++ {
+		j := New()
+		j.SetIDStride(stripe, n)
+		var ids []ID
+		for k := 0; k < 5; k++ {
+			id, _ := j.StoreInterface(IfaceObs{IP: pkt.IP(0x0a000001 + uint32(k))})
+			ids = append(ids, id)
+		}
+		gwID := j.StoreGateway(GatewayObs{IfaceIPs: []pkt.IP{0x0a000001}})
+		snID := j.StoreSubnet(SubnetObs{Subnet: pkt.Subnet{Addr: 0x0a000000, Mask: 0xffffff00}})
+		ids = append(ids, gwID, snID)
+		for _, id := range ids {
+			if (id-1)%n != stripe {
+				t.Errorf("stripe %d/%d allocated ID %d (congruent to %d)", stripe, n, id, (id-1)%n)
+			}
+		}
+		// Consecutive interface IDs advance by exactly the stride.
+		for k := 1; k < 5; k++ {
+			if ids[k] != ids[k-1]+n {
+				t.Errorf("stripe %d: interface IDs %v not stride-%d consecutive", stripe, ids[:5], n)
+			}
+		}
+	}
+}
+
+// TestIDStrideAfterRestore checks that restoring records re-aligns the
+// allocator: the next allocation after a restore stays in the stripe's
+// congruence class even though restored IDs raised the high-water mark.
+func TestIDStrideAfterRestore(t *testing.T) {
+	src := New()
+	src.SetIDStride(1, 3) // IDs 2, 5, 8, ...
+	for k := 0; k < 4; k++ {
+		src.StoreInterface(IfaceObs{IP: pkt.IP(0x0a000001 + uint32(k))})
+	}
+	recs := src.Interfaces(Query{})
+
+	dst := New()
+	dst.SetIDStride(1, 3)
+	for _, rec := range recs {
+		dst.RestoreInterface(rec)
+	}
+	id, _ := dst.StoreInterface(IfaceObs{IP: 0x0a0000ff})
+	if (id-1)%3 != 1 {
+		t.Fatalf("post-restore allocation %d left stripe 1 (mod 3)", id)
+	}
+	if id <= recs[len(recs)-1].ID {
+		t.Fatalf("post-restore allocation %d did not advance past restored max %d", id, recs[len(recs)-1].ID)
+	}
+}
+
+func TestIDStrideGuards(t *testing.T) {
+	j := New()
+	j.StoreInterface(IfaceObs{IP: 0x0a000001})
+	mustPanic(t, "stride on non-empty journal", func() { j.SetIDStride(0, 3) })
+	mustPanic(t, "offset >= stride", func() { New().SetIDStride(3, 3) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}

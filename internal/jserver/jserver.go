@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,22 @@ type Server struct {
 	// push events a subscriber may have queued before it is degraded to
 	// a cursor resync. Set before Listen.
 	SubQueueMax int
+
+	// TenantQuota caps the records a tenant namespace may hold; 0 means
+	// unlimited. A mutating frame on a tenant at or over its quota is
+	// rejected before it reaches the WAL (admission control: a concurrent
+	// burst already in flight may overshoot by its own size). Set before
+	// Listen.
+	TenantQuota int
+
+	// tenants maps namespace -> journal, created lazily on first use
+	// (OpNamespace select, WAL replay, or snapshot restore). The default
+	// namespace "" is s.journal and is never in this map.
+	tenantMu sync.Mutex
+	tenants  map[string]*journal.Journal
+
+	tenantRecs   *obs.GaugeVec   // jserver_tenant_records{tenant=...}
+	quotaRejects *obs.CounterVec // jserver_tenant_quota_rejects_total{tenant=...}
 
 	// logMu serializes the append+apply pair for mutating requests and
 	// the rotate+encode critical section of SaveSnapshot, so a snapshot
@@ -128,6 +145,8 @@ func New(j *journal.Journal) *Server {
 		subPushes:        reg.Counter("jserver_sub_pushes_total"),
 		subDrops:         reg.Counter("jserver_sub_dropped_events_total"),
 		subResyncs:       reg.Counter("jserver_sub_resyncs_total"),
+		tenantRecs:       reg.GaugeVec("jserver_tenant_records", "tenant"),
+		quotaRejects:     reg.CounterVec("jserver_tenant_quota_rejects_total", "tenant"),
 	}
 }
 
@@ -155,7 +174,7 @@ func (s *Server) loadSnapshot() (RecoveryStats, error) {
 	if err != nil {
 		return st, err
 	}
-	lsn, err := RestoreSnapshotLSN(s.journal, data)
+	lsn, err := s.restoreServerSnapshot(data)
 	if err != nil {
 		return st, err
 	}
@@ -199,11 +218,36 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			return nil
 		}
 		st.WALFrames++
-		st.WALOps += jwire.ReplayPayload(s.journal, payload)
+		st.WALOps += s.replayFrame(payload)
 		return nil
 	})
 	s.publishRecovery(st)
+	s.publishTenantGauges()
 	return st, err
+}
+
+// replayFrame applies one recovered WAL frame: tenant envelopes replay
+// into their tenant's journal, raw frames into the default journal.
+func (s *Server) replayFrame(payload []byte) int {
+	ns, inner, err := jwire.UnscopePayload(payload)
+	if err != nil {
+		log.Printf("jserver: recovery: dropping malformed tenant envelope: %v", err)
+		return 0
+	}
+	j := s.journal
+	if ns != "" {
+		j = s.tenantJournal(ns)
+	}
+	return jwire.ReplayPayload(j, inner)
+}
+
+// publishTenantGauges refreshes jserver_tenant_records for every tenant.
+func (s *Server) publishTenantGauges() {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	for ns, j := range s.tenants {
+		s.tenantRecs.With(ns).Set(int64(j.RecordCount()))
+	}
 }
 
 // publishRecovery mirrors RecoveryStats into the registry.
@@ -250,10 +294,10 @@ func (s *Server) SaveSnapshot() error {
 			return err
 		}
 		boundary = seq
-		data = EncodeSnapshotAt(s.journal, s.WAL.LastLSN())
+		data = s.encodeServerSnapshot(s.WAL.LastLSN())
 		s.logMu.Unlock()
 	} else {
-		data = EncodeSnapshot(s.journal)
+		data = s.encodeServerSnapshot(0)
 	}
 
 	dir := filepath.Dir(s.SnapshotPath)
@@ -415,6 +459,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		<-s.quit
 		conn.Close() // unblock reads on shutdown
 	}()
+	// ns/tj are the connection's tenant scope: OpNamespace switches them
+	// for every later request on this connection (the empty namespace is
+	// the default journal).
+	ns, tj := "", s.journal
 	for {
 		req, err := jwire.ReadFrame(conn)
 		if err != nil {
@@ -423,18 +471,114 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		if len(req) > 0 && req[0] == jwire.OpNamespace {
+			resp, newNS, newJ := s.handleNamespace(req)
+			if newJ != nil {
+				ns, tj = newNS, newJ
+			}
+			if err := jwire.WriteFrame(conn, resp); err != nil {
+				return
+			}
+			continue
+		}
 		if len(req) > 0 && req[0] == jwire.OpSubscribe {
+			if ns != "" {
+				// The hub publishes default-journal commits only; a scoped
+				// connection cannot stream them.
+				if err := jwire.WriteFrame(conn, errPayload(errors.New("jserver: subscribe not valid on a tenant namespace"))); err != nil {
+					return
+				}
+				continue
+			}
 			// The connection flips to push mode and never returns to
 			// request/response: serve the stream until it ends, then
 			// drop the connection.
 			s.serveSubscription(conn, req[1:])
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatchNS(req, ns, tj)
 		if err := jwire.WriteFrame(conn, resp); err != nil {
 			return
 		}
 	}
+}
+
+// handleNamespace answers one OpNamespace request: resolve (creating if
+// needed) the tenant journal the connection scopes to from here on. On a
+// decode error the response is an error frame and the connection keeps
+// its previous scope.
+func (s *Server) handleNamespace(req []byte) (resp []byte, ns string, j *journal.Journal) {
+	name := jwire.OpName(jwire.OpNamespace)
+	s.reqCount.With(name).Inc()
+	defer s.reqLat.With(name).ObserveSince(time.Now())
+	r := &jwire.Reader{B: req}
+	r.U8() // opcode
+	nreq := jwire.GetNamespaceReq(r)
+	if r.Err != nil {
+		return errPayload(r.Err), "", nil
+	}
+	j = s.journal
+	if nreq.Namespace != "" {
+		j = s.tenantJournal(nreq.Namespace)
+	}
+	var w jwire.Writer
+	w.U8(jwire.StatusOK)
+	return w.B, nreq.Namespace, j
+}
+
+// tenantJournal returns the journal for namespace ns, creating it on
+// first use. Tenant journals inherit the default journal's ID stride, so
+// every journal on a fabric shard allocates from the shard's residue
+// class and tenant reads merge fabric-wide exactly like default ones.
+func (s *Server) tenantJournal(ns string) *journal.Journal {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	j := s.tenants[ns]
+	if j == nil {
+		j = journal.New()
+		if off, stride := s.journal.IDStride(); stride > 1 {
+			j.SetIDStride(off, stride)
+		}
+		if s.tenants == nil {
+			s.tenants = make(map[string]*journal.Journal)
+		}
+		s.tenants[ns] = j
+	}
+	return j
+}
+
+// Tenants returns the namespaces with a journal, sorted.
+func (s *Server) Tenants() []string {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for ns := range s.tenants {
+		names = append(names, ns)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TenantJournal exposes a tenant's journal for in-process callers; it
+// creates the tenant if needed.
+func (s *Server) TenantJournal(ns string) *journal.Journal {
+	if ns == "" {
+		return s.journal
+	}
+	return s.tenantJournal(ns)
+}
+
+// checkQuota is the tenant admission check run before a mutating frame
+// is logged or applied.
+func (s *Server) checkQuota(ns string, j *journal.Journal) error {
+	if s.TenantQuota <= 0 {
+		return nil
+	}
+	if n := j.RecordCount(); n >= s.TenantQuota {
+		s.quotaRejects.With(ns).Inc()
+		return fmt.Errorf("jserver: tenant %q at quota (%d of %d records)", ns, n, s.TenantQuota)
+	}
+	return nil
 }
 
 // serveSubscription runs one OpSubscribe stream on conn: answer with
@@ -506,10 +650,29 @@ func (s *Server) serveSubscription(conn net.Conn, body []byte) {
 // commit critical section) and before the response is framed back to
 // the caller — a push is behind durability, never ahead of it.
 func (s *Server) dispatch(req []byte) []byte {
+	return s.dispatchNS(req, "", s.journal)
+}
+
+// dispatchNS is dispatch scoped to a tenant: j is the journal the frame
+// reads and writes, ns its namespace ("" = default). Tenant mutations are
+// WAL-logged inside a jwire.ScopePayload envelope so recovery replays
+// them into the right journal; default-namespace frames stay raw, so
+// every pre-tenancy WAL replays unchanged. Only default-journal commits
+// feed the subscription hub.
+func (s *Server) dispatchNS(req []byte, ns string, j *journal.Journal) []byte {
 	mutates := jwire.PayloadMutates(req)
+	if mutates && ns != "" {
+		if err := s.checkQuota(ns, j); err != nil {
+			return errPayload(err)
+		}
+	}
 	if s.WAL != nil && mutates {
+		frame := req
+		if ns != "" {
+			frame = jwire.ScopePayload(ns, req)
+		}
 		s.logMu.Lock()
-		if _, err := s.WAL.Append(req); err != nil {
+		if _, err := s.WAL.Append(frame); err != nil {
 			s.logMu.Unlock()
 			return errPayload(fmt.Errorf("jserver: wal append: %w", err))
 		}
@@ -518,15 +681,19 @@ func (s *Server) dispatch(req []byte) []byte {
 	op := r.U8()
 	var resp []byte
 	if op == jwire.OpBatch {
-		resp = s.dispatchBatch(r)
+		resp = s.dispatchBatch(j, r)
 	} else {
-		resp = s.dispatchOne(op, r)
+		resp = s.dispatchOne(j, op, r)
 	}
 	if s.WAL != nil && mutates {
 		s.logMu.Unlock()
 	}
 	if mutates {
-		s.publishChanges()
+		if ns == "" {
+			s.publishChanges()
+		} else {
+			s.tenantRecs.With(ns).Set(int64(j.RecordCount()))
+		}
 	}
 	return resp
 }
@@ -535,7 +702,7 @@ func (s *Server) dispatch(req []byte) []byte {
 // length-prefixed sub-response (with its own status byte) per sub-request.
 // Sub-requests are independent: a failure is reported in its slot and the
 // rest of the batch still executes.
-func (s *Server) dispatchBatch(r *jwire.Reader) []byte {
+func (s *Server) dispatchBatch(j *journal.Journal, r *jwire.Reader) []byte {
 	subs := jwire.GetBatch(r)
 	var w jwire.Writer
 	if r.Err != nil {
@@ -555,8 +722,10 @@ func (s *Server) dispatchBatch(r *jwire.Reader) []byte {
 			resp = errPayload(errors.New("jserver: empty batch sub-request"))
 		case op == jwire.OpBatch:
 			resp = errPayload(errors.New("jserver: nested batch rejected"))
+		case op == jwire.OpNamespace:
+			resp = errPayload(errors.New("jserver: namespace not valid inside a batch"))
 		default:
-			resp = s.dispatchOne(op, sr)
+			resp = s.dispatchOne(j, op, sr)
 		}
 		w.Bytes(resp)
 	}
@@ -586,7 +755,7 @@ func errPayload(err error) []byte {
 // dispatchOne applies one operation and builds its response payload.
 // Every executed operation (batch sub-requests included) bumps its
 // per-op counter and records its service latency.
-func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
+func (s *Server) dispatchOne(j *journal.Journal, op byte, r *jwire.Reader) []byte {
 	name := jwire.OpName(op)
 	s.reqCount.With(name).Inc()
 	defer s.reqLat.With(name).ObserveSince(time.Now())
@@ -604,7 +773,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 	// recovery replays, so a recovered journal cannot drift from a
 	// served one.
 	case jwire.OpStoreInterface:
-		res, err := jwire.ApplyOp(s.journal, op, r)
+		res, err := jwire.ApplyOp(j, op, r)
 		if err != nil {
 			return fail(err)
 		}
@@ -612,7 +781,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		w.ID(res.ID)
 		w.Bool(res.Created)
 	case jwire.OpStoreGateway, jwire.OpStoreSubnet:
-		res, err := jwire.ApplyOp(s.journal, op, r)
+		res, err := jwire.ApplyOp(j, op, r)
 		if err != nil {
 			return fail(err)
 		}
@@ -623,28 +792,28 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		if r.Err != nil {
 			return fail(r.Err)
 		}
-		recs := s.journal.Interfaces(q)
+		recs := j.Interfaces(q)
 		w.U8(jwire.StatusOK)
 		w.U32(uint32(len(recs)))
 		for _, rec := range recs {
 			jwire.PutInterfaceRec(&w, rec)
 		}
 	case jwire.OpGetGateways:
-		recs := s.journal.Gateways()
+		recs := j.Gateways()
 		w.U8(jwire.StatusOK)
 		w.U32(uint32(len(recs)))
 		for _, rec := range recs {
 			jwire.PutGatewayRec(&w, rec)
 		}
 	case jwire.OpGetSubnets:
-		recs := s.journal.Subnets()
+		recs := j.Subnets()
 		w.U8(jwire.StatusOK)
 		w.U32(uint32(len(recs)))
 		for _, rec := range recs {
 			jwire.PutSubnetRec(&w, rec)
 		}
 	case jwire.OpDelete:
-		res, err := jwire.ApplyOp(s.journal, op, r)
+		res, err := jwire.ApplyOp(j, op, r)
 		if err != nil {
 			return fail(err)
 		}
@@ -661,7 +830,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		w.U8(jwire.StatusOK)
 		switch req.Kind {
 		case journal.KindInterface:
-			recs, next, more := s.journal.ScanInterfaces(req.Cursor, limit, req.Filter)
+			recs, next, more := j.ScanInterfaces(req.Cursor, limit, req.Filter)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutInterfaceRec(&w, rec)
@@ -669,7 +838,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 			w.ID(next)
 			w.Bool(more)
 		case journal.KindGateway:
-			recs, next, more := s.journal.ScanGateways(req.Cursor, limit)
+			recs, next, more := j.ScanGateways(req.Cursor, limit)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutGatewayRec(&w, rec)
@@ -677,7 +846,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 			w.ID(next)
 			w.Bool(more)
 		case journal.KindSubnet:
-			recs, next, more := s.journal.ScanSubnets(req.Cursor, limit)
+			recs, next, more := j.ScanSubnets(req.Cursor, limit)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutSubnetRec(&w, rec)
@@ -696,7 +865,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 		w.U8(jwire.StatusOK)
 		switch req.Kind {
 		case journal.KindInterface:
-			recs, next, more := s.journal.InterfaceChanges(req.After, limit)
+			recs, next, more := j.InterfaceChanges(req.After, limit)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutInterfaceRec(&w, rec)
@@ -704,7 +873,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 			w.U64(next)
 			w.Bool(more)
 		case journal.KindGateway:
-			recs, next, more := s.journal.GatewayChanges(req.After, limit)
+			recs, next, more := j.GatewayChanges(req.After, limit)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutGatewayRec(&w, rec)
@@ -712,7 +881,7 @@ func (s *Server) dispatchOne(op byte, r *jwire.Reader) []byte {
 			w.U64(next)
 			w.Bool(more)
 		case journal.KindSubnet:
-			recs, next, more := s.journal.SubnetChanges(req.After, limit)
+			recs, next, more := j.SubnetChanges(req.After, limit)
 			w.U32(uint32(len(recs)))
 			for _, rec := range recs {
 				jwire.PutSubnetRec(&w, rec)
@@ -762,22 +931,100 @@ func EncodeSnapshotAt(j *journal.Journal, lsn uint64) []byte {
 	w.U32(snapshotMagic)
 	w.U16(3) // version; v2 added the WAL LSN, v3 the modification seq
 	w.U64(lsn)
+	encodeJournalSection(&w, j)
+	return w.B
+}
 
+// encodeJournalSection writes one journal's body — modification sequence
+// counter, then records in modification order — the layout shared by the
+// v3 snapshot body and each v4 section.
+func encodeJournalSection(w *jwire.Writer, j *journal.Journal) {
 	ifs, gws, sns, seq := j.ExportSeq()
 	w.U64(seq)
 	w.U32(uint32(len(ifs)))
 	for _, r := range ifs {
-		jwire.PutInterfaceRec(&w, r)
+		jwire.PutInterfaceRec(w, r)
 	}
 	w.U32(uint32(len(gws)))
 	for _, r := range gws {
-		jwire.PutGatewayRec(&w, r)
+		jwire.PutGatewayRec(w, r)
 	}
 	w.U32(uint32(len(sns)))
 	for _, r := range sns {
-		jwire.PutSubnetRec(&w, r)
+		jwire.PutSubnetRec(w, r)
+	}
+}
+
+// restoreJournalSection is the inverse of encodeJournalSection. The
+// modification sequence counter is advanced BEFORE restoring records:
+// restored records then get stamps above any cursor a replication peer
+// obtained from the previous incarnation, so a stale cursor re-transfers
+// instead of skipping.
+func restoreJournalSection(j *journal.Journal, r *jwire.Reader) {
+	j.AdvanceSeq(r.U64())
+	restoreRecords(j, r)
+}
+
+func restoreRecords(j *journal.Journal, r *jwire.Reader) {
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreInterface(jwire.GetInterfaceRec(r))
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreGateway(jwire.GetGatewayRec(r))
+	}
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		j.RestoreSubnet(jwire.GetSubnetRec(r))
+	}
+}
+
+// encodeServerSnapshot serializes the default journal and, when tenants
+// exist, every tenant journal. A tenantless server writes a version-3
+// snapshot — byte-identical to what it wrote before tenancy existed —
+// so golden-trace digests and downgrade paths are undisturbed. With
+// tenants the format is version 4:
+//
+//	[magic][v=4][lsn][default section][tenant count]
+//	then per tenant (name-sorted): [name][section]
+func (s *Server) encodeServerSnapshot(lsn uint64) []byte {
+	names := s.Tenants()
+	if len(names) == 0 {
+		return EncodeSnapshotAt(s.journal, lsn)
+	}
+	var w jwire.Writer
+	w.U32(snapshotMagic)
+	w.U16(4)
+	w.U64(lsn)
+	encodeJournalSection(&w, s.journal)
+	w.U32(uint32(len(names)))
+	for _, ns := range names {
+		w.String(ns)
+		encodeJournalSection(&w, s.tenantJournal(ns))
 	}
 	return w.B
+}
+
+// restoreServerSnapshot loads any snapshot version into the server,
+// creating tenant journals for v4 sections.
+func (s *Server) restoreServerSnapshot(data []byte) (uint64, error) {
+	r := &jwire.Reader{B: data}
+	if r.U32() != snapshotMagic {
+		return 0, errors.New("jserver: bad snapshot magic")
+	}
+	if v := r.U16(); v != 4 {
+		// v1-v3 hold a single journal; reuse the exported restorer.
+		return RestoreSnapshotLSN(s.journal, data)
+	}
+	lsn := r.U64()
+	restoreJournalSection(s.journal, r)
+	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
+		ns := r.String()
+		if r.Err != nil {
+			break
+		}
+		restoreJournalSection(s.tenantJournal(ns), r)
+	}
+	s.publishTenantGauges()
+	return lsn, r.Err
 }
 
 // RestoreSnapshot loads records into j, discarding the WAL position.
@@ -788,36 +1035,30 @@ func RestoreSnapshot(j *journal.Journal, data []byte) error {
 
 // RestoreSnapshotLSN loads records into j and returns the WAL LSN the
 // snapshot covers (0 for version-1 snapshots, which predate the WAL).
+// Version-4 (tenant-bearing) snapshots restore the default journal only;
+// use Server.Recover / LoadSnapshot to restore tenants too.
 func RestoreSnapshotLSN(j *journal.Journal, data []byte) (uint64, error) {
 	r := &jwire.Reader{B: data}
 	if r.U32() != snapshotMagic {
 		return 0, errors.New("jserver: bad snapshot magic")
 	}
-	var lsn, seq uint64
-	switch v := r.U16(); v {
+	var lsn uint64
+	v := r.U16()
+	switch v {
 	case 1:
-	case 2:
+	case 2, 3, 4:
 		lsn = r.U64()
-	case 3:
-		lsn = r.U64()
-		seq = r.U64()
 	default:
 		return 0, fmt.Errorf("jserver: unsupported snapshot version %d", v)
 	}
-	// Advance the modification sequence counter past the saved value
-	// BEFORE restoring records: restored records then get stamps above
-	// any cursor a replication peer obtained from the previous
-	// incarnation, so a stale cursor re-transfers instead of skipping.
-	// v1/v2 snapshots (seq 0) degrade the same way: one full re-transfer.
-	j.AdvanceSeq(seq)
-	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
-		j.RestoreInterface(jwire.GetInterfaceRec(r))
-	}
-	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
-		j.RestoreGateway(jwire.GetGatewayRec(r))
-	}
-	for n := int(r.U32()); n > 0 && r.Err == nil; n-- {
-		j.RestoreSubnet(jwire.GetSubnetRec(r))
+	if v >= 3 {
+		// v3 added the modification sequence counter ahead of the records.
+		restoreJournalSection(j, r)
+	} else {
+		// v1/v2 predate it: a replication peer holding a cursor from the
+		// previous incarnation degrades to one full re-transfer.
+		j.AdvanceSeq(0)
+		restoreRecords(j, r)
 	}
 	return lsn, r.Err
 }

@@ -54,6 +54,12 @@ const (
 	// response the server delivers change records as they commit (see
 	// subscribe.go). Not valid inside a batch.
 	OpSubscribe byte = 13
+	// OpNamespace scopes the rest of the connection to a tenant namespace
+	// (see namespace.go): every subsequent request on the connection reads
+	// and writes that tenant's journal. Inside the WAL the same opcode
+	// leads an envelope frame that scopes one logged request to a tenant.
+	// Not valid inside a batch.
+	OpNamespace byte = 14
 )
 
 // ScanVersion is the version byte leading OpScan and OpChanges request
@@ -94,6 +100,8 @@ func OpName(op byte) string {
 		return "changes"
 	case OpSubscribe:
 		return "subscribe"
+	case OpNamespace:
+		return "namespace"
 	}
 	return "unknown"
 }

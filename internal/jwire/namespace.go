@@ -1,0 +1,106 @@
+package jwire
+
+import "errors"
+
+// Tenant namespaces. A fabric hosts many monitored networks as tenants;
+// a connection selects its tenant once with OpNamespace and every later
+// request on that connection is scoped to the tenant's journal (the
+// empty namespace is the default journal — the one subscriptions,
+// replication, and the snapshotted golden traces run against). The
+// request body leads with a version byte, like OpScan, so namespace
+// semantics can evolve without a new opcode.
+
+// NamespaceVersion is the version byte leading OpNamespace request
+// bodies.
+const NamespaceVersion byte = 1
+
+// MaxNamespaceLen bounds tenant names; longer names are rejected before
+// they reach the journal or the WAL.
+const MaxNamespaceLen = 128
+
+// ErrNamespaceVersion is returned when a namespace request carries an
+// unsupported version byte.
+var ErrNamespaceVersion = errors.New("jwire: unsupported namespace version")
+
+// ErrBadNamespace is returned for tenant names that fail ValidNamespace.
+var ErrBadNamespace = errors.New("jwire: invalid namespace")
+
+// NamespaceReq selects the tenant for the rest of the connection. The
+// empty string returns the connection to the default journal.
+type NamespaceReq struct {
+	Namespace string
+}
+
+// ValidNamespace reports whether ns may name a tenant: at most
+// MaxNamespaceLen bytes of printable ASCII with no spaces, '=' or '"'
+// (tenant names appear as metric label values and in WAL envelopes).
+// The empty string is valid — it is the default journal.
+func ValidNamespace(ns string) bool {
+	if len(ns) > MaxNamespaceLen {
+		return false
+	}
+	for i := 0; i < len(ns); i++ {
+		c := ns[i]
+		if c <= ' ' || c > '~' || c == '=' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// PutNamespaceReq encodes the body of an OpNamespace request (the caller
+// writes the opcode first).
+func PutNamespaceReq(w *Writer, req NamespaceReq) {
+	w.U8(NamespaceVersion)
+	w.String(req.Namespace)
+}
+
+// GetNamespaceReq decodes the body of an OpNamespace request; an
+// unsupported version sets r.Err to ErrNamespaceVersion and an invalid
+// tenant name sets r.Err to ErrBadNamespace.
+func GetNamespaceReq(r *Reader) NamespaceReq {
+	if v := r.U8(); r.Err == nil && v != NamespaceVersion {
+		r.Err = ErrNamespaceVersion
+	}
+	req := NamespaceReq{Namespace: r.String()}
+	if r.Err == nil && !ValidNamespace(req.Namespace) {
+		r.Err = ErrBadNamespace
+	}
+	return req
+}
+
+// ScopePayload wraps a request payload in a tenant envelope for the WAL:
+// [OpNamespace][version][namespace][payload]. Recovery unwraps it with
+// UnscopePayload and replays the inner payload against the tenant's
+// journal. Default-namespace frames are logged raw, so every WAL written
+// before tenancy existed replays unchanged.
+func ScopePayload(ns string, payload []byte) []byte {
+	w := &Writer{B: make([]byte, 0, len(payload)+len(ns)+8)}
+	w.U8(OpNamespace)
+	w.U8(NamespaceVersion)
+	w.String(ns)
+	w.B = append(w.B, payload...)
+	return w.B
+}
+
+// UnscopePayload splits a WAL frame into its tenant namespace and inner
+// payload. Frames that are not envelopes come back with ns == "" and the
+// payload untouched.
+func UnscopePayload(payload []byte) (ns string, inner []byte, err error) {
+	if len(payload) == 0 || payload[0] != OpNamespace {
+		return "", payload, nil
+	}
+	r := &Reader{B: payload}
+	r.U8() // opcode
+	if v := r.U8(); r.Err == nil && v != NamespaceVersion {
+		r.Err = ErrNamespaceVersion
+	}
+	ns = r.String()
+	if r.Err == nil && !ValidNamespace(ns) {
+		r.Err = ErrBadNamespace
+	}
+	if r.Err != nil {
+		return "", nil, r.Err
+	}
+	return ns, r.B[len(r.B)-r.Remaining():], nil
+}

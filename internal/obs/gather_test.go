@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestGather checks child-registry folding: a parent snapshot includes
+// every child instrument under its prefix, read live (a child increment
+// after Gather shows up in the next parent snapshot).
+func TestGather(t *testing.T) {
+	parent := NewRegistry()
+	shard0 := NewRegistry()
+	shard1 := NewRegistry()
+	parent.Counter("own_total").Add(7)
+	parent.Gather("shard0_", shard0)
+	parent.Gather("shard1_", shard1)
+
+	shard0.Counter("requests_total").Add(3)
+	shard1.Counter("requests_total").Add(5)
+	shard1.Gauge("records").Set(42)
+	sp := shard0.StartSpan("scan")
+	sp.End(nil)
+
+	s := parent.Snapshot()
+	if s.Counters["own_total"] != 7 {
+		t.Errorf("own counter lost: %v", s.Counters)
+	}
+	if s.Counters["shard0_requests_total"] != 3 || s.Counters["shard1_requests_total"] != 5 {
+		t.Errorf("prefixed child counters wrong: %v", s.Counters)
+	}
+	if s.Gauges["shard1_records"] != 42 {
+		t.Errorf("prefixed child gauge wrong: %v", s.Gauges)
+	}
+	found := false
+	for _, span := range s.Spans {
+		if span.Name == "shard0_scan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("child span not folded with prefix: %+v", s.Spans)
+	}
+
+	// Live: mutate the child after the first snapshot.
+	shard0.Counter("requests_total").Inc()
+	if got := parent.Snapshot().Counters["shard0_requests_total"]; got != 4 {
+		t.Errorf("gathered snapshot is not live: got %d, want 4", got)
+	}
+
+	// Histograms fold too.
+	shard0.Histogram("lat_us", nil).Observe(5)
+	if _, ok := parent.Snapshot().Histograms["shard0_lat_us"]; !ok {
+		t.Error("child histogram not folded")
+	}
+}

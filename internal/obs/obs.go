@@ -228,6 +228,28 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	tracer   Tracer
+
+	// children are registries attached with Gather: their instruments
+	// appear in this registry's Snapshot under a name prefix. The fabric
+	// uses this to merge per-shard server registries into one
+	// -metrics-addr endpoint.
+	children []gathered
+}
+
+type gathered struct {
+	prefix string
+	reg    *Registry
+}
+
+// Gather attaches other so its instruments appear in this registry's
+// snapshots with prefix prepended to every name (and its spans with
+// prefix prepended to the span name). Values are read live at Snapshot
+// time — other keeps updating after the attach. Gather does not detect
+// cycles; do not attach a registry to itself or its descendants.
+func (r *Registry) Gather(prefix string, other *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children = append(r.children, gathered{prefix: prefix, reg: other})
 }
 
 // NewRegistry creates an empty registry.
@@ -414,6 +436,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	children := make([]gathered, len(r.children))
+	copy(children, r.children)
 	r.mu.RUnlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
@@ -425,6 +449,22 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Histograms[k] = v.snapshot()
 	}
 	s.Spans = r.tracer.Recent()
+	for _, c := range children {
+		cs := c.reg.Snapshot()
+		for k, v := range cs.Counters {
+			s.Counters[c.prefix+k] = v
+		}
+		for k, v := range cs.Gauges {
+			s.Gauges[c.prefix+k] = v
+		}
+		for k, v := range cs.Histograms {
+			s.Histograms[c.prefix+k] = v
+		}
+		for _, sp := range cs.Spans {
+			sp.Name = c.prefix + sp.Name
+			s.Spans = append(s.Spans, sp)
+		}
+	}
 	return s
 }
 

@@ -5,16 +5,26 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// CursorFile is the pair of replication cursors fremont-sync persists
+// CursorFile is the set of replication cursors fremont-sync persists
 // between runs: forward covers -from → -to progress, reverse the return
-// direction of a bidirectional exchange (zero when unused).
+// direction of a bidirectional exchange (zero when unused). Against a
+// fabric source the cursors are keyed by (shard, kind) instead —
+// ForwardShards/ReverseShards hold one Cursor per shard ID — because a
+// fabric shard's modification sequences are shard-local and a single
+// cursor would collide across shards. Both layouts share one file
+// format: a shard line is a plain cursor line with a leading shard=<id>
+// field, so legacy single-server files load unchanged.
 type CursorFile struct {
 	Forward Cursor
 	Reverse Cursor
+
+	ForwardShards FabricCursor
+	ReverseShards FabricCursor
 }
 
 // ParseCursor parses the "interfaces=N gateways=N subnets=N" form
@@ -68,15 +78,39 @@ func LoadCursors(path string) (CursorFile, error) {
 		if !ok {
 			return cf, fmt.Errorf("replicate: cursor line %q has no direction", line)
 		}
+		// A fabric line carries a leading shard=<id> field; strip it and
+		// route the rest into the per-shard map.
+		shard := ""
+		if first, tail, _ := strings.Cut(rest, " "); strings.HasPrefix(first, "shard=") {
+			shard = strings.TrimPrefix(first, "shard=")
+			if shard == "" {
+				return cf, fmt.Errorf("replicate: cursor line %q has empty shard", line)
+			}
+			rest = tail
+		}
 		cur, err := ParseCursor(rest)
 		if err != nil {
 			return cf, err
 		}
 		switch dir {
 		case "forward":
-			cf.Forward = cur
+			if shard != "" {
+				if cf.ForwardShards == nil {
+					cf.ForwardShards = FabricCursor{}
+				}
+				cf.ForwardShards[shard] = cur
+			} else {
+				cf.Forward = cur
+			}
 		case "reverse":
-			cf.Reverse = cur
+			if shard != "" {
+				if cf.ReverseShards == nil {
+					cf.ReverseShards = FabricCursor{}
+				}
+				cf.ReverseShards[shard] = cur
+			} else {
+				cf.Reverse = cur
+			}
 		default:
 			return cf, fmt.Errorf("replicate: unknown cursor direction %q", dir)
 		}
@@ -88,8 +122,22 @@ func LoadCursors(path string) (CursorFile, error) {
 // crash mid-write leaves the previous cursors intact (a stale cursor only
 // costs a re-transfer; a torn one would be rejected on load).
 func SaveCursors(path string, cf CursorFile) error {
-	data := fmt.Sprintf("# fremont-sync replication cursors; do not edit while a sync runs\nforward %s\nreverse %s\n",
-		cf.Forward, cf.Reverse)
+	var b strings.Builder
+	b.WriteString("# fremont-sync replication cursors; do not edit while a sync runs\n")
+	fmt.Fprintf(&b, "forward %s\nreverse %s\n", cf.Forward, cf.Reverse)
+	writeShards := func(dir string, fc FabricCursor) {
+		ids := make([]string, 0, len(fc))
+		for id := range fc {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s shard=%s %s\n", dir, id, fc[id])
+		}
+	}
+	writeShards("forward", cf.ForwardShards)
+	writeShards("reverse", cf.ReverseShards)
+	data := b.String()
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, []byte(data), 0o644); err != nil {
 		return err

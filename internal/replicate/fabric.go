@@ -1,0 +1,111 @@
+package replicate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fremont/internal/journal"
+)
+
+// ShardSource names one fabric shard as a replication source. ID is the
+// stable shard name (fabric.ShardID order: "shard0", "shard1", …); Src
+// is any replication source for that shard — typically a jclient.Client
+// or Pool dialed at the shard's address.
+type ShardSource struct {
+	ID  string
+	Src Source
+}
+
+// FabricCursor tracks replication progress per shard: each shard has its
+// own modification-sequence space, so each gets its own Cursor, keyed by
+// shard ID. Shards absent from the map start from the beginning. nil is
+// the zero cursor for any fabric.
+type FabricCursor map[string]Cursor
+
+// Clone returns a copy; mutating the copy leaves the original intact.
+func (fc FabricCursor) Clone() FabricCursor {
+	out := make(FabricCursor, len(fc))
+	for k, v := range fc {
+		out[k] = v
+	}
+	return out
+}
+
+func (fc FabricCursor) String() string {
+	ids := make([]string, 0, len(fc))
+	for id := range fc {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("shard=%s %s", id, fc[id])
+	}
+	return strings.Join(parts, "; ")
+}
+
+// FabricReport summarizes one fabric pull: per-shard record counts plus
+// the shards that could not be reached this round. A skipped shard's
+// cursor is unchanged, so the next pull picks up exactly where it left
+// off — an outage delays that shard's records, never loses them.
+type FabricReport struct {
+	Shards  map[string]Report
+	Skipped map[string]error
+}
+
+// Total sums the per-shard reports.
+func (fr FabricReport) Total() Report {
+	var t Report
+	for _, r := range fr.Shards {
+		t.Interfaces += r.Interfaces
+		t.Gateways += r.Gateways
+		t.Subnets += r.Subnets
+	}
+	return t
+}
+
+func (fr FabricReport) String() string {
+	t := fr.Total()
+	s := fmt.Sprintf("replicate: %d shards: %d interfaces, %d gateways, %d subnets pulled",
+		len(fr.Shards), t.Interfaces, t.Gateways, t.Subnets)
+	if len(fr.Skipped) > 0 {
+		ids := make([]string, 0, len(fr.Skipped))
+		for id := range fr.Skipped {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		s += fmt.Sprintf(" (skipped: %s)", strings.Join(ids, ", "))
+	}
+	return s
+}
+
+// PullFabric replicates every shard of a journal fabric into dst,
+// iterating per-shard cursors so re-pull-transfers-zero holds fabric-wide:
+// a second pull against an unchanged fabric moves no records and costs
+// each shard O(1) per kind. Shards pull independently — a down shard is
+// recorded in the report's Skipped map with its cursor held back
+// (including partial progress, since Pull returns how far it got), while
+// the others complete. The error is non-nil only when every shard
+// failed; degraded pulls succeed with Skipped naming the gaps.
+func PullFabric(dst journal.Sink, srcs []ShardSource, cur FabricCursor) (FabricReport, FabricCursor, error) {
+	rep := FabricReport{Shards: map[string]Report{}, Skipped: map[string]error{}}
+	next := cur.Clone()
+	var firstErr error
+	for _, s := range srcs {
+		r, c, err := Pull(dst, s.Src, cur[s.ID])
+		next[s.ID] = c // Pull's cursor covers what replayed even on error
+		if err != nil {
+			rep.Skipped[s.ID] = err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", s.ID, err)
+			}
+			continue
+		}
+		rep.Shards[s.ID] = r
+	}
+	if len(rep.Shards) == 0 && firstErr != nil {
+		return rep, next, firstErr
+	}
+	return rep, next, nil
+}

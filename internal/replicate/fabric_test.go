@@ -1,0 +1,200 @@
+package replicate
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"fremont/internal/fabric"
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+)
+
+// stripedSite builds a 3-shard fabric's worth of journals: striped ID
+// allocation, records routed by the same hash the fabric client uses.
+func stripedSite(t *testing.T, n, records int) ([]*journal.Journal, []ShardSource) {
+	t.Helper()
+	ring := fabric.NewRing(n, 0)
+	js := make([]*journal.Journal, n)
+	for i := range js {
+		js[i] = journal.New()
+		js[i].SetIDStride(journal.ID(i), journal.ID(n))
+	}
+	for k := 0; k < records; k++ {
+		ip := pkt.IPv4(10, byte(k/256), byte(k%256), 5)
+		shard := ring.Lookup(fabric.IfaceKey(ip))
+		js[shard].StoreInterface(journal.IfaceObs{IP: ip, Source: journal.SrcARP, At: t0})
+	}
+	srcs := make([]ShardSource, n)
+	for i, j := range js {
+		srcs[i] = ShardSource{ID: fabric.ShardID(i), Src: journal.Local{J: j}}
+	}
+	return js, srcs
+}
+
+// TestPullFabric: every shard's records land in the destination, and a
+// second pull against the unchanged fabric transfers zero records —
+// the fabric-wide re-pull-transfers-zero invariant.
+func TestPullFabric(t *testing.T) {
+	const K = 50
+	js, srcs := stripedSite(t, 3, K)
+	dst := journal.New()
+
+	rep, cur, err := PullFabric(journal.Local{J: dst}, srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Total().Interfaces; got != K {
+		t.Fatalf("first pull moved %d interfaces, want %d", got, K)
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("skipped shards on a healthy pull: %v", rep.Skipped)
+	}
+	if dst.NumInterfaces() != K {
+		t.Fatalf("destination has %d interfaces, want %d", dst.NumInterfaces(), K)
+	}
+
+	// Re-pull: zero records, per shard.
+	rep2, cur2, err := PullFabric(journal.Local{J: dst}, srcs, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range rep2.Shards {
+		if r.Interfaces+r.Gateways+r.Subnets != 0 {
+			t.Errorf("%s re-pull transferred %+v, want zero", id, r)
+		}
+	}
+	// One shard mutates; only its delta moves.
+	js[1].StoreInterface(journal.IfaceObs{IP: pkt.IPv4(192, 168, 0, 1), Source: journal.SrcARP, At: t0})
+	rep3, _, err := PullFabric(journal.Local{J: dst}, srcs, cur2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep3.Total().Interfaces; got != 1 {
+		t.Errorf("delta pull moved %d, want 1", got)
+	}
+	if r := rep3.Shards[fabric.ShardID(1)]; r.Interfaces != 1 {
+		t.Errorf("shard1 delta = %+v", r)
+	}
+}
+
+// errSource fails every call — a down shard.
+type errSource struct{ journal.Local }
+
+var errDown = errors.New("connection refused")
+
+func (errSource) InterfaceChanges(after uint64, limit int) ([]*journal.InterfaceRec, uint64, bool, error) {
+	return nil, after, false, errDown
+}
+
+// TestPullFabricDownShard: a down shard is skipped with its cursor held,
+// the others replicate, and when it returns the next pull closes exactly
+// its gap with no duplicates.
+func TestPullFabricDownShard(t *testing.T) {
+	const K = 40
+	js, srcs := stripedSite(t, 3, K)
+	dst := journal.New()
+	down := srcs[1]
+	srcs[1] = ShardSource{ID: down.ID, Src: errSource{journal.Local{J: js[1]}}}
+
+	rep, cur, err := PullFabric(journal.Local{J: dst}, srcs, nil)
+	if err != nil {
+		t.Fatalf("degraded pull errored: %v", err)
+	}
+	if _, skipped := rep.Skipped[down.ID]; !skipped {
+		t.Fatalf("down shard not reported: %+v", rep)
+	}
+	shard1Records := js[1].NumInterfaces()
+	if got := rep.Total().Interfaces; got != K-shard1Records {
+		t.Errorf("degraded pull moved %d, want %d", got, K-shard1Records)
+	}
+
+	// Shard recovers: the follow-up pull transfers exactly its records.
+	srcs[1] = down
+	rep2, cur2, err := PullFabric(journal.Local{J: dst}, srcs, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.Total().Interfaces; got != shard1Records {
+		t.Errorf("gap-closing pull moved %d, want %d", got, shard1Records)
+	}
+	if dst.NumInterfaces() != K {
+		t.Errorf("destination has %d interfaces, want %d (no loss, no dups)", dst.NumInterfaces(), K)
+	}
+	// And the fabric is quiet again.
+	rep3, _, err := PullFabric(journal.Local{J: dst}, srcs, cur2)
+	if err != nil || rep3.Total().Interfaces != 0 {
+		t.Errorf("post-recovery re-pull: %+v, %v", rep3, err)
+	}
+}
+
+// TestPullFabricAllDown: the pull fails (with the first shard error)
+// when no shard answers.
+func TestPullFabricAllDown(t *testing.T) {
+	js, srcs := stripedSite(t, 2, 10)
+	for i := range srcs {
+		srcs[i].Src = errSource{journal.Local{J: js[i]}}
+	}
+	if _, _, err := PullFabric(journal.Local{J: journal.New()}, srcs, nil); err == nil {
+		t.Fatal("all-down pull succeeded")
+	}
+}
+
+// TestCursorFileShardKeys: shard-keyed cursor lines roundtrip alongside
+// the plain forward/reverse pair, and legacy files (no shard lines)
+// still load.
+func TestCursorFileShardKeys(t *testing.T) {
+	path := t.TempDir() + "/cursors"
+	want := CursorFile{
+		Forward: Cursor{Interfaces: 1},
+		ForwardShards: FabricCursor{
+			"shard0": {Interfaces: 10, Gateways: 2},
+			"shard1": {Interfaces: 20, Subnets: 3},
+			"shard2": {},
+		},
+		ReverseShards: FabricCursor{"shard0": {Interfaces: 5}},
+	}
+	if err := SaveCursors(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCursors(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Forward != want.Forward || got.Reverse != want.Reverse {
+		t.Fatalf("plain cursors: %+v", got)
+	}
+	if len(got.ForwardShards) != 3 || got.ForwardShards["shard0"] != want.ForwardShards["shard0"] ||
+		got.ForwardShards["shard1"] != want.ForwardShards["shard1"] || got.ForwardShards["shard2"] != (Cursor{}) {
+		t.Fatalf("forward shards: %+v", got.ForwardShards)
+	}
+	if len(got.ReverseShards) != 1 || got.ReverseShards["shard0"] != want.ReverseShards["shard0"] {
+		t.Fatalf("reverse shards: %+v", got.ReverseShards)
+	}
+
+	// Legacy file: plain lines only, parsed exactly as before.
+	legacy := path + ".legacy"
+	if err := os.WriteFile(legacy, []byte("# old file\nforward interfaces=7 gateways=1 subnets=2\nreverse interfaces=3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := LoadCursors(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf.Forward != (Cursor{Interfaces: 7, Gateways: 1, Subnets: 2}) || lf.Reverse != (Cursor{Interfaces: 3}) {
+		t.Fatalf("legacy load: %+v", lf)
+	}
+	if len(lf.ForwardShards) != 0 || len(lf.ReverseShards) != 0 {
+		t.Fatalf("legacy file grew shard cursors: %+v", lf)
+	}
+
+	// Malformed shard token is an error, not silent misparse.
+	badPath := path + ".bad"
+	if err := os.WriteFile(badPath, []byte("forward shard= interfaces=1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCursors(badPath); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("empty shard token: err = %v", err)
+	}
+}
