@@ -6,6 +6,7 @@
 //	fremont-sim -all                 # every table and figure
 //	fremont-sim -table 5 -seed 1993  # one table
 //	fremont-sim -figure 2 -format dot
+//	fremont-sim -selfhost -loss 0.05 # self-hosted Fremont over simulated TCP
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"fremont/internal/emulytics"
 	"fremont/internal/experiments"
 )
 
@@ -23,7 +26,18 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	seed := flag.Int64("seed", 1993, "simulation seed")
 	format := flag.String("format", "ascii", "figure 2 format: ascii, dot, or snm")
+	selfhost := flag.Bool("selfhost", false, "run the self-hosted scenario: real jserver+jclient over simulated TCP")
+	loss := flag.Float64("loss", 0, "selfhost: random frame-loss probability (e.g. 0.05)")
+	explorers := flag.Int("explorers", 2, "selfhost: explorer host count")
+	stores := flag.Int("stores", 8, "selfhost: observations per explorer")
+	duration := flag.Duration("duration", 2*time.Minute, "selfhost: virtual-time horizon")
+	transcript := flag.String("transcript", "", "selfhost: write the scenario transcript to this file")
 	flag.Parse()
+
+	if *selfhost {
+		runSelfhost(*seed, *loss, *explorers, *stores, *duration, *transcript)
+		return
+	}
 
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
@@ -94,6 +108,28 @@ func printFigure2(seed int64, format string) {
 	default:
 		fmt.Print(r.ASCII)
 	}
+}
+
+// runSelfhost executes the emulytics scenario and prints a summary whose
+// first line ("digest=...") is the determinism witness CI compares across
+// reruns.
+func runSelfhost(seed int64, loss float64, explorers, stores int, duration time.Duration, transcriptPath string) {
+	cfg := emulytics.Config{
+		Seed: seed, Loss: loss,
+		Explorers: explorers, StoresPerExplorer: stores,
+		Duration: duration,
+	}
+	if transcriptPath != "" {
+		f, err := os.Create(transcriptPath)
+		check(err)
+		defer f.Close()
+		cfg.Transcript = f
+	}
+	res, err := emulytics.Run(cfg)
+	check(err)
+	fmt.Printf("digest=%s\n", res.Digest)
+	fmt.Printf("records=%d frames=%d retransmits=%d requests=%d virtual=%s\n",
+		res.Records, res.Frames, res.Retransmits, res.Requests, res.VirtualElapsed)
 }
 
 func check(err error) {

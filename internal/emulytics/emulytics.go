@@ -1,0 +1,324 @@
+// Package emulytics self-hosts Fremont inside its own network simulator:
+// a real jserver.Server on a simulated listener, real jclient managers and
+// explorers on simulated dialers, all exchanging genuine jwire frames over
+// the userspace TCP in netsim — one deterministic simulation of the whole
+// distributed system, in the spirit of the emulytics methodology
+// (Crussell et al., "Automated Discovery for Emulytics").
+//
+// Because virtual time only advances while every participant is parked in
+// a simulated operation (netsim's gate), the journal apply order — and so
+// record IDs, modification sequences, and the snapshot digest — is a pure
+// function of the seed and scenario. Packet loss, latency, partitions and
+// kills perturb the packet schedule deterministically too (loss draws come
+// from the seeded scheduler RNG), so a scenario rerun with the same
+// configuration reproduces the same digest bit for bit, retransmissions
+// and all. That is the property the CI emulytics-smoke job asserts.
+package emulytics
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jserver"
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+)
+
+// Config describes one self-hosted scenario.
+type Config struct {
+	// Seed drives every random draw (loss, collisions, jitter).
+	Seed int64
+	// Loss is the random frame-loss probability applied to both wires.
+	Loss float64
+	// Explorers is the number of explorer hosts (default 2).
+	Explorers int
+	// StoresPerExplorer is each explorer's observation count (default 8).
+	StoresPerExplorer int
+	// PartitionAt/PartitionFor, when nonzero, take the router down for a
+	// window, severing the field network from the server; retransmission
+	// carries the in-flight operations across the outage.
+	PartitionAt  time.Duration
+	PartitionFor time.Duration
+	// Duration is the virtual-time horizon (default 2 minutes). The run
+	// fails if the actors have not finished inside it.
+	Duration time.Duration
+	// Transcript, when non-nil, receives a virtual-time-stamped log of
+	// scenario events (the CI artifact).
+	Transcript io.Writer
+}
+
+func (c *Config) defaults() {
+	if c.Explorers == 0 {
+		c.Explorers = 2
+	}
+	if c.StoresPerExplorer == 0 {
+		c.StoresPerExplorer = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Minute
+	}
+}
+
+// Result summarizes a completed scenario.
+type Result struct {
+	// Digest is the hex sha256 of the server's canonical journal snapshot
+	// — the determinism witness.
+	Digest string
+	// Records is the number of interface records the journal holds.
+	Records int
+	// Frames is the total frame count across both wires.
+	Frames int
+	// Retransmits counts TCP RTO-driven resends across all hosts.
+	Retransmits int
+	// Requests is the server's served-request count.
+	Requests int64
+	// VirtualElapsed is how much virtual time the actors consumed.
+	VirtualElapsed time.Duration
+}
+
+// transcript is a mutex-guarded, virtual-time-stamped event log.
+type transcript struct {
+	mu  sync.Mutex
+	w   io.Writer
+	net *netsim.Network
+}
+
+func (tr *transcript) logf(format string, args ...any) {
+	if tr.w == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	now := tr.net.GatedNow().Format("15:04:05.000")
+	fmt.Fprintf(tr.w, "%s %s\n", now, fmt.Sprintf(format, args...))
+}
+
+// serverAddr is where the Journal Server listens inside the simulation.
+const serverAddr = "10.0.0.5:7777"
+
+// routerPartition is the pre-bound event handler that flips the router.
+func routerPartition(arg any, aux uint64) {
+	arg.(*netsim.Node).SetUp(aux != 0)
+}
+
+// Run executes one self-hosted scenario and returns its result. It is
+// synchronous and uses only virtual time; a default scenario completes in
+// well under a second of real time.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+
+	// --- Topology: server behind a router, actors on a field wire. ----
+	n := netsim.New(cfg.Seed)
+	backbone := n.NewSegment("backbone", mustSubnet("10.0.0.0/24"))
+	field := n.NewSegment("field", mustSubnet("10.1.0.0/24"))
+	backbone.RandomLoss = cfg.Loss
+	field.RandomLoss = cfg.Loss
+
+	server := n.NewNode("journal-server")
+	server.AddIface(backbone, mustIP("10.0.0.5"), pkt.MaskBits(24))
+	mustRoute(server.AddDefaultRoute(mustIP("10.0.0.1")))
+
+	router := n.NewNode("router")
+	router.IsRouter = true
+	router.AddIface(backbone, mustIP("10.0.0.1"), pkt.MaskBits(24))
+	router.AddIface(field, mustIP("10.1.0.1"), pkt.MaskBits(24))
+
+	manager := n.NewNode("manager")
+	manager.AddIface(field, mustIP("10.1.0.10"), pkt.MaskBits(24))
+	mustRoute(manager.AddDefaultRoute(mustIP("10.1.0.1")))
+
+	explorers := make([]*netsim.Node, cfg.Explorers)
+	for i := range explorers {
+		nd := n.NewNode(fmt.Sprintf("explorer-%d", i))
+		nd.AddIface(field, mustIP(fmt.Sprintf("10.1.0.%d", 20+i)), pkt.MaskBits(24))
+		mustRoute(nd.AddDefaultRoute(mustIP("10.1.0.1")))
+		explorers[i] = nd
+	}
+
+	tr := &transcript{w: cfg.Transcript, net: n}
+
+	// --- The real Journal Server on a simulated listener. -------------
+	srv := jserver.New(nil)
+	ln, err := netsim.ListenTCP(server, 7777)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Serve(ln); err != nil {
+		return nil, err
+	}
+	tr.logf("jserver up on %s (loss=%.0f%%, seed=%d)", serverAddr, cfg.Loss*100, cfg.Seed)
+
+	// --- Scripted partition. -------------------------------------------
+	if cfg.PartitionAt > 0 && cfg.PartitionFor > 0 {
+		n.Sched.AfterEvent(cfg.PartitionAt, routerPartition, router, 0)
+		n.Sched.AfterEvent(cfg.PartitionAt+cfg.PartitionFor, routerPartition, router, 1)
+		tr.logf("partition scheduled: router down %v..%v", cfg.PartitionAt, cfg.PartitionAt+cfg.PartitionFor)
+	}
+
+	// --- Actors: real jclient code on simulated dialers. ---------------
+	actors := 1 + len(explorers)
+	done := make(chan error, actors)
+
+	for i, nd := range explorers {
+		i, nd := i, nd
+		n.Go(func() { done <- explorer(n, nd, i, cfg, tr) })
+	}
+	n.Go(func() { done <- managerActor(n, manager, cfg, tr) })
+
+	n.RunGated(cfg.Duration)
+	elapsed := n.Sched.Now()
+
+	var firstErr error
+	for i := 0; i < actors; i++ {
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("emulytics: %d actor(s) still running after %v of virtual time", actors-i, cfg.Duration)
+			}
+		}
+	}
+	if err := srv.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("emulytics: server close: %w", err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	recs := srv.Journal().Interfaces(journal.Query{})
+	retransmits := server.TCPRetransmits() + manager.TCPRetransmits()
+	for _, nd := range explorers {
+		retransmits += nd.TCPRetransmits()
+	}
+	res := &Result{
+		Digest:         fmt.Sprintf("%x", sha256.Sum256(jserver.EncodeSnapshot(srv.Journal()))),
+		Records:        len(recs),
+		Frames:         n.TotalFrames(),
+		Retransmits:    retransmits,
+		Requests:       srv.Stats().RequestsServed,
+		VirtualElapsed: elapsed,
+	}
+	tr.logf("done: digest=%s records=%d frames=%d retransmits=%d requests=%d",
+		res.Digest[:16], res.Records, res.Frames, res.Retransmits, res.Requests)
+	return res, nil
+}
+
+// explorer is one explorer host: it dials the Journal Server over the
+// simulated network and reports a deterministic set of observations, the
+// way an Explorer Module reports what it discovered on its wire.
+func explorer(n *netsim.Network, nd *netsim.Node, idx int, cfg Config, tr *transcript) error {
+	// Staggered start, like independently launched explorer processes.
+	n.GatedSleep(time.Duration(idx+1) * 50 * time.Millisecond)
+	c, err := jclient.Dial(serverAddr, jclient.WithDialer(netsim.Dialer(nd, 30*time.Second)))
+	if err != nil {
+		return fmt.Errorf("%s: %w", nd.Name, err)
+	}
+	defer c.Close()
+	tr.logf("%s connected", nd.Name)
+
+	t0 := n.GatedNow()
+	for k := 0; k < cfg.StoresPerExplorer; k++ {
+		obs := journal.IfaceObs{
+			IP:      pkt.IPv4(128, 138, byte(200+idx), byte(10+k)),
+			HasMAC:  true,
+			MAC:     pkt.MAC{0x08, 0x00, 0x20, byte(idx), byte(k), 0x01},
+			Name:    fmt.Sprintf("host-%d-%d.cs.colorado.edu", idx, k),
+			HasMask: true,
+			Mask:    pkt.MaskBits(24),
+			Source:  journal.SrcARP,
+			At:      t0,
+		}
+		if _, _, err := c.StoreInterface(obs); err != nil {
+			return fmt.Errorf("%s store %d: %w", nd.Name, k, err)
+		}
+		n.GatedSleep(20 * time.Millisecond)
+	}
+	// One batched report, like a sweep flushing its findings.
+	var b jclient.Batch
+	b.StoreSubnet(journal.SubnetObs{
+		Subnet: pkt.Subnet{Addr: pkt.IPv4(128, 138, byte(200+idx), 0), Mask: pkt.MaskBits(24)},
+		Source: journal.SrcARP, At: t0,
+	})
+	b.StoreGateway(journal.GatewayObs{
+		IfaceIPs: []pkt.IP{pkt.IPv4(128, 138, byte(200+idx), 1)},
+		Source:   journal.SrcRIP, At: t0,
+	})
+	if _, err := c.StoreBatch(&b); err != nil {
+		return fmt.Errorf("%s batch: %w", nd.Name, err)
+	}
+	tr.logf("%s reported %d observations", nd.Name, cfg.StoresPerExplorer+2)
+	return nil
+}
+
+// managerActor is the Discovery Manager: it polls the journal until every
+// explorer's observations have arrived, then reads the merged picture
+// back, exactly the analyze-what-explorers-found loop.
+func managerActor(n *netsim.Network, nd *netsim.Node, cfg Config, tr *transcript) error {
+	n.GatedSleep(100 * time.Millisecond)
+	c, err := jclient.Dial(serverAddr, jclient.WithDialer(netsim.Dialer(nd, 30*time.Second)))
+	if err != nil {
+		return fmt.Errorf("manager: %w", err)
+	}
+	defer c.Close()
+	tr.logf("manager connected")
+
+	want := cfg.Explorers * cfg.StoresPerExplorer
+	deadline := n.GatedNow().Add(cfg.Duration - time.Second)
+	for {
+		recs, err := c.Interfaces(journal.Query{})
+		if err != nil {
+			return fmt.Errorf("manager scan: %w", err)
+		}
+		if len(recs) >= want {
+			tr.logf("manager sees all %d interface records", len(recs))
+			break
+		}
+		if n.GatedNow().After(deadline) {
+			return fmt.Errorf("manager: journal converged to %d/%d records only", len(recs), want)
+		}
+		n.GatedSleep(200 * time.Millisecond)
+	}
+	gws, err := c.Gateways()
+	if err != nil {
+		return fmt.Errorf("manager gateways: %w", err)
+	}
+	subnets, err := c.Subnets()
+	if err != nil {
+		return fmt.Errorf("manager subnets: %w", err)
+	}
+	if _, err := c.ServerStats(); err != nil {
+		return fmt.Errorf("manager stats: %w", err)
+	}
+	tr.logf("manager read back %d gateways, %d subnets", len(gws), len(subnets))
+	return nil
+}
+
+func mustIP(s string) pkt.IP {
+	ip, err := pkt.ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+func mustSubnet(s string) pkt.Subnet {
+	sn, err := pkt.ParseSubnet(s)
+	if err != nil {
+		panic(err)
+	}
+	return sn
+}
+
+func mustRoute(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -94,7 +94,7 @@ var (
 // order fabric.Fabric.Addrs returns). Connections are dialed lazily, up
 // to poolSize per shard, so a shard that is down at construction time
 // costs nothing until an operation needs it.
-func DialFabric(addrs []string, poolSize int) (*Fabric, error) {
+func DialFabric(addrs []string, poolSize int, opts ...Option) (*Fabric, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("jclient: fabric needs at least one shard address")
 	}
@@ -104,7 +104,7 @@ func DialFabric(addrs []string, poolSize int) (*Fabric, error) {
 		handles: map[uint64]*fabricSeqs{},
 	}
 	for i, addr := range addrs {
-		f.shards = append(f.shards, NewPool(addr, poolSize))
+		f.shards = append(f.shards, NewPool(addr, poolSize, opts...))
 		f.ids = append(f.ids, fabric.ShardID(i))
 	}
 	return f, nil

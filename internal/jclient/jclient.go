@@ -9,7 +9,6 @@ import (
 	"net"
 	"sort"
 	"sync"
-	"time"
 
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
@@ -21,6 +20,7 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	opt  options // how this connection was made; reused by Subscribe
 
 	// PageSize is the page limit used by the cursor-scan methods and the
 	// full-query Sink methods routed through them; 0 means the server's
@@ -35,13 +35,22 @@ var (
 	_ journal.Changer = (*Client)(nil)
 )
 
-// Dial connects to a Journal Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// Dial connects to a Journal Server. With no options it dials TCP with
+// DefaultDialTimeout; WithDialer rehosts the client on any transport and
+// WithTimeout adjusts the default one.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := resolveOptions(opts)
+	conn, err := o.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("jclient: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, opt: o}, nil
+}
+
+// NewClient wraps an already-established connection (for transports with
+// no address to dial, e.g. one end of a net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
 }
 
 // Close closes the connection.

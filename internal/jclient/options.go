@@ -1,0 +1,56 @@
+package jclient
+
+import (
+	"net"
+	"time"
+)
+
+// DefaultDialTimeout is the connection timeout used when no WithTimeout
+// (or WithDialer, which subsumes it) option is given.
+const DefaultDialTimeout = 10 * time.Second
+
+// Dialer opens a transport connection to a Journal Server address. The
+// default dials TCP; injecting one rehosts the whole client stack —
+// Client, Pool, Fabric, Subscription and its auto-resume path — onto any
+// net.Conn transport: a simulated network (netsim.Dialer), an in-memory
+// pipe, a proxied or instrumented link.
+type Dialer func(addr string) (net.Conn, error)
+
+// Option configures how jclient connections are established. Options are
+// accepted by Dial, DialPool, NewPool, DialFabric and Subscribe, and flow
+// from each of those into every connection made on the caller's behalf
+// (pool refills, per-shard pools, subscription resumes).
+type Option func(*options)
+
+type options struct {
+	dialer  Dialer
+	timeout time.Duration
+}
+
+// WithDialer routes all connection establishment through d. It overrides
+// WithTimeout — a custom dialer owns its own timeout policy.
+func WithDialer(d Dialer) Option {
+	return func(o *options) { o.dialer = d }
+}
+
+// WithTimeout sets the TCP connect timeout used by the default dialer.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// resolve folds opts over the defaults.
+func resolveOptions(opts []Option) options {
+	o := options{timeout: DefaultDialTimeout}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// dial opens one connection according to the resolved options.
+func (o options) dial(addr string) (net.Conn, error) {
+	if o.dialer != nil {
+		return o.dialer(addr)
+	}
+	return net.DialTimeout("tcp", addr, o.timeout)
+}

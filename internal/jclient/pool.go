@@ -2,6 +2,7 @@ package jclient
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"fremont/internal/journal"
@@ -20,6 +21,7 @@ var ErrPoolClosed = errors.New("jclient: pool closed")
 // on error, to be re-dialed by a later call.
 type Pool struct {
 	addr string
+	opt  options // connection options applied to every (re)dial
 	// conns holds one slot per pool member; nil means the slot has no live
 	// connection yet (or its last one was dropped after an error).
 	conns chan *Client
@@ -47,8 +49,8 @@ var (
 // DialPool creates a pool of up to size connections to addr, dialing one
 // eagerly so an unreachable server fails fast. Pool metrics record into
 // the process-wide obs.Default() registry.
-func DialPool(addr string, size int) (*Pool, error) {
-	p := NewPool(addr, size)
+func DialPool(addr string, size int, opts ...Option) (*Pool, error) {
+	p := NewPool(addr, size, opts...)
 	c, err := p.get()
 	if err != nil {
 		return nil, err
@@ -62,13 +64,14 @@ func DialPool(addr string, size int) (*Pool, error) {
 // first call that needs it. The fabric builds its per-shard pools this
 // way so a shard that is down at construction time degrades reads
 // instead of failing the whole fabric.
-func NewPool(addr string, size int) *Pool {
+func NewPool(addr string, size int, opts ...Option) *Pool {
 	if size <= 0 {
 		size = 4
 	}
 	reg := obs.Default()
 	p := &Pool{
 		addr:     addr,
+		opt:      resolveOptions(opts),
 		conns:    make(chan *Client, size),
 		waits:    reg.Histogram("jclient_pool_wait_seconds", nil),
 		dials:    reg.Counter("jclient_pool_dials_total"),
@@ -113,7 +116,7 @@ func (p *Pool) get() (*Client, error) {
 	if c != nil {
 		return c, nil
 	}
-	c, err := Dial(p.addr)
+	c, err := p.dial()
 	if err != nil {
 		// Return the empty slot so the pool does not shrink.
 		p.putSlot(nil)
@@ -129,6 +132,15 @@ func (p *Pool) get() (*Client, error) {
 	}
 	p.dials.Inc()
 	return c, nil
+}
+
+// dial opens one pool-member connection with the pool's options.
+func (p *Pool) dial() (*Client, error) {
+	conn, err := p.opt.dial(p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("jclient: dial %s: %w", p.addr, err)
+	}
+	return &Client{conn: conn, opt: p.opt}, nil
 }
 
 // put returns a borrowed connection; a connection that just failed is

@@ -54,6 +54,7 @@ type SubscribeOptions struct {
 type Subscription struct {
 	addr string
 	opts SubscribeOptions
+	opt  options // transport options; auto-resume redials through these
 	ch   chan Change
 	quit chan struct{}
 	done chan struct{}
@@ -68,11 +69,14 @@ type Subscription struct {
 
 // Subscribe opens a change stream against a Journal Server. The
 // returned Subscription is already registered: every change committed
-// after its start cursor will be delivered.
-func Subscribe(addr string, opts SubscribeOptions) (*Subscription, error) {
+// after its start cursor will be delivered. Connection options (a custom
+// dialer, a connect timeout) apply to the initial dial and to every
+// auto-resume redial.
+func Subscribe(addr string, opts SubscribeOptions, copts ...Option) (*Subscription, error) {
 	s := &Subscription{
 		addr: addr,
 		opts: opts,
+		opt:  resolveOptions(copts),
 		ch:   make(chan Change, 64),
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
@@ -89,9 +93,16 @@ func Subscribe(addr string, opts SubscribeOptions) (*Subscription, error) {
 
 // Subscribe opens a change stream against the server this client is
 // connected to, on its own connection; the client remains usable for
-// request/response traffic alongside it.
+// request/response traffic alongside it. The stream inherits the
+// client's transport options, so a client on a custom dialer subscribes
+// (and auto-resumes) through that same transport.
 func (c *Client) Subscribe(opts SubscribeOptions) (*Subscription, error) {
-	return Subscribe(c.conn.RemoteAddr().String(), opts)
+	return Subscribe(c.conn.RemoteAddr().String(), opts, withResolved(c.opt))
+}
+
+// withResolved forwards an already-resolved options value.
+func withResolved(o options) Option {
+	return func(dst *options) { *dst = o }
 }
 
 // Events returns the delivery channel. It closes when the subscription
@@ -149,10 +160,12 @@ func (s *Subscription) isClosed() bool {
 	return s.closed
 }
 
-// dial opens a connection, performs the subscribe handshake, and
-// returns the server's starting cursor.
+// dial opens a connection through the subscription's transport options
+// (the same path the owning Client used, when created via
+// Client.Subscribe), performs the subscribe handshake, and returns the
+// server's starting cursor.
 func (s *Subscription) dial(fromNow bool, after uint64) (net.Conn, uint64, error) {
-	conn, err := net.DialTimeout("tcp", s.addr, 10*time.Second)
+	conn, err := s.opt.dial(s.addr)
 	if err != nil {
 		return nil, 0, fmt.Errorf("jclient: dial %s: %w", s.addr, err)
 	}

@@ -338,13 +338,12 @@ func (s *Server) SaveSnapshot() error {
 	return nil
 }
 
-// Listen binds addr ("host:port"; ":0" picks a free port) and starts
-// serving in the background. Addr() reports the bound address.
-func (s *Server) Listen(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
+// Serve starts serving connections accepted from ln in the background.
+// The listener may be anything satisfying net.Listener — a real TCP
+// socket, a net.Pipe-backed test listener, or a simulated one
+// (netsim.ListenTCP) — the server code never assumes *net.TCPConn.
+// The server takes ownership of ln; Close closes it.
+func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -354,6 +353,20 @@ func (s *Server) Listen(addr string) error {
 	}
 	return nil
 }
+
+// ListenAndServe binds addr ("host:port"; ":0" picks a free port) on TCP
+// and starts serving in the background. Addr() reports the bound address.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Listen is the historical name for ListenAndServe, kept so existing
+// call sites compile unchanged.
+func (s *Server) Listen(addr string) error { return s.ListenAndServe(addr) }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string {

@@ -1,0 +1,183 @@
+package jserver
+
+// Transport-agnosticism: the whole op set must work with neither endpoint
+// assuming *net.TCPConn. The server runs on a net.Pipe-backed listener;
+// the client dials through an injected Dialer. This is the contract the
+// emulytics harness (simulated TCP) relies on.
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+	"fremont/internal/netsim/pkt"
+)
+
+// pipeListener hands out the server halves of net.Pipe pairs.
+type pipeListener struct {
+	ch     chan net.Conn
+	done   chan struct{}
+	closer sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.closer.Do(func() { close(l.done) })
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe:mem" }
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// dial is the jclient.Dialer counterpart of Accept.
+func (l *pipeListener) dial(string) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+func TestFullOpSetOverInMemoryTransport(t *testing.T) {
+	s := New(nil)
+	ln := newPipeListener()
+	if err := s.Serve(ln); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	c, err := jclient.Dial("pipe:mem", jclient.WithDialer(ln.dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	// Ping + Stats.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ServerStats(); err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+
+	// Namespace scoping.
+	if err := c.Use("tenant-a"); err != nil {
+		t.Fatalf("Use: %v", err)
+	}
+
+	// Store.
+	obs := journal.IfaceObs{
+		IP: pkt.IPv4(128, 138, 238, 5), HasMAC: true,
+		MAC:  pkt.MAC{8, 0, 0x20, 1, 2, 3},
+		Name: "anchor.cs.colorado.edu", HasMask: true, Mask: pkt.MaskBits(24),
+		Source: journal.SrcARP, At: t0,
+	}
+	id, created, err := c.StoreInterface(obs)
+	if err != nil || !created || id == 0 {
+		t.Fatalf("StoreInterface = %d, %v, %v", id, created, err)
+	}
+
+	// Batch.
+	var b jclient.Batch
+	for i := 0; i < 5; i++ {
+		b.StoreInterface(journal.IfaceObs{
+			IP: pkt.IPv4(128, 138, 240, byte(10+i)), Source: journal.SrcICMP, At: t0,
+		})
+	}
+	results, err := c.StoreBatch(&b)
+	if err != nil {
+		t.Fatalf("StoreBatch: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("batch results = %d", len(results))
+	}
+
+	// Scan (cursor-paged).
+	var all []*journal.InterfaceRec
+	var cursor journal.ID
+	for {
+		page, next, more, err := c.ScanInterfaces(cursor, 2, journal.Query{})
+		if err != nil {
+			t.Fatalf("ScanInterfaces: %v", err)
+		}
+		all = append(all, page...)
+		if !more {
+			break
+		}
+		cursor = next
+	}
+	if len(all) != 6 {
+		t.Fatalf("scan returned %d records, want 6", len(all))
+	}
+
+	// Changes.
+	recs, _, _, err := c.InterfaceChanges(0, 100)
+	if err != nil {
+		t.Fatalf("InterfaceChanges: %v", err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("changes returned %d records, want 6", len(recs))
+	}
+
+	// The default namespace must not see tenant-a's records.
+	c2, err := jclient.Dial("pipe:mem", jclient.WithDialer(ln.dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	empty, err := c2.Interfaces(journal.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("default namespace sees %d tenant records", len(empty))
+	}
+
+	// Subscribe: its own pipe connection, inheriting the client's dialer
+	// through Client.Subscribe (subscriptions attach to the default
+	// namespace, so drive it from the unscoped client), then a live push.
+	sub, err := c2.Subscribe(jclient.SubscribeOptions{
+		Kinds: jwire.SubKindInterface, FromNow: true, NoResume: true,
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	t.Cleanup(func() { sub.Close() })
+	if _, _, err := c2.StoreInterface(journal.IfaceObs{
+		IP: pkt.IPv4(128, 138, 241, 77), Source: journal.SrcRIP, At: t0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-sub.Events():
+		if ev.Iface == nil || ev.Iface.IP != pkt.IPv4(128, 138, 241, 77) {
+			t.Fatalf("pushed change = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no subscription push over in-memory transport")
+	}
+}

@@ -46,6 +46,10 @@ type Network struct {
 	mTimerStops   *obs.Counter
 	mCompactions  *obs.Counter
 	lastSchedStat sim.SchedulerStats
+
+	// gate couples external goroutines (a jserver on a simulated
+	// listener) to the event loop; see gate.go and RunGated.
+	gate *gate
 }
 
 // New creates an empty network on a fresh scheduler seeded with seed.
@@ -55,6 +59,7 @@ func New(seed int64) *Network {
 		Sched:        sim.NewScheduler(seed),
 		byIP:         map[pkt.IP]*Iface{},
 		byName:       map[string]*Node{},
+		gate:         newGate(),
 		mFrames:      reg.Counter("netsim_frames_total"),
 		mBytes:       reg.Counter("netsim_frame_bytes_total"),
 		mDropped:     reg.Counter("netsim_dropped_total"),

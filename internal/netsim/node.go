@@ -105,6 +105,7 @@ type Node struct {
 	udpListeners map[uint16][]*UDPConn
 	udpHandlers  map[uint16]UDPHandler
 	ephemeral    uint16
+	tcp          *tcpHost // lazily created by tcpHost()
 
 	ipIDSeq uint16
 }
@@ -445,6 +446,8 @@ func (nd *Node) deliverLocal(ifc *Iface, p *pkt.IPv4Packet, rawIP []byte) bool {
 		return nd.deliverICMP(ifc, p, rawIP)
 	case pkt.ProtoUDP:
 		return nd.deliverUDP(ifc, p, rawIP)
+	case pkt.ProtoTCP:
+		return nd.deliverTCP(ifc, p)
 	default:
 		// "when the packet arrives at the destination, it will typically
 		// cause the destination host to send either an ICMP Protocol

@@ -1,0 +1,124 @@
+package pkt
+
+import "fmt"
+
+// TCP flag bits (RFC 793 control bits, low octet of the offset/flags word).
+const (
+	TCPFlagFIN byte = 0x01
+	TCPFlagSYN byte = 0x02
+	TCPFlagRST byte = 0x04
+	TCPFlagPSH byte = 0x08
+	TCPFlagACK byte = 0x10
+)
+
+// TCPSegment is an RFC 793 segment without options (data offset 5). The
+// simulator's userspace TCP (netsim.DialTCP / netsim.ListenTCP) carries
+// jwire frames in these; the checksum covers the RFC 793 pseudo-header,
+// computed via the same allocation-free PseudoChecksum the UDP encoder
+// uses.
+type TCPSegment struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   byte
+	Window  uint16
+	Payload []byte
+}
+
+const tcpHeaderLen = 20
+
+// Encode serializes the segment. src and dst are the IP addresses used in
+// the checksum pseudo-header.
+func (t *TCPSegment) Encode(src, dst IP) []byte {
+	return t.AppendEncode(nil, src, dst)
+}
+
+// AppendEncode serializes the segment onto b (which may be nil or a
+// recycled buffer), so retransmission paths can reuse buffers.
+func (t *TCPSegment) AppendEncode(b []byte, src, dst IP) []byte {
+	w := writer{b: b}
+	if cap(w.b)-len(w.b) < tcpHeaderLen+len(t.Payload) {
+		grown := make([]byte, len(w.b), len(w.b)+tcpHeaderLen+len(t.Payload))
+		copy(grown, w.b)
+		w.b = grown
+	}
+	base := len(w.b)
+	w.u16(t.SrcPort)
+	w.u16(t.DstPort)
+	w.u32(t.Seq)
+	w.u32(t.Ack)
+	w.u16(uint16(5)<<12 | uint16(t.Flags)) // data offset 5 words, no options
+	w.u16(t.Window)
+	w.u16(0) // checksum placeholder
+	w.u16(0) // urgent pointer (unused)
+	w.bytes(t.Payload)
+	w.setU16(base+16, PseudoChecksum(src, dst, ProtoTCP, w.b[base:]))
+	return w.b
+}
+
+// DecodeTCP parses a TCP segment and, when src is nonzero, verifies the
+// pseudo-header checksum.
+func DecodeTCP(b []byte, src, dst IP) (*TCPSegment, error) {
+	t := &TCPSegment{}
+	if err := DecodeTCPInto(t, b, src, dst); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeTCPInto parses into a caller-provided struct, so the receive hot
+// path can keep the segment on the stack. t.Payload aliases b.
+func DecodeTCPInto(t *TCPSegment, b []byte, src, dst IP) error {
+	if len(b) < tcpHeaderLen {
+		return overrun("tcp segment", len(b), tcpHeaderLen)
+	}
+	r := reader{b: b}
+	t.SrcPort = r.u16()
+	t.DstPort = r.u16()
+	t.Seq = r.u32()
+	t.Ack = r.u32()
+	offFlags := r.u16()
+	dataOff := int(offFlags>>12) * 4
+	t.Flags = byte(offFlags & 0x3f)
+	t.Window = r.u16()
+	r.u16() // checksum (verified below over the whole segment)
+	r.u16() // urgent pointer
+	if dataOff < tcpHeaderLen || dataOff > len(b) {
+		return fmt.Errorf("pkt: tcp data offset %d out of range", dataOff)
+	}
+	if !src.IsZero() {
+		if s := PseudoChecksum(src, dst, ProtoTCP, b); s != 0 && s != 0xffff {
+			return fmt.Errorf("pkt: tcp checksum mismatch")
+		}
+	}
+	t.Payload = b[dataOff:]
+	return r.err
+}
+
+// flagNames renders the control bits for transcripts and String.
+func tcpFlagString(f byte) string {
+	names := ""
+	add := func(bit byte, n string) {
+		if f&bit != 0 {
+			if names != "" {
+				names += "|"
+			}
+			names += n
+		}
+	}
+	add(TCPFlagSYN, "SYN")
+	add(TCPFlagFIN, "FIN")
+	add(TCPFlagRST, "RST")
+	add(TCPFlagPSH, "PSH")
+	add(TCPFlagACK, "ACK")
+	if names == "" {
+		names = "-"
+	}
+	return names
+}
+
+func (t *TCPSegment) String() string {
+	return fmt.Sprintf("tcp %d > %d %s seq %d ack %d win %d len %d",
+		t.SrcPort, t.DstPort, tcpFlagString(t.Flags), t.Seq, t.Ack, t.Window, len(t.Payload))
+}

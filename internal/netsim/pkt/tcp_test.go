@@ -1,0 +1,88 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, _ := ParseIP("10.1.1.10")
+	dst, _ := ParseIP("10.1.2.20")
+	seg := TCPSegment{
+		SrcPort: 33001,
+		DstPort: 7777,
+		Seq:     0x1234_5678,
+		Ack:     0x9abc_def0,
+		Flags:   TCPFlagACK | TCPFlagPSH,
+		Window:  8192,
+		Payload: []byte("journal frame bytes"),
+	}
+	raw := seg.Encode(src, dst)
+
+	var got TCPSegment
+	if err := DecodeTCPInto(&got, raw, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != seg.SrcPort || got.DstPort != seg.DstPort ||
+		got.Seq != seg.Seq || got.Ack != seg.Ack ||
+		got.Flags != seg.Flags || got.Window != seg.Window ||
+		!bytes.Equal(got.Payload, seg.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, seg)
+	}
+
+	// Heap variant agrees.
+	h, err := DecodeTCP(raw, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != got.String() {
+		t.Fatalf("DecodeTCP = %v, DecodeTCPInto = %v", h, &got)
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	src, _ := ParseIP("10.0.0.1")
+	dst, _ := ParseIP("10.0.0.2")
+	seg := TCPSegment{SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: TCPFlagSYN, Window: 100}
+	raw := seg.Encode(src, dst)
+
+	var got TCPSegment
+	if err := DecodeTCPInto(&got, raw, src, dst); err != nil {
+		t.Fatalf("clean segment rejected: %v", err)
+	}
+	raw[5] ^= 0x40 // flip a bit in the ports/seq region
+	if err := DecodeTCPInto(&got, raw, src, dst); err == nil {
+		t.Fatal("corrupted segment accepted")
+	}
+	// A wrong pseudo-header (misrouted packet) must also fail.
+	other, _ := ParseIP("10.0.0.3")
+	raw[5] ^= 0x40
+	if err := DecodeTCPInto(&got, raw, other, dst); err == nil {
+		t.Fatal("segment accepted with wrong pseudo-header source")
+	}
+}
+
+func TestTCPAppendEncodeReusesBuffer(t *testing.T) {
+	src, _ := ParseIP("10.0.0.1")
+	dst, _ := ParseIP("10.0.0.2")
+	seg := TCPSegment{SrcPort: 5, DstPort: 6, Seq: 7, Flags: TCPFlagACK, Window: 10, Payload: []byte("xyz")}
+	buf := make([]byte, 0, 256)
+	out := seg.AppendEncode(buf, src, dst)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendEncode reallocated despite sufficient capacity")
+	}
+	var got TCPSegment
+	if err := DecodeTCPInto(&got, out, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "xyz" {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestTCPDecodeTruncated(t *testing.T) {
+	var got TCPSegment
+	if err := DecodeTCPInto(&got, make([]byte, 10), 0, 0); err == nil {
+		t.Fatal("10-byte segment accepted")
+	}
+}

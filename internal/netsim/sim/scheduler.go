@@ -293,6 +293,31 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // RunFor runs the simulation for d of virtual time from the current moment.
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
+// HasEventBefore reports whether any queued entry (including a cancelled
+// one awaiting eviction) has a timestamp at or before t. Step on a
+// cancelled entry is a cheap no-op, so callers driving the queue manually
+// can treat "true" as "call Step again".
+func (s *Scheduler) HasEventBefore(t time.Duration) bool {
+	return len(s.queue) > 0 && s.queue[0].at <= t
+}
+
+// Step pops and runs the earliest queued entry (a no-op for a cancelled
+// timer). External run loops — netsim's gated emulytics mode — use it to
+// interleave events with goroutine quiescence checks.
+func (s *Scheduler) Step() {
+	if len(s.queue) > 0 {
+		s.step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without running events. Used by
+// external run loops after draining every event at or before t.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
 func (s *Scheduler) step() {
 	e := s.popRoot()
 	if e.slot >= 0 {
