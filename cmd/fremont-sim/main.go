@@ -7,6 +7,8 @@
 //	fremont-sim -table 5 -seed 1993  # one table
 //	fremont-sim -figure 2 -format dot
 //	fremont-sim -selfhost -loss 0.05 # self-hosted Fremont over simulated TCP
+//	fremont-sim -topology grid10k -sim 1m -cpuprofile cpu.pprof
+//	                                 # 100k-host sharded scale run, profiled
 package main
 
 import (
@@ -14,10 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fremont/internal/emulytics"
 	"fremont/internal/experiments"
+	"fremont/internal/netsim/grid"
 )
 
 func main() {
@@ -32,7 +37,29 @@ func main() {
 	stores := flag.Int("stores", 8, "selfhost: observations per explorer")
 	duration := flag.Duration("duration", 2*time.Minute, "selfhost: virtual-time horizon")
 	transcript := flag.String("transcript", "", "selfhost: write the scenario transcript to this file")
+	topology := flag.String("topology", "", "run a sharded scale simulation: grid (mid-size) or grid10k (10k subnets, 100k hosts)")
+	simFor := flag.Duration("sim", time.Minute, "topology: virtual time to simulate")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
+
+	if *topology != "" {
+		runTopology(*topology, *seed, *simFor)
+		return
+	}
 
 	if *selfhost {
 		runSelfhost(*seed, *loss, *explorers, *stores, *duration, *transcript)
@@ -130,6 +157,52 @@ func runSelfhost(seed int64, loss float64, explorers, stores int, duration time.
 	fmt.Printf("digest=%s\n", res.Digest)
 	fmt.Printf("records=%d frames=%d retransmits=%d requests=%d virtual=%s\n",
 		res.Records, res.Frames, res.Retransmits, res.Requests, res.VirtualElapsed)
+}
+
+// runTopology builds a sharded scale topology, simulates it for d of
+// virtual time in parallel, and prints a summary whose first line
+// ("digest=...") is the determinism witness — the same seed must print
+// the same digest at any GOMAXPROCS.
+func runTopology(name string, seed int64, d time.Duration) {
+	var cfg grid.Config
+	switch name {
+	case "grid":
+		cfg = grid.DefaultConfig()
+	case "grid10k":
+		cfg = grid.InternetScale()
+	default:
+		log.Fatalf("fremont-sim: unknown topology %q (want grid or grid10k)", name)
+	}
+	cfg.Seed = seed
+
+	start := time.Now()
+	g := grid.Build(cfg)
+	buildWall := time.Since(start)
+	defer g.Close()
+
+	start = time.Now()
+	g.Run(d)
+	simWall := time.Since(start)
+
+	st := g.Cluster.Stats()
+	fmt.Printf("digest=%s\n", g.Digest())
+	fmt.Printf("topology=%s shards=%d subnets=%d hosts=%d nodes=%d\n",
+		name, cfg.Shards, len(g.Subnets), g.Hosts, g.Nodes())
+	fmt.Printf("virtual=%s wall=%s build=%s sim-sec/wall-sec=%.0f\n",
+		d, simWall.Round(time.Millisecond), buildWall.Round(time.Millisecond),
+		d.Seconds()/simWall.Seconds())
+	fmt.Printf("frames=%d cross-frames=%d windows=%d idle-skips=%d\n",
+		g.TotalFrames(), st.CrossFrames, st.Windows, st.IdleSkips)
+}
+
+// writeMemProfile snapshots the heap (after a final GC) so scale runs can
+// be sized without code edits.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	runtime.GC()
+	check(pprof.WriteHeapProfile(f))
 }
 
 func check(err error) {

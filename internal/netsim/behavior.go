@@ -87,7 +87,7 @@ func (n *Network) StartRIP(nd *Node) *sim.Proc {
 
 func (nd *Node) sendRIPAdvertisement(out *Iface) {
 	outSubnet := out.Subnet()
-	var entries []pkt.RIPEntry
+	entries := nd.ripScratch[:0]
 	for _, r := range nd.Routes {
 		if r.Dst.Mask == 0 {
 			continue // default route not advertised
@@ -97,6 +97,7 @@ func (nd *Node) sendRIPAdvertisement(out *Iface) {
 		}
 		entries = append(entries, pkt.RIPEntry{Family: 2, Addr: r.Dst.Addr, Metric: uint32(r.Metric + 1)})
 	}
+	nd.ripScratch = entries // keep the grown buffer for the next period
 	nd.broadcastRIP(out, entries)
 }
 

@@ -1,6 +1,9 @@
 package campus
 
 import (
+	"bytes"
+	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -155,6 +158,99 @@ func TestDiurnalFactorShape(t *testing.T) {
 			t.Errorf("hour %d: factor %f out of range", h, f)
 		}
 	}
+}
+
+// serializeCampus renders every topology-relevant fact of a built campus
+// — nodes, interfaces, routes, behaviour knobs, ground truth, injected
+// faults — into one canonical byte string. Map iteration order is the
+// only nondeterminism in Go itself, so maps are emitted sorted.
+func serializeCampus(c *Campus) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "fremont=%s dns=%s backbone=%s cs=%s\n",
+		c.FremontIP, c.DNSServerIP, c.Backbone, c.CSSubnet)
+	for _, n := range c.Net.Nodes {
+		fmt.Fprintf(&b, "node %s router=%v up=%v echo=%v mask=%v maskval=%s udpecho=%v hostzero=%v dbcast=%v proxyarp=%v\n",
+			n.Name, n.IsRouter, n.Up, n.RespondsEcho, n.RespondsMask,
+			n.MaskReplyValue, n.UDPEchoEnabled, n.TreatsHostZeroAsSelf,
+			n.ForwardsDirectedBcast, n.ProxyARPFor)
+		for _, ifc := range n.Ifaces {
+			fmt.Fprintf(&b, "  iface %s %s %s seg=%s\n", ifc.IP, ifc.MAC, ifc.Mask, ifc.Seg.Name)
+		}
+		for _, rt := range n.Routes {
+			fmt.Fprintf(&b, "  route %s via %s dev %s metric=%d\n",
+				rt.Dst, rt.Gateway, rt.Iface.IP, rt.Metric)
+		}
+	}
+	fmt.Fprintf(&b, "assigned=%v\nlive=%v\n", c.Assigned, c.Live)
+	writeIPSet := func(label string, m map[pkt.IP]bool) {
+		ips := make([]pkt.IP, 0, len(m))
+		for ip := range m {
+			if m[ip] {
+				ips = append(ips, ip)
+			}
+		}
+		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+		fmt.Fprintf(&b, "%s=%v\n", label, ips)
+	}
+	writeIPSet("dnslisted", c.DNSListed)
+	writeIPSet("silent", c.SilentBehind)
+	writeIPSet("namedgw", c.NamedGWSubnet)
+	gwOf := make([]pkt.IP, 0, len(c.GatewayOf))
+	for ip := range c.GatewayOf {
+		gwOf = append(gwOf, ip)
+	}
+	sort.Slice(gwOf, func(i, j int) bool { return gwOf[i] < gwOf[j] })
+	for _, ip := range gwOf {
+		fmt.Fprintf(&b, "gwof %s=%s\n", ip, c.GatewayOf[ip])
+	}
+	names := make([]pkt.IP, 0, len(c.HostNames))
+	for ip := range c.HostNames {
+		names = append(names, ip)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, ip := range names {
+		fmt.Fprintf(&b, "name %s=%s\n", ip, c.HostNames[ip])
+	}
+	for _, gw := range c.Gateways {
+		fmt.Fprintf(&b, "gateway=%s\n", gw.Name)
+	}
+	for _, m := range c.CSMachines {
+		fmt.Fprintf(&b, "csmachine=%s\n", m.Name)
+	}
+	fmt.Fprintf(&b, "csreal=%d csdns=%d\nfaults=%+v\n", c.CSRealCount, c.CSDNSCount, c.Faults)
+	return b.Bytes()
+}
+
+// TestCampusDeterminismSerialized is the strong form of the determinism
+// guarantee: the same seed must yield a byte-identical topology AND
+// ground truth (DNS listings, silent subnets, fault plan) across two
+// independent builds, not merely matching node counts.
+func TestCampusDeterminismSerialized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InjectFaults = true
+	a := serializeCampus(Build(cfg))
+	b := serializeCampus(Build(cfg))
+	if !bytes.Equal(a, b) {
+		line := 1
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				break
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("two builds with the same seed differ (first divergence at line %d; %d vs %d bytes)",
+			line, len(a), len(b))
+	}
+	if cfg2 := DefaultConfig(); cfg2.Seed == cfg.Seed {
+		cfg2.Seed++
+		other := serializeCampus(Build(cfg2))
+		if bytes.Equal(a, other) {
+			t.Fatal("different seeds produced identical topologies; serialization is not sensitive enough")
+		}
+	}
+	t.Logf("campus serialization: %d bytes, stable across builds", len(a))
 }
 
 func TestDeterministicBuilds(t *testing.T) {

@@ -1,0 +1,277 @@
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// portal marks a Segment as one end of a cross-shard trunk. Frames that
+// survive the segment's loss model are captured into the owning shard's
+// crossOut buffer (with their arrival time in the peer shard's clock)
+// instead of being delivered locally.
+type portal struct {
+	peer    *Segment
+	latency time.Duration
+}
+
+// crossFrame is one encoded frame in flight between shards. raw may still
+// be referenced by a tap on the sending side (tapRetained), in which case
+// the receiving segment must not recycle the buffer.
+type crossFrame struct {
+	target      *Segment
+	at          time.Duration // arrival in the target shard's virtual time
+	dst         pkt.MAC
+	raw         []byte
+	bcast       bool
+	tapRetained bool
+}
+
+// Cluster couples independent shard Networks into one simulated
+// internetwork, executing them in parallel under conservative time
+// synchronization.
+//
+// Each shard is a complete Network with its own Scheduler, event heap and
+// random stream; shards interact only through bridged trunk segments.
+// The cluster runs all shards concurrently in windows no longer than the
+// lookahead — the minimum trunk latency — so a frame transmitted during a
+// window cannot arrive before the window ends. Captured frames are
+// exchanged at the barrier between windows and injected in a fixed order
+// (source-shard index, then capture order), which makes the whole run
+// bit-for-bit deterministic regardless of GOMAXPROCS or how the OS
+// schedules the shard worker goroutines.
+//
+// Windows in which no shard has a runnable event and no frame is in
+// flight are skipped in O(shards): the clock jumps straight to the next
+// event (see Run), so an idle internetwork costs nothing per unit of
+// virtual time.
+//
+// The single-network path (Network.Run) is untouched by all of this: a
+// Network that never joins a Cluster has no portals, an always-empty
+// crossOut, and executes today's exact event order.
+type Cluster struct {
+	Shards []*Network
+
+	lookahead time.Duration
+	now       time.Duration
+
+	// Persistent per-shard workers; running a window is two channel
+	// operations per shard and zero allocations.
+	work   []chan time.Duration
+	done   chan struct{}
+	closed bool
+
+	pending []crossFrame // captured last window, injected next window
+
+	stats ClusterStats
+}
+
+// ClusterStats counts the parallel runner's bookkeeping.
+type ClusterStats struct {
+	Windows     uint64 // synchronization windows executed
+	IdleSkips   uint64 // windows skipped because every shard was idle
+	CrossFrames uint64 // frames exchanged between shards
+}
+
+// NewCluster wraps the given shard networks. The shards must not be run
+// directly (via Network.Run) once clustered; drive them through
+// Cluster.Run instead.
+func NewCluster(shards []*Network) *Cluster {
+	cl := &Cluster{
+		Shards: shards,
+		done:   make(chan struct{}, len(shards)),
+	}
+	for i := range shards {
+		ch := make(chan time.Duration)
+		cl.work = append(cl.work, ch)
+		go func(net *Network, ch chan time.Duration) {
+			for t := range ch {
+				net.Sched.RunUntil(t)
+				cl.done <- struct{}{}
+			}
+		}(shards[i], ch)
+	}
+	return cl
+}
+
+// Bridge joins two trunk segments in different shards with the given
+// one-way latency. Frames transmitted on either segment are delivered to
+// the interfaces attached to the other, latency later. The latency must
+// be positive; the smallest latency over all bridges becomes the
+// cluster's lookahead, so longer trunks mean longer windows and fewer
+// barriers.
+func (cl *Cluster) Bridge(a, b *Segment, latency time.Duration) {
+	if latency <= 0 {
+		panic("netsim: Bridge latency must be positive")
+	}
+	if a.net == b.net {
+		panic("netsim: Bridge endpoints must live in different shards")
+	}
+	a.portal = &portal{peer: b, latency: latency}
+	b.portal = &portal{peer: a, latency: latency}
+	if cl.lookahead == 0 || latency < cl.lookahead {
+		cl.lookahead = latency
+	}
+}
+
+// Now returns the cluster's virtual time (the common shard time at the
+// last barrier).
+func (cl *Cluster) Now() time.Duration { return cl.now }
+
+// Stats returns a snapshot of the runner's counters.
+func (cl *Cluster) Stats() ClusterStats { return cl.stats }
+
+// Run advances every shard by d of virtual time under conservative
+// synchronization, then publishes engine stats.
+func (cl *Cluster) Run(d time.Duration) {
+	if cl.closed {
+		panic("netsim: Run on a closed Cluster")
+	}
+	end := cl.now + d
+	w := cl.lookahead
+	if w <= 0 {
+		// No bridges: the shards are fully independent, one window each.
+		w = d
+	}
+	for cl.now < end {
+		cl.inject()
+
+		target := cl.now + w
+		if target > end {
+			target = end
+		}
+		// Idle-window skip: if nothing is in flight, the next thing that
+		// can possibly happen anywhere is the globally earliest queued
+		// event. Jump the window so that event falls at its start; the
+		// window stays safe because no frame can be transmitted before
+		// it (transmitting requires an executing event).
+		earliest, any := cl.nextEventAt()
+		if !any {
+			cl.stats.IdleSkips++
+			target = end
+		} else if jump := earliest + w; jump > target {
+			cl.stats.IdleSkips++
+			target = jump
+			if target > end {
+				target = end
+			}
+		}
+
+		cl.runWindow(target)
+		cl.collect()
+		cl.now = target
+		cl.stats.Windows++
+	}
+	for _, sh := range cl.Shards {
+		sh.syncEngineStats()
+	}
+}
+
+// inject schedules every frame captured at the previous barrier into its
+// target shard. Order is fixed — source-shard index, then capture order —
+// and arrival timestamps are always >= the current barrier time, so the
+// target scheduler's (at, seq) ordering makes delivery deterministic.
+func (cl *Cluster) inject() {
+	for i := range cl.pending {
+		cf := &cl.pending[i]
+		seg := cf.target
+		d := seg.takeJob()
+		d.dst = cf.dst
+		d.raw = cf.raw
+		d.bcast = cf.bcast
+		d.tapRetained = cf.tapRetained
+		seg.net.Sched.AtEvent(cf.at, seg.deliverFn, d, 0)
+		cf.raw = nil
+	}
+	cl.pending = cl.pending[:0]
+}
+
+// nextEventAt returns the earliest queued event across all shards.
+func (cl *Cluster) nextEventAt() (time.Duration, bool) {
+	var earliest time.Duration
+	any := false
+	for _, sh := range cl.Shards {
+		if at, ok := sh.Sched.NextEventAt(); ok && (!any || at < earliest) {
+			earliest = at
+			any = true
+		}
+	}
+	return earliest, any
+}
+
+// runWindow runs every shard up to target, in parallel. The channel
+// handshakes order each worker's memory accesses before the barrier, so
+// the cluster goroutine may safely read shard state between windows.
+func (cl *Cluster) runWindow(target time.Duration) {
+	for _, ch := range cl.work {
+		ch <- target
+	}
+	for range cl.Shards {
+		<-cl.done
+	}
+}
+
+// collect drains each shard's outbound frames into the pending buffer, in
+// shard order.
+func (cl *Cluster) collect() {
+	for _, sh := range cl.Shards {
+		if len(sh.crossOut) == 0 {
+			continue
+		}
+		cl.pending = append(cl.pending, sh.crossOut...)
+		cl.stats.CrossFrames += uint64(len(sh.crossOut))
+		for i := range sh.crossOut {
+			sh.crossOut[i] = crossFrame{}
+		}
+		sh.crossOut = sh.crossOut[:0]
+	}
+}
+
+// Close shuts down the shard workers. The cluster must not be Run again.
+func (cl *Cluster) Close() {
+	if cl.closed {
+		return
+	}
+	cl.closed = true
+	for _, ch := range cl.work {
+		close(ch)
+	}
+}
+
+// TotalFrames sums frames transmitted across all shards.
+func (cl *Cluster) TotalFrames() int {
+	total := 0
+	for _, sh := range cl.Shards {
+		total += sh.TotalFrames()
+	}
+	return total
+}
+
+// Digest hashes the observable state of every shard — node and interface
+// traffic counters, ARP caches, segment statistics, scheduler progress —
+// into a hex string. Two runs of the same clustered topology must produce
+// identical digests regardless of GOMAXPROCS; the determinism tests rely
+// on this.
+func (cl *Cluster) Digest() string {
+	h := sha256.New()
+	for si, sh := range cl.Shards {
+		fmt.Fprintf(h, "shard %d now=%d executed=%d\n", si, sh.Sched.Now(), sh.Sched.Stats().Executed)
+		for _, seg := range sh.Segments {
+			st := seg.Stats
+			fmt.Fprintf(h, "seg %s f=%d b=%d d=%d bc=%d\n", seg.Name, st.Frames, st.Bytes, st.Dropped, st.Broadcasts)
+		}
+		for _, nd := range sh.Nodes {
+			fmt.Fprintf(h, "node %s up=%t\n", nd.Name, nd.Up)
+			for _, ifc := range nd.Ifaces {
+				fmt.Fprintf(h, " ifc %s %s tx=%d rx=%d\n", ifc.IP, ifc.MAC, ifc.TxFrames, ifc.RxFrames)
+			}
+			for _, e := range nd.ARPTable() {
+				fmt.Fprintf(h, " arp %s %s %d\n", e.IP, e.MAC, e.Age)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fremont/internal/netsim/pkt"
+)
+
+// twoShardWorld builds the smallest interesting cluster: a host and a
+// border router in each of two shards, joined by one bridged trunk.
+//
+//	a (10.0.0.10) — lanA — ra — trunk ⇄ trunk — rb — lanB — b (10.1.0.10)
+func twoShardWorld(t *testing.T, latency time.Duration) (*Cluster, *Network, *Network, *Node, *Node) {
+	t.Helper()
+	mask := pkt.MaskBits(24)
+	lanA := pkt.SubnetOf(pkt.IPv4(10, 0, 0, 0), mask)
+	lanB := pkt.SubnetOf(pkt.IPv4(10, 1, 0, 0), mask)
+	trunk := pkt.SubnetOf(pkt.IPv4(10, 9, 0, 0), mask)
+
+	n0 := New(1)
+	n0.SeedMACs(0)
+	segA := n0.NewSegment("lanA", lanA)
+	trunkA := n0.NewSegment("trunk", trunk)
+	a := n0.NewNode("a")
+	a.AddIface(segA, lanA.Addr+10, mask)
+	ra := n0.NewNode("ra")
+	ra.IsRouter = true
+	ra.AddIface(segA, lanA.Addr+1, mask)
+	ra.AddIface(trunkA, trunk.Addr+1, mask)
+	if err := a.AddDefaultRoute(lanA.Addr + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.AddRoute(lanB, trunk.Addr+2); err != nil {
+		t.Fatal(err)
+	}
+
+	n1 := New(2)
+	n1.SeedMACs(1 << 20)
+	segB := n1.NewSegment("lanB", lanB)
+	trunkB := n1.NewSegment("trunk", trunk)
+	b := n1.NewNode("b")
+	b.AddIface(segB, lanB.Addr+10, mask)
+	rb := n1.NewNode("rb")
+	rb.IsRouter = true
+	rb.AddIface(segB, lanB.Addr+1, mask)
+	rb.AddIface(trunkB, trunk.Addr+2, mask)
+	if err := b.AddDefaultRoute(lanB.Addr + 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.AddRoute(lanA, trunk.Addr+1); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := NewCluster([]*Network{n0, n1})
+	cl.Bridge(trunkA, trunkB, latency)
+	return cl, n0, n1, a, b
+}
+
+// TestClusterCrossShardEcho sends a UDP datagram from shard 0 to the echo
+// port of a host in shard 1 and expects the reply back — exercising ARP
+// across the trunk, portal capture, barrier exchange and injection in
+// both directions.
+func TestClusterCrossShardEcho(t *testing.T) {
+	cl, _, _, a, b := twoShardWorld(t, 2*time.Millisecond)
+	defer cl.Close()
+
+	conn, err := a.OpenUDP(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(b.Ifaces[0].IP, 7, []byte("ping across shards")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(500 * time.Millisecond)
+
+	ev, ok := conn.TryRecv()
+	if !ok {
+		t.Fatalf("no echo reply crossed the shard boundary; stats=%+v", cl.Stats())
+	}
+	if ev.Src != b.Ifaces[0].IP {
+		t.Errorf("echo reply from %s, want %s", ev.Src, b.Ifaces[0].IP)
+	}
+	if string(ev.Payload) != "ping across shards" {
+		t.Errorf("echo payload %q", ev.Payload)
+	}
+	st := cl.Stats()
+	// At minimum: ARP request broadcast + reply on the trunk, then the
+	// datagram and its echo reply.
+	if st.CrossFrames < 4 {
+		t.Errorf("CrossFrames = %d, want >= 4", st.CrossFrames)
+	}
+	if st.Windows == 0 {
+		t.Error("no synchronization windows executed")
+	}
+}
+
+// TestClusterIdleSkip checks that a quiescent cluster does not pay one
+// barrier per lookahead: after the exchange dies down, the window loop
+// must jump over idle virtual time.
+func TestClusterIdleSkip(t *testing.T) {
+	cl, _, _, a, b := twoShardWorld(t, 2*time.Millisecond)
+	defer cl.Close()
+
+	conn, err := a.OpenUDP(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(b.Ifaces[0].IP, 7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// An hour of virtual time at a 2ms lookahead would be 1.8M windows if
+	// idle time were walked window by window.
+	cl.Run(time.Hour)
+	st := cl.Stats()
+	if st.Windows > 1000 {
+		t.Errorf("Windows = %d; idle-window skip is not engaging", st.Windows)
+	}
+	if st.IdleSkips == 0 {
+		t.Error("IdleSkips = 0, want > 0")
+	}
+	if cl.Now() != time.Hour {
+		t.Errorf("Now() = %v, want 1h", cl.Now())
+	}
+}
+
+// TestClusterDigestDeterminism runs the same two-shard exchange twice and
+// expects bit-identical state digests.
+func TestClusterDigestDeterminism(t *testing.T) {
+	run := func() string {
+		cl, _, _, a, b := twoShardWorld(t, 2*time.Millisecond)
+		defer cl.Close()
+		conn, err := a.OpenUDP(5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(b.Ifaces[0].IP, 7, []byte("digest")); err != nil {
+			t.Fatal(err)
+		}
+		cl.Run(10 * time.Second)
+		return cl.Digest()
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Errorf("digests differ across identical runs:\n%s\n%s", d1, d2)
+	}
+}
+
+// TestBridgeValidation covers the Bridge preconditions.
+func TestBridgeValidation(t *testing.T) {
+	n0, n1 := New(1), New(2)
+	s0 := n0.NewSegment("x", pkt.SubnetOf(pkt.IPv4(10, 0, 0, 0), pkt.MaskBits(24)))
+	s1 := n1.NewSegment("y", pkt.SubnetOf(pkt.IPv4(10, 0, 0, 0), pkt.MaskBits(24)))
+	cl := NewCluster([]*Network{n0, n1})
+	defer cl.Close()
+
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("zero latency", func() { cl.Bridge(s0, s1, 0) })
+	expectPanic("same shard", func() {
+		s2 := n0.NewSegment("z", pkt.SubnetOf(pkt.IPv4(10, 1, 0, 0), pkt.MaskBits(24)))
+		cl.Bridge(s0, s2, time.Millisecond)
+	})
+}

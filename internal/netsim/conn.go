@@ -97,13 +97,20 @@ func (nd *Node) OpenUDP(port uint16) (*UDPConn, error) {
 		return nil, fmt.Errorf("netsim: %s: udp port %d has a service handler", nd.Name, port)
 	}
 	c := &UDPConn{node: nd, Port: port, mb: sim.NewBoundedMailbox[UDPEvent](nd.net.Sched, 1024)}
+	if nd.udpListeners == nil {
+		nd.udpListeners = make(map[uint16][]*UDPConn, 2)
+	}
 	nd.udpListeners[port] = append(nd.udpListeners[port], c)
 	return c, nil
 }
 
 // RegisterUDPService installs a protocol handler (e.g. the DNS server) on
-// a well-known port.
+// a well-known port. The handler table materializes on first use; plain
+// hosts never pay for one.
 func (nd *Node) RegisterUDPService(port uint16, h UDPHandler) {
+	if nd.udpHandlers == nil {
+		nd.udpHandlers = make(map[uint16]UDPHandler, 2)
+	}
 	nd.udpHandlers[port] = h
 }
 

@@ -1,0 +1,345 @@
+// Package grid builds parameterized internet-scale topologies for the
+// sharded simulator: S shards, each a complete campus-like network of
+// department subnets hanging off gateways on a core wire, joined into one
+// internetwork by trunk links in a hub-and-spoke between shard border
+// routers. At the paper-extrapolated scale — 10,000 subnets, 100,000
+// hosts — the topology exercises everything the compact core was built
+// for: slab-allocated nodes, lazy per-host state, indexed route lookups
+// on the high-degree hub, and conservative-time parallel execution
+// across shards (see netsim.Cluster).
+//
+// Everything is deterministic from Config.Seed: the same configuration
+// builds the byte-identical topology, ground truth and traffic schedule
+// on every run, at any GOMAXPROCS.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"fremont/internal/netsim"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/netsim/sim"
+)
+
+// Config parametrizes the grid. All knobs are deterministic functions of
+// Seed; fractions are applied per candidate with seeded draws.
+type Config struct {
+	Seed int64
+
+	Shards            int // parallel shards (border routers, trunk spokes)
+	Subnets           int // department subnets, split evenly across shards
+	HostsPerSubnet    int // plain hosts per department wire (<= 240)
+	SubnetsPerGateway int // department wires per gateway router
+	TrunkLatency      time.Duration
+
+	// Traffic.
+	RIP             bool          // periodic advertisements from dept gateways
+	ChatterPerShard int           // hosts per shard running background chatter
+	ChatterMean     time.Duration // mean chatter interval
+	CrossTalkers    int           // per-shard hosts probing the next shard
+	CrossPeriod     time.Duration // mean cross-shard probe interval
+
+	// Misbehaviour knobs, as fractions of the relevant population.
+	SilentGatewayFrac float64 // gateways with SilentICMPErrors
+	TTLEchoBugFrac    float64 // gateways with TTLEchoBug
+	WrongMaskFrac     float64 // hosts answering mask requests with /16
+	DownHostFrac      float64 // hosts powered off at build time
+}
+
+// DefaultConfig returns a mid-size grid: big enough to shard meaningfully
+// (4 shards, 64 subnets, 256 hosts), small enough for unit tests.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1993,
+		Shards:            4,
+		Subnets:           64,
+		HostsPerSubnet:    4,
+		SubnetsPerGateway: 4,
+		TrunkLatency:      2 * time.Millisecond,
+		RIP:               true,
+		ChatterPerShard:   4,
+		ChatterMean:       4 * time.Minute,
+		CrossTalkers:      2,
+		CrossPeriod:       20 * time.Second,
+		SilentGatewayFrac: 0.10,
+		TTLEchoBugFrac:    0.05,
+		WrongMaskFrac:     0.03,
+		DownHostFrac:      0.05,
+	}
+}
+
+// InternetScale returns the 10,000-subnet, 100,000-host configuration the
+// scale benchmark runs: the paper's campus extrapolated by two orders of
+// magnitude.
+func InternetScale() Config {
+	return Config{
+		Seed:              1993,
+		Shards:            16,
+		Subnets:           10000,
+		HostsPerSubnet:    10,
+		SubnetsPerGateway: 5,
+		TrunkLatency:      2 * time.Millisecond,
+		RIP:               true,
+		ChatterPerShard:   8,
+		ChatterMean:       10 * time.Minute,
+		CrossTalkers:      4,
+		CrossPeriod:       30 * time.Second,
+		SilentGatewayFrac: 0.10,
+		TTLEchoBugFrac:    0.03,
+		WrongMaskFrac:     0.02,
+		DownHostFrac:      0.05,
+	}
+}
+
+// Grid is the built internetwork plus its ground truth.
+type Grid struct {
+	Cfg     Config
+	Cluster *netsim.Cluster
+	Shards  []*netsim.Network
+
+	Subnets  []pkt.Subnet   // all department subnets, in shard order
+	Borders  []*netsim.Node // per-shard border router (Borders[0] is the hub)
+	Hosts    int            // plain department hosts
+	Gateways int            // department gateway routers
+
+	// Ground truth for the misbehaviour knobs.
+	SilentGateways []string // node names with SilentICMPErrors
+	TTLBugGateways []string
+	WrongMaskIPs   []pkt.IP
+	DownHostIPs    []pkt.IP
+}
+
+// Addressing plan: department subnet with global index k lives at
+// 10.(1+k/256).(k%256).0/24; shard i's core wire is 10.250.i.0/24 and its
+// trunk to the hub is 10.251.i.0/24 (hub side .1, spoke side .2).
+const (
+	hostBase = 10 // first host address on a department wire
+)
+
+func deptSubnet(k int) pkt.Subnet {
+	return pkt.SubnetOf(pkt.IPv4(10, byte(1+k/256), byte(k%256), 0), pkt.MaskBits(24))
+}
+
+// Build constructs the grid. It panics on configurations that overflow
+// the addressing plan (more than ~60k subnets, 240 hosts per wire, 240
+// gateways per shard, 249 shards).
+func Build(cfg Config) *Grid {
+	if cfg.Shards < 1 || cfg.Shards > 249 {
+		panic("grid: Shards must be in [1, 249]")
+	}
+	if cfg.HostsPerSubnet < 1 || cfg.HostsPerSubnet > 240 {
+		panic("grid: HostsPerSubnet must be in [1, 240]")
+	}
+	if cfg.SubnetsPerGateway < 1 {
+		panic("grid: SubnetsPerGateway must be positive")
+	}
+	if cfg.Subnets < cfg.Shards {
+		panic("grid: need at least one subnet per shard")
+	}
+	if 1+cfg.Subnets/256 > 249 {
+		panic("grid: too many subnets for the 10.x addressing plan")
+	}
+
+	g := &Grid{Cfg: cfg}
+	mask := pkt.MaskBits(24)
+
+	// Partition subnets into contiguous per-shard blocks.
+	per := cfg.Subnets / cfg.Shards
+	extra := cfg.Subnets % cfg.Shards
+	type shardPlan struct {
+		subnets []pkt.Subnet
+		gwIP    []pkt.IP // owning gateway's core address, per subnet
+	}
+	plans := make([]shardPlan, cfg.Shards)
+
+	k := 0
+	for i := 0; i < cfg.Shards; i++ {
+		cnt := per
+		if i < extra {
+			cnt++
+		}
+		for s := 0; s < cnt; s++ {
+			sn := deptSubnet(k)
+			plans[i].subnets = append(plans[i].subnets, sn)
+			g.Subnets = append(g.Subnets, sn)
+			k++
+		}
+	}
+
+	// --- Per-shard topology ---------------------------------------------
+	for i := 0; i < cfg.Shards; i++ {
+		// Distinct seeds per shard; disjoint MAC ranges so addresses are
+		// unique across the whole internetwork.
+		n := netsim.New(cfg.Seed + int64(i)*1000003)
+		n.SeedMACs(uint32(i) * 1 << 20)
+		g.Shards = append(g.Shards, n)
+		plan := &plans[i]
+
+		coreSubnet := pkt.SubnetOf(pkt.IPv4(10, 250, byte(i), 0), mask)
+		core := n.NewSegment(fmt.Sprintf("s%d-core", i), coreSubnet)
+
+		border := n.NewNode(fmt.Sprintf("s%d-border", i))
+		border.IsRouter = true
+		borderCoreIP := coreSubnet.Addr + 1
+		border.AddIface(core, borderCoreIP, mask)
+		g.Borders = append(g.Borders, border)
+
+		rng := n.Sched.Rand()
+		ngw := (len(plan.subnets) + cfg.SubnetsPerGateway - 1) / cfg.SubnetsPerGateway
+		if ngw > 240 {
+			panic("grid: too many gateways per shard; raise SubnetsPerGateway")
+		}
+		for gi := 0; gi < ngw; gi++ {
+			gw := n.NewNode(fmt.Sprintf("s%d-gw%d", i, gi))
+			gw.IsRouter = true
+			gw.RespondsMask = true
+			gw.AddIface(core, coreSubnet.Addr+pkt.IP(hostBase+gi), mask)
+			if rng.Float64() < cfg.SilentGatewayFrac {
+				gw.SilentICMPErrors = true
+				g.SilentGateways = append(g.SilentGateways, gw.Name)
+			} else if rng.Float64() < cfg.TTLEchoBugFrac {
+				gw.TTLEchoBug = true
+				g.TTLBugGateways = append(g.TTLBugGateways, gw.Name)
+			}
+			g.Gateways++
+
+			lo := gi * cfg.SubnetsPerGateway
+			hi := min(lo+cfg.SubnetsPerGateway, len(plan.subnets))
+			for s := lo; s < hi; s++ {
+				sn := plan.subnets[s]
+				seg := n.NewSegment(fmt.Sprintf("s%d-net%d", i, s), sn)
+				gwIfc := gw.AddIface(seg, sn.Addr+1, mask)
+				plan.gwIP = append(plan.gwIP, coreSubnet.Addr+pkt.IP(hostBase+gi))
+				for h := 0; h < cfg.HostsPerSubnet; h++ {
+					host := n.NewNode(fmt.Sprintf("s%d-n%d-h%d", i, s, h))
+					host.AddIface(seg, sn.Addr+pkt.IP(hostBase+h), mask)
+					_ = host.AddDefaultRoute(gwIfc.IP)
+					if rng.Float64() < cfg.WrongMaskFrac {
+						host.RespondsMask = true
+						host.MaskReplyValue = pkt.MaskBits(16)
+						g.WrongMaskIPs = append(g.WrongMaskIPs, host.Ifaces[0].IP)
+					}
+					if rng.Float64() < cfg.DownHostFrac {
+						host.SetUp(false)
+						g.DownHostIPs = append(g.DownHostIPs, host.Ifaces[0].IP)
+					}
+					g.Hosts++
+				}
+			}
+			_ = gw.AddDefaultRoute(borderCoreIP)
+			if cfg.RIP {
+				n.StartRIP(gw)
+			}
+		}
+
+		// Border routing to local department subnets via their gateways.
+		for s, sn := range plan.subnets {
+			_ = border.AddRoute(sn, plan.gwIP[s])
+		}
+	}
+
+	// --- Trunks: hub-and-spoke between borders ---------------------------
+	g.Cluster = netsim.NewCluster(g.Shards)
+	hub := g.Borders[0]
+	for i := 1; i < cfg.Shards; i++ {
+		trunkSubnet := pkt.SubnetOf(pkt.IPv4(10, 251, byte(i), 0), mask)
+		hubSeg := g.Shards[0].NewSegment(fmt.Sprintf("trunk%d", i), trunkSubnet)
+		spokeSeg := g.Shards[i].NewSegment(fmt.Sprintf("trunk%d", i), trunkSubnet)
+		hub.AddIface(hubSeg, trunkSubnet.Addr+1, mask)
+		g.Borders[i].AddIface(spokeSeg, trunkSubnet.Addr+2, mask)
+		g.Cluster.Bridge(hubSeg, spokeSeg, cfg.TrunkLatency)
+
+		// Spoke: everything non-local goes to the hub. Hub: every remote
+		// shard's subnets route down its trunk.
+		_ = g.Borders[i].AddDefaultRoute(trunkSubnet.Addr + 1)
+		for _, sn := range plans[i].subnets {
+			_ = hub.AddRoute(sn, trunkSubnet.Addr+2)
+		}
+	}
+
+	// --- Traffic ----------------------------------------------------------
+	for i := 0; i < cfg.Shards; i++ {
+		g.startTraffic(i, plans[i].subnets)
+	}
+	return g
+}
+
+// hostIP returns the address of host h on department subnet s of shard i.
+func (g *Grid) hostIP(shard, s, h int) pkt.IP {
+	per := g.Cfg.Subnets / g.Cfg.Shards
+	extra := g.Cfg.Subnets % g.Cfg.Shards
+	base := shard*per + min(shard, extra)
+	return g.Subnets[base+s].Addr + pkt.IP(hostBase+h)
+}
+
+// startTraffic plants chatter and cross-shard probes on a deterministic
+// sample of shard i's hosts.
+func (g *Grid) startTraffic(i int, subnets []pkt.Subnet) {
+	cfg := g.Cfg
+	n := g.Shards[i]
+
+	for c := 0; c < cfg.ChatterPerShard; c++ {
+		s := c * len(subnets) / max(cfg.ChatterPerShard, 1)
+		host := n.IfaceByIP(subnets[s].Addr + hostBase).Node
+		n.StartChatter(host, cfg.ChatterMean)
+	}
+
+	// Cross-shard talkers: a host here probes the UDP echo port of a host
+	// in the next shard, so frames (probe, echo reply, and the talker's
+	// port-unreachable for the reply) cross the trunks both ways.
+	if cfg.Shards < 2 {
+		return
+	}
+	for c := 0; c < cfg.CrossTalkers; c++ {
+		s := c * len(subnets) / max(cfg.CrossTalkers, 1)
+		h := min(1, cfg.HostsPerSubnet-1)
+		src := n.IfaceByIP(subnets[s].Addr + pkt.IP(hostBase+h)).Node
+		dst := g.hostIP((i+1)%cfg.Shards, s%g.shardSubnetCount((i+1)%cfg.Shards), 0)
+		period := cfg.CrossPeriod
+		n.Sched.Spawn(fmt.Sprintf("cross:%s", src.Name), func(p *sim.Proc) {
+			conn, err := src.OpenUDP(0)
+			if err != nil {
+				return
+			}
+			rng := n.Sched.Rand()
+			payload := []byte("grid-probe")
+			for {
+				p.Sleep(period/2 + time.Duration(rng.Int63n(int64(period))))
+				if src.Up {
+					_ = conn.Send(dst, 7, payload)
+				}
+			}
+		})
+	}
+}
+
+// shardSubnetCount returns how many department subnets shard i owns.
+func (g *Grid) shardSubnetCount(i int) int {
+	per := g.Cfg.Subnets / g.Cfg.Shards
+	if i < g.Cfg.Subnets%g.Cfg.Shards {
+		per++
+	}
+	return per
+}
+
+// Run advances the whole internetwork by d of virtual time.
+func (g *Grid) Run(d time.Duration) { g.Cluster.Run(d) }
+
+// Digest returns the cluster state hash; see netsim.Cluster.Digest.
+func (g *Grid) Digest() string { return g.Cluster.Digest() }
+
+// TotalFrames sums frames across all shards.
+func (g *Grid) TotalFrames() int { return g.Cluster.TotalFrames() }
+
+// Nodes returns the total node count (hosts, gateways, borders).
+func (g *Grid) Nodes() int {
+	total := 0
+	for _, sh := range g.Shards {
+		total += len(sh.Nodes)
+	}
+	return total
+}
+
+// Close releases the cluster's shard workers.
+func (g *Grid) Close() { g.Cluster.Close() }

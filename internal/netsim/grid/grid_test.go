@@ -1,0 +1,102 @@
+package grid
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestBuildCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	g := Build(cfg)
+	defer g.Close()
+
+	if g.Hosts != cfg.Subnets*cfg.HostsPerSubnet {
+		t.Errorf("Hosts = %d, want %d", g.Hosts, cfg.Subnets*cfg.HostsPerSubnet)
+	}
+	if len(g.Subnets) != cfg.Subnets {
+		t.Errorf("Subnets = %d, want %d", len(g.Subnets), cfg.Subnets)
+	}
+	if len(g.Shards) != cfg.Shards || len(g.Borders) != cfg.Shards {
+		t.Errorf("shards = %d borders = %d, want %d", len(g.Shards), len(g.Borders), cfg.Shards)
+	}
+	wantNodes := g.Hosts + g.Gateways + cfg.Shards
+	if g.Nodes() != wantNodes {
+		t.Errorf("Nodes() = %d, want %d", g.Nodes(), wantNodes)
+	}
+	// The hub carries a route for every remote subnet plus its own —
+	// exactly the high-degree table the route index exists for.
+	hubRoutes := len(g.Borders[0].Routes)
+	if hubRoutes < cfg.Subnets {
+		t.Errorf("hub has %d routes, want >= %d", hubRoutes, cfg.Subnets)
+	}
+}
+
+// TestBuildDeterminism builds the same configuration twice and expects
+// byte-identical topology and ground truth — before any traffic runs.
+func TestBuildDeterminism(t *testing.T) {
+	g1 := Build(DefaultConfig())
+	defer g1.Close()
+	g2 := Build(DefaultConfig())
+	defer g2.Close()
+
+	if d1, d2 := g1.Digest(), g2.Digest(); d1 != d2 {
+		t.Errorf("topology digests differ:\n%s\n%s", d1, d2)
+	}
+	if len(g1.SilentGateways) != len(g2.SilentGateways) ||
+		len(g1.WrongMaskIPs) != len(g2.WrongMaskIPs) ||
+		len(g1.DownHostIPs) != len(g2.DownHostIPs) {
+		t.Error("ground-truth populations differ between identical builds")
+	}
+	for i := range g1.SilentGateways {
+		if g1.SilentGateways[i] != g2.SilentGateways[i] {
+			t.Fatalf("silent gateway %d: %s vs %s", i, g1.SilentGateways[i], g2.SilentGateways[i])
+		}
+	}
+	for i := range g1.DownHostIPs {
+		if g1.DownHostIPs[i] != g2.DownHostIPs[i] {
+			t.Fatalf("down host %d: %s vs %s", i, g1.DownHostIPs[i], g2.DownHostIPs[i])
+		}
+	}
+}
+
+// TestGridDeterminismAcrossGOMAXPROCS is the sharded-scheduler
+// determinism gate: the same mid-size grid must produce bit-identical
+// state digests when its shards run on 1, 2 and 8 OS threads. Run under
+// -race in CI.
+func TestGridDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	runAt := func(procs int) string {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		g := Build(DefaultConfig())
+		defer g.Close()
+		g.Run(45 * time.Second)
+		if g.TotalFrames() == 0 {
+			t.Fatal("no traffic simulated")
+		}
+		return g.Digest()
+	}
+	d1 := runAt(1)
+	d2 := runAt(2)
+	d8 := runAt(8)
+	if d1 != d2 || d2 != d8 {
+		t.Errorf("digests diverge across GOMAXPROCS:\n 1: %s\n 2: %s\n 8: %s", d1, d2, d8)
+	}
+}
+
+// TestCrossShardTraffic checks that the generated workload actually
+// exercises the trunks: cross-shard frames must flow in a short run.
+func TestCrossShardTraffic(t *testing.T) {
+	g := Build(DefaultConfig())
+	defer g.Close()
+	g.Run(2 * time.Minute)
+	st := g.Cluster.Stats()
+	if st.CrossFrames == 0 {
+		t.Error("no frames crossed shard boundaries")
+	}
+	if st.Windows == 0 {
+		t.Error("no synchronization windows executed")
+	}
+	if st.IdleSkips == 0 {
+		t.Error("idle-window skip never engaged")
+	}
+}

@@ -30,6 +30,11 @@ type Network struct {
 	byIP   map[pkt.IP]*Iface
 	byName map[string]*Node
 
+	// Slab arenas for the topology objects; see arena.go. Pointers into
+	// a slab are stable, so *Node/*Iface handles stay valid forever.
+	nodeArena  arena[Node]
+	ifaceArena arena[Iface]
+
 	macSeq uint32
 
 	// Process-wide traffic totals (obs.Default()), cached here so the
@@ -50,6 +55,11 @@ type Network struct {
 	// gate couples external goroutines (a jserver on a simulated
 	// listener) to the event loop; see gate.go and RunGated.
 	gate *gate
+
+	// crossOut buffers frames transmitted onto portal segments during a
+	// conservative-sync window; the owning Cluster drains it at each
+	// barrier. Always empty for a standalone network.
+	crossOut []crossFrame
 }
 
 // New creates an empty network on a fresh scheduler seeded with seed.
@@ -89,13 +99,19 @@ func (n *Network) NewSegment(name string, subnet pkt.Subnet) *Segment {
 	return seg
 }
 
-// NewNode adds a node (host or router) with no interfaces yet.
+// NewNode adds a node (host or router) with no interfaces yet. Nodes are
+// slab-allocated and start with no behaviour state: the ARP cache,
+// pending-resolution table, and UDP listener/handler maps are all nil
+// until the node first needs them, so an untouched host costs nothing
+// beyond its struct and name.
 func (n *Network) NewNode(name string) *Node {
 	if _, dup := n.byName[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
 	}
-	node := &Node{
+	node := n.nodeArena.alloc()
+	*node = Node{
 		net:  n,
+		ID:   NodeID(len(n.Nodes)),
 		Name: name,
 		Up:   true,
 		// RFC-conformant defaults; builders flip these to model the
@@ -104,16 +120,15 @@ func (n *Network) NewNode(name string) *Node {
 		RespondsMask:         false, // "not as widely implemented as echo"
 		UDPEchoEnabled:       true,
 		TreatsHostZeroAsSelf: true,
-		arp:                  map[pkt.IP]*arpEntry{},
-		arpPending:           map[pkt.IP]*arpWait{},
-		udpListeners:         map[uint16][]*UDPConn{},
-		udpHandlers:          map[uint16]UDPHandler{},
 		ARPCacheTTL:          20 * time.Minute,
 	}
 	n.Nodes = append(n.Nodes, node)
 	n.byName[name] = node
 	return node
 }
+
+// NodeByID returns the node with the given index handle.
+func (n *Network) NodeByID(id NodeID) *Node { return n.Nodes[id] }
 
 // Node returns the node with the given name, or nil.
 func (n *Network) Node(name string) *Node { return n.byName[name] }
@@ -128,6 +143,12 @@ func (n *Network) nextMAC() pkt.MAC {
 	s := n.macSeq
 	return pkt.MAC{0x08, 0x00, 0x20, byte(s >> 16), byte(s >> 8), byte(s)}
 }
+
+// SeedMACs offsets this network's MAC allocation sequence. Sharded
+// topologies (see Cluster) give each shard a disjoint range so addresses
+// stay unique across the whole simulated internetwork, not just within
+// one shard.
+func (n *Network) SeedMACs(base uint32) { n.macSeq = base }
 
 // Run advances the simulation for d of virtual time.
 func (n *Network) Run(d time.Duration) {

@@ -34,12 +34,32 @@ func (ifc *Iface) String() string {
 }
 
 // Route is a routing table entry. A zero Gateway means the destination is
-// directly connected.
+// directly connected. Code that mutates Routes entries in place (rather
+// than through AddRoute) must call InvalidateRoutes afterwards so a
+// high-degree router's lookup index is rebuilt.
 type Route struct {
 	Dst     pkt.Subnet
 	Gateway pkt.IP
 	Iface   *Iface
 	Metric  int
+}
+
+// routeIndexMin is the route count at which a node switches from the
+// linear longest-prefix scan to the indexed lookup. Hosts and small
+// routers stay on the scan (cheaper than hashing for a handful of
+// routes); the grid topology's border routers carry one route per
+// remote subnet and need the index to stay O(1)-ish per packet.
+const routeIndexMin = 16
+
+// routeIndex answers longest-prefix-match lookups in O(distinct masks)
+// instead of O(routes). It reproduces the linear scan's result exactly:
+// per distinct destination the first installed route wins, and a more
+// specific mask beats a less specific one. Routes whose Dst is not
+// normalized (host bits set under their own mask) can never match the
+// linear scan's Contains check, so they are excluded here too.
+type routeIndex struct {
+	byDst map[pkt.Subnet]Route
+	masks []pkt.Mask // distinct masks, most specific first
 }
 
 type arpEntry struct {
@@ -67,9 +87,18 @@ type ARPEntry struct {
 // the node.
 type UDPHandler func(node *Node, src pkt.IP, srcPort uint16, dst pkt.IP, payload []byte)
 
-// Node is a simulated host or router.
+// NodeID is a compact index handle for a node: its position in the
+// owning Network's Nodes slice.
+type NodeID int32
+
+// Node is a simulated host or router. Nodes are slab-allocated by the
+// Network's arena, and the per-host behaviour state (ARP cache, pending
+// resolutions, UDP listener tables) is materialized lazily on first
+// touch — a host that never sends or receives a frame costs its struct,
+// its name, and nothing else.
 type Node struct {
 	net    *Network
+	ID     NodeID
 	Name   string
 	Ifaces []*Iface
 	Routes []Route
@@ -98,8 +127,19 @@ type Node struct {
 
 	ARPCacheTTL time.Duration
 
-	arp        map[pkt.IP]*arpEntry
+	// All maps below are nil until first touched. Entries are value-typed
+	// where refresh-in-place would otherwise force a pointer per entry.
+	arp        map[pkt.IP]arpEntry
 	arpPending map[pkt.IP]*arpWait
+
+	rtIndex *routeIndex
+	rtDirty bool
+
+	// ripScratch is the reusable entry buffer for periodic RIP
+	// advertisements; with thousands of advertising gateways the
+	// per-period slice growth would otherwise dominate steady-state
+	// allocation.
+	ripScratch []pkt.RIPEntry
 
 	icmpConns    []*ICMPConn
 	udpListeners map[uint16][]*UDPConn
@@ -113,13 +153,15 @@ type Node struct {
 // AddIface attaches the node to a segment with the given address and mask,
 // allocating a MAC, and installs the connected route.
 func (nd *Node) AddIface(seg *Segment, ip pkt.IP, mask pkt.Mask) *Iface {
-	ifc := &Iface{Node: nd, MAC: nd.net.nextMAC(), IP: ip, Mask: mask, Seg: seg}
+	ifc := nd.net.ifaceArena.alloc()
+	*ifc = Iface{Node: nd, MAC: nd.net.nextMAC(), IP: ip, Mask: mask, Seg: seg}
 	nd.Ifaces = append(nd.Ifaces, ifc)
 	seg.attach(ifc)
 	if prev, dup := nd.net.byIP[ip]; !dup || prev == nil {
 		nd.net.byIP[ip] = ifc
 	}
 	nd.Routes = append(nd.Routes, Route{Dst: pkt.SubnetOf(ip, mask), Iface: ifc})
+	nd.rtDirty = true
 	return ifc
 }
 
@@ -138,19 +180,38 @@ func (nd *Node) AddRoute(dst pkt.Subnet, gateway pkt.IP) error {
 	for _, ifc := range nd.Ifaces {
 		if ifc.Subnet().Contains(gateway) {
 			nd.Routes = append(nd.Routes, Route{Dst: dst, Gateway: gateway, Iface: ifc, Metric: 1})
+			nd.rtDirty = true
 			return nil
 		}
 	}
 	return fmt.Errorf("netsim: %s: gateway %s not on a connected subnet", nd.Name, gateway)
 }
 
+// InvalidateRoutes marks the routing table changed after an in-place
+// mutation of the Routes slice, forcing the next lookup to rebuild the
+// high-degree route index. AddIface/AddRoute call it implicitly.
+func (nd *Node) InvalidateRoutes() { nd.rtDirty = true }
+
 // AddDefaultRoute installs 0.0.0.0/0 via gateway.
 func (nd *Node) AddDefaultRoute(gateway pkt.IP) error {
 	return nd.AddRoute(pkt.Subnet{Addr: 0, Mask: 0}, gateway)
 }
 
-// lookupRoute returns the longest-prefix-match route for dst.
+// lookupRoute returns the longest-prefix-match route for dst. Small
+// tables use a linear scan; tables past routeIndexMin go through a
+// per-mask hash index that returns the identical route.
 func (nd *Node) lookupRoute(dst pkt.IP) (Route, bool) {
+	if len(nd.Routes) >= routeIndexMin {
+		if nd.rtDirty || nd.rtIndex == nil {
+			nd.buildRouteIndex()
+		}
+		for _, m := range nd.rtIndex.masks {
+			if r, ok := nd.rtIndex.byDst[pkt.SubnetOf(dst, m)]; ok {
+				return r, true
+			}
+		}
+		return Route{}, false
+	}
 	best := -1
 	var bestRoute Route
 	for _, r := range nd.Routes {
@@ -164,6 +225,41 @@ func (nd *Node) lookupRoute(dst pkt.IP) (Route, bool) {
 	return bestRoute, best >= 0
 }
 
+// buildRouteIndex (re)builds the longest-prefix index from the Routes
+// slice. First route per destination wins, matching the linear scan's
+// strict-improvement tie-break; unnormalized destinations are skipped
+// because Contains can never match them.
+func (nd *Node) buildRouteIndex() {
+	idx := nd.rtIndex
+	if idx == nil {
+		idx = &routeIndex{}
+		nd.rtIndex = idx
+	}
+	idx.byDst = make(map[pkt.Subnet]Route, len(nd.Routes))
+	idx.masks = idx.masks[:0]
+	for _, r := range nd.Routes {
+		if pkt.IP(uint32(r.Dst.Addr)&uint32(r.Dst.Mask)) != r.Dst.Addr {
+			continue
+		}
+		if _, dup := idx.byDst[r.Dst]; dup {
+			continue
+		}
+		idx.byDst[r.Dst] = r
+		seen := false
+		for _, m := range idx.masks {
+			if m == r.Dst.Mask {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			idx.masks = append(idx.masks, r.Dst.Mask)
+		}
+	}
+	sort.Slice(idx.masks, func(i, j int) bool { return idx.masks[i].Bits() > idx.masks[j].Bits() })
+	nd.rtDirty = false
+}
+
 // HasIP reports whether ip is one of the node's interface addresses.
 func (nd *Node) HasIP(ip pkt.IP) bool {
 	for _, ifc := range nd.Ifaces {
@@ -174,17 +270,15 @@ func (nd *Node) HasIP(ip pkt.IP) bool {
 	return false
 }
 
-// learnARP installs or refreshes a cache entry. Refreshing mutates the
-// existing record in place: broadcast-heavy wires refresh neighbours on
-// nearly every frame, and this path must not allocate.
+// learnARP installs or refreshes a cache entry. Entries are values, so
+// a refresh is a plain map assignment: broadcast-heavy wires refresh
+// neighbours on nearly every frame, and this path must not allocate.
+// The cache itself materializes on the first learned mapping.
 func (nd *Node) learnARP(ip pkt.IP, mac pkt.MAC) {
-	now := nd.net.Sched.Now()
-	if e, ok := nd.arp[ip]; ok {
-		e.mac = mac
-		e.learned = now
-		return
+	if nd.arp == nil {
+		nd.arp = make(map[pkt.IP]arpEntry, 4)
 	}
-	nd.arp[ip] = &arpEntry{mac: mac, learned: now}
+	nd.arp[ip] = arpEntry{mac: mac, learned: nd.net.Sched.Now()}
 }
 
 // ARPTable returns a sorted snapshot of the node's ARP cache (live entries
@@ -202,8 +296,9 @@ func (nd *Node) ARPTable() []ARPEntry {
 	return out
 }
 
-// FlushARP clears the node's ARP cache.
-func (nd *Node) FlushARP() { nd.arp = map[pkt.IP]*arpEntry{} }
+// FlushARP clears the node's ARP cache (back to the unmaterialized
+// zero-cost state).
+func (nd *Node) FlushARP() { nd.arp = nil }
 
 // SetUp changes the node's liveness. A down node neither receives nor
 // sends.
@@ -276,6 +371,9 @@ func (nd *Node) transmitIP(ifc *Iface, raw []byte, nexthop pkt.IP) {
 	// ARP miss: queue and resolve.
 	w, pending := nd.arpPending[nexthop]
 	if !pending {
+		if nd.arpPending == nil {
+			nd.arpPending = make(map[pkt.IP]*arpWait, 2)
+		}
 		w = &arpWait{ifc: ifc}
 		nd.arpPending[nexthop] = w
 		nd.sendARPRequest(ifc, nexthop)

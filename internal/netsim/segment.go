@@ -49,6 +49,13 @@ type Segment struct {
 	byMAC  map[pkt.MAC]*Iface // unicast index; first-attached wins on duplicates
 	taps   []*Tap
 
+	// portal, when non-nil, marks this segment as one end of a
+	// cross-shard trunk (see Cluster.Bridge). Frames that survive the
+	// wire are captured into the shard's outbound buffer instead of being
+	// delivered locally; the cluster injects them into the peer shard at
+	// the next conservative-sync barrier.
+	portal *portal
+
 	// Transmissions inside the collision window, a time-ordered ring.
 	txBuf  []time.Duration // power-of-two length
 	txHead int
@@ -163,6 +170,21 @@ func (s *Segment) Transmit(from *Iface, frame *pkt.Frame) {
 		if tap.offer(raw) {
 			tapRetained = true
 		}
+	}
+
+	if s.portal != nil {
+		// Cross-shard trunk: the frame leaves this shard's event
+		// horizon. Capture it for barrier exchange; the trunk latency
+		// (>= the cluster lookahead) replaces the segment latency.
+		s.net.crossOut = append(s.net.crossOut, crossFrame{
+			target:      s.portal.peer,
+			at:          now + s.portal.latency,
+			dst:         frame.Dst,
+			raw:         raw,
+			bcast:       bcast,
+			tapRetained: tapRetained,
+		})
+		return
 	}
 
 	d := s.takeJob()

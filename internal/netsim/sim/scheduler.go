@@ -266,6 +266,18 @@ func (s *Scheduler) maybeCompact() {
 // Pending reports the number of live (non-cancelled) queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) - s.ncancelled }
 
+// NextEventAt returns the timestamp of the earliest queued entry and
+// whether the queue is non-empty. Cancelled timers awaiting eviction
+// are included, which only makes the answer conservative (earlier).
+// Sharded run loops (netsim.Cluster) use it to skip conservative-sync
+// windows in which no shard has anything to do.
+func (s *Scheduler) NextEventAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Stop makes the current Run/RunUntil call return after the current event
 // completes.
 func (s *Scheduler) Stop() { s.stopped = true }

@@ -20,9 +20,18 @@ BENCH_LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$")
 
 
 def parse(path):
-    """Return {bench name: {unit: value}} for every benchmark line."""
+    """Return {bench name: {unit: value}} for every benchmark line.
+
+    Every value-unit pair on a benchmark line is captured — ns/op and the
+    -benchmem columns (B/op, allocs/op) exactly like custom ReportMetric
+    units — so baselines can gate allocation regressions, not just time.
+    """
     metrics = {}
-    with open(path) as f:
+    try:
+        f = open(path)
+    except OSError as e:
+        sys.exit(f"::error::benchgate: cannot read bench output {path}: {e}")
+    with f:
         for line in f:
             m = BENCH_LINE.match(line.strip())
             if not m:
