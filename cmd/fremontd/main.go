@@ -56,6 +56,8 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for the write-ahead log (empty disables the WAL)")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always, interval, or never")
 	walSegSize := flag.Int64("wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
+	walGroupMax := flag.Int("wal-group-max", wal.DefaultGroupMax, "max records coalesced into one WAL commit group")
+	walGroupWait := flag.Duration("wal-group-wait", 0, "how long a commit leader waits for followers to join the group (0 = commit immediately; try 100us-2ms under heavy concurrent writes)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for the metrics endpoint (empty disables it)")
 	tenantQuota := flag.Int("tenant-quota", 0, "max records per tenant namespace (0 = unlimited)")
 	shards := flag.Int("shards", 0, "boot an in-process fabric of N shards (0 = single server)")
@@ -65,7 +67,20 @@ func main() {
 	flag.Parse()
 
 	if *shards > 0 {
-		runFabric(*listen, *dataDir, *interval, *walFsync, *walSegSize, *metricsAddr, *tenantQuota, *shards)
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("fremontd: %v", err)
+		}
+		runFabric(*listen, *metricsAddr, fabricd.Options{
+			Shards:           *shards,
+			DataDir:          *dataDir,
+			SyncPolicy:       policy,
+			SegmentSize:      *walSegSize,
+			GroupMax:         *walGroupMax,
+			GroupWait:        *walGroupWait,
+			SnapshotInterval: *interval,
+			TenantQuota:      *tenantQuota,
+		})
 		return
 	}
 	if (*shardIndex >= 0) != (*shardCount > 0) {
@@ -93,6 +108,7 @@ func main() {
 		}
 		l, err := wal.Open(wal.Options{
 			Dir: *walDir, Policy: policy, SegmentSize: *walSegSize,
+			GroupMax: *walGroupMax, GroupWait: *walGroupWait,
 			Obs: srv.Obs(),
 		})
 		if err != nil {
@@ -134,19 +150,8 @@ func main() {
 }
 
 // runFabric boots an in-process fabric: N shards on consecutive ports.
-func runFabric(listen, dataDir string, interval time.Duration, walFsync string, walSegSize int64, metricsAddr string, tenantQuota, shards int) {
-	policy, err := wal.ParseSyncPolicy(walFsync)
-	if err != nil {
-		log.Fatalf("fremontd: %v", err)
-	}
-	f, err := fabricd.Open(fabricd.Options{
-		Shards:           shards,
-		DataDir:          dataDir,
-		SyncPolicy:       policy,
-		SegmentSize:      walSegSize,
-		SnapshotInterval: interval,
-		TenantQuota:      tenantQuota,
-	})
+func runFabric(listen, metricsAddr string, opts fabricd.Options) {
+	f, err := fabricd.Open(opts)
 	if err != nil {
 		log.Fatalf("fremontd: open fabric: %v", err)
 	}
@@ -165,7 +170,7 @@ func runFabric(listen, dataDir string, interval time.Duration, walFsync string, 
 	if err := f.Listen(listen); err != nil {
 		log.Fatalf("fremontd: listen fabric: %v", err)
 	}
-	fmt.Printf("fremontd: %d-shard journal fabric on %v\n", shards, f.Addrs())
+	fmt.Printf("fremontd: %d-shard journal fabric on %v\n", opts.Shards, f.Addrs())
 
 	waitSignal()
 	log.Printf("fremontd: shutting down fabric")

@@ -31,10 +31,14 @@ type Options struct {
 	DataDir string
 
 	// WAL tuning, applied per shard. DisableWAL turns write-ahead
-	// logging off even when DataDir is set (snapshots only).
+	// logging off even when DataDir is set (snapshots only). GroupMax
+	// and GroupWait tune group commit (see wal.Options); zero values
+	// take the WAL defaults.
 	DisableWAL  bool
 	SyncPolicy  wal.SyncPolicy
 	SegmentSize int64
+	GroupMax    int
+	GroupWait   time.Duration
 
 	SnapshotInterval time.Duration
 
@@ -86,6 +90,8 @@ func Open(opts Options) (*Fabric, error) {
 					Dir:         filepath.Join(dir, "wal"),
 					Policy:      opts.SyncPolicy,
 					SegmentSize: opts.SegmentSize,
+					GroupMax:    opts.GroupMax,
+					GroupWait:   opts.GroupWait,
 					Obs:         srv.Obs(),
 				})
 				if err != nil {

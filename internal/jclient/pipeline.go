@@ -1,0 +1,287 @@
+// Pipelined client: issue many requests on one connection without
+// waiting for each response. The server answers in request order, so a
+// background reader matches responses to futures FIFO. Pipelining is
+// what lets a single connection's stores land in one WAL commit group —
+// the server stages frames as fast as they arrive and shares the fsync.
+package jclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"fremont/internal/journal"
+	"fremont/internal/jwire"
+)
+
+// pipelineWindow bounds requests in flight awaiting a response; sends
+// beyond it flush and then block until the server catches up. It is
+// deliberately no larger than the server's own per-connection pipeline
+// depth, so a Pipeline cannot stall mid-send against server
+// backpressure with unflushed frames the server has never seen.
+const pipelineWindow = 64
+
+// pipeBufSize sizes the pipeline's buffered reader and writer: a burst
+// of small frames becomes one syscall each way.
+const pipeBufSize = 32 << 10
+
+// Pipeline is a pipelined connection to a Journal Server. Unlike
+// Client, a Pipeline is a single logical request stream and is NOT safe
+// for concurrent use — open one per goroutine. Each request returns a
+// future immediately; Result/Wait blocks until that response arrives
+// (flushing any buffered requests first, so waiting can never deadlock
+// on frames the server has not seen).
+type Pipeline struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+
+	mu      sync.Mutex // guards bw, sendErr, closed against Wait-side flushes
+	sendErr error
+	closed  bool
+
+	inflight   chan *Future
+	readerDone chan struct{}
+}
+
+// DialPipeline connects a pipelined client. Options are the same as
+// Dial's.
+func DialPipeline(addr string, opts ...Option) (*Pipeline, error) {
+	o := resolveOptions(opts)
+	conn, err := o.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("jclient: dial %s: %w", addr, err)
+	}
+	return NewPipeline(conn), nil
+}
+
+// NewPipeline wraps an already-established connection.
+func NewPipeline(conn net.Conn) *Pipeline {
+	p := &Pipeline{
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, pipeBufSize),
+		br:         bufio.NewReaderSize(conn, pipeBufSize),
+		inflight:   make(chan *Future, pipelineWindow),
+		readerDone: make(chan struct{}),
+	}
+	go p.readLoop()
+	return p
+}
+
+// readLoop fills futures in FIFO order. A read error is sticky: every
+// later future fails with it (responses on a broken stream can no
+// longer be matched to requests).
+func (p *Pipeline) readLoop() {
+	defer close(p.readerDone)
+	var readErr error
+	for f := range p.inflight {
+		if readErr == nil {
+			f.resp, readErr = jwire.ReadFrame(p.br)
+		}
+		if readErr != nil {
+			f.err = fmt.Errorf("jclient: recv: %w", readErr)
+		}
+		close(f.done)
+	}
+}
+
+// Future is one in-flight request's pending response.
+type Future struct {
+	p    *Pipeline
+	resp []byte
+	err  error
+	done chan struct{}
+}
+
+// send frames req into the write buffer and enqueues a future for its
+// response. The buffer is flushed before any blocking enqueue: if the
+// response window is full, every buffered request must be on the wire
+// or the server could never drain it.
+func (p *Pipeline) send(req []byte) *Future {
+	f := &Future{p: p, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.sendErr = fmt.Errorf("jclient: send on closed pipeline")
+	}
+	if p.sendErr == nil {
+		p.sendErr = jwire.WriteFrame(p.bw, req)
+	}
+	if p.sendErr != nil {
+		f.err = fmt.Errorf("jclient: send: %w", p.sendErr)
+		p.mu.Unlock()
+		close(f.done)
+		return f
+	}
+	select {
+	case p.inflight <- f:
+		p.mu.Unlock()
+	default:
+		if err := p.bw.Flush(); err != nil {
+			p.sendErr = err
+			f.err = fmt.Errorf("jclient: send: %w", err)
+			p.mu.Unlock()
+			close(f.done)
+			return f
+		}
+		p.mu.Unlock()
+		p.inflight <- f
+	}
+	return f
+}
+
+// Wait blocks until the response arrived (transport errors only; a
+// server-reported error surfaces from the typed Result methods).
+func (f *Future) Wait() error {
+	f.p.Flush()
+	<-f.done
+	return f.err
+}
+
+// reader waits for the response and decodes its status byte.
+func (f *Future) reader() (*jwire.Reader, error) {
+	if err := f.Wait(); err != nil {
+		return nil, err
+	}
+	r := &jwire.Reader{B: f.resp}
+	if status := r.U8(); status != jwire.StatusOK {
+		return nil, fmt.Errorf("jclient: server error: %s", r.String())
+	}
+	return r, nil
+}
+
+// Flush pushes every buffered request to the server.
+func (p *Pipeline) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sendErr != nil {
+		return fmt.Errorf("jclient: send: %w", p.sendErr)
+	}
+	if err := p.bw.Flush(); err != nil {
+		p.sendErr = err
+		return fmt.Errorf("jclient: send: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, waits for every in-flight response, and closes the
+// connection. Do not send concurrently with Close.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.readerDone
+		return nil
+	}
+	p.closed = true
+	if p.sendErr == nil {
+		p.bw.Flush()
+	}
+	close(p.inflight)
+	p.mu.Unlock()
+	<-p.readerDone
+	return p.conn.Close()
+}
+
+// AckFuture resolves to a bare OK/error response.
+type AckFuture struct{ *Future }
+
+// Result reports whether the request succeeded.
+func (f AckFuture) Result() error {
+	_, err := f.reader()
+	return err
+}
+
+// StoreFuture resolves to a StoreInterface response.
+type StoreFuture struct{ *Future }
+
+// Result returns the stored record's ID and whether it was created.
+func (f StoreFuture) Result() (journal.ID, bool, error) {
+	r, err := f.reader()
+	if err != nil {
+		return 0, false, err
+	}
+	id := r.ID()
+	created := r.Bool()
+	return id, created, r.Err
+}
+
+// IDFuture resolves to a response carrying one record ID.
+type IDFuture struct{ *Future }
+
+// Result returns the record ID.
+func (f IDFuture) Result() (journal.ID, error) {
+	r, err := f.reader()
+	if err != nil {
+		return 0, err
+	}
+	id := r.ID()
+	return id, r.Err
+}
+
+// IfacesFuture resolves to an interface query's records.
+type IfacesFuture struct{ *Future }
+
+// Result returns the matching records.
+func (f IfacesFuture) Result() ([]*journal.InterfaceRec, error) {
+	r, err := f.reader()
+	if err != nil {
+		return nil, err
+	}
+	n := int(r.U32())
+	out := make([]*journal.InterfaceRec, 0, n)
+	for i := 0; i < n && r.Err == nil; i++ {
+		out = append(out, jwire.GetInterfaceRec(r))
+	}
+	return out, r.Err
+}
+
+// Interfaces pipelines an indexed interface query (Client.Interfaces
+// routes unindexed queries through the cursor scan, which is inherently
+// request/response — use a Client for those).
+func (p *Pipeline) Interfaces(q journal.Query) IfacesFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpGetInterfaces)
+	jwire.PutQuery(&w, q)
+	return IfacesFuture{p.send(w.B)}
+}
+
+// Ping pipelines a ping.
+func (p *Pipeline) Ping() AckFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpPing)
+	return AckFuture{p.send(w.B)}
+}
+
+// Use pipelines a namespace switch; it scopes every later request on
+// this pipeline, in order, exactly as Client.Use does.
+func (p *Pipeline) Use(namespace string) AckFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpNamespace)
+	jwire.PutNamespaceReq(&w, jwire.NamespaceReq{Namespace: namespace})
+	return AckFuture{p.send(w.B)}
+}
+
+// StoreInterface pipelines a Sink StoreInterface.
+func (p *Pipeline) StoreInterface(obs journal.IfaceObs) StoreFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreInterface)
+	jwire.PutIfaceObs(&w, obs)
+	return StoreFuture{p.send(w.B)}
+}
+
+// StoreGateway pipelines a Sink StoreGateway.
+func (p *Pipeline) StoreGateway(obs journal.GatewayObs) IDFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreGateway)
+	jwire.PutGatewayObs(&w, obs)
+	return IDFuture{p.send(w.B)}
+}
+
+// StoreSubnet pipelines a Sink StoreSubnet.
+func (p *Pipeline) StoreSubnet(obs journal.SubnetObs) IDFuture {
+	var w jwire.Writer
+	w.U8(jwire.OpStoreSubnet)
+	jwire.PutSubnetObs(&w, obs)
+	return IDFuture{p.send(w.B)}
+}

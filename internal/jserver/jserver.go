@@ -4,6 +4,7 @@
 package jserver
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -61,10 +62,24 @@ type Server struct {
 	tenantRecs   *obs.GaugeVec   // jserver_tenant_records{tenant=...}
 	quotaRejects *obs.CounterVec // jserver_tenant_quota_rejects_total{tenant=...}
 
-	// logMu serializes the append+apply pair for mutating requests and
-	// the rotate+encode critical section of SaveSnapshot, so a snapshot
-	// covers exactly the records below its WAL boundary.
-	logMu sync.Mutex
+	// logMu is the commit/snapshot barrier. Mutating requests hold it
+	// for READING across their whole stage+wait+apply span — many can
+	// run concurrently, sharing commit groups in the WAL. SaveSnapshot
+	// takes it for WRITING, which quiesces the pipeline: no frame is
+	// staged-but-unapplied while the write lock is held, so a snapshot
+	// covers exactly the records below its WAL rotation boundary.
+	logMu sync.RWMutex
+	// stageMu is the short sequencing lock inside the pipeline: one
+	// holder at a time stages its frame in the WAL (assigning the LSN)
+	// and takes its place in the apply queue, so WAL order and apply
+	// order are assigned atomically. The expensive work — the group
+	// commit's write+fsync, the journal apply — happens outside it.
+	stageMu sync.Mutex
+	// applyTail is the tail of the apply-order queue: each staged
+	// mutation replaces it with its own done channel and waits for its
+	// predecessor's, so journal applies happen in exactly LSN order —
+	// replay order — even though durability waits finish out of order.
+	applyTail chan struct{}
 	// saveMu serializes whole SaveSnapshot calls (ticker loop vs.
 	// explicit callers) so two writers never race on the same rename.
 	saveMu sync.Mutex
@@ -134,6 +149,7 @@ func New(j *journal.Journal) *Server {
 		journal:          j,
 		SnapshotInterval: 5 * time.Minute,
 		quit:             make(chan struct{}),
+		applyTail:        closedChan,
 		obs:              reg,
 		reqCount:         reg.CounterVec("jserver_requests_total", "op"),
 		reqLat:           reg.HistogramVec("jserver_request_seconds", "op", nil),
@@ -284,9 +300,10 @@ func (s *Server) SaveSnapshot() error {
 	var data []byte
 	var boundary uint64
 	if s.WAL != nil {
-		// Holding logMu means no append+apply pair is in flight, so
-		// every record below the new segment boundary is already in the
-		// journal — and therefore in this snapshot.
+		// Holding logMu for writing quiesces the commit pipeline: no
+		// stage+apply span is in flight, so every record below the new
+		// segment boundary is already in the journal — and therefore in
+		// this snapshot.
 		s.logMu.Lock()
 		seq, err := s.WAL.Rotate()
 		if err != nil {
@@ -463,6 +480,34 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
+// pipelineDepth bounds the requests one connection may have in flight
+// through the dispatch pipeline: the reader stops reading ahead once
+// this many responses are unwritten, which is also what bounds the
+// per-connection memory the pipeline can pin.
+const pipelineDepth = 64
+
+// connBufSize sizes the per-connection buffered reader and writer. The
+// read buffer is the connection's read-ahead: a pipelined client's
+// burst of frames lands in one syscall and stages into one commit
+// group; the write buffer coalesces a burst of responses into one
+// flush when the pipeline drains.
+const connBufSize = 32 << 10
+
+// inflight is one request's slot in a connection's response queue: the
+// writer goroutine blocks on resp so responses go out in request order
+// no matter how dispatch interleaves.
+type inflight struct {
+	resp chan []byte
+}
+
+// handleConn serves one connection with a pipelined read-ahead loop:
+// the reader thread decodes frames as fast as they arrive, sequences
+// mutations into the WAL in arrival order (so one client's burst lands
+// in the same commit group), and hands each request to a dispatch
+// goroutine; a writer goroutine streams responses back in request
+// order. A per-request ordering chain makes every request wait for its
+// predecessor's journal effect before executing, so a pipelined
+// read-your-writes sequence behaves exactly as it would serially.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	s.connsTot.Inc()
@@ -472,48 +517,141 @@ func (s *Server) handleConn(conn net.Conn) {
 		<-s.quit
 		conn.Close() // unblock reads on shutdown
 	}()
+
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+
+	// Response writer: drain the in-order queue, flushing only when no
+	// further response is imminent. A write failure keeps draining (the
+	// dispatch goroutines must not block on a dead connection) but
+	// closes the conn so the reader stops feeding the pipeline.
+	pending := make(chan *inflight, pipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		failed := false
+		for fl := range pending {
+			resp := <-fl.resp
+			if !failed {
+				err := jwire.WriteFrame(bw, resp)
+				if err == nil && len(pending) == 0 {
+					err = bw.Flush()
+				}
+				if err != nil {
+					failed = true
+					conn.Close()
+				}
+			}
+			jwire.PutBuf(resp)
+		}
+		if !failed {
+			bw.Flush()
+		}
+	}()
+
 	// ns/tj are the connection's tenant scope: OpNamespace switches them
 	// for every later request on this connection (the empty namespace is
 	// the default journal).
 	ns, tj := "", s.journal
+	// prev is the connection's request-order chain: closed when the
+	// previous request's effect is visible in the journal.
+	prev := closedChan
 	for {
-		req, err := jwire.ReadFrame(conn)
+		req, err := jwire.ReadFrameBuf(br, jwire.GetBuf())
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				log.Printf("jserver: read: %v", err)
 			}
-			return
+			break
 		}
 		if len(req) > 0 && req[0] == jwire.OpNamespace {
+			// Handled inline on the reader thread: the scope switch must
+			// apply to the very next frame read. Earlier in-flight
+			// requests captured their own ns/tj.
 			resp, newNS, newJ := s.handleNamespace(req)
+			jwire.PutBuf(req)
 			if newJ != nil {
 				ns, tj = newNS, newJ
 			}
-			if err := jwire.WriteFrame(conn, resp); err != nil {
-				return
-			}
+			fl := &inflight{resp: make(chan []byte, 1)}
+			fl.resp <- resp
+			pending <- fl
 			continue
 		}
 		if len(req) > 0 && req[0] == jwire.OpSubscribe {
 			if ns != "" {
 				// The hub publishes default-journal commits only; a scoped
 				// connection cannot stream them.
-				if err := jwire.WriteFrame(conn, errPayload(errors.New("jserver: subscribe not valid on a tenant namespace"))); err != nil {
-					return
-				}
+				fl := &inflight{resp: make(chan []byte, 1)}
+				fl.resp <- errPayload(errors.New("jserver: subscribe not valid on a tenant namespace"))
+				pending <- fl
+				jwire.PutBuf(req)
 				continue
 			}
 			// The connection flips to push mode and never returns to
-			// request/response: serve the stream until it ends, then
-			// drop the connection.
-			s.serveSubscription(conn, req[1:])
+			// request/response: drain the pipeline so every earlier
+			// response is on the wire, then serve the stream until it
+			// ends and drop the connection.
+			close(pending)
+			<-writerDone
+			s.serveSubscription(conn, br, req[1:])
+			jwire.PutBuf(req)
 			return
 		}
-		resp := s.dispatchNS(req, ns, tj)
-		if err := jwire.WriteFrame(conn, resp); err != nil {
-			return
+
+		// Backpressure before sequencing: once the pipeline is full the
+		// reader must not stage frames (or take locks) it cannot hand
+		// off, or a stalled consumer could pin the commit pipeline.
+		fl := &inflight{resp: make(chan []byte, 1)}
+		pending <- fl
+
+		// Mutations are sequenced HERE, on the reader thread, so one
+		// connection's mutation order is its arrival order — and a
+		// pipelined burst stages back-to-back into one commit group.
+		mutates := jwire.PayloadMutates(req)
+		var st stagedOp
+		var errResp []byte
+		staged := false
+		if s.WAL != nil && mutates {
+			if ns != "" {
+				// Quota must be checked against an up-to-date record
+				// count, so a tenant mutation first waits for the
+				// connection's previous request to apply. This
+				// serializes tenant mutations per connection (matching
+				// pre-pipelining semantics); only the default
+				// namespace gets the fully pipelined fast path.
+				<-prev
+				if err := s.checkQuota(ns, tj); err != nil {
+					errResp = errPayload(err)
+				}
+			}
+			if errResp == nil {
+				st, errResp = s.stageMutation(ns, req)
+				staged = errResp == nil
+			}
 		}
+
+		mine := make(chan struct{})
+		go func(req []byte, ns string, tj *journal.Journal, prev chan struct{}) {
+			var resp []byte
+			switch {
+			case errResp != nil:
+				<-prev
+				resp = errResp
+			case staged:
+				resp = s.executeStagedAfter(req, ns, tj, st, prev)
+			default:
+				<-prev
+				resp = s.dispatchNS(req, ns, tj)
+			}
+			close(mine)
+			jwire.PutBuf(req)
+			fl.resp <- resp
+		}(req, ns, tj, prev)
+		prev = mine
 	}
+	close(pending)
+	<-writerDone
 }
 
 // handleNamespace answers one OpNamespace request: resolve (creating if
@@ -597,8 +735,9 @@ func (s *Server) checkQuota(ns string, j *journal.Journal) error {
 // serveSubscription runs one OpSubscribe stream on conn: answer with
 // the starting cursor, register with the hub, then push until the
 // client sends anything (or disconnects), the server shuts down, or a
-// push write fails.
-func (s *Server) serveSubscription(conn net.Conn, body []byte) {
+// push write fails. rd is the connection's buffered reader (it may
+// hold frames already read ahead of the subscribe).
+func (s *Server) serveSubscription(conn net.Conn, rd io.Reader, body []byte) {
 	s.reqCount.With(jwire.OpName(jwire.OpSubscribe)).Inc()
 	r := &jwire.Reader{B: body}
 	req := jwire.GetSubscribeReq(r)
@@ -643,11 +782,99 @@ func (s *Server) serveSubscription(conn net.Conn, body []byte) {
 	// the stream. This also unblocks the writer on server shutdown,
 	// which closes conn via the per-connection quit watcher.
 	go func() {
-		_, _ = jwire.ReadFrame(conn)
+		_, _ = jwire.ReadFrame(rd)
 		sub.stop()
 	}()
 	sub.run()
 	sub.stop()
+}
+
+// closedChan seeds the apply-order queue: the first staged mutation's
+// predecessor is already "done".
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// stagedOp is one mutation's place in the commit pipeline: its WAL
+// ticket (durability) and its slot in the apply-order queue.
+type stagedOp struct {
+	ticket wal.Ticket
+	prev   chan struct{} // closed when the previous staged mutation applied
+	turn   chan struct{} // closed by this mutation after it applies
+}
+
+// stageMutation sequences one mutating frame: under the short stageMu
+// critical section it stages the (tenant-enveloped) frame in the WAL —
+// assigning its LSN — and takes the next slot in the apply-order queue,
+// so log order and apply order can never diverge. The caller holds
+// logMu for reading across the returned stagedOp's whole lifetime;
+// executeStagedAfter releases it. On failure the read lock is already
+// released and an error response returned.
+func (s *Server) stageMutation(ns string, req []byte) (stagedOp, []byte) {
+	frame := req
+	if ns != "" {
+		frame = jwire.ScopePayload(ns, req)
+	}
+	s.logMu.RLock()
+	s.stageMu.Lock()
+	ticket, err := s.WAL.Stage(frame)
+	if err != nil {
+		s.stageMu.Unlock()
+		s.logMu.RUnlock()
+		return stagedOp{}, errPayload(fmt.Errorf("jserver: wal append: %w", err))
+	}
+	st := stagedOp{ticket: ticket, prev: s.applyTail, turn: make(chan struct{})}
+	s.applyTail = st.turn
+	s.stageMu.Unlock()
+	return st, nil
+}
+
+// executeStagedAfter finishes a staged mutation: wait for durability
+// (the group commit — this is where concurrent mutations share one
+// fsync), wait for the connection's previous request (connPrev) and the
+// apply-order slot, apply to the journal, release the slot, and
+// publish. The response is built only after the frame is on disk,
+// preserving acknowledged-implies-fsynced. A mutation whose commit
+// group failed still takes and releases its slot (without touching the
+// journal) so its successors never deadlock.
+//
+// The two waits cannot deadlock: per-connection request order and
+// global stage order agree for any one connection (mutations stage on
+// the reader thread, in arrival order), so the union of both chains is
+// acyclic.
+func (s *Server) executeStagedAfter(req []byte, ns string, j *journal.Journal, st stagedOp, connPrev chan struct{}) []byte {
+	werr := st.ticket.Wait()
+	<-connPrev
+	<-st.prev
+	var resp []byte
+	if werr != nil {
+		resp = errPayload(fmt.Errorf("jserver: wal append: %w", werr))
+	} else {
+		resp = s.apply(req, j)
+	}
+	close(st.turn)
+	s.logMu.RUnlock()
+	if werr == nil {
+		if ns == "" {
+			s.publishChanges()
+		} else {
+			s.tenantRecs.With(ns).Set(int64(j.RecordCount()))
+		}
+	}
+	return resp
+}
+
+// apply routes one frame body to the journal: a single operation or an
+// OpBatch carrying many.
+func (s *Server) apply(req []byte, j *journal.Journal) []byte {
+	r := &jwire.Reader{B: req}
+	op := r.U8()
+	if op == jwire.OpBatch {
+		return s.dispatchBatch(j, r)
+	}
+	return s.dispatchOne(j, op, r)
 }
 
 // dispatch routes one frame: either a single operation or an OpBatch
@@ -655,13 +882,15 @@ func (s *Server) serveSubscription(conn net.Conn, body []byte) {
 // queries run in parallel. With a WAL attached, a frame carrying any
 // mutation (a whole OpBatch logs as one append) is made durable before
 // it is applied — write-ahead, so an acknowledged store can always be
-// replayed — and the append+apply pair holds logMu so log order equals
-// apply order. Pure queries skip all of this.
+// replayed — and the stage+apply pipeline keeps log order equal to
+// apply order while concurrent mutations share group commits. Pure
+// queries skip all of this.
 //
-// Mutations end by publishing to the subscription hub, outside logMu
-// (the hub re-reads the journal, so fan-out work never extends the
-// commit critical section) and before the response is framed back to
-// the caller — a push is behind durability, never ahead of it.
+// Mutations end by publishing to the subscription hub, outside the
+// stage lock (the hub re-reads the journal, so fan-out work never
+// extends the commit critical section) and before the response is
+// framed back to the caller — a push is behind durability, never ahead
+// of it.
 func (s *Server) dispatch(req []byte) []byte {
 	return s.dispatchNS(req, "", s.journal)
 }
@@ -680,27 +909,13 @@ func (s *Server) dispatchNS(req []byte, ns string, j *journal.Journal) []byte {
 		}
 	}
 	if s.WAL != nil && mutates {
-		frame := req
-		if ns != "" {
-			frame = jwire.ScopePayload(ns, req)
+		st, errResp := s.stageMutation(ns, req)
+		if errResp != nil {
+			return errResp
 		}
-		s.logMu.Lock()
-		if _, err := s.WAL.Append(frame); err != nil {
-			s.logMu.Unlock()
-			return errPayload(fmt.Errorf("jserver: wal append: %w", err))
-		}
+		return s.executeStagedAfter(req, ns, j, st, closedChan)
 	}
-	r := &jwire.Reader{B: req}
-	op := r.U8()
-	var resp []byte
-	if op == jwire.OpBatch {
-		resp = s.dispatchBatch(j, r)
-	} else {
-		resp = s.dispatchOne(j, op, r)
-	}
-	if s.WAL != nil && mutates {
-		s.logMu.Unlock()
-	}
+	resp := s.apply(req, j)
 	if mutates {
 		if ns == "" {
 			s.publishChanges()

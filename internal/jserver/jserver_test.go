@@ -3,7 +3,9 @@ package jserver
 import (
 	"net"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"fremont/internal/journal"
 	"fremont/internal/jwire"
 	"fremont/internal/netsim/pkt"
+	"fremont/internal/wal"
 )
 
 var t0 = time.Date(1993, 1, 25, 8, 0, 0, 0, time.UTC)
@@ -352,25 +355,99 @@ func TestCorruptSnapshotRejected(t *testing.T) {
 	}
 }
 
+// BenchmarkStoreOverTCP measures the store write path two ways:
+//
+//   - serial: one client, one request in flight, no WAL — the framing
+//     and dispatch floor.
+//   - parallel8-fsync: ≥8 concurrent pipelined clients against a
+//     SyncAlways WAL — the group-commit path. records/sec and
+//     fsyncs/op are the numbers CI gates (tools/benchgate.py against
+//     bench/BENCH_write_baseline.json): group commit is working when
+//     many acknowledged stores share each fsync (fsyncs/op well under
+//     1) instead of paying one fsync per store.
 func BenchmarkStoreOverTCP(b *testing.B) {
-	s := New(nil)
-	if err := s.Listen("127.0.0.1:0"); err != nil {
-		b.Fatal(err)
-	}
-	defer s.Close()
-	c, err := jclient.Dial(s.Addr())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer c.Close()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := c.StoreInterface(journal.IfaceObs{
-			IP: pkt.IP(i), Source: journal.SrcICMP, At: t0,
-		}); err != nil {
+	b.Run("serial", func(b *testing.B) {
+		s := New(nil)
+		if err := s.Listen("127.0.0.1:0"); err != nil {
 			b.Fatal(err)
 		}
-	}
+		defer s.Close()
+		c, err := jclient.Dial(s.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.StoreInterface(journal.IfaceObs{
+				IP: pkt.IP(i), Source: journal.SrcICMP, At: t0,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel8-fsync", func(b *testing.B) {
+		s := New(nil)
+		l, err := wal.Open(wal.Options{
+			Dir:    filepath.Join(b.TempDir(), "wal"),
+			Policy: wal.SyncAlways,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.WAL = l
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+
+		// At least 8 concurrent pipelined clients regardless of
+		// GOMAXPROCS; each worker keeps a bounded window of stores in
+		// flight so bursts land in shared commit groups.
+		procs := runtime.GOMAXPROCS(0)
+		b.SetParallelism((8 + procs - 1) / procs)
+		const window = 32
+		var next atomic.Uint64
+		fsyncs0 := l.Stats().Fsyncs
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			p, err := jclient.DialPipeline(s.Addr())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer p.Close()
+			futs := make([]jclient.StoreFuture, 0, window)
+			for pb.Next() {
+				i := next.Add(1)
+				futs = append(futs, p.StoreInterface(journal.IfaceObs{
+					IP: pkt.IP(i), Source: journal.SrcICMP, At: t0,
+				}))
+				if len(futs) == window {
+					for _, f := range futs {
+						if _, _, err := f.Result(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					futs = futs[:0]
+				}
+			}
+			for _, f := range futs {
+				if _, _, err := f.Result(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		elapsed := b.Elapsed().Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(b.N)/elapsed, "records/sec")
+		}
+		b.ReportMetric(float64(l.Stats().Fsyncs-fsyncs0)/float64(b.N), "fsyncs/op")
+	})
 }
 
 func TestUnknownOpcodeRejected(t *testing.T) {

@@ -1,0 +1,196 @@
+// Kill-recover under group commit: a real fremontd-shaped process is
+// SIGKILLed while commit groups are in flight from concurrent pipelined
+// writers, and the recovered journal must hold every acknowledged store
+// (acknowledged-implies-fsynced) and nothing that was never issued —
+// acked ⊆ recovered ⊆ issued. Unlike recovery_test.go's copy-the-disk
+// simulation, this test loses whatever a kernel-delivered SIGKILL
+// actually loses: responses in socket buffers, staged-but-uncommitted
+// frames, and the tail of the current commit group.
+package jserver
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fremont/internal/jclient"
+	"fremont/internal/journal"
+	"fremont/internal/netsim/pkt"
+	"fremont/internal/wal"
+)
+
+// killChildEnv carries the data directory into the re-executed test
+// binary; when set, the process runs a journal server instead of tests.
+const killChildEnv = "JSERVER_KILL_RECOVER_CHILD"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(killChildEnv); dir != "" {
+		runKillRecoverChild(dir)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runKillRecoverChild is the victim process: a server with a SyncAlways
+// WAL that announces its address and serves until killed. It never
+// exits cleanly — the parent's SIGKILL is the only way out, so nothing
+// here can accidentally flush or close on shutdown.
+func runKillRecoverChild(dir string) {
+	s := New(nil)
+	s.SnapshotPath = filepath.Join(dir, "journal.snap")
+	l, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), Policy: wal.SyncAlways})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child wal:", err)
+		os.Exit(1)
+	}
+	s.WAL = l
+	if _, err := s.Recover(); err != nil {
+		fmt.Fprintln(os.Stderr, "child recover:", err)
+		os.Exit(1)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		fmt.Fprintln(os.Stderr, "child listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ADDR %s\n", s.Addr())
+	select {}
+}
+
+// TestKillMidGroupCommitNoAckedLoss SIGKILLs a server while 8 pipelined
+// writers have stores in flight, recovers from the surviving WAL, and
+// checks the acked/recovered/issued containments.
+func TestKillMidGroupCommitNoAckedLoss(t *testing.T) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), killChildEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "ADDR ") {
+			addr = strings.TrimPrefix(line, "ADDR ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("child exited without announcing an address: %v", sc.Err())
+	}
+
+	// 8 concurrent pipelined writers on disjoint IP ranges. Each
+	// records what it issued and — only after Result returns OK — what
+	// was acknowledged. Errors mean the kill landed; writers just stop.
+	const writers = 8
+	const window = 16
+	var ackedTotal atomic.Int64
+	acked := make([][]pkt.IP, writers)
+	issued := make([][]pkt.IP, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := jclient.DialPipeline(addr)
+			if err != nil {
+				return
+			}
+			defer p.Close()
+			type pendingStore struct {
+				f  jclient.StoreFuture
+				ip pkt.IP
+			}
+			var futs []pendingStore
+			drain := func() bool {
+				for _, ps := range futs {
+					if _, _, err := ps.f.Result(); err != nil {
+						return false
+					}
+					acked[g] = append(acked[g], ps.ip)
+					ackedTotal.Add(1)
+				}
+				futs = futs[:0]
+				return true
+			}
+			for i := 0; ; i++ {
+				ip := pkt.IPv4(10, byte(g+1), byte(i>>8), byte(i))
+				issued[g] = append(issued[g], ip)
+				futs = append(futs, pendingStore{
+					f:  p.StoreInterface(journal.IfaceObs{IP: ip, Source: journal.SrcICMP, At: t0}),
+					ip: ip,
+				})
+				if len(futs) == window && !drain() {
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Kill once enough stores are acknowledged that commit groups are
+	// demonstrably flowing — and while the writers are still going full
+	// tilt, so groups are in flight at the moment the SIGKILL lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for ackedTotal.Load() < 400 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ackedTotal.Load() == 0 {
+		t.Fatal("no store was acknowledged before the deadline")
+	}
+	cmd.Process.Kill() // SIGKILL: no handler, no flush, no goodbye
+	cmd.Wait()
+	wg.Wait()
+
+	// Recover in-process from whatever the kill left on disk.
+	s2 := New(nil)
+	s2.SnapshotPath = filepath.Join(dir, "journal.snap")
+	s2.WAL = openWAL(t, filepath.Join(dir, "wal"), wal.SyncAlways)
+	t.Cleanup(func() { s2.Close() })
+	st, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("recovery after SIGKILL: %v (stats %+v)", err, st)
+	}
+	j := s2.Journal()
+
+	// acked ⊆ recovered: every acknowledged store must be present.
+	nAcked := 0
+	for g := range acked {
+		for _, ip := range acked[g] {
+			if got := j.Interfaces(journal.Query{HasIP: true, ByIP: ip}); len(got) != 1 {
+				t.Fatalf("acknowledged store %v lost in crash (writer %d, %d acked total)", ip, g, ackedTotal.Load())
+			}
+			nAcked++
+		}
+	}
+	// recovered ⊆ issued: IPs are unique per issue, so counts bound the
+	// containment — the journal cannot hold more records than were ever
+	// sent, nor fewer than were acknowledged.
+	nIssued := 0
+	for g := range issued {
+		nIssued += len(issued[g])
+	}
+	n := j.NumInterfaces()
+	if n > nIssued {
+		t.Fatalf("recovered %d interfaces but only %d were issued", n, nIssued)
+	}
+	if n < nAcked {
+		t.Fatalf("recovered %d interfaces < %d acknowledged", n, nAcked)
+	}
+	t.Logf("issued %d, acked %d, recovered %d (recovery stats %+v)", nIssued, nAcked, n, st)
+}

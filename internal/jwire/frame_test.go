@@ -1,0 +1,89 @@
+// Framing-path tests: the pooled coalesced write, the vectored large
+// write, and buffer-recycling reads must all be byte-identical to the
+// naive two-write implementation they replaced — and allocation-free in
+// steady state, which CI gates via BenchmarkFrameRoundtrip.
+package jwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFrameLargePayload exercises the vectored (non-coalesced) write
+// path and the allocate-when-larger read path.
+func TestFrameLargePayload(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, frameCoalesceMax+1234)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(payload)+4 {
+		t.Fatalf("frame is %d bytes, want %d", buf.Len(), len(payload)+4)
+	}
+	small := make([]byte, 0, 16) // too small: ReadFrameBuf must allocate
+	got, err := ReadFrameBuf(&buf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted through vectored write")
+	}
+}
+
+// TestReadFrameBufReuse: a buffer with enough capacity is reused, one
+// without is replaced, and either way the payload is intact.
+func TestReadFrameBufReuse(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64)
+	got, err := ReadFrameBuf(bytes.NewReader(wire.Bytes()), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("payload = %q", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("capacious buffer was not reused")
+	}
+}
+
+// TestBufPoolRoundtrip: pooled buffers come back empty and are safe to
+// hand to ReadFrameBuf.
+func TestBufPoolRoundtrip(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("GetBuf returned %d bytes", len(b))
+	}
+	b = append(b, []byte("scribble")...)
+	PutBuf(b)
+	if b2 := GetBuf(); len(b2) != 0 {
+		t.Fatalf("recycled buffer not reset: %q", b2)
+	}
+}
+
+// BenchmarkFrameRoundtrip is the CI allocation gate on the framing hot
+// path: one coalesced write plus one buffer-reusing read of a typical
+// store-sized frame must not allocate in steady state.
+func BenchmarkFrameRoundtrip(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x42}, 64)
+	var wire bytes.Buffer
+	var rd bytes.Reader
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire.Reset()
+		if err := WriteFrame(&wire, payload); err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(wire.Bytes())
+		got, err := ReadFrameBuf(&rd, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = got[:0]
+	}
+}

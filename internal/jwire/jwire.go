@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 	"time"
 
 	"fremont/internal/journal"
@@ -276,31 +278,92 @@ func (r *Reader) Remaining() int { return len(r.B) - r.off }
 
 // --- Framing -------------------------------------------------------------
 
-// WriteFrame writes one length-prefixed message.
+// frameCoalesceMax bounds the payload size WriteFrame copies into a
+// pooled buffer to emit header+payload as one Write. Larger payloads
+// use a vectored write instead of paying the copy.
+const frameCoalesceMax = 64 << 10
+
+// bufPool recycles frame-sized scratch buffers across WriteFrame's
+// coalesced path and the GetBuf/PutBuf helpers, so the per-request
+// framing hot path allocates nothing in steady state.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetBuf returns a pooled zero-length scratch buffer. Pass it (or any
+// slice derived from its backing array) back via PutBuf when done.
+func GetBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+// PutBuf recycles a buffer obtained from GetBuf (or any buffer whose
+// owner is done with it). The caller must not touch b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > frameCoalesceMax {
+		return // keep pooled buffers bounded
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// WriteFrame writes one length-prefixed message. Small payloads are
+// coalesced with the header into a single Write via a pooled buffer
+// (one syscall on an unbuffered conn, no tiny-header write); large ones
+// go out as a vectored header+payload pair, which net.Buffers turns
+// into writev on real sockets.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxMessage {
 		return ErrTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if len(payload) <= frameCoalesceMax {
+		bp := bufPool.Get().(*[]byte)
+		b := append((*bp)[:0], 0, 0, 0, 0)
+		binary.BigEndian.PutUint32(b, uint32(len(payload)))
+		b = append(b, payload...)
+		_, err := w.Write(b)
+		if cap(b) <= frameCoalesceMax+4 {
+			*bp = b[:0]
+			bufPool.Put(bp)
+		}
 		return err
 	}
-	_, err := w.Write(payload)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
+// ReadFrame reads one length-prefixed message into a fresh buffer.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf reads one length-prefixed message, reusing buf's backing
+// array when its capacity suffices (allocating only when the frame is
+// larger). The returned payload may alias buf; a caller recycling
+// buffers owns the result until it hands the buffer back.
+func ReadFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
+	// The header is read through buf (not a stack array) because a byte
+	// slice passed through the io.Reader interface escapes: a fresh
+	// 4-byte array here would put an allocation on every frame.
+	hdr := buf
+	if cap(hdr) < 4 {
+		hdr = make([]byte, 4)
+		if buf == nil {
+			buf = hdr // a nil buf still serves tiny frames without a second alloc
+		}
+	}
+	hdr = hdr[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxMessage {
 		return nil, ErrTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}

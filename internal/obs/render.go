@@ -33,7 +33,7 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	if len(s.Histograms) > 0 {
-		b.WriteString("\n# histograms (seconds)\n")
+		b.WriteString("\n# histograms (_seconds in seconds, others unit-less)\n")
 		keys := make([]string, 0, len(s.Histograms))
 		for k := range s.Histograms {
 			keys = append(keys, k)
@@ -41,8 +41,13 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		sort.Strings(keys)
 		for _, k := range keys {
 			h := s.Histograms[k]
-			fmt.Fprintf(&b, "%s count=%d sum=%.6f p50=%s p95=%s p99=%s\n",
-				k, h.Count, h.Sum, fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99))
+			if isSecondsHist(k) {
+				fmt.Fprintf(&b, "%s count=%d sum=%.6f p50=%s p95=%s p99=%s\n",
+					k, h.Count, h.Sum, fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99))
+			} else {
+				fmt.Fprintf(&b, "%s count=%d sum=%g p50=%g p95=%g p99=%g\n",
+					k, h.Count, h.Sum, h.P50, h.P95, h.P99)
+			}
 		}
 	}
 	if len(s.Spans) > 0 {
@@ -60,6 +65,17 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// isSecondsHist reports whether a histogram holds durations, by the
+// naming convention every time histogram in the tree follows: a
+// `_seconds` suffix on the base name (labels in {...} excluded).
+// Anything else (e.g. wal_commit_batch_size) renders unit-less.
+func isSecondsHist(key string) bool {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		key = key[:i]
+	}
+	return strings.HasSuffix(key, "_seconds")
 }
 
 // fmtSeconds prints a quantile with unit-appropriate precision.

@@ -72,13 +72,24 @@ type Options struct {
 	// Dir holds the segment files; created if missing.
 	Dir string
 	// SegmentSize is the rotation threshold in bytes (default 16 MiB).
-	// A segment may exceed it by one record.
+	// A segment may exceed it by one commit group.
 	SegmentSize int64
 	// Policy selects the fsync policy (default SyncAlways).
 	Policy SyncPolicy
 	// Interval is the background fsync period under SyncInterval
 	// (default 100ms).
 	Interval time.Duration
+	// GroupMax bounds how many staged records one commit group may
+	// carry (default DefaultGroupMax). Stage blocks once the pending
+	// group is full, which is the log's write backpressure.
+	GroupMax int
+	// GroupWait is an optional delay the commit leader inserts before
+	// draining the pending group, trading latency for larger batches
+	// when writers trickle in rather than burst. Default 0: the leader
+	// commits whatever accumulated while the previous group was being
+	// written, which batches well under genuine concurrency and adds
+	// no latency when there is none.
+	GroupWait time.Duration
 	// Obs receives the log's metrics (wal_appends_total, wal_fsyncs_total,
 	// wal_rotations_total, the wal_fsync_seconds histogram, the
 	// wal_live_segments gauge). Nil uses the process-wide obs.Default();
@@ -93,6 +104,16 @@ type Options struct {
 // DefaultSegmentSize is the rotation threshold when Options.SegmentSize
 // is zero.
 const DefaultSegmentSize = 16 << 20
+
+// DefaultGroupMax is the commit-group record bound when Options.GroupMax
+// is zero.
+const DefaultGroupMax = 1024
+
+// maxGroupBytes soft-bounds a commit group's buffered bytes: staging
+// waits once the pending group holds at least this much, unless the
+// group is empty (a single record may legitimately exceed it, up to
+// MaxRecord).
+const maxGroupBytes = 8 << 20
 
 // Recovery summarizes what Open found on disk.
 type Recovery struct {
@@ -109,6 +130,7 @@ type Stats struct {
 	Appends       int64  // records appended this process
 	BytesAppended int64  // frame bytes appended this process
 	Fsyncs        int64  // fsync calls issued
+	GroupCommits  int64  // commit groups written (1..GroupMax records each)
 	Replayed      int64  // records delivered by Replay
 	Segments      int    // live segment files (sealed + active)
 	LastLSN       uint64 // highest LSN assigned
@@ -119,34 +141,60 @@ var ErrClosed = errors.New("wal: log is closed")
 
 // Log is a segmented write-ahead log. All methods are safe for
 // concurrent use.
+//
+// Appends go through a group commit: Stage assigns the record's LSN and
+// buffers its frame under the lock, then Wait elects one waiter as the
+// commit leader. The leader drains every staged frame in one write (one
+// fsync under SyncAlways) while the lock is released, then wakes the
+// whole group. N concurrent appenders therefore share one fsync per
+// group instead of paying one each.
 type Log struct {
 	opt Options
 	rec Recovery
 
 	mu       sync.Mutex
-	f        *os.File // active segment
-	seq      uint64   // active segment sequence number
-	size     int64    // active segment size in bytes
+	cond     *sync.Cond // commit completed / pending drained / leader done
+	f        *os.File   // active segment
+	seq      uint64     // active segment sequence number
+	size     int64      // active segment size in bytes
 	lastLSN  uint64
 	dirty    bool     // unsynced appends outstanding
 	segments []uint64 // live segment seqs, ascending; last is active
-	buf      []byte   // frame scratch buffer
 	closed   bool
+
+	// Group-commit state. pending holds staged frames not yet written;
+	// spare is the previous group's buffer, recycled to avoid
+	// reallocating every commit. committing is true while a leader is
+	// writing (and fsyncing) outside mu; writtenLSN is the highest LSN
+	// whose frame the active policy considers committed (written, and
+	// fsynced under SyncAlways). ioErr is sticky: once a group write or
+	// fsync fails, the LSNs of its frames are consumed but not on disk,
+	// so continuing would tear a hole in the sequence — the log fails
+	// stop and every later Stage/Wait reports the original error.
+	pending    []byte
+	pendingN   int
+	spare      []byte
+	committing bool
+	writtenLSN uint64
+	ioErr      error
 
 	// Per-log counters behind Stats(). The registry instruments below
 	// mirror them (aggregated across logs when several share a registry).
-	appends  atomic.Int64
-	bytes    atomic.Int64
-	fsyncs   atomic.Int64
-	replayed atomic.Int64
+	appends      atomic.Int64
+	bytes        atomic.Int64
+	fsyncs       atomic.Int64
+	groupCommits atomic.Int64
+	replayed     atomic.Int64
 
 	// Cached registry instruments; never nil after Open.
 	mAppends   *obs.Counter
 	mBytes     *obs.Counter
 	mFsyncs    *obs.Counter
+	mGroups    *obs.Counter
 	mRotations *obs.Counter
 	mReplayed  *obs.Counter
 	mFsyncLat  *obs.Histogram
+	mBatchSize *obs.Histogram
 	mSegments  *obs.Gauge
 
 	quit chan struct{}
@@ -165,6 +213,9 @@ func Open(opt Options) (*Log, error) {
 	if opt.Interval <= 0 {
 		opt.Interval = 100 * time.Millisecond
 	}
+	if opt.GroupMax <= 0 {
+		opt.GroupMax = DefaultGroupMax
+	}
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -178,11 +229,14 @@ func Open(opt Options) (*Log, error) {
 		mAppends:   reg.Counter("wal_appends_total"),
 		mBytes:     reg.Counter("wal_append_bytes_total"),
 		mFsyncs:    reg.Counter("wal_fsyncs_total"),
+		mGroups:    reg.Counter("wal_group_commits_total"),
 		mRotations: reg.Counter("wal_rotations_total"),
 		mReplayed:  reg.Counter("wal_replayed_total"),
 		mFsyncLat:  reg.Histogram("wal_fsync_seconds", nil),
+		mBatchSize: reg.Histogram("wal_commit_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
 		mSegments:  reg.Gauge("wal_live_segments"),
 	}
+	l.cond = sync.NewCond(&l.mu)
 
 	seqs, err := listSegments(opt.Dir)
 	if err != nil {
@@ -226,6 +280,7 @@ func Open(opt Options) (*Log, error) {
 	l.segments = live
 	l.rec.Segments = len(l.segments)
 	l.rec.LastLSN = l.lastLSN
+	l.writtenLSN = l.lastLSN // everything recovered is on disk
 
 	if len(l.segments) == 0 {
 		if err := l.createSegmentLocked(1); err != nil {
@@ -277,6 +332,7 @@ func (l *Log) Stats() Stats {
 		Appends:       l.appends.Load(),
 		BytesAppended: l.bytes.Load(),
 		Fsyncs:        l.fsyncs.Load(),
+		GroupCommits:  l.groupCommits.Load(),
 		Replayed:      l.replayed.Load(),
 		Segments:      segs,
 		LastLSN:       lsn,
@@ -298,53 +354,178 @@ func (l *Log) AdvanceLSN(min uint64) {
 	l.mu.Lock()
 	if l.lastLSN < min {
 		l.lastLSN = min
+		if l.writtenLSN < min {
+			// Recovery-time call: nothing is staged, so the skipped
+			// sequence numbers need no disk coverage.
+			l.writtenLSN = min
+		}
 	}
 	l.mu.Unlock()
 }
 
-// Append assigns the next LSN, writes one record, and — under
-// SyncAlways — fsyncs before returning. The returned LSN is the
-// record's position in the global mutation order.
+// Ticket is a staged append on its way to disk: LSN is already assigned,
+// Wait blocks until the record's commit group is written (and fsynced
+// under SyncAlways) or the log has failed.
+type Ticket struct {
+	l   *Log
+	LSN uint64
+}
+
+// Append assigns the next LSN, stages one record, and waits for its
+// commit group to reach disk — under SyncAlways the record is fsynced
+// before Append returns. The returned LSN is the record's position in
+// the global mutation order. Equivalent to Stage followed by Wait;
+// callers that can overlap other work with the commit (or want many
+// records to share one group) use the two halves directly.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	t, err := l.Stage(payload)
+	if err != nil {
+		return 0, err
+	}
+	return t.LSN, t.Wait()
+}
+
+// Stage assigns the next LSN and buffers one record into the pending
+// commit group, blocking only while the group is full (the log's write
+// backpressure). The record is NOT durable until Ticket.Wait returns;
+// stage order is LSN order, which is what lets a caller serialize its
+// own mutation order with a short critical section around Stage while
+// the expensive write+fsync runs outside it.
+func (l *Log) Stage(payload []byte) (Ticket, error) {
 	if len(payload) > MaxRecord {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+		return Ticket{}, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for !l.closed && l.ioErr == nil && l.pendingN > 0 &&
+		(l.pendingN >= l.opt.GroupMax || len(l.pending) >= maxGroupBytes) {
+		l.cond.Wait()
+	}
 	if l.closed {
-		return 0, ErrClosed
+		return Ticket{}, ErrClosed
+	}
+	if l.ioErr != nil {
+		return Ticket{}, l.ioErr
+	}
+	lsn := l.lastLSN + 1
+	l.lastLSN = lsn
+	before := len(l.pending)
+	l.pending = appendFrame(l.pending, lsn, payload)
+	l.pendingN++
+	n := int64(len(l.pending) - before)
+	l.appends.Add(1)
+	l.bytes.Add(n)
+	l.mAppends.Inc()
+	l.mBytes.Add(n)
+	return Ticket{l: l, LSN: lsn}, nil
+}
+
+// Wait blocks until the staged record is committed per the log's fsync
+// policy. The first waiter to find no commit in flight becomes the
+// group's leader and performs the write itself; everyone else sleeps
+// until the leader's broadcast. A ticket whose group failed reports the
+// log's sticky I/O error.
+func (t Ticket) Wait() error {
+	l := t.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.writtenLSN >= t.LSN {
+			return nil
+		}
+		if l.ioErr != nil {
+			return l.ioErr
+		}
+		if !l.committing && l.pendingN > 0 {
+			l.commitLocked()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// commitLocked runs one group commit as the leader: called with mu held
+// and committing false, returns with mu held and committing false again.
+// The staged group is swapped out under the lock, written (and fsynced
+// under SyncAlways) with the lock released so stagers keep filling the
+// next group, then accounted and broadcast.
+func (l *Log) commitLocked() {
+	l.committing = true
+	if l.opt.GroupWait > 0 {
+		// Let trickling writers accumulate into this group. committing
+		// is already set, so there is exactly one sleeper.
+		l.mu.Unlock()
+		time.Sleep(l.opt.GroupWait)
+		l.mu.Lock()
 	}
 	if l.size >= l.opt.SegmentSize {
 		if err := l.rotateLocked(); err != nil {
-			return 0, err
+			l.failLocked(err)
+			return
 		}
 	}
-	lsn := l.lastLSN + 1
-	l.buf = appendFrame(l.buf[:0], lsn, payload)
-	if _, err := l.f.Write(l.buf); err != nil {
-		return 0, err
-	}
-	l.lastLSN = lsn
-	l.size += int64(len(l.buf))
-	l.dirty = true
-	l.appends.Add(1)
-	l.bytes.Add(int64(len(l.buf)))
-	l.mAppends.Inc()
-	l.mBytes.Add(int64(len(l.buf)))
-	if l.opt.Policy == SyncAlways {
-		if err := l.syncLocked(); err != nil {
-			return 0, err
+	buf, count, top := l.pending, l.pendingN, l.lastLSN
+	l.pending = l.spare[:0]
+	l.pendingN = 0
+	l.spare = nil
+	f := l.f
+	syncNow := l.opt.Policy == SyncAlways
+
+	l.mu.Unlock()
+	_, err := f.Write(buf)
+	if err == nil && syncNow {
+		start := time.Now()
+		if err = f.Sync(); err == nil {
+			l.mFsyncLat.ObserveSince(start)
 		}
 	}
-	return lsn, nil
+	l.mu.Lock()
+
+	if cap(buf) <= maxGroupBytes*2 {
+		l.spare = buf[:0] // recycle; oversized one-off groups are dropped
+	}
+	if err != nil {
+		l.failLocked(err)
+		return
+	}
+	l.size += int64(len(buf))
+	l.dirty = !syncNow
+	l.writtenLSN = top
+	if syncNow {
+		l.fsyncs.Add(1)
+		l.mFsyncs.Inc()
+	}
+	l.groupCommits.Add(1)
+	l.mGroups.Inc()
+	l.mBatchSize.Observe(float64(count))
+	l.committing = false
+	l.cond.Broadcast()
 }
 
-// Sync forces an fsync of the active segment regardless of policy.
+// failLocked records a commit failure: the log fails stop. Called with
+// mu held, committing true (or from a leader's rotate failure).
+func (l *Log) failLocked(err error) {
+	if l.ioErr == nil {
+		l.ioErr = fmt.Errorf("wal: commit failed: %w", err)
+	}
+	l.committing = false
+	l.cond.Broadcast()
+}
+
+// Sync forces an fsync of the active segment regardless of policy. It
+// covers everything already written; records still staged in the
+// pending group are committed by their waiters, not here.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.committing {
+		l.cond.Wait()
+	}
 	if l.closed {
 		return ErrClosed
+	}
+	if l.ioErr != nil {
+		return l.ioErr
 	}
 	return l.syncLocked()
 }
@@ -365,14 +546,22 @@ func (l *Log) syncLocked() error {
 }
 
 // Rotate seals the active segment and starts a new one, returning the
-// new segment's sequence number. Every record appended before the call
+// new segment's sequence number. Every record committed before the call
 // lives in a segment strictly below the returned boundary — pass it to
-// Compact once those records are covered by a snapshot.
+// Compact once those records are covered by a snapshot. (Records still
+// staged at the time of the call land in the new segment, above the
+// boundary, so they can never be compacted away prematurely.)
 func (l *Log) Rotate() (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.committing {
+		l.cond.Wait()
+	}
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if l.ioErr != nil {
+		return 0, l.ioErr
 	}
 	if err := l.rotateLocked(); err != nil {
 		return 0, err
@@ -460,8 +649,11 @@ func (l *Log) Compact(boundary uint64) (int, error) {
 	return removed, firstErr
 }
 
-// Close stops the background syncer (if any), flushes under every
-// policy except SyncNever, and closes the active segment.
+// Close drains and commits any staged records, stops the background
+// syncer (if any), flushes and fsyncs the unsynced tail under every
+// policy except SyncNever, and closes the active segment. Tickets staged
+// before Close are committed durably; Stage after Close reports
+// ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -470,23 +662,33 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	close(l.quit)
+	l.cond.Broadcast() // wake backpressured stagers to see closed
+	// Drain: wait out any in-flight commit and lead one ourselves for
+	// staged frames whose waiters haven't elected a leader yet.
+	for l.ioErr == nil && (l.committing || l.pendingN > 0) {
+		if !l.committing && l.pendingN > 0 {
+			l.commitLocked()
+			continue
+		}
+		l.cond.Wait()
+	}
 	l.mu.Unlock()
 	l.wg.Wait()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var err error
-	if l.opt.Policy != SyncNever && l.dirty {
-		if serr := l.f.Sync(); serr != nil {
-			err = serr
-		} else {
-			l.fsyncs.Add(1)
-			l.mFsyncs.Inc()
-		}
-		l.dirty = false
+	if l.opt.Policy != SyncNever && l.ioErr == nil {
+		// The unsynced tail (SyncInterval's last window, or SyncNever
+		// writes forced by an explicit Sync policy change) must not ride
+		// on the OS page cache past Close.
+		err = l.syncLocked()
 	}
 	if cerr := l.f.Close(); cerr != nil && err == nil {
 		err = cerr
+	}
+	if err == nil && l.ioErr != nil {
+		err = l.ioErr
 	}
 	return err
 }
